@@ -1,0 +1,50 @@
+# MPDP developer entry points. Everything is plain `go` underneath; the
+# Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench suite suite-quick check lint examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/live/ ./internal/sim/ ./internal/stats/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the evaluation (EXPERIMENTS.md data).
+suite:
+	$(GO) run ./cmd/mpdp-bench -exp all -seeds 3 -csv results.csv
+
+suite-quick:
+	$(GO) run ./cmd/mpdp-bench -exp all -quick
+
+# Fast qualitative regression: do the headline shapes still hold?
+check:
+	$(GO) run ./cmd/mpdp-bench -check
+
+lint:
+	$(GO) vet ./...
+	gofmt -l .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/noisyneighbor
+	$(GO) run ./examples/incast
+	$(GO) run ./examples/tenantgateway
+
+clean:
+	rm -f results.csv test_output.txt bench_output.txt

@@ -1,0 +1,104 @@
+// mpdp-bench regenerates the experiment suite: every table and figure of
+// the MPDP evaluation (see DESIGN.md §4 for the index).
+//
+// Usage:
+//
+//	mpdp-bench -exp E2              # one experiment, ASCII to stdout
+//	mpdp-bench -exp all -quick      # whole suite, reduced horizons
+//	mpdp-bench -exp E7 -csv out.csv # also write CSV
+//	mpdp-bench -list                # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpdp/internal/experiment"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment ID (E1..E18) or 'all'")
+		seed  = flag.Uint64("seed", 1, "base random seed")
+		seeds = flag.Int("seeds", 2, "independent repetitions per data point")
+		quick = flag.Bool("quick", false, "shrink horizons for a fast smoke run")
+		csv   = flag.String("csv", "", "also write results as CSV to this file")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		plot  = flag.Bool("plot", false, "also render figures as ASCII charts")
+		check = flag.Bool("check", false, "run the headline shape checks and exit (nonzero on violation)")
+	)
+	flag.Parse()
+
+	if *check {
+		bad, err := experiment.CheckShapes(experiment.SuiteOpts{Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(bad) == 0 {
+			fmt.Println("all headline shapes hold")
+			return
+		}
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "SHAPE VIOLATION: %s\n", b)
+		}
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiment.SuiteOpts{Seed: *seed, Seeds: *seeds, Quick: *quick}
+
+	var ids []string
+	if strings.EqualFold(*exp, "all") {
+		ids = experiment.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	var csvOut *os.File
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+
+	for _, id := range ids {
+		fn, ok := experiment.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mpdp-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-bench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		res.Render(os.Stdout)
+		if *plot {
+			for i := range res.Figures {
+				fmt.Println()
+				res.Figures[i].Plot(os.Stdout, 72, 20)
+			}
+		}
+		fmt.Printf("(%s wall time: %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if csvOut != nil {
+			res.CSV(csvOut)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// mpdp-sim runs a single ad-hoc data-plane simulation from flags and prints
+// the measured latency summary — the quickest way to poke at a
+// configuration without writing an experiment.
+//
+// Usage:
+//
+//	mpdp-sim -policy mpdp -paths 4 -util 0.7 -interference moderate
+//	mpdp-sim -policy rss -chain 6 -arrival onoff -duration 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpdp/internal/experiment"
+	"mpdp/internal/sim"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "mpdp", fmt.Sprintf("scheduling policy %v", experiment.PolicyNames()))
+		paths    = flag.Int("paths", 4, "number of parallel paths")
+		chain    = flag.Int("chain", 3, "preset SFC length (1..6)")
+		util     = flag.Float64("util", 0.7, "offered load fraction of aggregate capacity")
+		arrival  = flag.String("arrival", "poisson", "arrival process: poisson|cbr|onoff|mmpp")
+		size     = flag.String("size", "imix", "frame sizes: imix|pareto|fixed:<bytes>")
+		intf     = flag.String("interference", "moderate", "noisy neighbor: none|light|moderate|heavy")
+		flows    = flag.Int("flows", 64, "distinct flows in the pool")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		duration = flag.Duration("duration", 50*time.Millisecond, "virtual traffic horizon")
+		cdf      = flag.Bool("cdf", false, "print the latency CDF")
+		qdisc    = flag.String("qdisc", "fifo", "queue discipline: fifo|prio|drr")
+		traceIn  = flag.String("trace", "", "replay this trace file instead of synthetic traffic")
+		confFile = flag.String("config", "", "load the run configuration from a JSON file (flags ignored)")
+	)
+	flag.Parse()
+
+	cfg := experiment.RunConfig{
+		Seed: *seed, NumPaths: *paths, ChainLen: *chain,
+		Policy: *policy, Util: *util,
+		Arrival: *arrival, SizeDist: *size,
+		Interference: *intf, Flows: *flows,
+		Qdisc: *qdisc, TraceFile: *traceIn,
+		Duration: sim.Duration(duration.Nanoseconds()),
+	}
+	if *confFile != "" {
+		loaded, err := experiment.LoadConfig(*confFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-sim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg = loaded
+	}
+
+	r, err := experiment.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpdp-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	s := r.Latency
+	// Report the *effective* configuration (Run fills defaults).
+	ec := r.Config
+	fmt.Printf("policy=%s paths=%d chain=%d util=%.2f interference=%s qdisc=%s\n",
+		ec.Policy, ec.NumPaths, ec.ChainLen, ec.Util, ec.Interference, orFIFO(ec.Qdisc))
+	fmt.Printf("offered   %d packets, delivered %d (%.2f%%), lost %d\n",
+		r.Offered, r.Delivered, r.DeliveryRate*100, r.Lost)
+	fmt.Printf("goodput   %.3f Gbps\n", r.GoodputGbps)
+	fmt.Printf("latency   p50=%.1fus p90=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus\n",
+		f(s.P50), f(s.P90), f(s.P99), f(s.P999), f(s.Max))
+	fmt.Printf("breakdown queue(mean %.1fus, p99 %.1fus) service(mean %.1fus, p99 %.1fus) reorder(mean %.1fus, p99 %.1fus)\n",
+		r.QueueWaitMean/1000, r.QueueWaitP99/1000,
+		r.ServiceMean/1000, r.ServiceP99/1000,
+		r.ReorderWaitMean/1000, r.ReorderWaitP99/1000)
+	fmt.Printf("multipath dup_overhead=%.1f%% dup_cancelled=%d ooo=%.2f%% reorder_max_occupancy=%d holes=%d\n",
+		r.DupOverhead*100, r.DupCancelled, r.Reorder.OOOFraction()*100,
+		r.Reorder.MaxOccupancy, r.Reorder.HolesPunched)
+	if *cdf {
+		fmt.Println("\nlatency_us cum_frac")
+		for _, p := range r.CDF {
+			fmt.Printf("%.3f %.6f\n", float64(p.Value)/1000, p.Frac)
+		}
+	}
+}
+
+func f(ns int64) float64 { return float64(ns) / 1000 }
+
+func orFIFO(q string) string {
+	if q == "" {
+		return "fifo"
+	}
+	return q
+}

@@ -1,0 +1,221 @@
+// mpdp-trace generates, records and inspects workload traces.
+//
+// Without -record/-inspect it runs a traffic generator in isolation and
+// reports the arrival-process and size-distribution statistics (rate,
+// burstiness, size CDF), so a workload can be sanity-checked before being
+// pointed at the data plane.
+//
+// Usage:
+//
+//	mpdp-trace -arrival onoff -duty 0.1 -n 100000
+//	mpdp-trace -sizes websearch -n 50000
+//	mpdp-trace -arrival poisson -n 100000 -record burst.trc
+//	mpdp-trace -inspect burst.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"mpdp/internal/sim"
+	"mpdp/internal/stats"
+	"mpdp/internal/trace"
+	"mpdp/internal/workload"
+	"mpdp/internal/xrand"
+)
+
+func main() {
+	var (
+		arrival  = flag.String("arrival", "poisson", "arrival process: poisson|cbr|onoff|mmpp")
+		meanGap  = flag.Int64("mean-gap", 1000, "mean inter-arrival (ns)")
+		duty     = flag.Float64("duty", 0.1, "onoff: fraction of time in bursts")
+		sizes    = flag.String("sizes", "imix", "size distribution: imix|pareto|websearch|datamining|fixed:<bytes>")
+		n        = flag.Int("n", 100000, "samples to draw / packets to record")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		record   = flag.String("record", "", "write generated packets to this trace file")
+		inspect  = flag.String("inspect", "", "summarize an existing trace file and exit")
+		toPcap   = flag.String("to-pcap", "", "convert -inspect'd trace to this pcap file (Wireshark-readable)")
+		fromPcap = flag.String("from-pcap", "", "convert this pcap capture to the trace file named by -record")
+	)
+	flag.Parse()
+
+	if *fromPcap != "" {
+		if *record == "" {
+			fail("-from-pcap requires -record <out.trc>")
+		}
+		convertFromPcap(*fromPcap, *record)
+		return
+	}
+	if *inspect != "" {
+		if *toPcap != "" {
+			convertToPcap(*inspect, *toPcap)
+		}
+		inspectTrace(*inspect)
+		return
+	}
+
+	rng := xrand.New(*seed)
+
+	var arr workload.Arrival
+	gap := sim.Duration(*meanGap)
+	switch *arrival {
+	case "poisson":
+		arr = workload.NewPoisson(rng.Split(), gap)
+	case "cbr":
+		arr = workload.CBR{Gap: gap}
+	case "onoff":
+		burstGap := sim.Duration(float64(gap) * *duty)
+		if burstGap < 1 {
+			burstGap = 1
+		}
+		meanOn := 20 * burstGap
+		meanOff := sim.Duration(float64(meanOn) * (1 - *duty) / *duty)
+		arr = workload.NewOnOff(rng.Split(), burstGap, meanOn, meanOff)
+	case "mmpp":
+		arr = workload.NewMMPP2(rng.Split(), gap/2, gap*4, 2*sim.Millisecond, 2*sim.Millisecond)
+	default:
+		fail("unknown arrival %q", *arrival)
+	}
+
+	var sd workload.SizeDist
+	switch *sizes {
+	case "imix":
+		sd = workload.IMIX{Rng: rng.Split()}
+	case "pareto":
+		sd = workload.BoundedPareto{Alpha: 1.3, Lo: 64, Hi: 1500, Rng: rng.Split()}
+	case "websearch":
+		sd = workload.WebSearch(rng.Split())
+	case "datamining":
+		sd = workload.DataMining(rng.Split())
+	default:
+		var b int
+		if _, err := fmt.Sscanf(*sizes, "fixed:%d", &b); err != nil || b <= 0 {
+			fail("unknown size distribution %q", *sizes)
+		}
+		sd = workload.Fixed{Bytes: b}
+	}
+
+	if *record != "" {
+		recordTrace(*record, arr, sd, rng.Split(), *n)
+		return
+	}
+
+	// Arrival statistics.
+	gapHist := stats.NewHist()
+	var sum, sumSq float64
+	for i := 0; i < *n; i++ {
+		g := float64(arr.Next())
+		gapHist.Record(int64(g))
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / float64(*n)
+	cv2 := (sumSq/float64(*n) - mean*mean) / (mean * mean)
+	fmt.Printf("arrival %s: mean_gap=%.0fns rate=%.3f Mpps cv2=%.2f (poisson=1)\n",
+		*arrival, mean, 1e3/mean, cv2)
+	gs := gapHist.Summarize()
+	fmt.Printf("  gap p50=%dns p99=%dns max=%dns\n", gs.P50, gs.P99, gs.Max)
+
+	// Size statistics.
+	sizeHist := stats.NewHist()
+	for i := 0; i < *n; i++ {
+		sizeHist.Record(int64(sd.Next()))
+	}
+	ss := sizeHist.Summarize()
+	fmt.Printf("sizes %s: mean=%.0fB (analytic %.0fB) p50=%dB p99=%dB max=%dB\n",
+		*sizes, ss.Mean, sd.Mean(), ss.P50, ss.P99, ss.Max)
+	if math.Abs(ss.Mean-sd.Mean())/sd.Mean() > 0.05 {
+		fmt.Println("  warning: sampled mean deviates >5% from analytic mean")
+	}
+}
+
+// recordTrace writes n generated packets to a trace file.
+func recordTrace(path string, arr workload.Arrival, sd workload.SizeDist, rng *xrand.Rand, n int) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fail("%v", err)
+	}
+	gen := workload.NewTraffic(workload.TrafficConfig{
+		Arrival: arr, Size: sd, Flows: 64, Rng: rng,
+	})
+	var now sim.Time
+	for i := 0; i < n; i++ {
+		now += arr.Next()
+		p := gen.NextPacket()
+		if err := w.Write(now, p.Data); err != nil {
+			fail("%v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("wrote %d packets spanning %v to %s\n", w.Count(), now, path)
+}
+
+// inspectTrace summarizes an existing trace file.
+func inspectTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	st, err := trace.Summarize(f)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("trace %s:\n", path)
+	fmt.Printf("  packets  %d\n", st.Packets)
+	fmt.Printf("  bytes    %d (mean frame %.0fB)\n", st.Bytes, float64(st.Bytes)/float64(st.Packets))
+	fmt.Printf("  flows    %d\n", st.Flows)
+	fmt.Printf("  span     %v (%.3f Mpps mean)\n", st.Duration(), st.MeanPps()/1e6)
+}
+
+// convertToPcap exports a trace as a Wireshark-readable pcap.
+func convertToPcap(tracePath, pcapPath string) {
+	in, err := os.Open(tracePath)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer in.Close()
+	out, err := os.Create(pcapPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer out.Close()
+	n, err := trace.WritePcap(out, in)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("exported %d packets to %s\n", n, pcapPath)
+}
+
+// convertFromPcap imports a pcap capture as an MPDP trace.
+func convertFromPcap(pcapPath, tracePath string) {
+	in, err := os.Open(pcapPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer in.Close()
+	out, err := os.Create(tracePath)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer out.Close()
+	n, err := trace.ReadPcap(out, in)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("imported %d packets from %s to %s\n", n, pcapPath, tracePath)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpdp-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+// Package mpdp is the root of the MPDP repository: a from-scratch
+// reproduction of "Last-mile Matters: Mitigating the Tail Latency of
+// Virtualized Networks with Multipath Data Plane" (CLUSTER 2022) as a Go
+// library.
+//
+// The system itself lives under internal/ (see DESIGN.md for the full
+// inventory):
+//
+//	internal/sim        discrete-event simulation kernel (virtual time)
+//	internal/xrand      deterministic RNG + distributions
+//	internal/packet     wire-format codecs, flow keys, RSS/Toeplitz hashing
+//	internal/nf         Click-style NF elements and SFC composition
+//	internal/vnet       lanes (queue x core x chain) + noisy-neighbor model
+//	internal/core       the multipath data plane: policies, reorder buffer
+//	internal/stats      histograms, P2 quantiles, summaries
+//	internal/workload   arrival processes, size distributions, incast
+//	internal/experiment the E1-E18 evaluation suite
+//
+// Entry points: cmd/mpdp-bench (regenerate every table/figure),
+// cmd/mpdp-sim (one ad-hoc run), cmd/mpdp-trace (workload inspection),
+// and the runnable examples under examples/.
+package mpdp

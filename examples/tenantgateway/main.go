@@ -1,0 +1,132 @@
+// Tenant gateway: a realistic stateful edge chain assembled from the NF
+// library — connection tracking, ACL, source NAT, L4 load balancing, VXLAN
+// encapsulation — with the packet rewrites verified end to end on real
+// wire-format frames, then run under multipath to show the chain still
+// behaves behind the scheduler.
+//
+//	go run ./examples/tenantgateway
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpdp/internal/core"
+	"mpdp/internal/nf"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/vnet"
+	"mpdp/internal/xrand"
+)
+
+// buildGateway assembles the tenant-edge chain.
+func buildGateway() (*nf.Chain, *nf.ConnTracker, *nf.NAT, *nf.LoadBalancer, *nf.VXLANEncap) {
+	ct := nf.NewConnTracker("conntrack", false) // loose: UDP workload
+	fw := nf.PresetFirewall(25)
+	nat := nf.NewNAT("snat", packet.IP4(10, 0, 0, 0), 16, nf.NATExternalIP)
+	backends := []uint32{
+		packet.IP4(10, 1, 0, 1), packet.IP4(10, 1, 0, 2),
+		packet.IP4(10, 1, 0, 3), packet.IP4(10, 1, 0, 4),
+	}
+	lb := nf.NewLoadBalancer("vip-lb", nf.LBVirtualIP, backends)
+	vtep := nf.NewVXLANEncap("vtep", 4096, packet.IP4(172, 16, 0, 1), packet.IP4(172, 16, 0, 2))
+	chain := nf.NewChain("tenant-gw", ct, fw, nat, lb, vtep)
+	return chain, ct, nat, lb, vtep
+}
+
+func main() {
+	// Part 1: verify the chain's rewrites packet by packet.
+	chain, ct, nat, lb, vtep := buildGateway()
+	fmt.Println("chain:", chain)
+
+	key := packet.FlowKey{
+		SrcIP: packet.IP4(10, 0, 0, 7), DstIP: nf.LBVirtualIP,
+		SrcPort: 43210, DstPort: 80, Proto: packet.ProtoUDP,
+	}
+	p := &packet.Packet{
+		ID: 1, OrigID: 1,
+		Data: packet.BuildUDP(key, []byte("GET /index"), packet.BuildOpts{}),
+		Flow: key, FlowID: key.Hash64(),
+	}
+	r := chain.Process(0, p)
+	if r.Verdict != packet.Pass {
+		fmt.Println("unexpected verdict:", r.Verdict)
+		os.Exit(1)
+	}
+
+	// The frame is now VXLAN-encapsulated; unwrap and check each rewrite.
+	outer, err := packet.ParseFrame(p.Data)
+	if err != nil || !outer.HasUDP || outer.UDP.DstPort != packet.VXLANPort {
+		fmt.Println("outer frame is not VXLAN:", err)
+		os.Exit(1)
+	}
+	inner := outer.Payload(p.Data)[packet.VXLANHdrLen:]
+	ipr, err := packet.ParseFrame(inner)
+	if err != nil {
+		fmt.Println("inner frame invalid:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("inner after chain: %s:%d -> %s:%d\n",
+		ip(ipr.IP.Src), ipr.UDP.SrcPort, ip(ipr.IP.Dst), ipr.UDP.DstPort)
+	fmt.Printf("  conntrack: %d connection(s) tracked\n", ct.Connections())
+	fmt.Printf("  snat:      %d mapping(s), source rewritten to %s\n", nat.Mappings(), ip(ipr.IP.Src))
+	fmt.Printf("  lb:        %d dispatch(es), VIP -> backend %s\n", lb.Balanced(), ip(ipr.IP.Dst))
+	fmt.Printf("  vtep:      %d packet(s) encapsulated, VNI 4096, outer %s -> %s\n",
+		vtep.Encapped(), ip(outer.IP.Src), ip(outer.IP.Dst))
+	if ipr.IP.Src != nf.NATExternalIP {
+		fmt.Println("FAIL: source NAT did not rewrite")
+		os.Exit(1)
+	}
+	if ipr.IP.Dst == nf.LBVirtualIP {
+		fmt.Println("FAIL: LB did not dispatch the VIP")
+		os.Exit(1)
+	}
+
+	// Part 2: the same chain (fresh replica per path) under 4-path MPDP.
+	fmt.Println("\nrunning 60k packets through 4 gateway replicas under MPDP:")
+	s := sim.New()
+	dp := core.New(s, core.Config{
+		NumPaths: 4,
+		ChainFactory: func(i int) *nf.Chain {
+			c, _, _, _, _ := buildGateway()
+			return c
+		},
+		Policy:       core.NewMPDP(core.DefaultMPDPConfig()),
+		JitterSigma:  0.15,
+		Interference: vnet.DefaultInterferenceConfig(),
+		Seed:         3,
+	}, nil)
+
+	rng := xrand.New(9)
+	var sent int
+	var last sim.Time
+	for t := sim.Time(0); sent < 60000; t += sim.Duration(rng.ExpFloat64(1.0 / 800)) {
+		sent++
+		last = t
+		host := byte(rng.Intn(200) + 1)
+		k := packet.FlowKey{
+			SrcIP: packet.IP4(10, 0, 1, host), DstIP: nf.LBVirtualIP,
+			SrcPort: uint16(20000 + rng.Intn(20000)), DstPort: 80, Proto: packet.ProtoUDP,
+		}
+		pkt := &packet.Packet{
+			Data: packet.BuildUDP(k, []byte("req"), packet.BuildOpts{}),
+			Flow: k, FlowID: k.Hash64(),
+		}
+		s.At(t, func() { dp.Ingress(pkt) })
+	}
+	// The interference processes tick forever, so bound the run by time
+	// rather than draining the event queue.
+	s.RunUntil(last + 10*sim.Millisecond)
+	dp.Flush()
+	s.RunUntil(last + 15*sim.Millisecond)
+
+	m := dp.Metrics()
+	sum := m.Latency.Summarize()
+	fmt.Printf("  delivered %d/%d, p50=%.1fus p99=%.1fus p99.9=%.1fus\n",
+		m.Delivered(), m.Offered(),
+		float64(sum.P50)/1000, float64(sum.P99)/1000, float64(sum.P999)/1000)
+}
+
+func ip(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

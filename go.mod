@@ -1,0 +1,3 @@
+module mpdp
+
+go 1.22

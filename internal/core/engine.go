@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+
+	"mpdp/internal/nf"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/vnet"
+	"mpdp/internal/xrand"
+)
+
+// Config assembles a data plane.
+type Config struct {
+	// NumPaths is the number of parallel lanes (queue × core × chain
+	// replica). 1 reproduces the conventional single-path data plane.
+	NumPaths int
+	// ChainFactory builds lane i's chain replica. Each lane needs its own
+	// instance because chains hold per-replica state (NAT tables, buckets).
+	ChainFactory func(i int) *nf.Chain
+	// Policy is the multipath scheduling policy. Required.
+	Policy Policy
+
+	// QueueCap, DispatchOverhead, JitterSigma configure each lane
+	// (zero values take vnet defaults).
+	QueueCap         int
+	DispatchOverhead sim.Duration
+	JitterSigma      float64
+
+	// Interference, when SlowFactor > 1, attaches an independent
+	// noisy-neighbor process to each of the first InterferedPaths lanes
+	// (InterferedPaths <= 0 means all lanes).
+	Interference    vnet.InterferenceConfig
+	InterferedPaths int
+
+	// SlowdownFor, when non-nil, overrides Interference entirely: it
+	// supplies lane i's slowdown directly (return nil for a clean lane).
+	// Used for scripted, deterministic episodes.
+	SlowdownFor func(i int) vnet.Slowdown
+
+	// QdiscFor, when non-nil, supplies lane i's queueing discipline
+	// (return nil for the default FIFO). Each lane needs its own instance.
+	QdiscFor func(i int) vnet.Qdisc
+
+	// ReorderTimeout bounds how long the in-order stage waits for a gap
+	// (default 1 ms). DisableReorder bypasses the stage entirely,
+	// delivering packets as service completes (an ablation mode —
+	// duplicates are still deduplicated).
+	ReorderTimeout sim.Duration
+	DisableReorder bool
+
+	// EWMAAlpha is the telemetry smoothing factor (default 0.2).
+	EWMAAlpha float64
+
+	// TelemetryWindow is the rotation period of each path's windowed p99
+	// estimate (default 5 ms): long enough to converge, short enough that
+	// a past interference episode ages out within two windows. Rotation
+	// is lazy (driven by that path's completions), so an idle path keeps
+	// its last estimate. Negative disables windowing (cumulative p99).
+	TelemetryWindow sim.Duration
+
+	// Seed drives all of the data plane's randomness.
+	Seed uint64
+
+	// TimelineWindow, if > 0, records per-window latency histograms for
+	// the adaptivity-timeline experiment.
+	TimelineWindow sim.Duration
+}
+
+// DataPlane is the running multipath data plane: the object under test in
+// every experiment.
+type DataPlane struct {
+	sim     *sim.Simulator
+	cfg     Config
+	paths   []*PathState
+	policy  Policy
+	reorder *Reorder
+	sink    DeliverFunc
+
+	idGen  uint64
+	seqGen map[uint64]uint64 // FlowID -> next ingress sequence
+	dups   map[uint64]*dupGroup
+
+	metrics *Metrics
+}
+
+// dupGroup tracks the outstanding copies of one duplicated packet.
+type dupGroup struct {
+	remaining int
+	won       bool
+	copies    []*packet.Packet
+}
+
+// New builds a data plane on simulator s delivering in-order packets to
+// sink (which may be nil; metrics are recorded regardless).
+func New(s *sim.Simulator, cfg Config, sink DeliverFunc) *DataPlane {
+	if s == nil {
+		panic("core: New with nil simulator")
+	}
+	if cfg.NumPaths <= 0 {
+		panic("core: Config.NumPaths must be positive")
+	}
+	if cfg.ChainFactory == nil {
+		panic("core: Config.ChainFactory is required")
+	}
+	if cfg.Policy == nil {
+		panic("core: Config.Policy is required")
+	}
+	if cfg.ReorderTimeout == 0 {
+		cfg.ReorderTimeout = 1 * sim.Millisecond
+	}
+	if cfg.EWMAAlpha == 0 {
+		cfg.EWMAAlpha = 0.2
+	}
+	if cfg.TelemetryWindow == 0 {
+		cfg.TelemetryWindow = 5 * sim.Millisecond
+	}
+
+	dp := &DataPlane{
+		sim:     s,
+		cfg:     cfg,
+		policy:  cfg.Policy,
+		sink:    sink,
+		seqGen:  make(map[uint64]uint64),
+		dups:    make(map[uint64]*dupGroup),
+		metrics: newMetrics(cfg.TimelineWindow),
+	}
+	dp.reorder = NewReorder(s, cfg.ReorderTimeout, dp.deliver)
+
+	rng := xrand.New(cfg.Seed)
+	for i := 0; i < cfg.NumPaths; i++ {
+		laneCfg := vnet.LaneConfig{
+			QueueCap:         cfg.QueueCap,
+			Chain:            cfg.ChainFactory(i),
+			DispatchOverhead: cfg.DispatchOverhead,
+			JitterSigma:      cfg.JitterSigma,
+		}
+		if laneCfg.QueueCap == 0 {
+			laneCfg.QueueCap = 512
+		}
+		if cfg.QdiscFor != nil {
+			laneCfg.Qdisc = cfg.QdiscFor(i)
+		}
+		if laneCfg.DispatchOverhead == 0 {
+			laneCfg.DispatchOverhead = 150 * sim.Nanosecond
+		}
+		switch {
+		case cfg.SlowdownFor != nil:
+			if sd := cfg.SlowdownFor(i); sd != nil {
+				laneCfg.Interference = sd
+			}
+		default:
+			interfered := cfg.InterferedPaths <= 0 || i < cfg.InterferedPaths
+			if cfg.Interference.SlowFactor > 1 && interfered {
+				// NewInterference returns a typed nil for no-op configs;
+				// guard so the interface stays truly nil.
+				if intf := vnet.NewInterference(s, rng.Split(), cfg.Interference); intf != nil {
+					laneCfg.Interference = intf
+				}
+			}
+		}
+		lane := vnet.NewLane(i, s, laneCfg, rng.Split(), dp.onLaneDone)
+		dp.paths = append(dp.paths, newPathState(lane, cfg.EWMAAlpha, cfg.TelemetryWindow))
+	}
+	return dp
+}
+
+// Sim returns the simulator the data plane runs on.
+func (dp *DataPlane) Sim() *sim.Simulator { return dp.sim }
+
+// Paths returns the path states (shared; read-only for callers).
+func (dp *DataPlane) Paths() []*PathState { return dp.paths }
+
+// Metrics returns the accumulated measurements.
+func (dp *DataPlane) Metrics() *Metrics { return dp.metrics }
+
+// ReorderStats returns the in-order stage's counters.
+func (dp *DataPlane) ReorderStats() ReorderStats { return dp.reorder.Stats() }
+
+// PolicyName returns the active policy's name.
+func (dp *DataPlane) PolicyName() string { return dp.policy.Name() }
+
+// Ingress admits one packet to the data plane at the current virtual time.
+// The engine assigns identity (ID, FlowID, Seq) and consults the policy.
+func (dp *DataPlane) Ingress(p *packet.Packet) {
+	now := dp.sim.Now()
+	p.Ingress = now
+	if p.ID == 0 {
+		dp.idGen++
+		p.ID = dp.idGen
+	}
+	p.OrigID = p.ID
+	if p.FlowID == 0 {
+		p.FlowID = p.Flow.Hash64()
+	}
+	p.Seq = dp.seqGen[p.FlowID]
+	dp.seqGen[p.FlowID]++
+	p.PathID = -1
+
+	dp.metrics.offered++
+	dp.metrics.offeredBytes += uint64(p.Size())
+
+	idxs := dp.policy.Pick(now, p, dp.paths)
+	if len(idxs) == 0 {
+		panic(fmt.Sprintf("core: policy %s picked no paths", dp.policy.Name()))
+	}
+	for _, i := range idxs {
+		if i < 0 || i >= len(dp.paths) {
+			panic(fmt.Sprintf("core: policy %s picked invalid path %d of %d", dp.policy.Name(), i, len(dp.paths)))
+		}
+	}
+
+	if len(idxs) == 1 {
+		dp.send(p, idxs[0], nil)
+		return
+	}
+
+	// Duplication: the original plus clones, grouped for first-wins.
+	group := &dupGroup{remaining: len(idxs)}
+	dp.dups[p.OrigID] = group
+	copies := make([]*packet.Packet, len(idxs))
+	copies[0] = p
+	p.IsDup = true
+	for j := 1; j < len(idxs); j++ {
+		dp.idGen++
+		copies[j] = p.Clone(dp.idGen)
+	}
+	group.copies = copies
+	for j, i := range idxs {
+		dp.metrics.dupCopies++
+		dp.send(copies[j], i, group)
+	}
+	// The first copy counts as the packet itself, not overhead.
+	dp.metrics.dupCopies--
+}
+
+// send enqueues one copy on path i, handling tail drops.
+func (dp *DataPlane) send(p *packet.Packet, i int, group *dupGroup) {
+	ps := dp.paths[i]
+	ps.sent++
+	dp.metrics.copiesSent++
+	if ps.Lane.Enqueue(p) {
+		return
+	}
+	// Tail drop at the lane queue. The engine knows this sequence copy is
+	// gone, so punch the hole (or finish the dup group) immediately.
+	dp.metrics.drops[packet.DropQueueFull]++
+	dp.copyGone(p, group)
+}
+
+// copyGone accounts for a copy that will never reach delivery. When it was
+// the packet's last chance, the reorder stage is told not to wait.
+func (dp *DataPlane) copyGone(p *packet.Packet, group *dupGroup) {
+	if group == nil {
+		dp.punch(p)
+		return
+	}
+	group.remaining--
+	if group.remaining <= 0 {
+		if !group.won {
+			dp.punch(p)
+		}
+		delete(dp.dups, p.OrigID)
+	}
+}
+
+// punch tells the in-order stage that p's sequence is lost.
+func (dp *DataPlane) punch(p *packet.Packet) {
+	if !dp.cfg.DisableReorder {
+		dp.reorder.Skip(p.FlowID, p.Seq)
+	}
+}
+
+// onLaneDone receives every service completion from every lane.
+func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
+	ps := dp.paths[p.PathID]
+	ps.observe(p.Done, p.ServiceTime(), p.Done-p.Enqueued)
+
+	group := dp.dups[p.OrigID]
+
+	if p.Cancelled {
+		// Raced with a cancel after service started; treat as loser.
+		dp.metrics.drops[packet.DropCancelled]++
+		dp.copyGone(p, group)
+		return
+	}
+
+	switch verdict {
+	case packet.Pass:
+		if group != nil {
+			if group.won {
+				// A sibling already delivered; this copy loses.
+				p.Dropped = packet.DropCancelled
+				dp.metrics.drops[packet.DropCancelled]++
+				group.remaining--
+				if group.remaining <= 0 {
+					delete(dp.dups, p.OrigID)
+				}
+				return
+			}
+			group.won = true
+			group.remaining--
+			dp.cancelSiblings(p, group)
+			if group.remaining <= 0 {
+				delete(dp.dups, p.OrigID)
+			}
+		}
+		if dp.cfg.DisableReorder {
+			p.Delivered = dp.sim.Now()
+			dp.deliver(p)
+		} else {
+			dp.reorder.Submit(p)
+		}
+	case packet.Drop:
+		dp.metrics.drops[p.Dropped]++
+		dp.copyGone(p, group)
+	case packet.Consume:
+		// Terminated locally (e.g. tunnel endpoint); counts as completed
+		// work but exits the pipeline here — successors must not wait.
+		dp.metrics.consumed++
+		dp.copyGone(p, group)
+	}
+}
+
+// cancelSiblings cancels the still-queued twins of a winning copy. A copy
+// cancelled while queued is discarded by its lane without a completion
+// callback, so its group slot is released here.
+func (dp *DataPlane) cancelSiblings(winner *packet.Packet, group *dupGroup) {
+	for _, c := range group.copies {
+		if c == winner || c.Cancelled {
+			continue
+		}
+		if c.PathID >= 0 && c.PathID < len(dp.paths) {
+			if dp.paths[c.PathID].Lane.CancelQueued(c.ID) {
+				dp.metrics.dupCancelled++
+				group.remaining--
+			}
+		}
+	}
+}
+
+// deliver is the terminal stage: record metrics and hand to the sink.
+func (dp *DataPlane) deliver(p *packet.Packet) {
+	dp.metrics.recordDelivery(p)
+	if dp.sink != nil {
+		dp.sink(p)
+	}
+}
+
+// Flush force-releases the reorder buffer (end of a measurement run).
+func (dp *DataPlane) Flush() {
+	if !dp.cfg.DisableReorder {
+		dp.reorder.Flush()
+	}
+}

@@ -1,0 +1,620 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpdp/internal/nf"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/vnet"
+	"mpdp/internal/xrand"
+)
+
+// engineConfig returns a deterministic config with n paths and the given
+// policy, fixed 1µs service cost per packet.
+func engineConfig(n int, pol Policy) Config {
+	return Config{
+		NumPaths:     n,
+		ChainFactory: func(i int) *nf.Chain { return passChain(1 * sim.Microsecond) },
+		Policy:       pol,
+		QueueCap:     256,
+		Seed:         42,
+	}
+}
+
+// inject offers pkts packets from nFlows flows at fixed spacing.
+func inject(dp *DataPlane, pkts, nFlows int, spacing sim.Duration) {
+	s := dp.Sim()
+	for i := 0; i < pkts; i++ {
+		p := flowPkt(uint64(i % nFlows))
+		s.At(sim.Time(i)*spacing, func() { dp.Ingress(p) })
+	}
+	s.Run()
+	dp.Flush()
+	s.Run()
+}
+
+func TestEngineDeliversAllSinglePath(t *testing.T) {
+	s := sim.New()
+	delivered := 0
+	dp := New(s, engineConfig(1, SinglePath{}), func(p *packet.Packet) { delivered++ })
+	inject(dp, 100, 4, 2*sim.Microsecond)
+	if delivered != 100 {
+		t.Fatalf("delivered %d/100", delivered)
+	}
+	m := dp.Metrics()
+	if m.Offered() != 100 || m.Delivered() != 100 || m.TotalLost() != 0 {
+		t.Fatalf("accounting: offered=%d delivered=%d lost=%d", m.Offered(), m.Delivered(), m.TotalLost())
+	}
+}
+
+func TestEngineInOrderPerFlowForAllPolicies(t *testing.T) {
+	policies := []Policy{
+		SinglePath{}, RSSHash{}, &RoundRobin{}, &RandomPick{Rng: xrand.New(1)},
+		JSQ{}, &PowerOfTwo{Rng: xrand.New(2)},
+		NewFlowlet(500 * sim.Microsecond), Redundant{K: 2},
+		NewMPDP(DefaultMPDPConfig()),
+	}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			s := sim.New()
+			lastSeq := make(map[uint64]uint64)
+			violations := 0
+			dp := New(s, engineConfig(4, pol), func(p *packet.Packet) {
+				if last, ok := lastSeq[p.FlowID]; ok && p.Seq <= last {
+					violations++
+				}
+				lastSeq[p.FlowID] = p.Seq
+			})
+			inject(dp, 400, 8, 300*sim.Nanosecond) // oversubscribed: forces queueing
+			if violations != 0 {
+				t.Fatalf("%d in-order violations under %s", violations, pol.Name())
+			}
+			m := dp.Metrics()
+			if m.Delivered() == 0 {
+				t.Fatal("nothing delivered")
+			}
+			if m.Delivered()+m.TotalLost() != m.Offered() {
+				t.Fatalf("conservation: %d + %d != %d", m.Delivered(), m.TotalLost(), m.Offered())
+			}
+		})
+	}
+}
+
+func TestEngineDuplicationDeliversOncePerPacket(t *testing.T) {
+	s := sim.New()
+	seen := make(map[uint64]int)
+	dp := New(s, engineConfig(4, Redundant{K: 2}), func(p *packet.Packet) { seen[p.OrigID]++ })
+	inject(dp, 200, 4, 2*sim.Microsecond)
+	m := dp.Metrics()
+	if m.Delivered() != 200 {
+		t.Fatalf("delivered %d/200", m.Delivered())
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("packet %d delivered %d times", id, n)
+		}
+	}
+	if m.DupCopies() != 200 {
+		t.Fatalf("dup copies %d, want 200 (one extra per packet)", m.DupCopies())
+	}
+	if m.DupOverhead() != 1.0 {
+		t.Fatalf("dup overhead %v, want 1.0", m.DupOverhead())
+	}
+}
+
+func TestEngineDuplicationCancelsQueuedLosers(t *testing.T) {
+	s := sim.New()
+	// Asymmetric paths (lane 1 is 10× slower) + back-to-back arrivals:
+	// losers pile up queued on the slow lane while winners finish on the
+	// fast one, so cancellation has work to do.
+	cfg := Config{
+		NumPaths: 2,
+		ChainFactory: func(i int) *nf.Chain {
+			if i == 0 {
+				return passChain(2 * sim.Microsecond)
+			}
+			return passChain(20 * sim.Microsecond)
+		},
+		Policy:   Redundant{K: 2},
+		QueueCap: 512,
+		Seed:     1,
+	}
+	dp := New(s, cfg, nil)
+	inject(dp, 100, 4, 1*sim.Microsecond)
+	m := dp.Metrics()
+	if m.Delivered() != 100 {
+		t.Fatalf("delivered %d", m.Delivered())
+	}
+	if m.DupCancelled() == 0 {
+		t.Fatal("no queued losers were cancelled")
+	}
+}
+
+func TestEngineTailDropsUnderOverload(t *testing.T) {
+	s := sim.New()
+	cfg := engineConfig(1, SinglePath{})
+	cfg.QueueCap = 8
+	dp := New(s, cfg, nil)
+	// 1µs service, arrivals every 100ns: queue must overflow.
+	inject(dp, 500, 4, 100*sim.Nanosecond)
+	m := dp.Metrics()
+	if m.Drops(packet.DropQueueFull) == 0 {
+		t.Fatal("no tail drops under 10x overload")
+	}
+	if m.Delivered()+m.TotalLost() != m.Offered() {
+		t.Fatal("conservation broken under drops")
+	}
+	if m.DeliveryRate() >= 1 {
+		t.Fatal("delivery rate must fall under overload")
+	}
+}
+
+func TestEnginePolicyDropAccounting(t *testing.T) {
+	s := sim.New()
+	denyAll := nf.NewChain("deny", nf.Func{
+		ElemName: "deny",
+		Fn: func(now sim.Time, p *packet.Packet) nf.Result {
+			p.Dropped = packet.DropPolicy
+			return nf.Result{Verdict: packet.Drop, Cost: 100}
+		},
+	})
+	cfg := Config{
+		NumPaths:     1,
+		ChainFactory: func(i int) *nf.Chain { return denyAll },
+		Policy:       SinglePath{},
+		Seed:         1,
+	}
+	dp := New(s, cfg, nil)
+	inject(dp, 50, 2, sim.Microsecond)
+	m := dp.Metrics()
+	if m.Delivered() != 0 {
+		t.Fatal("deny-all chain delivered packets")
+	}
+	if m.Drops(packet.DropPolicy) != 50 {
+		t.Fatalf("policy drops %d, want 50", m.Drops(packet.DropPolicy))
+	}
+	if m.TotalLost() != 50 {
+		t.Fatalf("lost %d", m.TotalLost())
+	}
+}
+
+func TestEngineDisableReorderDeliversImmediately(t *testing.T) {
+	s := sim.New()
+	cfg := engineConfig(4, &RoundRobin{})
+	cfg.DisableReorder = true
+	outOfOrder := 0
+	lastSeq := make(map[uint64]uint64)
+	first := make(map[uint64]bool)
+	dp := New(s, cfg, func(p *packet.Packet) {
+		if first[p.FlowID] && p.Seq <= lastSeq[p.FlowID] {
+			outOfOrder++
+		}
+		lastSeq[p.FlowID] = p.Seq
+		first[p.FlowID] = true
+		if p.ReorderWait() != 0 {
+			t.Fatal("reorder wait nonzero with reorder disabled")
+		}
+	})
+	// Single flow sprayed round-robin with jitter: reordering expected.
+	cfg2 := cfg
+	_ = cfg2
+	injectJittered(dp, 300, 1)
+	if dp.Metrics().Delivered() != 300 {
+		t.Fatalf("delivered %d", dp.Metrics().Delivered())
+	}
+	if outOfOrder == 0 {
+		t.Log("note: no reordering observed (acceptable but unexpected)")
+	}
+}
+
+// injectJittered offers packets back-to-back with jittered service to
+// provoke reordering.
+func injectJittered(dp *DataPlane, pkts, nFlows int) {
+	s := dp.Sim()
+	for i := 0; i < pkts; i++ {
+		p := flowPkt(uint64(i % nFlows))
+		s.At(sim.Time(i)*200*sim.Nanosecond, func() { dp.Ingress(p) })
+	}
+	s.Run()
+	dp.Flush()
+	s.Run()
+}
+
+func TestEngineReorderMasksSpraying(t *testing.T) {
+	// Same spraying workload as above, WITH the reorder stage: zero
+	// violations, and reorder waits become visible.
+	s := sim.New()
+	cfg := engineConfig(4, &RoundRobin{})
+	cfg.JitterSigma = 0.3
+	violations := 0
+	lastSeq := make(map[uint64]uint64)
+	seenFlow := make(map[uint64]bool)
+	dp := New(s, cfg, func(p *packet.Packet) {
+		if seenFlow[p.FlowID] && p.Seq <= lastSeq[p.FlowID] {
+			violations++
+		}
+		lastSeq[p.FlowID] = p.Seq
+		seenFlow[p.FlowID] = true
+	})
+	injectJittered(dp, 300, 1)
+	if violations != 0 {
+		t.Fatalf("%d order violations with reorder enabled", violations)
+	}
+	st := dp.ReorderStats()
+	if st.OutOfOrder == 0 {
+		t.Fatal("spraying one flow across jittered paths produced no OOO arrivals")
+	}
+}
+
+func TestEngineLatencyComponentsConsistent(t *testing.T) {
+	s := sim.New()
+	var pkts []*packet.Packet
+	dp := New(s, engineConfig(2, JSQ{}), func(p *packet.Packet) { pkts = append(pkts, p) })
+	inject(dp, 100, 4, 500*sim.Nanosecond)
+	for _, p := range pkts {
+		sum := p.QueueWait() + p.ServiceTime() + p.ReorderWait() + (p.Enqueued - p.Ingress)
+		if sum != p.Latency() {
+			t.Fatalf("components %v != latency %v", sum, p.Latency())
+		}
+		if p.Latency() <= 0 {
+			t.Fatal("non-positive latency")
+		}
+	}
+}
+
+func TestEngineDeterministicAcrossRuns(t *testing.T) {
+	run := func() (uint64, int64) {
+		s := sim.New()
+		cfg := engineConfig(4, NewMPDP(DefaultMPDPConfig()))
+		cfg.JitterSigma = 0.2
+		cfg.Interference = vnet.DefaultInterferenceConfig()
+		dp := New(s, cfg, nil)
+		for i := 0; i < 500; i++ {
+			p := flowPkt(uint64(i % 16))
+			s.At(sim.Time(i)*400*sim.Nanosecond, func() { dp.Ingress(p) })
+		}
+		s.RunUntil(sim.Second)
+		dp.Flush()
+		s.RunUntil(2 * sim.Second)
+		return dp.Metrics().Delivered(), dp.Metrics().Latency.Percentile(0.99)
+	}
+	d1, p1 := run()
+	d2, p2 := run()
+	if d1 != d2 || p1 != p2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", d1, p1, d2, p2)
+	}
+}
+
+func TestEngineTimelineRecording(t *testing.T) {
+	s := sim.New()
+	cfg := engineConfig(2, JSQ{})
+	cfg.TimelineWindow = 10 * sim.Microsecond
+	dp := New(s, cfg, nil)
+	inject(dp, 100, 4, sim.Microsecond)
+	if dp.Metrics().Timeline == nil {
+		t.Fatal("timeline not created")
+	}
+	if pts := dp.Metrics().Timeline.Points(); len(pts) < 2 {
+		t.Fatalf("timeline has %d windows", len(pts))
+	}
+}
+
+func TestEngineInterferenceRaisesTail(t *testing.T) {
+	run := func(interfere bool) int64 {
+		s := sim.New()
+		cfg := engineConfig(1, SinglePath{})
+		cfg.JitterSigma = 0.1
+		if interfere {
+			cfg.Interference = vnet.InterferenceConfig{
+				SlowFactor: 6, MeanOn: 50 * sim.Microsecond, MeanOff: 450 * sim.Microsecond,
+			}
+		}
+		dp := New(s, cfg, nil)
+		for i := 0; i < 3000; i++ {
+			p := flowPkt(uint64(i % 8))
+			s.At(sim.Time(i)*2*sim.Microsecond, func() { dp.Ingress(p) })
+		}
+		s.RunUntil(10 * sim.Millisecond)
+		dp.Flush()
+		s.RunUntil(11 * sim.Millisecond)
+		return dp.Metrics().Latency.Percentile(0.99)
+	}
+	clean := run(false)
+	noisy := run(true)
+	if noisy < clean*2 {
+		t.Fatalf("interference p99 %d not clearly above clean %d", noisy, clean)
+	}
+}
+
+func TestEngineMultipathBeatsSinglePathUnderInterference(t *testing.T) {
+	// The paper's headline effect, in miniature: with per-path
+	// interference, 4-path MPDP must cut p99 well below single-path.
+	run := func(n int, pol Policy) int64 {
+		s := sim.New()
+		cfg := Config{
+			NumPaths:     n,
+			ChainFactory: func(i int) *nf.Chain { return passChain(1 * sim.Microsecond) },
+			Policy:       pol,
+			QueueCap:     512,
+			Seed:         7,
+			JitterSigma:  0.1,
+			Interference: vnet.InterferenceConfig{
+				SlowFactor: 8, MeanOn: 100 * sim.Microsecond, MeanOff: 900 * sim.Microsecond,
+			},
+		}
+		dp := New(s, cfg, nil)
+		// Offered load ~50% of one core so a single path is stressed
+		// during slow episodes but not permanently overloaded.
+		for i := 0; i < 5000; i++ {
+			p := flowPkt(uint64(i % 32))
+			s.At(sim.Time(i)*2*sim.Microsecond, func() { dp.Ingress(p) })
+		}
+		s.RunUntil(20 * sim.Millisecond)
+		dp.Flush()
+		s.RunUntil(21 * sim.Millisecond)
+		return dp.Metrics().Latency.Percentile(0.99)
+	}
+	single := run(1, SinglePath{})
+	mpdp := run(4, NewMPDP(DefaultMPDPConfig()))
+	if mpdp >= single {
+		t.Fatalf("MPDP p99 %d not below single-path p99 %d", mpdp, single)
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	s := sim.New()
+	base := engineConfig(1, SinglePath{})
+	cases := map[string]func(){
+		"nil-sim":   func() { New(nil, base, nil) },
+		"zero-path": func() { c := base; c.NumPaths = 0; New(s, c, nil) },
+		"nil-chain": func() { c := base; c.ChainFactory = nil; New(s, c, nil) },
+		"nil-pol":   func() { c := base; c.Policy = nil; New(s, c, nil) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEngineBadPolicyPanics(t *testing.T) {
+	bad := nf.Func{} // placeholder; define inline policies below
+	_ = bad
+	s := sim.New()
+	empty := policyFunc{name: "empty", fn: func(now sim.Time, p *packet.Packet, paths []*PathState) []int { return nil }}
+	dp := New(s, engineConfig(2, empty), nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty pick did not panic")
+			}
+		}()
+		dp.Ingress(flowPkt(1))
+	}()
+
+	oob := policyFunc{name: "oob", fn: func(now sim.Time, p *packet.Packet, paths []*PathState) []int { return []int{9} }}
+	dp2 := New(sim.New(), engineConfig(2, oob), nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range pick did not panic")
+			}
+		}()
+		dp2.Ingress(flowPkt(1))
+	}()
+}
+
+// policyFunc adapts a closure to Policy for tests.
+type policyFunc struct {
+	name string
+	fn   func(now sim.Time, p *packet.Packet, paths []*PathState) []int
+}
+
+func (p policyFunc) Name() string { return p.name }
+func (p policyFunc) Pick(now sim.Time, pk *packet.Packet, paths []*PathState) []int {
+	return p.fn(now, pk, paths)
+}
+
+func TestEngineGoodputAccounting(t *testing.T) {
+	s := sim.New()
+	dp := New(s, engineConfig(2, JSQ{}), nil)
+	inject(dp, 100, 4, sim.Microsecond)
+	m := dp.Metrics()
+	if m.DeliveredBytes() == 0 || m.OfferedBytes() == 0 {
+		t.Fatal("byte accounting missing")
+	}
+	if m.GoodputBps(sim.Second) <= 0 {
+		t.Fatal("goodput not computed")
+	}
+	if m.GoodputBps(0) != 0 {
+		t.Fatal("zero elapsed must yield zero goodput")
+	}
+}
+
+func TestEngineHolePunchOnTailDrop(t *testing.T) {
+	// Queue-full drops must not stall the flow's successors for the
+	// reorder timeout: the engine punches holes synchronously.
+	s := sim.New()
+	cfg := engineConfig(1, SinglePath{})
+	cfg.QueueCap = 4
+	cfg.ReorderTimeout = 10 * sim.Second // a stall would be obvious
+	var worst sim.Duration
+	dp := New(s, cfg, func(p *packet.Packet) {
+		if w := p.ReorderWait(); w > worst {
+			worst = w
+		}
+	})
+	inject(dp, 300, 2, 200*sim.Nanosecond) // 5x overload
+	m := dp.Metrics()
+	if m.Drops(packet.DropQueueFull) == 0 {
+		t.Fatal("expected overload drops")
+	}
+	if st := dp.ReorderStats(); st.HolesPunched == 0 {
+		t.Fatal("no holes punched despite drops")
+	}
+	// Single path delivers in service order; with hole punching no packet
+	// should ever sit in the reorder buffer.
+	if worst != 0 {
+		t.Fatalf("reorder stall of %v despite hole punching", worst)
+	}
+}
+
+func TestEngineDupGroupsDrainToEmpty(t *testing.T) {
+	s := sim.New()
+	dp := New(s, engineConfig(4, Redundant{K: 3}), nil)
+	inject(dp, 300, 8, 500*sim.Nanosecond)
+	if n := len(dp.dups); n != 0 {
+		t.Fatalf("%d dup groups leaked", n)
+	}
+}
+
+func TestEngineTelemetryWindowAgesOutStragglers(t *testing.T) {
+	// A path that was slow early must not be stigmatized forever: after
+	// the slow window passes and two telemetry rotations elapse, the
+	// path's p99 estimate must fall back toward its clean latency.
+	s := sim.New()
+	cfg := engineConfig(1, SinglePath{})
+	cfg.TelemetryWindow = sim.Millisecond
+	cfg.SlowdownFor = func(i int) vnet.Slowdown {
+		return &vnet.ScriptedSlowdown{Windows: []vnet.SlowWindow{
+			{Start: 0, End: 2 * sim.Millisecond, Factor: 50},
+		}}
+	}
+	dp := New(s, cfg, nil)
+	for i := 0; i < 5000; i++ {
+		p := flowPkt(uint64(i % 4))
+		s.At(sim.Time(i)*2*sim.Microsecond, func() { dp.Ingress(p) })
+	}
+	s.RunUntil(2 * sim.Millisecond)
+	inEpisode := dp.Paths()[0].P99Latency()
+	s.RunUntil(12 * sim.Millisecond)
+	after := dp.Paths()[0].P99Latency()
+	if inEpisode < 10*sim.Microsecond {
+		t.Fatalf("episode p99 estimate %v implausibly low", inEpisode)
+	}
+	if after >= inEpisode/2 {
+		t.Fatalf("windowed telemetry did not age out: %v -> %v", inEpisode, after)
+	}
+}
+
+func TestEngineConsumeVerdictAccounting(t *testing.T) {
+	s := sim.New()
+	consume := nf.NewChain("vtep", nf.Func{
+		ElemName: "consume",
+		Fn: func(now sim.Time, p *packet.Packet) nf.Result {
+			return nf.Result{Verdict: packet.Consume, Cost: 100}
+		},
+	})
+	cfg := Config{
+		NumPaths:     2,
+		ChainFactory: func(i int) *nf.Chain { return consume },
+		Policy:       &RoundRobin{},
+		Seed:         1,
+	}
+	delivered := 0
+	dp := New(s, cfg, func(*packet.Packet) { delivered++ })
+	inject(dp, 40, 2, sim.Microsecond)
+	if delivered != 0 {
+		t.Fatal("consumed packets delivered")
+	}
+	m := dp.Metrics()
+	if m.TotalLost() != 0 {
+		t.Fatalf("consumed packets counted as lost: %d", m.TotalLost())
+	}
+	// Successors of consumed packets must not wait in the reorder buffer.
+	if st := dp.ReorderStats(); st.Pending != 0 {
+		t.Fatalf("reorder pending %d after consume", st.Pending)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	s := sim.New()
+	dp := New(s, engineConfig(2, JSQ{}), nil)
+	if dp.Sim() != s {
+		t.Fatal("Sim() accessor")
+	}
+	if dp.PolicyName() != "jsq" {
+		t.Fatalf("PolicyName() = %q", dp.PolicyName())
+	}
+	if len(dp.Paths()) != 2 {
+		t.Fatal("Paths() accessor")
+	}
+	inject(dp, 20, 2, sim.Microsecond)
+	ps := dp.Paths()[0]
+	if ps.ID() != 0 || ps.Sent() == 0 || ps.Completed() == 0 {
+		t.Fatalf("path accessors: id=%d sent=%d done=%d", ps.ID(), ps.Sent(), ps.Completed())
+	}
+}
+
+func TestMPDPDupFractionAccessor(t *testing.T) {
+	m := NewMPDP(DefaultMPDPConfig())
+	if m.DupFraction() != 0 || m.Rerouted() != 0 {
+		t.Fatal("fresh policy counters nonzero")
+	}
+}
+
+// Property: for ANY policy, path count, queue capacity and seed, the engine
+// conserves packets (delivered + lost == offered) and never delivers a
+// flow's packets out of order.
+func TestQuickEngineInvariants(t *testing.T) {
+	mkPolicies := func(rngSeed uint64) []Policy {
+		return []Policy{
+			SinglePath{}, RSSHash{}, &RoundRobin{}, JSQ{},
+			&RandomPick{Rng: xrand.New(rngSeed)},
+			&PowerOfTwo{Rng: xrand.New(rngSeed + 1)},
+			NewFlowlet(100 * sim.Microsecond),
+			NewLetFlow(100*sim.Microsecond, xrand.New(rngSeed+2)),
+			LeastLatency{}, &WeightedRR{},
+			Redundant{K: 2}, NewMPDP(DefaultMPDPConfig()),
+		}
+	}
+	f := func(seed uint64, polRaw, pathsRaw, capRaw uint8) bool {
+		pols := mkPolicies(seed)
+		pol := pols[int(polRaw)%len(pols)]
+		paths := int(pathsRaw%6) + 1
+		qcap := int(capRaw%60) + 4
+
+		s := sim.New()
+		cfg := Config{
+			NumPaths:     paths,
+			ChainFactory: func(i int) *nf.Chain { return passChain(800) },
+			Policy:       pol,
+			QueueCap:     qcap,
+			JitterSigma:  0.2,
+			Seed:         seed,
+		}
+		lastSeq := make(map[uint64]uint64)
+		seen := make(map[uint64]bool)
+		ordered := true
+		dp := New(s, cfg, func(p *packet.Packet) {
+			if seen[p.FlowID] && p.Seq <= lastSeq[p.FlowID] {
+				ordered = false
+			}
+			lastSeq[p.FlowID] = p.Seq
+			seen[p.FlowID] = true
+		})
+		rng := xrand.New(seed ^ 0xabcdef)
+		var at sim.Time
+		for i := 0; i < 250; i++ {
+			at += sim.Duration(rng.Intn(600) + 1)
+			p := flowPkt(uint64(rng.Intn(6)))
+			s.At(at, func() { dp.Ingress(p) })
+		}
+		s.Run()
+		dp.Flush()
+		s.Run()
+		m := dp.Metrics()
+		return ordered && m.Delivered()+m.TotalLost() == m.Offered()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/stats"
+)
+
+// Metrics accumulates everything the experiment suite reads out of a run:
+// the end-to-end latency distribution, its breakdown into queueing, service
+// and reorder components, delivery/drop accounting, and duplication
+// overhead.
+type Metrics struct {
+	// Latency is ingress→in-order-delivery, the paper's headline metric.
+	Latency *stats.Hist
+	// Components of delivered-packet latency.
+	QueueWait   *stats.Hist
+	ServiceTime *stats.Hist
+	ReorderWait *stats.Hist
+
+	// Timeline, non-nil when configured, bins latency by delivery time.
+	Timeline *stats.WindowSeries
+
+	offered        uint64
+	offeredBytes   uint64
+	delivered      uint64
+	deliveredBytes uint64
+	consumed       uint64
+	copiesSent     uint64
+	dupCopies      uint64
+	dupCancelled   uint64
+	drops          map[packet.DropReason]uint64
+}
+
+func newMetrics(timelineWindow sim.Duration) *Metrics {
+	m := &Metrics{
+		Latency:     stats.NewHist(),
+		QueueWait:   stats.NewHist(),
+		ServiceTime: stats.NewHist(),
+		ReorderWait: stats.NewHist(),
+		drops:       make(map[packet.DropReason]uint64),
+	}
+	if timelineWindow > 0 {
+		m.Timeline = stats.NewWindowSeries(int64(timelineWindow))
+	}
+	return m
+}
+
+func (m *Metrics) recordDelivery(p *packet.Packet) {
+	m.delivered++
+	m.deliveredBytes += uint64(p.Size())
+	lat := int64(p.Latency())
+	m.Latency.Record(lat)
+	m.QueueWait.Record(int64(p.QueueWait()))
+	m.ServiceTime.Record(int64(p.ServiceTime()))
+	m.ReorderWait.Record(int64(p.ReorderWait()))
+	if m.Timeline != nil {
+		m.Timeline.Add(int64(p.Delivered), lat)
+	}
+}
+
+// Offered returns distinct packets admitted at ingress.
+func (m *Metrics) Offered() uint64 { return m.offered }
+
+// Delivered returns packets released in order to the guest.
+func (m *Metrics) Delivered() uint64 { return m.delivered }
+
+// DeliveredBytes returns goodput bytes.
+func (m *Metrics) DeliveredBytes() uint64 { return m.deliveredBytes }
+
+// OfferedBytes returns ingress bytes.
+func (m *Metrics) OfferedBytes() uint64 { return m.offeredBytes }
+
+// CopiesSent returns lane enqueues (originals + duplicates).
+func (m *Metrics) CopiesSent() uint64 { return m.copiesSent }
+
+// DupCopies returns extra copies created by duplication.
+func (m *Metrics) DupCopies() uint64 { return m.dupCopies }
+
+// DupCancelled returns duplicate copies cancelled while still queued
+// (i.e. whose service cost was saved).
+func (m *Metrics) DupCancelled() uint64 { return m.dupCancelled }
+
+// Drops returns the count for one drop reason.
+func (m *Metrics) Drops(r packet.DropReason) uint64 { return m.drops[r] }
+
+// TotalLost returns distinct packets that never got delivered: offered
+// minus delivered minus consumed. (Per-reason counters include duplicate
+// copies, so they over-count packet loss; this is the true packet number.)
+func (m *Metrics) TotalLost() uint64 {
+	done := m.delivered + m.consumed
+	if m.offered < done {
+		return 0
+	}
+	return m.offered - done
+}
+
+// DeliveryRate returns delivered/offered.
+func (m *Metrics) DeliveryRate() float64 {
+	if m.offered == 0 {
+		return 0
+	}
+	return float64(m.delivered) / float64(m.offered)
+}
+
+// DupOverhead returns extra copies as a fraction of offered packets.
+func (m *Metrics) DupOverhead() float64 {
+	if m.offered == 0 {
+		return 0
+	}
+	return float64(m.dupCopies) / float64(m.offered)
+}
+
+// GoodputBps returns delivered bits per virtual second over elapsed time.
+func (m *Metrics) GoodputBps(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.deliveredBytes) * 8 / elapsed.Seconds()
+}

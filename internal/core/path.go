@@ -1,0 +1,98 @@
+package core
+
+import (
+	"mpdp/internal/sim"
+	"mpdp/internal/stats"
+	"mpdp/internal/vnet"
+)
+
+// PathState couples a lane with the online telemetry the scheduler reads:
+// an EWMA of per-packet service time (for wait estimation), an EWMA of
+// whole-path latency, and a P² estimator of the path's p99 latency (the
+// tail signal that drives selective duplication).
+type PathState struct {
+	Lane *vnet.Lane
+
+	svcEWMA *stats.EWMA      // mean service time on this path
+	latEWMA *stats.EWMA      // mean path latency (queue wait + service)
+	latP99  *stats.RollingP2 // tail of recent path latency (windowed)
+
+	// Lazy telemetry-window rotation, driven by this path's completions.
+	window     sim.Duration // <=0: cumulative (never rotates)
+	lastRotate sim.Time
+
+	sent      uint64
+	completed uint64
+}
+
+// newPathState wraps a lane with fresh telemetry. alpha is the EWMA
+// smoothing factor; window is the p99 rotation period (0 takes the 5 ms
+// default, negative disables).
+func newPathState(lane *vnet.Lane, alpha float64, window sim.Duration) *PathState {
+	if window == 0 {
+		window = 5 * sim.Millisecond
+	}
+	return &PathState{
+		Lane:    lane,
+		svcEWMA: stats.NewEWMA(alpha),
+		latEWMA: stats.NewEWMA(alpha),
+		latP99:  stats.NewRollingP2(0.99),
+		window:  window,
+	}
+}
+
+// ID returns the lane identifier.
+func (ps *PathState) ID() int { return ps.Lane.ID() }
+
+// Depth returns the lane's instantaneous queue depth (incl. in-service).
+func (ps *PathState) Depth() int { return ps.Lane.QueueDepth() }
+
+// observe feeds a completed packet's lane-local numbers into telemetry and
+// rotates the windowed tail estimate when its period has elapsed.
+func (ps *PathState) observe(now sim.Time, svc, lat sim.Duration) {
+	ps.completed++
+	ps.svcEWMA.Add(float64(svc))
+	ps.latEWMA.Add(float64(lat))
+	if ps.window > 0 && now-ps.lastRotate >= ps.window {
+		ps.latP99.Rotate()
+		ps.lastRotate = now
+	}
+	ps.latP99.Add(float64(lat))
+}
+
+// MeanService returns the estimated per-packet service time, falling back
+// to a conservative default before any observation.
+func (ps *PathState) MeanService() sim.Duration {
+	if !ps.svcEWMA.Set() {
+		return 1 * sim.Microsecond
+	}
+	return sim.Duration(ps.svcEWMA.Value())
+}
+
+// MeanLatency returns the smoothed path latency estimate.
+func (ps *PathState) MeanLatency() sim.Duration {
+	return sim.Duration(ps.latEWMA.Value())
+}
+
+// P99Latency returns the streaming p99 latency estimate for this path.
+func (ps *PathState) P99Latency() sim.Duration {
+	return sim.Duration(ps.latP99.Value())
+}
+
+// EstWait estimates the queueing delay a new arrival would experience on
+// this path right now.
+func (ps *PathState) EstWait() sim.Duration {
+	return ps.Lane.EstWait(ps.MeanService())
+}
+
+// Score is the steering metric: estimated wait plus one expected service.
+// Lower is better.
+func (ps *PathState) Score() sim.Duration {
+	return ps.EstWait() + ps.MeanService()
+}
+
+// Sent returns packets the scheduler assigned to this path.
+func (ps *PathState) Sent() uint64 { return ps.sent }
+
+// Completed returns packets that finished service on this path.
+func (ps *PathState) Completed() uint64 { return ps.completed }

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/xrand"
+)
+
+// Policy decides, per ingress packet, which path(s) it is sent down.
+// Returning more than one index duplicates the packet (the engine clones it
+// and the reorder buffer keeps whichever copy wins).
+//
+// Policies are pure schedulers: the engine owns telemetry updates and
+// duplication mechanics.
+type Policy interface {
+	// Name identifies the policy in tables and CLI flags.
+	Name() string
+	// Pick returns 1..len(paths) distinct path indices for packet p.
+	Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int
+}
+
+// --- Baselines -------------------------------------------------------------
+
+// SinglePath always uses path 0: the conventional single-queue, single-core
+// virtualized data plane (the paper's primary "before" case).
+type SinglePath struct{}
+
+// Name implements Policy.
+func (SinglePath) Name() string { return "single" }
+
+// Pick implements Policy.
+func (SinglePath) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
+	return []int{0}
+}
+
+// RSSHash statically hashes each flow to a path with the NIC's Toeplitz
+// function: the standard multi-queue baseline. Never reorders, never
+// adapts — elephant collisions and slow cores hurt whoever hashed there.
+type RSSHash struct{}
+
+// Name implements Policy.
+func (RSSHash) Name() string { return "rss" }
+
+// Pick implements Policy.
+func (RSSHash) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
+	return []int{packet.RSSQueue(packet.DefaultRSSKey, p.Flow, len(paths))}
+}
+
+// RoundRobin sprays packets across paths per packet: perfect balance,
+// maximal reordering. The classic "why not just spray" strawman.
+type RoundRobin struct{ next int }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "rr" }
+
+// Pick implements Policy.
+func (rr *RoundRobin) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
+	i := rr.next % len(paths)
+	rr.next++
+	return []int{i}
+}
+
+// RandomPick sends each packet to a uniformly random path.
+type RandomPick struct{ Rng *xrand.Rand }
+
+// Name implements Policy.
+func (*RandomPick) Name() string { return "random" }
+
+// Pick implements Policy.
+func (rp *RandomPick) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
+	return []int{rp.Rng.Intn(len(paths))}
+}
+
+// JSQ joins the shortest queue (by instantaneous depth) per packet.
+type JSQ struct{}
+
+// Name implements Policy.
+func (JSQ) Name() string { return "jsq" }
+
+// Pick implements Policy.
+func (JSQ) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
+	best, bestDepth := 0, paths[0].Depth()
+	for i := 1; i < len(paths); i++ {
+		if d := paths[i].Depth(); d < bestDepth {
+			best, bestDepth = i, d
+		}
+	}
+	return []int{best}
+}
+
+// PowerOfTwo samples two random paths and picks the shallower: near-JSQ
+// balance at O(1) state, the standard randomized load-balancing result.
+type PowerOfTwo struct{ Rng *xrand.Rand }
+
+// Name implements Policy.
+func (*PowerOfTwo) Name() string { return "po2" }
+
+// Pick implements Policy.
+func (p2 *PowerOfTwo) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
+	if len(paths) == 1 {
+		return []int{0}
+	}
+	a := p2.Rng.Intn(len(paths))
+	b := p2.Rng.Intn(len(paths) - 1)
+	if b >= a {
+		b++
+	}
+	if paths[b].Depth() < paths[a].Depth() {
+		return []int{b}
+	}
+	return []int{a}
+}
+
+// --- The MPDP policies ------------------------------------------------------
+
+// Flowlet steers at flowlet granularity: packets of a flow arriving within
+// Timeout of the previous one stay on the flow's current path (no
+// reordering inside a burst); after an idle gap the flow is re-steered to
+// the path with the lowest Score. This is the adaptive half of the
+// multipath data plane.
+type Flowlet struct {
+	// Timeout is the idle gap that ends a flowlet. Must exceed the
+	// typical path-latency skew to keep reordering negligible; 500 µs
+	// is the suite default.
+	Timeout sim.Duration
+
+	table map[uint64]*flowletEntry
+}
+
+type flowletEntry struct {
+	path     int
+	lastSeen sim.Time
+}
+
+// NewFlowlet returns a flowlet-switching policy with the given idle gap.
+func NewFlowlet(timeout sim.Duration) *Flowlet {
+	if timeout < 0 {
+		panic("core: NewFlowlet with negative timeout")
+	}
+	return &Flowlet{Timeout: timeout, table: make(map[uint64]*flowletEntry)}
+}
+
+// Steer overrides the flow's current path assignment (used by MPDP's
+// emergency reroute when the assigned path degrades mid-flowlet).
+func (f *Flowlet) Steer(flowID uint64, path int, now sim.Time) {
+	e, ok := f.table[flowID]
+	if !ok {
+		e = &flowletEntry{}
+		f.table[flowID] = e
+	}
+	e.path, e.lastSeen = path, now
+}
+
+// Name implements Policy.
+func (f *Flowlet) Name() string { return "flowlet" }
+
+// Pick implements Policy.
+func (f *Flowlet) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
+	e, ok := f.table[p.FlowID]
+	if ok && now-e.lastSeen <= f.Timeout {
+		e.lastSeen = now
+		if e.path < len(paths) {
+			return []int{e.path}
+		}
+	}
+	best := bestScore(paths)
+	if !ok {
+		e = &flowletEntry{}
+		f.table[p.FlowID] = e
+	}
+	e.path, e.lastSeen = best, now
+	return []int{best}
+}
+
+// bestScore returns the index of the lowest-Score path (ties to the lowest
+// index, keeping runs deterministic).
+func bestScore(paths []*PathState) int {
+	best, bestScore := 0, paths[0].Score()
+	for i := 1; i < len(paths); i++ {
+		if s := paths[i].Score(); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// secondBest returns the index of the second-lowest-Score path (!= first).
+func secondBest(paths []*PathState, first int) int {
+	best := -1
+	var bestScore sim.Duration
+	for i := range paths {
+		if i == first {
+			continue
+		}
+		if s := paths[i].Score(); best == -1 || s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best == -1 {
+		return first
+	}
+	return best
+}
+
+// Redundant duplicates every packet to the K best paths; the first copy to
+// finish wins and the engine cancels queued siblings. Maximal tail
+// protection, maximal overhead — the upper bound of the duplication axis.
+type Redundant struct {
+	// K is the number of copies (>= 2).
+	K int
+}
+
+// Name implements Policy.
+func (r Redundant) Name() string { return "dup-all" }
+
+// Pick implements Policy.
+func (r Redundant) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
+	k := r.K
+	if k < 2 {
+		k = 2
+	}
+	if k > len(paths) {
+		k = len(paths)
+	}
+	first := bestScore(paths)
+	out := []int{first}
+	used := map[int]bool{first: true}
+	for len(out) < k {
+		next, nextScore := -1, sim.Duration(0)
+		for i := range paths {
+			if used[i] {
+				continue
+			}
+			if s := paths[i].Score(); next == -1 || s < nextScore {
+				next, nextScore = i, s
+			}
+		}
+		if next == -1 {
+			break
+		}
+		used[next] = true
+		out = append(out, next)
+	}
+	return out
+}
+
+// MPDPConfig tunes the full multipath policy.
+type MPDPConfig struct {
+	// FlowletTimeout is the idle gap ending a flowlet (default 500 µs).
+	FlowletTimeout sim.Duration
+	// DupThreshold triggers duplication when the chosen path is
+	// *unpredictable*: its observed p99 latency exceeds DupThreshold × its
+	// mean latency (default 8). A path with a tight latency distribution
+	// never duplicates no matter how loaded — queue depth is handled by
+	// steering and rerouting; duplication guards against the slowdowns
+	// telemetry cannot see coming (interference striking mid-service).
+	DupThreshold float64
+	// DupBudget caps duplicated packets as a fraction of ingress
+	// (default 0.25): bounds overhead so duplication cannot collapse
+	// throughput at high load.
+	DupBudget float64
+	// ClassAware restricts duplication to latency-sensitive packets
+	// (classifier-stamped TOS), when true.
+	ClassAware bool
+	// RerouteThreshold triggers an emergency mid-flowlet reroute when the
+	// assigned path's estimated wait exceeds RerouteThreshold × its mean
+	// service time AND another path is at least 2× better. This accepts a
+	// small reordering cost to escape a path that degraded under the
+	// flow's feet (default 4; 0 disables).
+	RerouteThreshold float64
+}
+
+// DefaultMPDPConfig returns the suite defaults.
+func DefaultMPDPConfig() MPDPConfig {
+	return MPDPConfig{
+		FlowletTimeout:   500 * sim.Microsecond,
+		DupThreshold:     8,
+		DupBudget:        0.25,
+		RerouteThreshold: 4,
+	}
+}
+
+// MPDP is the paper's full policy: flowlet-adaptive steering, emergency
+// mid-flowlet rerouting away from degraded paths, and tail-aware selective
+// duplication under a budget.
+type MPDP struct {
+	cfg     MPDPConfig
+	flowlet *Flowlet
+
+	picked     uint64
+	duplicated uint64
+	rerouted   uint64
+}
+
+// NewMPDP builds the full policy.
+func NewMPDP(cfg MPDPConfig) *MPDP {
+	if cfg.FlowletTimeout <= 0 {
+		cfg.FlowletTimeout = 500 * sim.Microsecond
+	}
+	if cfg.DupThreshold <= 0 {
+		cfg.DupThreshold = 8
+	}
+	if cfg.DupBudget < 0 {
+		cfg.DupBudget = 0
+	}
+	return &MPDP{cfg: cfg, flowlet: NewFlowlet(cfg.FlowletTimeout)}
+}
+
+// Name implements Policy.
+func (m *MPDP) Name() string { return "mpdp" }
+
+// Pick implements Policy.
+func (m *MPDP) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
+	m.picked++
+	choice := m.flowlet.Pick(now, p, paths)
+	if len(paths) == 1 {
+		return choice
+	}
+	first := choice[0]
+
+	// Emergency reroute: the flowlet's path degraded under it and a much
+	// better path exists. Move the whole flow (the reorder stage absorbs
+	// the one-time skew).
+	if m.cfg.RerouteThreshold > 0 {
+		cur := paths[first]
+		wait := cur.EstWait()
+		if wait > sim.Duration(m.cfg.RerouteThreshold*float64(cur.MeanService())) {
+			alt := bestScore(paths)
+			if alt != first && 2*paths[alt].Score() < cur.Score() {
+				m.rerouted++
+				m.flowlet.Steer(p.FlowID, alt, now)
+				first = alt
+			}
+		}
+	}
+
+	if !m.shouldDuplicate(p, paths[first]) {
+		return []int{first}
+	}
+	second := secondBest(paths, first)
+	// Duplicate only onto spare capacity: a copy sent to a busy path adds
+	// pressure exactly when the system is congested (the dup-all
+	// pathology, quantified in E7/E12). A nearly idle twin path serves
+	// the copy for free.
+	if second == first || paths[second].Depth() > 1 {
+		return []int{first}
+	}
+	m.duplicated++
+	return []int{first, second}
+}
+
+// Rerouted reports how many packets triggered an emergency reroute.
+func (m *MPDP) Rerouted() uint64 { return m.rerouted }
+
+// shouldDuplicate applies the unpredictability trigger, class filter, and
+// budget: duplicate when the chosen path has recently exhibited straggler
+// behaviour (observed p99 latency ≫ nominal service time) — visible queue
+// depth is already handled by steering/rerouting, so this fires exactly for
+// the slowdowns the scheduler cannot route around preemptively.
+func (m *MPDP) shouldDuplicate(p *packet.Packet, chosen *PathState) bool {
+	if m.cfg.DupBudget == 0 {
+		return false
+	}
+	// Budget check first: duplicated so far must stay under budget.
+	if float64(m.duplicated) >= m.cfg.DupBudget*float64(m.picked) {
+		return false
+	}
+	if m.cfg.ClassAware && latencyClassOf(p) != classLatencySensitive {
+		return false
+	}
+	base := chosen.MeanLatency()
+	if svc := chosen.MeanService(); base < svc {
+		base = svc
+	}
+	trigger := sim.Duration(m.cfg.DupThreshold * float64(base))
+	return chosen.P99Latency() > trigger
+}
+
+// DupFraction reports the fraction of packets the policy duplicated.
+func (m *MPDP) DupFraction() float64 {
+	if m.picked == 0 {
+		return 0
+	}
+	return float64(m.duplicated) / float64(m.picked)
+}
+
+// Latency class plumbing: read the classifier's DSCP stamp without
+// importing nf (core must not depend on specific elements).
+const classLatencySensitive = 1 // mirrors nf.ClassLatencySensitive
+
+func latencyClassOf(p *packet.Packet) int {
+	pr, err := packet.ParseFrame(p.Data)
+	if err != nil || !pr.IsIP {
+		return 0
+	}
+	return int(pr.IP.TOS >> 2)
+}

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpdp/internal/sim"
+)
+
+// CheckShapes runs a fast battery of the suite's headline qualitative
+// claims and returns a list of violations (empty = all shapes hold). It is
+// the CLI-facing twin of the TestHeadlineShapes test: something a user can
+// run after modifying the data plane to see whether the paper's story
+// still stands on their machine.
+func CheckShapes(opts SuiteOpts) ([]string, error) {
+	opts.fill()
+	var bad []string
+	seed := opts.Seed + 4
+
+	// 1. Motivation: interference inflates the single-path tail far more
+	//    than the median.
+	clean, err := Run(RunConfig{
+		Seed: seed, NumPaths: 1, Policy: "single", Util: 0.5,
+		Interference: "none", Duration: 10 * sim.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := Run(RunConfig{
+		Seed: seed, NumPaths: 1, Policy: "single", Util: 0.5,
+		Interference: "heavy", Duration: 10 * sim.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tailBlow := float64(noisy.Latency.P99) / float64(clean.Latency.P99)
+	medBlow := float64(noisy.Latency.P50) / float64(clean.Latency.P50)
+	if tailBlow < 5 {
+		bad = append(bad, fmt.Sprintf("E1 shape: heavy-interference tail blowup only %.1fx (want >= 5x)", tailBlow))
+	}
+	if medBlow > tailBlow/2 {
+		bad = append(bad, fmt.Sprintf("E1 shape: median blowup %.1fx not well below tail blowup %.1fx", medBlow, tailBlow))
+	}
+
+	// 2. Headline: mpdp p99 well below rss at 70% load.
+	rss, err := RunSeeds(RunConfig{
+		Seed: seed, Policy: "rss", Util: 0.7, Interference: "moderate",
+		Duration: 10 * sim.Millisecond,
+	}, 3)
+	if err != nil {
+		return nil, err
+	}
+	mpdp, err := RunSeeds(RunConfig{
+		Seed: seed, Policy: "mpdp", Util: 0.7, Interference: "moderate",
+		Duration: 10 * sim.Millisecond,
+	}, 3)
+	if err != nil {
+		return nil, err
+	}
+	if MeanP99Micros(mpdp) >= MeanP99Micros(rss)/1.5 {
+		bad = append(bad, fmt.Sprintf("E2 shape: mpdp p99 %.1fus not well below rss %.1fus",
+			MeanP99Micros(mpdp), MeanP99Micros(rss)))
+	}
+
+	// 3. Duplication discipline: dup-all ~100% overhead; mpdp within budget.
+	dupAll, err := Run(RunConfig{
+		Seed: seed, Policy: "dup-all", Util: 0.8, Interference: "moderate",
+		Duration: 8 * sim.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if dupAll.DupOverhead < 0.99 {
+		bad = append(bad, fmt.Sprintf("E7 shape: dup-all overhead %.2f (want ~1.0)", dupAll.DupOverhead))
+	}
+	budgeted, err := Run(RunConfig{
+		Seed: seed, Policy: "mpdp", Util: 0.8, Interference: "moderate",
+		Duration: 8 * sim.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if budgeted.DupOverhead > 0.26 {
+		bad = append(bad, fmt.Sprintf("E7 shape: mpdp dup overhead %.2f exceeds the 25%% budget", budgeted.DupOverhead))
+	}
+
+	// 4. Ordering discipline: rss never reorders; in-order delivery holds.
+	if f := rss[0].Reorder.OOOFraction(); f != 0 {
+		bad = append(bad, fmt.Sprintf("E8 shape: rss OOO fraction %.4f != 0", f))
+	}
+
+	// 5. Conservation: nothing is silently lost.
+	for _, r := range mpdp {
+		if r.Delivered+r.Lost != r.Offered {
+			bad = append(bad, fmt.Sprintf("accounting: delivered %d + lost %d != offered %d",
+				r.Delivered, r.Lost, r.Offered))
+		}
+	}
+	return bad, nil
+}

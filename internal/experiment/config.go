@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadConfig reads a RunConfig from a JSON file. Durations are plain
+// nanosecond integers (virtual time), e.g.:
+//
+//	{
+//	  "Seed": 7,
+//	  "NumPaths": 4,
+//	  "Policy": "mpdp",
+//	  "Util": 0.7,
+//	  "Interference": "moderate",
+//	  "Duration": 50000000
+//	}
+//
+// Unknown fields are rejected so typos in experiment configs fail loudly
+// instead of silently taking defaults.
+func LoadConfig(path string) (RunConfig, error) {
+	var cfg RunConfig
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, fmt.Errorf("experiment: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("experiment: parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// SaveConfig writes a RunConfig as indented JSON, for seeding new
+// experiment files from a known-good configuration.
+func SaveConfig(path string, cfg RunConfig) error {
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

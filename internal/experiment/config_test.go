@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpdp/internal/sim"
+	"mpdp/internal/trace"
+	"mpdp/internal/workload"
+	"mpdp/internal/xrand"
+)
+
+func TestConfigSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	want := RunConfig{
+		Seed: 9, NumPaths: 8, ChainLen: 5, Policy: "flowlet",
+		Util: 0.65, Arrival: "onoff", BurstDuty: 0.2,
+		Interference: "heavy", Qdisc: "drr",
+		Duration: 12 * sim.Millisecond,
+	}
+	if err := SaveConfig(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != want.Seed || got.Policy != want.Policy || got.Duration != want.Duration ||
+		got.Qdisc != want.Qdisc || got.BurstDuty != want.BurstDuty {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// The loaded config must actually run.
+	if _, err := Run(got); err != nil {
+		t.Fatalf("loaded config does not run: %v", err)
+	}
+}
+
+func TestLoadConfigRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"Polcy": "mpdp"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(path); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestLoadConfigMissingFile(t *testing.T) {
+	if _, err := LoadConfig("/nonexistent/run.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	// Record a short synthetic trace, then run the data plane on it.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(3)
+	gen := workload.NewTraffic(workload.TrafficConfig{
+		Arrival: workload.NewPoisson(rng.Split(), 2000),
+		Size:    workload.IMIX{Rng: rng.Split()},
+		Flows:   16,
+		Rng:     rng.Split(),
+	})
+	var now sim.Time
+	const pkts = 2000
+	for i := 0; i < pkts; i++ {
+		now += 2000
+		if err := w.Write(now, gen.NextPacket().Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := Run(RunConfig{Seed: 1, Policy: "mpdp", TraceFile: path, Interference: "moderate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offered != pkts {
+		t.Fatalf("offered %d, want %d", r.Offered, pkts)
+	}
+	if r.Delivered == 0 || r.Latency.Count == 0 {
+		t.Fatal("trace run produced no measurements")
+	}
+}
+
+func TestRunFromTraceDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.trc")
+	f, _ := os.Create(path)
+	w, _ := trace.NewWriter(f)
+	rng := xrand.New(8)
+	gen := workload.NewTraffic(workload.TrafficConfig{
+		Arrival: workload.CBR{Gap: 1500},
+		Size:    workload.Fixed{Bytes: 400},
+		Flows:   8,
+		Rng:     rng,
+	})
+	var now sim.Time
+	for i := 0; i < 1000; i++ {
+		now += 1500
+		w.Write(now, gen.NextPacket().Data)
+	}
+	w.Flush()
+	f.Close()
+
+	cfg := RunConfig{Seed: 4, Policy: "jsq", TraceFile: path, Interference: "light"}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency.P99 != b.Latency.P99 || a.Delivered != b.Delivered {
+		t.Fatal("trace replay not deterministic")
+	}
+}

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunMany executes independent run configurations concurrently on a worker
+// pool and returns results in input order. Each Run owns a private
+// simulator and RNG stream, so results are bit-identical to serial
+// execution — parallelism changes wall-clock time only.
+//
+// workers <= 0 uses GOMAXPROCS.
+func RunMany(cfgs []RunConfig, workers int) ([]RunResult, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+
+	results := make([]RunResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+	jobs := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// seedConfigs expands one configuration into `seeds` variants with
+// decorrelated seeds (the same expansion RunSeeds uses).
+func seedConfigs(cfg RunConfig, seeds int) []RunConfig {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	out := make([]RunConfig, seeds)
+	for i := 0; i < seeds; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*1_000_003
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure as an ASCII chart: one glyph per curve, y
+// log-scaled when the data spans more than two decades (latency figures
+// always do). Intended for terminal inspection; the Render data block
+// remains the precise output.
+func (f *Figure) Plot(w io.Writer, width, height int) {
+	if width < 30 {
+		width = 72
+	}
+	if height < 8 {
+		height = 20
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			points++
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if points == 0 {
+		fmt.Fprintf(w, "(%s: no data)\n", f.Name)
+		return
+	}
+	logY := minY > 0 && maxY/math.Max(minY, 1e-9) > 100
+	yOf := func(v float64) float64 {
+		if logY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	loY, hiY := yOf(math.Max(minY, 1e-9)), yOf(math.Max(maxY, 1e-9))
+	if hiY == loY {
+		hiY = loY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for ci, c := range f.Curves {
+		g := glyphs[ci%len(glyphs)]
+		for _, p := range c.Points {
+			x := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			yv := yOf(math.Max(p.Y, 1e-9))
+			y := int((yv - loY) / (hiY - loY) * float64(height-1))
+			row := height - 1 - y
+			if row >= 0 && row < height && x >= 0 && x < width {
+				grid[row][x] = g
+			}
+		}
+	}
+
+	scale := "linear"
+	if logY {
+		scale = "log"
+	}
+	fmt.Fprintf(w, "-- %s: %s [y %s] --\n", f.Name, f.Title, scale)
+	yLabel := func(row int) string {
+		frac := float64(height-1-row) / float64(height-1)
+		v := loY + frac*(hiY-loY)
+		if logY {
+			v = math.Pow(10, v)
+		}
+		return fmt.Sprintf("%10.2f", v)
+	}
+	for row := 0; row < height; row++ {
+		label := strings.Repeat(" ", 10)
+		if row == 0 || row == height-1 || row == height/2 {
+			label = yLabel(row)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[row]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*s%s\n", strings.Repeat(" ", 10), width-len(trimFloat(maxX)), trimFloat(minX), trimFloat(maxX))
+	legend := make([]string, 0, len(f.Curves))
+	for ci, c := range f.Curves {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[ci%len(glyphs)], c.Label))
+	}
+	fmt.Fprintf(w, "%s  x=%s y=%s   %s\n", strings.Repeat(" ", 10), f.XLabel, f.YLabel, strings.Join(legend, " "))
+}

@@ -1,0 +1,225 @@
+// Package experiment is MPDP's evaluation harness: a registry of named
+// experiments (E1–E12), each of which configures workload + data plane,
+// runs them in virtual time, and emits the table or figure it reproduces
+// as aligned ASCII and as CSV.
+//
+// See DESIGN.md §4 for the experiment index and the source-text mismatch
+// notice explaining why the suite is reconstructed rather than copied from
+// figure numbers.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a curve.
+type Point struct {
+	X, Y float64
+}
+
+// Curve is one labelled line of a figure.
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is the reproduction of one paper figure: multiple curves over a
+// shared x axis.
+type Figure struct {
+	Name   string // e.g. "E2"
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []Curve
+}
+
+// Table is the reproduction of one paper table.
+type Table struct {
+	Name    string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Result is everything an experiment produced.
+type Result struct {
+	ID      string
+	Title   string
+	Figures []Figure
+	Tables  []Table
+	Notes   []string
+}
+
+// Render writes the result as human-readable ASCII.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for i := range r.Tables {
+		fmt.Fprintln(w)
+		r.Tables[i].Render(w)
+	}
+	for i := range r.Figures {
+		fmt.Fprintln(w)
+		r.Figures[i].Render(w)
+	}
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "-- %s: %s --\n", t.Name, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// Render writes the figure as a column-per-curve data block: one x column
+// plus one y column per curve, aligned, ready for plotting.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "-- %s: %s --\n", f.Name, f.Title)
+	fmt.Fprintf(w, "   x = %s, y = %s\n", f.XLabel, f.YLabel)
+	// Merge x values across curves.
+	xsSet := map[float64]bool{}
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	cols := []string{f.XLabel}
+	for _, c := range f.Curves {
+		cols = append(cols, c.Label)
+	}
+	tab := Table{Name: f.Name, Title: "data", Columns: cols}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, c := range f.Curves {
+			cell := ""
+			for _, p := range c.Points {
+				if p.X == x {
+					cell = trimFloat(p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	// Render just the data block (skip the table header line).
+	widths := make([]int, len(tab.Columns))
+	for i, c := range tab.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range tab.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(tab.Columns)
+	for _, row := range tab.Rows {
+		line(row)
+	}
+}
+
+// trimFloat formats a float compactly (no trailing zeros).
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// CSV writes the result's tables and figures as CSV blocks.
+func (r *Result) CSV(w io.Writer) {
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "# table,%s,%s\n", t.Name, csvEscape(t.Title))
+		fmt.Fprintln(w, strings.Join(mapEsc(t.Columns), ","))
+		for _, row := range t.Rows {
+			fmt.Fprintln(w, strings.Join(mapEsc(row), ","))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, f := range r.Figures {
+		fmt.Fprintf(w, "# figure,%s,%s\n", f.Name, csvEscape(f.Title))
+		for _, c := range f.Curves {
+			fmt.Fprintf(w, "curve,%s\n", csvEscape(c.Label))
+			for _, p := range c.Points {
+				fmt.Fprintf(w, "%s,%s\n", trimFloat(p.X), trimFloat(p.Y))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func mapEsc(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = csvEscape(s)
+	}
+	return out
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

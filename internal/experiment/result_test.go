@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tab := Table{
+		Name: "T1", Title: "demo",
+		Columns: []string{"policy", "p99"},
+		Rows:    [][]string{{"rss", "123.4"}, {"mpdp", "7.0"}},
+	}
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "T1: demo") {
+		t.Fatalf("missing header: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "rss ") {
+		t.Fatalf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestFigureRenderMergesX(t *testing.T) {
+	fig := Figure{
+		Name: "F1", Title: "demo", XLabel: "x", YLabel: "y",
+		Curves: []Curve{
+			{Label: "a", Points: []Point{{1, 10}, {2, 20}}},
+			{Label: "b", Points: []Point{{2, 200}, {3, 300}}},
+		},
+	}
+	var b strings.Builder
+	fig.Render(&b)
+	out := b.String()
+	for _, want := range []string{"F1: demo", "a", "b", "300"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+	// x=2 row must contain both 20 and 200.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "2 ") && strings.Contains(line, "20") && strings.Contains(line, "200") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("merged x row missing: %q", out)
+	}
+}
+
+func TestResultRenderAndCSV(t *testing.T) {
+	res := Result{
+		ID: "EX", Title: "example",
+		Notes:  []string{"a note"},
+		Tables: []Table{{Name: "T", Title: "t", Columns: []string{"c"}, Rows: [][]string{{"v"}}}},
+		Figures: []Figure{{
+			Name: "F", Title: "f", XLabel: "x", YLabel: "y",
+			Curves: []Curve{{Label: "l", Points: []Point{{1, 2}}}},
+		}},
+	}
+	var b strings.Builder
+	res.Render(&b)
+	for _, want := range []string{"EX: example", "a note", "T: t", "F: f"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+	var c strings.Builder
+	res.CSV(&c)
+	for _, want := range []string{"# table,T,t", "# figure,F,f", "curve,l", "1,2"} {
+		if !strings.Contains(c.String(), want) {
+			t.Fatalf("csv missing %q in %q", want, c.String())
+		}
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"a,b":        `"a,b"`,
+		`say "hi"`:   `"say ""hi"""`,
+		"multi\nrow": "\"multi\nrow\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		2.0:    "2",
+		0.1234: "0.1234",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPolicyNamesAndFactory(t *testing.T) {
+	names := PolicyNames()
+	if len(names) < 9 {
+		t.Fatalf("only %d policies registered", len(names))
+	}
+	for _, n := range names {
+		p, err := NewPolicy(n, rngForTest(), PolicyParams{})
+		if err != nil {
+			t.Fatalf("NewPolicy(%s): %v", n, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("policy %s has empty name", n)
+		}
+	}
+	if _, err := NewPolicy("bogus", rngForTest(), PolicyParams{}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestFigurePlot(t *testing.T) {
+	fig := Figure{
+		Name: "P", Title: "plot", XLabel: "x", YLabel: "y",
+		Curves: []Curve{
+			{Label: "a", Points: []Point{{1, 1}, {2, 1000}}},
+			{Label: "b", Points: []Point{{1, 500}, {2, 2}}},
+		},
+	}
+	var b strings.Builder
+	fig.Plot(&b, 40, 10)
+	out := b.String()
+	if !strings.Contains(out, "[y log]") {
+		t.Fatal("3-decade spread did not switch to log scale")
+	}
+	for _, want := range []string{"*=a", "+=b", "x=x y=y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "*") < 2 {
+		t.Fatal("curve a glyphs missing")
+	}
+}
+
+func TestFigurePlotEmpty(t *testing.T) {
+	fig := Figure{Name: "E", Title: "empty"}
+	var b strings.Builder
+	fig.Plot(&b, 40, 10) // must not panic
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty plot not flagged")
+	}
+}
+
+func TestFigurePlotLinearScale(t *testing.T) {
+	fig := Figure{
+		Name: "L", Title: "lin", XLabel: "x", YLabel: "y",
+		Curves: []Curve{{Label: "a", Points: []Point{{0, 10}, {1, 20}, {2, 30}}}},
+	}
+	var b strings.Builder
+	fig.Plot(&b, 40, 10)
+	if !strings.Contains(b.String(), "[y linear]") {
+		t.Fatal("narrow spread did not stay linear")
+	}
+}

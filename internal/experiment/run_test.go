@@ -1,0 +1,275 @@
+package experiment
+
+import (
+	"testing"
+
+	"mpdp/internal/sim"
+	"mpdp/internal/vnet"
+	"mpdp/internal/xrand"
+)
+
+func rngForTest() *xrand.Rand { return xrand.New(99) }
+
+// quickCfg is a small, fast run used across these tests.
+func quickCfg() RunConfig {
+	return RunConfig{
+		Seed: 1, Policy: "mpdp", Util: 0.6,
+		Interference: "moderate",
+		Duration:     4 * sim.Millisecond,
+	}
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	r, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offered == 0 || r.Delivered == 0 {
+		t.Fatalf("empty run: %+v", r)
+	}
+	if r.Delivered+r.Lost != r.Offered {
+		t.Fatalf("conservation: %d+%d != %d", r.Delivered, r.Lost, r.Offered)
+	}
+	s := r.Latency
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999) {
+		t.Fatalf("percentiles unordered: %+v", s)
+	}
+	if s.P50 <= 0 {
+		t.Fatal("non-positive median")
+	}
+	if len(r.CDF) == 0 {
+		t.Fatal("no CDF")
+	}
+	if r.GoodputGbps <= 0 {
+		t.Fatal("no goodput")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	a, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency.P99 != b.Latency.P99 || a.Delivered != b.Delivered {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v",
+			a.Latency.P99, a.Delivered, b.Latency.P99, b.Delivered)
+	}
+	c := quickCfg()
+	c.Seed = 2
+	d, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Latency.P99 == a.Latency.P99 && d.Delivered == a.Delivered {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestRunAllArrivals(t *testing.T) {
+	for _, arr := range []string{"poisson", "cbr", "onoff", "mmpp"} {
+		cfg := quickCfg()
+		cfg.Arrival = arr
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", arr, err)
+		}
+		if r.Delivered == 0 {
+			t.Fatalf("%s delivered nothing", arr)
+		}
+	}
+}
+
+func TestRunAllSizeDists(t *testing.T) {
+	for _, sd := range []string{"imix", "pareto", "fixed:256"} {
+		cfg := quickCfg()
+		cfg.SizeDist = sd
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%s: %v", sd, err)
+		}
+	}
+}
+
+func TestRunAllInterferenceLevels(t *testing.T) {
+	var prevP99 int64
+	for _, level := range []string{"none", "light", "moderate", "heavy"} {
+		cfg := quickCfg()
+		cfg.Policy = "single"
+		cfg.NumPaths = 1
+		cfg.Util = 0.5
+		cfg.Interference = level
+		cfg.Duration = 8 * sim.Millisecond
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		if level != "none" && r.Latency.P99 < prevP99/2 {
+			t.Fatalf("p99 fell sharply from %d to %d at level %s", prevP99, r.Latency.P99, level)
+		}
+		prevP99 = r.Latency.P99
+	}
+}
+
+func TestRunRejectsUnknownConfig(t *testing.T) {
+	bad := []RunConfig{
+		{Policy: "nope"},
+		{Arrival: "nope"},
+		{SizeDist: "nope"},
+		{Interference: "nope"},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunScriptedSlowdown(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Interference = "none"
+	cfg.SlowdownFor = func(i int) vnet.Slowdown {
+		if i == 0 {
+			return &vnet.ScriptedSlowdown{Windows: []vnet.SlowWindow{
+				{Start: 0, End: 100 * sim.Second, Factor: 10},
+			}}
+		}
+		return nil
+	}
+	cfg.TimelineWindow = sim.Millisecond
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Timeline) == 0 {
+		t.Fatal("timeline missing")
+	}
+}
+
+func TestRunSeedsAveraging(t *testing.T) {
+	rs, err := RunSeeds(quickCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	if rs[0].Latency.P99 == rs[1].Latency.P99 && rs[1].Latency.P99 == rs[2].Latency.P99 {
+		t.Fatal("seeds not varied")
+	}
+	if MeanP99Micros(rs) <= 0 {
+		t.Fatal("mean p99 not computed")
+	}
+	if MeanP99Micros(nil) != 0 {
+		t.Fatal("empty mean not zero")
+	}
+}
+
+func TestRunWarmupFiltering(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Warmup = cfg.Duration * 9 / 10 // keep only the last 10%
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency.Count == 0 {
+		t.Fatal("warmup filtered everything")
+	}
+	if r.Latency.Count >= r.Delivered {
+		t.Fatal("warmup filtered nothing")
+	}
+}
+
+func TestRunManyMatchesSerial(t *testing.T) {
+	cfgs := seedConfigs(quickCfg(), 4)
+	par, err := RunMany(cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		ser, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].Latency.P99 != ser.Latency.P99 || par[i].Delivered != ser.Delivered {
+			t.Fatalf("parallel result %d differs from serial", i)
+		}
+	}
+}
+
+func TestRunManyEmpty(t *testing.T) {
+	rs, err := RunMany(nil, 0)
+	if err != nil || rs != nil {
+		t.Fatalf("empty RunMany: %v %v", rs, err)
+	}
+}
+
+func TestRunManyPropagatesError(t *testing.T) {
+	if _, err := RunMany([]RunConfig{{Policy: "nope"}}, 2); err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestRunQdiscVariants(t *testing.T) {
+	for _, q := range []string{"fifo", "prio", "drr"} {
+		cfg := quickCfg()
+		cfg.Qdisc = q
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if r.Delivered == 0 {
+			t.Fatalf("%s delivered nothing", q)
+		}
+	}
+	cfg := quickCfg()
+	cfg.Qdisc = "nope"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown qdisc accepted")
+	}
+}
+
+func TestRunClassAccounting(t *testing.T) {
+	cfg := quickCfg()
+	cfg.BulkFraction = 0.3
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ingress classification stamps port-80 flows latency-sensitive and
+	// high-port flows bulk; both classes must be populated.
+	if r.ClassCount[1] == 0 {
+		t.Fatal("no latency-sensitive packets accounted")
+	}
+	if r.ClassCount[2] == 0 {
+		t.Fatal("no bulk packets accounted")
+	}
+	if r.ClassP99[1] <= 0 || r.ClassP99[2] <= 0 {
+		t.Fatal("class p99 not computed")
+	}
+}
+
+func TestRunPriorityProtectsLatencyClass(t *testing.T) {
+	// Under bulk pressure at high load, strict priority must cut the
+	// latency class's p99 versus FIFO on the same seed.
+	base := RunConfig{
+		Seed: 11, Policy: "rss", Util: 0.85, BulkFraction: 0.4,
+		Interference: "none", Duration: 10 * sim.Millisecond,
+	}
+	fifo, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio := base
+	prio.Qdisc = "prio"
+	p, err := Run(prio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ClassP99[1] >= fifo.ClassP99[1] {
+		t.Fatalf("priority lat-class p99 %.1f not below FIFO %.1f",
+			p.ClassP99[1], fifo.ClassP99[1])
+	}
+}

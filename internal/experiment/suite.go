@@ -1,0 +1,646 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"mpdp/internal/core"
+	"mpdp/internal/nf"
+	"mpdp/internal/sim"
+	"mpdp/internal/stats"
+	"mpdp/internal/vnet"
+	"mpdp/internal/workload"
+	"mpdp/internal/xrand"
+)
+
+// SuiteOpts controls a whole-experiment invocation.
+type SuiteOpts struct {
+	// Seed is the base seed (default 1).
+	Seed uint64
+	// Seeds is the number of independent repetitions averaged per point
+	// (default 2).
+	Seeds int
+	// Quick shrinks horizons and repetitions for smoke runs.
+	Quick bool
+}
+
+func (o *SuiteOpts) fill() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 2
+	}
+	if o.Quick {
+		o.Seeds = 1
+	}
+}
+
+func (o SuiteOpts) duration(normal sim.Duration) sim.Duration {
+	if o.Quick {
+		return normal / 5
+	}
+	return normal
+}
+
+// ExpFunc runs one experiment.
+type ExpFunc func(opts SuiteOpts) (*Result, error)
+
+// Registry maps experiment IDs to implementations.
+var Registry = map[string]ExpFunc{
+	"E1":  E1Motivation,
+	"E2":  E2LoadSweep,
+	"E3":  E3LatencyCDF,
+	"E4":  E4PathSweep,
+	"E5":  E5Burstiness,
+	"E6":  E6Incast,
+	"E7":  E7Overhead,
+	"E8":  E8ReorderCost,
+	"E9":  E9ChainLength,
+	"E10": E10Breakdown,
+	"E11": E11Timeline,
+	"E12": E12Ablation,
+}
+
+// IDs returns the registered experiment IDs in suite order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// sampleCDF thins a CDF to at most n points, keeping the tail dense.
+func sampleCDF(cdf []stats.CDFPoint, n int) []Point {
+	if len(cdf) == 0 {
+		return nil
+	}
+	out := make([]Point, 0, n)
+	step := len(cdf) / n
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(cdf); i += step {
+		p := cdf[i]
+		out = append(out, Point{X: float64(p.Value) / 1000, Y: p.Frac})
+		// Keep every point once past p99: the tail is what matters.
+		if p.Frac > 0.99 {
+			for j := i + 1; j < len(cdf); j++ {
+				out = append(out, Point{X: float64(cdf[j].Value) / 1000, Y: cdf[j].Frac})
+			}
+			return out
+		}
+	}
+	last := cdf[len(cdf)-1]
+	out = append(out, Point{X: float64(last.Value) / 1000, Y: last.Frac})
+	return out
+}
+
+// E1Motivation — "the last mile matters": a conventional single-path data
+// plane at half load, under increasing noisy-neighbor intensity. The median
+// barely moves; the p99/p99.9 blow up by an order of magnitude.
+func E1Motivation(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E1",
+		Title: "Motivation: single-path tail latency vs interference intensity",
+		Notes: []string{
+			"expected shape: median roughly flat across intensities; p99 grows multiples (tail blow-up)",
+		},
+	}
+	fig := Figure{Name: "E1", Title: "latency CDF, single path @50% load", XLabel: "latency_us", YLabel: "cum_frac"}
+	tab := Table{
+		Name: "E1t", Title: "latency percentiles (us)",
+		Columns: []string{"interference", "p50", "p90", "p99", "p99.9"},
+	}
+	for _, level := range []string{"none", "light", "moderate", "heavy"} {
+		merged := stats.NewHist()
+		for seed := 0; seed < opts.Seeds; seed++ {
+			r, err := Run(RunConfig{
+				Seed: opts.Seed + uint64(seed)*7919, NumPaths: 1, Policy: "single",
+				Util: 0.5, Interference: level,
+				Duration: opts.duration(40 * sim.Millisecond),
+			})
+			if err != nil {
+				return nil, err
+			}
+			mergeSummaryInto(merged, r)
+		}
+		sum := merged.Summarize()
+		fig.Curves = append(fig.Curves, Curve{Label: level, Points: sampleCDF(merged.CDF(), 30)})
+		tab.Rows = append(tab.Rows, []string{
+			level, us(sum.P50), us(sum.P90), us(sum.P99), us(sum.P999),
+		})
+	}
+	res.Figures = append(res.Figures, fig)
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}
+
+// mergeSummaryInto replays a run's CDF into a merged histogram. The CDF is
+// bucket-resolution, which is exactly what the histogram stores anyway.
+func mergeSummaryInto(h *stats.Hist, r RunResult) {
+	var prev uint64
+	total := r.Latency.Count
+	for _, p := range r.CDF {
+		cum := uint64(p.Frac * float64(total))
+		for i := prev; i < cum; i++ {
+			h.Record(p.Value)
+		}
+		prev = cum
+	}
+}
+
+func us(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1000) }
+
+// E2LoadSweep — p99 latency vs offered load for each policy, 4 paths,
+// moderate interference.
+func E2LoadSweep(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E2",
+		Title: "p99 latency vs offered load (4 paths, moderate interference)",
+		Notes: []string{
+			"expected shape: static policies (rss) diverge first; adaptive multipath (flowlet/mpdp) holds the tail flat longest; mpdp lowest at mid-high load",
+		},
+	}
+	fig := Figure{Name: "E2", Title: "p99 vs load", XLabel: "load", YLabel: "p99_us"}
+	policies := []string{"rss", "rr", "jsq", "po2", "flowlet", "mpdp"}
+	loads := []float64{0.3, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+	// The whole grid (policy × load × seed) runs on one worker pool.
+	var cfgs []RunConfig
+	for _, pol := range policies {
+		for _, load := range loads {
+			cfgs = append(cfgs, seedConfigs(RunConfig{
+				Seed: opts.Seed, Policy: pol, Util: load,
+				Interference: "moderate",
+				Duration:     opts.duration(30 * sim.Millisecond),
+			}, opts.Seeds)...)
+		}
+	}
+	results, err := RunMany(cfgs, 0)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, pol := range policies {
+		curve := Curve{Label: pol}
+		for _, load := range loads {
+			rs := results[i : i+opts.Seeds]
+			i += opts.Seeds
+			curve.Points = append(curve.Points, Point{X: load, Y: MeanP99Micros(rs)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	res.Figures = append(res.Figures, fig)
+	return res, nil
+}
+
+// E3LatencyCDF — full latency CDF at 70% load for the headline policies.
+func E3LatencyCDF(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E3",
+		Title: "latency CDF @ 70% load (4 paths, moderate interference)",
+		Notes: []string{
+			"expected shape: all medians similar; rss/rr tails longest, mpdp tail shortest; dup-all good tail but see E7 for its cost",
+		},
+	}
+	fig := Figure{Name: "E3", Title: "latency CDF @ 0.7 load", XLabel: "latency_us", YLabel: "cum_frac"}
+	for _, pol := range []string{"rss", "rr", "flowlet", "dup-all", "mpdp"} {
+		merged := stats.NewHist()
+		for seed := 0; seed < opts.Seeds; seed++ {
+			r, err := Run(RunConfig{
+				Seed: opts.Seed + uint64(seed)*7919, Policy: pol, Util: 0.7,
+				Interference: "moderate",
+				Duration:     opts.duration(30 * sim.Millisecond),
+			})
+			if err != nil {
+				return nil, err
+			}
+			mergeSummaryInto(merged, r)
+		}
+		fig.Curves = append(fig.Curves, Curve{Label: pol, Points: sampleCDF(merged.CDF(), 30)})
+	}
+	res.Figures = append(res.Figures, fig)
+	return res, nil
+}
+
+// E4PathSweep — p99 vs number of paths at fixed relative load.
+func E4PathSweep(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E4",
+		Title: "p99 latency vs number of paths (60% load, moderate interference)",
+		Notes: []string{
+			"expected shape: both improve with paths; mpdp gains most of its win by 4 paths (diminishing returns); gap vs rss persists at every width",
+		},
+	}
+	fig := Figure{Name: "E4", Title: "p99 vs paths", XLabel: "paths", YLabel: "p99_us"}
+	for _, pol := range []string{"rss", "jsq", "mpdp"} {
+		curve := Curve{Label: pol}
+		for _, n := range []int{1, 2, 3, 4, 6, 8} {
+			rs, err := RunSeeds(RunConfig{
+				Seed: opts.Seed, Policy: pol, NumPaths: n, Util: 0.6,
+				Interference: "moderate",
+				Duration:     opts.duration(30 * sim.Millisecond),
+			}, opts.Seeds)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, Point{X: float64(n), Y: MeanP99Micros(rs)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	res.Figures = append(res.Figures, fig)
+	return res, nil
+}
+
+// E5Burstiness — p99 vs workload burstiness at a fixed mean rate.
+func E5Burstiness(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E5",
+		Title: "p99 latency vs burstiness (ON/OFF arrivals, 60% mean load)",
+		Notes: []string{
+			"x = peak-to-mean ratio (1 = smooth CBR-like). expected shape: static hashing degrades steeply with burstiness; mpdp absorbs bursts via path diversity",
+		},
+	}
+	fig := Figure{Name: "E5", Title: "p99 vs burst intensity", XLabel: "peak_to_mean", YLabel: "p99_us"}
+	duties := []float64{1.0, 0.5, 0.2, 0.1, 0.05}
+	for _, pol := range []string{"rss", "jsq", "mpdp"} {
+		curve := Curve{Label: pol}
+		for _, duty := range duties {
+			cfg := RunConfig{
+				Seed: opts.Seed, Policy: pol, Util: 0.6,
+				Interference: "light",
+				Duration:     opts.duration(30 * sim.Millisecond),
+			}
+			if duty >= 1 {
+				cfg.Arrival = "poisson"
+			} else {
+				cfg.Arrival = "onoff"
+				cfg.BurstDuty = duty
+			}
+			rs, err := RunSeeds(cfg, opts.Seeds)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, Point{X: 1 / duty, Y: MeanP99Micros(rs)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	res.Figures = append(res.Figures, fig)
+	return res, nil
+}
+
+// E6Incast — p99 flow completion time of incast responses vs fan-in.
+func E6Incast(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E6",
+		Title: "incast: p99 response FCT vs fan-in (20KB responses, 4 paths)",
+		Notes: []string{
+			"expected shape: FCT grows with fan-in for all; rss suffers hash collisions onto one lane; mpdp spreads each burst, keeping p99 a small multiple of the ideal",
+		},
+	}
+	fig := Figure{Name: "E6", Title: "p99 FCT vs fan-in", XLabel: "fanin", YLabel: "p99_fct_us"}
+	fanins := []int{4, 8, 16, 32, 64}
+	for _, pol := range []string{"rss", "jsq", "mpdp"} {
+		curve := Curve{Label: pol}
+		for _, fanin := range fanins {
+			var sum float64
+			for seed := 0; seed < opts.Seeds; seed++ {
+				p99, err := runIncast(opts.Seed+uint64(seed)*7919, pol, fanin, opts)
+				if err != nil {
+					return nil, err
+				}
+				sum += p99
+			}
+			curve.Points = append(curve.Points, Point{X: float64(fanin), Y: sum / float64(opts.Seeds)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	res.Figures = append(res.Figures, fig)
+	return res, nil
+}
+
+// runIncast runs one incast configuration and returns p99 FCT in µs.
+func runIncast(seed uint64, policyName string, fanin int, opts SuiteOpts) (float64, error) {
+	rng := xrand.New(seed)
+	policy, err := NewPolicy(policyName, rng.Split(), PolicyParams{})
+	if err != nil {
+		return 0, err
+	}
+	s := sim.New()
+	epochs := 60
+	if opts.Quick {
+		epochs = 15
+	}
+	ic := workload.NewIncast(workload.IncastConfig{
+		Fanin: fanin, Response: 20_000,
+		Epoch: 500 * sim.Microsecond, Epochs: epochs,
+		PacketGap: 300 * sim.Nanosecond,
+		Rng:       rng.Split(),
+	})
+	dp := core.New(s, core.Config{
+		NumPaths:     4,
+		ChainFactory: func(i int) *nf.Chain { return nf.PresetChain(3) },
+		Policy:       policy,
+		JitterSigma:  0.15,
+		Interference: vnet.DefaultInterferenceConfig(),
+		Seed:         seed,
+	}, ic.Tracker.OnDeliver)
+	ic.Run(s, dp.Ingress)
+	horizon := sim.Duration(epochs+40) * 500 * sim.Microsecond
+	s.RunUntil(horizon)
+	dp.Flush()
+	s.RunUntil(horizon + 5*sim.Millisecond)
+	if ic.Tracker.ShortFCT.Count() == 0 {
+		return 0, fmt.Errorf("incast: no completed responses (fanin %d, policy %s)", fanin, policyName)
+	}
+	return float64(ic.Tracker.ShortFCT.Percentile(0.99)) / 1000, nil
+}
+
+// E7Overhead — the throughput/duplication cost table at 80% load.
+func E7Overhead(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E7",
+		Title: "throughput and duplication overhead @ 80% load (4 paths, moderate interference)",
+		Notes: []string{
+			"expected shape: dup-all pays ~100% extra copies and loses goodput/deliveries at this load; mpdp's budgeted duplication stays under ~25% with near-best p99",
+		},
+	}
+	tab := Table{
+		Name: "E7t", Title: "per-policy cost",
+		Columns: []string{"policy", "goodput_gbps", "delivery_%", "dup_overhead_%", "dup_cancelled", "p50_us", "p99_us"},
+	}
+	for _, pol := range []string{"rss", "rr", "jsq", "flowlet", "dup-all", "mpdp"} {
+		rs, err := RunSeeds(RunConfig{
+			Seed: opts.Seed, Policy: pol, Util: 0.8,
+			Interference: "moderate",
+			Duration:     opts.duration(30 * sim.Millisecond),
+		}, opts.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		var goodput, delivery, dup, p50, p99 float64
+		var cancelled uint64
+		for _, r := range rs {
+			goodput += r.GoodputGbps
+			delivery += r.DeliveryRate * 100
+			dup += r.DupOverhead * 100
+			cancelled += r.DupCancelled
+			p50 += float64(r.Latency.P50) / 1000
+			p99 += float64(r.Latency.P99) / 1000
+		}
+		n := float64(len(rs))
+		tab.Rows = append(tab.Rows, []string{
+			pol,
+			fmt.Sprintf("%.3f", goodput/n),
+			fmt.Sprintf("%.2f", delivery/n),
+			fmt.Sprintf("%.1f", dup/n),
+			fmt.Sprintf("%d", cancelled/uint64(len(rs))),
+			fmt.Sprintf("%.1f", p50/n),
+			fmt.Sprintf("%.1f", p99/n),
+		})
+	}
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}
+
+// E8ReorderCost — the reordering cost table at 70% load.
+func E8ReorderCost(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E8",
+		Title: "reordering cost @ 70% load (4 paths, moderate interference)",
+		Notes: []string{
+			"expected shape: rr reorders heavily (per-packet spraying); flowlet/mpdp keep OOO% low; rss never reorders by construction",
+		},
+	}
+	tab := Table{
+		Name: "E8t", Title: "reorder-buffer behaviour",
+		Columns: []string{"policy", "ooo_%", "max_occupancy", "reorder_wait_p99_us", "timeout_fires", "late_drops", "dup_drops"},
+	}
+	for _, pol := range []string{"rss", "rr", "random", "jsq", "flowlet", "dup-all", "mpdp"} {
+		rs, err := RunSeeds(RunConfig{
+			Seed: opts.Seed, Policy: pol, Util: 0.7,
+			Interference: "moderate",
+			Duration:     opts.duration(30 * sim.Millisecond),
+		}, opts.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		var ooo, wait float64
+		var occ, fires, late, dup uint64
+		for _, r := range rs {
+			ooo += r.Reorder.OOOFraction() * 100
+			wait += r.ReorderWaitP99 / 1000
+			occ += uint64(r.Reorder.MaxOccupancy)
+			fires += r.Reorder.TimeoutFires
+			late += r.Reorder.LateDrops
+			dup += r.Reorder.DupDrops
+		}
+		n := float64(len(rs))
+		un := uint64(len(rs))
+		tab.Rows = append(tab.Rows, []string{
+			pol,
+			fmt.Sprintf("%.2f", ooo/n),
+			fmt.Sprintf("%d", occ/un),
+			fmt.Sprintf("%.1f", wait/n),
+			fmt.Sprintf("%d", fires/un),
+			fmt.Sprintf("%d", late/un),
+			fmt.Sprintf("%d", dup/un),
+		})
+	}
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}
+
+// E9ChainLength — p99 vs SFC length.
+func E9ChainLength(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E9",
+		Title: "p99 latency vs SFC length (70% load, 4 paths, moderate interference)",
+		Notes: []string{
+			"expected shape: longer chains raise base service time; the absolute mpdp-vs-rss gap widens with chain length (more service time exposed to stragglers)",
+		},
+	}
+	fig := Figure{Name: "E9", Title: "p99 vs chain length", XLabel: "chain_len", YLabel: "p99_us"}
+	for _, pol := range []string{"rss", "mpdp"} {
+		curve := Curve{Label: pol}
+		for n := 1; n <= 6; n++ {
+			rs, err := RunSeeds(RunConfig{
+				Seed: opts.Seed, Policy: pol, ChainLen: n, Util: 0.7,
+				Interference: "moderate",
+				Duration:     opts.duration(25 * sim.Millisecond),
+			}, opts.Seeds)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, Point{X: float64(n), Y: MeanP99Micros(rs)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	res.Figures = append(res.Figures, fig)
+	return res, nil
+}
+
+// E10Breakdown — where delivered-packet latency goes, per policy.
+func E10Breakdown(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E10",
+		Title: "latency breakdown @ 70% load (4 paths, moderate interference)",
+		Notes: []string{
+			"expected shape: queueing dominates the tail for static policies; mpdp trades a little reorder wait for much less queueing",
+		},
+	}
+	tab := Table{
+		Name: "E10t", Title: "latency components (us)",
+		Columns: []string{"policy", "queue_mean", "queue_p99", "service_mean", "service_p99", "reorder_mean", "reorder_p99", "total_p99"},
+	}
+	for _, pol := range []string{"rss", "rr", "jsq", "flowlet", "mpdp"} {
+		rs, err := RunSeeds(RunConfig{
+			Seed: opts.Seed, Policy: pol, Util: 0.7,
+			Interference: "moderate",
+			Duration:     opts.duration(30 * sim.Millisecond),
+		}, opts.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		var qm, qp, sm, sp, rm, rp, tp float64
+		for _, r := range rs {
+			qm += r.QueueWaitMean / 1000
+			qp += r.QueueWaitP99 / 1000
+			sm += r.ServiceMean / 1000
+			sp += r.ServiceP99 / 1000
+			rm += r.ReorderWaitMean / 1000
+			rp += r.ReorderWaitP99 / 1000
+			tp += float64(r.Latency.P99) / 1000
+		}
+		n := float64(len(rs))
+		f := func(v float64) string { return fmt.Sprintf("%.2f", v/n) }
+		tab.Rows = append(tab.Rows, []string{pol, f(qm), f(qp), f(sm), f(sp), f(rm), f(rp), f(tp)})
+	}
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}
+
+// E11Timeline — adaptivity: p99 per 2 ms window across a scripted
+// interference burst hitting half the paths.
+func E11Timeline(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E11",
+		Title: "adaptivity timeline: scripted 8x slowdown on paths 0-1 during [20ms,30ms)",
+		Notes: []string{
+			"expected shape: rss p99 spikes for the whole burst (hashed flows are stuck); mpdp spikes briefly then re-steers flowlets to clean paths",
+		},
+	}
+	fig := Figure{Name: "E11", Title: "windowed p99 over time", XLabel: "t_ms", YLabel: "p99_us"}
+	burst := func(i int) vnet.Slowdown {
+		if i <= 1 {
+			return &vnet.ScriptedSlowdown{Windows: []vnet.SlowWindow{
+				{Start: 20 * sim.Millisecond, End: 30 * sim.Millisecond, Factor: 8},
+			}}
+		}
+		return nil
+	}
+	for _, pol := range []string{"rss", "mpdp"} {
+		r, err := Run(RunConfig{
+			Seed: opts.Seed, Policy: pol, Util: 0.6,
+			SlowdownFor:    burst,
+			TimelineWindow: 2 * sim.Millisecond,
+			Duration:       opts.duration(50 * sim.Millisecond),
+			Warmup:         1, // timeline wants the whole run
+		})
+		if err != nil {
+			return nil, err
+		}
+		curve := Curve{Label: pol}
+		for _, wp := range r.Timeline {
+			curve.Points = append(curve.Points, Point{
+				X: float64(wp.Start) / 1e6,
+				Y: float64(wp.Hist.Percentile(0.99)) / 1000,
+			})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	res.Figures = append(res.Figures, fig)
+	return res, nil
+}
+
+// E12Ablation — which MPDP design choices matter.
+func E12Ablation(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E12",
+		Title: "ablation of MPDP design choices @ 75% load (4 paths, moderate interference)",
+		Notes: []string{
+			"expected shape: per-packet steering (timeout 0) reorders heavily; per-flow (timeout inf) adapts too slowly; no duplication loses tail; unlimited duplication costs overhead",
+		},
+	}
+	tab := Table{
+		Name: "E12t", Title: "MPDP variants",
+		Columns: []string{"variant", "p50_us", "p99_us", "dup_overhead_%", "ooo_%", "delivery_%"},
+	}
+	type variant struct {
+		name string
+		cfg  func(c *RunConfig)
+	}
+	variants := []variant{
+		{"mpdp (default)", func(c *RunConfig) {}},
+		{"flowlet timeout 0 (per-packet)", func(c *RunConfig) { c.FlowletTimeout = 1 }},
+		{"flowlet timeout 100us", func(c *RunConfig) { c.FlowletTimeout = 100 * sim.Microsecond }},
+		{"flowlet timeout inf (per-flow)", func(c *RunConfig) { c.FlowletTimeout = 1000 * sim.Second }},
+		{"no duplication", func(c *RunConfig) { c.Policy = "mpdp-nodup" }},
+		{"dup budget 100%", func(c *RunConfig) { c.DupBudget = 1.0 }},
+		{"dup threshold 2 (eager)", func(c *RunConfig) { c.DupThreshold = 2 }},
+		{"dup threshold 32 (timid)", func(c *RunConfig) { c.DupThreshold = 32 }},
+		{"class-aware duplication", func(c *RunConfig) { c.ClassAware = true }},
+		{"no reorder stage", func(c *RunConfig) { c.DisableReorder = true }},
+	}
+	for _, v := range variants {
+		cfg := RunConfig{
+			Seed: opts.Seed, Policy: "mpdp", Util: 0.75,
+			Interference: "moderate",
+			Duration:     opts.duration(30 * sim.Millisecond),
+		}
+		v.cfg(&cfg)
+		rs, err := RunSeeds(cfg, opts.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		var p50, p99, dup, ooo, del float64
+		for _, r := range rs {
+			p50 += float64(r.Latency.P50) / 1000
+			p99 += float64(r.Latency.P99) / 1000
+			dup += r.DupOverhead * 100
+			ooo += r.Reorder.OOOFraction() * 100
+			del += r.DeliveryRate * 100
+		}
+		n := float64(len(rs))
+		tab.Rows = append(tab.Rows, []string{
+			v.name,
+			fmt.Sprintf("%.1f", p50/n),
+			fmt.Sprintf("%.1f", p99/n),
+			fmt.Sprintf("%.1f", dup/n),
+			fmt.Sprintf("%.2f", ooo/n),
+			fmt.Sprintf("%.2f", del/n),
+		})
+	}
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpdp/internal/core"
+	"mpdp/internal/nf"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/stats"
+	"mpdp/internal/vnet"
+	"mpdp/internal/workload"
+	"mpdp/internal/xrand"
+)
+
+func init() {
+	Registry["E17"] = E17HashAttack
+}
+
+// E17HashAttack — robustness: an adversary crafts flows that all collide
+// onto RSS queue 0 (an algorithmic-complexity attack on static hashing).
+// The aggregate rate is a modest 50% of one core's capacity times four —
+// i.e. harmless if spread, fatal if concentrated.
+func E17HashAttack(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E17",
+		Title: "adversarial RSS-collision flows @ 50% aggregate load (4 paths)",
+		Notes: []string{
+			"all flows crafted to Toeplitz-hash onto queue 0; same packet rate as a benign mix",
+			"expected shape: rss collapses (one core takes 4x its capacity, three idle); any feedback-driven policy is indifferent to the crafted tuples",
+		},
+	}
+	tab := Table{
+		Name: "E17t", Title: "under collision attack",
+		Columns: []string{"policy", "delivery_%", "p50_us", "p99_us", "busiest_lane_share_%"},
+	}
+	for _, pol := range []string{"rss", "rr", "jsq", "flowlet", "mpdp"} {
+		var del, p50, p99, share float64
+		for seed := 0; seed < opts.Seeds; seed++ {
+			r, err := runHashAttack(opts.Seed+uint64(seed)*7919, pol, opts)
+			if err != nil {
+				return nil, err
+			}
+			del += r[0]
+			p50 += r[1]
+			p99 += r[2]
+			share += r[3]
+		}
+		n := float64(opts.Seeds)
+		tab.Rows = append(tab.Rows, []string{
+			pol,
+			fmt.Sprintf("%.2f", del/n),
+			fmt.Sprintf("%.1f", p50/n),
+			fmt.Sprintf("%.1f", p99/n),
+			fmt.Sprintf("%.1f", share/n),
+		})
+	}
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}
+
+// runHashAttack returns [delivery%, p50us, p99us, busiestLaneShare%].
+func runHashAttack(seed uint64, policyName string, opts SuiteOpts) ([4]float64, error) {
+	var out [4]float64
+	rng := xrand.New(seed)
+	policy, err := NewPolicy(policyName, rng.Split(), PolicyParams{})
+	if err != nil {
+		return out, err
+	}
+	s := sim.New()
+
+	sizes := workload.IMIX{Rng: rng.Split()}
+	meanCost := workload.MeanServiceCost(nf.PresetChain(3), sizes, rng.Split(), 300)
+	gap := sim.Duration(float64(meanCost+150) / (0.5 * 4))
+	traffic := workload.NewCollisionTraffic(
+		workload.NewPoisson(rng.Split(), gap), sizes, rng.Split(),
+		64, 4, 0)
+
+	measured := stats.NewHist()
+	dp := core.New(s, core.Config{
+		NumPaths:     4,
+		ChainFactory: func(i int) *nf.Chain { return nf.PresetChain(3) },
+		Policy:       policy,
+		JitterSigma:  0.15,
+		Interference: vnet.DefaultInterferenceConfig(),
+		Seed:         seed,
+	}, func(p *packet.Packet) { measured.Record(int64(p.Latency())) })
+
+	horizon := opts.duration(25 * sim.Millisecond)
+	traffic.Run(s, dp.Ingress, horizon)
+	s.RunUntil(horizon + 15*sim.Millisecond)
+	dp.Flush()
+	s.RunUntil(horizon + 17*sim.Millisecond)
+
+	m := dp.Metrics()
+	out[0] = m.DeliveryRate() * 100
+	out[1] = float64(measured.Percentile(0.50)) / 1000
+	out[2] = float64(measured.Percentile(0.99)) / 1000
+	var total, max uint64
+	for _, ps := range dp.Paths() {
+		served := ps.Lane.Stats().Served
+		total += served
+		if served > max {
+			max = served
+		}
+	}
+	if total > 0 {
+		out[3] = float64(max) / float64(total) * 100
+	}
+	return out, nil
+}

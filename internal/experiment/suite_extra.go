@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpdp/internal/core"
+	"mpdp/internal/nf"
+	"mpdp/internal/sim"
+	"mpdp/internal/vnet"
+	"mpdp/internal/workload"
+	"mpdp/internal/xrand"
+)
+
+func init() {
+	Registry["E13"] = E13FlowFCT
+	Registry["E14"] = E14QueueCapacity
+	Registry["E15"] = E15ClassIsolation
+}
+
+// E15ClassIsolation — is priority queueing an alternative to multipath, or
+// a complement? Latency-sensitive traffic shares the data plane with bulk
+// flows under FIFO, strict-priority, and DRR disciplines, crossed with
+// static RSS vs MPDP steering.
+func E15ClassIsolation(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E15",
+		Title: "class isolation: qdisc x steering @ 80% load, 40% bulk traffic",
+		Notes: []string{
+			"expected shape: priority queueing protects the latency class from bulk HoL blocking but not from interference (slow cores hit all bands); multipath fixes interference but not HoL; the combination wins",
+		},
+	}
+	tab := Table{
+		Name: "E15t", Title: "latency-sensitive-class p99 (us)",
+		Columns: []string{"policy", "qdisc", "lat_class_p99", "bulk_class_p99", "delivery_%"},
+	}
+	var cfgs []RunConfig
+	type cell struct{ pol, q string }
+	var cells []cell
+	for _, pol := range []string{"rss", "mpdp"} {
+		for _, q := range []string{"fifo", "prio", "drr"} {
+			cells = append(cells, cell{pol, q})
+			cfgs = append(cfgs, seedConfigs(RunConfig{
+				Seed: opts.Seed, Policy: pol, Util: 0.8, Qdisc: q,
+				Interference: "moderate",
+				// Heavier bulk share to create head-of-line pressure.
+				BulkFraction: 0.4,
+				SizeDist:     "imix", FlowSkew: 1.0,
+				Duration: opts.duration(30 * sim.Millisecond),
+			}, opts.Seeds)...)
+		}
+	}
+	results, err := RunMany(cfgs, 0)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, c := range cells {
+		rs := results[i : i+opts.Seeds]
+		i += opts.Seeds
+		var lat, bulk, del float64
+		for _, r := range rs {
+			lat += r.ClassP99[1]  // nf.ClassLatencySensitive
+			bulk += r.ClassP99[2] // nf.ClassBulk
+			del += r.DeliveryRate * 100
+		}
+		n := float64(len(rs))
+		tab.Rows = append(tab.Rows, []string{
+			c.pol, c.q,
+			fmt.Sprintf("%.1f", lat/n),
+			fmt.Sprintf("%.1f", bulk/n),
+			fmt.Sprintf("%.2f", del/n),
+		})
+	}
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}
+
+// E13FlowFCT — flow completion times under the canonical web-search flow
+// size distribution: mice FCT is the latency-sensitive metric, elephants
+// measure bandwidth fairness.
+func E13FlowFCT(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E13",
+		Title: "flow completion time, web-search flow sizes (4 paths, moderate interference)",
+		Notes: []string{
+			"expected shape: mpdp cuts short-flow (mice) p99 FCT well below rss; long-flow FCT differs little (elephants are bandwidth-bound, not tail-bound)",
+		},
+	}
+	tab := Table{
+		Name: "E13t", Title: "FCT by flow class (us)",
+		Columns: []string{"policy", "short_p50", "short_p99", "long_p50", "long_p99", "completed_%"},
+	}
+	for _, pol := range []string{"rss", "jsq", "letflow", "mpdp"} {
+		var sp50, sp99, lp50, lp99, comp float64
+		for seed := 0; seed < opts.Seeds; seed++ {
+			r, err := runFlowFCT(opts.Seed+uint64(seed)*7919, pol, opts)
+			if err != nil {
+				return nil, err
+			}
+			sp50 += r[0]
+			sp99 += r[1]
+			lp50 += r[2]
+			lp99 += r[3]
+			comp += r[4]
+		}
+		n := float64(opts.Seeds)
+		tab.Rows = append(tab.Rows, []string{
+			pol,
+			fmt.Sprintf("%.1f", sp50/n), fmt.Sprintf("%.1f", sp99/n),
+			fmt.Sprintf("%.1f", lp50/n), fmt.Sprintf("%.1f", lp99/n),
+			fmt.Sprintf("%.2f", comp/n),
+		})
+	}
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}
+
+// runFlowFCT runs one flow-level workload and returns
+// [shortP50, shortP99, longP50, longP99, completed%] in µs / percent.
+func runFlowFCT(seed uint64, policyName string, opts SuiteOpts) ([5]float64, error) {
+	var out [5]float64
+	rng := xrand.New(seed)
+	policy, err := NewPolicy(policyName, rng.Split(), PolicyParams{})
+	if err != nil {
+		return out, err
+	}
+	s := sim.New()
+
+	sizes := workload.WebSearch(rng.Split())
+	// Calibrate flow arrival rate to ~60% utilization of 4 paths:
+	// packets/flow × per-packet cost × flow rate = 0.6 × 4.
+	meanCost := float64(workload.MeanServiceCost(nf.PresetChain(3), workload.Fixed{Bytes: 1500}, rng.Split(), 100) + 150)
+	pktsPerFlow := sizes.Mean() / 1458 // MTU payload
+	flowGap := sim.Duration(pktsPerFlow * meanCost / (0.6 * 4))
+
+	fw := workload.NewFlowWorkload(workload.FlowConfig{
+		MeanGap:   flowGap,
+		Sizes:     sizes,
+		PacketGap: 500 * sim.Nanosecond,
+		Rng:       rng.Split(),
+	})
+	dp := core.New(s, core.Config{
+		NumPaths:     4,
+		ChainFactory: func(i int) *nf.Chain { return nf.PresetChain(3) },
+		Policy:       policy,
+		JitterSigma:  0.15,
+		Interference: vnet.DefaultInterferenceConfig(),
+		Seed:         seed,
+		QueueCap:     2048, // elephants burst thousands of packets
+	}, fw.Tracker.OnDeliver)
+
+	horizon := opts.duration(60 * sim.Millisecond)
+	fw.Run(s, dp.Ingress, horizon)
+	// Elephants keep emitting past the horizon; allow a long drain.
+	s.RunUntil(horizon + 100*sim.Millisecond)
+	dp.Flush()
+	s.RunUntil(horizon + 105*sim.Millisecond)
+
+	tr := fw.Tracker
+	if tr.ShortFCT.Count() == 0 {
+		return out, fmt.Errorf("E13: no short flows completed (policy %s)", policyName)
+	}
+	out[0] = float64(tr.ShortFCT.Percentile(0.50)) / 1000
+	out[1] = float64(tr.ShortFCT.Percentile(0.99)) / 1000
+	out[2] = float64(tr.LongFCT.Percentile(0.50)) / 1000
+	out[3] = float64(tr.LongFCT.Percentile(0.99)) / 1000
+	out[4] = float64(tr.Completed()) / float64(tr.Started()) * 100
+	return out, nil
+}
+
+// E14QueueCapacity — drop-tail sensitivity: how much buffer does each
+// policy need at high load?
+func E14QueueCapacity(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E14",
+		Title: "queue-capacity sensitivity @ 85% load (4 paths, moderate interference)",
+		Notes: []string{
+			"expected shape: static hashing needs deep buffers to avoid loss (one hot lane overflows); adaptive multipath holds ~full delivery with small buffers, and its p99 grows more slowly with depth",
+		},
+	}
+	figDel := Figure{Name: "E14a", Title: "delivery rate vs queue capacity", XLabel: "queue_cap", YLabel: "delivery_frac"}
+	figP99 := Figure{Name: "E14b", Title: "p99 vs queue capacity", XLabel: "queue_cap", YLabel: "p99_us"}
+	caps := []int{32, 64, 128, 256, 512}
+
+	var cfgs []RunConfig
+	policies := []string{"rss", "jsq", "mpdp"}
+	for _, pol := range policies {
+		for _, qc := range caps {
+			cfgs = append(cfgs, seedConfigs(RunConfig{
+				Seed: opts.Seed, Policy: pol, Util: 0.85, QueueCap: qc,
+				Interference: "moderate",
+				Duration:     opts.duration(25 * sim.Millisecond),
+			}, opts.Seeds)...)
+		}
+	}
+	results, err := RunMany(cfgs, 0)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, pol := range policies {
+		cDel := Curve{Label: pol}
+		cP99 := Curve{Label: pol}
+		for _, qc := range caps {
+			rs := results[i : i+opts.Seeds]
+			i += opts.Seeds
+			var del float64
+			for _, r := range rs {
+				del += r.DeliveryRate
+			}
+			cDel.Points = append(cDel.Points, Point{X: float64(qc), Y: del / float64(opts.Seeds)})
+			cP99.Points = append(cP99.Points, Point{X: float64(qc), Y: MeanP99Micros(rs)})
+		}
+		figDel.Curves = append(figDel.Curves, cDel)
+		figP99.Curves = append(figP99.Curves, cP99)
+	}
+	res.Figures = append(res.Figures, figDel, figP99)
+	return res, nil
+}

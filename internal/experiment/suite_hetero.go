@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpdp/internal/sim"
+	"mpdp/internal/vnet"
+)
+
+func init() {
+	Registry["E19"] = E19Heterogeneous
+}
+
+// E19Heterogeneous — permanently asymmetric paths: lane speeds 1×/1×/2×/4×
+// (e.g. two performance cores, one mid core, one efficiency core). Static
+// equal-split policies waste the fast cores and drown the slow one;
+// rate-aware and feedback policies find the true capacity split.
+func E19Heterogeneous(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		ID:    "E19",
+		Title: "heterogeneous path speeds (1x/1x/2x/4x slower) @ 60% load of true capacity",
+		Notes: []string{
+			"lane 2 is 2x slower, lane 3 is 4x slower; load calibrated to the aggregate true capacity",
+			"expected shape: rss/rr split evenly and overload the slow lanes (drops, huge tails); wrr matches the rate split but ignores transients; jsq/mpdp find the split by feedback",
+		},
+	}
+	tab := Table{
+		Name: "E19t", Title: "on asymmetric cores",
+		Columns: []string{"policy", "delivery_%", "p50_us", "p99_us", "slow_lane_share_%"},
+	}
+	slowdown := func(i int) vnet.Slowdown {
+		switch i {
+		case 2:
+			return vnet.ConstantSlowdown(2)
+		case 3:
+			return vnet.ConstantSlowdown(4)
+		default:
+			return nil
+		}
+	}
+	// True aggregate capacity = 1 + 1 + 1/2 + 1/4 = 2.75 core-equivalents;
+	// Util is interpreted against NumPaths (4), so scale it down.
+	util := 0.6 * 2.75 / 4
+
+	for _, pol := range []string{"rss", "rr", "wrr", "jsq", "mpdp"} {
+		rs, err := RunSeeds(RunConfig{
+			Seed: opts.Seed, Policy: pol, Util: util,
+			SlowdownFor: slowdown,
+			Duration:    opts.duration(25 * sim.Millisecond),
+		}, opts.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		var del, p50, p99 float64
+		for _, r := range rs {
+			del += r.DeliveryRate * 100
+			p50 += float64(r.Latency.P50) / 1000
+			p99 += float64(r.Latency.P99) / 1000
+		}
+		n := float64(len(rs))
+		// Fraction of served packets handled by the two slow lanes
+		// (ideal = (0.5+0.25)/2.75 ≈ 27%), averaged across seeds.
+		var share float64
+		for _, r := range rs {
+			var total, slow uint64
+			for i, served := range r.PerPathServed {
+				total += served
+				if i >= 2 {
+					slow += served
+				}
+			}
+			if total > 0 {
+				share += float64(slow) / float64(total) * 100
+			}
+		}
+		share /= n
+		tab.Rows = append(tab.Rows, []string{
+			pol,
+			fmt.Sprintf("%.2f", del/n),
+			fmt.Sprintf("%.1f", p50/n),
+			fmt.Sprintf("%.1f", p99/n),
+			fmt.Sprintf("%.1f", share),
+		})
+	}
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(ids))
+	}
+	if ids[0] != "E1" || ids[len(ids)-1] != "E19" {
+		t.Fatalf("suite order wrong: %v", ids)
+	}
+}
+
+// TestSuiteSmokeAll runs every experiment in quick mode and checks the
+// structural integrity of what it emits. This is the suite's integration
+// test; it is skipped under -short.
+func TestSuiteSmokeAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke test skipped in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Registry[id](SuiteOpts{Seed: 1, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Fatalf("result ID %q", res.ID)
+			}
+			if len(res.Figures) == 0 && len(res.Tables) == 0 {
+				t.Fatal("experiment produced nothing")
+			}
+			for _, f := range res.Figures {
+				if len(f.Curves) == 0 {
+					t.Fatalf("figure %s has no curves", f.Name)
+				}
+				for _, c := range f.Curves {
+					if len(c.Points) == 0 {
+						t.Fatalf("curve %s of %s is empty", c.Label, f.Name)
+					}
+				}
+			}
+			for _, tab := range res.Tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("table %s has no rows", tab.Name)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Fatalf("table %s row width %d != %d cols", tab.Name, len(row), len(tab.Columns))
+					}
+				}
+			}
+			var b strings.Builder
+			res.Render(&b)
+			if !strings.Contains(b.String(), id+":") {
+				t.Fatal("render missing experiment header")
+			}
+		})
+	}
+}
+
+// TestHeadlineShapes verifies the qualitative claims the suite documents in
+// EXPERIMENTS.md, at quick scale: who wins, in which direction.
+func TestHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short mode")
+	}
+	// Shape 1 (E1): interference inflates the single-path tail far more
+	// than the median.
+	clean, err := Run(RunConfig{
+		Seed: 5, NumPaths: 1, Policy: "single", Util: 0.5,
+		Interference: "none", Duration: 10_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Run(RunConfig{
+		Seed: 5, NumPaths: 1, Policy: "single", Util: 0.5,
+		Interference: "heavy", Duration: 10_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailBlowup := float64(noisy.Latency.P99) / float64(clean.Latency.P99)
+	medianBlowup := float64(noisy.Latency.P50) / float64(clean.Latency.P50)
+	if tailBlowup < 5 {
+		t.Fatalf("E1 shape: tail blowup only %.1fx", tailBlowup)
+	}
+	if medianBlowup > tailBlowup/2 {
+		t.Fatalf("E1 shape: median blew up as much as the tail (%.1fx vs %.1fx)", medianBlowup, tailBlowup)
+	}
+
+	// Shape 2 (E2/E3): mpdp beats rss clearly at 70% load under
+	// interference (averaged over seeds).
+	rss, err := RunSeeds(RunConfig{
+		Seed: 5, Policy: "rss", Util: 0.7, Interference: "moderate", Duration: 10_000_000,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpdp, err := RunSeeds(RunConfig{
+		Seed: 5, Policy: "mpdp", Util: 0.7, Interference: "moderate", Duration: 10_000_000,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeanP99Micros(mpdp) >= MeanP99Micros(rss)/1.5 {
+		t.Fatalf("E2 shape: mpdp p99 %.1f not well below rss %.1f",
+			MeanP99Micros(mpdp), MeanP99Micros(rss))
+	}
+
+	// Shape 3 (E7): dup-all duplicates ~100%, mpdp stays within budget.
+	dupAll, err := Run(RunConfig{
+		Seed: 5, Policy: "dup-all", Util: 0.8, Interference: "moderate", Duration: 8_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupAll.DupOverhead < 0.99 {
+		t.Fatalf("dup-all overhead %.2f", dupAll.DupOverhead)
+	}
+	budgeted, err := Run(RunConfig{
+		Seed: 5, Policy: "mpdp", Util: 0.8, Interference: "moderate", Duration: 8_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.DupOverhead > 0.26 {
+		t.Fatalf("mpdp dup overhead %.2f exceeds budget", budgeted.DupOverhead)
+	}
+
+	// Shape 4 (E8): rss never reorders; rr reorders massively.
+	rr, err := Run(RunConfig{
+		Seed: 5, Policy: "rr", Util: 0.7, Interference: "moderate", Duration: 8_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rss[0].Reorder.OOOFraction() != 0 {
+		t.Fatalf("rss OOO fraction %v != 0", rss[0].Reorder.OOOFraction())
+	}
+	if rr.Reorder.OOOFraction() < 0.1 {
+		t.Fatalf("rr OOO fraction %v suspiciously low", rr.Reorder.OOOFraction())
+	}
+}

@@ -1,0 +1,396 @@
+// Package live is the wall-clock execution engine of MPDP: the same NF
+// chains and multipath structure as the simulator (internal/core), but run
+// on real goroutines with channels as lane queues — one dispatcher
+// goroutine steering packets, one worker goroutine per lane running its
+// chain replica to completion, and one egress goroutine restoring per-flow
+// order.
+//
+// Where the simulated engine measures virtual-time latency under modelled
+// interference, the live engine demonstrates that the library's packet
+// processing is a working concurrent data plane: real frames, real NF
+// work, real parallel speedup, measured in wall nanoseconds. It is the
+// repo's stand-in for the paper's Click/DPDK prototype process model.
+//
+// Scope notes (deliberate simplifications versus internal/core):
+// duplication/cancellation is not offered (hedging across threads needs
+// cross-queue revocation that channels cannot express cheaply), and
+// steering policies are the live-safe subset.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpdp/internal/nf"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/stats"
+)
+
+// PolicyName selects the dispatcher's steering policy.
+type PolicyName string
+
+// Live-safe policies.
+const (
+	PolicyRSS     PolicyName = "rss"     // static Toeplitz hash
+	PolicyRR      PolicyName = "rr"      // per-packet round robin
+	PolicyJSQ     PolicyName = "jsq"     // shortest queue (channel depth)
+	PolicyFlowlet PolicyName = "flowlet" // flowlet-sticky shortest queue
+)
+
+// Config assembles a live data plane.
+type Config struct {
+	// Paths is the number of worker lanes (default 4).
+	Paths int
+	// ChainFactory builds lane i's chain replica (required). Each lane's
+	// chain is owned by that lane's goroutine exclusively.
+	ChainFactory func(i int) *nf.Chain
+	// Policy is the steering policy (default PolicyFlowlet).
+	Policy PolicyName
+	// QueueCap bounds each lane channel (default 1024); full = tail drop.
+	QueueCap int
+	// FlowletTimeout is the idle gap ending a flowlet (default 500 µs of
+	// wall time).
+	FlowletTimeout time.Duration
+	// ReorderTimeout bounds how long egress waits for a gap (default 2 ms
+	// of wall time). 0 disables the reorder stage entirely (unordered
+	// delivery).
+	ReorderTimeout time.Duration
+}
+
+// Engine is a running live data plane. Create with Start, feed with
+// Ingress, stop with Close.
+type Engine struct {
+	cfg      Config
+	start    time.Time
+	lanes    []*laneWorker
+	egress   chan *packet.Packet
+	deliver  func(*packet.Packet)
+	wg       sync.WaitGroup
+	egressWG sync.WaitGroup
+	closed   atomic.Bool
+
+	// Dispatcher state (single goroutine: Ingress must not be called
+	// concurrently; the common arrangement is one RX thread).
+	rrNext   int
+	flowlets map[uint64]*liveFlowlet
+	seqGen   map[uint64]uint64
+
+	offered   atomic.Uint64
+	tailDrops atomic.Uint64
+	delivered atomic.Uint64
+
+	mu      sync.Mutex
+	latency *stats.Hist
+}
+
+type liveFlowlet struct {
+	lane int
+	last time.Time
+}
+
+type laneWorker struct {
+	id     int
+	in     chan *packet.Packet
+	chain  *nf.Chain
+	depth  atomic.Int64
+	served atomic.Uint64
+	drops  atomic.Uint64 // policy drops by the chain
+}
+
+// Start launches the engine's goroutines. deliver receives packets (in
+// per-flow order unless ReorderTimeout is 0) from the egress goroutine.
+func Start(cfg Config, deliver func(*packet.Packet)) (*Engine, error) {
+	if cfg.ChainFactory == nil {
+		return nil, fmt.Errorf("live: ChainFactory is required")
+	}
+	if cfg.Paths <= 0 {
+		cfg.Paths = 4
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyFlowlet
+	}
+	switch cfg.Policy {
+	case PolicyRSS, PolicyRR, PolicyJSQ, PolicyFlowlet:
+	default:
+		return nil, fmt.Errorf("live: unknown policy %q", cfg.Policy)
+	}
+	if cfg.FlowletTimeout <= 0 {
+		cfg.FlowletTimeout = 500 * time.Microsecond
+	}
+
+	e := &Engine{
+		cfg:      cfg,
+		start:    time.Now(),
+		egress:   make(chan *packet.Packet, cfg.QueueCap*cfg.Paths),
+		deliver:  deliver,
+		flowlets: make(map[uint64]*liveFlowlet),
+		seqGen:   make(map[uint64]uint64),
+		latency:  stats.NewHist(),
+	}
+	for i := 0; i < cfg.Paths; i++ {
+		lw := &laneWorker{
+			id:    i,
+			in:    make(chan *packet.Packet, cfg.QueueCap),
+			chain: cfg.ChainFactory(i),
+		}
+		e.lanes = append(e.lanes, lw)
+		e.wg.Add(1)
+		go e.runLane(lw)
+	}
+	e.egressWG.Add(1)
+	go e.runEgress()
+	return e, nil
+}
+
+// now returns wall time since engine start as a sim.Time, so the packet's
+// virtual-time fields carry wall nanoseconds in live mode.
+func (e *Engine) now() sim.Time { return sim.Time(time.Since(e.start).Nanoseconds()) }
+
+// Ingress admits one packet. NOT safe for concurrent use — call from a
+// single RX goroutine, mirroring a single poll-mode RX thread.
+func (e *Engine) Ingress(p *packet.Packet) {
+	if e.closed.Load() {
+		return
+	}
+	e.offered.Add(1)
+	p.Ingress = e.now()
+	if p.FlowID == 0 {
+		p.FlowID = p.Flow.Hash64()
+	}
+	p.Seq = e.seqGen[p.FlowID]
+	e.seqGen[p.FlowID]++
+
+	lane := e.pick(p)
+	p.PathID = lane
+	lw := e.lanes[lane]
+	select {
+	case lw.in <- p:
+		lw.depth.Add(1)
+		p.Enqueued = e.now()
+	default:
+		e.tailDrops.Add(1)
+		p.Dropped = packet.DropQueueFull
+	}
+}
+
+// pick implements the dispatcher's steering.
+func (e *Engine) pick(p *packet.Packet) int {
+	switch e.cfg.Policy {
+	case PolicyRSS:
+		return packet.RSSQueue(packet.DefaultRSSKey, p.Flow, len(e.lanes))
+	case PolicyRR:
+		i := e.rrNext % len(e.lanes)
+		e.rrNext++
+		return i
+	case PolicyJSQ:
+		return e.shortest()
+	default: // PolicyFlowlet
+		now := time.Now()
+		f, ok := e.flowlets[p.FlowID]
+		if ok && now.Sub(f.last) <= e.cfg.FlowletTimeout {
+			f.last = now
+			return f.lane
+		}
+		lane := e.shortest()
+		if !ok {
+			f = &liveFlowlet{}
+			e.flowlets[p.FlowID] = f
+		}
+		f.lane, f.last = lane, now
+		return lane
+	}
+}
+
+func (e *Engine) shortest() int {
+	best, bestDepth := 0, e.lanes[0].depth.Load()
+	for i := 1; i < len(e.lanes); i++ {
+		if d := e.lanes[i].depth.Load(); d < bestDepth {
+			best, bestDepth = i, d
+		}
+	}
+	return best
+}
+
+// runLane is one worker: run-to-completion over the lane's chain replica.
+func (e *Engine) runLane(lw *laneWorker) {
+	defer e.wg.Done()
+	for p := range lw.in {
+		lw.depth.Add(-1)
+		p.ServiceAt = e.now()
+		r := lw.chain.Process(p.ServiceAt, p)
+		p.Done = e.now()
+		lw.served.Add(1)
+		if r.Verdict != packet.Pass {
+			lw.drops.Add(1)
+			continue
+		}
+		e.egress <- p
+	}
+}
+
+// runEgress restores per-flow order (bounded wait) and delivers.
+func (e *Engine) runEgress() {
+	defer e.egressWG.Done()
+	type flowState struct {
+		next    uint64
+		pending map[uint64]*packet.Packet
+		arrived map[uint64]time.Time
+	}
+	flows := make(map[uint64]*flowState)
+
+	release := func(p *packet.Packet) {
+		p.Delivered = e.now()
+		e.delivered.Add(1)
+		e.mu.Lock()
+		e.latency.Record(int64(p.Latency()))
+		e.mu.Unlock()
+		if e.deliver != nil {
+			e.deliver(p)
+		}
+	}
+
+	var tick <-chan time.Time
+	var ticker *time.Ticker
+	if e.cfg.ReorderTimeout > 0 {
+		ticker = time.NewTicker(e.cfg.ReorderTimeout / 2)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+
+	handle := func(p *packet.Packet) {
+		if e.cfg.ReorderTimeout <= 0 {
+			release(p)
+			return
+		}
+		f, ok := flows[p.FlowID]
+		if !ok {
+			f = &flowState{pending: map[uint64]*packet.Packet{}, arrived: map[uint64]time.Time{}}
+			flows[p.FlowID] = f
+		}
+		switch {
+		case p.Seq < f.next:
+			p.Dropped = packet.DropReorder // straggler past a timeout skip
+		case p.Seq == f.next:
+			f.next++
+			release(p)
+			for {
+				q, ok := f.pending[f.next]
+				if !ok {
+					break
+				}
+				delete(f.pending, f.next)
+				delete(f.arrived, f.next)
+				f.next++
+				release(q)
+			}
+		default:
+			f.pending[p.Seq] = p
+			f.arrived[p.Seq] = time.Now()
+		}
+	}
+
+	expire := func() {
+		cutoff := time.Now().Add(-e.cfg.ReorderTimeout)
+		for _, f := range flows {
+			for len(f.pending) > 0 {
+				min := ^uint64(0)
+				for seq := range f.pending {
+					if seq < min {
+						min = seq
+					}
+				}
+				if f.arrived[min].After(cutoff) {
+					break
+				}
+				p := f.pending[min]
+				delete(f.pending, min)
+				delete(f.arrived, min)
+				f.next = min + 1
+				release(p)
+				for {
+					q, ok := f.pending[f.next]
+					if !ok {
+						break
+					}
+					delete(f.pending, f.next)
+					delete(f.arrived, f.next)
+					f.next++
+					release(q)
+				}
+			}
+		}
+	}
+
+	for {
+		select {
+		case p, ok := <-e.egress:
+			if !ok {
+				// Drain: flush everything pending in sequence order.
+				for _, f := range flows {
+					for len(f.pending) > 0 {
+						min := ^uint64(0)
+						for seq := range f.pending {
+							if seq < min {
+								min = seq
+							}
+						}
+						p := f.pending[min]
+						delete(f.pending, min)
+						f.next = min + 1
+						release(p)
+					}
+				}
+				return
+			}
+			handle(p)
+		case <-tick:
+			expire()
+		}
+	}
+}
+
+// Close stops ingress, drains the lanes and egress, and waits for all
+// goroutines. Safe to call once.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, lw := range e.lanes {
+		close(lw.in)
+	}
+	e.wg.Wait()
+	close(e.egress)
+	e.egressWG.Wait()
+}
+
+// Stats is a snapshot of the live engine's counters.
+type Stats struct {
+	Offered   uint64
+	Delivered uint64
+	TailDrops uint64
+	PerLane   []uint64 // packets served per lane
+	Latency   stats.Summary
+}
+
+// Snapshot returns current counters. Latency percentiles are wall-clock
+// nanoseconds.
+func (e *Engine) Snapshot() Stats {
+	st := Stats{
+		Offered:   e.offered.Load(),
+		Delivered: e.delivered.Load(),
+		TailDrops: e.tailDrops.Load(),
+	}
+	for _, lw := range e.lanes {
+		st.PerLane = append(st.PerLane, lw.served.Load())
+	}
+	e.mu.Lock()
+	st.Latency = e.latency.Summarize()
+	e.mu.Unlock()
+	return st
+}

@@ -1,0 +1,111 @@
+package nf
+
+import (
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// TrafficClass is the label a Classifier assigns.
+type TrafficClass uint8
+
+// Canonical classes used by the example chains.
+const (
+	ClassDefault TrafficClass = iota
+	ClassLatencySensitive
+	ClassBulk
+	ClassControl
+)
+
+func (c TrafficClass) String() string {
+	switch c {
+	case ClassDefault:
+		return "default"
+	case ClassLatencySensitive:
+		return "latency-sensitive"
+	case ClassBulk:
+		return "bulk"
+	case ClassControl:
+		return "control"
+	default:
+		return "class?"
+	}
+}
+
+// ClassRule maps a five-tuple pattern to a class (same matching semantics
+// as firewall rules).
+type ClassRule struct {
+	Match FWRule // Action field ignored
+	Class TrafficClass
+}
+
+// Classifier assigns a TrafficClass per packet, stamping it into the IPv4
+// TOS field of the real header so downstream elements (and the multipath
+// scheduler's class-aware mode) can read it without re-classifying.
+type Classifier struct {
+	name  string
+	rules []ClassRule
+	cost  CostModel
+
+	counts [4]uint64
+}
+
+// NewClassifier builds a classifier; unmatched packets get ClassDefault.
+func NewClassifier(name string, rules []ClassRule) *Classifier {
+	return &Classifier{
+		name:  name,
+		rules: rules,
+		cost:  CostModel{Base: 45 * sim.Nanosecond},
+	}
+}
+
+// Name implements Element.
+func (c *Classifier) Name() string { return c.name }
+
+// Classify returns the class for a flow without touching any packet.
+func (c *Classifier) Classify(k packet.FlowKey) TrafficClass {
+	for _, r := range c.rules {
+		if r.Match.Matches(k) {
+			return r.Class
+		}
+	}
+	return ClassDefault
+}
+
+// Process implements Element.
+func (c *Classifier) Process(now sim.Time, p *packet.Packet) Result {
+	cost := c.cost.Cost(0) + sim.Duration(len(c.rules))*6*sim.Nanosecond
+	class := c.Classify(p.Flow)
+	if int(class) < len(c.counts) {
+		c.counts[class]++
+	}
+	// Stamp the class into the TOS byte (DSCP-style) of the real header.
+	pr, err := packet.ParseFrame(p.Data)
+	if err == nil && pr.IsIP {
+		ipOff := pr.IPOffset
+		oldTOS := p.Data[ipOff+1]
+		newTOS := byte(class) << 2
+		if oldTOS != newTOS {
+			old16 := uint16(p.Data[ipOff])<<8 | uint16(oldTOS)
+			new16 := uint16(p.Data[ipOff])<<8 | uint16(newTOS)
+			p.Data[ipOff+1] = newTOS
+			sum := uint16(p.Data[ipOff+10])<<8 | uint16(p.Data[ipOff+11])
+			sum = packet.UpdateChecksum16(sum, old16, new16)
+			p.Data[ipOff+10] = byte(sum >> 8)
+			p.Data[ipOff+11] = byte(sum)
+		}
+	}
+	return Result{Verdict: packet.Pass, Cost: cost}
+}
+
+// ClassOf reads the class previously stamped into a packet's TOS field,
+// returning ClassDefault for unstamped or non-IP packets.
+func ClassOf(p *packet.Packet) TrafficClass {
+	pr, err := packet.ParseFrame(p.Data)
+	if err != nil || !pr.IsIP {
+		return ClassDefault
+	}
+	return TrafficClass(pr.IP.TOS >> 2)
+}
+
+// Counts returns per-class packet counts.
+func (c *Classifier) Counts() [4]uint64 { return c.counts }

@@ -1,0 +1,188 @@
+package nf
+
+import (
+	"fmt"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// Composition structures beyond the linear chain, following the NF-
+// composition line of work this paper builds on (subgraph-level
+// composition with delay-balanced parallelism):
+//
+//   - Branch: classify once, then run one of several sub-chains
+//     (fast-path / slow-path splits).
+//   - ParallelGroup: run independent elements "vertically parallel" on
+//     packet copies and merge — latency becomes max(branch costs) plus a
+//     copy/merge overhead instead of the sum.
+
+// Branch selects one sub-chain per packet. The selector must return an
+// index in [0, len(branches)); the zero branch is the conventional
+// default/fast path.
+type Branch struct {
+	name     string
+	selector func(p *packet.Packet) int
+	branches []*Chain
+	selCost  sim.Duration
+
+	taken []uint64
+}
+
+// NewBranch builds a branching stage. It panics on a nil selector or empty
+// branch set.
+func NewBranch(name string, selector func(p *packet.Packet) int, branches ...*Chain) *Branch {
+	if selector == nil {
+		panic("nf: NewBranch with nil selector")
+	}
+	if len(branches) == 0 {
+		panic("nf: NewBranch with no branches")
+	}
+	return &Branch{
+		name:     name,
+		selector: selector,
+		branches: branches,
+		selCost:  25 * sim.Nanosecond,
+		taken:    make([]uint64, len(branches)),
+	}
+}
+
+// Name implements Element.
+func (b *Branch) Name() string { return b.name }
+
+// Process implements Element.
+func (b *Branch) Process(now sim.Time, p *packet.Packet) Result {
+	i := b.selector(p)
+	if i < 0 || i >= len(b.branches) {
+		panic(fmt.Sprintf("nf: branch %s selector returned %d of %d", b.name, i, len(b.branches)))
+	}
+	b.taken[i]++
+	r := b.branches[i].Process(now, p)
+	r.Cost += b.selCost
+	return r
+}
+
+// Taken returns how many packets took each branch.
+func (b *Branch) Taken() []uint64 {
+	out := make([]uint64, len(b.taken))
+	copy(out, b.taken)
+	return out
+}
+
+// String lists the branch structure.
+func (b *Branch) String() string {
+	s := b.name + "{"
+	for i, c := range b.branches {
+		if i > 0 {
+			s += " | "
+		}
+		s += c.String()
+	}
+	return s + "}"
+}
+
+// ParallelGroup runs its members conceptually in parallel on packet copies
+// and merges the results: the group's latency cost is the *maximum* member
+// cost (not the sum) plus a per-copy overhead and a merge step. Any member
+// dropping the packet drops it (IPS semantics) — the merge waits for all
+// members, so the slowest member still bounds the cost.
+//
+// Members must be mutation-disjoint: at most one member may rewrite packet
+// bytes, and it is listed first so its mutations are the ones that survive
+// the merge (mirroring how parallel NF frameworks restrict write-write
+// conflicts). Read-only members (monitors, DPI, counters) compose freely.
+type ParallelGroup struct {
+	name    string
+	members []Element
+	// copyCost models the per-member packet-copy overhead and mergeCost
+	// the result-reconciliation step, the two overheads that make full NF
+	// parallelism non-free.
+	copyCost  CostModel
+	mergeCost sim.Duration
+
+	processed uint64
+	dropped   uint64
+}
+
+// NewParallelGroup builds the group. It panics on fewer than two members
+// (a group of one is just the element).
+func NewParallelGroup(name string, members ...Element) *ParallelGroup {
+	if len(members) < 2 {
+		panic("nf: NewParallelGroup needs at least two members")
+	}
+	for i, m := range members {
+		if m == nil {
+			panic(fmt.Sprintf("nf: NewParallelGroup member %d is nil", i))
+		}
+	}
+	return &ParallelGroup{
+		name:      name,
+		members:   members,
+		copyCost:  CostModel{Base: 40 * sim.Nanosecond, PerByte: 8 * sim.Nanosecond},
+		mergeCost: 60 * sim.Nanosecond,
+	}
+}
+
+// Name implements Element.
+func (g *ParallelGroup) Name() string { return g.name }
+
+// Process implements Element.
+func (g *ParallelGroup) Process(now sim.Time, p *packet.Packet) Result {
+	g.processed++
+	var maxCost sim.Duration
+	verdict := packet.Pass
+	for i, m := range g.members {
+		var r Result
+		if i == 0 {
+			// The (single permitted) mutating member works on the real
+			// packet; its rewrites survive the merge.
+			r = m.Process(now, p)
+		} else {
+			// Read-only members see a copy-on-write view; simulate the
+			// copy's cost without materializing it (their reads cannot
+			// change the frame).
+			r = m.Process(now, p)
+		}
+		cost := r.Cost + g.copyCost.Cost(p.Size())
+		if cost > maxCost {
+			maxCost = cost
+		}
+		if r.Verdict == packet.Drop {
+			verdict = packet.Drop
+		} else if r.Verdict == packet.Consume && verdict == packet.Pass {
+			verdict = packet.Consume
+		}
+	}
+	if verdict == packet.Drop {
+		g.dropped++
+	}
+	return Result{Verdict: verdict, Cost: maxCost + g.mergeCost}
+}
+
+// Dropped returns how many packets any member dropped.
+func (g *ParallelGroup) Dropped() uint64 { return g.dropped }
+
+// String lists the group members.
+func (g *ParallelGroup) String() string {
+	s := g.name + "("
+	for i, m := range g.members {
+		if i > 0 {
+			s += " || "
+		}
+		s += m.Name()
+	}
+	return s + ")"
+}
+
+// SequentialCost probes the cost a chain of the same members would pay for
+// a packet like p (sum of member costs, no copy/merge overhead) — used by
+// composition experiments to quantify the parallelism win. The probe runs
+// against throwaway state, so callers should pass replica elements.
+func SequentialCost(now sim.Time, members []Element, p *packet.Packet) sim.Duration {
+	var total sim.Duration
+	for _, m := range members {
+		r := m.Process(now, p)
+		total += r.Cost
+	}
+	return total
+}

@@ -1,0 +1,186 @@
+package nf
+
+import (
+	"testing"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+func fixedElem(name string, cost sim.Duration, verdict packet.Verdict) Element {
+	return Func{ElemName: name, Fn: func(now sim.Time, p *packet.Packet) Result {
+		return Result{Verdict: verdict, Cost: cost}
+	}}
+}
+
+func TestBranchRoutesBySelector(t *testing.T) {
+	fast := NewChain("fast", fixedElem("f", 100, packet.Pass))
+	slow := NewChain("slow", fixedElem("s", 10_000, packet.Pass))
+	b := NewBranch("split", func(p *packet.Packet) int {
+		if p.Flow.DstPort == 80 {
+			return 0
+		}
+		return 1
+	}, fast, slow)
+
+	web := mkUDP(t, tenantKey(1, 80), nil)
+	rWeb := b.Process(0, web)
+	if rWeb.Verdict != packet.Pass || rWeb.Cost >= 1000 {
+		t.Fatalf("fast path result %+v", rWeb)
+	}
+	other := mkUDP(t, tenantKey(1, 9999), nil)
+	rOther := b.Process(0, other)
+	if rOther.Cost < 10_000 {
+		t.Fatalf("slow path cost %v", rOther.Cost)
+	}
+	taken := b.Taken()
+	if taken[0] != 1 || taken[1] != 1 {
+		t.Fatalf("taken %v", taken)
+	}
+}
+
+func TestBranchInvalidSelectorPanics(t *testing.T) {
+	b := NewBranch("x", func(*packet.Packet) int { return 5 },
+		NewChain("a", fixedElem("a", 1, packet.Pass)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range selector did not panic")
+		}
+	}()
+	b.Process(0, mkUDP(t, tenantKey(1, 80), nil))
+}
+
+func TestBranchConstructionValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil-selector": func() { NewBranch("x", nil, NewChain("a", fixedElem("a", 1, packet.Pass))) },
+		"no-branches":  func() { NewBranch("x", func(*packet.Packet) int { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBranchInChain(t *testing.T) {
+	// A fast-path/slow-path edge: web traffic skips DPI entirely.
+	dpi := NewDPI("dpi", DefaultSignatures, false)
+	fast := NewChain("fast", fixedElem("noop", 10, packet.Pass))
+	slow := NewChain("slow", dpi)
+	b := NewBranch("fp", func(p *packet.Packet) int {
+		if p.Flow.DstPort == 80 {
+			return 0
+		}
+		return 1
+	}, fast, slow)
+	edge := NewChain("edge", PresetFirewall(5), b)
+	p := mkUDP(t, tenantKey(1, 80), make([]byte, 1000))
+	if r := edge.Process(0, p); r.Verdict != packet.Pass {
+		t.Fatal("edge dropped")
+	}
+	if dpi.Scanned() != 0 {
+		t.Fatal("fast path still hit DPI")
+	}
+}
+
+func TestParallelGroupCostIsMax(t *testing.T) {
+	g := NewParallelGroup("par",
+		fixedElem("cheap", 100, packet.Pass),
+		fixedElem("mid", 500, packet.Pass),
+		fixedElem("dear", 2000, packet.Pass),
+	)
+	p := mkUDP(t, tenantKey(1, 80), make([]byte, 64))
+	r := g.Process(0, p)
+	if r.Verdict != packet.Pass {
+		t.Fatalf("verdict %v", r.Verdict)
+	}
+	// Cost = max member (2000) + copy overhead + merge; must be far below
+	// the sequential sum (2600+).
+	if r.Cost < 2000 || r.Cost >= 2600 {
+		t.Fatalf("parallel cost %v, want [2000, 2600)", r.Cost)
+	}
+}
+
+func TestParallelGroupDropsIfAnyDrops(t *testing.T) {
+	g := NewParallelGroup("par",
+		fixedElem("pass", 100, packet.Pass),
+		fixedElem("deny", 100, packet.Drop),
+	)
+	p := mkUDP(t, tenantKey(1, 80), nil)
+	if r := g.Process(0, p); r.Verdict != packet.Drop {
+		t.Fatal("member drop not propagated")
+	}
+	if g.Dropped() != 1 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestParallelGroupMutatorFirstSurvives(t *testing.T) {
+	// The mutating member (NAT) is first; read-only members (monitor,
+	// DPI) observe. The NAT rewrite must be present after the group.
+	nat := NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP)
+	mon := NewMonitor("mon")
+	dpi := NewDPI("dpi", DefaultSignatures, false)
+	g := NewParallelGroup("par", nat, mon, dpi)
+	p := mkUDP(t, tenantKey(3, 80), []byte("req"))
+	if r := g.Process(0, p); r.Verdict != packet.Pass {
+		t.Fatal("group dropped")
+	}
+	if p.Flow.SrcIP != NATExternalIP {
+		t.Fatal("mutating member's rewrite lost")
+	}
+	if mon.Flows() != 1 || dpi.Scanned() != 1 {
+		t.Fatal("read-only members did not run")
+	}
+}
+
+func TestParallelGroupValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"one-member": func() { NewParallelGroup("x", fixedElem("a", 1, packet.Pass)) },
+		"nil-member": func() { NewParallelGroup("x", fixedElem("a", 1, packet.Pass), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParallelBeatsSequentialForHeavyMembers(t *testing.T) {
+	// The composition claim: for members of comparable, substantial cost,
+	// the parallel group's max+overhead beats the chain's sum.
+	mk := func() []Element {
+		return []Element{
+			NewDPI("dpi1", DefaultSignatures, false),
+			NewDPI("dpi2", []string{"other-sig-set-alpha", "other-sig-set-beta"}, false),
+			NewMonitor("mon"),
+		}
+	}
+	p := mkUDP(t, tenantKey(1, 80), make([]byte, 1200))
+	seq := SequentialCost(0, mk(), mkUDP(t, tenantKey(1, 80), make([]byte, 1200)))
+	g := NewParallelGroup("par", mk()...)
+	par := g.Process(0, p).Cost
+	if par >= seq {
+		t.Fatalf("parallel %v not below sequential %v", par, seq)
+	}
+}
+
+func TestComposeStrings(t *testing.T) {
+	b := NewBranch("br", func(*packet.Packet) int { return 0 },
+		NewChain("a", fixedElem("a", 1, packet.Pass)))
+	if b.String() == "" {
+		t.Fatal("empty branch string")
+	}
+	g := NewParallelGroup("pg", fixedElem("x", 1, packet.Pass), fixedElem("y", 1, packet.Pass))
+	if g.String() != "pg(x || y)" {
+		t.Fatalf("group string %q", g.String())
+	}
+}

@@ -1,0 +1,275 @@
+package nf
+
+import (
+	"fmt"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// ConnState is a tracked connection's lifecycle state.
+type ConnState uint8
+
+const (
+	// StateSynSent: initiator's SYN seen, waiting for SYN-ACK.
+	StateSynSent ConnState = iota
+	// StateSynRecv: SYN-ACK seen, waiting for the final ACK.
+	StateSynRecv
+	// StateEstablished: three-way handshake complete.
+	StateEstablished
+	// StateFinWait: one side sent FIN; draining.
+	StateFinWait
+	// StateClosed: both FINs (or an RST) seen.
+	StateClosed
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case StateSynSent:
+		return "syn-sent"
+	case StateSynRecv:
+		return "syn-recv"
+	case StateEstablished:
+		return "established"
+	case StateFinWait:
+		return "fin-wait"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// connEntry tracks one TCP connection (or UDP pseudo-connection).
+type connEntry struct {
+	orig     packet.FlowKey // initiator's direction
+	state    ConnState
+	lastSeen sim.Time
+	packets  uint64
+	finSeen  [2]bool // orig / reply FIN flags
+}
+
+// ConnTracker is a stateful connection-tracking element (a stateful
+// firewall): it follows the TCP handshake/teardown state machine per
+// connection and, in strict mode, drops packets that do not belong to a
+// legitimate progression — mid-stream packets for unknown connections, data
+// before the handshake completes, anything after close. UDP flows are
+// tracked as pseudo-connections that any packet may create.
+//
+// Idle entries expire per-state (short for handshakes, long for
+// established), reclaiming table space like a production conntrack.
+type ConnTracker struct {
+	name   string
+	strict bool
+	conns  map[uint64]*connEntry
+
+	// Per-state idle timeouts.
+	SynTimeout sim.Duration
+	EstTimeout sim.Duration
+	FinTimeout sim.Duration
+	UDPTimeout sim.Duration
+
+	hitCost  CostModel
+	missCost CostModel
+
+	created   uint64
+	dropped   uint64
+	expired   uint64
+	completed uint64 // connections that reached StateEstablished
+}
+
+// NewConnTracker builds the element. strict drops out-of-state packets;
+// non-strict only tracks and counts.
+func NewConnTracker(name string, strict bool) *ConnTracker {
+	return &ConnTracker{
+		name:       name,
+		strict:     strict,
+		conns:      make(map[uint64]*connEntry),
+		SynTimeout: 30 * sim.Second,
+		EstTimeout: 300 * sim.Second,
+		FinTimeout: 60 * sim.Second,
+		UDPTimeout: 120 * sim.Second,
+		hitCost:    CostModel{Base: 60 * sim.Nanosecond},
+		missCost:   CostModel{Base: 200 * sim.Nanosecond},
+	}
+}
+
+// Name implements Element.
+func (ct *ConnTracker) Name() string { return ct.name }
+
+// Process implements Element.
+func (ct *ConnTracker) Process(now sim.Time, p *packet.Packet) Result {
+	switch p.Flow.Proto {
+	case packet.ProtoTCP:
+		return ct.processTCP(now, p)
+	case packet.ProtoUDP:
+		return ct.processUDP(now, p)
+	default:
+		// Non-transport traffic is outside conntrack's remit.
+		return Result{Verdict: packet.Pass, Cost: ct.hitCost.Cost(0)}
+	}
+}
+
+func (ct *ConnTracker) processUDP(now sim.Time, p *packet.Packet) Result {
+	key := p.Flow.SymmetricHash64()
+	e, ok := ct.conns[key]
+	if !ok {
+		ct.created++
+		e = &connEntry{orig: p.Flow, state: StateEstablished}
+		ct.conns[key] = e
+		e.lastSeen = now
+		e.packets++
+		return Result{Verdict: packet.Pass, Cost: ct.missCost.Cost(0)}
+	}
+	e.lastSeen = now
+	e.packets++
+	return Result{Verdict: packet.Pass, Cost: ct.hitCost.Cost(0)}
+}
+
+func (ct *ConnTracker) processTCP(now sim.Time, p *packet.Packet) Result {
+	pr, err := packet.ParseFrame(p.Data)
+	if err != nil || !pr.HasTCP {
+		return ct.drop(p, ct.missCost.Cost(0))
+	}
+	flags := pr.TCP.Flags
+	key := p.Flow.SymmetricHash64()
+	e, ok := ct.conns[key]
+
+	if !ok {
+		// Only a bare SYN may create a connection.
+		if flags&packet.TCPSyn != 0 && flags&packet.TCPAck == 0 {
+			ct.created++
+			ct.conns[key] = &connEntry{orig: p.Flow, state: StateSynSent, lastSeen: now, packets: 1}
+			return Result{Verdict: packet.Pass, Cost: ct.missCost.Cost(0)}
+		}
+		if ct.strict {
+			return ct.drop(p, ct.missCost.Cost(0))
+		}
+		// Loose mode adopts mid-stream traffic as established.
+		ct.created++
+		ct.conns[key] = &connEntry{orig: p.Flow, state: StateEstablished, lastSeen: now, packets: 1}
+		return Result{Verdict: packet.Pass, Cost: ct.missCost.Cost(0)}
+	}
+
+	e.lastSeen = now
+	e.packets++
+	cost := ct.hitCost.Cost(0)
+	fromOrig := p.Flow == e.orig
+
+	// RST kills the connection from any state.
+	if flags&packet.TCPRst != 0 {
+		e.state = StateClosed
+		delete(ct.conns, key)
+		return Result{Verdict: packet.Pass, Cost: cost}
+	}
+
+	switch e.state {
+	case StateSynSent:
+		if !fromOrig && flags&packet.TCPSyn != 0 && flags&packet.TCPAck != 0 {
+			e.state = StateSynRecv
+			return Result{Verdict: packet.Pass, Cost: cost}
+		}
+		if fromOrig && flags&packet.TCPSyn != 0 {
+			// SYN retransmission.
+			return Result{Verdict: packet.Pass, Cost: cost}
+		}
+		return ct.maybeDrop(p, cost)
+	case StateSynRecv:
+		if fromOrig && flags&packet.TCPAck != 0 {
+			e.state = StateEstablished
+			ct.completed++
+			if flags&packet.TCPFin != 0 {
+				e.state = StateFinWait
+				e.finSeen[dirIndex(fromOrig)] = true
+			}
+			return Result{Verdict: packet.Pass, Cost: cost}
+		}
+		if !fromOrig && flags&packet.TCPSyn != 0 {
+			// SYN-ACK retransmission.
+			return Result{Verdict: packet.Pass, Cost: cost}
+		}
+		return ct.maybeDrop(p, cost)
+	case StateEstablished:
+		if flags&packet.TCPFin != 0 {
+			e.state = StateFinWait
+			e.finSeen[dirIndex(fromOrig)] = true
+		}
+		return Result{Verdict: packet.Pass, Cost: cost}
+	case StateFinWait:
+		if flags&packet.TCPFin != 0 {
+			e.finSeen[dirIndex(fromOrig)] = true
+		}
+		if e.finSeen[0] && e.finSeen[1] && flags&packet.TCPAck != 0 {
+			e.state = StateClosed
+			delete(ct.conns, key)
+		}
+		return Result{Verdict: packet.Pass, Cost: cost}
+	default: // StateClosed
+		return ct.maybeDrop(p, cost)
+	}
+}
+
+func dirIndex(fromOrig bool) int {
+	if fromOrig {
+		return 0
+	}
+	return 1
+}
+
+func (ct *ConnTracker) maybeDrop(p *packet.Packet, cost sim.Duration) Result {
+	if ct.strict {
+		return ct.drop(p, cost)
+	}
+	return Result{Verdict: packet.Pass, Cost: cost}
+}
+
+func (ct *ConnTracker) drop(p *packet.Packet, cost sim.Duration) Result {
+	ct.dropped++
+	p.Dropped = packet.DropPolicy
+	return Result{Verdict: packet.Drop, Cost: cost}
+}
+
+// Expire reclaims idle entries. Returns how many were removed.
+func (ct *ConnTracker) Expire(now sim.Time) int {
+	removed := 0
+	for key, e := range ct.conns {
+		var timeout sim.Duration
+		switch {
+		case e.orig.Proto == packet.ProtoUDP:
+			timeout = ct.UDPTimeout
+		case e.state == StateEstablished:
+			timeout = ct.EstTimeout
+		case e.state == StateFinWait:
+			timeout = ct.FinTimeout
+		default:
+			timeout = ct.SynTimeout
+		}
+		if now-e.lastSeen > timeout {
+			delete(ct.conns, key)
+			ct.expired++
+			removed++
+		}
+	}
+	return removed
+}
+
+// StateOf returns the tracked state of a flow's connection.
+func (ct *ConnTracker) StateOf(k packet.FlowKey) (ConnState, bool) {
+	e, ok := ct.conns[k.SymmetricHash64()]
+	if !ok {
+		return 0, false
+	}
+	return e.state, true
+}
+
+// Connections returns the number of live tracked entries.
+func (ct *ConnTracker) Connections() int { return len(ct.conns) }
+
+// Created returns the number of entries ever created.
+func (ct *ConnTracker) Created() uint64 { return ct.created }
+
+// DroppedCount returns packets dropped for state violations.
+func (ct *ConnTracker) DroppedCount() uint64 { return ct.dropped }
+
+// Completed returns connections that finished the three-way handshake.
+func (ct *ConnTracker) Completed() uint64 { return ct.completed }

@@ -1,0 +1,256 @@
+package nf
+
+import (
+	"testing"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// tcpPkt builds a TCP test packet with the given flags.
+func tcpPkt(t testing.TB, key packet.FlowKey, flags uint8, payload []byte) *packet.Packet {
+	t.Helper()
+	key.Proto = packet.ProtoTCP
+	frame := packet.BuildTCP(key, payload, packet.BuildOpts{TCPFlags: flags})
+	return &packet.Packet{Data: frame, Flow: key, FlowID: key.Hash64()}
+}
+
+func tcpClientKey() packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 1, 0, 5),
+		SrcPort: 41000, DstPort: 443, Proto: packet.ProtoTCP,
+	}
+}
+
+// handshake drives a full three-way handshake through the tracker.
+func handshake(t *testing.T, ct *ConnTracker, key packet.FlowKey, now sim.Time) {
+	t.Helper()
+	steps := []struct {
+		key   packet.FlowKey
+		flags uint8
+	}{
+		{key, packet.TCPSyn},
+		{key.Reverse(), packet.TCPSyn | packet.TCPAck},
+		{key, packet.TCPAck},
+	}
+	for i, st := range steps {
+		if r := ct.Process(now+sim.Time(i), tcpPkt(t, st.key, st.flags, nil)); r.Verdict != packet.Pass {
+			t.Fatalf("handshake step %d dropped", i)
+		}
+	}
+}
+
+func TestConnTrackerHandshake(t *testing.T) {
+	ct := NewConnTracker("ct", true)
+	key := tcpClientKey()
+
+	syn := tcpPkt(t, key, packet.TCPSyn, nil)
+	if r := ct.Process(0, syn); r.Verdict != packet.Pass {
+		t.Fatal("SYN dropped")
+	}
+	if st, ok := ct.StateOf(key); !ok || st != StateSynSent {
+		t.Fatalf("state after SYN: %v %v", st, ok)
+	}
+
+	synack := tcpPkt(t, key.Reverse(), packet.TCPSyn|packet.TCPAck, nil)
+	if r := ct.Process(1, synack); r.Verdict != packet.Pass {
+		t.Fatal("SYN-ACK dropped")
+	}
+	if st, _ := ct.StateOf(key); st != StateSynRecv {
+		t.Fatalf("state after SYN-ACK: %v", st)
+	}
+
+	ack := tcpPkt(t, key, packet.TCPAck, nil)
+	if r := ct.Process(2, ack); r.Verdict != packet.Pass {
+		t.Fatal("final ACK dropped")
+	}
+	if st, _ := ct.StateOf(key); st != StateEstablished {
+		t.Fatalf("state after ACK: %v", st)
+	}
+	if ct.Completed() != 1 || ct.Created() != 1 {
+		t.Fatalf("counters: completed=%d created=%d", ct.Completed(), ct.Created())
+	}
+
+	// Both directions of data flow now pass.
+	if r := ct.Process(3, tcpPkt(t, key, packet.TCPAck|packet.TCPPsh, []byte("req"))); r.Verdict != packet.Pass {
+		t.Fatal("established data dropped (orig)")
+	}
+	if r := ct.Process(4, tcpPkt(t, key.Reverse(), packet.TCPAck|packet.TCPPsh, []byte("resp"))); r.Verdict != packet.Pass {
+		t.Fatal("established data dropped (reply)")
+	}
+}
+
+func TestConnTrackerStrictDropsMidStream(t *testing.T) {
+	ct := NewConnTracker("ct", true)
+	p := tcpPkt(t, tcpClientKey(), packet.TCPAck|packet.TCPPsh, []byte("x"))
+	if r := ct.Process(0, p); r.Verdict != packet.Drop {
+		t.Fatal("mid-stream packet for unknown connection passed strict mode")
+	}
+	if p.Dropped != packet.DropPolicy {
+		t.Fatal("drop reason not stamped")
+	}
+	if ct.DroppedCount() != 1 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestConnTrackerLooseAdoptsMidStream(t *testing.T) {
+	ct := NewConnTracker("ct", false)
+	key := tcpClientKey()
+	if r := ct.Process(0, tcpPkt(t, key, packet.TCPAck, nil)); r.Verdict != packet.Pass {
+		t.Fatal("loose mode dropped mid-stream packet")
+	}
+	if st, ok := ct.StateOf(key); !ok || st != StateEstablished {
+		t.Fatalf("loose adoption state: %v %v", st, ok)
+	}
+}
+
+func TestConnTrackerStrictDropsDataBeforeHandshake(t *testing.T) {
+	ct := NewConnTracker("ct", true)
+	key := tcpClientKey()
+	ct.Process(0, tcpPkt(t, key, packet.TCPSyn, nil))
+	// Data from the responder without a SYN-ACK: bogus.
+	p := tcpPkt(t, key.Reverse(), packet.TCPPsh, []byte("x"))
+	if r := ct.Process(1, p); r.Verdict != packet.Drop {
+		t.Fatal("pre-handshake data passed")
+	}
+}
+
+func TestConnTrackerFinTeardown(t *testing.T) {
+	ct := NewConnTracker("ct", true)
+	key := tcpClientKey()
+	handshake(t, ct, key, 0)
+
+	// Orig FIN.
+	ct.Process(10, tcpPkt(t, key, packet.TCPFin|packet.TCPAck, nil))
+	if st, _ := ct.StateOf(key); st != StateFinWait {
+		t.Fatalf("state after first FIN: %v", st)
+	}
+	// Reply FIN+ACK completes the close.
+	ct.Process(11, tcpPkt(t, key.Reverse(), packet.TCPFin|packet.TCPAck, nil))
+	if _, ok := ct.StateOf(key); ok {
+		t.Fatal("connection not removed after both FINs")
+	}
+	if ct.Connections() != 0 {
+		t.Fatal("table not empty")
+	}
+}
+
+func TestConnTrackerRSTKills(t *testing.T) {
+	ct := NewConnTracker("ct", true)
+	key := tcpClientKey()
+	handshake(t, ct, key, 0)
+	ct.Process(5, tcpPkt(t, key.Reverse(), packet.TCPRst, nil))
+	if _, ok := ct.StateOf(key); ok {
+		t.Fatal("RST did not remove the connection")
+	}
+	// Further traffic is now out of state.
+	if r := ct.Process(6, tcpPkt(t, key, packet.TCPAck, nil)); r.Verdict != packet.Drop {
+		t.Fatal("post-RST traffic passed strict mode")
+	}
+}
+
+func TestConnTrackerSynRetransmission(t *testing.T) {
+	ct := NewConnTracker("ct", true)
+	key := tcpClientKey()
+	ct.Process(0, tcpPkt(t, key, packet.TCPSyn, nil))
+	if r := ct.Process(1, tcpPkt(t, key, packet.TCPSyn, nil)); r.Verdict != packet.Pass {
+		t.Fatal("SYN retransmission dropped")
+	}
+	if ct.Created() != 1 {
+		t.Fatal("retransmission created a second entry")
+	}
+}
+
+func TestConnTrackerUDPPseudoConnections(t *testing.T) {
+	ct := NewConnTracker("ct", true)
+	key := tenantKey(1, 53)
+	p1 := mkUDP(t, key, []byte("query"))
+	if r := ct.Process(0, p1); r.Verdict != packet.Pass {
+		t.Fatal("UDP first packet dropped")
+	}
+	// Reply direction shares the entry (symmetric hash).
+	rev := key.Reverse()
+	p2 := mkUDP(t, rev, []byte("answer"))
+	if r := ct.Process(1, p2); r.Verdict != packet.Pass {
+		t.Fatal("UDP reply dropped")
+	}
+	if ct.Connections() != 1 {
+		t.Fatalf("UDP bidirectional flow created %d entries", ct.Connections())
+	}
+}
+
+func TestConnTrackerExpiry(t *testing.T) {
+	ct := NewConnTracker("ct", true)
+	ct.EstTimeout = 10 * sim.Second
+	ct.SynTimeout = 2 * sim.Second
+	keyA := tcpClientKey()
+	handshake(t, ct, keyA, 0)
+	keyB := keyA
+	keyB.SrcPort = 41001
+	ct.Process(0, tcpPkt(t, keyB, packet.TCPSyn, nil)) // half-open
+
+	// Half-open expires first.
+	if n := ct.Expire(5 * sim.Second); n != 1 {
+		t.Fatalf("expired %d, want 1 (half-open)", n)
+	}
+	if _, ok := ct.StateOf(keyA); !ok {
+		t.Fatal("established connection expired too early")
+	}
+	if n := ct.Expire(20 * sim.Second); n != 1 {
+		t.Fatalf("expired %d, want 1 (established)", n)
+	}
+}
+
+func TestConnTrackerNonTransportPasses(t *testing.T) {
+	ct := NewConnTracker("ct", true)
+	key := tenantKey(1, 0)
+	key.Proto = packet.ProtoICMP
+	p := &packet.Packet{Data: packet.BuildUDP(tenantKey(1, 1), nil, packet.BuildOpts{}), Flow: key}
+	if r := ct.Process(0, p); r.Verdict != packet.Pass {
+		t.Fatal("non-transport dropped")
+	}
+}
+
+func TestConnTrackerInChain(t *testing.T) {
+	// A realistic stateful edge: conntrack + firewall. A full handshake
+	// then data passes; unsolicited data is dropped by state, not by ACL.
+	ct := NewConnTracker("ct", true)
+	chain := NewChain("edge", ct, PresetFirewall(10))
+	key := tcpClientKey()
+	if r := chain.Process(0, tcpPkt(t, key, packet.TCPSyn, nil)); r.Verdict != packet.Pass {
+		t.Fatal("SYN dropped by chain")
+	}
+	stray := tcpClientKey()
+	stray.SrcPort = 49999
+	if r := chain.Process(1, tcpPkt(t, stray, packet.TCPAck, nil)); r.Verdict != packet.Drop {
+		t.Fatal("stray mid-stream packet passed the chain")
+	}
+}
+
+func TestConnStateStrings(t *testing.T) {
+	for _, s := range []ConnState{StateSynSent, StateSynRecv, StateEstablished, StateFinWait, StateClosed} {
+		if s.String() == "" {
+			t.Fatal("empty state string")
+		}
+	}
+}
+
+func BenchmarkConnTrackerEstablished(b *testing.B) {
+	ct := NewConnTracker("ct", true)
+	key := tcpClientKey()
+	// Handshake.
+	frames := []*packet.Packet{
+		tcpPkt(b, key, packet.TCPSyn, nil),
+		tcpPkt(b, key.Reverse(), packet.TCPSyn|packet.TCPAck, nil),
+		tcpPkt(b, key, packet.TCPAck, nil),
+	}
+	for i, f := range frames {
+		ct.Process(sim.Time(i), f)
+	}
+	data := tcpPkt(b, key, packet.TCPAck|packet.TCPPsh, make([]byte, 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct.Process(sim.Time(i+10), data)
+	}
+}

@@ -1,0 +1,147 @@
+package nf
+
+import (
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// DPI is a deep-packet-inspection element: an Aho–Corasick multi-pattern
+// automaton scanned over the transport payload of every packet. Matching
+// packets are dropped (IPS mode) or passed with a counter bump (IDS mode).
+//
+// DPI is the "expensive element" of the chain: its cost scales with payload
+// length, so large packets behind it cause the head-of-line blocking that
+// multipath is designed to route around.
+type DPI struct {
+	name string
+	ac   *ahoCorasick
+	ips  bool // drop on match
+	cost CostModel
+
+	scanned uint64
+	matches uint64
+}
+
+// NewDPI builds a DPI element for the given signature set. ips=true drops
+// matching packets; ips=false only counts them.
+func NewDPI(name string, signatures []string, ips bool) *DPI {
+	return &DPI{
+		name: name,
+		ac:   newAhoCorasick(signatures),
+		ips:  ips,
+		// ~1.5 ns per scanned cache line of payload + fixed overhead,
+		// matching software IDS throughput on commodity cores.
+		cost: CostModel{Base: 120 * sim.Nanosecond, PerByte: 96 * sim.Nanosecond},
+	}
+}
+
+// Name implements Element.
+func (d *DPI) Name() string { return d.name }
+
+// Process implements Element.
+func (d *DPI) Process(now sim.Time, p *packet.Packet) Result {
+	pr, err := packet.ParseFrame(p.Data)
+	cost := d.cost.Base
+	if err != nil || !pr.IsIP {
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	payload := pr.Payload(p.Data)
+	cost = d.cost.Cost(len(payload))
+	d.scanned++
+	if d.ac.match(payload) {
+		d.matches++
+		if d.ips {
+			p.Dropped = packet.DropPolicy
+			return Result{Verdict: packet.Drop, Cost: cost}
+		}
+	}
+	return Result{Verdict: packet.Pass, Cost: cost}
+}
+
+// Matches returns the number of packets that hit a signature.
+func (d *DPI) Matches() uint64 { return d.matches }
+
+// Scanned returns the number of payloads scanned.
+func (d *DPI) Scanned() uint64 { return d.scanned }
+
+// ahoCorasick is a byte-level Aho–Corasick automaton with goto, failure and
+// output functions, built once at construction.
+type ahoCorasick struct {
+	next [][256]int32 // goto function; -1 = undefined before failure resolution
+	fail []int32
+	out  []bool // state has at least one pattern ending here
+}
+
+func newAhoCorasick(patterns []string) *ahoCorasick {
+	ac := &ahoCorasick{}
+	ac.addState() // root
+
+	// Build the trie.
+	for _, pat := range patterns {
+		if pat == "" {
+			continue
+		}
+		state := int32(0)
+		for i := 0; i < len(pat); i++ {
+			c := pat[i]
+			if ac.next[state][c] == -1 {
+				ac.next[state][c] = ac.addState()
+			}
+			state = ac.next[state][c]
+		}
+		ac.out[state] = true
+	}
+
+	// BFS to fill failure links and complete the goto function.
+	queue := make([]int32, 0, len(ac.next))
+	for c := 0; c < 256; c++ {
+		s := ac.next[0][c]
+		if s == -1 {
+			ac.next[0][c] = 0
+			continue
+		}
+		ac.fail[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for c := 0; c < 256; c++ {
+			v := ac.next[u][c]
+			if v == -1 {
+				ac.next[u][c] = ac.next[ac.fail[u]][c]
+				continue
+			}
+			ac.fail[v] = ac.next[ac.fail[u]][c]
+			if ac.out[ac.fail[v]] {
+				ac.out[v] = true
+			}
+			queue = append(queue, v)
+		}
+	}
+	return ac
+}
+
+func (ac *ahoCorasick) addState() int32 {
+	var row [256]int32
+	for i := range row {
+		row[i] = -1
+	}
+	ac.next = append(ac.next, row)
+	ac.fail = append(ac.fail, 0)
+	ac.out = append(ac.out, false)
+	return int32(len(ac.next) - 1)
+}
+
+// match reports whether any pattern occurs in data.
+func (ac *ahoCorasick) match(data []byte) bool {
+	state := int32(0)
+	for _, c := range data {
+		state = ac.next[state][c]
+		if ac.out[state] {
+			return true
+		}
+	}
+	return false
+}

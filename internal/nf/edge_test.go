@@ -1,0 +1,182 @@
+package nf
+
+import (
+	"strings"
+	"testing"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// Edge cases and accessor coverage across the element library.
+
+func TestElementNamesAndStrings(t *testing.T) {
+	els := []Element{
+		NewFirewall("fw", nil, true),
+		NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP),
+		NewRouter("rt"),
+		NewDPI("dpi", DefaultSignatures, false),
+		NewLoadBalancer("lb", LBVirtualIP, []uint32{1}),
+		NewRateLimiter("rl", 1e9, 1e6, false),
+		NewMonitor("mon"),
+		NewVXLANEncap("vt", 1, 2, 3),
+		NewVXLANDecap("vd", 1),
+		NewClassifier("cls", nil),
+		NewConnTracker("ct", true),
+		NewBranch("br", func(*packet.Packet) int { return 0 }, NewChain("c", PresetRouter())),
+		NewParallelGroup("pg", NewMonitor("m1"), NewMonitor("m2")),
+	}
+	for _, e := range els {
+		if e.Name() == "" {
+			t.Errorf("%T has empty name", e)
+		}
+	}
+	// Stringers used in logs and chain listings.
+	for _, s := range []string{
+		NewFirewall("fw", nil, true).String(),
+		NewNAT("nat", 0, 16, 1).String(),
+		NewLoadBalancer("lb", LBVirtualIP, []uint32{1}).String(),
+	} {
+		if s == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+func TestChainElementsAccessor(t *testing.T) {
+	c := PresetChain(3)
+	if len(c.Elements()) != 3 {
+		t.Fatalf("Elements() = %d", len(c.Elements()))
+	}
+}
+
+func TestNATPortExhaustionAndReclaim(t *testing.T) {
+	nat := NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP)
+	// Shrink the pool to 3 ports for the test.
+	nat.portMin, nat.portNext, nat.portMax = 20000, 20000, 20003
+	nat.Timeout = 10 * sim.Second
+
+	for i := byte(1); i <= 3; i++ {
+		p := mkUDP(t, tenantKey(i, 80), nil)
+		if r := nat.Process(0, p); r.Verdict != packet.Pass {
+			t.Fatalf("flow %d rejected with free ports", i)
+		}
+	}
+	// Pool exhausted and nothing expired: the 4th flow is dropped.
+	p4 := mkUDP(t, tenantKey(4, 80), nil)
+	if r := nat.Process(1, p4); r.Verdict != packet.Drop {
+		t.Fatal("exhausted NAT accepted a new flow")
+	}
+	if nat.exhausted != 1 {
+		t.Fatalf("exhausted counter %d", nat.exhausted)
+	}
+	// After idle expiry, the lazy sweep inside allocPort reclaims ports.
+	p5 := mkUDP(t, tenantKey(5, 80), nil)
+	if r := nat.Process(20*sim.Second, p5); r.Verdict != packet.Pass {
+		t.Fatal("expired ports not reclaimed on demand")
+	}
+	if nat.Translated() == 0 {
+		t.Fatal("Translated() not counting")
+	}
+}
+
+func TestNATFreeListReuse(t *testing.T) {
+	nat := NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP)
+	nat.Timeout = sim.Second
+	p := mkUDP(t, tenantKey(1, 80), nil)
+	nat.Process(0, p)
+	port := p.Flow.SrcPort
+	nat.Expire(5 * sim.Second)
+	// The reclaimed port goes back out for the next flow.
+	q := mkUDP(t, tenantKey(2, 80), nil)
+	nat.Process(6*sim.Second, q)
+	if q.Flow.SrcPort != port {
+		t.Fatalf("free list not reused: got %d want %d", q.Flow.SrcPort, port)
+	}
+}
+
+func TestMonitorSketchEstimate(t *testing.T) {
+	m := NewMonitor("mon")
+	k := tenantKey(9, 80)
+	var sent uint64
+	for i := 0; i < 10; i++ {
+		p := mkUDP(t, k, make([]byte, 100))
+		sent += uint64(p.Size())
+		m.Process(0, p)
+	}
+	est := m.EstimateBytes(k)
+	if est < sent {
+		t.Fatalf("count-min underestimated: %d < %d", est, sent)
+	}
+	exact := m.FlowStats(k)
+	if exact.Bytes != sent {
+		t.Fatalf("exact bytes %d != %d", exact.Bytes, sent)
+	}
+}
+
+func TestLoadBalancerBackendLoadAccounting(t *testing.T) {
+	lb := NewLoadBalancer("lb", LBVirtualIP, []uint32{100, 200})
+	for i := byte(1); i <= 20; i++ {
+		k := packet.FlowKey{SrcIP: packet.IP4(10, 0, 0, i), DstIP: LBVirtualIP,
+			SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoUDP}
+		lb.Process(0, mkUDP(t, k, nil))
+	}
+	if lb.Balanced() != 20 {
+		t.Fatalf("Balanced() = %d", lb.Balanced())
+	}
+	total := uint64(0)
+	for _, n := range lb.BackendLoad() {
+		total += n
+	}
+	if total != 20 {
+		t.Fatalf("backend load sums to %d", total)
+	}
+}
+
+func TestDPIDropsMalformedFrame(t *testing.T) {
+	d := NewDPI("dpi", DefaultSignatures, false)
+	p := &packet.Packet{Data: []byte{1, 2, 3}, Flow: tenantKey(1, 80)}
+	if r := d.Process(0, p); r.Verdict != packet.Drop {
+		t.Fatal("malformed frame passed DPI")
+	}
+}
+
+func TestClassOfNonIP(t *testing.T) {
+	if ClassOf(&packet.Packet{Data: []byte{0}}) != ClassDefault {
+		t.Fatal("non-IP class not default")
+	}
+	if ClassDefault.String() == "" || TrafficClass(99).String() == "" {
+		t.Fatal("class strings")
+	}
+}
+
+func TestRouterAddRoutePanicsOnBadPrefix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("prefix length 33 accepted")
+		}
+	}()
+	NewRouter("rt").AddRoute(0, 33, 1)
+}
+
+func TestConnTrackerLooseModePassesOutOfState(t *testing.T) {
+	ct := NewConnTracker("ct", false)
+	key := tcpClientKey()
+	ct.Process(0, tcpPkt(t, key, packet.TCPSyn, nil))
+	// Out-of-state packet in loose mode: passes (maybeDrop's loose arm).
+	if r := ct.Process(1, tcpPkt(t, key, packet.TCPPsh, nil)); r.Verdict != packet.Pass {
+		t.Fatal("loose mode dropped out-of-state packet")
+	}
+}
+
+func TestChainStringWithCompose(t *testing.T) {
+	br := NewBranch("br", func(*packet.Packet) int { return 0 },
+		NewChain("inner", PresetRouter()))
+	c := NewChain("outer", PresetFirewall(1), br)
+	if !strings.Contains(c.String(), "br") {
+		t.Fatalf("chain string %q", c.String())
+	}
+	if !strings.Contains(br.String(), "inner") {
+		t.Fatalf("branch string %q", br.String())
+	}
+}

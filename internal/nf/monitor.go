@@ -1,0 +1,144 @@
+package nf
+
+import (
+	"sort"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// Monitor is a passive measurement element: exact per-flow packet/byte
+// counters plus a count-min sketch for heavy-hitter detection at bounded
+// memory, like a Click counter + NetFlow probe.
+type Monitor struct {
+	name   string
+	cost   CostModel
+	flows  map[packet.FlowKey]*FlowStats
+	sketch *CountMin
+
+	packets uint64
+	bytes   uint64
+}
+
+// FlowStats are the exact counters for one flow.
+type FlowStats struct {
+	Packets   uint64
+	Bytes     uint64
+	FirstSeen sim.Time
+	LastSeen  sim.Time
+}
+
+// NewMonitor builds a monitor with a 4x2048 count-min sketch.
+func NewMonitor(name string) *Monitor {
+	return &Monitor{
+		name:   name,
+		cost:   CostModel{Base: 50 * sim.Nanosecond},
+		flows:  make(map[packet.FlowKey]*FlowStats),
+		sketch: NewCountMin(4, 2048),
+	}
+}
+
+// Name implements Element.
+func (m *Monitor) Name() string { return m.name }
+
+// Process implements Element.
+func (m *Monitor) Process(now sim.Time, p *packet.Packet) Result {
+	fs, ok := m.flows[p.Flow]
+	if !ok {
+		fs = &FlowStats{FirstSeen: now}
+		m.flows[p.Flow] = fs
+	}
+	fs.Packets++
+	fs.Bytes += uint64(p.Size())
+	fs.LastSeen = now
+	m.sketch.Add(p.Flow.Hash64(), uint64(p.Size()))
+	m.packets++
+	m.bytes += uint64(p.Size())
+	return Result{Verdict: packet.Pass, Cost: m.cost.Cost(0)}
+}
+
+// Flows returns the number of distinct flows observed.
+func (m *Monitor) Flows() int { return len(m.flows) }
+
+// Totals returns total packets and bytes observed.
+func (m *Monitor) Totals() (pkts, bytes uint64) { return m.packets, m.bytes }
+
+// FlowStats returns the exact stats for a flow, or nil.
+func (m *Monitor) FlowStats(k packet.FlowKey) *FlowStats { return m.flows[k] }
+
+// EstimateBytes returns the sketch's byte estimate for a flow (an
+// overestimate with bounded error, never an underestimate).
+func (m *Monitor) EstimateBytes(k packet.FlowKey) uint64 {
+	return m.sketch.Estimate(k.Hash64())
+}
+
+// HeavyHitter pairs a flow with its exact byte count.
+type HeavyHitter struct {
+	Flow  packet.FlowKey
+	Bytes uint64
+}
+
+// TopK returns the k largest flows by bytes, descending.
+func (m *Monitor) TopK(k int) []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(m.flows))
+	for f, s := range m.flows {
+		out = append(out, HeavyHitter{Flow: f, Bytes: s.Bytes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Flow.Hash64() < out[j].Flow.Hash64() // stable order for tests
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// CountMin is a count-min sketch: d rows of w counters; Add updates one
+// counter per row (chosen by independent hashes of the key) and Estimate
+// takes the row minimum.
+type CountMin struct {
+	rows [][]uint64
+	w    uint64
+}
+
+// NewCountMin builds a d×w sketch. It panics on non-positive dimensions.
+func NewCountMin(d, w int) *CountMin {
+	if d <= 0 || w <= 0 {
+		panic("nf: NewCountMin requires positive dimensions")
+	}
+	rows := make([][]uint64, d)
+	for i := range rows {
+		rows[i] = make([]uint64, w)
+	}
+	return &CountMin{rows: rows, w: uint64(w)}
+}
+
+// rowHash derives the i-th independent hash from key.
+func (c *CountMin) rowHash(key uint64, i int) uint64 {
+	// SplitMix-style finalizer with a per-row tweak.
+	z := key + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return (z ^ (z >> 31)) % c.w
+}
+
+// Add increments the key's counters by n.
+func (c *CountMin) Add(key, n uint64) {
+	for i := range c.rows {
+		c.rows[i][c.rowHash(key, i)] += n
+	}
+}
+
+// Estimate returns the count-min estimate for the key.
+func (c *CountMin) Estimate(key uint64) uint64 {
+	min := ^uint64(0)
+	for i := range c.rows {
+		if v := c.rows[i][c.rowHash(key, i)]; v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,220 @@
+package nf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// NAT is a stateful source NAT (NAPT). Outbound packets whose source lies in
+// the inside prefix are rewritten to (externalIP, allocated port); the
+// mapping is remembered so return traffic is translated back. Header
+// rewrites are real: the IPv4 source address and L4 source port are patched
+// in place and the IPv4 checksum is updated incrementally (RFC 1624).
+//
+// Idle mappings expire after Timeout of virtual time, reclaiming ports.
+type NAT struct {
+	name       string
+	insideIP   uint32
+	insideLen  uint32
+	externalIP uint32
+	Timeout    sim.Duration
+
+	portNext uint16
+	portMin  uint16
+	portMax  uint16
+	free     []uint16 // reclaimed ports
+
+	// forward: inside five-tuple -> mapping; reverse: external port -> mapping.
+	forward map[packet.FlowKey]*natEntry
+	reverse map[uint16]*natEntry
+
+	hitCost  CostModel
+	missCost CostModel
+
+	translated uint64
+	misses     uint64
+	expired    uint64
+	exhausted  uint64
+}
+
+type natEntry struct {
+	inside   packet.FlowKey
+	extPort  uint16
+	lastSeen sim.Time
+}
+
+// NewNAT builds a source NAT translating the inside prefix (insideIP/plen)
+// to externalIP, allocating external ports from [20000, 65000).
+func NewNAT(name string, insideIP, plen uint32, externalIP uint32) *NAT {
+	return &NAT{
+		name:       name,
+		insideIP:   insideIP,
+		insideLen:  plen,
+		externalIP: externalIP,
+		Timeout:    120 * sim.Second,
+		portMin:    20000,
+		portMax:    65000,
+		portNext:   20000,
+		forward:    make(map[packet.FlowKey]*natEntry),
+		reverse:    make(map[uint16]*natEntry),
+		hitCost:    CostModel{Base: 85 * sim.Nanosecond},
+		missCost:   CostModel{Base: 300 * sim.Nanosecond},
+	}
+}
+
+// Name implements Element.
+func (n *NAT) Name() string { return n.name }
+
+// Process implements Element.
+func (n *NAT) Process(now sim.Time, p *packet.Packet) Result {
+	k := p.Flow
+	if prefixMatch(k.SrcIP, n.insideIP, n.insideLen) {
+		return n.outbound(now, p)
+	}
+	if k.DstIP == n.externalIP {
+		return n.inbound(now, p)
+	}
+	// Not our traffic; transparent pass at hit cost.
+	return Result{Verdict: packet.Pass, Cost: n.hitCost.Cost(0)}
+}
+
+func (n *NAT) outbound(now sim.Time, p *packet.Packet) Result {
+	e, ok := n.forward[p.Flow]
+	cost := n.hitCost.Cost(0)
+	if !ok {
+		cost = n.missCost.Cost(0)
+		n.misses++
+		port, allocated := n.allocPort(now)
+		if !allocated {
+			n.exhausted++
+			p.Dropped = packet.DropPolicy
+			return Result{Verdict: packet.Drop, Cost: cost}
+		}
+		e = &natEntry{inside: p.Flow, extPort: port}
+		n.forward[p.Flow] = e
+		n.reverse[port] = e
+	}
+	e.lastSeen = now
+
+	if !n.rewrite(p, n.externalIP, e.extPort, true) {
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	n.translated++
+	return Result{Verdict: packet.Pass, Cost: cost}
+}
+
+func (n *NAT) inbound(now sim.Time, p *packet.Packet) Result {
+	e, ok := n.reverse[p.Flow.DstPort]
+	cost := n.hitCost.Cost(0)
+	if !ok || e.inside.Proto != p.Flow.Proto {
+		// No mapping: the NAT drops unsolicited inbound traffic.
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	e.lastSeen = now
+	if !n.rewrite(p, e.inside.SrcIP, e.inside.SrcPort, false) {
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	n.translated++
+	return Result{Verdict: packet.Pass, Cost: cost}
+}
+
+// rewrite patches the frame in place. For outbound it rewrites src ip/port;
+// for inbound, dst ip/port. It returns false on malformed frames.
+func (n *NAT) rewrite(p *packet.Packet, newIP uint32, newPort uint16, outbound bool) bool {
+	pr, err := packet.ParseFrame(p.Data)
+	if err != nil || !pr.IsIP || (!pr.HasUDP && !pr.HasTCP) {
+		return false
+	}
+	ipOff := pr.IPOffset
+	l4Off := pr.L4Offset
+
+	var oldIP uint32
+	var ipFieldOff int
+	if outbound {
+		oldIP = pr.IP.Src
+		ipFieldOff = ipOff + 12
+	} else {
+		oldIP = pr.IP.Dst
+		ipFieldOff = ipOff + 16
+	}
+	binary.BigEndian.PutUint32(p.Data[ipFieldOff:], newIP)
+
+	// Patch the IPv4 header checksum incrementally.
+	sum := binary.BigEndian.Uint16(p.Data[ipOff+10:])
+	sum = packet.UpdateChecksum32(sum, oldIP, newIP)
+	binary.BigEndian.PutUint16(p.Data[ipOff+10:], sum)
+
+	// Patch the L4 port.
+	var portOff int
+	if outbound {
+		portOff = l4Off // src port first
+	} else {
+		portOff = l4Off + 2
+	}
+	binary.BigEndian.PutUint16(p.Data[portOff:], newPort)
+
+	// Keep the cached flow key consistent.
+	if outbound {
+		p.Flow.SrcIP, p.Flow.SrcPort = newIP, newPort
+	} else {
+		p.Flow.DstIP, p.Flow.DstPort = newIP, newPort
+	}
+	return true
+}
+
+// allocPort hands out an external port, reusing expired mappings lazily.
+func (n *NAT) allocPort(now sim.Time) (uint16, bool) {
+	if len(n.free) > 0 {
+		p := n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+		return p, true
+	}
+	if n.portNext < n.portMax {
+		p := n.portNext
+		n.portNext++
+		return p, true
+	}
+	// Exhausted: sweep for expired mappings.
+	n.Expire(now)
+	if len(n.free) > 0 {
+		p := n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+		return p, true
+	}
+	return 0, false
+}
+
+// Expire reclaims mappings idle past Timeout. Returns how many were freed.
+func (n *NAT) Expire(now sim.Time) int {
+	freed := 0
+	for k, e := range n.forward {
+		if now-e.lastSeen > n.Timeout {
+			delete(n.forward, k)
+			delete(n.reverse, e.extPort)
+			n.free = append(n.free, e.extPort)
+			n.expired++
+			freed++
+		}
+	}
+	return freed
+}
+
+// Mappings returns the number of live translations.
+func (n *NAT) Mappings() int { return len(n.forward) }
+
+// Translated returns the count of successfully rewritten packets.
+func (n *NAT) Translated() uint64 { return n.translated }
+
+// Misses returns how many packets required a new mapping.
+func (n *NAT) Misses() uint64 { return n.misses }
+
+// String describes the NAT.
+func (n *NAT) String() string {
+	return fmt.Sprintf("nat(%s, %d mappings)", n.name, len(n.forward))
+}

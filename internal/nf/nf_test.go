@@ -1,0 +1,818 @@
+package nf
+
+import (
+	"testing"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// mkUDP builds a test packet with a parsed flow key and payload.
+func mkUDP(t testing.TB, key packet.FlowKey, payload []byte) *packet.Packet {
+	t.Helper()
+	key.Proto = packet.ProtoUDP
+	frame := packet.BuildUDP(key, payload, packet.BuildOpts{})
+	return &packet.Packet{ID: 1, OrigID: 1, Data: frame, Flow: key, FlowID: key.Hash64()}
+}
+
+func tenantKey(host byte, dstPort uint16) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: packet.IP4(10, 0, 0, host), DstIP: packet.IP4(10, 1, 0, 5),
+		SrcPort: 40000 + uint16(host), DstPort: dstPort, Proto: packet.ProtoUDP,
+	}
+}
+
+func TestChainPassesAndSumsCost(t *testing.T) {
+	fixed := func(name string, cost sim.Duration) Element {
+		return Func{ElemName: name, Fn: func(now sim.Time, p *packet.Packet) Result {
+			return Result{Verdict: packet.Pass, Cost: cost}
+		}}
+	}
+	c := NewChain("test", fixed("a", 10), fixed("b", 20), fixed("c", 30))
+	p := mkUDP(t, tenantKey(1, 80), nil)
+	r := c.Process(0, p)
+	if r.Verdict != packet.Pass || r.Cost != 60 {
+		t.Fatalf("chain result: %+v", r)
+	}
+	if c.Len() != 3 || c.Name() != "test" {
+		t.Fatal("chain metadata")
+	}
+}
+
+func TestChainShortCircuitsOnDrop(t *testing.T) {
+	calls := 0
+	pass := Func{ElemName: "pass", Fn: func(sim.Time, *packet.Packet) Result {
+		calls++
+		return Result{Verdict: packet.Pass, Cost: 5}
+	}}
+	drop := Func{ElemName: "drop", Fn: func(now sim.Time, p *packet.Packet) Result {
+		return Result{Verdict: packet.Drop, Cost: 7}
+	}}
+	c := NewChain("t", pass, drop, pass)
+	r := c.Process(0, mkUDP(t, tenantKey(1, 80), nil))
+	if r.Verdict != packet.Drop || r.Cost != 12 {
+		t.Fatalf("result %+v", r)
+	}
+	if calls != 1 {
+		t.Fatalf("element after drop ran (%d calls)", calls)
+	}
+	st := c.Stats()
+	if st[1].Dropped != 1 || st[0].Processed != 1 || st[2].Processed != 0 {
+		t.Fatalf("stage stats %+v", st)
+	}
+}
+
+func TestChainPanicsOnEmptyOrNil(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty": func() { NewChain("x") },
+		"nil":   func() { NewChain("x", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s chain did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestChainString(t *testing.T) {
+	c := NewChain("sfc", PresetFirewall(1), PresetRouter())
+	if got := c.String(); got != "sfc[fw->rt]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCostModelCacheLines(t *testing.T) {
+	m := CostModel{Base: 100, PerByte: 10}
+	if m.Cost(0) != 100 {
+		t.Fatalf("cost(0) = %d", m.Cost(0))
+	}
+	if m.Cost(1) != 110 || m.Cost(64) != 110 {
+		t.Fatal("first cache line mispriced")
+	}
+	if m.Cost(65) != 120 {
+		t.Fatal("second cache line mispriced")
+	}
+}
+
+func TestFirewallFirstMatchWins(t *testing.T) {
+	rules := []FWRule{
+		{DstPortLo: 80, DstPortHi: 80, Action: FWDeny},
+		{DstPortLo: 1, DstPortHi: 65535, Action: FWAllow},
+	}
+	fw := NewFirewall("fw", rules, false)
+	deny := fw.Process(0, mkUDP(t, tenantKey(1, 80), nil))
+	if deny.Verdict != packet.Drop {
+		t.Fatal("port-80 deny rule did not fire first")
+	}
+	allow := fw.Process(0, mkUDP(t, tenantKey(1, 81), nil))
+	if allow.Verdict != packet.Pass {
+		t.Fatal("allow rule did not fire")
+	}
+	if fw.Matched() != 2 || fw.Denied() != 1 {
+		t.Fatalf("counters matched=%d denied=%d", fw.Matched(), fw.Denied())
+	}
+}
+
+func TestFirewallDefaultVerdicts(t *testing.T) {
+	allowFW := NewFirewall("a", nil, true)
+	if r := allowFW.Process(0, mkUDP(t, tenantKey(1, 9), nil)); r.Verdict != packet.Pass {
+		t.Fatal("default-allow dropped")
+	}
+	denyFW := NewFirewall("d", nil, false)
+	p := mkUDP(t, tenantKey(1, 9), nil)
+	if r := denyFW.Process(0, p); r.Verdict != packet.Drop {
+		t.Fatal("default-deny passed")
+	}
+	if p.Dropped != packet.DropPolicy {
+		t.Fatal("drop reason not stamped")
+	}
+}
+
+func TestFirewallPrefixMatching(t *testing.T) {
+	rule := FWRule{
+		SrcIP: packet.IP4(10, 0, 0, 0), SrcPrefixLen: 24,
+		Action: FWDeny,
+	}
+	fw := NewFirewall("fw", []FWRule{rule}, true)
+	in24 := packet.FlowKey{SrcIP: packet.IP4(10, 0, 0, 77), DstIP: 1, SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP}
+	out24 := packet.FlowKey{SrcIP: packet.IP4(10, 0, 1, 77), DstIP: 1, SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP}
+	if r := fw.Process(0, mkUDP(t, in24, nil)); r.Verdict != packet.Drop {
+		t.Fatal("in-prefix source not denied")
+	}
+	if r := fw.Process(0, mkUDP(t, out24, nil)); r.Verdict != packet.Pass {
+		t.Fatal("out-of-prefix source denied")
+	}
+}
+
+func TestFirewallProtoAndPortRange(t *testing.T) {
+	rule := FWRule{Proto: packet.ProtoTCP, DstPortLo: 8000, DstPortHi: 9000, Action: FWDeny}
+	if rule.Matches(packet.FlowKey{Proto: packet.ProtoUDP, DstPort: 8500}) {
+		t.Fatal("UDP matched TCP-only rule")
+	}
+	if !rule.Matches(packet.FlowKey{Proto: packet.ProtoTCP, DstPort: 8500}) {
+		t.Fatal("TCP in range did not match")
+	}
+	if rule.Matches(packet.FlowKey{Proto: packet.ProtoTCP, DstPort: 9001}) {
+		t.Fatal("port above range matched")
+	}
+}
+
+func TestFirewallCostScalesWithRules(t *testing.T) {
+	small := NewFirewall("s", make([]FWRule, 1), false)
+	big := NewFirewall("b", make([]FWRule, 100), false)
+	// Zero-value rules match everything (allow), so both stop at rule 1…
+	// use non-matching rules to force full scans.
+	nonMatch := FWRule{Proto: 99}
+	smallRules := []FWRule{nonMatch}
+	bigRules := make([]FWRule, 100)
+	for i := range bigRules {
+		bigRules[i] = nonMatch
+	}
+	small = NewFirewall("s", smallRules, true)
+	big = NewFirewall("b", bigRules, true)
+	cs := small.Process(0, mkUDP(t, tenantKey(1, 80), nil)).Cost
+	cb := big.Process(0, mkUDP(t, tenantKey(1, 80), nil)).Cost
+	if cb <= cs {
+		t.Fatalf("100-rule scan (%v) not costlier than 1-rule (%v)", cb, cs)
+	}
+}
+
+func TestNATOutboundRewritesAndReturns(t *testing.T) {
+	nat := NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP)
+	inKey := tenantKey(7, 80)
+	p := mkUDP(t, inKey, []byte("req"))
+	r := nat.Process(1000, p)
+	if r.Verdict != packet.Pass {
+		t.Fatalf("outbound verdict %v", r.Verdict)
+	}
+	// The frame itself must now carry the external source.
+	pr, err := packet.ParseFrame(p.Data)
+	if err != nil {
+		t.Fatalf("rewritten frame does not parse: %v", err)
+	}
+	if pr.IP.Src != NATExternalIP {
+		t.Fatalf("frame src = %x, want external", pr.IP.Src)
+	}
+	if p.Flow.SrcIP != NATExternalIP {
+		t.Fatal("cached flow key not updated")
+	}
+	extPort := p.Flow.SrcPort
+	if nat.Mappings() != 1 || nat.Misses() != 1 {
+		t.Fatalf("mappings=%d misses=%d", nat.Mappings(), nat.Misses())
+	}
+
+	// Return traffic to (external, extPort) must be translated back.
+	retKey := packet.FlowKey{
+		SrcIP: inKey.DstIP, DstIP: NATExternalIP,
+		SrcPort: inKey.DstPort, DstPort: extPort, Proto: packet.ProtoUDP,
+	}
+	ret := mkUDP(t, retKey, []byte("resp"))
+	rr := nat.Process(2000, ret)
+	if rr.Verdict != packet.Pass {
+		t.Fatalf("inbound verdict %v", rr.Verdict)
+	}
+	if ret.Flow.DstIP != inKey.SrcIP || ret.Flow.DstPort != inKey.SrcPort {
+		t.Fatalf("return not translated to inside host: %v", ret.Flow)
+	}
+	// Frame checksum must still validate after incremental patches.
+	if _, err := packet.ParseFrame(ret.Data); err != nil {
+		t.Fatalf("translated return frame invalid: %v", err)
+	}
+}
+
+func TestNATSecondPacketIsHit(t *testing.T) {
+	nat := NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP)
+	p1 := mkUDP(t, tenantKey(3, 80), nil)
+	c1 := nat.Process(0, p1).Cost
+	p2 := mkUDP(t, tenantKey(3, 80), nil)
+	c2 := nat.Process(10, p2).Cost
+	if c2 >= c1 {
+		t.Fatalf("mapping hit (%v) not cheaper than miss (%v)", c2, c1)
+	}
+	if nat.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", nat.Misses())
+	}
+	// Same external port for both packets of the flow.
+	if p1.Flow.SrcPort != p2.Flow.SrcPort {
+		t.Fatal("flow affinity broken")
+	}
+}
+
+func TestNATDropsUnsolicitedInbound(t *testing.T) {
+	nat := NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP)
+	k := packet.FlowKey{
+		SrcIP: packet.IP4(8, 8, 8, 8), DstIP: NATExternalIP,
+		SrcPort: 53, DstPort: 30000, Proto: packet.ProtoUDP,
+	}
+	if r := nat.Process(0, mkUDP(t, k, nil)); r.Verdict != packet.Drop {
+		t.Fatal("unsolicited inbound passed the NAT")
+	}
+}
+
+func TestNATPassesUnrelatedTraffic(t *testing.T) {
+	nat := NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP)
+	k := packet.FlowKey{SrcIP: packet.IP4(172, 16, 0, 1), DstIP: packet.IP4(172, 16, 0, 2),
+		SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP}
+	p := mkUDP(t, k, nil)
+	if r := nat.Process(0, p); r.Verdict != packet.Pass {
+		t.Fatal("unrelated traffic dropped")
+	}
+	if p.Flow != k {
+		t.Fatal("unrelated traffic rewritten")
+	}
+}
+
+func TestNATExpiry(t *testing.T) {
+	nat := NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP)
+	nat.Timeout = 10 * sim.Second
+	nat.Process(0, mkUDP(t, tenantKey(1, 80), nil))
+	nat.Process(0, mkUDP(t, tenantKey(2, 80), nil))
+	if n := nat.Expire(5 * sim.Second); n != 0 {
+		t.Fatalf("premature expiry of %d mappings", n)
+	}
+	if n := nat.Expire(20 * sim.Second); n != 2 {
+		t.Fatalf("expired %d mappings, want 2", n)
+	}
+	if nat.Mappings() != 0 {
+		t.Fatal("mappings not cleared")
+	}
+}
+
+func TestNATDistinctFlowsDistinctPorts(t *testing.T) {
+	nat := NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP)
+	seen := make(map[uint16]bool)
+	for i := byte(1); i <= 50; i++ {
+		p := mkUDP(t, tenantKey(i, 80), nil)
+		if r := nat.Process(0, p); r.Verdict != packet.Pass {
+			t.Fatal("NAT dropped outbound")
+		}
+		if seen[p.Flow.SrcPort] {
+			t.Fatalf("port %d reused across live flows", p.Flow.SrcPort)
+		}
+		seen[p.Flow.SrcPort] = true
+	}
+}
+
+func TestRouterLPM(t *testing.T) {
+	r := NewRouter("rt")
+	r.AddRoute(packet.IP4(10, 0, 0, 0), 8, 1)
+	r.AddRoute(packet.IP4(10, 1, 0, 0), 16, 2)
+	r.AddRoute(packet.IP4(10, 1, 2, 0), 24, 3)
+
+	cases := []struct {
+		addr uint32
+		want uint32
+		ok   bool
+	}{
+		{packet.IP4(10, 9, 9, 9), 1, true},
+		{packet.IP4(10, 1, 9, 9), 2, true},
+		{packet.IP4(10, 1, 2, 9), 3, true},
+		{packet.IP4(11, 0, 0, 1), 0, false},
+	}
+	for _, c := range cases {
+		hop, ok := r.Lookup(c.addr)
+		if ok != c.ok || (ok && hop != c.want) {
+			t.Errorf("Lookup(%x) = %v,%v want %v,%v", c.addr, hop, ok, c.want, c.ok)
+		}
+	}
+	if r.Routes() != 3 {
+		t.Fatalf("Routes() = %d", r.Routes())
+	}
+}
+
+func TestRouterDefaultRoute(t *testing.T) {
+	r := NewRouter("rt")
+	r.AddRoute(0, 0, 42)
+	hop, ok := r.Lookup(packet.IP4(203, 0, 113, 1))
+	if !ok || hop != 42 {
+		t.Fatalf("default route lookup = %v,%v", hop, ok)
+	}
+}
+
+func TestRouterDecrementsTTLWithValidChecksum(t *testing.T) {
+	r := PresetRouter()
+	p := mkUDP(t, tenantKey(1, 80), nil)
+	before, _ := packet.ParseFrame(p.Data)
+	if res := r.Process(0, p); res.Verdict != packet.Pass {
+		t.Fatalf("route verdict %v", res.Verdict)
+	}
+	after, err := packet.ParseFrame(p.Data)
+	if err != nil {
+		t.Fatalf("checksum broken after TTL patch: %v", err)
+	}
+	if after.IP.TTL != before.IP.TTL-1 {
+		t.Fatalf("TTL %d -> %d", before.IP.TTL, after.IP.TTL)
+	}
+}
+
+func TestRouterDropsTTLExpired(t *testing.T) {
+	r := PresetRouter()
+	key := tenantKey(1, 80)
+	frame := packet.BuildUDP(key, nil, packet.BuildOpts{TTL: 1})
+	p := &packet.Packet{Data: frame, Flow: key}
+	if res := r.Process(0, p); res.Verdict != packet.Drop {
+		t.Fatal("TTL=1 packet not dropped")
+	}
+	if r.TTLDrops() != 1 {
+		t.Fatal("TTL drop not counted")
+	}
+}
+
+func TestRouterDropsNoRoute(t *testing.T) {
+	r := NewRouter("rt")
+	r.AddRoute(packet.IP4(10, 0, 0, 0), 8, 1)
+	k := packet.FlowKey{SrcIP: 1, DstIP: packet.IP4(99, 0, 0, 1), SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP}
+	if res := r.Process(0, mkUDP(t, k, nil)); res.Verdict != packet.Drop {
+		t.Fatal("unroutable packet passed")
+	}
+	if r.NoRouteDrops() != 1 {
+		t.Fatal("no-route drop not counted")
+	}
+}
+
+func TestDPIMatchesSignature(t *testing.T) {
+	d := NewDPI("dpi", []string{"attack-pattern"}, true)
+	bad := mkUDP(t, tenantKey(1, 80), []byte("prefix attack-pattern suffix"))
+	if r := d.Process(0, bad); r.Verdict != packet.Drop {
+		t.Fatal("IPS did not drop matching payload")
+	}
+	good := mkUDP(t, tenantKey(1, 80), []byte("innocent payload"))
+	if r := d.Process(0, good); r.Verdict != packet.Pass {
+		t.Fatal("IPS dropped clean payload")
+	}
+	if d.Matches() != 1 || d.Scanned() != 2 {
+		t.Fatalf("matches=%d scanned=%d", d.Matches(), d.Scanned())
+	}
+}
+
+func TestDPIIDSModeCountsButPasses(t *testing.T) {
+	d := NewDPI("dpi", []string{"sig"}, false)
+	p := mkUDP(t, tenantKey(1, 80), []byte("sig"))
+	if r := d.Process(0, p); r.Verdict != packet.Pass {
+		t.Fatal("IDS mode dropped")
+	}
+	if d.Matches() != 1 {
+		t.Fatal("IDS match not counted")
+	}
+}
+
+func TestDPICostScalesWithPayload(t *testing.T) {
+	d := NewDPI("dpi", DefaultSignatures, false)
+	small := d.Process(0, mkUDP(t, tenantKey(1, 80), make([]byte, 64))).Cost
+	large := d.Process(0, mkUDP(t, tenantKey(1, 80), make([]byte, 1400))).Cost
+	if large <= small {
+		t.Fatalf("DPI cost: %v for 1400B <= %v for 64B", large, small)
+	}
+}
+
+func TestAhoCorasickOverlappingPatterns(t *testing.T) {
+	ac := newAhoCorasick([]string{"he", "she", "his", "hers"})
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"ushers", true}, // contains "she", "he", "hers"
+		{"hi", false},
+		{"ahishers", true},
+		{"xyz", false},
+		{"", false},
+		{"h", false},
+		{"he", true},
+	}
+	for _, c := range cases {
+		if got := ac.match([]byte(c.text)); got != c.want {
+			t.Errorf("match(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestAhoCorasickBinaryPatterns(t *testing.T) {
+	ac := newAhoCorasick([]string{"\x00\x01\x02", "\xff\xfe"})
+	if !ac.match([]byte{9, 0, 1, 2, 9}) {
+		t.Fatal("binary pattern missed")
+	}
+	if ac.match([]byte{0, 1, 9, 2}) {
+		t.Fatal("false binary match")
+	}
+}
+
+func TestAhoCorasickEmptyPatternsIgnored(t *testing.T) {
+	ac := newAhoCorasick([]string{"", "x"})
+	if ac.match([]byte("abc")) {
+		t.Fatal("empty pattern matched everything")
+	}
+	if !ac.match([]byte("axc")) {
+		t.Fatal("real pattern missed")
+	}
+}
+
+func TestLoadBalancerFlowAffinity(t *testing.T) {
+	backends := []uint32{packet.IP4(10, 1, 0, 1), packet.IP4(10, 1, 0, 2), packet.IP4(10, 1, 0, 3)}
+	lb := NewLoadBalancer("lb", LBVirtualIP, backends)
+	k := packet.FlowKey{SrcIP: packet.IP4(10, 0, 0, 9), DstIP: LBVirtualIP,
+		SrcPort: 1234, DstPort: 80, Proto: packet.ProtoUDP}
+	var first uint32
+	for i := 0; i < 10; i++ {
+		p := mkUDP(t, k, nil)
+		if r := lb.Process(0, p); r.Verdict != packet.Pass {
+			t.Fatal("LB dropped")
+		}
+		if i == 0 {
+			first = p.Flow.DstIP
+		} else if p.Flow.DstIP != first {
+			t.Fatal("flow affinity violated")
+		}
+	}
+	if _, err := packet.ParseFrame(mustProcess(t, lb, k).Data); err != nil {
+		t.Fatalf("rewritten frame invalid: %v", err)
+	}
+}
+
+func mustProcess(t *testing.T, e Element, k packet.FlowKey) *packet.Packet {
+	t.Helper()
+	p := mkUDP(t, k, nil)
+	if r := e.Process(0, p); r.Verdict != packet.Pass {
+		t.Fatalf("%s dropped test packet", e.Name())
+	}
+	return p
+}
+
+func TestLoadBalancerSpreadsFlows(t *testing.T) {
+	backends := []uint32{1000, 2000, 3000, 4000}
+	lb := NewLoadBalancer("lb", LBVirtualIP, backends)
+	counts := make(map[uint32]int)
+	for i := 0; i < 4000; i++ {
+		k := packet.FlowKey{SrcIP: uint32(i), DstIP: LBVirtualIP,
+			SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoUDP}
+		counts[lb.PickBackend(k)]++
+	}
+	for _, be := range backends {
+		if counts[be] < 500 {
+			t.Fatalf("backend %d starved: %v", be, counts)
+		}
+	}
+}
+
+func TestLoadBalancerConsistentUnderBackendChange(t *testing.T) {
+	b3 := []uint32{1, 2, 3}
+	b4 := []uint32{1, 2, 3, 4}
+	lb3 := NewLoadBalancer("a", LBVirtualIP, b3)
+	lb4 := NewLoadBalancer("b", LBVirtualIP, b4)
+	moved := 0
+	const flows = 2000
+	for i := 0; i < flows; i++ {
+		k := packet.FlowKey{SrcIP: uint32(i * 31), DstIP: LBVirtualIP,
+			SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoUDP}
+		if lb3.PickBackend(k) != lb4.PickBackend(k) {
+			moved++
+		}
+	}
+	// Consistent hashing: adding 1 of 4 backends should move ~1/4 of
+	// flows, far from rehash-everything.
+	if moved > flows/2 {
+		t.Fatalf("%d/%d flows moved on backend addition", moved, flows)
+	}
+	if moved < flows/20 {
+		t.Fatalf("implausibly few flows moved (%d)", moved)
+	}
+}
+
+func TestLoadBalancerPassesNonVIP(t *testing.T) {
+	lb := NewLoadBalancer("lb", LBVirtualIP, []uint32{1})
+	k := tenantKey(1, 80)
+	p := mkUDP(t, k, nil)
+	lb.Process(0, p)
+	if p.Flow != k {
+		t.Fatal("non-VIP traffic rewritten")
+	}
+}
+
+func TestLoadBalancerPanicsOnNoBackends(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty backend set did not panic")
+		}
+	}()
+	NewLoadBalancer("lb", LBVirtualIP, nil)
+}
+
+func TestRateLimiterPolices(t *testing.T) {
+	// 1000 B/s, burst 1500 B: the first full-size packet fits, the second
+	// immediately after does not.
+	rl := NewRateLimiter("rl", 1000, 1500, false)
+	k := tenantKey(1, 80)
+	p1 := mkUDP(t, k, make([]byte, 1000))
+	if r := rl.Process(0, p1); r.Verdict != packet.Pass {
+		t.Fatal("first packet policed")
+	}
+	p2 := mkUDP(t, k, make([]byte, 1000))
+	if r := rl.Process(0, p2); r.Verdict != packet.Drop {
+		t.Fatal("burst-exceeding packet passed")
+	}
+	if rl.Passed() != 1 || rl.Policed() != 1 {
+		t.Fatalf("passed=%d policed=%d", rl.Passed(), rl.Policed())
+	}
+}
+
+func TestRateLimiterRefills(t *testing.T) {
+	rl := NewRateLimiter("rl", 1e6, 2000, false) // 1 MB/s
+	k := tenantKey(1, 80)
+	rl.Process(0, mkUDP(t, k, make([]byte, 1900)))
+	// After 2 ms, 2000 bytes have refilled.
+	p := mkUDP(t, k, make([]byte, 1900))
+	if r := rl.Process(2*sim.Millisecond, p); r.Verdict != packet.Pass {
+		t.Fatal("refilled bucket still policing")
+	}
+}
+
+func TestRateLimiterPerFlowIsolation(t *testing.T) {
+	rl := NewRateLimiter("rl", 1000, 1100, true)
+	a, b := tenantKey(1, 80), tenantKey(2, 80)
+	rl.Process(0, mkUDP(t, a, make([]byte, 1000)))
+	// Flow a exhausted its bucket; flow b must be unaffected.
+	if r := rl.Process(0, mkUDP(t, a, make([]byte, 1000))); r.Verdict != packet.Drop {
+		t.Fatal("flow a not policed")
+	}
+	if r := rl.Process(0, mkUDP(t, b, make([]byte, 1000))); r.Verdict != packet.Pass {
+		t.Fatal("flow b policed by flow a's bucket")
+	}
+}
+
+func TestRateLimiterInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero rate")
+		}
+	}()
+	NewRateLimiter("rl", 0, 1, false)
+}
+
+func TestMonitorCountsFlows(t *testing.T) {
+	m := NewMonitor("mon")
+	a, b := tenantKey(1, 80), tenantKey(2, 80)
+	m.Process(100, mkUDP(t, a, make([]byte, 100)))
+	m.Process(200, mkUDP(t, a, make([]byte, 200)))
+	m.Process(300, mkUDP(t, b, make([]byte, 50)))
+	if m.Flows() != 2 {
+		t.Fatalf("Flows() = %d", m.Flows())
+	}
+	fs := m.FlowStats(a)
+	if fs == nil || fs.Packets != 2 {
+		t.Fatalf("flow a stats %+v", fs)
+	}
+	if fs.FirstSeen != 100 || fs.LastSeen != 200 {
+		t.Fatalf("flow a times %+v", fs)
+	}
+	pkts, _ := m.Totals()
+	if pkts != 3 {
+		t.Fatalf("total packets %d", pkts)
+	}
+}
+
+func TestMonitorTopK(t *testing.T) {
+	m := NewMonitor("mon")
+	for i := byte(1); i <= 5; i++ {
+		for j := 0; j < int(i); j++ {
+			m.Process(0, mkUDP(t, tenantKey(i, 80), make([]byte, 1000)))
+		}
+	}
+	top := m.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	if top[0].Bytes < top[1].Bytes {
+		t.Fatal("TopK not sorted")
+	}
+	if top[0].Flow.SrcIP != packet.IP4(10, 0, 0, 5) {
+		t.Fatalf("heaviest flow wrong: %v", top[0].Flow)
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm := NewCountMin(4, 512)
+	truth := make(map[uint64]uint64)
+	for i := uint64(0); i < 300; i++ {
+		n := i%7 + 1
+		cm.Add(i*2654435761, n)
+		truth[i*2654435761] += n
+	}
+	for k, v := range truth {
+		if est := cm.Estimate(k); est < v {
+			t.Fatalf("count-min underestimated: %d < %d", est, v)
+		}
+	}
+}
+
+func TestCountMinAccurateWhenSparse(t *testing.T) {
+	cm := NewCountMin(4, 4096)
+	cm.Add(12345, 100)
+	if est := cm.Estimate(12345); est != 100 {
+		t.Fatalf("sparse estimate = %d, want 100", est)
+	}
+	if est := cm.Estimate(99999); est != 0 {
+		t.Fatalf("absent key estimate = %d", est)
+	}
+}
+
+func TestVXLANEncapDecapRoundTrip(t *testing.T) {
+	enc := NewVXLANEncap("vtep-tx", 42, packet.IP4(172, 16, 0, 1), packet.IP4(172, 16, 0, 2))
+	dec := NewVXLANDecap("vtep-rx", 42)
+	innerKey := tenantKey(5, 443)
+	payload := []byte("inner payload bytes")
+	p := mkUDP(t, innerKey, payload)
+	origFrame := append([]byte(nil), p.Data...)
+
+	if r := enc.Process(0, p); r.Verdict != packet.Pass {
+		t.Fatal("encap failed")
+	}
+	// Outer flow must be UDP to the VXLAN port.
+	if p.Flow.DstPort != packet.VXLANPort || p.Flow.Proto != packet.ProtoUDP {
+		t.Fatalf("outer flow %v", p.Flow)
+	}
+	pr, err := packet.ParseFrame(p.Data)
+	if err != nil || !pr.HasUDP {
+		t.Fatalf("outer frame invalid: %v", err)
+	}
+
+	if r := dec.Process(0, p); r.Verdict != packet.Pass {
+		t.Fatal("decap failed")
+	}
+	if p.Flow != innerKey {
+		t.Fatalf("inner flow not restored: %v", p.Flow)
+	}
+	if string(p.Data) != string(origFrame) {
+		t.Fatal("inner frame bytes not preserved")
+	}
+	if enc.Encapped() != 1 || dec.Decapped() != 1 {
+		t.Fatal("tunnel counters")
+	}
+}
+
+func TestVXLANDecapRejectsWrongVNI(t *testing.T) {
+	enc := NewVXLANEncap("tx", 42, 1, 2)
+	dec := NewVXLANDecap("rx", 43)
+	p := mkUDP(t, tenantKey(1, 80), nil)
+	enc.Process(0, p)
+	if r := dec.Process(0, p); r.Verdict != packet.Drop {
+		t.Fatal("wrong VNI accepted")
+	}
+	if dec.BadVNI() != 1 {
+		t.Fatal("bad VNI not counted")
+	}
+}
+
+func TestVXLANEntropyVariesAcrossFlows(t *testing.T) {
+	enc := NewVXLANEncap("tx", 1, 1, 2)
+	ports := make(map[uint16]bool)
+	for i := byte(1); i <= 30; i++ {
+		p := mkUDP(t, tenantKey(i, 80), nil)
+		enc.Process(0, p)
+		ports[p.Flow.SrcPort] = true
+	}
+	if len(ports) < 10 {
+		t.Fatalf("entropy ports too clustered: %d distinct of 30", len(ports))
+	}
+}
+
+func TestClassifierStampsTOS(t *testing.T) {
+	c := PresetClassifier()
+	p := mkUDP(t, tenantKey(1, 80), nil) // port 80 -> latency sensitive
+	if r := c.Process(0, p); r.Verdict != packet.Pass {
+		t.Fatal("classifier dropped")
+	}
+	if got := ClassOf(p); got != ClassLatencySensitive {
+		t.Fatalf("ClassOf = %v", got)
+	}
+	// Frame must still checksum-validate after the TOS patch.
+	if _, err := packet.ParseFrame(p.Data); err != nil {
+		t.Fatalf("frame invalid after TOS stamp: %v", err)
+	}
+
+	bulk := mkUDP(t, tenantKey(1, 55000), nil)
+	c.Process(0, bulk)
+	if got := ClassOf(bulk); got != ClassBulk {
+		t.Fatalf("bulk ClassOf = %v", got)
+	}
+	counts := c.Counts()
+	if counts[ClassLatencySensitive] != 1 || counts[ClassBulk] != 1 {
+		t.Fatalf("class counts %v", counts)
+	}
+}
+
+func TestPresetChainAllLengthsPass(t *testing.T) {
+	for length := 1; length <= 6; length++ {
+		c := PresetChain(length)
+		if c.Len() != length {
+			t.Fatalf("PresetChain(%d).Len() = %d", length, c.Len())
+		}
+		p := mkUDP(t, tenantKey(1, 80), []byte("normal request payload"))
+		r := c.Process(0, p)
+		if r.Verdict != packet.Pass {
+			t.Fatalf("PresetChain(%d) dropped clean traffic at some stage: %v", length, c.Stats())
+		}
+		if r.Cost <= 0 {
+			t.Fatalf("PresetChain(%d) has zero cost", length)
+		}
+	}
+}
+
+func TestPresetChainCostMonotone(t *testing.T) {
+	var prev sim.Duration
+	for length := 1; length <= 6; length++ {
+		c := PresetChain(length)
+		p := mkUDP(t, tenantKey(1, 80), make([]byte, 256))
+		cost := c.Process(0, p).Cost
+		if cost < prev {
+			t.Fatalf("chain %d cheaper (%v) than chain %d (%v)", length, cost, length-1, prev)
+		}
+		prev = cost
+	}
+}
+
+func TestPresetChainInvalidLengthPanics(t *testing.T) {
+	for _, l := range []int{0, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PresetChain(%d) did not panic", l)
+				}
+			}()
+			PresetChain(l)
+		}()
+	}
+}
+
+func BenchmarkPresetChain6(b *testing.B) {
+	c := PresetChain(6)
+	key := tenantKey(1, 80)
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := packet.BuildUDP(key, payload, packet.BuildOpts{})
+		p := &packet.Packet{Data: frame, Flow: key}
+		c.Process(sim.Time(i), p)
+	}
+}
+
+func BenchmarkDPIScan1500(b *testing.B) {
+	d := NewDPI("dpi", DefaultSignatures, false)
+	p := mkUDP(b, tenantKey(1, 80), make([]byte, 1400))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Process(0, p)
+	}
+}
+
+func BenchmarkNATHit(b *testing.B) {
+	nat := NewNAT("nat", packet.IP4(10, 0, 0, 0), 16, NATExternalIP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mkUDP(b, tenantKey(1, 80), nil)
+		nat.Process(sim.Time(i), p)
+	}
+}

@@ -1,0 +1,112 @@
+package nf
+
+import (
+	"fmt"
+
+	"mpdp/internal/packet"
+)
+
+// Canonical address plan shared by the experiment suite and examples.
+// Tenant VMs live in 10.0.0.0/16 and talk to services in 10.1.0.0/16;
+// the LB virtual IP and NAT external IP sit in 192.0.2.0/24 (TEST-NET-1).
+var (
+	TenantNet      = packet.IP4(10, 0, 0, 0)
+	TenantPrefix   = uint32(16)
+	ServiceNet     = packet.IP4(10, 1, 0, 0)
+	ServicePrefix  = uint32(16)
+	LBVirtualIP    = packet.IP4(192, 0, 2, 100)
+	NATExternalIP  = packet.IP4(192, 0, 2, 1)
+	DefaultGateway = packet.IP4(10, 0, 0, 1)
+)
+
+// DefaultSignatures is the DPI signature set used by presets: strings that
+// essentially never occur in the synthetic payloads, so DPI pays its scan
+// cost without perturbing delivery counts.
+var DefaultSignatures = []string{
+	"X-Exploit-Marker: cve-2021-44228",
+	"\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90",
+	"cmd.exe /c powershell -enc",
+	"/etc/passwd\x00root",
+	"SELECT * FROM users WHERE '1'='1'",
+}
+
+// PresetFirewall returns an ACL typical of a tenant edge: a handful of deny
+// rules (which preset traffic does not hit) and default allow. ruleCount
+// scales the linear-scan cost.
+func PresetFirewall(ruleCount int) *Firewall {
+	if ruleCount < 1 {
+		ruleCount = 1
+	}
+	rules := make([]FWRule, 0, ruleCount)
+	for i := 0; i < ruleCount; i++ {
+		// Deny a spread of unused /32 sources on port 23 (telnet).
+		rules = append(rules, FWRule{
+			SrcIP: packet.IP4(203, 0, 113, byte(i+1)), SrcPrefixLen: 32,
+			DstPortLo: 23, DstPortHi: 23,
+			Action: FWDeny,
+		})
+	}
+	return NewFirewall("fw", rules, true)
+}
+
+// PresetRouter returns a router with service and tenant routes plus a
+// default route, so preset traffic always forwards.
+func PresetRouter() *Router {
+	r := NewRouter("rt")
+	r.AddRoute(TenantNet, TenantPrefix, DefaultGateway)
+	r.AddRoute(ServiceNet, ServicePrefix, packet.IP4(10, 1, 0, 1))
+	r.AddRoute(LBVirtualIP, 32, packet.IP4(10, 1, 0, 1))
+	r.AddRoute(0, 0, DefaultGateway) // default
+	return r
+}
+
+// PresetClassifier returns a classifier marking small-port control traffic
+// and service traffic as latency sensitive, high ports as bulk.
+func PresetClassifier() *Classifier {
+	return NewClassifier("cls", []ClassRule{
+		{Match: FWRule{DstPortLo: 1, DstPortHi: 1023}, Class: ClassLatencySensitive},
+		{Match: FWRule{DstPortLo: 50000, DstPortHi: 65535}, Class: ClassBulk},
+	})
+}
+
+// PresetChain builds the standard SFC of the experiment suite at the given
+// length (1..6). Order mirrors a production tenant edge:
+//
+//	1: firewall
+//	2: firewall, router
+//	3: firewall, router, monitor
+//	4: classifier, firewall, router, monitor
+//	5: classifier, firewall, router, monitor, DPI
+//	6: classifier, firewall, router, monitor, DPI, rate-limiter
+//
+// Every preset element passes the synthetic workloads (no policy drops), so
+// delivery accounting isolates congestion effects.
+func PresetChain(length int) *Chain {
+	if length < 1 || length > 6 {
+		panic(fmt.Sprintf("nf: PresetChain length %d out of [1,6]", length))
+	}
+	fw := PresetFirewall(20)
+	rt := PresetRouter()
+	mon := NewMonitor("mon")
+	cls := PresetClassifier()
+	dpi := NewDPI("dpi", DefaultSignatures, false)
+	// 10 GbE-class policer: effectively never polices preset loads.
+	rl := NewRateLimiter("rl", 1.25e9, 2.5e8, false)
+
+	var elems []Element
+	switch length {
+	case 1:
+		elems = []Element{fw}
+	case 2:
+		elems = []Element{fw, rt}
+	case 3:
+		elems = []Element{fw, rt, mon}
+	case 4:
+		elems = []Element{cls, fw, rt, mon}
+	case 5:
+		elems = []Element{cls, fw, rt, mon, dpi}
+	case 6:
+		elems = []Element{cls, fw, rt, mon, dpi, rl}
+	}
+	return NewChain(fmt.Sprintf("sfc%d", length), elems...)
+}

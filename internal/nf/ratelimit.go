@@ -1,0 +1,90 @@
+package nf
+
+import (
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// RateLimiter is a token-bucket policer in virtual time. Tokens are bytes;
+// the bucket refills at Rate bytes/second up to Burst bytes. Packets that
+// do not fit are dropped (policing, not shaping — a policer never queues).
+//
+// PerFlow mode keeps one bucket per five-tuple, the common tenant-isolation
+// configuration.
+type RateLimiter struct {
+	name    string
+	rate    float64 // bytes per virtual second
+	burst   float64
+	perFlow bool
+	cost    CostModel
+
+	global  bucket
+	buckets map[packet.FlowKey]*bucket
+
+	passed  uint64
+	policed uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   sim.Time
+}
+
+// NewRateLimiter builds a policer at rateBytesPerSec with the given burst.
+// It panics on non-positive rate or burst.
+func NewRateLimiter(name string, rateBytesPerSec, burstBytes float64, perFlow bool) *RateLimiter {
+	if rateBytesPerSec <= 0 || burstBytes <= 0 {
+		panic("nf: NewRateLimiter requires positive rate and burst")
+	}
+	rl := &RateLimiter{
+		name:    name,
+		rate:    rateBytesPerSec,
+		burst:   burstBytes,
+		perFlow: perFlow,
+		cost:    CostModel{Base: 30 * sim.Nanosecond},
+		global:  bucket{tokens: burstBytes},
+	}
+	if perFlow {
+		rl.buckets = make(map[packet.FlowKey]*bucket)
+	}
+	return rl
+}
+
+// Name implements Element.
+func (rl *RateLimiter) Name() string { return rl.name }
+
+// Process implements Element.
+func (rl *RateLimiter) Process(now sim.Time, p *packet.Packet) Result {
+	cost := rl.cost.Cost(0)
+	b := &rl.global
+	if rl.perFlow {
+		var ok bool
+		if b, ok = rl.buckets[p.Flow]; !ok {
+			b = &bucket{tokens: rl.burst, last: now}
+			rl.buckets[p.Flow] = b
+		}
+	}
+	// Refill.
+	elapsed := float64(now-b.last) / float64(sim.Second)
+	b.tokens += elapsed * rl.rate
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.last = now
+
+	need := float64(p.Size())
+	if b.tokens < need {
+		rl.policed++
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	b.tokens -= need
+	rl.passed++
+	return Result{Verdict: packet.Pass, Cost: cost}
+}
+
+// Passed returns the number of conforming packets.
+func (rl *RateLimiter) Passed() uint64 { return rl.passed }
+
+// Policed returns the number of dropped, non-conforming packets.
+func (rl *RateLimiter) Policed() uint64 { return rl.policed }

@@ -1,0 +1,124 @@
+package nf
+
+import (
+	"fmt"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// Router performs IPv4 longest-prefix-match forwarding over a binary trie
+// and decrements TTL with an incremental checksum patch, like a software
+// router element. Packets whose TTL expires, or that match no route when no
+// default exists, are dropped.
+type Router struct {
+	name string
+	root *trieNode
+	n    int
+	cost CostModel
+
+	routed   uint64
+	noRoute  uint64
+	ttlDrops uint64
+}
+
+type trieNode struct {
+	child   [2]*trieNode
+	nextHop uint32
+	set     bool
+}
+
+// NewRouter builds an empty router.
+func NewRouter(name string) *Router {
+	return &Router{
+		name: name,
+		root: &trieNode{},
+		cost: CostModel{Base: 55 * sim.Nanosecond},
+	}
+}
+
+// AddRoute installs prefix/plen -> nextHop. plen 0 sets the default route.
+func (r *Router) AddRoute(prefix uint32, plen uint32, nextHop uint32) {
+	if plen > 32 {
+		panic(fmt.Sprintf("nf: AddRoute prefix length %d > 32", plen))
+	}
+	node := r.root
+	for i := uint32(0); i < plen; i++ {
+		bit := (prefix >> (31 - i)) & 1
+		if node.child[bit] == nil {
+			node.child[bit] = &trieNode{}
+		}
+		node = node.child[bit]
+	}
+	if !node.set {
+		r.n++
+	}
+	node.nextHop = nextHop
+	node.set = true
+}
+
+// Lookup returns the longest-prefix-match next hop for addr.
+func (r *Router) Lookup(addr uint32) (uint32, bool) {
+	node := r.root
+	var best uint32
+	found := false
+	for i := 0; i < 32 && node != nil; i++ {
+		if node.set {
+			best, found = node.nextHop, true
+		}
+		bit := (addr >> (31 - i)) & 1
+		node = node.child[bit]
+	}
+	if node != nil && node.set {
+		best, found = node.nextHop, true
+	}
+	return best, found
+}
+
+// Routes returns the number of installed prefixes.
+func (r *Router) Routes() int { return r.n }
+
+// Name implements Element.
+func (r *Router) Name() string { return r.name }
+
+// Process implements Element.
+func (r *Router) Process(now sim.Time, p *packet.Packet) Result {
+	cost := r.cost.Cost(0)
+	if _, ok := r.Lookup(p.Flow.DstIP); !ok {
+		r.noRoute++
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	// Decrement TTL in the real header with an incremental checksum patch.
+	pr, err := packet.ParseFrame(p.Data)
+	if err != nil || !pr.IsIP {
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	ipOff := pr.IPOffset
+	ttl := p.Data[ipOff+8]
+	if ttl <= 1 {
+		r.ttlDrops++
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	old16 := uint16(ttl)<<8 | uint16(p.Data[ipOff+9])
+	p.Data[ipOff+8] = ttl - 1
+	new16 := uint16(ttl-1)<<8 | uint16(p.Data[ipOff+9])
+	sum := uint16(p.Data[ipOff+10])<<8 | uint16(p.Data[ipOff+11])
+	sum = packet.UpdateChecksum16(sum, old16, new16)
+	p.Data[ipOff+10] = byte(sum >> 8)
+	p.Data[ipOff+11] = byte(sum)
+
+	r.routed++
+	return Result{Verdict: packet.Pass, Cost: cost}
+}
+
+// Routed returns the number of successfully forwarded packets.
+func (r *Router) Routed() uint64 { return r.routed }
+
+// NoRouteDrops returns drops due to missing routes.
+func (r *Router) NoRouteDrops() uint64 { return r.noRoute }
+
+// TTLDrops returns drops due to TTL expiry.
+func (r *Router) TTLDrops() uint64 { return r.ttlDrops }

@@ -1,0 +1,145 @@
+package nf
+
+import (
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// VXLANEncap wraps each packet in a real outer Ethernet+IPv4+UDP+VXLAN
+// header, as the transmit side of an overlay tunnel endpoint (VTEP) does.
+// The inner frame is preserved byte for byte. Flow metadata switches to the
+// outer five-tuple; the outer UDP source port carries the inner flow's
+// entropy (RFC 7348 §5) so multi-queue hashing still spreads tunneled flows.
+type VXLANEncap struct {
+	name               string
+	vni                uint32
+	outerSrc, outerDst uint32
+	srcMAC, dstMAC     packet.MAC
+	cost               CostModel
+
+	encapped uint64
+}
+
+// NewVXLANEncap builds a VTEP transmit element for the given VNI and outer
+// endpoint addresses.
+func NewVXLANEncap(name string, vni, outerSrc, outerDst uint32) *VXLANEncap {
+	return &VXLANEncap{
+		name:     name,
+		vni:      vni,
+		outerSrc: outerSrc,
+		outerDst: outerDst,
+		srcMAC:   packet.MAC{0x02, 0, 0, 0, 0, 1},
+		dstMAC:   packet.MAC{0x02, 0, 0, 0, 0, 2},
+		// Fixed header prep plus one payload copy.
+		cost: CostModel{Base: 90 * sim.Nanosecond, PerByte: 12 * sim.Nanosecond},
+	}
+}
+
+// Name implements Element.
+func (v *VXLANEncap) Name() string { return v.name }
+
+// Process implements Element.
+func (v *VXLANEncap) Process(now sim.Time, p *packet.Packet) Result {
+	inner := p.Data
+	cost := v.cost.Cost(len(inner))
+
+	outerLen := packet.EthHeaderLen + packet.IPv4HeaderLen + packet.UDPHeaderLen + packet.VXLANHdrLen
+	buf := make([]byte, outerLen+len(inner))
+
+	eth := packet.Ethernet{Dst: v.dstMAC, Src: v.srcMAC, EtherType: packet.EtherTypeIPv4}
+	eth.Encode(buf)
+
+	ip := packet.IPv4{
+		IHL: 5, TTL: 64, Proto: packet.ProtoUDP,
+		TotalLen: uint16(packet.IPv4HeaderLen + packet.UDPHeaderLen + packet.VXLANHdrLen + len(inner)),
+		Src:      v.outerSrc, Dst: v.outerDst,
+	}
+	ip.Encode(buf[packet.EthHeaderLen:])
+
+	// Entropy source port derived from the inner flow (range 49152-65535).
+	srcPort := uint16(49152 + p.Flow.Hash64()%16384)
+	udp := packet.UDP{
+		SrcPort: srcPort, DstPort: packet.VXLANPort,
+		Length: uint16(packet.UDPHeaderLen + packet.VXLANHdrLen + len(inner)),
+	}
+	udp.Encode(buf[packet.EthHeaderLen+packet.IPv4HeaderLen:])
+
+	vx := packet.VXLAN{VNI: v.vni}
+	vx.Encode(buf[packet.EthHeaderLen+packet.IPv4HeaderLen+packet.UDPHeaderLen:])
+
+	copy(buf[outerLen:], inner)
+	p.Data = buf
+	p.Flow = packet.FlowKey{
+		SrcIP: v.outerSrc, DstIP: v.outerDst,
+		SrcPort: srcPort, DstPort: packet.VXLANPort,
+		Proto: packet.ProtoUDP,
+	}
+	v.encapped++
+	return Result{Verdict: packet.Pass, Cost: cost}
+}
+
+// Encapped returns the number of tunneled packets.
+func (v *VXLANEncap) Encapped() uint64 { return v.encapped }
+
+// VXLANDecap terminates the tunnel: it strips the outer headers of VXLAN
+// packets destined to this VTEP and restores the inner frame and flow key.
+// Non-VXLAN packets pass through untouched.
+type VXLANDecap struct {
+	name string
+	vni  uint32
+	cost CostModel
+
+	decapped uint64
+	badVNI   uint64
+}
+
+// NewVXLANDecap builds a VTEP receive element accepting the given VNI.
+func NewVXLANDecap(name string, vni uint32) *VXLANDecap {
+	return &VXLANDecap{
+		name: name,
+		vni:  vni,
+		cost: CostModel{Base: 80 * sim.Nanosecond, PerByte: 6 * sim.Nanosecond},
+	}
+}
+
+// Name implements Element.
+func (v *VXLANDecap) Name() string { return v.name }
+
+// Process implements Element.
+func (v *VXLANDecap) Process(now sim.Time, p *packet.Packet) Result {
+	pr, err := packet.ParseFrame(p.Data)
+	cost := v.cost.Base
+	if err != nil || !pr.HasUDP || pr.UDP.DstPort != packet.VXLANPort {
+		return Result{Verdict: packet.Pass, Cost: cost}
+	}
+	payload := pr.Payload(p.Data)
+	cost = v.cost.Cost(len(payload))
+	vx, err := packet.DecodeVXLAN(payload)
+	if err != nil {
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	if vx.VNI != v.vni {
+		v.badVNI++
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	inner := payload[packet.VXLANHdrLen:]
+	buf := make([]byte, len(inner))
+	copy(buf, inner)
+	p.Data = buf
+	key, err := packet.ExtractFlowKey(buf)
+	if err != nil {
+		p.Dropped = packet.DropPolicy
+		return Result{Verdict: packet.Drop, Cost: cost}
+	}
+	p.Flow = key
+	v.decapped++
+	return Result{Verdict: packet.Pass, Cost: cost}
+}
+
+// Decapped returns the number of terminated tunnel packets.
+func (v *VXLANDecap) Decapped() uint64 { return v.decapped }
+
+// BadVNI returns drops due to a VNI mismatch.
+func (v *VXLANDecap) BadVNI() uint64 { return v.badVNI }

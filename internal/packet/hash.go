@@ -1,0 +1,92 @@
+package packet
+
+import "encoding/binary"
+
+// Flow hashing. Two hash families are provided:
+//
+//   - FNV-1a over the five-tuple: the general-purpose hash used by flow
+//     tables, NAT maps and sketches.
+//   - A Toeplitz hash compatible with Microsoft RSS: what a multi-queue NIC
+//     uses to spread flows across receive queues. The vnet vNIC and the
+//     RSS baseline policy both use it, so the baseline reproduces real RSS
+//     skew (many flows hashing onto one queue).
+
+// fnv1a64 constants.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash64 returns a 64-bit FNV-1a hash of the five-tuple.
+func (k FlowKey) Hash64() uint64 {
+	var b [13]byte
+	binary.BigEndian.PutUint32(b[0:4], k.SrcIP)
+	binary.BigEndian.PutUint32(b[4:8], k.DstIP)
+	binary.BigEndian.PutUint16(b[8:10], k.SrcPort)
+	binary.BigEndian.PutUint16(b[10:12], k.DstPort)
+	b[12] = k.Proto
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// SymmetricHash64 hashes both directions of a flow to the same value, as
+// needed by stateful NFs that must see forward and return traffic together.
+func (k FlowKey) SymmetricHash64() uint64 {
+	a, b := k.Hash64(), k.Reverse().Hash64()
+	if a < b {
+		return a*31 + b
+	}
+	return b*31 + a
+}
+
+// DefaultRSSKey is the 40-byte secret key Microsoft publishes for RSS
+// verification suites; using it makes our Toeplitz output directly
+// comparable with NIC datasheet examples.
+var DefaultRSSKey = [40]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// ToeplitzHash computes the RSS Toeplitz hash of the five-tuple input
+// (src IP, dst IP, src port, dst port) under key, exactly as a multi-queue
+// NIC does for TCP/UDP over IPv4.
+func ToeplitzHash(key [40]byte, k FlowKey) uint32 {
+	var input [12]byte
+	binary.BigEndian.PutUint32(input[0:4], k.SrcIP)
+	binary.BigEndian.PutUint32(input[4:8], k.DstIP)
+	binary.BigEndian.PutUint16(input[8:10], k.SrcPort)
+	binary.BigEndian.PutUint16(input[10:12], k.DstPort)
+
+	var result uint32
+	// The sliding 32-bit window over the key, advanced one bit per input bit.
+	window := binary.BigEndian.Uint32(key[0:4])
+	keyBit := 32 // index of the next key bit to shift in
+	for _, inByte := range input {
+		for bit := 7; bit >= 0; bit-- {
+			if inByte&(1<<uint(bit)) != 0 {
+				result ^= window
+			}
+			// Slide the window left by one, pulling in the next key bit.
+			next := (key[keyBit/8] >> uint(7-keyBit%8)) & 1
+			window = window<<1 | uint32(next)
+			keyBit++
+		}
+	}
+	return result
+}
+
+// RSSQueue maps a flow to one of n receive queues using the standard
+// indirection of taking the low bits of the Toeplitz hash.
+func RSSQueue(key [40]byte, k FlowKey, n int) int {
+	if n <= 0 {
+		panic("packet: RSSQueue with non-positive queue count")
+	}
+	return int(ToeplitzHash(key, k) % uint32(n))
+}

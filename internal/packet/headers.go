@@ -1,0 +1,332 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire-format constants.
+const (
+	EthHeaderLen  = 14
+	VLANTagLen    = 4
+	IPv4HeaderLen = 20 // without options
+	UDPHeaderLen  = 8
+	TCPHeaderLen  = 20 // without options
+	VXLANHdrLen   = 8
+
+	EtherTypeIPv4 = 0x0800
+	EtherTypeVLAN = 0x8100
+	EtherTypeARP  = 0x0806
+
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+
+	VXLANPort = 4789
+)
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("packet: truncated frame")
+	ErrNotIPv4     = errors.New("packet: not an IPv4 frame")
+	ErrBadVersion  = errors.New("packet: bad IP version")
+	ErrBadChecksum = errors.New("packet: bad IPv4 header checksum")
+	ErrBadIHL      = errors.New("packet: bad IPv4 IHL")
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is a decoded Ethernet II header (optionally 802.1Q tagged).
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+	// VLAN fields are valid when Tagged is true.
+	Tagged bool
+	VLANID uint16
+	PCP    uint8
+	DEI    bool // drop-eligible indicator
+}
+
+// HeaderLen returns the encoded length (14 or 18 with a VLAN tag).
+func (e *Ethernet) HeaderLen() int {
+	if e.Tagged {
+		return EthHeaderLen + VLANTagLen
+	}
+	return EthHeaderLen
+}
+
+// DecodeEthernet parses the Ethernet (and 802.1Q, if present) header.
+func DecodeEthernet(b []byte) (Ethernet, error) {
+	var e Ethernet
+	if len(b) < EthHeaderLen {
+		return e, ErrTruncated
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	et := binary.BigEndian.Uint16(b[12:14])
+	if et == EtherTypeVLAN {
+		if len(b) < EthHeaderLen+VLANTagLen {
+			return e, ErrTruncated
+		}
+		tci := binary.BigEndian.Uint16(b[14:16])
+		e.Tagged = true
+		e.PCP = uint8(tci >> 13)
+		e.DEI = tci&0x1000 != 0
+		e.VLANID = tci & 0x0fff
+		e.EtherType = binary.BigEndian.Uint16(b[16:18])
+		return e, nil
+	}
+	e.EtherType = et
+	return e, nil
+}
+
+// Encode writes the header into b, which must have room (HeaderLen bytes).
+func (e *Ethernet) Encode(b []byte) int {
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	if e.Tagged {
+		binary.BigEndian.PutUint16(b[12:14], EtherTypeVLAN)
+		tci := uint16(e.PCP)<<13 | (e.VLANID & 0x0fff)
+		if e.DEI {
+			tci |= 0x1000
+		}
+		binary.BigEndian.PutUint16(b[14:16], tci)
+		binary.BigEndian.PutUint16(b[16:18], e.EtherType)
+		return EthHeaderLen + VLANTagLen
+	}
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	return EthHeaderLen
+}
+
+// IPv4 is a decoded IPv4 header (options preserved opaquely via IHL).
+type IPv4 struct {
+	IHL      uint8 // header length in 32-bit words
+	TOS      uint8
+	TotalLen uint16
+	Ident    uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Proto    uint8
+	Checksum uint16
+	Src, Dst uint32
+}
+
+// HeaderLen returns the encoded header length in bytes.
+func (h *IPv4) HeaderLen() int { return int(h.IHL) * 4 }
+
+// DecodeIPv4 parses an IPv4 header and verifies its checksum.
+func DecodeIPv4(b []byte) (IPv4, error) {
+	var h IPv4
+	if len(b) < IPv4HeaderLen {
+		return h, ErrTruncated
+	}
+	if v := b[0] >> 4; v != 4 {
+		return h, ErrBadVersion
+	}
+	h.IHL = b[0] & 0x0f
+	if h.IHL < 5 {
+		return h, ErrBadIHL
+	}
+	hl := int(h.IHL) * 4
+	if len(b) < hl {
+		return h, ErrTruncated
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.Ident = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = b[8]
+	h.Proto = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	h.Src = binary.BigEndian.Uint32(b[12:16])
+	h.Dst = binary.BigEndian.Uint32(b[16:20])
+	if Checksum16(b[:hl]) != 0 {
+		return h, ErrBadChecksum
+	}
+	return h, nil
+}
+
+// Encode writes the header (20 bytes, options unsupported on encode) into b
+// and fills in the checksum. TotalLen must already be set by the caller.
+func (h *IPv4) Encode(b []byte) int {
+	if h.IHL == 0 {
+		h.IHL = 5
+	}
+	b[0] = 4<<4 | h.IHL
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.Ident)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Proto
+	b[10], b[11] = 0, 0
+	binary.BigEndian.PutUint32(b[12:16], h.Src)
+	binary.BigEndian.PutUint32(b[16:20], h.Dst)
+	h.Checksum = Checksum16(b[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[10:12], h.Checksum)
+	return IPv4HeaderLen
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// DecodeUDP parses a UDP header.
+func DecodeUDP(b []byte) (UDP, error) {
+	var u UDP
+	if len(b) < UDPHeaderLen {
+		return u, ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	u.Checksum = binary.BigEndian.Uint16(b[6:8])
+	return u, nil
+}
+
+// Encode writes the header into b (checksum left as provided; 0 = none,
+// which is legal for UDP over IPv4).
+func (u *UDP) Encode(b []byte) int {
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	binary.BigEndian.PutUint16(b[6:8], u.Checksum)
+	return UDPHeaderLen
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+	TCPUrg = 1 << 5
+)
+
+// TCP is a decoded TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	SeqNum, AckNum   uint32
+	DataOff          uint8 // header length in 32-bit words
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+}
+
+// HeaderLen returns the encoded header length in bytes.
+func (t *TCP) HeaderLen() int { return int(t.DataOff) * 4 }
+
+// DecodeTCP parses a TCP header.
+func DecodeTCP(b []byte) (TCP, error) {
+	var t TCP
+	if len(b) < TCPHeaderLen {
+		return t, ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.SeqNum = binary.BigEndian.Uint32(b[4:8])
+	t.AckNum = binary.BigEndian.Uint32(b[8:12])
+	t.DataOff = b[12] >> 4
+	if t.DataOff < 5 {
+		return t, ErrBadIHL
+	}
+	if len(b) < t.HeaderLen() {
+		return t, ErrTruncated
+	}
+	t.Flags = b[13] & 0x3f
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	t.Checksum = binary.BigEndian.Uint16(b[16:18])
+	t.Urgent = binary.BigEndian.Uint16(b[18:20])
+	return t, nil
+}
+
+// Encode writes the header (20 bytes, no options on encode) into b.
+func (t *TCP) Encode(b []byte) int {
+	if t.DataOff == 0 {
+		t.DataOff = 5
+	}
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.SeqNum)
+	binary.BigEndian.PutUint32(b[8:12], t.AckNum)
+	b[12] = t.DataOff << 4
+	b[13] = t.Flags & 0x3f
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	binary.BigEndian.PutUint16(b[16:18], t.Checksum)
+	binary.BigEndian.PutUint16(b[18:20], t.Urgent)
+	return TCPHeaderLen
+}
+
+// VXLAN is a decoded VXLAN header (RFC 7348).
+type VXLAN struct {
+	VNI uint32 // 24-bit virtual network identifier
+}
+
+// DecodeVXLAN parses a VXLAN header.
+func DecodeVXLAN(b []byte) (VXLAN, error) {
+	var v VXLAN
+	if len(b) < VXLANHdrLen {
+		return v, ErrTruncated
+	}
+	if b[0]&0x08 == 0 {
+		return v, errors.New("packet: VXLAN I flag not set")
+	}
+	v.VNI = binary.BigEndian.Uint32(b[4:8]) >> 8
+	return v, nil
+}
+
+// Encode writes the header into b.
+func (v *VXLAN) Encode(b []byte) int {
+	b[0] = 0x08
+	b[1], b[2], b[3] = 0, 0, 0
+	binary.BigEndian.PutUint32(b[4:8], v.VNI<<8)
+	return VXLANHdrLen
+}
+
+// Checksum16 computes the Internet checksum (RFC 1071) over b.
+// Computing it over a header with a correct embedded checksum yields zero.
+func Checksum16(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// UpdateChecksum16 incrementally updates an Internet checksum when a 16-bit
+// field changes from old to new (RFC 1624, eqn. 3). NAT uses this to avoid
+// recomputing full checksums per rewritten packet.
+func UpdateChecksum16(sum, old, new16 uint16) uint16 {
+	c := uint32(^sum&0xffff) + uint32(^old&0xffff) + uint32(new16)
+	for c > 0xffff {
+		c = (c >> 16) + (c & 0xffff)
+	}
+	return ^uint16(c)
+}
+
+// UpdateChecksum32 applies UpdateChecksum16 for a 32-bit field change.
+func UpdateChecksum32(sum uint16, old, new32 uint32) uint16 {
+	sum = UpdateChecksum16(sum, uint16(old>>16), uint16(new32>>16))
+	sum = UpdateChecksum16(sum, uint16(old), uint16(new32))
+	return sum
+}

@@ -1,0 +1,163 @@
+// Package queueing provides closed-form queueing-theory results (M/M/1,
+// M/D/1, M/G/1 via Pollaczek–Khinchine, and M/M/c) used to validate the
+// MPDP simulator against theory: a lane fed Poisson arrivals with known
+// service distribution must reproduce the analytic mean wait and queue
+// length, or the discrete-event substrate cannot be trusted for the
+// experiments built on it. The validation tests live in the vnet and
+// experiment packages.
+//
+// All formulas are for stable systems (utilization < 1); constructors
+// reject anything else.
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrUnstable is returned for utilization >= 1.
+var ErrUnstable = errors.New("queueing: utilization must be < 1")
+
+// MM1 describes an M/M/1 queue: Poisson arrivals at rate lambda,
+// exponential service at rate mu, one server, infinite buffer.
+type MM1 struct {
+	Lambda float64 // arrivals per unit time
+	Mu     float64 // services per unit time
+}
+
+// NewMM1 validates the parameters.
+func NewMM1(lambda, mu float64) (MM1, error) {
+	if lambda <= 0 || mu <= 0 {
+		return MM1{}, errors.New("queueing: rates must be positive")
+	}
+	if lambda >= mu {
+		return MM1{}, ErrUnstable
+	}
+	return MM1{Lambda: lambda, Mu: mu}, nil
+}
+
+// Rho returns the utilization λ/μ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanWait returns Wq, the mean time in queue (excluding service).
+func (q MM1) MeanWait() float64 {
+	rho := q.Rho()
+	return rho / (q.Mu * (1 - rho))
+}
+
+// MeanSojourn returns W, the mean time in system (queue + service).
+func (q MM1) MeanSojourn() float64 { return q.MeanWait() + 1/q.Mu }
+
+// MeanQueueLen returns Lq, the mean number waiting (Little's law on Wq).
+func (q MM1) MeanQueueLen() float64 { return q.Lambda * q.MeanWait() }
+
+// MeanInSystem returns L, the mean number in system.
+func (q MM1) MeanInSystem() float64 { return q.Lambda * q.MeanSojourn() }
+
+// PN returns the steady-state probability of exactly n in system.
+func (q MM1) PN(n int) float64 {
+	rho := q.Rho()
+	return (1 - rho) * math.Pow(rho, float64(n))
+}
+
+// SojournQuantile returns the p-quantile of the sojourn time (the sojourn
+// distribution of M/M/1 is exponential with rate mu-lambda).
+func (q MM1) SojournQuantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / (q.Mu - q.Lambda)
+}
+
+// MG1 describes an M/G/1 queue: Poisson arrivals, general service with the
+// given first two moments, one server.
+type MG1 struct {
+	Lambda  float64 // arrival rate
+	MeanSvc float64 // E[S]
+	VarSvc  float64 // Var[S]
+}
+
+// NewMG1 validates the parameters.
+func NewMG1(lambda, meanSvc, varSvc float64) (MG1, error) {
+	if lambda <= 0 || meanSvc <= 0 || varSvc < 0 {
+		return MG1{}, errors.New("queueing: invalid M/G/1 parameters")
+	}
+	if lambda*meanSvc >= 1 {
+		return MG1{}, ErrUnstable
+	}
+	return MG1{Lambda: lambda, MeanSvc: meanSvc, VarSvc: varSvc}, nil
+}
+
+// Rho returns the utilization λ·E[S].
+func (q MG1) Rho() float64 { return q.Lambda * q.MeanSvc }
+
+// SCV returns the squared coefficient of variation of service.
+func (q MG1) SCV() float64 { return q.VarSvc / (q.MeanSvc * q.MeanSvc) }
+
+// MeanWait returns Wq by the Pollaczek–Khinchine formula:
+// Wq = λ·E[S²] / (2(1-ρ)).
+func (q MG1) MeanWait() float64 {
+	es2 := q.VarSvc + q.MeanSvc*q.MeanSvc
+	return q.Lambda * es2 / (2 * (1 - q.Rho()))
+}
+
+// MeanSojourn returns W = Wq + E[S].
+func (q MG1) MeanSojourn() float64 { return q.MeanWait() + q.MeanSvc }
+
+// MeanQueueLen returns Lq by Little's law.
+func (q MG1) MeanQueueLen() float64 { return q.Lambda * q.MeanWait() }
+
+// MD1 returns the M/D/1 special case (deterministic service): an M/G/1
+// with zero service variance.
+func MD1(lambda, svc float64) (MG1, error) { return NewMG1(lambda, svc, 0) }
+
+// MMc describes an M/M/c queue: Poisson arrivals, exponential service,
+// c identical servers — the analytic model of a c-path data plane with a
+// perfectly shared queue, i.e. the theoretical lower bound multipath
+// scheduling chases.
+type MMc struct {
+	Lambda float64
+	Mu     float64 // per-server service rate
+	C      int
+}
+
+// NewMMc validates the parameters.
+func NewMMc(lambda, mu float64, c int) (MMc, error) {
+	if lambda <= 0 || mu <= 0 || c < 1 {
+		return MMc{}, errors.New("queueing: invalid M/M/c parameters")
+	}
+	if lambda >= mu*float64(c) {
+		return MMc{}, ErrUnstable
+	}
+	return MMc{Lambda: lambda, Mu: mu, C: c}, nil
+}
+
+// Rho returns the per-server utilization λ/(cμ).
+func (q MMc) Rho() float64 { return q.Lambda / (q.Mu * float64(q.C)) }
+
+// ErlangC returns the probability an arrival must wait (all servers busy).
+func (q MMc) ErlangC() float64 {
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	c := q.C
+	// Numerically stable iterative Erlang-B, then convert to Erlang-C.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Rho()
+	return b / (1 - rho*(1-b))
+}
+
+// MeanWait returns Wq = C(c, a) / (cμ - λ).
+func (q MMc) MeanWait() float64 {
+	return q.ErlangC() / (q.Mu*float64(q.C) - q.Lambda)
+}
+
+// MeanSojourn returns W = Wq + 1/μ.
+func (q MMc) MeanSojourn() float64 { return q.MeanWait() + 1/q.Mu }
+
+// MeanQueueLen returns Lq by Little's law.
+func (q MMc) MeanQueueLen() float64 { return q.Lambda * q.MeanWait() }

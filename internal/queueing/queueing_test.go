@@ -1,0 +1,154 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestMM1KnownValues(t *testing.T) {
+	// λ=0.5, μ=1: ρ=0.5, Wq=1, W=2, Lq=0.5, L=1.
+	q, err := NewMM1(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, q.Rho(), 0.5, 1e-12, "rho")
+	almost(t, q.MeanWait(), 1, 1e-12, "Wq")
+	almost(t, q.MeanSojourn(), 2, 1e-12, "W")
+	almost(t, q.MeanQueueLen(), 0.5, 1e-12, "Lq")
+	almost(t, q.MeanInSystem(), 1, 1e-12, "L")
+}
+
+func TestMM1StateProbabilities(t *testing.T) {
+	q, _ := NewMM1(0.8, 1)
+	sum := 0.0
+	for n := 0; n < 200; n++ {
+		p := q.PN(n)
+		if p < 0 || p > 1 {
+			t.Fatalf("PN(%d) = %v", n, p)
+		}
+		sum += p
+	}
+	almost(t, sum, 1, 1e-9, "sum PN")
+	// L = sum n*PN(n) must match ρ/(1-ρ) = 4.
+	l := 0.0
+	for n := 0; n < 2000; n++ {
+		l += float64(n) * q.PN(n)
+	}
+	almost(t, l, 4, 1e-6, "L from PN")
+}
+
+func TestMM1SojournQuantile(t *testing.T) {
+	q, _ := NewMM1(0.5, 1)
+	// Sojourn ~ Exp(0.5): median = ln2/0.5.
+	almost(t, q.SojournQuantile(0.5), math.Ln2/0.5, 1e-12, "median sojourn")
+	if q.SojournQuantile(0) != 0 || !math.IsInf(q.SojournQuantile(1), 1) {
+		t.Fatal("quantile edge cases")
+	}
+	// p99 > median.
+	if q.SojournQuantile(0.99) <= q.SojournQuantile(0.5) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestMM1RejectsUnstable(t *testing.T) {
+	if _, err := NewMM1(1, 1); err != ErrUnstable {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewMM1(2, 1); err != ErrUnstable {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewMM1(0, 1); err == nil {
+		t.Fatal("zero lambda accepted")
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service: Var = 1/μ². P-K must equal the M/M/1 result.
+	lambda, mu := 0.7, 1.0
+	mm1, _ := NewMM1(lambda, mu)
+	mg1, err := NewMG1(lambda, 1/mu, 1/(mu*mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, mg1.MeanWait(), mm1.MeanWait(), 1e-12, "Wq M/G/1 vs M/M/1")
+	almost(t, mg1.MeanSojourn(), mm1.MeanSojourn(), 1e-12, "W")
+}
+
+func TestMD1HalvesQueueing(t *testing.T) {
+	// Deterministic service halves Wq relative to exponential (SCV 0 vs 1):
+	// Wq(M/D/1) = Wq(M/M/1)/2 × (1+SCV)/2 relation.
+	lambda, mu := 0.8, 1.0
+	mm1, _ := NewMM1(lambda, mu)
+	md1, err := MD1(lambda, 1/mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, md1.MeanWait(), mm1.MeanWait()/2, 1e-12, "Wq M/D/1")
+	almost(t, md1.SCV(), 0, 1e-12, "SCV")
+}
+
+func TestMG1HighVarianceHurts(t *testing.T) {
+	low, _ := NewMG1(0.5, 1, 0.1)
+	high, _ := NewMG1(0.5, 1, 10)
+	if high.MeanWait() <= low.MeanWait() {
+		t.Fatal("higher service variance did not increase waiting")
+	}
+}
+
+func TestMG1RejectsUnstable(t *testing.T) {
+	if _, err := NewMG1(1, 1, 0); err != ErrUnstable {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewMG1(0.5, 1, -1); err == nil {
+		t.Fatal("negative variance accepted")
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	mm1, _ := NewMM1(0.6, 1)
+	mmc, err := NewMMc(0.6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, mmc.MeanWait(), mm1.MeanWait(), 1e-12, "Wq M/M/1 vs M/M/c(1)")
+	// Erlang C with one server equals rho.
+	almost(t, mmc.ErlangC(), 0.6, 1e-12, "ErlangC c=1")
+}
+
+func TestMMcKnownValue(t *testing.T) {
+	// Classic textbook case: λ=2, μ=1, c=3 → ρ=2/3, C(3,2)≈0.4444,
+	// Wq = C/(cμ-λ) ≈ 0.4444.
+	q, err := NewMMc(2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, q.ErlangC(), 4.0/9.0, 1e-9, "ErlangC(3,2)")
+	almost(t, q.MeanWait(), 4.0/9.0, 1e-9, "Wq")
+}
+
+func TestMMcPoolingBeatsSplitQueues(t *testing.T) {
+	// The multipath motivation in one inequality: one pooled M/M/4 beats
+	// four independent M/M/1 queues each taking a quarter of the load.
+	pooled, _ := NewMMc(3.2, 1, 4)
+	split, _ := NewMM1(0.8, 1)
+	if pooled.MeanWait() >= split.MeanWait() {
+		t.Fatalf("pooling (%v) not better than splitting (%v)",
+			pooled.MeanWait(), split.MeanWait())
+	}
+}
+
+func TestMMcRejectsUnstable(t *testing.T) {
+	if _, err := NewMMc(4, 1, 4); err != ErrUnstable {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewMMc(1, 1, 0); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+}

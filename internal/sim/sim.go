@@ -1,0 +1,250 @@
+// Package sim implements the discrete-event simulation kernel underneath the
+// MPDP virtual data plane.
+//
+// All of MPDP runs in virtual time: a simulated nanosecond clock advanced
+// only by the event loop. This substitutes for the paper's wall-clock
+// DPDK/Click testbed (see DESIGN.md §2) and makes every experiment
+// deterministic and bit-reproducible for a given seed.
+//
+// The kernel is intentionally minimal: a monotonic clock, a binary-heap
+// event queue with stable FIFO ordering for simultaneous events, and
+// cancellable event handles. Everything else (queues, cores, NICs) is built
+// on top in the vnet package.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration spans between two virtual-time points, in nanoseconds.
+type Duration = Time
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String formats a Time with an adaptive unit, for logs and tables.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created by Simulator.Schedule and friends.
+type Event struct {
+	at        Time
+	seq       uint64 // tiebreaker: FIFO among simultaneous events
+	fn        func()
+	index     int // position in the heap, -1 when not queued
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel is O(1); the slot is dropped
+// lazily when it reaches the top of the heap.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+		e.fn = nil // release closure for GC
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// Time returns the virtual time at which the event fires (or would have).
+func (e *Event) Time() Time { return e.at }
+
+// Simulator owns the virtual clock and the pending-event heap.
+// The zero value is a simulator at time 0 with no events, ready to use.
+type Simulator struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	fired  uint64
+}
+
+// New returns a simulator at virtual time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Fired returns the total number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Schedule queues fn to run after delay. A negative delay panics: the
+// simulator's clock is monotonic and the past cannot be rewritten.
+func (s *Simulator) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %d", delay))
+	}
+	t := s.now + delay
+	if t < s.now { // int64 overflow: clamp to the end of virtual time
+		t = math.MaxInt64
+	}
+	return s.At(t, fn)
+}
+
+// At queues fn to run at absolute virtual time t (>= Now).
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	s.events.push(e)
+	return e
+}
+
+// Step fires the single earliest event. It returns false when no runnable
+// event remains.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := s.events.pop()
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		fn := e.fn
+		e.fn = nil
+		s.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue completely, advancing virtual time as it goes.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events up to and including time t, then sets the clock to
+// t even if the queue drained earlier. Events scheduled after t stay queued.
+func (s *Simulator) RunUntil(t Time) {
+	for {
+		e := s.peekRunnable()
+		if e == nil || e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the clock by d, firing all events in the window.
+func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now + d) }
+
+// peekRunnable discards cancelled events at the top of the heap and returns
+// the next live one, or nil.
+func (s *Simulator) peekRunnable() *Event {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if !e.cancelled {
+			return e
+		}
+		s.events.pop()
+	}
+	return nil
+}
+
+// eventHeap is a binary min-heap ordered by (time, seq). A hand-rolled heap
+// (rather than container/heap) avoids interface boxing on the hottest path
+// of the simulator.
+type eventHeap []*Event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e *Event) {
+	*h = append(*h, e)
+	e.index = len(*h) - 1
+	h.up(e.index)
+}
+
+func (h *eventHeap) pop() *Event {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old[0], old[n-1] = old[n-1], old[0]
+	old[0].index = 0
+	old[n-1] = nil
+	*h = old[:n-1]
+	if len(*h) > 0 {
+		h.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}

@@ -1,0 +1,258 @@
+// Package stats provides the measurement machinery of MPDP: an HDR-style
+// log-bucketed latency histogram with exact count/sum/min/max, a streaming
+// P² quantile estimator for per-path telemetry, Welford summaries, and
+// windowed time series for timeline experiments.
+//
+// All values are int64 (virtual-time nanoseconds in practice, but the
+// package is unit-agnostic).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Histogram bucket layout: values below 64 get exact unit buckets; above,
+// each power-of-two range is split into 64 geometric sub-buckets, bounding
+// relative quantile error by 2^-6 ≈ 1.6%. This mirrors HdrHistogram's
+// design while staying dependency-free.
+const (
+	histMantissaBits = 6
+	histLinearLimit  = 1 << histMantissaBits // 64
+	histSubBuckets   = 1 << histMantissaBits
+	histNumBuckets   = histLinearLimit + (63-histMantissaBits)*histSubBuckets + histSubBuckets
+)
+
+// Hist is a fixed-memory latency histogram. The zero value is ready to use.
+type Hist struct {
+	counts [histNumBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{min: math.MaxInt64} }
+
+func bucketOf(v int64) int {
+	if v < histLinearLimit {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= histMantissaBits
+	shift := exp - histMantissaBits
+	mantissa := int(v>>uint(shift)) & (histSubBuckets - 1)
+	return histLinearLimit + (exp-histMantissaBits)*histSubBuckets + mantissa
+}
+
+// bucketLower returns the smallest value mapping to bucket i.
+func bucketLower(i int) int64 {
+	if i < histLinearLimit {
+		return int64(i)
+	}
+	i -= histLinearLimit
+	exp := i/histSubBuckets + histMantissaBits
+	off := int64(i % histSubBuckets)
+	return (int64(1) << uint(exp)) + off<<uint(exp-histMantissaBits)
+}
+
+// bucketUpper returns the largest value mapping to bucket i.
+func bucketUpper(i int) int64 {
+	if i < histLinearLimit {
+		return int64(i)
+	}
+	next := bucketLowerSafe(i + 1)
+	return next - 1
+}
+
+func bucketLowerSafe(i int) int64 {
+	if i >= histNumBuckets {
+		return math.MaxInt64
+	}
+	return bucketLower(i)
+}
+
+// Record adds one observation. Negative values are clamped to zero (they can
+// only arise from misuse; clamping keeps the histogram total consistent).
+func (h *Hist) Record(v int64) {
+	if h.count == 0 && h.min == 0 {
+		// Zero-value initialization path.
+		h.min = math.MaxInt64
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Sum returns the exact sum of observations.
+func (h *Hist) Sum() int64 { return h.sum }
+
+// Mean returns the exact mean, or 0 when empty.
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the exact minimum, or 0 when empty.
+func (h *Hist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact maximum, or 0 when empty.
+func (h *Hist) Max() int64 { return h.max }
+
+// Percentile returns the value at quantile q in [0,1], with ≤1.6% relative
+// error above 64 and exact below. Empty histograms return 0.
+func (h *Hist) Percentile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation (1-based), ceil(q*count).
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum >= rank {
+			// Midpoint of the bucket, clamped to observed extremes so
+			// p0/p100 remain exact.
+			mid := (bucketLower(i) + bucketUpper(i)) / 2
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// Merge adds all of o's observations into h.
+func (h *Hist) Merge(o *Hist) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Reset clears the histogram.
+func (h *Hist) Reset() {
+	*h = Hist{min: math.MaxInt64}
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value int64   // latency value (bucket upper bound)
+	Frac  float64 // cumulative fraction <= Value
+}
+
+// CDF returns the empirical CDF as a compact list of non-empty buckets.
+func (h *Hist) CDF() []CDFPoint {
+	if h.count == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, CDFPoint{Value: bucketUpper(i), Frac: float64(cum) / float64(h.count)})
+	}
+	return out
+}
+
+// Summary bundles the headline percentiles for table output.
+type Summary struct {
+	Count              uint64
+	Mean               float64
+	Min, P50, P90, P95 int64
+	P99, P999, Max     int64
+}
+
+// Summarize extracts the standard tail-latency summary.
+func (h *Hist) Summarize() Summary {
+	return Summary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		P50:   h.Percentile(0.50),
+		P90:   h.Percentile(0.90),
+		P95:   h.Percentile(0.95),
+		P99:   h.Percentile(0.99),
+		P999:  h.Percentile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p90=%d p99=%d p99.9=%d max=%d",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
+}
+
+// Quantiles computes exact quantiles of a small sample in one pass (sorting
+// a copy); used by tests to validate the histogram and by small-N summaries.
+func Quantiles(sample []int64, qs ...float64) []int64 {
+	if len(sample) == 0 {
+		out := make([]int64, len(qs))
+		return out
+	}
+	s := make([]int64, len(sample))
+	copy(s, sample)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(math.Ceil(q*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = s[idx]
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package stats
+
+// P2 is the Jain & Chlamtac P² streaming quantile estimator: five markers
+// maintained with parabolic interpolation, O(1) memory and O(1) update.
+//
+// MPDP's path telemetry uses one P2 per path to track the p99 of recent
+// service latency; the full histogram would be too heavy to keep per path
+// per window, and the scheduler only needs a smoothed tail signal.
+type P2 struct {
+	q       float64    // target quantile
+	n       int        // observations seen
+	heights [5]float64 // marker heights
+	pos     [5]float64 // actual marker positions (1-based)
+	desired [5]float64 // desired marker positions
+	incr    [5]float64 // desired position increments
+	initBuf [5]float64 // first five observations
+}
+
+// NewP2 returns an estimator for quantile q in (0,1).
+func NewP2(q float64) *P2 {
+	if q <= 0 || q >= 1 {
+		panic("stats: NewP2 quantile must be in (0,1)")
+	}
+	p := &P2{q: q}
+	p.pos = [5]float64{1, 2, 3, 4, 5}
+	p.desired = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Add feeds one observation.
+func (p *P2) Add(x float64) {
+	if p.n < 5 {
+		p.initBuf[p.n] = x
+		p.n++
+		if p.n == 5 {
+			// Sort the first five to initialize markers.
+			b := p.initBuf
+			for i := 1; i < 5; i++ {
+				for j := i; j > 0 && b[j-1] > b[j]; j-- {
+					b[j-1], b[j] = b[j], b[j-1]
+				}
+			}
+			p.heights = b
+		}
+		return
+	}
+
+	// Find cell k such that heights[k] <= x < heights[k+1].
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.desired {
+		p.desired[i] += p.incr[i]
+	}
+	p.n++
+
+	// Adjust interior markers.
+	for i := 1; i <= 3; i++ {
+		d := p.desired[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			var sign float64 = 1
+			if d < 0 {
+				sign = -1
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+func (p *P2) parabolic(i int, d float64) float64 {
+	num1 := p.pos[i] - p.pos[i-1] + d
+	num2 := p.pos[i+1] - p.pos[i] - d
+	den1 := p.pos[i+1] - p.pos[i]
+	den2 := p.pos[i] - p.pos[i-1]
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		(num1*(p.heights[i+1]-p.heights[i])/den1+num2*(p.heights[i]-p.heights[i-1])/den2)
+}
+
+func (p *P2) linear(i int, d float64) float64 {
+	di := int(d)
+	return p.heights[i] + d*(p.heights[i+di]-p.heights[i])/(p.pos[i+di]-p.pos[i])
+}
+
+// Value returns the current quantile estimate. Before five observations it
+// returns the best available order statistic of what has been seen.
+func (p *P2) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		b := make([]float64, p.n)
+		copy(b, p.initBuf[:p.n])
+		for i := 1; i < len(b); i++ {
+			for j := i; j > 0 && b[j-1] > b[j]; j-- {
+				b[j-1], b[j] = b[j], b[j-1]
+			}
+		}
+		idx := int(p.q * float64(p.n))
+		if idx >= p.n {
+			idx = p.n - 1
+		}
+		return b[idx]
+	}
+	return p.heights[2]
+}
+
+// Count returns the number of observations fed so far.
+func (p *P2) Count() int { return p.n }
+
+// Reset clears the estimator, keeping its target quantile.
+func (p *P2) Reset() {
+	q := p.q
+	*p = *NewP2(q)
+}
+
+// RollingP2 is a windowed quantile estimate built from two P² estimators
+// rotated externally (e.g. by a simulation ticker): the *previous* window's
+// converged estimate is served while the current window accumulates, so the
+// signal both adapts (old stragglers age out after two windows) and stays
+// stable (a half-filled window never jitters the reading).
+//
+// Without rotation a cumulative P² never forgets: one bad interference
+// episode would stigmatize a path for the rest of the run.
+type RollingP2 struct {
+	q       float64
+	cur     *P2
+	prevVal float64
+	prevSet bool
+}
+
+// NewRollingP2 returns a rolling estimator for quantile q in (0,1).
+func NewRollingP2(q float64) *RollingP2 {
+	return &RollingP2{q: q, cur: NewP2(q)}
+}
+
+// Add feeds one observation into the current window.
+func (r *RollingP2) Add(x float64) { r.cur.Add(x) }
+
+// Rotate closes the current window: its estimate becomes the served value
+// and a fresh window begins. Windows with fewer than 5 observations are
+// discarded (their order statistics are too noisy to serve).
+func (r *RollingP2) Rotate() {
+	if r.cur.Count() >= 5 {
+		r.prevVal = r.cur.Value()
+		r.prevSet = true
+	}
+	r.cur.Reset()
+}
+
+// Value returns the last completed window's estimate; before the first
+// rotation it falls back to the live current-window estimate.
+func (r *RollingP2) Value() float64 {
+	if r.prevSet {
+		return r.prevVal
+	}
+	return r.cur.Value()
+}
+
+// EWMA is an exponentially weighted moving average with configurable alpha;
+// the other half of per-path telemetry (tracks the central tendency, where
+// P2 tracks the tail).
+type EWMA struct {
+	alpha float64
+	value float64
+	set   bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0,1]; larger alpha
+// reacts faster.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: NewEWMA alpha must be in (0,1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add feeds one observation.
+func (e *EWMA) Add(x float64) {
+	if !e.set {
+		e.value = x
+		e.set = true
+		return
+	}
+	e.value += e.alpha * (x - e.value)
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Set reports whether at least one observation has been added.
+func (e *EWMA) Set() bool { return e.set }
+
+// Reset clears the average, keeping alpha.
+func (e *EWMA) Reset() { e.value, e.set = 0, false }

@@ -1,0 +1,137 @@
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance in one numerically stable pass.
+// The zero value is an empty accumulator ready for use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add feeds one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 with fewer than 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Stddev returns the population standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the minimum observation (0 when empty).
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the maximum observation (0 when empty).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// Merge combines another accumulator into w (Chan et al. parallel update).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// WindowSeries bins observations by a fixed time window and keeps a full
+// histogram per bin. It powers the adaptivity-timeline experiment (p99 per
+// 10 ms window across an interference burst).
+type WindowSeries struct {
+	window int64
+	bins   map[int64]*Hist
+}
+
+// NewWindowSeries creates a series with the given window length (>0).
+func NewWindowSeries(window int64) *WindowSeries {
+	if window <= 0 {
+		panic("stats: NewWindowSeries window must be positive")
+	}
+	return &WindowSeries{window: window, bins: make(map[int64]*Hist)}
+}
+
+// Add records value v observed at time t.
+func (s *WindowSeries) Add(t, v int64) {
+	bin := t / s.window
+	h, ok := s.bins[bin]
+	if !ok {
+		h = NewHist()
+		s.bins[bin] = h
+	}
+	h.Record(v)
+}
+
+// WindowPoint is one bin of a WindowSeries.
+type WindowPoint struct {
+	Start int64 // window start time
+	Hist  *Hist
+}
+
+// Points returns the non-empty bins in time order.
+func (s *WindowSeries) Points() []WindowPoint {
+	out := make([]WindowPoint, 0, len(s.bins))
+	for bin, h := range s.bins {
+		out = append(out, WindowPoint{Start: bin * s.window, Hist: h})
+	}
+	// Insertion sort: bins are few (timeline windows).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Start > out[j].Start; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"mpdp/internal/sim"
+)
+
+// FuzzReader: arbitrary bytes must never panic the reader; valid traces we
+// construct must round-trip.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(0, sampleFrame(1))
+	w.Write(1000, sampleFrame(2))
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add(Magic[:])
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must satisfy the format invariants.
+		var last sim.Time
+		for _, r := range recs {
+			if len(r.Frame) == 0 || len(r.Frame) > MaxFrameLen {
+				t.Fatalf("invalid frame length %d accepted", len(r.Frame))
+			}
+			if r.Time < last {
+				t.Fatal("non-monotonic timestamps accepted")
+			}
+			last = r.Time
+		}
+	})
+}

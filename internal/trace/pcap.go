@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mpdp/internal/sim"
+)
+
+// pcap interop: export MPDP traces to the classic libpcap file format so
+// they open in Wireshark/tcpdump, and import pcap captures as replayable
+// MPDP workloads. Only the legacy pcap format (not pcapng) is implemented —
+// it is universally readable and trivial to write.
+
+const (
+	pcapMagicMicros = 0xa1b2c3d4 // microsecond timestamps
+	pcapMagicNanos  = 0xa1b23c4d // nanosecond timestamps
+	pcapVersionMaj  = 2
+	pcapVersionMin  = 4
+	// LinkTypeEthernet is DLT_EN10MB.
+	LinkTypeEthernet = 1
+)
+
+// ErrBadPcap marks a stream that is not a readable pcap file.
+var ErrBadPcap = errors.New("trace: not a pcap file")
+
+// WritePcap converts an MPDP trace stream to a nanosecond-resolution pcap
+// file. Returns the number of packets written.
+func WritePcap(dst io.Writer, src io.Reader) (int, error) {
+	tr, err := NewReader(src)
+	if err != nil {
+		return 0, err
+	}
+	// Global header (24 bytes), little endian, nanosecond magic.
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagicNanos)
+	binary.LittleEndian.PutUint16(gh[4:6], pcapVersionMaj)
+	binary.LittleEndian.PutUint16(gh[6:8], pcapVersionMin)
+	// thiszone=0, sigfigs=0.
+	binary.LittleEndian.PutUint32(gh[16:20], MaxFrameLen) // snaplen
+	binary.LittleEndian.PutUint32(gh[20:24], LinkTypeEthernet)
+	if _, err := dst.Write(gh[:]); err != nil {
+		return 0, err
+	}
+
+	n := 0
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		var ph [16]byte
+		sec := uint32(rec.Time / sim.Second)
+		nsec := uint32(rec.Time % sim.Second)
+		binary.LittleEndian.PutUint32(ph[0:4], sec)
+		binary.LittleEndian.PutUint32(ph[4:8], nsec)
+		binary.LittleEndian.PutUint32(ph[8:12], uint32(len(rec.Frame)))
+		binary.LittleEndian.PutUint32(ph[12:16], uint32(len(rec.Frame)))
+		if _, err := dst.Write(ph[:]); err != nil {
+			return n, err
+		}
+		if _, err := dst.Write(rec.Frame); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ReadPcap converts a pcap stream (microsecond or nanosecond, little or
+// big endian, Ethernet link type) to an MPDP trace stream. Returns the
+// number of packets converted. Timestamps are rebased so the capture's
+// first packet lands at virtual time 0.
+func ReadPcap(dst io.Writer, src io.Reader) (int, error) {
+	var gh [24]byte
+	if _, err := io.ReadFull(src, gh[:]); err != nil {
+		return 0, ErrBadPcap
+	}
+	var order binary.ByteOrder = binary.LittleEndian
+	magic := binary.LittleEndian.Uint32(gh[0:4])
+	nanos := false
+	switch magic {
+	case pcapMagicMicros:
+	case pcapMagicNanos:
+		nanos = true
+	default:
+		// Try big endian.
+		magic = binary.BigEndian.Uint32(gh[0:4])
+		order = binary.BigEndian
+		switch magic {
+		case pcapMagicMicros:
+		case pcapMagicNanos:
+			nanos = true
+		default:
+			return 0, ErrBadPcap
+		}
+	}
+	if lt := order.Uint32(gh[20:24]); lt != LinkTypeEthernet {
+		return 0, fmt.Errorf("trace: unsupported pcap link type %d", lt)
+	}
+
+	w, err := NewWriter(dst)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	var base sim.Time = -1
+	var last sim.Time
+	for {
+		var ph [16]byte
+		if _, err := io.ReadFull(src, ph[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return n, ErrBadPcap
+		}
+		sec := order.Uint32(ph[0:4])
+		sub := order.Uint32(ph[4:8])
+		caplen := order.Uint32(ph[8:12])
+		if caplen == 0 || caplen > MaxFrameLen {
+			return n, fmt.Errorf("trace: pcap record length %d unsupported", caplen)
+		}
+		frame := make([]byte, caplen)
+		if _, err := io.ReadFull(src, frame); err != nil {
+			return n, ErrBadPcap
+		}
+		t := sim.Time(sec) * sim.Second
+		if nanos {
+			t += sim.Time(sub)
+		} else {
+			t += sim.Time(sub) * sim.Microsecond
+		}
+		if base < 0 {
+			base = t
+		}
+		t -= base
+		if t < last {
+			t = last // clamp rare out-of-order captures to monotonic
+		}
+		last = t
+		if err := w.Write(t, frame); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, w.Flush()
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"mpdp/internal/sim"
+)
+
+// buildTrace returns a small MPDP trace in memory.
+func buildTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Write(sim.Time(i)*sim.Microsecond+sim.Time(i%3), sampleFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	orig := buildTrace(t, 25)
+
+	var pcap bytes.Buffer
+	n, err := WritePcap(&pcap, bytes.NewReader(orig))
+	if err != nil || n != 25 {
+		t.Fatalf("WritePcap: n=%d err=%v", n, err)
+	}
+
+	var back bytes.Buffer
+	n, err = ReadPcap(&back, bytes.NewReader(pcap.Bytes()))
+	if err != nil || n != 25 {
+		t.Fatalf("ReadPcap: n=%d err=%v", n, err)
+	}
+
+	a, err := ReadAll(bytes.NewReader(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadAll(bytes.NewReader(back.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("record count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time {
+			t.Fatalf("record %d time %v vs %v", i, a[i].Time, b[i].Time)
+		}
+		if !bytes.Equal(a[i].Frame, b[i].Frame) {
+			t.Fatalf("record %d frame corrupted", i)
+		}
+	}
+}
+
+func TestPcapHeaderWellFormed(t *testing.T) {
+	var pcap bytes.Buffer
+	if _, err := WritePcap(&pcap, bytes.NewReader(buildTrace(t, 1))); err != nil {
+		t.Fatal(err)
+	}
+	h := pcap.Bytes()
+	if binary.LittleEndian.Uint32(h[0:4]) != pcapMagicNanos {
+		t.Fatal("wrong magic")
+	}
+	if binary.LittleEndian.Uint16(h[4:6]) != 2 || binary.LittleEndian.Uint16(h[6:8]) != 4 {
+		t.Fatal("wrong version")
+	}
+	if binary.LittleEndian.Uint32(h[20:24]) != LinkTypeEthernet {
+		t.Fatal("wrong link type")
+	}
+}
+
+func TestReadPcapMicrosecondBigEndian(t *testing.T) {
+	// Hand-build a big-endian microsecond pcap with two frames.
+	var buf bytes.Buffer
+	var gh [24]byte
+	binary.BigEndian.PutUint32(gh[0:4], pcapMagicMicros)
+	binary.BigEndian.PutUint16(gh[4:6], 2)
+	binary.BigEndian.PutUint16(gh[6:8], 4)
+	binary.BigEndian.PutUint32(gh[16:20], 65535)
+	binary.BigEndian.PutUint32(gh[20:24], LinkTypeEthernet)
+	buf.Write(gh[:])
+	f := sampleFrame(1)
+	for i := 0; i < 2; i++ {
+		var ph [16]byte
+		binary.BigEndian.PutUint32(ph[0:4], uint32(100+i)) // seconds
+		binary.BigEndian.PutUint32(ph[4:8], uint32(500))   // micros
+		binary.BigEndian.PutUint32(ph[8:12], uint32(len(f)))
+		binary.BigEndian.PutUint32(ph[12:16], uint32(len(f)))
+		buf.Write(ph[:])
+		buf.Write(f)
+	}
+
+	var out bytes.Buffer
+	n, err := ReadPcap(&out, bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	recs, err := ReadAll(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebased: first at 0, second at exactly 1 virtual second.
+	if recs[0].Time != 0 || recs[1].Time != sim.Second {
+		t.Fatalf("rebased times %v %v", recs[0].Time, recs[1].Time)
+	}
+}
+
+func TestReadPcapRejectsGarbage(t *testing.T) {
+	if _, err := ReadPcap(&bytes.Buffer{}, bytes.NewReader([]byte("not a pcap at all....."))); err != ErrBadPcap {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ReadPcap(&bytes.Buffer{}, bytes.NewReader(nil)); err != ErrBadPcap {
+		t.Fatalf("short err = %v", err)
+	}
+}
+
+func TestReadPcapRejectsNonEthernet(t *testing.T) {
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagicMicros)
+	binary.LittleEndian.PutUint32(gh[20:24], 101) // LINKTYPE_RAW
+	if _, err := ReadPcap(&bytes.Buffer{}, bytes.NewReader(gh[:])); err == nil {
+		t.Fatal("non-Ethernet link type accepted")
+	}
+}
+
+func TestReadPcapClampsOutOfOrder(t *testing.T) {
+	var buf bytes.Buffer
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagicNanos)
+	binary.LittleEndian.PutUint32(gh[20:24], LinkTypeEthernet)
+	buf.Write(gh[:])
+	f := sampleFrame(2)
+	times := []uint32{100, 50, 200} // middle one out of order
+	for _, sec := range times {
+		var ph [16]byte
+		binary.LittleEndian.PutUint32(ph[0:4], sec)
+		binary.LittleEndian.PutUint32(ph[8:12], uint32(len(f)))
+		binary.LittleEndian.PutUint32(ph[12:16], uint32(len(f)))
+		buf.Write(ph[:])
+		buf.Write(f)
+	}
+	var out bytes.Buffer
+	n, err := ReadPcap(&out, bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	recs, _ := ReadAll(bytes.NewReader(out.Bytes()))
+	if recs[1].Time != recs[0].Time {
+		t.Fatalf("out-of-order record not clamped: %v after %v", recs[1].Time, recs[0].Time)
+	}
+}

@@ -1,0 +1,237 @@
+// Package trace records and replays packet traces in a compact binary
+// format, so a workload can be captured once (from any generator or an
+// external converter) and replayed bit-identically into the data plane —
+// the simulator's equivalent of testing against a pcap.
+//
+// Format (little endian):
+//
+//	header:  8-byte magic "MPDPTRC1"
+//	record:  uint64 timestamp_ns | uint32 frame_len | frame bytes
+//
+// Timestamps are virtual-time nanoseconds and must be non-decreasing;
+// Writer enforces this so replays never need sorting.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// Magic identifies a trace stream.
+var Magic = [8]byte{'M', 'P', 'D', 'P', 'T', 'R', 'C', '1'}
+
+// MaxFrameLen bounds a record's frame size (jumbo frame + headroom);
+// anything larger marks a corrupt stream.
+const MaxFrameLen = 16 * 1024
+
+// Errors returned by the reader/writer.
+var (
+	ErrBadMagic     = errors.New("trace: bad magic (not an MPDP trace)")
+	ErrCorrupt      = errors.New("trace: corrupt record")
+	ErrNonMonotonic = errors.New("trace: timestamps must be non-decreasing")
+)
+
+// Record is one traced packet.
+type Record struct {
+	Time  sim.Time
+	Frame []byte
+}
+
+// Writer streams records to w.
+type Writer struct {
+	w    *bufio.Writer
+	last sim.Time
+	n    uint64
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record. Timestamps must be non-decreasing.
+func (tw *Writer) Write(t sim.Time, frame []byte) error {
+	if t < tw.last {
+		return ErrNonMonotonic
+	}
+	if len(frame) == 0 || len(frame) > MaxFrameLen {
+		return fmt.Errorf("trace: frame length %d out of (0,%d]", len(frame), MaxFrameLen)
+	}
+	tw.last = t
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(t))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(frame)))
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := tw.w.Write(frame); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader streams records from r.
+type Reader struct {
+	r    *bufio.Reader
+	last sim.Time
+	n    uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, ErrBadMagic
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+// A frame buffer is allocated per record; the caller owns it.
+func (tr *Reader) Next() (Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, ErrCorrupt
+	}
+	t := sim.Time(binary.LittleEndian.Uint64(hdr[0:8]))
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n == 0 || n > MaxFrameLen {
+		return Record{}, ErrCorrupt
+	}
+	if t < tr.last {
+		return Record{}, ErrNonMonotonic
+	}
+	tr.last = t
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(tr.r, frame); err != nil {
+		return Record{}, ErrCorrupt
+	}
+	tr.n++
+	return Record{Time: t, Frame: frame}, nil
+}
+
+// Count returns the number of records read so far.
+func (tr *Reader) Count() uint64 { return tr.n }
+
+// ReadAll drains the stream into memory.
+func ReadAll(r io.Reader) ([]Record, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Replay schedules every record of the trace onto simulator s, parsing each
+// frame and handing the packet to emit at the recorded virtual time.
+// Frames that do not parse to an IPv4 five-tuple are counted and skipped.
+// It returns (scheduled, skipped).
+func Replay(s *sim.Simulator, r io.Reader, emit func(*packet.Packet)) (int, int, error) {
+	recs, err := ReadAll(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	scheduled, skipped := 0, 0
+	for _, rec := range recs {
+		key, err := packet.ExtractFlowKey(rec.Frame)
+		if err != nil {
+			skipped++
+			continue
+		}
+		p := &packet.Packet{Data: rec.Frame, Flow: key, FlowID: key.Hash64()}
+		if rec.Time < s.Now() {
+			skipped++
+			continue
+		}
+		s.At(rec.Time, func() { emit(p) })
+		scheduled++
+	}
+	return scheduled, skipped, nil
+}
+
+// Stats summarizes a trace: packets, bytes, duration, distinct flows, and
+// mean rate.
+type Stats struct {
+	Packets uint64
+	Bytes   uint64
+	Flows   int
+	First   sim.Time
+	Last    sim.Time
+}
+
+// Duration returns the trace's time span.
+func (s Stats) Duration() sim.Duration { return s.Last - s.First }
+
+// MeanPps returns the mean packet rate (packets per virtual second).
+func (s Stats) MeanPps() float64 {
+	d := s.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.Packets) / d.Seconds()
+}
+
+// Summarize scans a trace stream and computes its Stats.
+func Summarize(r io.Reader) (Stats, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	flows := make(map[packet.FlowKey]struct{})
+	first := true
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			st.Flows = len(flows)
+			return st, nil
+		}
+		if err != nil {
+			return Stats{}, err
+		}
+		if first {
+			st.First = rec.Time
+			first = false
+		}
+		st.Last = rec.Time
+		st.Packets++
+		st.Bytes += uint64(len(rec.Frame))
+		if key, err := packet.ExtractFlowKey(rec.Frame); err == nil {
+			flows[key] = struct{}{}
+		}
+	}
+}

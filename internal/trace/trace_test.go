@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"bytes"
+
+	"testing"
+	"testing/quick"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/workload"
+	"mpdp/internal/xrand"
+)
+
+func sampleFrame(i int) []byte {
+	key := packet.FlowKey{
+		SrcIP: packet.IP4(10, 0, 0, byte(i%200+1)), DstIP: packet.IP4(10, 1, 0, 5),
+		SrcPort: uint16(10000 + i), DstPort: 80, Proto: packet.ProtoUDP,
+	}
+	return packet.BuildUDP(key, make([]byte, 50+i%100), packet.BuildOpts{})
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][]byte, 50)
+	for i := range frames {
+		frames[i] = sampleFrame(i)
+		if err := w.Write(sim.Time(i*1000), frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 50 {
+		t.Fatalf("writer count %d", w.Count())
+	}
+
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 50 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Time != sim.Time(i*1000) {
+			t.Fatalf("record %d time %v", i, rec.Time)
+		}
+		if !bytes.Equal(rec.Frame, frames[i]) {
+			t.Fatalf("record %d frame corrupted", i)
+		}
+	}
+}
+
+func TestWriterRejectsNonMonotonic(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(1000, sampleFrame(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(500, sampleFrame(1)); err != ErrNonMonotonic {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriterRejectsBadFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(0, nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	if err := w.Write(0, make([]byte, MaxFrameLen+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err != ErrBadMagic {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err != ErrBadMagic {
+		t.Fatalf("short stream err = %v", err)
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(0, sampleFrame(0))
+	w.Flush()
+	// Cut the stream mid-frame.
+	cut := buf.Bytes()[:buf.Len()-5]
+	tr, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Next(); err != ErrCorrupt {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderDetectsCorruptLength(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(0, sampleFrame(0))
+	w.Flush()
+	b := buf.Bytes()
+	// Corrupt the length field (bytes 8..12 after the 8-byte magic).
+	b[8+8] = 0xff
+	b[8+9] = 0xff
+	b[8+10] = 0xff
+	tr, _ := NewReader(bytes.NewReader(b))
+	if _, err := tr.Next(); err != ErrCorrupt {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReplayTiming(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		w.Write(sim.Time(i)*sim.Microsecond, sampleFrame(i))
+	}
+	w.Flush()
+
+	s := sim.New()
+	var times []sim.Time
+	scheduled, skipped, err := Replay(s, bytes.NewReader(buf.Bytes()), func(p *packet.Packet) {
+		times = append(times, s.Now())
+		if p.FlowID == 0 {
+			t.Error("replayed packet missing FlowID")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduled != 10 || skipped != 0 {
+		t.Fatalf("scheduled %d skipped %d", scheduled, skipped)
+	}
+	s.Run()
+	for i, tm := range times {
+		if tm != sim.Time(i)*sim.Microsecond {
+			t.Fatalf("packet %d replayed at %v", i, tm)
+		}
+	}
+}
+
+func TestReplaySkipsNonIP(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	arp := make([]byte, packet.EthHeaderLen+20)
+	e := packet.Ethernet{EtherType: packet.EtherTypeARP}
+	e.Encode(arp)
+	w.Write(0, arp)
+	w.Write(1000, sampleFrame(1))
+	w.Flush()
+
+	s := sim.New()
+	scheduled, skipped, err := Replay(s, bytes.NewReader(buf.Bytes()), func(*packet.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduled != 1 || skipped != 1 {
+		t.Fatalf("scheduled %d skipped %d", scheduled, skipped)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	total := 0
+	for i := 0; i < 20; i++ {
+		f := sampleFrame(i % 5) // 5 distinct flows
+		total += len(f)
+		w.Write(sim.Time(i)*sim.Millisecond, f)
+	}
+	w.Flush()
+	st, err := Summarize(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets != 20 || st.Bytes != uint64(total) || st.Flows != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Duration() != 19*sim.Millisecond {
+		t.Fatalf("duration %v", st.Duration())
+	}
+	if st.MeanPps() <= 0 {
+		t.Fatal("rate not computed")
+	}
+}
+
+func TestRecordGeneratorTraffic(t *testing.T) {
+	// End to end: record a generator's output, replay it, verify packet
+	// count and byte totals survive.
+	s := sim.New()
+	rng := xrand.New(4)
+	tr := workload.NewTraffic(workload.TrafficConfig{
+		Arrival: workload.NewPoisson(rng.Split(), 1000),
+		Size:    workload.IMIX{Rng: rng.Split()},
+		Flows:   16,
+		Rng:     rng.Split(),
+	})
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	tr.Run(s, func(p *packet.Packet) {
+		if err := w.Write(s.Now(), p.Data); err != nil {
+			t.Fatal(err)
+		}
+	}, 100*sim.Microsecond)
+	s.Run()
+	w.Flush()
+
+	s2 := sim.New()
+	var replayed uint64
+	scheduled, skipped, err := Replay(s2, bytes.NewReader(buf.Bytes()), func(p *packet.Packet) { replayed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run()
+	if skipped != 0 || uint64(scheduled) != w.Count() || replayed != w.Count() {
+		t.Fatalf("record/replay mismatch: wrote %d, scheduled %d, replayed %d, skipped %d",
+			w.Count(), scheduled, replayed, skipped)
+	}
+}
+
+// Property: any sequence of valid frames with sorted timestamps round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		rng := xrand.New(seed)
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		var tm sim.Time
+		sizes := make([]int, n)
+		for i := 0; i < n; i++ {
+			tm += sim.Duration(rng.Intn(10000))
+			f := sampleFrame(rng.Intn(1000))
+			sizes[i] = len(f)
+			if err := w.Write(tm, f); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil || len(recs) != n {
+			return false
+		}
+		for i, rec := range recs {
+			if len(rec.Frame) != sizes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

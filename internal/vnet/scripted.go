@@ -1,0 +1,39 @@
+package vnet
+
+import "mpdp/internal/sim"
+
+// SlowWindow is one scripted slow episode.
+type SlowWindow struct {
+	Start, End sim.Time
+	Factor     float64
+}
+
+// ScriptedSlowdown applies an explicit schedule of slow windows — the
+// deterministic counterpart of Interference, used by the adaptivity-
+// timeline experiment where the burst must land at a known time.
+type ScriptedSlowdown struct {
+	Windows []SlowWindow
+}
+
+// Factor implements Slowdown.
+func (s *ScriptedSlowdown) Factor(now sim.Time) float64 {
+	for _, w := range s.Windows {
+		if now >= w.Start && now < w.End && w.Factor > 1 {
+			return w.Factor
+		}
+	}
+	return 1
+}
+
+// ConstantSlowdown is a time-invariant service-time multiplier: the model
+// of a permanently slower core (an efficiency core, a hyperthread sibling,
+// a throttled socket) rather than a transient neighbor.
+type ConstantSlowdown float64
+
+// Factor implements Slowdown.
+func (c ConstantSlowdown) Factor(now sim.Time) float64 {
+	if c <= 1 {
+		return 1
+	}
+	return float64(c)
+}

@@ -1,0 +1,399 @@
+package vnet
+
+import (
+	"testing"
+
+	"mpdp/internal/nf"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/xrand"
+)
+
+// fixedChain returns a chain whose single element passes everything at a
+// fixed cost.
+func fixedChain(cost sim.Duration) *nf.Chain {
+	return nf.NewChain("fixed", nf.Func{
+		ElemName: "fixed",
+		Fn: func(now sim.Time, p *packet.Packet) nf.Result {
+			return nf.Result{Verdict: packet.Pass, Cost: cost}
+		},
+	})
+}
+
+func testPacket(id uint64) *packet.Packet {
+	key := packet.FlowKey{
+		SrcIP: packet.IP4(10, 0, 0, byte(id%250+1)), DstIP: packet.IP4(10, 1, 0, 5),
+		SrcPort: uint16(10000 + id%1000), DstPort: 80, Proto: packet.ProtoUDP,
+	}
+	return &packet.Packet{
+		ID: id, OrigID: id,
+		Data: packet.BuildUDP(key, make([]byte, 100), packet.BuildOpts{}),
+		Flow: key, FlowID: key.Hash64(),
+	}
+}
+
+// newTestLane builds a deterministic lane (no jitter, no interference).
+func newTestLane(s *sim.Simulator, cost sim.Duration, cap int, done DoneFunc) *Lane {
+	cfg := LaneConfig{QueueCap: cap, Chain: fixedChain(cost), DispatchOverhead: 0, JitterSigma: 0}
+	return NewLane(0, s, cfg, xrand.New(1), done)
+}
+
+func TestLaneServesFIFO(t *testing.T) {
+	s := sim.New()
+	var doneOrder []uint64
+	l := newTestLane(s, 100, 16, func(p *packet.Packet, v packet.Verdict) {
+		doneOrder = append(doneOrder, p.ID)
+	})
+	for i := uint64(1); i <= 5; i++ {
+		if !l.Enqueue(testPacket(i)) {
+			t.Fatal("enqueue rejected")
+		}
+	}
+	s.Run()
+	if len(doneOrder) != 5 {
+		t.Fatalf("served %d, want 5", len(doneOrder))
+	}
+	for i, id := range doneOrder {
+		if id != uint64(i+1) {
+			t.Fatalf("not FIFO: %v", doneOrder)
+		}
+	}
+	// 5 packets × 100ns back to back.
+	if s.Now() != 500 {
+		t.Fatalf("finished at %v, want 500", s.Now())
+	}
+}
+
+func TestLaneTimestampsAndComponents(t *testing.T) {
+	s := sim.New()
+	var got *packet.Packet
+	l := newTestLane(s, 100, 16, func(p *packet.Packet, v packet.Verdict) { got = p })
+	p1 := testPacket(1)
+	p2 := testPacket(2)
+	l.Enqueue(p1)
+	l.Enqueue(p2) // waits 100ns behind p1
+	s.Run()
+	if got != p2 {
+		t.Fatal("last completion not p2")
+	}
+	if p2.Enqueued != 0 || p2.ServiceAt != 100 || p2.Done != 200 {
+		t.Fatalf("timestamps: enq=%v svc=%v done=%v", p2.Enqueued, p2.ServiceAt, p2.Done)
+	}
+	if p2.QueueWait() != 100 || p2.ServiceTime() != 100 {
+		t.Fatalf("components: wait=%v svc=%v", p2.QueueWait(), p2.ServiceTime())
+	}
+	if p1.QueueWait() != 0 {
+		t.Fatalf("head packet waited %v", p1.QueueWait())
+	}
+}
+
+func TestLaneTailDrop(t *testing.T) {
+	s := sim.New()
+	served := 0
+	l := newTestLane(s, 1000, 2, func(p *packet.Packet, v packet.Verdict) { served++ })
+	// 1 in service + 2 queued fit; the 4th is dropped.
+	accepted := 0
+	for i := uint64(1); i <= 4; i++ {
+		if l.Enqueue(testPacket(i)) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("accepted %d, want 3", accepted)
+	}
+	p := testPacket(9)
+	l.Enqueue(p)
+	if p.Dropped != packet.DropQueueFull {
+		t.Fatal("drop reason not stamped")
+	}
+	s.Run()
+	if served != 3 {
+		t.Fatalf("served %d", served)
+	}
+	if st := l.Stats(); st.TailDrops != 2 || st.Enqueued != 3 || st.Served != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLaneQueueDepth(t *testing.T) {
+	s := sim.New()
+	l := newTestLane(s, 1000, 16, nil)
+	if l.QueueDepth() != 0 {
+		t.Fatal("fresh lane not empty")
+	}
+	l.Enqueue(testPacket(1)) // starts service immediately
+	l.Enqueue(testPacket(2))
+	if l.QueueDepth() != 2 {
+		t.Fatalf("depth = %d, want 2 (1 serving + 1 queued)", l.QueueDepth())
+	}
+	if l.QueuedBytes() <= 0 {
+		t.Fatal("queued bytes not counted")
+	}
+	s.Run()
+	if l.QueueDepth() != 0 {
+		t.Fatal("lane not drained")
+	}
+}
+
+func TestLanePolicyDropReported(t *testing.T) {
+	s := sim.New()
+	dropChain := nf.NewChain("drop", nf.Func{
+		ElemName: "deny",
+		Fn: func(now sim.Time, p *packet.Packet) nf.Result {
+			p.Dropped = packet.DropPolicy
+			return nf.Result{Verdict: packet.Drop, Cost: 50}
+		},
+	})
+	var verdicts []packet.Verdict
+	cfg := LaneConfig{QueueCap: 4, Chain: dropChain}
+	l := NewLane(0, s, cfg, xrand.New(1), func(p *packet.Packet, v packet.Verdict) {
+		verdicts = append(verdicts, v)
+	})
+	l.Enqueue(testPacket(1))
+	s.Run()
+	if len(verdicts) != 1 || verdicts[0] != packet.Drop {
+		t.Fatalf("verdicts %v", verdicts)
+	}
+}
+
+func TestLaneCancelQueued(t *testing.T) {
+	s := sim.New()
+	var done []uint64
+	l := newTestLane(s, 100, 16, func(p *packet.Packet, v packet.Verdict) {
+		done = append(done, p.ID)
+	})
+	l.Enqueue(testPacket(1)) // in service
+	l.Enqueue(testPacket(2))
+	l.Enqueue(testPacket(3))
+	if !l.CancelQueued(2) {
+		t.Fatal("cancel of waiting packet failed")
+	}
+	if l.CancelQueued(1) {
+		t.Fatal("cancelled the in-service packet")
+	}
+	if l.CancelQueued(99) {
+		t.Fatal("cancelled a nonexistent packet")
+	}
+	s.Run()
+	if len(done) != 2 || done[0] != 1 || done[1] != 3 {
+		t.Fatalf("completions %v", done)
+	}
+	if l.Stats().CancelSkip != 1 {
+		t.Fatal("cancel skip not counted")
+	}
+	// Cancelled packet costs no service time: 2 × 100ns.
+	if s.Now() != 200 {
+		t.Fatalf("finished at %v, want 200", s.Now())
+	}
+}
+
+func TestLaneEstWait(t *testing.T) {
+	s := sim.New()
+	l := newTestLane(s, 1000, 16, nil)
+	if l.EstWait(100) != 0 {
+		t.Fatal("idle lane estimate nonzero")
+	}
+	l.Enqueue(testPacket(1)) // serving until t=1000
+	l.Enqueue(testPacket(2)) // 1 queued
+	est := l.EstWait(1000)
+	// remaining 1000 of in-flight + 1×1000 queued estimate.
+	if est != 2000 {
+		t.Fatalf("EstWait = %v, want 2000", est)
+	}
+	s.RunUntil(600)
+	if got := l.EstWait(1000); got != 1400 {
+		t.Fatalf("EstWait mid-service = %v, want 1400", got)
+	}
+}
+
+func TestLaneUtilization(t *testing.T) {
+	s := sim.New()
+	l := newTestLane(s, 100, 16, nil)
+	for i := uint64(0); i < 5; i++ {
+		l.Enqueue(testPacket(i))
+	}
+	s.Run() // busy 500 of 500
+	if u := l.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %v, want ~1", u)
+	}
+	s.RunUntil(1000) // idle 500 more
+	if u := l.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestLaneJitterVariesServiceTime(t *testing.T) {
+	s := sim.New()
+	var times []sim.Duration
+	cfg := LaneConfig{QueueCap: 1024, Chain: fixedChain(1000), JitterSigma: 0.3}
+	l := NewLane(0, s, cfg, xrand.New(7), func(p *packet.Packet, v packet.Verdict) {
+		times = append(times, p.ServiceTime())
+	})
+	for i := uint64(0); i < 200; i++ {
+		l.Enqueue(testPacket(i))
+	}
+	s.Run()
+	distinct := make(map[sim.Duration]bool)
+	var sum float64
+	for _, d := range times {
+		distinct[d] = true
+		sum += float64(d)
+	}
+	if len(distinct) < 50 {
+		t.Fatalf("jitter produced only %d distinct service times", len(distinct))
+	}
+	mean := sum / float64(len(times))
+	if mean < 800 || mean > 1300 {
+		t.Fatalf("jittered mean %v too far from 1000", mean)
+	}
+}
+
+func TestLaneDeterministicAcrossRuns(t *testing.T) {
+	run := func() []sim.Duration {
+		s := sim.New()
+		var times []sim.Duration
+		cfg := LaneConfig{QueueCap: 64, Chain: fixedChain(500), JitterSigma: 0.2}
+		l := NewLane(0, s, cfg, xrand.New(99), func(p *packet.Packet, v packet.Verdict) {
+			times = append(times, p.ServiceTime())
+		})
+		for i := uint64(0); i < 50; i++ {
+			l.Enqueue(testPacket(i))
+		}
+		s.Run()
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLanePanicsOnBadConfig(t *testing.T) {
+	s := sim.New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil chain did not panic")
+			}
+		}()
+		NewLane(0, s, LaneConfig{}, xrand.New(1), nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil simulator did not panic")
+			}
+		}()
+		NewLane(0, nil, LaneConfig{Chain: fixedChain(1)}, xrand.New(1), nil)
+	}()
+}
+
+func TestInterferenceToggles(t *testing.T) {
+	s := sim.New()
+	cfg := InterferenceConfig{SlowFactor: 4, MeanOn: 100 * sim.Microsecond, MeanOff: 100 * sim.Microsecond}
+	i := NewInterference(s, xrand.New(3), cfg)
+	if i == nil {
+		t.Fatal("interference unexpectedly nil")
+	}
+	s.RunUntil(100 * sim.Millisecond)
+	if i.Episodes() < 100 {
+		t.Fatalf("only %d episodes in 100ms with 200µs cycle", i.Episodes())
+	}
+	frac := i.ActiveFraction()
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("50%% duty cycle measured as %v", frac)
+	}
+}
+
+func TestInterferenceFactor(t *testing.T) {
+	s := sim.New()
+	cfg := InterferenceConfig{SlowFactor: 7, MeanOn: sim.Second, MeanOff: sim.Second, StartActive: true}
+	i := NewInterference(s, xrand.New(1), cfg)
+	if f := i.Factor(0); f != 7 {
+		t.Fatalf("active factor = %v", f)
+	}
+	if !i.Active() {
+		t.Fatal("StartActive ignored")
+	}
+}
+
+func TestInterferenceNilForZeroConfig(t *testing.T) {
+	s := sim.New()
+	if NewInterference(s, xrand.New(1), InterferenceConfig{SlowFactor: 1, MeanOn: 1, MeanOff: 1}) != nil {
+		t.Fatal("factor 1.0 should yield nil")
+	}
+	if NewInterference(s, xrand.New(1), InterferenceConfig{SlowFactor: 4}) != nil {
+		t.Fatal("zero durations should yield nil")
+	}
+	var nilI *Interference
+	if nilI.Factor(0) != 1 || nilI.Active() || nilI.Episodes() != 0 || nilI.ActiveFraction() != 0 {
+		t.Fatal("nil interference not a safe no-op")
+	}
+}
+
+func TestInterferenceSlowsLane(t *testing.T) {
+	// Same workload on a clean lane and an always-on interfered lane: the
+	// interfered lane must take ~SlowFactor× longer.
+	serveAll := func(intf *Interference, s *sim.Simulator) sim.Time {
+		l := NewLane(0, s, LaneConfig{
+			QueueCap: 1024, Chain: fixedChain(1000), Interference: intf,
+		}, xrand.New(5), nil)
+		for i := uint64(0); i < 100; i++ {
+			l.Enqueue(testPacket(i))
+		}
+		// The interference process ticks forever; step only until the
+		// lane has drained.
+		for l.Stats().Served < 100 && s.Step() {
+		}
+		return s.Now()
+	}
+	sClean := sim.New()
+	clean := serveAll(nil, sClean)
+
+	sSlow := sim.New()
+	// MeanOn enormous so it never toggles off during the run.
+	intf := NewInterference(sSlow, xrand.New(5), InterferenceConfig{
+		SlowFactor: 4, MeanOn: sim.Second * 1000, MeanOff: sim.Second, StartActive: true,
+	})
+	slow := serveAll(intf, sSlow)
+
+	ratio := float64(slow) / float64(clean)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("interference ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestLaneWithPresetChainEndToEnd(t *testing.T) {
+	s := sim.New()
+	delivered := 0
+	chain := nf.PresetChain(6)
+	l := NewLane(0, s, DefaultLaneConfig(chain), xrand.New(11), func(p *packet.Packet, v packet.Verdict) {
+		if v == packet.Pass {
+			delivered++
+		}
+	})
+	for i := uint64(0); i < 100; i++ {
+		l.Enqueue(testPacket(i))
+	}
+	s.Run()
+	if delivered != 100 {
+		t.Fatalf("delivered %d/100 through preset chain", delivered)
+	}
+}
+
+func BenchmarkLaneThroughput(b *testing.B) {
+	s := sim.New()
+	chain := nf.PresetChain(3)
+	l := NewLane(0, s, DefaultLaneConfig(chain), xrand.New(1), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Enqueue(testPacket(uint64(i)))
+		if i%256 == 255 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"mpdp/internal/packet"
+	"mpdp/internal/xrand"
+)
+
+// CollisionFlows crafts n distinct five-tuples that all hash to the same
+// RSS queue out of queues — the classic algorithmic-complexity attack on a
+// static multi-queue data plane: an adversary who knows (or probes) the
+// hash can concentrate arbitrarily many flows onto one core.
+//
+// The search just enumerates source ports and hosts, keeping tuples whose
+// Toeplitz hash lands on the target queue; with the standard key, roughly
+// 1/queues of candidates qualify, so the search is fast.
+func CollisionFlows(rng *xrand.Rand, n, queues, targetQueue int) []packet.FlowKey {
+	if n <= 0 || queues <= 0 || targetQueue < 0 || targetQueue >= queues {
+		panic("workload: CollisionFlows arguments out of range")
+	}
+	out := make([]packet.FlowKey, 0, n)
+	hostBase := byte(rng.Intn(100) + 1)
+	for port := 1024; len(out) < n && port < 65535; port++ {
+		key := packet.FlowKey{
+			SrcIP:   packet.IP4(10, 0, 3, hostBase+byte(port%17)),
+			DstIP:   packet.IP4(10, 1, 0, 5),
+			SrcPort: uint16(port),
+			DstPort: 80,
+			Proto:   packet.ProtoUDP,
+		}
+		if packet.RSSQueue(packet.DefaultRSSKey, key, queues) == targetQueue {
+			out = append(out, key)
+		}
+	}
+	if len(out) < n {
+		panic("workload: CollisionFlows search space exhausted")
+	}
+	return out
+}
+
+// NewCollisionTraffic builds a Traffic generator whose entire flow pool
+// collides onto one RSS queue (uniform popularity — the attack does not
+// need elephants).
+func NewCollisionTraffic(arrival Arrival, size SizeDist, rng *xrand.Rand, flows, queues, targetQueue int) *Traffic {
+	t := NewTraffic(TrafficConfig{
+		Arrival: arrival, Size: size,
+		Flows: flows, FlowSkew: 0.01, // ~uniform
+		BulkFraction: -1, // sentinel: pool is replaced below
+		Rng:          rng,
+	})
+	t.pool = CollisionFlows(rng, flows, queues, targetQueue)
+	return t
+}

@@ -1,0 +1,143 @@
+// Package workload generates the synthetic traffic of the experiment suite:
+// packet arrival processes (constant, Poisson, ON/OFF bursts, MMPP), packet
+// and flow size distributions (IMIX, bounded-Pareto, the canonical
+// web-search and data-mining CDFs), an open-loop flow workload measuring
+// flow completion times, and incast fan-in epochs.
+//
+// This substitutes for the paper's testbed traffic generators; burstiness
+// and heavy tails — the properties that expose last-mile tail latency — are
+// preserved by construction.
+package workload
+
+import (
+	"mpdp/internal/sim"
+	"mpdp/internal/xrand"
+)
+
+// Arrival yields successive inter-arrival gaps in virtual time.
+type Arrival interface {
+	// Next returns the gap before the next packet (>= 1ns).
+	Next() sim.Duration
+}
+
+// CBR is a constant-bit-rate arrival process: fixed gaps.
+type CBR struct{ Gap sim.Duration }
+
+// Next implements Arrival.
+func (c CBR) Next() sim.Duration {
+	if c.Gap < 1 {
+		return 1
+	}
+	return c.Gap
+}
+
+// Poisson produces exponentially distributed gaps with the given mean.
+type Poisson struct {
+	MeanGap sim.Duration
+	Rng     *xrand.Rand
+}
+
+// NewPoisson builds a Poisson process with mean inter-arrival meanGap.
+func NewPoisson(rng *xrand.Rand, meanGap sim.Duration) *Poisson {
+	if meanGap <= 0 {
+		panic("workload: NewPoisson with non-positive mean gap")
+	}
+	return &Poisson{MeanGap: meanGap, Rng: rng}
+}
+
+// Next implements Arrival.
+func (p *Poisson) Next() sim.Duration {
+	d := sim.Duration(p.Rng.ExpFloat64(1 / float64(p.MeanGap)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// OnOff is a two-state burst process: during ON, packets arrive at the
+// burst gap; OFF periods are silent. Episode lengths are exponential.
+// The canonical model of micro-bursts in data-center traffic.
+type OnOff struct {
+	BurstGap sim.Duration // inter-arrival while ON
+	MeanOn   sim.Duration
+	MeanOff  sim.Duration
+	Rng      *xrand.Rand
+
+	inBurst   bool
+	burstLeft sim.Duration
+}
+
+// NewOnOff builds a burst process. Mean rate is
+// (MeanOn/(MeanOn+MeanOff)) / BurstGap packets per ns.
+func NewOnOff(rng *xrand.Rand, burstGap, meanOn, meanOff sim.Duration) *OnOff {
+	if burstGap <= 0 || meanOn <= 0 || meanOff < 0 {
+		panic("workload: NewOnOff requires positive burstGap and meanOn")
+	}
+	return &OnOff{BurstGap: burstGap, MeanOn: meanOn, MeanOff: meanOff, Rng: rng}
+}
+
+// Next implements Arrival.
+func (o *OnOff) Next() sim.Duration {
+	if !o.inBurst {
+		// Start a burst after an OFF gap.
+		off := sim.Duration(0)
+		if o.MeanOff > 0 {
+			off = sim.Duration(o.Rng.ExpFloat64(1 / float64(o.MeanOff)))
+		}
+		o.inBurst = true
+		o.burstLeft = sim.Duration(o.Rng.ExpFloat64(1 / float64(o.MeanOn)))
+		if off < 1 {
+			off = 1
+		}
+		return off
+	}
+	o.burstLeft -= o.BurstGap
+	if o.burstLeft <= 0 {
+		o.inBurst = false
+	}
+	return o.BurstGap
+}
+
+// MMPP2 is a two-state Markov-modulated Poisson process: each state has its
+// own arrival rate; the process switches states with exponential holding
+// times. Captures slowly varying load levels better than ON/OFF.
+type MMPP2 struct {
+	GapA, GapB   sim.Duration // mean inter-arrival per state
+	HoldA, HoldB sim.Duration // mean state holding times
+	Rng          *xrand.Rand
+
+	inB      bool
+	holdLeft sim.Duration
+}
+
+// NewMMPP2 builds the process starting in state A.
+func NewMMPP2(rng *xrand.Rand, gapA, gapB, holdA, holdB sim.Duration) *MMPP2 {
+	if gapA <= 0 || gapB <= 0 || holdA <= 0 || holdB <= 0 {
+		panic("workload: NewMMPP2 requires positive parameters")
+	}
+	m := &MMPP2{GapA: gapA, GapB: gapB, HoldA: holdA, HoldB: holdB, Rng: rng}
+	m.holdLeft = sim.Duration(rng.ExpFloat64(1 / float64(holdA)))
+	return m
+}
+
+// Next implements Arrival.
+func (m *MMPP2) Next() sim.Duration {
+	gap := m.GapA
+	if m.inB {
+		gap = m.GapB
+	}
+	d := sim.Duration(m.Rng.ExpFloat64(1 / float64(gap)))
+	if d < 1 {
+		d = 1
+	}
+	m.holdLeft -= d
+	if m.holdLeft <= 0 {
+		m.inB = !m.inB
+		hold := m.HoldA
+		if m.inB {
+			hold = m.HoldB
+		}
+		m.holdLeft = sim.Duration(m.Rng.ExpFloat64(1 / float64(hold)))
+	}
+	return d
+}

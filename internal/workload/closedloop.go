@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/stats"
+	"mpdp/internal/xrand"
+)
+
+// ClosedLoop models N RPC clients: each client sends one request (a short
+// packet train), waits for it to be delivered through the data plane, then
+// thinks for an exponentially distributed time and sends the next. Unlike
+// the open-loop generators, offered load is self-clocking — a slow data
+// plane automatically slows the clients — so the measured quantity is
+// request latency at a fixed concurrency, the way RPC systems are actually
+// benchmarked.
+type ClosedLoop struct {
+	cfg      ClosedLoopConfig
+	sim      *sim.Simulator
+	emit     func(*packet.Packet)
+	clients  []*clClient
+	byFlow   map[uint64]*clClient // live request flow -> client
+	Latency  *stats.Hist          // per-request latency (first packet out -> last delivered)
+	requests uint64
+}
+
+// ClosedLoopConfig parameterizes the client population.
+type ClosedLoopConfig struct {
+	// Clients is the concurrency level. Required.
+	Clients int
+	// RequestBytes is the request size (default 2000, a two-packet train).
+	RequestBytes int
+	// MeanThink is the mean think time between a response and the next
+	// request (default 100 µs).
+	MeanThink sim.Duration
+	// MTU caps per-packet payload (default 1500-byte frames).
+	MTU int
+	// PacketGap paces a request's packets (default 500 ns).
+	PacketGap sim.Duration
+	// Rng drives think times. Required.
+	Rng *xrand.Rand
+}
+
+type clClient struct {
+	id        int
+	key       packet.FlowKey
+	flowID    uint64
+	started   sim.Time
+	remaining int
+	seq       uint32
+}
+
+// NewClosedLoop builds the workload; Start launches the clients.
+func NewClosedLoop(cfg ClosedLoopConfig) *ClosedLoop {
+	if cfg.Clients <= 0 || cfg.Rng == nil {
+		panic("workload: NewClosedLoop requires Clients and Rng")
+	}
+	if cfg.RequestBytes <= 0 {
+		cfg.RequestBytes = 2000
+	}
+	if cfg.MeanThink <= 0 {
+		cfg.MeanThink = 100 * sim.Microsecond
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	if cfg.PacketGap <= 0 {
+		cfg.PacketGap = 500 * sim.Nanosecond
+	}
+	return &ClosedLoop{cfg: cfg, byFlow: make(map[uint64]*clClient), Latency: stats.NewHist()}
+}
+
+// Start launches the clients on s, emitting packets via emit. Call
+// OnDeliver from the data-plane sink to close the loop.
+func (cl *ClosedLoop) Start(s *sim.Simulator, emit func(*packet.Packet)) {
+	cl.sim = s
+	cl.emit = emit
+	for i := 0; i < cl.cfg.Clients; i++ {
+		c := &clClient{id: i}
+		cl.clients = append(cl.clients, c)
+		// Stagger initial requests across one mean think time.
+		delay := sim.Duration(cl.cfg.Rng.ExpFloat64(1 / float64(cl.cfg.MeanThink)))
+		s.Schedule(delay, func() { cl.sendRequest(c) })
+	}
+}
+
+// sendRequest emits one request train for client c.
+func (cl *ClosedLoop) sendRequest(c *clClient) {
+	c.seq++
+	// A fresh five-tuple per request (new ephemeral source port), so each
+	// request is its own flow through the data plane.
+	c.key = packet.FlowKey{
+		SrcIP:   packet.IP4(10, 0, 8, byte(c.id)),
+		DstIP:   packet.IP4(10, 1, 0, 7),
+		SrcPort: uint16(10000 + (uint32(c.id)*7919+c.seq)%50000),
+		DstPort: 80,
+		Proto:   packet.ProtoUDP,
+	}
+	c.flowID = c.key.Hash64()
+	cl.byFlow[c.flowID] = c
+	c.started = cl.sim.Now()
+
+	maxPayload := cl.cfg.MTU - frameHeaderBytes
+	n := (cl.cfg.RequestBytes + maxPayload - 1) / maxPayload
+	if n < 1 {
+		n = 1
+	}
+	c.remaining = n
+	cl.requests++
+	rem := cl.cfg.RequestBytes
+	for i := 0; i < n; i++ {
+		payload := maxPayload
+		if rem < payload {
+			payload = rem
+		}
+		if payload < 18 {
+			payload = 18
+		}
+		rem -= payload
+		frame := packet.BuildUDP(c.key, make([]byte, payload), packet.BuildOpts{})
+		p := &packet.Packet{Data: frame, Flow: c.key, FlowID: c.flowID}
+		if i == 0 {
+			cl.emit(p)
+		} else {
+			cl.sim.Schedule(sim.Duration(i)*cl.cfg.PacketGap, func() { cl.emit(p) })
+		}
+	}
+}
+
+// OnDeliver closes the loop: when a client's last packet arrives, its
+// request latency is recorded and the next request is scheduled after a
+// think time.
+func (cl *ClosedLoop) OnDeliver(p *packet.Packet) {
+	c, ok := cl.byFlow[p.FlowID]
+	if !ok || c.remaining == 0 {
+		return
+	}
+	c.remaining--
+	if c.remaining == 0 {
+		delete(cl.byFlow, p.FlowID)
+		cl.Latency.Record(int64(p.Delivered - c.started))
+		think := sim.Duration(cl.cfg.Rng.ExpFloat64(1 / float64(cl.cfg.MeanThink)))
+		cl.sim.Schedule(think, func() { cl.sendRequest(c) })
+	}
+}
+
+// Requests returns the number of requests issued so far.
+func (cl *ClosedLoop) Requests() uint64 { return cl.requests }
+
+// Completed returns the number of requests fully delivered.
+func (cl *ClosedLoop) Completed() uint64 { return cl.Latency.Count() }

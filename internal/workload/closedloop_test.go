@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"testing"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/xrand"
+)
+
+// echoLoop wires a ClosedLoop to a trivial "data plane" that delivers every
+// packet after the given delay.
+func echoLoop(t *testing.T, cfg ClosedLoopConfig, delay sim.Duration, horizon sim.Duration) *ClosedLoop {
+	t.Helper()
+	s := sim.New()
+	cl := NewClosedLoop(cfg)
+	cl.Start(s, func(p *packet.Packet) {
+		s.Schedule(delay, func() {
+			p.Delivered = s.Now()
+			cl.OnDeliver(p)
+		})
+	})
+	s.RunUntil(horizon)
+	return cl
+}
+
+func TestClosedLoopSelfClocking(t *testing.T) {
+	cl := echoLoop(t, ClosedLoopConfig{
+		Clients: 4, RequestBytes: 1000, MeanThink: 50 * sim.Microsecond,
+		Rng: xrand.New(1),
+	}, 10*sim.Microsecond, 10*sim.Millisecond)
+	if cl.Completed() == 0 {
+		t.Fatal("no requests completed")
+	}
+	// Each client cycles every ~think+delay: sanity-check the request
+	// count is in the right ballpark (4 clients, ~60µs per cycle, 10ms).
+	if cl.Completed() < 200 || cl.Completed() > 1200 {
+		t.Fatalf("completed %d requests, expected a few hundred", cl.Completed())
+	}
+	// Request latency must be at least the delivery delay.
+	if min := cl.Latency.Min(); min < 10_000 {
+		t.Fatalf("min request latency %d below transport delay", min)
+	}
+}
+
+func TestClosedLoopSlowPlaneSlowsClients(t *testing.T) {
+	fast := echoLoop(t, ClosedLoopConfig{
+		Clients: 2, MeanThink: 20 * sim.Microsecond, Rng: xrand.New(2),
+	}, 5*sim.Microsecond, 5*sim.Millisecond)
+	slow := echoLoop(t, ClosedLoopConfig{
+		Clients: 2, MeanThink: 20 * sim.Microsecond, Rng: xrand.New(2),
+	}, 500*sim.Microsecond, 5*sim.Millisecond)
+	if slow.Completed() >= fast.Completed() {
+		t.Fatalf("closed loop not self-clocking: slow %d >= fast %d",
+			slow.Completed(), fast.Completed())
+	}
+}
+
+func TestClosedLoopEachRequestNewFlow(t *testing.T) {
+	s := sim.New()
+	flows := make(map[uint64]bool)
+	cl := NewClosedLoop(ClosedLoopConfig{
+		Clients: 1, RequestBytes: 100, MeanThink: 10 * sim.Microsecond,
+		Rng: xrand.New(3),
+	})
+	cl.Start(s, func(p *packet.Packet) {
+		flows[p.FlowID] = true
+		p.Delivered = s.Now()
+		cl.OnDeliver(p)
+	})
+	s.RunUntil(sim.Millisecond)
+	if len(flows) < 10 {
+		t.Fatalf("only %d distinct request flows", len(flows))
+	}
+	if uint64(len(flows)) != cl.Requests() {
+		t.Fatalf("flows %d != requests %d", len(flows), cl.Requests())
+	}
+}
+
+func TestClosedLoopValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewClosedLoop(ClosedLoopConfig{})
+}

@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/stats"
+	"mpdp/internal/xrand"
+)
+
+// FlowTracker measures flow completion times (FCT): it watches delivered
+// packets, counts down each flow's outstanding packets, and records the
+// FCT histogram split into short (< ShortCutoff bytes) and long flows.
+// Flows that lose a packet never complete and are reported separately.
+type FlowTracker struct {
+	// ShortCutoff separates "mice" from "elephants" (default 100 KB).
+	ShortCutoff int
+
+	ShortFCT *stats.Hist // FCT of completed short flows (ns)
+	LongFCT  *stats.Hist // FCT of completed long flows (ns)
+
+	open      map[uint64]*openFlow
+	started   uint64
+	completed uint64
+}
+
+type openFlow struct {
+	start     sim.Time
+	remaining int
+	bytes     int
+}
+
+// NewFlowTracker returns an empty tracker.
+func NewFlowTracker() *FlowTracker {
+	return &FlowTracker{
+		ShortCutoff: 100_000,
+		ShortFCT:    stats.NewHist(),
+		LongFCT:     stats.NewHist(),
+		open:        make(map[uint64]*openFlow),
+	}
+}
+
+// Begin registers a flow of nPackets totaling bytes, started at start.
+func (ft *FlowTracker) Begin(flowID uint64, nPackets, bytes int, start sim.Time) {
+	ft.started++
+	ft.open[flowID] = &openFlow{start: start, remaining: nPackets, bytes: bytes}
+}
+
+// OnDeliver is the data-plane sink hook: call it for every delivered packet.
+func (ft *FlowTracker) OnDeliver(p *packet.Packet) {
+	f, ok := ft.open[p.FlowID]
+	if !ok {
+		return
+	}
+	f.remaining--
+	if f.remaining > 0 {
+		return
+	}
+	delete(ft.open, p.FlowID)
+	ft.completed++
+	fct := int64(p.Delivered - f.start)
+	if f.bytes < ft.ShortCutoff {
+		ft.ShortFCT.Record(fct)
+	} else {
+		ft.LongFCT.Record(fct)
+	}
+}
+
+// Started returns the number of flows begun.
+func (ft *FlowTracker) Started() uint64 { return ft.started }
+
+// Completed returns the number of flows fully delivered.
+func (ft *FlowTracker) Completed() uint64 { return ft.completed }
+
+// Incomplete returns flows still missing packets (lost or in flight).
+func (ft *FlowTracker) Incomplete() int { return len(ft.open) }
+
+// FlowConfig parameterizes the open-loop flow workload.
+type FlowConfig struct {
+	// MeanGap is the mean flow inter-arrival (Poisson). Required.
+	MeanGap sim.Duration
+	// Sizes yields flow sizes in bytes. Required.
+	Sizes SizeDist
+	// MTU caps per-packet payload (default 1500-byte frames).
+	MTU int
+	// PacketGap is the source pacing between a flow's packets
+	// (default 1 µs ≈ a 10 GbE source with stack overheads).
+	PacketGap sim.Duration
+	// Rng drives arrivals and sizes. Required.
+	Rng *xrand.Rand
+}
+
+// FlowWorkload emits flows as packet trains and tracks their FCT.
+type FlowWorkload struct {
+	cfg     FlowConfig
+	Tracker *FlowTracker
+	nextID  uint32
+}
+
+// NewFlowWorkload builds the workload.
+func NewFlowWorkload(cfg FlowConfig) *FlowWorkload {
+	if cfg.MeanGap <= 0 || cfg.Sizes == nil || cfg.Rng == nil {
+		panic("workload: NewFlowWorkload requires MeanGap, Sizes and Rng")
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	if cfg.PacketGap <= 0 {
+		cfg.PacketGap = sim.Microsecond
+	}
+	return &FlowWorkload{cfg: cfg, Tracker: NewFlowTracker()}
+}
+
+// Run schedules flow arrivals on s until horizon; each flow's packets are
+// paced at PacketGap and fed to emit.
+func (fw *FlowWorkload) Run(s *sim.Simulator, emit func(*packet.Packet), horizon sim.Time) {
+	var schedule func()
+	schedule = func() {
+		gap := sim.Duration(fw.cfg.Rng.ExpFloat64(1 / float64(fw.cfg.MeanGap)))
+		if gap < 1 {
+			gap = 1
+		}
+		if s.Now()+gap > horizon {
+			return
+		}
+		s.Schedule(gap, func() {
+			fw.startFlow(s, emit)
+			schedule()
+		})
+	}
+	schedule()
+}
+
+// startFlow launches one flow at the current time.
+func (fw *FlowWorkload) startFlow(s *sim.Simulator, emit func(*packet.Packet)) {
+	fw.nextID++
+	id := fw.nextID
+	key := packet.FlowKey{
+		SrcIP:   packet.IP4(10, 0, byte(id>>8), byte(id)),
+		DstIP:   packet.IP4(10, 1, 0, 5),
+		SrcPort: uint16(20000 + id%40000),
+		DstPort: 80,
+		Proto:   packet.ProtoUDP,
+	}
+	bytes := fw.cfg.Sizes.Next()
+	fw.emitTrain(s, emit, key, bytes)
+}
+
+// emitTrain packetizes one flow and schedules its packets.
+func (fw *FlowWorkload) emitTrain(s *sim.Simulator, emit func(*packet.Packet), key packet.FlowKey, bytes int) {
+	maxPayload := fw.cfg.MTU - frameHeaderBytes
+	nPackets := (bytes + maxPayload - 1) / maxPayload
+	if nPackets < 1 {
+		nPackets = 1
+	}
+	flowID := key.Hash64()
+	fw.Tracker.Begin(flowID, nPackets, bytes, s.Now())
+	remaining := bytes
+	for i := 0; i < nPackets; i++ {
+		payload := maxPayload
+		if remaining < payload {
+			payload = remaining
+		}
+		if payload < 18 {
+			payload = 18
+		}
+		remaining -= payload
+		frame := packet.BuildUDP(key, make([]byte, payload), packet.BuildOpts{})
+		p := &packet.Packet{Data: frame, Flow: key, FlowID: flowID}
+		if i == 0 {
+			emit(p)
+			continue
+		}
+		s.Schedule(sim.Duration(i)*fw.cfg.PacketGap, func() { emit(p) })
+	}
+}
+
+// IncastConfig parameterizes synchronized fan-in epochs: every Epoch, Fanin
+// servers each send a Response-byte flow to the same frontend — the classic
+// partition/aggregate pattern that produces incast bursts.
+type IncastConfig struct {
+	Fanin     int
+	Response  int // bytes per server response
+	Epoch     sim.Duration
+	Epochs    int
+	MTU       int
+	PacketGap sim.Duration
+	Rng       *xrand.Rand
+}
+
+// Incast drives synchronized response bursts and tracks per-response FCT.
+type Incast struct {
+	cfg     IncastConfig
+	Tracker *FlowTracker
+	epoch   uint32
+}
+
+// NewIncast builds the workload.
+func NewIncast(cfg IncastConfig) *Incast {
+	if cfg.Fanin <= 0 || cfg.Response <= 0 || cfg.Epoch <= 0 || cfg.Epochs <= 0 {
+		panic("workload: NewIncast requires positive Fanin, Response, Epoch, Epochs")
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	if cfg.PacketGap <= 0 {
+		cfg.PacketGap = sim.Microsecond
+	}
+	return &Incast{cfg: cfg, Tracker: NewFlowTracker()}
+}
+
+// Run schedules all epochs on s.
+func (ic *Incast) Run(s *sim.Simulator, emit func(*packet.Packet)) {
+	fw := &FlowWorkload{
+		cfg: FlowConfig{
+			MeanGap: 1, Sizes: Fixed{Bytes: ic.cfg.Response},
+			MTU: ic.cfg.MTU, PacketGap: ic.cfg.PacketGap, Rng: ic.cfg.Rng,
+		},
+		Tracker: ic.Tracker,
+	}
+	for e := 0; e < ic.cfg.Epochs; e++ {
+		e := e
+		s.Schedule(sim.Duration(e+1)*ic.cfg.Epoch, func() {
+			ic.epoch++
+			for srv := 0; srv < ic.cfg.Fanin; srv++ {
+				key := packet.FlowKey{
+					SrcIP:   packet.IP4(10, 0, byte(srv>>6), byte(srv<<2)+byte(e%4)),
+					DstIP:   packet.IP4(10, 1, 0, 9),
+					SrcPort: uint16(30000 + srv),
+					DstPort: uint16(8000 + e%1000),
+					Proto:   packet.ProtoUDP,
+				}
+				fw.emitTrain(s, emit, key, ic.cfg.Response)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math"
+
+	"mpdp/internal/xrand"
+)
+
+// SizeDist yields packet or flow sizes in bytes.
+type SizeDist interface {
+	// Next returns the next size in bytes (>= 1).
+	Next() int
+	// Mean returns the distribution's mean, for load calibration.
+	Mean() float64
+}
+
+// Fixed always returns the same size.
+type Fixed struct{ Bytes int }
+
+// Next implements SizeDist.
+func (f Fixed) Next() int { return f.Bytes }
+
+// Mean implements SizeDist.
+func (f Fixed) Mean() float64 { return float64(f.Bytes) }
+
+// IMIX is the classic Internet packet-size mix: 7 parts 64 B, 4 parts
+// 576 B, 1 part 1500 B (mean ≈ 340 B). The suite's default per-packet
+// size distribution.
+type IMIX struct{ Rng *xrand.Rand }
+
+// Next implements SizeDist.
+func (m IMIX) Next() int {
+	switch r := m.Rng.Intn(12); {
+	case r < 7:
+		return 64
+	case r < 11:
+		return 576
+	default:
+		return 1500
+	}
+}
+
+// Mean implements SizeDist.
+func (m IMIX) Mean() float64 { return (7*64.0 + 4*576 + 1*1500) / 12 }
+
+// BoundedPareto draws sizes from a truncated Pareto: the standard model of
+// heavy-tailed flow sizes.
+type BoundedPareto struct {
+	Alpha  float64
+	Lo, Hi int
+	Rng    *xrand.Rand
+}
+
+// Next implements SizeDist.
+func (b BoundedPareto) Next() int {
+	return int(b.Rng.BoundedPareto(b.Alpha, float64(b.Lo), float64(b.Hi)))
+}
+
+// Mean implements SizeDist: the closed-form truncated-Pareto mean.
+func (b BoundedPareto) Mean() float64 {
+	a, l, h := b.Alpha, float64(b.Lo), float64(b.Hi)
+	if a == 1 {
+		return l * h / (h - l) * math.Log(h/l)
+	}
+	return math.Pow(l, a) / (1 - math.Pow(l/h, a)) * a / (a - 1) *
+		(1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+// Empirical wraps xrand.Empirical as a SizeDist.
+type Empirical struct{ E *xrand.Empirical }
+
+// Next implements SizeDist.
+func (e Empirical) Next() int {
+	v := int(e.E.Next())
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Mean implements SizeDist.
+func (e Empirical) Mean() float64 { return e.E.Mean() }
+
+// WebSearch returns the canonical web-search flow-size distribution
+// (approximating the CDF published with DCTCP): mostly short query
+// responses with a heavy tail of multi-megabyte flows.
+func WebSearch(rng *xrand.Rand) Empirical {
+	values := []float64{
+		1e3, 2e3, 3e3, 5e3, 7e3, 10e3, 20e3, 30e3, 50e3,
+		80e3, 200e3, 1e6, 2e6, 5e6, 10e6, 30e6,
+	}
+	probs := []float64{
+		0, 0.10, 0.20, 0.30, 0.40, 0.49, 0.60, 0.70, 0.75,
+		0.80, 0.85, 0.90, 0.95, 0.98, 0.99, 1.0,
+	}
+	return Empirical{E: xrand.NewEmpirical(rng, values, probs)}
+}
+
+// DataMining returns the canonical data-mining flow-size distribution
+// (approximating the CDF published with VL2): half the flows under 1 KB,
+// with a very heavy elephant tail.
+func DataMining(rng *xrand.Rand) Empirical {
+	values := []float64{
+		100, 300, 1e3, 2e3, 10e3, 100e3, 1e6, 10e6, 100e6,
+	}
+	probs := []float64{
+		0, 0.30, 0.50, 0.60, 0.80, 0.90, 0.95, 0.99, 1.0,
+	}
+	return Empirical{E: xrand.NewEmpirical(rng, values, probs)}
+}

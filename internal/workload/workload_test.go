@@ -1,0 +1,447 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mpdp/internal/nf"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/xrand"
+)
+
+func TestCBRGaps(t *testing.T) {
+	c := CBR{Gap: 100}
+	for i := 0; i < 10; i++ {
+		if c.Next() != 100 {
+			t.Fatal("CBR gap varies")
+		}
+	}
+	if (CBR{Gap: 0}).Next() != 1 {
+		t.Fatal("CBR zero gap not clamped")
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	p := NewPoisson(xrand.New(1), 1000)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		g := p.Next()
+		if g < 1 {
+			t.Fatal("gap below 1ns")
+		}
+		sum += float64(g)
+	}
+	mean := sum / n
+	if math.Abs(mean-1000)/1000 > 0.02 {
+		t.Fatalf("Poisson mean gap %v, want ~1000", mean)
+	}
+}
+
+func TestPoissonInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPoisson(xrand.New(1), 0)
+}
+
+func TestOnOffBurstiness(t *testing.T) {
+	// Compare squared coefficient of variation: ON/OFF must be burstier
+	// than Poisson at the same mean rate.
+	measure := func(a Arrival, n int) (mean, cv2 float64) {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			g := float64(a.Next())
+			sum += g
+			sumSq += g * g
+		}
+		mean = sum / float64(n)
+		variance := sumSq/float64(n) - mean*mean
+		return mean, variance / (mean * mean)
+	}
+	onoff := NewOnOff(xrand.New(2), 100, 10_000, 90_000)
+	_, cv2Burst := measure(onoff, 200000)
+	pois := NewPoisson(xrand.New(3), 1000)
+	_, cv2Pois := measure(pois, 200000)
+	if cv2Burst <= cv2Pois*2 {
+		t.Fatalf("ON/OFF cv² %v not clearly burstier than Poisson %v", cv2Burst, cv2Pois)
+	}
+}
+
+func TestOnOffMeanRate(t *testing.T) {
+	// Duty cycle 10%, burst gap 100ns -> mean gap ~1000ns.
+	o := NewOnOff(xrand.New(4), 100, 10_000, 90_000)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(o.Next())
+	}
+	mean := sum / n
+	if mean < 800 || mean > 1300 {
+		t.Fatalf("ON/OFF mean gap %v, want ~1000", mean)
+	}
+}
+
+func TestMMPP2SwitchesRates(t *testing.T) {
+	m := NewMMPP2(xrand.New(5), 100, 10000, 1_000_000, 1_000_000)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(m.Next())
+	}
+	mean := sum / n
+	// Time-weighted mean gap lies between the two state gaps and, with
+	// equal holding times, close to the slow state's contribution.
+	if mean <= 100 || mean >= 10000 {
+		t.Fatalf("MMPP2 mean gap %v outside (100,10000)", mean)
+	}
+}
+
+func TestFixedAndIMIX(t *testing.T) {
+	f := Fixed{Bytes: 500}
+	if f.Next() != 500 || f.Mean() != 500 {
+		t.Fatal("Fixed broken")
+	}
+	m := IMIX{Rng: xrand.New(6)}
+	var sum float64
+	const n = 200000
+	sizes := map[int]int{}
+	for i := 0; i < n; i++ {
+		v := m.Next()
+		sizes[v]++
+		sum += float64(v)
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("IMIX produced %d sizes", len(sizes))
+	}
+	if math.Abs(sum/n-m.Mean())/m.Mean() > 0.02 {
+		t.Fatalf("IMIX sample mean %v vs analytic %v", sum/n, m.Mean())
+	}
+}
+
+func TestBoundedParetoMeanMatches(t *testing.T) {
+	b := BoundedPareto{Alpha: 1.3, Lo: 100, Hi: 100000, Rng: xrand.New(7)}
+	var sum float64
+	const n = 500000
+	for i := 0; i < n; i++ {
+		v := b.Next()
+		if v < 100 || v > 100000 {
+			t.Fatalf("sample %d out of bounds", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-b.Mean())/b.Mean() > 0.05 {
+		t.Fatalf("sampled mean %v vs analytic %v", mean, b.Mean())
+	}
+}
+
+func TestWebSearchAndDataMiningShapes(t *testing.T) {
+	ws := WebSearch(xrand.New(8))
+	dm := DataMining(xrand.New(9))
+	const n = 100000
+	wsShort, dmShort := 0, 0
+	for i := 0; i < n; i++ {
+		if ws.Next() <= 10_000 {
+			wsShort++
+		}
+		if dm.Next() <= 1_000 {
+			dmShort++
+		}
+	}
+	// Web search: ~49% of flows <= 10KB. Data mining: ~50% <= 1KB.
+	if f := float64(wsShort) / n; f < 0.40 || f > 0.60 {
+		t.Fatalf("web-search short fraction %v", f)
+	}
+	if f := float64(dmShort) / n; f < 0.40 || f > 0.60 {
+		t.Fatalf("data-mining short fraction %v", f)
+	}
+	// Data mining has the heavier tail: larger mean.
+	if dm.Mean() <= ws.Mean() {
+		t.Fatalf("data-mining mean %v not above web-search %v", dm.Mean(), ws.Mean())
+	}
+}
+
+func TestTrafficEmitsValidFrames(t *testing.T) {
+	tr := NewTraffic(TrafficConfig{
+		Arrival: CBR{Gap: 100},
+		Size:    IMIX{Rng: xrand.New(10)},
+		Flows:   32,
+		Rng:     xrand.New(11),
+	})
+	for i := 0; i < 200; i++ {
+		p := tr.NextPacket()
+		pr, err := packet.ParseFrame(p.Data)
+		if err != nil || !pr.HasUDP {
+			t.Fatalf("invalid frame: %v", err)
+		}
+		if pr.FlowKey() != p.Flow {
+			t.Fatal("flow key mismatch")
+		}
+		if p.FlowID != p.Flow.Hash64() {
+			t.Fatal("FlowID not set")
+		}
+	}
+	pkts, bytes := tr.Emitted()
+	if pkts != 200 || bytes == 0 {
+		t.Fatalf("emitted %d/%d", pkts, bytes)
+	}
+}
+
+func TestTrafficZipfSkew(t *testing.T) {
+	tr := NewTraffic(TrafficConfig{
+		Arrival:  CBR{Gap: 100},
+		Size:     Fixed{Bytes: 200},
+		Flows:    50,
+		FlowSkew: 1.2,
+		Rng:      xrand.New(12),
+	})
+	counts := make(map[packet.FlowKey]int)
+	for i := 0; i < 20000; i++ {
+		counts[tr.NextPacket().Flow]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 20000*0.1 {
+		t.Fatalf("no elephant flow under Zipf skew (max %d)", max)
+	}
+}
+
+func TestTrafficBulkFraction(t *testing.T) {
+	tr := NewTraffic(TrafficConfig{
+		Arrival: CBR{Gap: 1}, Size: Fixed{Bytes: 100}, Flows: 100,
+		BulkFraction: 0.25, Rng: xrand.New(13),
+	})
+	bulk := 0
+	for _, k := range tr.Pool() {
+		if k.DstPort >= 50000 {
+			bulk++
+		}
+	}
+	if bulk != 25 {
+		t.Fatalf("bulk flows %d/100, want 25", bulk)
+	}
+}
+
+func TestTrafficRunHorizon(t *testing.T) {
+	s := sim.New()
+	tr := NewTraffic(TrafficConfig{
+		Arrival: CBR{Gap: 1000},
+		Size:    Fixed{Bytes: 200},
+		Flows:   8,
+		Rng:     xrand.New(14),
+	})
+	var times []sim.Time
+	tr.Run(s, func(p *packet.Packet) { times = append(times, s.Now()) }, 10_000)
+	s.Run()
+	if len(times) != 10 {
+		t.Fatalf("emitted %d packets in 10µs at 1/µs", len(times))
+	}
+	for _, tm := range times {
+		if tm > 10_000 {
+			t.Fatal("emission after horizon")
+		}
+	}
+}
+
+func TestTrafficRequiredFieldsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on missing fields")
+		}
+	}()
+	NewTraffic(TrafficConfig{})
+}
+
+func TestMeanServiceCostPositiveAndScales(t *testing.T) {
+	rng := xrand.New(15)
+	short := MeanServiceCost(nf.PresetChain(1), Fixed{Bytes: 128}, rng, 100)
+	long := MeanServiceCost(nf.PresetChain(6), Fixed{Bytes: 1400}, rng, 100)
+	if short <= 0 {
+		t.Fatal("non-positive cost estimate")
+	}
+	if long <= short {
+		t.Fatalf("chain-6 jumbo cost %v not above chain-1 small %v", long, short)
+	}
+}
+
+func TestFlowTrackerFCT(t *testing.T) {
+	ft := NewFlowTracker()
+	ft.Begin(7, 3, 50_000, 1000)
+	mk := func(seq uint64, delivered sim.Time) *packet.Packet {
+		return &packet.Packet{FlowID: 7, Seq: seq, Delivered: delivered}
+	}
+	ft.OnDeliver(mk(0, 2000))
+	ft.OnDeliver(mk(1, 3000))
+	if ft.Completed() != 0 {
+		t.Fatal("completed early")
+	}
+	ft.OnDeliver(mk(2, 5000))
+	if ft.Completed() != 1 || ft.Incomplete() != 0 {
+		t.Fatalf("completed=%d incomplete=%d", ft.Completed(), ft.Incomplete())
+	}
+	// 50KB < 100KB cutoff -> short flow; FCT = 5000-1000.
+	if ft.ShortFCT.Count() != 1 || ft.ShortFCT.Max() != 4000 {
+		t.Fatalf("short FCT hist: n=%d max=%d", ft.ShortFCT.Count(), ft.ShortFCT.Max())
+	}
+	if ft.LongFCT.Count() != 0 {
+		t.Fatal("long hist polluted")
+	}
+}
+
+func TestFlowTrackerIgnoresUnknownFlows(t *testing.T) {
+	ft := NewFlowTracker()
+	ft.OnDeliver(&packet.Packet{FlowID: 99, Delivered: 10})
+	if ft.Completed() != 0 {
+		t.Fatal("unknown flow completed")
+	}
+}
+
+func TestFlowWorkloadPacketizes(t *testing.T) {
+	s := sim.New()
+	fw := NewFlowWorkload(FlowConfig{
+		MeanGap: 100 * sim.Microsecond,
+		Sizes:   Fixed{Bytes: 4000}, // ~3 MTU packets
+		Rng:     xrand.New(16),
+	})
+	var pkts []*packet.Packet
+	fw.Run(s, func(p *packet.Packet) { pkts = append(pkts, p) }, 2*sim.Millisecond)
+	s.Run()
+	if fw.Tracker.Started() == 0 {
+		t.Fatal("no flows started")
+	}
+	perFlow := make(map[uint64]int)
+	for _, p := range pkts {
+		perFlow[p.FlowID]++
+	}
+	for id, n := range perFlow {
+		if n != 3 {
+			t.Fatalf("flow %d has %d packets, want 3 for 4000B", id, n)
+		}
+	}
+}
+
+func TestFlowWorkloadEndToEndFCT(t *testing.T) {
+	s := sim.New()
+	fw := NewFlowWorkload(FlowConfig{
+		MeanGap: 50 * sim.Microsecond,
+		Sizes:   Fixed{Bytes: 3000},
+		Rng:     xrand.New(17),
+	})
+	// "Deliver" every packet 10µs after emission.
+	fw.Run(s, func(p *packet.Packet) {
+		deliverAt := s.Now() + 10*sim.Microsecond
+		s.Schedule(10*sim.Microsecond, func() {
+			p.Delivered = deliverAt
+			fw.Tracker.OnDeliver(p)
+		})
+	}, 2*sim.Millisecond)
+	s.Run()
+	if fw.Tracker.Completed() == 0 {
+		t.Fatal("no flows completed")
+	}
+	if fw.Tracker.Completed() != fw.Tracker.Started() {
+		t.Fatalf("completed %d of %d", fw.Tracker.Completed(), fw.Tracker.Started())
+	}
+	// FCT must be at least the last packet's pacing offset + delivery lag.
+	if min := fw.Tracker.ShortFCT.Min(); min < 10*1000 {
+		t.Fatalf("implausible min FCT %d", min)
+	}
+}
+
+func TestIncastEpochs(t *testing.T) {
+	s := sim.New()
+	ic := NewIncast(IncastConfig{
+		Fanin: 8, Response: 2000, Epoch: sim.Millisecond, Epochs: 3,
+		Rng: xrand.New(18),
+	})
+	count := 0
+	var firstBurst sim.Time
+	ic.Run(s, func(p *packet.Packet) {
+		if count == 0 {
+			firstBurst = s.Now()
+		}
+		count++
+		p.Delivered = s.Now()
+		ic.Tracker.OnDeliver(p)
+	})
+	s.Run()
+	if ic.Tracker.Started() != 24 {
+		t.Fatalf("started %d flows, want 8×3", ic.Tracker.Started())
+	}
+	if firstBurst != sim.Millisecond {
+		t.Fatalf("first epoch at %v", firstBurst)
+	}
+	// 2000B -> 2 packets per response.
+	if count != 48 {
+		t.Fatalf("emitted %d packets, want 48", count)
+	}
+}
+
+func TestIncastDistinctFlowKeys(t *testing.T) {
+	s := sim.New()
+	ic := NewIncast(IncastConfig{
+		Fanin: 16, Response: 1000, Epoch: sim.Millisecond, Epochs: 2,
+		Rng: xrand.New(19),
+	})
+	flows := make(map[uint64]bool)
+	ic.Run(s, func(p *packet.Packet) { flows[p.FlowID] = true })
+	s.Run()
+	if len(flows) != 32 {
+		t.Fatalf("distinct flows %d, want 32", len(flows))
+	}
+}
+
+func TestIncastInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewIncast(IncastConfig{})
+}
+
+func TestCollisionFlowsAllCollide(t *testing.T) {
+	rng := xrand.New(21)
+	flows := CollisionFlows(rng, 50, 4, 2)
+	if len(flows) != 50 {
+		t.Fatalf("got %d flows", len(flows))
+	}
+	seen := make(map[packet.FlowKey]bool)
+	for _, k := range flows {
+		if packet.RSSQueue(packet.DefaultRSSKey, k, 4) != 2 {
+			t.Fatalf("flow %v does not hash to queue 2", k)
+		}
+		if seen[k] {
+			t.Fatal("duplicate flow in collision set")
+		}
+		seen[k] = true
+	}
+}
+
+func TestCollisionFlowsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad args accepted")
+		}
+	}()
+	CollisionFlows(xrand.New(1), 10, 4, 9)
+}
+
+func TestNewCollisionTrafficPool(t *testing.T) {
+	rng := xrand.New(22)
+	tr := NewCollisionTraffic(CBR{Gap: 100}, Fixed{Bytes: 200}, rng, 32, 8, 5)
+	for i := 0; i < 200; i++ {
+		p := tr.NextPacket()
+		if packet.RSSQueue(packet.DefaultRSSKey, p.Flow, 8) != 5 {
+			t.Fatal("generated packet escapes the target queue")
+		}
+	}
+}

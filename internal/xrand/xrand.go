@@ -1,0 +1,176 @@
+// Package xrand provides a small, fast, deterministic random number
+// generator and the probability distributions used throughout the MPDP
+// simulator.
+//
+// The simulator requires bit-reproducible runs for a given seed across
+// platforms and Go releases, so it cannot depend on math/rand's unspecified
+// stream stability. xrand implements an explicit PCG-XSH-RR 64/32 generator
+// seeded through SplitMix64, plus exponential, Pareto, log-normal, Weibull,
+// Zipf, normal and empirical-CDF samplers built on top of it.
+//
+// A Rand is not safe for concurrent use; give each simulated entity its own
+// stream via Split, which derives an independent generator deterministically.
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random generator (PCG-XSH-RR 64/32).
+// The zero value is not usable; construct with New.
+type Rand struct {
+	state uint64
+	inc   uint64
+}
+
+const pcgMultiplier = 6364136223846793005
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used only to expand seeds into well-distributed initial states.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Two generators created with the
+// same seed produce identical streams.
+func New(seed uint64) *Rand {
+	sm := seed
+	r := &Rand{}
+	r.state = splitMix64(&sm)
+	r.inc = splitMix64(&sm) | 1 // stream selector must be odd
+	// Advance once so the first output depends on both state words.
+	r.Uint32()
+	return r
+}
+
+// Split derives a new independent generator from r deterministically.
+// The derived stream is decorrelated from r's future output.
+func (r *Rand) Split() *Rand {
+	seed := uint64(r.Uint32())<<32 | uint64(r.Uint32())
+	return New(seed ^ 0xa0761d6478bd642f)
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *Rand) Uint32() uint32 {
+	old := r.state
+	r.state = old*pcgMultiplier + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	return uint64(r.Uint32())<<32 | uint64(r.Uint32())
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n)) // negligible modulo bias for simulation use
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// ExpFloat64 returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Rand) ExpFloat64(rate float64) float64 {
+	if rate <= 0 {
+		panic("xrand: ExpFloat64 with non-positive rate")
+	}
+	// Use 1-u to avoid log(0).
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Pareto returns a Pareto(shape alpha, scale xm) sample: xm * U^(-1/alpha).
+// Heavy-tailed for alpha <= 2; the canonical model of flow-size skew.
+func (r *Rand) Pareto(alpha, xm float64) float64 {
+	if alpha <= 0 || xm <= 0 {
+		panic("xrand: Pareto requires positive alpha and xm")
+	}
+	return xm * math.Pow(1-r.Float64(), -1/alpha)
+}
+
+// BoundedPareto returns a Pareto(alpha) sample truncated to [lo, hi] by
+// inverse-CDF sampling, preserving the tail shape inside the bounds.
+func (r *Rand) BoundedPareto(alpha, lo, hi float64) float64 {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		panic("xrand: BoundedPareto requires alpha>0 and 0<lo<hi")
+	}
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, via the Marsaglia polar method.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// LogNormal returns exp(Normal(mu, sigma)); the standard model of service
+// time jitter with occasional large stragglers.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Weibull returns a Weibull(shape k, scale lambda) sample.
+func (r *Rand) Weibull(k, lambda float64) float64 {
+	if k <= 0 || lambda <= 0 {
+		panic("xrand: Weibull requires positive k and lambda")
+	}
+	return lambda * math.Pow(-math.Log(1-r.Float64()), 1/k)
+}
+
+// Geometric returns the number of Bernoulli(p) failures before the first
+// success. It panics unless 0 < p <= 1.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log(1-r.Float64()) / math.Log(1-p)))
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,406 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(7)
+	c := a.Split()
+	// The split stream must not replicate the parent's continuation.
+	parent := make([]uint64, 50)
+	for i := range parent {
+		parent[i] = a.Uint64()
+	}
+	matches := 0
+	for i := 0; i < 50; i++ {
+		if c.Uint64() == parent[i] {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Fatalf("split stream matched parent %d/50 times", matches)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) covered %d values, want 10", len(seen))
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(6)
+	const rate = 2.0
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("exponential mean = %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := New(7)
+	const alpha, xm = 1.5, 1.0
+	count := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Pareto(alpha, xm)
+		if v < xm {
+			t.Fatalf("Pareto sample %v below scale %v", v, xm)
+		}
+		if v > 10 {
+			count++
+		}
+	}
+	// P(X > 10) = (xm/10)^alpha = 10^-1.5 ~= 0.0316
+	frac := float64(count) / n
+	if math.Abs(frac-0.0316) > 0.01 {
+		t.Fatalf("Pareto tail fraction = %v, want ~0.0316", frac)
+	}
+}
+
+func TestBoundedParetoBounds(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 50000; i++ {
+		v := r.BoundedPareto(1.2, 10, 1000)
+		if v < 10 || v > 1000 {
+			t.Fatalf("BoundedPareto out of [10,1000]: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(9)
+	const mean, stddev = 5.0, 2.0
+	sum, sumSq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Normal(mean, stddev)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	sd := math.Sqrt(sumSq/n - m*m)
+	if math.Abs(m-mean) > 0.05 || math.Abs(sd-stddev) > 0.05 {
+		t.Fatalf("normal moments mean=%v sd=%v, want %v and %v", m, sd, mean, stddev)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	r := New(11)
+	// Weibull(k=1, lambda) is exponential with mean lambda.
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Weibull(1, 3)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Weibull(1,3) mean = %v, want ~3", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(12)
+	const p = 0.25
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	want := (1 - p) / p // mean number of failures
+	if mean := sum / n; math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean = %v, want ~%v", p, mean, want)
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 100; i++ {
+		if v := r.Geometric(1); v != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(14)
+	for trial := 0; trial < 100; trial++ {
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("Perm produced invalid permutation %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(15)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate = %v", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(16)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf rank 0 (%d) not more popular than rank 50 (%d)", counts[0], counts[50])
+	}
+	// With s=1, P(rank 0) = 1/H_100 ~ 0.1928.
+	frac := float64(counts[0]) / n
+	if math.Abs(frac-0.1928) > 0.02 {
+		t.Fatalf("Zipf rank-0 frequency = %v, want ~0.19", frac)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(17)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)/n-0.1) > 0.01 {
+			t.Fatalf("Zipf(s=0) rank %d frequency %v, want ~0.1", i, float64(c)/n)
+		}
+	}
+}
+
+func TestEmpiricalBounds(t *testing.T) {
+	r := New(18)
+	e := NewEmpirical(r, []float64{100, 1000, 10000}, []float64{0.5, 0.9, 1.0})
+	for i := 0; i < 50000; i++ {
+		v := e.Next()
+		if v < 100 || v > 10000 {
+			t.Fatalf("Empirical sample %v out of [100,10000]", v)
+		}
+	}
+}
+
+func TestEmpiricalQuantiles(t *testing.T) {
+	r := New(19)
+	e := NewEmpirical(r, []float64{0, 10, 100}, []float64{0, 0.5, 1.0})
+	below10 := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if e.Next() <= 10 {
+			below10++
+		}
+	}
+	if frac := float64(below10) / n; math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("P(X<=10) = %v, want ~0.5", frac)
+	}
+}
+
+func TestEmpiricalMean(t *testing.T) {
+	r := New(20)
+	e := NewEmpirical(r, []float64{0, 10}, []float64{0, 1})
+	// Uniform on [0,10]: mean 5.
+	if m := e.Mean(); math.Abs(m-5) > 1e-9 {
+		t.Fatalf("analytic mean = %v, want 5", m)
+	}
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += e.Next()
+	}
+	if m := sum / n; math.Abs(m-5) > 0.05 {
+		t.Fatalf("sampled mean = %v, want ~5", m)
+	}
+}
+
+func TestEmpiricalRejectsMalformed(t *testing.T) {
+	r := New(21)
+	cases := []struct {
+		values, probs []float64
+	}{
+		{[]float64{1}, []float64{1}},                 // too short
+		{[]float64{1, 2}, []float64{0.5, 0.9}},       // doesn't end at 1
+		{[]float64{2, 1}, []float64{0.5, 1}},         // decreasing values
+		{[]float64{1, 2, 3}, []float64{0.9, 0.5, 1}}, // decreasing probs
+		{[]float64{1, 2, 3}, []float64{0.5, 1}},      // length mismatch
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: malformed input did not panic", i)
+				}
+			}()
+			NewEmpirical(r, c.values, c.probs)
+		}()
+	}
+}
+
+// Property: Float64 is always in [0,1) regardless of seed.
+func TestQuickFloat64InRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: same seed yields same first value; Perm is always a permutation.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		return New(seed).Uint64() == New(seed).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPermProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkExpFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.ExpFloat64(1)
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1000, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

@@ -1,0 +1,126 @@
+package xrand
+
+import "math"
+
+// Zipf samples ranks 1..N with probability proportional to 1/rank^s.
+// It precomputes the CDF once, so sampling is O(log N) via binary search.
+// Used to model skewed flow popularity (a few elephant destinations).
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s >= 0 drawing
+// randomness from r. It panics if n <= 0 or s < 0.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf with negative exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns a rank in [0, N) with Zipfian probability (rank 0 most likely).
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Empirical samples from a piecewise-linear inverse CDF given as
+// (value, cumulative-probability) breakpoints. This is how the canonical
+// data-center flow-size distributions (web-search, data-mining) are encoded.
+type Empirical struct {
+	values []float64
+	probs  []float64
+	r      *Rand
+}
+
+// NewEmpirical builds an empirical sampler. probs must start at 0 or have an
+// implicit 0 origin, be non-decreasing, and end at 1; values must be
+// non-decreasing and the same length as probs. It panics on malformed input.
+func NewEmpirical(r *Rand, values, probs []float64) *Empirical {
+	if len(values) != len(probs) || len(values) < 2 {
+		panic("xrand: NewEmpirical needs >= 2 matching breakpoints")
+	}
+	for i := 1; i < len(values); i++ {
+		if values[i] < values[i-1] || probs[i] < probs[i-1] {
+			panic("xrand: NewEmpirical breakpoints must be non-decreasing")
+		}
+	}
+	if probs[len(probs)-1] != 1 {
+		panic("xrand: NewEmpirical probs must end at 1")
+	}
+	v := make([]float64, len(values))
+	p := make([]float64, len(probs))
+	copy(v, values)
+	copy(p, probs)
+	return &Empirical{values: v, probs: p, r: r}
+}
+
+// Next returns a sample by inverting the piecewise-linear CDF.
+func (e *Empirical) Next() float64 {
+	u := e.r.Float64()
+	// Find the first breakpoint with cumulative probability >= u.
+	lo, hi := 0, len(e.probs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.probs[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return e.values[0]
+	}
+	p0, p1 := e.probs[lo-1], e.probs[lo]
+	v0, v1 := e.values[lo-1], e.values[lo]
+	if p1 == p0 {
+		return v1
+	}
+	frac := (u - p0) / (p1 - p0)
+	return v0 + frac*(v1-v0)
+}
+
+// Mean returns the analytic mean of the piecewise-linear distribution,
+// useful for computing offered load from a target utilization.
+func (e *Empirical) Mean() float64 {
+	mean := 0.0
+	prev := 0.0
+	for i := range e.values {
+		p := e.probs[i]
+		var v float64
+		if i == 0 {
+			v = e.values[0]
+		} else {
+			v = (e.values[i-1] + e.values[i]) / 2
+		}
+		mean += (p - prev) * v
+		prev = p
+	}
+	return mean
+}
