@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench suite suite-quick check lint examples clean
+.PHONY: all build test test-short race verify cover bench suite suite-quick check lint examples clean
 
 all: build test
 
@@ -17,7 +17,11 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/live/ ./internal/sim/ ./internal/stats/
+	$(GO) test -race ./...
+
+# Whole suite in quick mode with the end-to-end invariant checker armed.
+verify:
+	$(GO) run ./cmd/mpdp-bench -exp all -quick -verify
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -55,6 +55,7 @@ func BenchmarkE16Compose(b *testing.B)    { benchExperiment(b, "E16") }
 func BenchmarkE17HashAttack(b *testing.B) { benchExperiment(b, "E17") }
 func BenchmarkE18ClosedLoop(b *testing.B) { benchExperiment(b, "E18") }
 func BenchmarkE19Hetero(b *testing.B)     { benchExperiment(b, "E19") }
+func BenchmarkE20FaultRecov(b *testing.B) { benchExperiment(b, "E20") }
 
 // BenchmarkPolicyP99 runs one standard configuration per policy and reports
 // the measured p99 (µs) as a custom metric — the E2/E3 numbers, one row per

@@ -21,16 +21,18 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment ID (E1..E18) or 'all'")
-		seed  = flag.Uint64("seed", 1, "base random seed")
-		seeds = flag.Int("seeds", 2, "independent repetitions per data point")
-		quick = flag.Bool("quick", false, "shrink horizons for a fast smoke run")
-		csv   = flag.String("csv", "", "also write results as CSV to this file")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		plot  = flag.Bool("plot", false, "also render figures as ASCII charts")
-		check = flag.Bool("check", false, "run the headline shape checks and exit (nonzero on violation)")
+		exp    = flag.String("exp", "all", "experiment ID (E1..E20) or 'all'")
+		seed   = flag.Uint64("seed", 1, "base random seed")
+		seeds  = flag.Int("seeds", 2, "independent repetitions per data point")
+		quick  = flag.Bool("quick", false, "shrink horizons for a fast smoke run")
+		csv    = flag.String("csv", "", "also write results as CSV to this file")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		plot   = flag.Bool("plot", false, "also render figures as ASCII charts")
+		check  = flag.Bool("check", false, "run the headline shape checks and exit (nonzero on violation)")
+		verify = flag.Bool("verify", false, "attach the end-to-end invariant checker to every run (fails on any violation)")
 	)
 	flag.Parse()
+	experiment.SetVerify(*verify)
 
 	if *check {
 		bad, err := experiment.CheckShapes(experiment.SuiteOpts{Seed: *seed})

@@ -65,6 +65,21 @@ type Config struct {
 	// TimelineWindow, if > 0, records per-window latency histograms for
 	// the adaptivity-timeline experiment.
 	TimelineWindow sim.Duration
+
+	// Health tunes the path-health state machine (zero values take
+	// defaults; Health.Disable turns it off).
+	Health HealthConfig
+}
+
+// Observer receives the engine's per-packet lifecycle events: exactly one
+// of Delivered/Lost/Consumed fires per distinct ingress packet once its
+// fate is decided (duplicate copies are folded into their original). The
+// invariant checker attaches here; observers must not mutate packets.
+type Observer interface {
+	PacketIngress(p *packet.Packet)
+	PacketDelivered(p *packet.Packet)
+	PacketLost(p *packet.Packet, reason packet.DropReason)
+	PacketConsumed(p *packet.Packet)
 }
 
 // DataPlane is the running multipath data plane: the object under test in
@@ -80,6 +95,17 @@ type DataPlane struct {
 	idGen  uint64
 	seqGen map[uint64]uint64 // FlowID -> next ingress sequence
 	dups   map[uint64]*dupGroup
+
+	observer Observer
+
+	// Health machinery (see health.go). Progression is packet-clocked: the
+	// sweep runs every MaintainEvery ingress packets, so a healthy run
+	// schedules no extra events and an idle plane does no work.
+	healthCfg     HealthConfig
+	maintainCount uint64
+	canaryCount   uint64
+	numProbing    int
+	fracBuf       []float64
 
 	metrics *Metrics
 }
@@ -116,16 +142,27 @@ func New(s *sim.Simulator, cfg Config, sink DeliverFunc) *DataPlane {
 		cfg.TelemetryWindow = 5 * sim.Millisecond
 	}
 
+	health := cfg.Health
+	health.fillDefaults()
+
 	dp := &DataPlane{
-		sim:     s,
-		cfg:     cfg,
-		policy:  cfg.Policy,
-		sink:    sink,
-		seqGen:  make(map[uint64]uint64),
-		dups:    make(map[uint64]*dupGroup),
-		metrics: newMetrics(cfg.TimelineWindow),
+		sim:       s,
+		cfg:       cfg,
+		policy:    cfg.Policy,
+		sink:      sink,
+		seqGen:    make(map[uint64]uint64),
+		dups:      make(map[uint64]*dupGroup),
+		healthCfg: health,
+		metrics:   newMetrics(cfg.TimelineWindow),
 	}
 	dp.reorder = NewReorder(s, cfg.ReorderTimeout, dp.deliver)
+	dp.reorder.OnLost(func(p *packet.Packet) {
+		// A straggler the buffer gave up on: conclusively lost.
+		dp.metrics.drops[packet.DropReorder]++
+		if dp.observer != nil {
+			dp.observer.PacketLost(p, packet.DropReorder)
+		}
+	})
 
 	rng := xrand.New(cfg.Seed)
 	for i := 0; i < cfg.NumPaths; i++ {
@@ -180,6 +217,10 @@ func (dp *DataPlane) ReorderStats() ReorderStats { return dp.reorder.Stats() }
 // PolicyName returns the active policy's name.
 func (dp *DataPlane) PolicyName() string { return dp.policy.Name() }
 
+// SetObserver attaches a lifecycle observer (nil detaches). Attach before
+// the first Ingress; events for packets already in flight are not replayed.
+func (dp *DataPlane) SetObserver(o Observer) { dp.observer = o }
+
 // Ingress admits one packet to the data plane at the current virtual time.
 // The engine assigns identity (ID, FlowID, Seq) and consults the policy.
 func (dp *DataPlane) Ingress(p *packet.Packet) {
@@ -199,6 +240,16 @@ func (dp *DataPlane) Ingress(p *packet.Packet) {
 
 	dp.metrics.offered++
 	dp.metrics.offeredBytes += uint64(p.Size())
+	if dp.observer != nil {
+		dp.observer.PacketIngress(p)
+	}
+
+	if !dp.healthCfg.Disable {
+		dp.maintainCount++
+		if dp.maintainCount%uint64(dp.healthCfg.MaintainEvery) == 0 {
+			dp.maintainHealth(now)
+		}
+	}
 
 	idxs := dp.policy.Pick(now, p, dp.paths)
 	if len(idxs) == 0 {
@@ -207,6 +258,21 @@ func (dp *DataPlane) Ingress(p *packet.Packet) {
 	for _, i := range idxs {
 		if i < 0 || i >= len(dp.paths) {
 			panic(fmt.Sprintf("core: policy %s picked invalid path %d of %d", dp.policy.Name(), i, len(dp.paths)))
+		}
+	}
+
+	// Canary trickle: while any path is probing, every CanaryEvery-th
+	// single-copy packet is *mirrored* onto it — the probe is a duplicate
+	// copy, so a canary the sick path swallows or drops costs nothing (the
+	// primary copy still delivers) while a canary it serves is evidence of
+	// recovery. Real traffic, zero sacrifice.
+	if dp.numProbing > 0 && len(idxs) == 1 {
+		dp.canaryCount++
+		if dp.canaryCount%uint64(dp.healthCfg.CanaryEvery) == 0 {
+			if pi := dp.nextProbing(); pi >= 0 && pi != idxs[0] {
+				idxs = []int{idxs[0], pi}
+				dp.metrics.canaries++
+			}
 		}
 	}
 
@@ -234,33 +300,57 @@ func (dp *DataPlane) Ingress(p *packet.Packet) {
 	dp.metrics.dupCopies--
 }
 
-// send enqueues one copy on path i, handling tail drops.
+// send enqueues one copy on path i, handling refusals (queue tail drop or a
+// failed lane turning the copy away).
 func (dp *DataPlane) send(p *packet.Packet, i int, group *dupGroup) {
 	ps := dp.paths[i]
 	ps.sent++
 	dp.metrics.copiesSent++
 	if ps.Lane.Enqueue(p) {
+		h := &ps.health
+		if h.inflight == 0 {
+			h.pendingSince = dp.sim.Now()
+		}
+		h.inflight++
 		return
 	}
-	// Tail drop at the lane queue. The engine knows this sequence copy is
-	// gone, so punch the hole (or finish the dup group) immediately.
-	dp.metrics.drops[packet.DropQueueFull]++
+	// Refused. The engine knows this sequence copy is gone, so punch the
+	// hole (or finish the dup group) immediately.
+	dp.metrics.drops[p.Dropped]++
+	if p.Dropped == packet.DropPathFailed && !dp.healthCfg.Disable {
+		// A fail-stop refusal is near-definitive evidence; quarantine as
+		// soon as the threshold allows.
+		h := &ps.health
+		h.consecFail++
+		if h.state == HealthProbing || h.consecFail >= dp.healthCfg.FailThreshold {
+			dp.quarantinePath(i)
+		}
+	}
 	dp.copyGone(p, group)
 }
 
 // copyGone accounts for a copy that will never reach delivery. When it was
-// the packet's last chance, the reorder stage is told not to wait.
+// the packet's last chance, the packet is conclusively lost.
 func (dp *DataPlane) copyGone(p *packet.Packet, group *dupGroup) {
 	if group == nil {
-		dp.punch(p)
+		dp.lost(p)
 		return
 	}
 	group.remaining--
 	if group.remaining <= 0 {
 		if !group.won {
-			dp.punch(p)
+			dp.lost(p)
 		}
 		delete(dp.dups, p.OrigID)
+	}
+}
+
+// lost finalizes a packet whose every copy is gone: the reorder stage is
+// told not to wait for it and the observer sees its fate.
+func (dp *DataPlane) lost(p *packet.Packet) {
+	dp.punch(p)
+	if dp.observer != nil {
+		dp.observer.PacketLost(p, p.Dropped)
 	}
 }
 
@@ -275,6 +365,9 @@ func (dp *DataPlane) punch(p *packet.Packet) {
 func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
 	ps := dp.paths[p.PathID]
 	ps.observe(p.Done, p.ServiceTime(), p.Done-p.Enqueued)
+	h := &ps.health
+	h.inflight--
+	h.lastDone = p.Done
 
 	group := dp.dups[p.OrigID]
 
@@ -283,6 +376,29 @@ func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
 		dp.metrics.drops[packet.DropCancelled]++
 		dp.copyGone(p, group)
 		return
+	}
+
+	if !dp.healthCfg.Disable {
+		if verdict == packet.Drop {
+			h.winDropped++
+			if h.state == HealthProbing {
+				// A canary eaten by the chain: the path still misbehaves.
+				h.consecFail++
+				if h.consecFail >= 2 {
+					dp.quarantinePath(p.PathID)
+				}
+			}
+		} else {
+			h.winServed++
+			h.consecFail = 0
+			if h.state == HealthProbing {
+				h.probeOK++
+				if h.probeOK >= dp.healthCfg.ProbeSuccesses {
+					dp.numProbing--
+					h.setState(HealthUp, dp.sim.Now())
+				}
+			}
+		}
 	}
 
 	switch verdict {
@@ -317,8 +433,29 @@ func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
 	case packet.Consume:
 		// Terminated locally (e.g. tunnel endpoint); counts as completed
 		// work but exits the pipeline here — successors must not wait.
+		// First consume wins its dup group so the packet counts once.
+		if group != nil {
+			if group.won {
+				p.Dropped = packet.DropCancelled
+				dp.metrics.drops[packet.DropCancelled]++
+				group.remaining--
+				if group.remaining <= 0 {
+					delete(dp.dups, p.OrigID)
+				}
+				return
+			}
+			group.won = true
+			group.remaining--
+			dp.cancelSiblings(p, group)
+			if group.remaining <= 0 {
+				delete(dp.dups, p.OrigID)
+			}
+		}
 		dp.metrics.consumed++
-		dp.copyGone(p, group)
+		dp.punch(p)
+		if dp.observer != nil {
+			dp.observer.PacketConsumed(p)
+		}
 	}
 }
 
@@ -331,7 +468,16 @@ func (dp *DataPlane) cancelSiblings(winner *packet.Packet, group *dupGroup) {
 			continue
 		}
 		if c.PathID >= 0 && c.PathID < len(dp.paths) {
+			// A copy on a probing path is a canary: let it run to completion
+			// so the probe gathers its evidence (it costs nothing — the
+			// group is already won).
+			if dp.paths[c.PathID].health.state == HealthProbing {
+				continue
+			}
 			if dp.paths[c.PathID].Lane.CancelQueued(c.ID) {
+				// Discarded in-queue without a completion callback, so its
+				// in-flight slot is released here too.
+				dp.paths[c.PathID].health.inflight--
 				dp.metrics.dupCancelled++
 				group.remaining--
 			}
@@ -342,14 +488,168 @@ func (dp *DataPlane) cancelSiblings(winner *packet.Packet, group *dupGroup) {
 // deliver is the terminal stage: record metrics and hand to the sink.
 func (dp *DataPlane) deliver(p *packet.Packet) {
 	dp.metrics.recordDelivery(p)
+	if dp.observer != nil {
+		dp.observer.PacketDelivered(p)
+	}
 	if dp.sink != nil {
 		dp.sink(p)
 	}
 }
 
-// Flush force-releases the reorder buffer (end of a measurement run).
+// Flush ends a measurement run: anything still held by a failed lane is
+// declared lost (so accounting converges even when a blackhole was never
+// detected), then the reorder buffer is force-released.
 func (dp *DataPlane) Flush() {
+	for _, ps := range dp.paths {
+		if ps.Lane.FailState() != vnet.LaneHealthy {
+			ps.Lane.DrainFailed(dp.pathDrop)
+		}
+	}
 	if !dp.cfg.DisableReorder {
 		dp.reorder.Flush()
 	}
+}
+
+// FailPath injects a lane failure. LaneFailStop is announced — the lane
+// refuses traffic, so the very next send quarantines it and everything it
+// held is hole-punched now. LaneBlackhole is silent: the lane keeps
+// accepting and swallowing packets; detection is the watchdog's job.
+func (dp *DataPlane) FailPath(i int, mode vnet.FailMode) {
+	if i < 0 || i >= len(dp.paths) {
+		panic(fmt.Sprintf("core: FailPath(%d) of %d paths", i, len(dp.paths)))
+	}
+	ps := dp.paths[i]
+	switch mode {
+	case vnet.LaneFailStop:
+		ps.Lane.Fail(mode, dp.pathDrop)
+		if !dp.healthCfg.Disable {
+			dp.quarantinePath(i)
+		}
+	case vnet.LaneBlackhole:
+		ps.Lane.Fail(mode, nil)
+	}
+}
+
+// RestorePath repairs a previously failed lane. Health is deliberately NOT
+// reset: a quarantined path must still earn its way back through the
+// probing canaries — the injector saying "fixed" is not proof.
+func (dp *DataPlane) RestorePath(i int) {
+	if i < 0 || i >= len(dp.paths) {
+		panic(fmt.Sprintf("core: RestorePath(%d) of %d paths", i, len(dp.paths)))
+	}
+	dp.paths[i].Lane.Recover()
+}
+
+// pathDrop receives packets drained off a failed or quarantined lane: each
+// is a copy that will never complete.
+func (dp *DataPlane) pathDrop(p *packet.Packet) {
+	dp.metrics.drops[packet.DropPathFailed]++
+	if p.PathID >= 0 && p.PathID < len(dp.paths) {
+		dp.paths[p.PathID].health.inflight--
+	}
+	dp.copyGone(p, dp.dups[p.OrigID])
+}
+
+// quarantinePath moves path i to Quarantined and synchronously hole-punches
+// everything its lane still holds, so no successor waits on a dead path.
+func (dp *DataPlane) quarantinePath(i int) {
+	ps := dp.paths[i]
+	if ps.health.state == HealthQuarantined {
+		return
+	}
+	if ps.health.state == HealthProbing {
+		dp.numProbing--
+	}
+	ps.health.setState(HealthQuarantined, dp.sim.Now())
+	dp.metrics.quarantines++
+	ps.Lane.DrainFailed(dp.pathDrop)
+}
+
+// nextProbing returns a probing path for the next canary, rotating so
+// concurrent probes share the trickle. -1 when none is probing.
+func (dp *DataPlane) nextProbing() int {
+	n := len(dp.paths)
+	start := int(dp.canaryCount) % n
+	for off := 0; off < n; off++ {
+		i := (start + off) % n
+		if dp.paths[i].health.state == HealthProbing {
+			return i
+		}
+	}
+	return -1
+}
+
+// maintainHealth is the lazy sweep, run every MaintainEvery ingress packets:
+// the blackhole watchdog, quarantine-backoff expiry, and error-rate window
+// accounting live here. Packet-clocked on purpose — no self-rescheduling
+// timer, so a drained simulator stays drained.
+func (dp *DataPlane) maintainHealth(now sim.Time) {
+	cfg := &dp.healthCfg
+
+	// Rotate every active path's window first, so the median below compares
+	// drop fractions from the same epoch. Collecting before rotating would
+	// leave the first completed window with no peers to compare against.
+	for _, ps := range dp.paths {
+		if st := ps.health.state; st == HealthUp || st == HealthDegraded {
+			ps.health.rotateWindow(cfg.DropWindowMin)
+		}
+	}
+
+	// Median policy-drop fraction across paths with a completed window, so
+	// a path is only punished for dropping anomalously more than its peers
+	// (a uniform ACL drop rate must not quarantine anyone).
+	dp.fracBuf = dp.fracBuf[:0]
+	for _, ps := range dp.paths {
+		if ps.health.dropFrac >= 0 {
+			dp.fracBuf = append(dp.fracBuf, ps.health.dropFrac)
+		}
+	}
+	median := medianOf(dp.fracBuf)
+
+	for i, ps := range dp.paths {
+		h := &ps.health
+		switch h.state {
+		case HealthUp, HealthDegraded:
+			// Blackhole watchdog: work outstanding, nothing coming back.
+			if h.inflight > 0 && now-h.pendingSince > cfg.SuspectTimeout && (h.lastDone == 0 || now-h.lastDone > cfg.SuspectTimeout) {
+				dp.quarantinePath(i)
+				continue
+			}
+			if h.dropFrac < 0 {
+				continue
+			}
+			anomalous := h.dropFrac >= 4*median || median == 0
+			switch {
+			case h.dropFrac >= cfg.DropQuarantineFrac && anomalous:
+				dp.quarantinePath(i)
+			case h.dropFrac >= cfg.DropDegradeFrac && anomalous && h.state == HealthUp:
+				h.setState(HealthDegraded, now)
+			case h.state == HealthDegraded && h.dropFrac < cfg.DropDegradeFrac/2:
+				h.setState(HealthUp, now)
+			}
+		case HealthQuarantined:
+			if now-h.since >= cfg.QuarantineBackoff {
+				h.setState(HealthProbing, now)
+				dp.numProbing++
+			}
+		case HealthProbing:
+			// A canary swallowed silently means the blackhole persists.
+			if h.inflight > 0 && now-h.pendingSince > cfg.SuspectTimeout {
+				dp.quarantinePath(i)
+			}
+		}
+	}
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Insertion sort: the slice is at most NumPaths long.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs[len(xs)/2]
 }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"mpdp/internal/sim"
+)
+
+// HealthState is a path's position in the health state machine:
+//
+//	up → degraded → quarantined → probing → up
+//	 \________________↗              ↘______↗ (probe failure re-quarantines)
+//
+// Up and Degraded paths are eligible for new traffic (Degraded is a warning
+// tier: elevated error rate, still serving). A Quarantined path receives
+// nothing. A Probing path receives only the engine's canary trickle until
+// enough canaries survive to prove it healthy again.
+type HealthState uint8
+
+const (
+	HealthUp HealthState = iota
+	HealthDegraded
+	HealthQuarantined
+	HealthProbing
+)
+
+func (h HealthState) String() string {
+	switch h {
+	case HealthUp:
+		return "up"
+	case HealthDegraded:
+		return "degraded"
+	case HealthQuarantined:
+		return "quarantined"
+	case HealthProbing:
+		return "probing"
+	default:
+		return fmt.Sprintf("health(%d)", uint8(h))
+	}
+}
+
+// HealthConfig tunes the per-path health state machine. Zero values take
+// the defaults below; Disable turns the machinery off entirely (paths stay
+// Up forever — the pre-fault-model behaviour).
+type HealthConfig struct {
+	Disable bool
+
+	// FailThreshold is the number of consecutive refused sends (fail-stop
+	// enqueue rejections) that quarantines a path (default 1: a fail-stop
+	// refusal is definitive).
+	FailThreshold int
+
+	// SuspectTimeout quarantines a path that holds in-flight packets but
+	// has produced no completion for this long — the blackhole watchdog
+	// (default 1 ms; far above any legitimate service time).
+	SuspectTimeout sim.Duration
+
+	// QuarantineBackoff is how long a quarantined path waits before it is
+	// probed again (default 2 ms).
+	QuarantineBackoff sim.Duration
+
+	// CanaryEvery steers one in every CanaryEvery ingress packets to a
+	// probing path (default 16). The trickle is the probe: real traffic,
+	// sacrificial volume.
+	CanaryEvery int
+
+	// ProbeSuccesses is the number of canaries that must complete on a
+	// probing path before it returns to Up (default 8).
+	ProbeSuccesses int
+
+	// DropWindowMin is the minimum completions+policy-drops in the current
+	// accounting window before error-rate transitions are considered
+	// (default 32).
+	DropWindowMin int
+
+	// DropQuarantineFrac quarantines a path whose policy-drop fraction over
+	// the window exceeds this AND is at least 4x the median path's — a
+	// misbehaving NF replica, not a uniform ACL (default 0.6).
+	DropQuarantineFrac float64
+
+	// DropDegradeFrac marks a path Degraded past this anomalous drop
+	// fraction (default 0.25).
+	DropDegradeFrac float64
+
+	// MaintainEvery bounds how often the lazy health sweep runs: once per
+	// MaintainEvery ingress packets (default 16). Health progression is
+	// packet-clocked, so an idle data plane schedules no events.
+	MaintainEvery int
+}
+
+func (c *HealthConfig) fillDefaults() {
+	if c.FailThreshold == 0 {
+		c.FailThreshold = 1
+	}
+	if c.SuspectTimeout == 0 {
+		c.SuspectTimeout = 1 * sim.Millisecond
+	}
+	if c.QuarantineBackoff == 0 {
+		c.QuarantineBackoff = 2 * sim.Millisecond
+	}
+	if c.CanaryEvery == 0 {
+		c.CanaryEvery = 16
+	}
+	if c.ProbeSuccesses == 0 {
+		c.ProbeSuccesses = 8
+	}
+	if c.DropWindowMin == 0 {
+		c.DropWindowMin = 32
+	}
+	if c.DropQuarantineFrac == 0 {
+		c.DropQuarantineFrac = 0.6
+	}
+	if c.DropDegradeFrac == 0 {
+		c.DropDegradeFrac = 0.25
+	}
+	if c.MaintainEvery == 0 {
+		c.MaintainEvery = 16
+	}
+}
+
+// pathHealth is the per-path slice of the state machine, driven entirely by
+// the engine (sends, completions, refusals, and the lazy ingress-clocked
+// sweep) — no timers of its own, so health costs nothing when idle and
+// stays deterministic.
+type pathHealth struct {
+	state HealthState
+	since sim.Time // virtual time of the last state change
+
+	consecFail int // consecutive refused sends
+	probeOK    int // canary completions while probing
+
+	inflight     int      // copies sent minus copies completed/dropped/drained
+	pendingSince sim.Time // when inflight last rose from zero
+	lastDone     sim.Time // last completion on this path
+
+	// Current error-accounting window (rotated by the sweep).
+	winServed  int
+	winDropped int
+	// Last completed window's drop fraction (-1 until one completes).
+	dropFrac float64
+}
+
+func newPathHealth() pathHealth {
+	return pathHealth{state: HealthUp, dropFrac: -1}
+}
+
+func (h *pathHealth) setState(s HealthState, now sim.Time) {
+	h.state = s
+	h.since = now
+	h.consecFail = 0
+	h.probeOK = 0
+}
+
+// rotateWindow closes the current error-accounting window if it has enough
+// samples, exposing its drop fraction.
+func (h *pathHealth) rotateWindow(minSamples int) {
+	total := h.winServed + h.winDropped
+	if total < minSamples {
+		return
+	}
+	h.dropFrac = float64(h.winDropped) / float64(total)
+	h.winServed, h.winDropped = 0, 0
+}

@@ -29,6 +29,8 @@ type Metrics struct {
 	copiesSent     uint64
 	dupCopies      uint64
 	dupCancelled   uint64
+	canaries       uint64
+	quarantines    uint64
 	drops          map[packet.DropReason]uint64
 }
 
@@ -80,6 +82,15 @@ func (m *Metrics) DupCopies() uint64 { return m.dupCopies }
 // DupCancelled returns duplicate copies cancelled while still queued
 // (i.e. whose service cost was saved).
 func (m *Metrics) DupCancelled() uint64 { return m.dupCancelled }
+
+// Consumed returns packets terminated inside the chain (tunnel endpoints).
+func (m *Metrics) Consumed() uint64 { return m.consumed }
+
+// Canaries returns packets redirected at probing paths as health probes.
+func (m *Metrics) Canaries() uint64 { return m.canaries }
+
+// Quarantines returns path quarantine transitions (re-quarantines counted).
+func (m *Metrics) Quarantines() uint64 { return m.quarantines }
 
 // Drops returns the count for one drop reason.
 func (m *Metrics) Drops(r packet.DropReason) uint64 { return m.drops[r] }

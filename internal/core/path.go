@@ -6,10 +6,17 @@ import (
 	"mpdp/internal/vnet"
 )
 
+// TelemetryTamper intercepts a path's telemetry feed — the fault model's
+// "lying sensor". It may rewrite the observed service time and latency, or
+// return ok=false to suppress the observation entirely (stale telemetry).
+type TelemetryTamper func(now sim.Time, svc, lat sim.Duration) (tsvc, tlat sim.Duration, ok bool)
+
 // PathState couples a lane with the online telemetry the scheduler reads:
 // an EWMA of per-packet service time (for wait estimation), an EWMA of
 // whole-path latency, and a P² estimator of the path's p99 latency (the
-// tail signal that drives selective duplication).
+// tail signal that drives selective duplication). It also carries the
+// path's health state (up/degraded/quarantined/probing), which every
+// policy consults before steering traffic at it.
 type PathState struct {
 	Lane *vnet.Lane
 
@@ -23,6 +30,9 @@ type PathState struct {
 
 	sent      uint64
 	completed uint64
+
+	health pathHealth
+	tamper TelemetryTamper
 }
 
 // newPathState wraps a lane with fresh telemetry. alpha is the EWMA
@@ -38,6 +48,7 @@ func newPathState(lane *vnet.Lane, alpha float64, window sim.Duration) *PathStat
 		latEWMA: stats.NewEWMA(alpha),
 		latP99:  stats.NewRollingP2(0.99),
 		window:  window,
+		health:  newPathHealth(),
 	}
 }
 
@@ -48,9 +59,18 @@ func (ps *PathState) ID() int { return ps.Lane.ID() }
 func (ps *PathState) Depth() int { return ps.Lane.QueueDepth() }
 
 // observe feeds a completed packet's lane-local numbers into telemetry and
-// rotates the windowed tail estimate when its period has elapsed.
+// rotates the windowed tail estimate when its period has elapsed. An
+// installed tamper (fault injection) may rewrite or suppress the sample —
+// the completion itself is still counted.
 func (ps *PathState) observe(now sim.Time, svc, lat sim.Duration) {
 	ps.completed++
+	if ps.tamper != nil {
+		var ok bool
+		svc, lat, ok = ps.tamper(now, svc, lat)
+		if !ok {
+			return
+		}
+	}
 	ps.svcEWMA.Add(float64(svc))
 	ps.latEWMA.Add(float64(lat))
 	if ps.window > 0 && now-ps.lastRotate >= ps.window {
@@ -59,6 +79,28 @@ func (ps *PathState) observe(now sim.Time, svc, lat sim.Duration) {
 	}
 	ps.latP99.Add(float64(lat))
 }
+
+// SetTelemetryTamper installs (or, with nil, removes) a telemetry
+// interceptor. Fault injection uses this to model lying or stale path
+// telemetry without touching the packets themselves.
+func (ps *PathState) SetTelemetryTamper(t TelemetryTamper) { ps.tamper = t }
+
+// Health returns the path's current health state.
+func (ps *PathState) Health() HealthState { return ps.health.state }
+
+// Eligible reports whether the path may receive ordinary new traffic: Up or
+// Degraded. Quarantined paths get nothing; Probing paths get only the
+// engine's canary trickle.
+func (ps *PathState) Eligible() bool {
+	return ps.health.state == HealthUp || ps.health.state == HealthDegraded
+}
+
+// InFlight returns copies sent to this path and not yet completed, dropped,
+// or drained.
+func (ps *PathState) InFlight() int { return ps.health.inflight }
+
+// HealthSince returns when the path entered its current health state.
+func (ps *PathState) HealthSince() sim.Time { return ps.health.since }
 
 // MeanService returns the estimated per-packet service time, falling back
 // to a conservative default before any observation.

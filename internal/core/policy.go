@@ -11,7 +11,11 @@ import (
 // and the reorder buffer keeps whichever copy wins).
 //
 // Policies are pure schedulers: the engine owns telemetry updates and
-// duplication mechanics.
+// duplication mechanics. Every policy (except SinglePath, which has nowhere
+// else to go) consults path health: Quarantined and Probing paths receive no
+// new picks. When NO path is eligible — a mass failure — policies fall back
+// to ignoring health, so traffic keeps flowing (and keeps the watchdog fed)
+// rather than panicking.
 type Policy interface {
 	// Name identifies the policy in tables and CLI flags.
 	Name() string
@@ -43,7 +47,19 @@ func (RSSHash) Name() string { return "rss" }
 
 // Pick implements Policy.
 func (RSSHash) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
-	return []int{packet.RSSQueue(packet.DefaultRSSKey, p.Flow, len(paths))}
+	i := packet.RSSQueue(packet.DefaultRSSKey, p.Flow, len(paths))
+	if paths[i].Eligible() {
+		return []int{i}
+	}
+	// The hashed queue is down: linear-probe to the next eligible one,
+	// modelling an indirection-table repair. Static — flows from the dead
+	// queue pile onto its neighbor.
+	for off := 1; off < len(paths); off++ {
+		if j := (i + off) % len(paths); paths[j].Eligible() {
+			return []int{j}
+		}
+	}
+	return []int{i}
 }
 
 // RoundRobin sprays packets across paths per packet: perfect balance,
@@ -55,20 +71,36 @@ func (*RoundRobin) Name() string { return "rr" }
 
 // Pick implements Policy.
 func (rr *RoundRobin) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
-	i := rr.next % len(paths)
+	n := len(paths)
+	for try := 0; try < n; try++ {
+		i := rr.next % n
+		rr.next++
+		if paths[i].Eligible() {
+			return []int{i}
+		}
+	}
+	i := rr.next % n
 	rr.next++
 	return []int{i}
 }
 
-// RandomPick sends each packet to a uniformly random path.
-type RandomPick struct{ Rng *xrand.Rand }
+// RandomPick sends each packet to a uniformly random eligible path.
+type RandomPick struct {
+	Rng *xrand.Rand
+
+	elig []int // scratch
+}
 
 // Name implements Policy.
 func (*RandomPick) Name() string { return "random" }
 
 // Pick implements Policy.
 func (rp *RandomPick) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
-	return []int{rp.Rng.Intn(len(paths))}
+	cand := eligibleInto(&rp.elig, paths)
+	if cand == nil {
+		return []int{rp.Rng.Intn(len(paths))}
+	}
+	return []int{cand[rp.Rng.Intn(len(cand))]}
 }
 
 // JSQ joins the shortest queue (by instantaneous depth) per packet.
@@ -79,36 +111,76 @@ func (JSQ) Name() string { return "jsq" }
 
 // Pick implements Policy.
 func (JSQ) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
-	best, bestDepth := 0, paths[0].Depth()
-	for i := 1; i < len(paths); i++ {
-		if d := paths[i].Depth(); d < bestDepth {
+	best, bestDepth := -1, 0
+	for i, ps := range paths {
+		if !ps.Eligible() {
+			continue
+		}
+		if d := ps.Depth(); best == -1 || d < bestDepth {
 			best, bestDepth = i, d
+		}
+	}
+	if best == -1 {
+		best, bestDepth = 0, paths[0].Depth()
+		for i := 1; i < len(paths); i++ {
+			if d := paths[i].Depth(); d < bestDepth {
+				best, bestDepth = i, d
+			}
 		}
 	}
 	return []int{best}
 }
 
-// PowerOfTwo samples two random paths and picks the shallower: near-JSQ
-// balance at O(1) state, the standard randomized load-balancing result.
-type PowerOfTwo struct{ Rng *xrand.Rand }
+// PowerOfTwo samples two random eligible paths and picks the shallower:
+// near-JSQ balance at O(1) state, the standard randomized load-balancing
+// result.
+type PowerOfTwo struct {
+	Rng *xrand.Rand
+
+	elig []int // scratch
+}
 
 // Name implements Policy.
 func (*PowerOfTwo) Name() string { return "po2" }
 
 // Pick implements Policy.
 func (p2 *PowerOfTwo) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
-	if len(paths) == 1 {
-		return []int{0}
+	cand := eligibleInto(&p2.elig, paths)
+	if cand == nil {
+		p2.elig = p2.elig[:0]
+		for i := range paths {
+			p2.elig = append(p2.elig, i)
+		}
+		cand = p2.elig
 	}
-	a := p2.Rng.Intn(len(paths))
-	b := p2.Rng.Intn(len(paths) - 1)
-	if b >= a {
-		b++
+	if len(cand) == 1 {
+		return []int{cand[0]}
 	}
+	ai := p2.Rng.Intn(len(cand))
+	bi := p2.Rng.Intn(len(cand) - 1)
+	if bi >= ai {
+		bi++
+	}
+	a, b := cand[ai], cand[bi]
 	if paths[b].Depth() < paths[a].Depth() {
 		return []int{b}
 	}
 	return []int{a}
+}
+
+// eligibleInto fills *buf with the indices of eligible paths, returning nil
+// (not an empty slice) when no path is eligible so callers can fall back.
+func eligibleInto(buf *[]int, paths []*PathState) []int {
+	*buf = (*buf)[:0]
+	for i, ps := range paths {
+		if ps.Eligible() {
+			*buf = append(*buf, i)
+		}
+	}
+	if len(*buf) == 0 {
+		return nil
+	}
+	return *buf
 }
 
 // --- The MPDP policies ------------------------------------------------------
@@ -159,7 +231,9 @@ func (f *Flowlet) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int
 	e, ok := f.table[p.FlowID]
 	if ok && now-e.lastSeen <= f.Timeout {
 		e.lastSeen = now
-		if e.path < len(paths) {
+		// A sticky path that went quarantined/probing forces an immediate
+		// re-steer — the whole point of health integration.
+		if e.path < len(paths) && paths[e.path].Eligible() {
 			return []int{e.path}
 		}
 	}
@@ -172,27 +246,41 @@ func (f *Flowlet) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int
 	return []int{best}
 }
 
-// bestScore returns the index of the lowest-Score path (ties to the lowest
-// index, keeping runs deterministic).
+// bestScore returns the index of the lowest-Score eligible path (ties to the
+// lowest index, keeping runs deterministic); when no path is eligible, the
+// lowest-Score path regardless of health.
 func bestScore(paths []*PathState) int {
-	best, bestScore := 0, paths[0].Score()
-	for i := 1; i < len(paths); i++ {
-		if s := paths[i].Score(); s < bestScore {
-			best, bestScore = i, s
+	best := -1
+	var bs sim.Duration
+	for i, ps := range paths {
+		if !ps.Eligible() {
+			continue
+		}
+		if s := ps.Score(); best == -1 || s < bs {
+			best, bs = i, s
+		}
+	}
+	if best == -1 {
+		best, bs = 0, paths[0].Score()
+		for i := 1; i < len(paths); i++ {
+			if s := paths[i].Score(); s < bs {
+				best, bs = i, s
+			}
 		}
 	}
 	return best
 }
 
-// secondBest returns the index of the second-lowest-Score path (!= first).
+// secondBest returns the index of the second-lowest-Score eligible path
+// (!= first), or first itself when there is no other candidate.
 func secondBest(paths []*PathState, first int) int {
 	best := -1
 	var bestScore sim.Duration
-	for i := range paths {
-		if i == first {
+	for i, ps := range paths {
+		if i == first || !ps.Eligible() {
 			continue
 		}
-		if s := paths[i].Score(); best == -1 || s < bestScore {
+		if s := ps.Score(); best == -1 || s < bestScore {
 			best, bestScore = i, s
 		}
 	}
@@ -222,13 +310,22 @@ func (r Redundant) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []in
 	if k > len(paths) {
 		k = len(paths)
 	}
+	// With health on, only eligible paths get copies: duplication degrades
+	// gracefully to fewer copies as paths fail.
+	haveElig := false
+	for _, ps := range paths {
+		if ps.Eligible() {
+			haveElig = true
+			break
+		}
+	}
 	first := bestScore(paths)
 	out := []int{first}
 	used := map[int]bool{first: true}
 	for len(out) < k {
 		next, nextScore := -1, sim.Duration(0)
 		for i := range paths {
-			if used[i] {
+			if used[i] || (haveElig && !paths[i].Eligible()) {
 				continue
 			}
 			if s := paths[i].Score(); next == -1 || s < nextScore {

@@ -16,6 +16,7 @@ type LetFlow struct {
 	Rng     *xrand.Rand
 
 	table map[uint64]*flowletEntry
+	elig  []int // scratch
 }
 
 // NewLetFlow builds the policy with the given flowlet idle gap.
@@ -35,11 +36,16 @@ func (l *LetFlow) Name() string { return "letflow" }
 // Pick implements Policy.
 func (l *LetFlow) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
 	e, ok := l.table[p.FlowID]
-	if ok && now-e.lastSeen <= l.Timeout && e.path < len(paths) {
+	if ok && now-e.lastSeen <= l.Timeout && e.path < len(paths) && paths[e.path].Eligible() {
 		e.lastSeen = now
 		return []int{e.path}
 	}
-	choice := l.Rng.Intn(len(paths))
+	var choice int
+	if cand := eligibleInto(&l.elig, paths); cand != nil {
+		choice = cand[l.Rng.Intn(len(cand))]
+	} else {
+		choice = l.Rng.Intn(len(paths))
+	}
 	if !ok {
 		e = &flowletEntry{}
 		l.table[p.FlowID] = e
@@ -59,11 +65,22 @@ func (LeastLatency) Name() string { return "least-lat" }
 
 // Pick implements Policy.
 func (LeastLatency) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
-	best := 0
-	bestLat := paths[0].MeanLatency()
-	for i := 1; i < len(paths); i++ {
-		if l := paths[i].MeanLatency(); l < bestLat {
+	best := -1
+	var bestLat sim.Duration
+	for i, ps := range paths {
+		if !ps.Eligible() {
+			continue
+		}
+		if l := ps.MeanLatency(); best == -1 || l < bestLat {
 			best, bestLat = i, l
+		}
+	}
+	if best == -1 {
+		best, bestLat = 0, paths[0].MeanLatency()
+		for i := 1; i < len(paths); i++ {
+			if l := paths[i].MeanLatency(); l < bestLat {
+				best, bestLat = i, l
+			}
 		}
 	}
 	return []int{best}
@@ -86,12 +103,24 @@ func (w *WeightedRR) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []
 		w.credit = make([]float64, len(paths))
 	}
 	// Accumulate credit proportional to service *rate* and spend it.
-	best, bestCredit := 0, -1.0
+	// Ineligible paths neither earn nor spend: they leave the rotation
+	// entirely and re-enter at their old credit when they recover.
+	best, bestCredit := -1, -1.0
 	for i, ps := range paths {
-		rate := 1.0 / float64(ps.MeanService())
-		w.credit[i] += rate
+		if !ps.Eligible() {
+			continue
+		}
+		w.credit[i] += 1.0 / float64(ps.MeanService())
 		if w.credit[i] > bestCredit {
 			best, bestCredit = i, w.credit[i]
+		}
+	}
+	if best == -1 {
+		for i, ps := range paths {
+			w.credit[i] += 1.0 / float64(ps.MeanService())
+			if w.credit[i] > bestCredit {
+				best, bestCredit = i, w.credit[i]
+			}
 		}
 	}
 	w.credit[best] -= bestCredit // spend: push to the back of the rotation

@@ -32,6 +32,7 @@ type Reorder struct {
 	sim     *sim.Simulator
 	timeout sim.Duration
 	deliver DeliverFunc
+	onLost  DeliverFunc // a real packet discarded for good (late drop)
 
 	flows map[uint64]*flowOrder
 
@@ -42,7 +43,8 @@ type Reorder struct {
 	lateDrops    uint64
 	timeoutRel   uint64
 	holesPunched uint64
-	occupancy    int
+	occupancy    int // buffered entries, tombstones included
+	pktOccupancy int // buffered real packets only
 	maxOccupancy int
 }
 
@@ -72,6 +74,11 @@ func NewReorder(s *sim.Simulator, timeout sim.Duration, deliver DeliverFunc) *Re
 	}
 }
 
+// OnLost registers a callback for packets the buffer discards for good — a
+// straggler arriving after its gap was declared lost. Duplicate copies
+// (their original was or will be delivered by a sibling) do not fire it.
+func (r *Reorder) OnLost(fn DeliverFunc) { r.onLost = fn }
+
 func (r *Reorder) flow(id uint64) *flowOrder {
 	f, ok := r.flows[id]
 	if !ok {
@@ -95,6 +102,9 @@ func (r *Reorder) Submit(p *packet.Packet) {
 		} else {
 			r.lateDrops++
 			p.Dropped = packet.DropReorder
+			if r.onLost != nil {
+				r.onLost(p)
+			}
 		}
 		return
 	case p.Seq == f.next:
@@ -111,6 +121,7 @@ func (r *Reorder) Submit(p *packet.Packet) {
 		r.outOfOrder++
 		f.pending[p.Seq] = pendingPkt{p: p, at: r.sim.Now()}
 		r.occupancy++
+		r.pktOccupancy++
 		if r.occupancy > r.maxOccupancy {
 			r.maxOccupancy = r.occupancy
 		}
@@ -163,6 +174,7 @@ func (r *Reorder) drain(f *flowOrder) {
 		delete(f.pending, f.next)
 		r.occupancy--
 		if e.p != nil {
+			r.pktOccupancy--
 			r.release(f, e.p)
 		} else {
 			f.next++
@@ -224,6 +236,7 @@ func (r *Reorder) onTimeout(f *flowOrder) {
 		delete(f.pending, min)
 		r.occupancy--
 		if e.p != nil {
+			r.pktOccupancy--
 			r.timeoutRel++
 			f.next = min // skip the gap
 			r.release(f, e.p)
@@ -244,7 +257,8 @@ type ReorderStats struct {
 	TimeoutFires uint64 // packets force-released by the gap timeout
 	HolesPunched uint64 // losses the engine reported via Skip
 	MaxOccupancy int    // peak buffered entries
-	Pending      int    // currently buffered
+	Pending      int    // currently buffered (tombstones included)
+	PendingPkts  int    // currently buffered real packets
 }
 
 // Stats returns a snapshot of the buffer's counters.
@@ -258,6 +272,7 @@ func (r *Reorder) Stats() ReorderStats {
 		HolesPunched: r.holesPunched,
 		MaxOccupancy: r.maxOccupancy,
 		Pending:      r.occupancy,
+		PendingPkts:  r.pktOccupancy,
 	}
 }
 
@@ -290,6 +305,7 @@ func (r *Reorder) Flush() {
 			delete(f.pending, min)
 			r.occupancy--
 			if e.p != nil {
+				r.pktOccupancy--
 				f.next = min
 				r.release(f, e.p)
 			} else {

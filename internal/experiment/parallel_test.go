@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"mpdp/internal/fault"
+	"mpdp/internal/sim"
+)
+
+// resultRow canonicalizes a RunResult to one CSV-style line covering every
+// externally meaningful measurement. Two runs of the same config must
+// produce identical rows, bit for bit.
+func resultRow(r RunResult) string {
+	return fmt.Sprintf("%s,%d,%d,%d,%d,%d,%d,%d,%.9f,%.9f,%.9f,%d,%d,%v,%d,%d,%d,%d",
+		r.Config.Policy, r.Config.Seed,
+		r.Latency.P50, r.Latency.P99, r.Latency.Max,
+		r.Offered, r.Delivered, r.Lost,
+		r.DeliveryRate, r.GoodputGbps, r.DupOverhead,
+		r.Quarantines, r.Canaries,
+		r.PerPathServed,
+		r.Reorder.InOrder, r.Reorder.OutOfOrder, r.Reorder.HolesPunched, r.Reorder.DupDrops)
+}
+
+// TestRunManyDeterministicAcrossWorkers runs the same config grid serially
+// and on a worker pool and requires byte-identical rows: scheduling across
+// goroutines must never leak into results, including under fault injection.
+func TestRunManyDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism grid skipped in -short mode")
+	}
+	var cfgs []RunConfig
+	plan := &fault.Plan{
+		Seed:  3,
+		Lanes: []fault.LaneFailure{{Path: 0, At: 1 * sim.Millisecond, Mode: fault.ModeBlackhole}},
+	}
+	for _, pol := range []string{"rss", "jsq", "mpdp"} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			cfgs = append(cfgs, RunConfig{
+				Seed: seed, Policy: pol, Util: 0.7,
+				Interference: "moderate", Duration: 3 * sim.Millisecond,
+			})
+		}
+		cfgs = append(cfgs, RunConfig{
+			Seed: 9, Policy: pol, Util: 0.6,
+			Duration: 3 * sim.Millisecond, Fault: plan,
+		})
+	}
+
+	serial, err := RunMany(cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunMany(cfgs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunMany(cfgs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(cfgs) || len(pooled) != len(cfgs) {
+		t.Fatalf("result count %d/%d, want %d", len(serial), len(pooled), len(cfgs))
+	}
+	for i := range cfgs {
+		s, p, a := resultRow(serial[i]), resultRow(pooled[i]), resultRow(again[i])
+		if s != p {
+			t.Errorf("config %d (%s seed %d): serial != pooled\n  serial: %s\n  pooled: %s",
+				i, cfgs[i].Policy, cfgs[i].Seed, s, p)
+		}
+		if p != a {
+			t.Errorf("config %d (%s seed %d): pooled runs differ between invocations\n  1st: %s\n  2nd: %s",
+				i, cfgs[i].Policy, cfgs[i].Seed, p, a)
+		}
+	}
+}

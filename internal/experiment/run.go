@@ -5,6 +5,8 @@ import (
 	"os"
 
 	"mpdp/internal/core"
+	"mpdp/internal/fault"
+	"mpdp/internal/invariant"
 	"mpdp/internal/nf"
 	"mpdp/internal/packet"
 	"mpdp/internal/sim"
@@ -67,6 +69,38 @@ type RunConfig struct {
 	// Warmup discards deliveries before this time from latency stats
 	// (default 10% of Duration).
 	Warmup sim.Duration
+
+	// Fault, when non-nil, is the fault-injection schedule for the run:
+	// lane failures, flaps, NF error windows, telemetry lies.
+	Fault *fault.Plan
+
+	// Verify attaches the end-to-end invariant checker; any violation
+	// fails the run with an error. The -verify harness flag forces this on
+	// for every run via SetVerify.
+	Verify bool
+}
+
+// verifyAll is the process-wide verification toggle (the harness's -verify
+// flag). It is read once per Run start — set it before launching runs.
+var verifyAll bool
+
+// SetVerify turns invariant checking on for every subsequent run,
+// regardless of each RunConfig's Verify field.
+func SetVerify(v bool) { verifyAll = v }
+
+// VerifyEnabled reports the process-wide verification toggle.
+func VerifyEnabled() bool { return verifyAll }
+
+// attachVerify hooks the invariant checker onto a hand-built data plane when
+// -verify is on. Call the returned function once the run is over; drained
+// says whether the plane was flushed and run dry (full conservation) or cut
+// off mid-flight (outstanding packets must still be accounted for).
+func attachVerify(dp *core.DataPlane) func(drained bool) error {
+	if !verifyAll {
+		return func(bool) error { return nil }
+	}
+	chk := invariant.Attach(dp, invariant.Options{CheckOrder: true})
+	return chk.Finish
 }
 
 func (c *RunConfig) fillDefaults() {
@@ -155,6 +189,10 @@ type RunResult struct {
 
 	// PerPathServed is the number of packets each lane's core served.
 	PerPathServed []uint64
+
+	// Health machinery counters (non-zero only under fault injection).
+	Quarantines uint64
+	Canaries    uint64
 
 	Reorder  core.ReorderStats
 	Timeline []stats.WindowPoint
@@ -274,10 +312,21 @@ func Run(cfg RunConfig) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("experiment: unknown qdisc %q", cfg.Qdisc)
 	}
 
+	// A fault plan with NF error windows wraps the affected lanes' chains
+	// with the error-mode element; everything else about the chain is the
+	// preset.
+	chainFor := func(i int) *nf.Chain {
+		ch := nf.PresetChain(cfg.ChainLen)
+		if el := cfg.Fault.ElementFor(i); el != nil {
+			return nf.NewChain(ch.Name()+"+fault", append([]nf.Element{el}, ch.Elements()...)...)
+		}
+		return ch
+	}
+
 	s := sim.New()
 	coreCfg := core.Config{
 		NumPaths:        cfg.NumPaths,
-		ChainFactory:    func(i int) *nf.Chain { return nf.PresetChain(cfg.ChainLen) },
+		ChainFactory:    chainFor,
 		Policy:          policy,
 		QueueCap:        cfg.QueueCap,
 		QdiscFor:        qdiscFor,
@@ -310,6 +359,16 @@ func Run(cfg RunConfig) (RunResult, error) {
 		}
 	})
 
+	var chk *invariant.Checker
+	if cfg.Verify || verifyAll {
+		chk = invariant.Attach(dp, invariant.Options{CheckOrder: !cfg.DisableReorder})
+	}
+	if cfg.Fault != nil {
+		if err := cfg.Fault.Install(dp); err != nil {
+			return RunResult{}, err
+		}
+	}
+
 	// Classify at the vNIC (before queueing), like hardware flow steering:
 	// class-aware qdiscs and per-class accounting need the DSCP stamp at
 	// enqueue time, not after the chain's own classifier runs.
@@ -336,6 +395,12 @@ func Run(cfg RunConfig) (RunResult, error) {
 	dp.Flush()
 	s.RunUntil(cfg.Duration + 25*sim.Millisecond)
 
+	if chk != nil {
+		if err := chk.Finish(true); err != nil {
+			return RunResult{}, fmt.Errorf("experiment: run (policy=%s seed=%d): %w", cfg.Policy, cfg.Seed, err)
+		}
+	}
+
 	m := dp.Metrics()
 	res := RunResult{
 		Config:       cfg,
@@ -355,6 +420,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 		ServiceP99:      float64(m.ServiceTime.Percentile(0.99)),
 		ReorderWaitMean: m.ReorderWait.Mean(),
 		ReorderWaitP99:  float64(m.ReorderWait.Percentile(0.99)),
+
+		Quarantines: m.Quarantines(),
+		Canaries:    m.Canaries(),
 
 		Reorder: dp.ReorderStats(),
 		Elapsed: cfg.Duration,

@@ -359,11 +359,15 @@ func runIncast(seed uint64, policyName string, fanin int, opts SuiteOpts) (float
 		Interference: vnet.DefaultInterferenceConfig(),
 		Seed:         seed,
 	}, ic.Tracker.OnDeliver)
+	finish := attachVerify(dp)
 	ic.Run(s, dp.Ingress)
 	horizon := sim.Duration(epochs+40) * 500 * sim.Microsecond
 	s.RunUntil(horizon)
 	dp.Flush()
 	s.RunUntil(horizon + 5*sim.Millisecond)
+	if err := finish(true); err != nil {
+		return 0, err
+	}
 	if ic.Tracker.ShortFCT.Count() == 0 {
 		return 0, fmt.Errorf("incast: no completed responses (fanin %d, policy %s)", fanin, policyName)
 	}

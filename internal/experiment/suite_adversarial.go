@@ -86,12 +86,16 @@ func runHashAttack(seed uint64, policyName string, opts SuiteOpts) ([4]float64, 
 		Interference: vnet.DefaultInterferenceConfig(),
 		Seed:         seed,
 	}, func(p *packet.Packet) { measured.Record(int64(p.Latency())) })
+	finish := attachVerify(dp)
 
 	horizon := opts.duration(25 * sim.Millisecond)
 	traffic.Run(s, dp.Ingress, horizon)
 	s.RunUntil(horizon + 15*sim.Millisecond)
 	dp.Flush()
 	s.RunUntil(horizon + 17*sim.Millisecond)
+	if err := finish(true); err != nil {
+		return out, err
+	}
 
 	m := dp.Metrics()
 	out[0] = m.DeliveryRate() * 100

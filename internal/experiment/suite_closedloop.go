@@ -77,10 +77,17 @@ func runClosedLoop(seed uint64, policyName string, clients int, opts SuiteOpts) 
 		Interference: vnet.DefaultInterferenceConfig(),
 		Seed:         seed,
 	}, cl.OnDeliver)
+	// The closed loop is cut off mid-flight (requests are always
+	// outstanding by construction), so conservation is checked in its
+	// weaker, undrained form.
+	finish := attachVerify(dp)
 	cl.Start(s, dp.Ingress)
 
 	horizon := opts.duration(30 * sim.Millisecond)
 	s.RunUntil(horizon)
+	if err := finish(false); err != nil {
+		return 0, 0, err
+	}
 	completed := cl.Completed()
 	if completed == 0 {
 		return 0, 0, fmt.Errorf("E18: no requests completed (policy %s, %d clients)", policyName, clients)

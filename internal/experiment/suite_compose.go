@@ -157,6 +157,7 @@ func runComposition(seed uint64, policyName string, v composeVariant, opts Suite
 		Interference: vnet.DefaultInterferenceConfig(),
 		Seed:         seed,
 	}, func(p *packet.Packet) { measured.Record(int64(p.Latency())) })
+	finish := attachVerify(dp)
 
 	cls := nf.PresetClassifier()
 	horizon := opts.duration(25 * sim.Millisecond)
@@ -167,6 +168,9 @@ func runComposition(seed uint64, policyName string, v composeVariant, opts Suite
 	s.RunUntil(horizon + 10*sim.Millisecond)
 	dp.Flush()
 	s.RunUntil(horizon + 12*sim.Millisecond)
+	if err := finish(true); err != nil {
+		return out, err
+	}
 
 	m := dp.Metrics()
 	out[0] = m.ServiceTime.Mean() / 1000

@@ -150,6 +150,7 @@ func runFlowFCT(seed uint64, policyName string, opts SuiteOpts) ([5]float64, err
 		Seed:         seed,
 		QueueCap:     2048, // elephants burst thousands of packets
 	}, fw.Tracker.OnDeliver)
+	finish := attachVerify(dp)
 
 	horizon := opts.duration(60 * sim.Millisecond)
 	fw.Run(s, dp.Ingress, horizon)
@@ -157,6 +158,9 @@ func runFlowFCT(seed uint64, policyName string, opts SuiteOpts) ([5]float64, err
 	s.RunUntil(horizon + 100*sim.Millisecond)
 	dp.Flush()
 	s.RunUntil(horizon + 105*sim.Millisecond)
+	if err := finish(true); err != nil {
+		return out, err
+	}
 
 	tr := fw.Tracker
 	if tr.ShortFCT.Count() == 0 {

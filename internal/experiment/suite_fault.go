@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpdp/internal/fault"
+	"mpdp/internal/sim"
+)
+
+func init() {
+	Registry["E20"] = E20FaultRecovery
+}
+
+// E20FaultRecovery — the fault-recovery timeline: one of the four lanes is
+// silently killed (blackhole: it keeps accepting packets and swallows them)
+// a third of the way into the run and never repaired. The figure tracks
+// windowed p99 latency through the failure; the table condenses it to
+// pre-failure p99, peak p99, time-to-recover, and delivery rate.
+//
+// The three contenders span the design space:
+//
+//   - single: the conventional single-path plane. Its only lane died; it
+//     never recovers and delivers nothing for the rest of the run.
+//   - rss: static hashing with failover — the health machinery steers the
+//     dead queue's flows to a neighbor, but statically, so the survivors
+//     carry an unbalanced load.
+//   - mpdp: adaptive multipath — detection plus flowlet re-steering spreads
+//     the dead lane's load across all survivors.
+func E20FaultRecovery(opts SuiteOpts) (*Result, error) {
+	opts.fill()
+	dur := opts.duration(60 * sim.Millisecond)
+	failAt := dur / 3
+	const window = 2 * sim.Millisecond
+
+	res := &Result{
+		ID: "E20",
+		Title: fmt.Sprintf("fault recovery: lane 0 blackholed at t=%.0fms (permanent), util 0.6",
+			float64(failAt)/1e6),
+		Notes: []string{
+			"expected shape: single-path flatlines at the failure and never returns; rss and mpdp spike while the watchdog confirms the blackhole, then recover — rss settles higher (the dead queue's flows all land on one neighbor), mpdp re-spreads them",
+		},
+	}
+	fig := Figure{Name: "E20", Title: "windowed p99 across a silent lane failure", XLabel: "t_ms", YLabel: "p99_us"}
+	tab := Table{
+		Name:    "E20",
+		Title:   "recovery summary",
+		Columns: []string{"policy", "paths", "prefail_p99_us", "peak_p99_us", "recover_ms", "delivery_pct", "quarantines", "canaries"},
+	}
+
+	contenders := []struct {
+		policy string
+		paths  int
+	}{
+		{"single", 1},
+		{"rss", 4},
+		{"mpdp", 4},
+	}
+	for _, c := range contenders {
+		plan := &fault.Plan{
+			Seed:  opts.Seed,
+			Lanes: []fault.LaneFailure{{Path: 0, At: failAt, Mode: fault.ModeBlackhole}},
+		}
+		r, err := Run(RunConfig{
+			Seed:     opts.Seed,
+			Policy:   c.policy,
+			NumPaths: c.paths,
+			Util:     0.6,
+			Fault:    plan,
+
+			TimelineWindow: window,
+			Duration:       dur,
+			Warmup:         1, // the timeline wants the whole run
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Windowed p99 curve; windows with no deliveries (a dead single
+		// path) simply end the curve.
+		curve := Curve{Label: c.policy}
+		var prefailSum float64
+		var prefailN int
+		peak := 0.0
+		recover := -1.0
+		for _, wp := range r.Timeline {
+			if wp.Hist.Count() == 0 {
+				continue
+			}
+			p99 := float64(wp.Hist.Percentile(0.99)) / 1000
+			curve.Points = append(curve.Points, Point{X: float64(wp.Start) / 1e6, Y: p99})
+			if wp.Start+int64(window) <= int64(failAt) {
+				prefailSum += p99
+				prefailN++
+			}
+		}
+		prefail := 0.0
+		if prefailN > 0 {
+			prefail = prefailSum / float64(prefailN)
+		}
+		// Post-failure: the peak window, then the first window at or after
+		// the peak back within 1.5x of the pre-failure p99 — time-to-recover
+		// counts from the failure until the worst is over AND the tail is
+		// back to normal, so a late spike can't be mistaken for recovery.
+		peakStart := int64(-1)
+		for _, wp := range r.Timeline {
+			if wp.Start < int64(failAt) || wp.Hist.Count() == 0 {
+				continue
+			}
+			if p99 := float64(wp.Hist.Percentile(0.99)) / 1000; p99 > peak {
+				peak, peakStart = p99, wp.Start
+			}
+		}
+		for _, wp := range r.Timeline {
+			if wp.Start < peakStart || peakStart < 0 || wp.Hist.Count() == 0 {
+				continue
+			}
+			if p99 := float64(wp.Hist.Percentile(0.99)) / 1000; prefail > 0 && p99 <= 1.5*prefail {
+				recover = (float64(wp.Start) - float64(failAt)) / 1e6
+				break
+			}
+		}
+		recoverCell := "never"
+		if recover >= 0 {
+			recoverCell = fmt.Sprintf("%.1f", recover)
+		}
+		fig.Curves = append(fig.Curves, curve)
+		tab.Rows = append(tab.Rows, []string{
+			c.policy,
+			fmt.Sprintf("%d", c.paths),
+			fmt.Sprintf("%.1f", prefail),
+			fmt.Sprintf("%.1f", peak),
+			recoverCell,
+			fmt.Sprintf("%.1f", r.DeliveryRate*100),
+			fmt.Sprintf("%d", r.Quarantines),
+			fmt.Sprintf("%d", r.Canaries),
+		})
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Figures = append(res.Figures, fig)
+	return res, nil
+}

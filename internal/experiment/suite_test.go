@@ -7,21 +7,24 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(ids))
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E19" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E20" {
 		t.Fatalf("suite order wrong: %v", ids)
 	}
 }
 
-// TestSuiteSmokeAll runs every experiment in quick mode and checks the
-// structural integrity of what it emits. This is the suite's integration
-// test; it is skipped under -short.
+// TestSuiteSmokeAll runs every experiment in quick mode — with the
+// end-to-end invariant checker armed, so every run is also conservation-
+// and order-checked — and verifies the structural integrity of what it
+// emits. This is the suite's integration test; it is skipped under -short.
 func TestSuiteSmokeAll(t *testing.T) {
 	if testing.Short() {
 		t.Skip("suite smoke test skipped in -short mode")
 	}
+	SetVerify(true)
+	defer SetVerify(false)
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {

@@ -1,0 +1,327 @@
+// Package fault is the deterministic fault-injection subsystem: a
+// JSON-serializable Plan of scheduled failures that is armed against a
+// running data plane. It models the last-mile failure taxonomy the health
+// machinery in internal/core exists to survive:
+//
+//   - Lane failures — fail-stop (announced: the lane refuses traffic) and
+//     blackhole (silent: the lane swallows traffic), with optional repair.
+//   - Flapping lanes — repeated fail/repair cycles.
+//   - NF error mode — a chain element that drops or corrupts a seeded
+//     fraction of packets while active (a misbehaving NF replica).
+//   - Telemetry lies — a path's latency feed reports optimistically,
+//     pessimistically, or goes stale, without the packets changing at all.
+//
+// Everything is driven by the virtual clock and the plan's own seed, so a
+// faulted run is exactly as reproducible as a clean one.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mpdp/internal/core"
+	"mpdp/internal/nf"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/vnet"
+	"mpdp/internal/xrand"
+)
+
+// Failure modes for LaneFailure and Flap, as stable JSON strings.
+const (
+	// ModeFailStop is an announced failure: enqueues are refused.
+	ModeFailStop = "fail-stop"
+	// ModeBlackhole is a silent failure: packets are accepted and swallowed.
+	ModeBlackhole = "blackhole"
+)
+
+// Telemetry fault modes.
+const (
+	// TelemetryOptimistic divides reported service/latency by Factor: the
+	// path advertises itself as faster than it is, attracting traffic.
+	TelemetryOptimistic = "optimistic"
+	// TelemetryPessimistic multiplies reported numbers by Factor.
+	TelemetryPessimistic = "pessimistic"
+	// TelemetryStale suppresses observations entirely: estimates freeze at
+	// their last pre-fault values.
+	TelemetryStale = "stale"
+)
+
+// LaneFailure schedules one lane failure. All times are offsets from the
+// start of the run (virtual time zero).
+type LaneFailure struct {
+	Path int          `json:"path"`
+	At   sim.Duration `json:"at"`
+	Mode string       `json:"mode"` // ModeFailStop or ModeBlackhole
+	// RepairAfter, if > 0, restores the lane this long after the failure.
+	// Health recovery still goes through quarantine + probing: repair makes
+	// the lane *capable* again, canaries make it *trusted* again.
+	RepairAfter sim.Duration `json:"repair_after,omitempty"`
+}
+
+// Flap schedules Count fail/repair cycles: down for Down, up for Up.
+type Flap struct {
+	Path  int          `json:"path"`
+	Start sim.Duration `json:"start"`
+	Down  sim.Duration `json:"down"`
+	Up    sim.Duration `json:"up"`
+	Count int          `json:"count"`
+	Mode  string       `json:"mode"` // ModeFailStop or ModeBlackhole
+}
+
+// NFError puts a lane's chain into error mode for a window: a seeded
+// fraction of packets is dropped and another fraction corrupted in flight.
+// Unlike lane failures this is invisible to the engine except through its
+// effects — exactly the case the drop-fraction health transition catches.
+type NFError struct {
+	// Path selects the lane; -1 applies to every lane (a uniform error rate
+	// that must NOT get anyone quarantined).
+	Path  int          `json:"path"`
+	Start sim.Duration `json:"start"`
+	// Stop ends the window; 0 means until the end of the run.
+	Stop        sim.Duration `json:"stop,omitempty"`
+	DropFrac    float64      `json:"drop_frac,omitempty"`
+	CorruptFrac float64      `json:"corrupt_frac,omitempty"`
+}
+
+// TelemetryFault makes one path's telemetry lie or go stale for a window.
+type TelemetryFault struct {
+	Path  int          `json:"path"`
+	Start sim.Duration `json:"start"`
+	// Stop ends the window; 0 means until the end of the run.
+	Stop   sim.Duration `json:"stop,omitempty"`
+	Mode   string       `json:"mode"`
+	Factor float64      `json:"factor,omitempty"` // default 4
+}
+
+// Plan is a complete, serializable fault schedule.
+type Plan struct {
+	// Seed drives the NF error element's randomness (default 1).
+	Seed      uint64           `json:"seed,omitempty"`
+	Lanes     []LaneFailure    `json:"lanes,omitempty"`
+	Flaps     []Flap           `json:"flaps,omitempty"`
+	NFErrors  []NFError        `json:"nf_errors,omitempty"`
+	Telemetry []TelemetryFault `json:"telemetry,omitempty"`
+}
+
+// Empty reports whether the plan schedules nothing.
+func (pl *Plan) Empty() bool {
+	return pl == nil ||
+		len(pl.Lanes) == 0 && len(pl.Flaps) == 0 && len(pl.NFErrors) == 0 && len(pl.Telemetry) == 0
+}
+
+// Validate checks mode strings and path indices against numPaths.
+func (pl *Plan) Validate(numPaths int) error {
+	if pl == nil {
+		return nil
+	}
+	checkPath := func(kind string, p int, allowAll bool) error {
+		if allowAll && p == -1 {
+			return nil
+		}
+		if p < 0 || p >= numPaths {
+			return fmt.Errorf("fault: %s path %d out of range [0,%d)", kind, p, numPaths)
+		}
+		return nil
+	}
+	for _, f := range pl.Lanes {
+		if err := checkPath("lane failure", f.Path, false); err != nil {
+			return err
+		}
+		if f.Mode != ModeFailStop && f.Mode != ModeBlackhole {
+			return fmt.Errorf("fault: lane failure mode %q (want %q or %q)", f.Mode, ModeFailStop, ModeBlackhole)
+		}
+	}
+	for _, f := range pl.Flaps {
+		if err := checkPath("flap", f.Path, false); err != nil {
+			return err
+		}
+		if f.Mode != ModeFailStop && f.Mode != ModeBlackhole {
+			return fmt.Errorf("fault: flap mode %q (want %q or %q)", f.Mode, ModeFailStop, ModeBlackhole)
+		}
+		if f.Count <= 0 || f.Down <= 0 {
+			return fmt.Errorf("fault: flap on path %d needs Count > 0 and Down > 0", f.Path)
+		}
+	}
+	for _, f := range pl.NFErrors {
+		if err := checkPath("nf error", f.Path, true); err != nil {
+			return err
+		}
+		if f.DropFrac < 0 || f.DropFrac > 1 || f.CorruptFrac < 0 || f.CorruptFrac > 1 {
+			return fmt.Errorf("fault: nf error fractions must be in [0,1]")
+		}
+	}
+	for _, f := range pl.Telemetry {
+		if err := checkPath("telemetry fault", f.Path, false); err != nil {
+			return err
+		}
+		switch f.Mode {
+		case TelemetryOptimistic, TelemetryPessimistic, TelemetryStale:
+		default:
+			return fmt.Errorf("fault: telemetry mode %q", f.Mode)
+		}
+	}
+	return nil
+}
+
+// ParsePlan decodes a plan from JSON, rejecting unknown fields.
+func ParsePlan(data []byte) (*Plan, error) {
+	var pl Plan
+	if err := json.Unmarshal(data, &pl); err != nil {
+		return nil, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	return &pl, nil
+}
+
+func failMode(mode string) vnet.FailMode {
+	if mode == ModeBlackhole {
+		return vnet.LaneBlackhole
+	}
+	return vnet.LaneFailStop
+}
+
+// Install arms the plan's lane failures, flaps, and telemetry faults against
+// dp on its simulator. NF errors are NOT handled here — they live inside the
+// chain; wrap each lane's chain with ElementFor at build time. Install
+// validates the plan and must be called before the run starts (it schedules
+// at absolute offsets from time zero).
+func (pl *Plan) Install(dp *core.DataPlane) error {
+	if pl.Empty() {
+		return nil
+	}
+	s := dp.Sim()
+	if err := pl.Validate(len(dp.Paths())); err != nil {
+		return err
+	}
+	for _, f := range pl.Lanes {
+		f := f
+		s.At(sim.Time(f.At), func() { dp.FailPath(f.Path, failMode(f.Mode)) })
+		if f.RepairAfter > 0 {
+			s.At(sim.Time(f.At+f.RepairAfter), func() { dp.RestorePath(f.Path) })
+		}
+	}
+	for _, f := range pl.Flaps {
+		f := f
+		period := f.Down + f.Up
+		for k := 0; k < f.Count; k++ {
+			down := f.Start + sim.Duration(k)*period
+			s.At(sim.Time(down), func() { dp.FailPath(f.Path, failMode(f.Mode)) })
+			s.At(sim.Time(down+f.Down), func() { dp.RestorePath(f.Path) })
+		}
+	}
+	for _, f := range pl.Telemetry {
+		f := f
+		factor := f.Factor
+		if factor <= 0 {
+			factor = 4
+		}
+		dp.Paths()[f.Path].SetTelemetryTamper(func(now sim.Time, svc, lat sim.Duration) (sim.Duration, sim.Duration, bool) {
+			if now < sim.Time(f.Start) || (f.Stop > 0 && now >= sim.Time(f.Stop)) {
+				return svc, lat, true
+			}
+			switch f.Mode {
+			case TelemetryStale:
+				return 0, 0, false
+			case TelemetryOptimistic:
+				return sim.Duration(float64(svc) / factor), sim.Duration(float64(lat) / factor), true
+			default: // TelemetryPessimistic
+				return sim.Duration(float64(svc) * factor), sim.Duration(float64(lat) * factor), true
+			}
+		})
+	}
+	return nil
+}
+
+// ElementFor returns the error-mode element for lane path, or nil when the
+// plan schedules no NF error there. Prepend the result to the lane's chain:
+//
+//	chain := nf.NewChain("faulty", append([]nf.Element{el}, stages...)...)
+//
+// Each lane gets its own element (chains are per-lane); randomness is
+// derived from the plan seed and the lane index, so runs are reproducible.
+func (pl *Plan) ElementFor(path int) *FaultyElement {
+	if pl.Empty() {
+		return nil
+	}
+	var windows []NFError
+	for _, f := range pl.NFErrors {
+		if f.Path == -1 || f.Path == path {
+			windows = append(windows, f)
+		}
+	}
+	if len(windows) == 0 {
+		return nil
+	}
+	seed := pl.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &FaultyElement{
+		windows: windows,
+		rng:     xrand.New(seed ^ (0x9e3779b97f4a7c15 * uint64(path+1))),
+	}
+}
+
+// FaultyElement is the NF error mode: while any of its windows is active it
+// drops a fraction of packets (verdict Drop, DropPolicy — indistinguishable
+// from an ACL deny, which is the point) and corrupts another fraction by
+// garbling payload bytes. Outside its windows it is a zero-cost no-op.
+type FaultyElement struct {
+	windows []NFError
+	rng     *xrand.Rand
+
+	dropped   uint64
+	corrupted uint64
+}
+
+// Name implements nf.Element.
+func (e *FaultyElement) Name() string { return "fault-injector" }
+
+// active returns the strongest drop/corrupt fractions of any open window.
+func (e *FaultyElement) active(now sim.Time) (drop, corrupt float64) {
+	for _, w := range e.windows {
+		if now < sim.Time(w.Start) || (w.Stop > 0 && now >= sim.Time(w.Stop)) {
+			continue
+		}
+		if w.DropFrac > drop {
+			drop = w.DropFrac
+		}
+		if w.CorruptFrac > corrupt {
+			corrupt = w.CorruptFrac
+		}
+	}
+	return drop, corrupt
+}
+
+// Process implements nf.Element.
+func (e *FaultyElement) Process(now sim.Time, p *packet.Packet) nf.Result {
+	drop, corrupt := e.active(now)
+	if drop == 0 && corrupt == 0 {
+		return nf.Result{Verdict: packet.Pass}
+	}
+	// The die is rolled once per packet: a packet is dropped, corrupted, or
+	// spared, never both faults at once.
+	u := e.rng.Float64()
+	switch {
+	case u < drop:
+		e.dropped++
+		p.Dropped = packet.DropPolicy
+		return nf.Result{Verdict: packet.Drop, Cost: 25 * sim.Nanosecond}
+	case u < drop+corrupt:
+		e.corrupted++
+		// Garble the payload tail, leaving headers parseable so the rest of
+		// the chain still runs (corruption a checksum would catch, not one
+		// that derails parsing).
+		if n := len(p.Data); n > 0 {
+			p.Data[n-1] ^= 0xFF
+		}
+		return nf.Result{Verdict: packet.Pass, Cost: 25 * sim.Nanosecond}
+	}
+	return nf.Result{Verdict: packet.Pass}
+}
+
+// Dropped returns packets the element discarded.
+func (e *FaultyElement) Dropped() uint64 { return e.dropped }
+
+// Corrupted returns packets the element garbled.
+func (e *FaultyElement) Corrupted() uint64 { return e.corrupted }

@@ -1,0 +1,241 @@
+// Package invariant is the end-to-end checker for the multipath data plane:
+// an Observer that shadows every packet from ingress to its fate and asserts
+// the properties the engine promises no matter which policy, workload, or
+// fault plan is running:
+//
+//   - Conservation: every injected packet is eventually delivered, consumed,
+//     or conclusively lost — exactly once. At drain, nothing is outstanding.
+//   - No duplicate delivery: selective duplication never hands the guest the
+//     same packet twice.
+//   - In-order delivery: with the reorder stage enabled, each flow's
+//     delivered sequence numbers are strictly increasing.
+//   - Monotone virtual time: per-packet timestamps advance through the
+//     pipeline stages, and deliveries never run backwards in time.
+//
+// The checker is pure bookkeeping on the observer callbacks — it never
+// mutates packets or engine state — so enabling it cannot change a run's
+// outcome, only veto it.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+
+	"mpdp/internal/core"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// fates a packet can reach.
+const (
+	fateNone = iota
+	fateDelivered
+	fateLost
+	fateConsumed
+)
+
+func fateName(f byte) string {
+	switch f {
+	case fateDelivered:
+		return "delivered"
+	case fateLost:
+		return "lost"
+	case fateConsumed:
+		return "consumed"
+	default:
+		return "pending"
+	}
+}
+
+// Options tunes the checker.
+type Options struct {
+	// CheckOrder asserts strictly-increasing per-flow delivery sequence
+	// numbers. Turn off when the data plane runs with DisableReorder (the
+	// ablation delivers in completion order by design).
+	CheckOrder bool
+	// MaxViolations bounds recorded violation messages (default 16; the
+	// total count is always exact).
+	MaxViolations int
+}
+
+// Checker implements core.Observer. Attach one per data plane, before the
+// first ingress.
+type Checker struct {
+	dp   *core.DataPlane
+	opts Options
+
+	injected  uint64
+	delivered uint64
+	lost      uint64
+	consumed  uint64
+
+	fate    map[uint64]byte   // OrigID -> fate
+	lastSeq map[uint64]uint64 // FlowID -> last delivered Seq + 1
+
+	lastIngressAt  sim.Time
+	lastDeliveryAt sim.Time
+
+	nViolations uint64
+	violations  []string
+}
+
+// Attach builds a checker and registers it as dp's observer.
+func Attach(dp *core.DataPlane, opts Options) *Checker {
+	if opts.MaxViolations == 0 {
+		opts.MaxViolations = 16
+	}
+	c := &Checker{
+		dp:      dp,
+		opts:    opts,
+		fate:    make(map[uint64]byte),
+		lastSeq: make(map[uint64]uint64),
+	}
+	dp.SetObserver(c)
+	return c
+}
+
+func (c *Checker) violate(format string, args ...any) {
+	c.nViolations++
+	if len(c.violations) < c.opts.MaxViolations {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// PacketIngress implements core.Observer.
+func (c *Checker) PacketIngress(p *packet.Packet) {
+	c.injected++
+	if f, seen := c.fate[p.OrigID]; seen {
+		c.violate("packet %d injected twice (already %s)", p.OrigID, fateName(f))
+		return
+	}
+	c.fate[p.OrigID] = fateNone
+	if p.Ingress < c.lastIngressAt {
+		c.violate("packet %d ingress time %d before previous ingress %d", p.OrigID, p.Ingress, c.lastIngressAt)
+	}
+	c.lastIngressAt = p.Ingress
+}
+
+// settle moves OrigID to fate f, catching double-settlement.
+func (c *Checker) settle(p *packet.Packet, f byte) bool {
+	prev, seen := c.fate[p.OrigID]
+	if !seen {
+		c.violate("packet %d %s without ingress", p.OrigID, fateName(f))
+		return false
+	}
+	if prev != fateNone {
+		c.violate("packet %d %s after already being %s", p.OrigID, fateName(f), fateName(prev))
+		return false
+	}
+	c.fate[p.OrigID] = f
+	return true
+}
+
+// PacketDelivered implements core.Observer.
+func (c *Checker) PacketDelivered(p *packet.Packet) {
+	c.delivered++
+	if !c.settle(p, fateDelivered) {
+		return
+	}
+	// Global delivery-time monotonicity: the simulator fires events in time
+	// order, so a regression here means a stage backdated a packet.
+	if p.Delivered < c.lastDeliveryAt {
+		c.violate("packet %d delivered at %d after a delivery at %d", p.OrigID, p.Delivered, c.lastDeliveryAt)
+	}
+	c.lastDeliveryAt = p.Delivered
+	// Per-packet stage monotonicity.
+	if p.Enqueued < p.Ingress || p.ServiceAt < p.Enqueued || p.Done < p.ServiceAt || p.Delivered < p.Done {
+		c.violate("packet %d timestamps not monotone: ingress=%d enq=%d svc=%d done=%d dlv=%d",
+			p.OrigID, p.Ingress, p.Enqueued, p.ServiceAt, p.Done, p.Delivered)
+	}
+	// Per-flow order.
+	if c.opts.CheckOrder {
+		if next, seen := c.lastSeq[p.FlowID]; seen && p.Seq < next {
+			c.violate("flow %x delivered seq %d after seq %d", p.FlowID, p.Seq, next-1)
+		}
+		c.lastSeq[p.FlowID] = p.Seq + 1
+	}
+}
+
+// PacketLost implements core.Observer.
+func (c *Checker) PacketLost(p *packet.Packet, reason packet.DropReason) {
+	c.lost++
+	if !c.settle(p, fateLost) {
+		return
+	}
+	if reason == packet.NotDropped {
+		c.violate("packet %d reported lost with no drop reason", p.OrigID)
+	}
+}
+
+// PacketConsumed implements core.Observer.
+func (c *Checker) PacketConsumed(p *packet.Packet) {
+	c.consumed++
+	c.settle(p, fateConsumed)
+}
+
+// Outstanding returns injected packets that have not yet reached a fate.
+func (c *Checker) Outstanding() uint64 {
+	done := c.delivered + c.consumed + c.lost
+	if c.injected < done {
+		return 0
+	}
+	return c.injected - done
+}
+
+// Violations returns the recorded violation messages (capped) and the exact
+// total count.
+func (c *Checker) Violations() ([]string, uint64) { return c.violations, c.nViolations }
+
+// Finish runs the end-of-run checks and returns an error describing every
+// violation found, or nil. requireDrained asserts full conservation — the
+// caller flushed the plane and ran the simulator dry, so nothing may be
+// outstanding. Without it (open-ended runs cut off mid-flight), the
+// outstanding packets must at least be accounted for by copies still inside
+// lanes or parked in the reorder buffer.
+func (c *Checker) Finish(requireDrained bool) error {
+	m := c.dp.Metrics()
+	if m.Offered() != c.injected {
+		c.violate("engine offered %d != observed ingress %d", m.Offered(), c.injected)
+	}
+	if m.Delivered() != c.delivered {
+		c.violate("engine delivered %d != observed %d", m.Delivered(), c.delivered)
+	}
+	if m.Consumed() != c.consumed {
+		c.violate("engine consumed %d != observed %d", m.Consumed(), c.consumed)
+	}
+
+	out := c.Outstanding()
+	if requireDrained {
+		if out != 0 {
+			c.violate("conservation: %d packets outstanding at drain (injected=%d delivered=%d consumed=%d lost=%d)",
+				out, c.injected, c.delivered, c.consumed, c.lost)
+		}
+	} else if out > 0 {
+		// Each outstanding packet must have at least one copy physically
+		// somewhere: in a lane or waiting in the reorder buffer. (With
+		// duplication the sum over-counts, hence <=.)
+		held := uint64(c.dp.ReorderStats().PendingPkts)
+		for _, ps := range c.dp.Paths() {
+			if n := ps.InFlight(); n > 0 {
+				held += uint64(n)
+			}
+		}
+		if out > held {
+			c.violate("conservation: %d packets outstanding but only %d copies held in lanes+reorder", out, held)
+		}
+	}
+
+	if c.nViolations == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant: %d violation(s):", c.nViolations)
+	for _, v := range c.violations {
+		b.WriteString("\n  - ")
+		b.WriteString(v)
+	}
+	if uint64(len(c.violations)) < c.nViolations {
+		fmt.Fprintf(&b, "\n  … and %d more", c.nViolations-uint64(len(c.violations)))
+	}
+	return fmt.Errorf("%s", b.String())
+}

@@ -43,11 +43,12 @@ func (v Verdict) String() string {
 type DropReason uint8
 
 const (
-	NotDropped    DropReason = iota
-	DropPolicy               // an NF verdict (ACL deny, invalid header, …)
-	DropQueueFull            // congestion loss at a bounded queue
-	DropReorder              // evicted from the reorder buffer by timeout
-	DropCancelled            // duplicate cancelled after its twin won
+	NotDropped     DropReason = iota
+	DropPolicy                // an NF verdict (ACL deny, invalid header, …)
+	DropQueueFull             // congestion loss at a bounded queue
+	DropReorder               // evicted from the reorder buffer by timeout
+	DropCancelled             // duplicate cancelled after its twin won
+	DropPathFailed            // lost to a failed lane (fail-stop refusal or drain)
 )
 
 func (d DropReason) String() string {
@@ -62,6 +63,8 @@ func (d DropReason) String() string {
 		return "reorder-timeout"
 	case DropCancelled:
 		return "dup-cancelled"
+	case DropPathFailed:
+		return "path-failed"
 	default:
 		return fmt.Sprintf("drop(%d)", uint8(d))
 	}

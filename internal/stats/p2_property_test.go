@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"mpdp/internal/xrand"
+)
+
+// TestP2DistributionProperty sweeps the P² estimator across the traffic
+// distributions the simulator actually draws from — exponential service
+// times, Pareto flow sizes, log-normal jitter — and several seeds, checking
+// each estimate against the exact quantile of the same sample. The estimator
+// feeds the per-path tail telemetry, so its error bound under heavy tails is
+// a correctness property of the scheduler, not a nicety.
+func TestP2DistributionProperty(t *testing.T) {
+	const n = 40000
+	dists := []struct {
+		name string
+		tol  float64 // relative error budget
+		draw func(r *xrand.Rand) float64
+	}{
+		{"exponential", 0.10, func(r *xrand.Rand) float64 { return r.ExpFloat64(0.01) }},
+		{"pareto", 0.15, func(r *xrand.Rand) float64 { return r.Pareto(2.5, 1) }},
+		{"lognormal", 0.12, func(r *xrand.Rand) float64 { return r.LogNormal(3, 0.8) }},
+	}
+	for _, d := range dists {
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				p := NewP2(q)
+				r := xrand.New(seed * 7919)
+				sample := make([]float64, n)
+				for i := range sample {
+					v := d.draw(r)
+					sample[i] = v
+					p.Add(v)
+				}
+				sort.Float64s(sample)
+				idx := int(q * n)
+				if idx >= n {
+					idx = n - 1
+				}
+				exact := sample[idx]
+				got := p.Value()
+				if rel := math.Abs(got-exact) / exact; rel > d.tol {
+					t.Errorf("%s q=%v seed=%d: P2=%.3f exact=%.3f rel err %.3f > %.2f",
+						d.name, q, seed, got, exact, rel, d.tol)
+				}
+				// The estimate must also be a plausible order statistic: within
+				// the sample's range no matter what.
+				if got < sample[0] || got > sample[n-1] {
+					t.Errorf("%s q=%v seed=%d: P2=%.3f outside sample range [%.3f, %.3f]",
+						d.name, q, seed, got, sample[0], sample[n-1])
+				}
+			}
+		}
+	}
+}
+
+// TestP2SmallNOrderStatistic pins the pre-initialization path (n < 5): the
+// estimator must return the exact order statistic of what it has seen, for
+// every prefix length and a spread of quantiles.
+func TestP2SmallNOrderStatistic(t *testing.T) {
+	obs := []float64{42, 7, 99, 13}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		p := NewP2(q)
+		for i, x := range obs {
+			p.Add(x)
+			n := i + 1
+			sorted := append([]float64(nil), obs[:n]...)
+			sort.Float64s(sorted)
+			idx := int(q * float64(n))
+			if idx >= n {
+				idx = n - 1
+			}
+			if got := p.Value(); got != sorted[idx] {
+				t.Fatalf("q=%v after %d obs: Value=%v, want order statistic %v", q, n, got, sorted[idx])
+			}
+		}
+	}
+}
+
+// TestP2AllEqual feeds a constant stream: every marker collapses onto the
+// same height and the estimate must be exactly that constant, with no
+// interpolation drift.
+func TestP2AllEqual(t *testing.T) {
+	for _, q := range []float64{0.5, 0.99} {
+		p := NewP2(q)
+		for i := 0; i < 1000; i++ {
+			p.Add(250)
+		}
+		if got := p.Value(); got != 250 {
+			t.Fatalf("q=%v: constant stream estimated as %v", q, got)
+		}
+	}
+}
+
+// TestP2ShiftedStream checks the estimator tracks a regime change: after a
+// step in the distribution, the estimate must move toward the new quantile
+// (P² is cumulative, so it lags — but it must at least leave the old level).
+func TestP2ShiftedStream(t *testing.T) {
+	p := NewP2(0.9)
+	r := xrand.New(5)
+	for i := 0; i < 5000; i++ {
+		p.Add(100 + r.Float64())
+	}
+	before := p.Value()
+	for i := 0; i < 50000; i++ {
+		p.Add(1000 + r.Float64())
+	}
+	after := p.Value()
+	if after < 5*before {
+		t.Fatalf("p90 stuck at %.1f after a 10x regime shift (was %.1f)", after, before)
+	}
+}

@@ -68,6 +68,35 @@ func DefaultLaneConfig(chain *nf.Chain) LaneConfig {
 // caller can account for them.
 type DoneFunc func(p *packet.Packet, verdict packet.Verdict)
 
+// FailMode is a lane's injected failure state.
+type FailMode uint8
+
+const (
+	// LaneHealthy is normal operation.
+	LaneHealthy FailMode = iota
+	// LaneFailStop models a detectable fail-stop: the lane refuses new
+	// packets (Enqueue returns false with DropPathFailed) and everything
+	// it held at failure time is handed back synchronously.
+	LaneFailStop
+	// LaneBlackhole models a silent failure (hung core, wedged queue): the
+	// lane keeps accepting packets but never serves them. Nothing is
+	// reported; only a watchdog noticing the missing completions can tell.
+	LaneBlackhole
+)
+
+func (m FailMode) String() string {
+	switch m {
+	case LaneHealthy:
+		return "healthy"
+	case LaneFailStop:
+		return "fail-stop"
+	case LaneBlackhole:
+		return "blackhole"
+	default:
+		return fmt.Sprintf("failmode(%d)", uint8(m))
+	}
+}
+
 // Lane is one path through the host data plane.
 type Lane struct {
 	id   int
@@ -79,9 +108,17 @@ type Lane struct {
 	queue   Qdisc
 	serving *packet.Packet
 
+	// Failure injection state. parked holds a packet whose service was cut
+	// short by a blackhole (the hung core still "owns" it); finishEv is the
+	// pending completion event, cancelled on failure.
+	failMode FailMode
+	parked   *packet.Packet
+	finishEv *sim.Event
+
 	// Counters.
 	enqueued   uint64
 	tailDrops  uint64
+	failDrops  uint64
 	served     uint64
 	cancelSkip uint64
 	busyUntil  sim.Time
@@ -112,10 +149,14 @@ func (l *Lane) ID() int { return l.id }
 // Chain returns the lane's NF chain replica.
 func (l *Lane) Chain() *nf.Chain { return l.cfg.Chain }
 
-// QueueDepth returns waiting packets plus the one in service.
+// QueueDepth returns waiting packets plus the one in service (or parked on
+// a blackholed core).
 func (l *Lane) QueueDepth() int {
 	d := l.queue.Len()
 	if l.serving != nil {
+		d++
+	}
+	if l.parked != nil {
 		d++
 	}
 	return d
@@ -125,18 +166,25 @@ func (l *Lane) QueueDepth() int {
 func (l *Lane) QueuedBytes() int { return l.queue.Bytes() }
 
 // Enqueue admits a packet at the current virtual time. It returns false and
-// stamps DropQueueFull if the discipline rejects it.
+// stamps the drop reason (DropQueueFull, or DropPathFailed on a fail-stop
+// lane) if the packet is rejected. A blackholed lane accepts packets
+// normally — they just never come back.
 func (l *Lane) Enqueue(p *packet.Packet) bool {
 	now := l.sim.Now()
 	p.Enqueued = now
 	p.PathID = l.id
+	if l.failMode == LaneFailStop {
+		l.failDrops++
+		p.Dropped = packet.DropPathFailed
+		return false
+	}
 	if !l.queue.Enqueue(p) {
 		l.tailDrops++
 		p.Dropped = packet.DropQueueFull
 		return false
 	}
 	l.enqueued++
-	if l.serving == nil {
+	if l.serving == nil && l.parked == nil && l.failMode == LaneHealthy {
 		l.startNext()
 	}
 	return true
@@ -163,10 +211,99 @@ func (l *Lane) startNext() {
 		svc := l.serviceTime(result.Cost)
 		l.busyUntil = now + svc
 		l.busyTotal += svc
-		l.sim.Schedule(svc, func() { l.finish(p, result.Verdict) })
+		l.finishEv = l.sim.Schedule(svc, func() { l.finish(p, result.Verdict) })
 		return
 	}
 }
+
+// Fail puts the lane into the given failure mode.
+//
+//   - LaneFailStop: the in-service packet (service aborted) and every queued
+//     packet are handed to drop synchronously; subsequent Enqueues are
+//     refused with DropPathFailed.
+//   - LaneBlackhole: the in-service packet's completion is cancelled and the
+//     packet parked (the hung core still holds it); queued packets stay put
+//     and new arrivals are silently accepted. drop is not called — a silent
+//     failure reports nothing.
+//
+// Failing an already-failed lane only switches the mode (a blackhole
+// escalating to fail-stop drains via drop). drop may be nil.
+func (l *Lane) Fail(mode FailMode, drop func(p *packet.Packet)) {
+	if mode == LaneHealthy {
+		l.Recover()
+		return
+	}
+	l.failMode = mode
+	if l.finishEv != nil {
+		l.finishEv.Cancel()
+		l.finishEv = nil
+	}
+	if l.serving != nil {
+		l.parked, l.serving = l.serving, nil
+		l.busyUntil = l.sim.Now()
+	}
+	if mode == LaneFailStop {
+		l.DrainFailed(drop)
+	}
+}
+
+// DrainFailed hands the parked packet and the entire queue to drop (cancelled
+// duplicates are skipped — their accounting happened at cancel time). Used at
+// fail-stop time and when a watchdog declares a blackholed lane dead, so the
+// caller can hole-punch every in-flight packet.
+func (l *Lane) DrainFailed(drop func(p *packet.Packet)) {
+	emit := func(p *packet.Packet) {
+		p.Dropped = packet.DropPathFailed
+		l.failDrops++
+		if drop != nil && !p.Cancelled {
+			drop(p)
+		}
+	}
+	if l.parked != nil {
+		emit(l.parked)
+		l.parked = nil
+	}
+	for {
+		p := l.queue.Dequeue()
+		if p == nil {
+			return
+		}
+		if p.Cancelled {
+			l.cancelSkip++
+			p.Dropped = packet.DropCancelled
+			continue
+		}
+		emit(p)
+	}
+}
+
+// Recover returns the lane to healthy operation. A parked blackhole packet
+// restarts service from scratch (the core rebooted mid-packet); otherwise
+// service resumes from the queue.
+func (l *Lane) Recover() {
+	if l.failMode == LaneHealthy {
+		return
+	}
+	l.failMode = LaneHealthy
+	if p := l.parked; p != nil {
+		l.parked = nil
+		now := l.sim.Now()
+		l.serving = p
+		p.ServiceAt = now
+		result := l.cfg.Chain.Process(now, p)
+		svc := l.serviceTime(result.Cost)
+		l.busyUntil = now + svc
+		l.busyTotal += svc
+		l.finishEv = l.sim.Schedule(svc, func() { l.finish(p, result.Verdict) })
+		return
+	}
+	if l.serving == nil {
+		l.startNext()
+	}
+}
+
+// FailState returns the lane's current failure mode.
+func (l *Lane) FailState() FailMode { return l.failMode }
 
 // serviceTime applies dispatch overhead, jitter, and interference to the
 // chain's deterministic CPU cost.
@@ -190,6 +327,7 @@ func (l *Lane) finish(p *packet.Packet, verdict packet.Verdict) {
 	now := l.sim.Now()
 	p.Done = now
 	l.serving = nil
+	l.finishEv = nil
 	l.served++
 	if l.done != nil {
 		l.done(p, verdict)
@@ -235,6 +373,7 @@ type LaneStats struct {
 	Enqueued   uint64
 	Served     uint64
 	TailDrops  uint64
+	FailDrops  uint64
 	CancelSkip uint64
 	BusyTotal  sim.Duration
 }
@@ -246,6 +385,7 @@ func (l *Lane) Stats() LaneStats {
 		Enqueued:   l.enqueued,
 		Served:     l.served,
 		TailDrops:  l.tailDrops,
+		FailDrops:  l.failDrops,
 		CancelSkip: l.cancelSkip,
 		BusyTotal:  l.busyTotal,
 	}
