@@ -40,9 +40,14 @@ suite-quick:
 check:
 	$(GO) run ./cmd/mpdp-bench -check
 
+# One local command matching the CI gate: vet (all standard analyzers),
+# gofmt, and the project's own contract linter (see internal/lint and
+# DESIGN.md "Static contracts"). -werror fails on any non-allowed finding.
 lint:
 	$(GO) vet ./...
-	gofmt -l .
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) run ./cmd/mpdp-lint -werror ./...
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -75,7 +75,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mpdp-bench: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		csvOut = f
 	}
 
@@ -91,16 +90,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mpdp-bench: %s failed: %v\n", id, err)
 			os.Exit(1)
 		}
-		res.Render(os.Stdout)
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-bench: rendering %s: %v\n", id, err)
+			os.Exit(1)
+		}
 		if *plot {
 			for i := range res.Figures {
 				fmt.Println()
-				res.Figures[i].Plot(os.Stdout, 72, 20)
+				if err := res.Figures[i].Plot(os.Stdout, 72, 20); err != nil {
+					fmt.Fprintf(os.Stderr, "mpdp-bench: plotting %s: %v\n", id, err)
+					os.Exit(1)
+				}
 			}
 		}
 		fmt.Printf("(%s wall time: %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		if csvOut != nil {
-			res.CSV(csvOut)
+			if err := res.CSV(csvOut); err != nil {
+				fmt.Fprintf(os.Stderr, "mpdp-bench: writing %s: %v\n", *csv, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if csvOut != nil {
+		if err := csvOut.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-bench: closing %s: %v\n", *csv, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,84 @@
+// Command mpdp-lint enforces the simulator's determinism and concurrency
+// contracts with project-specific static analysis (see internal/lint).
+//
+// Usage:
+//
+//	mpdp-lint [-json] [-werror] [-list] [packages...]
+//
+// Packages are directories or `dir/...` patterns; the default is `./...`.
+// Findings print as `file:line: [analyzer] message`. With -werror any
+// finding exits 1 (the CI gate); without it the exit status only reflects
+// driver errors. -list prints the analyzer catalog and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mpdp/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		werror  = flag.Bool("werror", false, "exit 1 if any finding is reported")
+		list    = flag.Bool("list", false, "print the analyzer catalog and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := run(patterns, *jsonOut, *werror); err != nil {
+		fmt.Fprintln(os.Stderr, "mpdp-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, jsonOut, werror bool) error {
+	dirs, err := lint.ExpandPatterns(patterns)
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		return err
+	}
+	findings, err := lint.LintDirs(loader, lint.Config{}, dirs)
+	if err != nil {
+		return err
+	}
+	cwd, err := os.Getwd()
+	if err == nil {
+		lint.RelativizeFindings(findings, cwd)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if werror && len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mpdp-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	return nil
+}

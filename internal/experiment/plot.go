@@ -11,7 +11,14 @@ import (
 // log-scaled when the data spans more than two decades (latency figures
 // always do). Intended for terminal inspection; the Render data block
 // remains the precise output.
-func (f *Figure) Plot(w io.Writer, width, height int) {
+func (f *Figure) Plot(w io.Writer, width, height int) error {
+	var b strings.Builder
+	f.plotTo(&b, width, height)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *Figure) plotTo(w *strings.Builder, width, height int) {
 	if width < 30 {
 		width = 72
 	}

@@ -53,25 +53,41 @@ type Result struct {
 	Notes   []string
 }
 
-// Render writes the result as human-readable ASCII.
-func (r *Result) Render(w io.Writer) {
-	fmt.Fprintf(w, "=== %s: %s ===\n", r.ID, r.Title)
+// Render writes the result as human-readable ASCII. The output is built
+// in memory and written in one call so a write failure (full disk, closed
+// pipe) is reported rather than yielding a silently truncated report.
+func (r *Result) Render(w io.Writer) error {
+	var b strings.Builder
+	r.renderTo(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (r *Result) renderTo(b *strings.Builder) {
+	fmt.Fprintf(b, "=== %s: %s ===\n", r.ID, r.Title)
 	for _, n := range r.Notes {
-		fmt.Fprintf(w, "note: %s\n", n)
+		fmt.Fprintf(b, "note: %s\n", n)
 	}
 	for i := range r.Tables {
-		fmt.Fprintln(w)
-		r.Tables[i].Render(w)
+		fmt.Fprintln(b)
+		r.Tables[i].renderTo(b)
 	}
 	for i := range r.Figures {
-		fmt.Fprintln(w)
-		r.Figures[i].Render(w)
+		fmt.Fprintln(b)
+		r.Figures[i].renderTo(b)
 	}
 }
 
 // Render writes the table with aligned columns.
-func (t *Table) Render(w io.Writer) {
-	fmt.Fprintf(w, "-- %s: %s --\n", t.Name, t.Title)
+func (t *Table) Render(w io.Writer) error {
+	var b strings.Builder
+	t.renderTo(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (t *Table) renderTo(b *strings.Builder) {
+	fmt.Fprintf(b, "-- %s: %s --\n", t.Name, t.Title)
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)
@@ -84,14 +100,14 @@ func (t *Table) Render(w io.Writer) {
 		}
 	}
 	printRow := func(cells []string) {
-		var b strings.Builder
+		var line strings.Builder
 		for i, cell := range cells {
 			if i > 0 {
-				b.WriteString("  ")
+				line.WriteString("  ")
 			}
-			b.WriteString(pad(cell, widths[i]))
+			line.WriteString(pad(cell, widths[i]))
 		}
-		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		fmt.Fprintln(b, strings.TrimRight(line.String(), " "))
 	}
 	printRow(t.Columns)
 	sep := make([]string, len(t.Columns))
@@ -113,7 +129,14 @@ func pad(s string, n int) string {
 
 // Render writes the figure as a column-per-curve data block: one x column
 // plus one y column per curve, aligned, ready for plotting.
-func (f *Figure) Render(w io.Writer) {
+func (f *Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	f.renderTo(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *Figure) renderTo(w *strings.Builder) {
 	fmt.Fprintf(w, "-- %s: %s --\n", f.Name, f.Title)
 	fmt.Fprintf(w, "   x = %s, y = %s\n", f.XLabel, f.YLabel)
 	// Merge x values across curves.
@@ -161,14 +184,14 @@ func (f *Figure) Render(w io.Writer) {
 		}
 	}
 	line := func(cells []string) {
-		var b strings.Builder
+		var lb strings.Builder
 		for i, cell := range cells {
 			if i > 0 {
-				b.WriteString("  ")
+				lb.WriteString("  ")
 			}
-			b.WriteString(pad(cell, widths[i]))
+			lb.WriteString(pad(cell, widths[i]))
 		}
-		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		fmt.Fprintln(w, strings.TrimRight(lb.String(), " "))
 	}
 	line(tab.Columns)
 	for _, row := range tab.Rows {
@@ -187,26 +210,31 @@ func trimFloat(v float64) string {
 	return s
 }
 
-// CSV writes the result's tables and figures as CSV blocks.
-func (r *Result) CSV(w io.Writer) {
+// CSV writes the result's tables and figures as CSV blocks. A write
+// failure is returned: a results file that silently loses rows is worse
+// than no results file.
+func (r *Result) CSV(w io.Writer) error {
+	var b strings.Builder
 	for _, t := range r.Tables {
-		fmt.Fprintf(w, "# table,%s,%s\n", t.Name, csvEscape(t.Title))
-		fmt.Fprintln(w, strings.Join(mapEsc(t.Columns), ","))
+		fmt.Fprintf(&b, "# table,%s,%s\n", t.Name, csvEscape(t.Title))
+		fmt.Fprintln(&b, strings.Join(mapEsc(t.Columns), ","))
 		for _, row := range t.Rows {
-			fmt.Fprintln(w, strings.Join(mapEsc(row), ","))
+			fmt.Fprintln(&b, strings.Join(mapEsc(row), ","))
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(&b)
 	}
 	for _, f := range r.Figures {
-		fmt.Fprintf(w, "# figure,%s,%s\n", f.Name, csvEscape(f.Title))
+		fmt.Fprintf(&b, "# figure,%s,%s\n", f.Name, csvEscape(f.Title))
 		for _, c := range f.Curves {
-			fmt.Fprintf(w, "curve,%s\n", csvEscape(c.Label))
+			fmt.Fprintf(&b, "curve,%s\n", csvEscape(c.Label))
 			for _, p := range c.Points {
-				fmt.Fprintf(w, "%s,%s\n", trimFloat(p.X), trimFloat(p.Y))
+				fmt.Fprintf(&b, "%s,%s\n", trimFloat(p.X), trimFloat(p.Y))
 			}
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(&b)
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 func mapEsc(ss []string) []string {

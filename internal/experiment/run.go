@@ -218,9 +218,12 @@ func Run(cfg RunConfig) (RunResult, error) {
 			return RunResult{}, fmt.Errorf("experiment: %w", err)
 		}
 		traceRecs, err = trace.ReadAll(f)
-		f.Close()
+		closeErr := f.Close()
 		if err != nil {
 			return RunResult{}, err
+		}
+		if closeErr != nil {
+			return RunResult{}, fmt.Errorf("experiment: closing trace: %w", closeErr)
 		}
 		if len(traceRecs) == 0 {
 			return RunResult{}, fmt.Errorf("experiment: trace %s is empty", cfg.TraceFile)

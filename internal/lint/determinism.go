@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// DeterminismAnalyzer forbids wall-clock and math/rand use in simulation
+// packages. Simulated time comes from sim.Simulator and randomness from
+// per-entity xrand.Rand streams; a single stray time.Now or global rand
+// call makes runs irreproducible in exactly the p99.9 region the project
+// measures. internal/live (the real-time bridge) is outside the scope.
+var DeterminismAnalyzer = &Analyzer{
+	Name:   "determinism",
+	Doc:    "forbid time.Now/time.Since/timers and math/rand in simulation packages; use sim clock and xrand streams",
+	Scoped: inSimScope,
+	Run:    runDeterminism,
+}
+
+// forbiddenTimeFuncs are the package-level functions of "time" that read
+// the wall clock or create real timers.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in simulation code; use mpdp/internal/xrand for seed-stable streams", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if forbiddenTimeFuncs[obj.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation code must use the sim.Simulator clock", obj.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ExpandPatterns turns command-line package patterns into a sorted list
+// of directories containing buildable Go files. Supported forms are a
+// plain directory and the `dir/...` wildcard; "testdata", "vendor" and
+// hidden directories are never descended into, matching go tool
+// conventions.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return
+		}
+		if !seen[abs] && hasGoFiles(abs) {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "/...")
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			if !hasGoFiles(root) {
+				return nil, fmt.Errorf("lint: no Go files in %s", pat)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LintDirs loads and analyzes every directory, accumulating findings.
+// Load or type-check failures are reported as errors: the linter must not
+// silently skip a package it cannot see.
+func LintDirs(l *Loader, cfg Config, dirs []string) ([]Finding, error) {
+	var out []Finding
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Run(cfg, pkg)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrorEatAnalyzer flags call statements in internal/ packages that
+// silently discard an error result. A swallowed error in the simulator is
+// a silent divergence: a CSV row that never lands, a trace record that is
+// dropped, a config that half-applies — all invisible until a result
+// table disagrees across machines. Errors must be handled, returned, or
+// the call annotated with //lint:allow erroreat <reason>.
+//
+// Calls to types that are documented never to fail (strings.Builder,
+// bytes.Buffer) are exempt.
+var ErrorEatAnalyzer = &Analyzer{
+	Name:   "erroreat",
+	Doc:    "flag statements that discard an error-returning call's result in internal/ code",
+	Scoped: inInternalScope,
+	Run:    runErrorEat,
+}
+
+func runErrorEat(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call, errType) || infallible(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s discards an error; handle it or annotate the exception", callName(pass, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any of the call's results has type error.
+func returnsError(pass *Pass, call *ast.CallExpr, errType types.Type) bool {
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// infallible exempts calls whose error results are documented to always
+// be nil: methods on strings.Builder / bytes.Buffer, and fmt.Fprint*
+// writing into one of those.
+func infallible(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := pass.Info.Selections[sel]; ok {
+		return neverFailsWriter(s.Recv())
+	}
+	// fmt.Fprint / Fprintf / Fprintln into an infallible writer.
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" ||
+		!strings.HasPrefix(obj.Name(), "Fprint") || len(call.Args) == 0 {
+		return false
+	}
+	t := pass.Info.TypeOf(call.Args[0])
+	return t != nil && neverFailsWriter(t)
+}
+
+// neverFailsWriter reports whether t is (a pointer to) a writer type
+// whose Write never returns a non-nil error.
+func neverFailsWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// callName renders a readable name for the called function.
+func callName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(fun)
+	}
+	return "call"
+}

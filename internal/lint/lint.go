@@ -1,0 +1,226 @@
+// Package lint implements mpdp-lint, a domain-specific static-analysis
+// pass that mechanically enforces the simulator's determinism and
+// concurrency contracts. The whole value of the reproduction rests on
+// bit-reproducible, seed-driven runs; the contracts that guarantee that
+// property (no wall clock in simulation code, no unsorted map iteration
+// feeding results, per-entity RNG streams never shared across goroutines,
+// no blocking under a held lock, no swallowed errors, no packet use after
+// hand-off) are checked here rather than left to code review.
+//
+// The driver is built only on go/ast, go/parser and go/types, consistent
+// with the module's zero-dependency go.mod. Deliberate exceptions are
+// annotated in source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Finding is one reported contract violation.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the canonical "file:line: [analyzer] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+}
+
+// An Analyzer checks one contract over a single package.
+type Analyzer struct {
+	// Name is the identifier used in output and //lint:allow pragmas.
+	Name string
+	// Doc is the one-line contract description shown by -list.
+	Doc string
+	// Scoped reports whether the analyzer applies to the package at
+	// path; nil means it applies everywhere.
+	Scoped func(path string) bool
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is a fully loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzers returns the full catalog in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		MapOrderAnalyzer,
+		RandShareAnalyzer,
+		LockHeldAnalyzer,
+		ErrorEatAnalyzer,
+		PacketReuseAnalyzer,
+	}
+}
+
+// Config selects which analyzers run and how findings are filtered.
+type Config struct {
+	// Analyzers to run; nil means Analyzers().
+	Analyzers []*Analyzer
+	// IgnoreScope disables per-analyzer package scoping, so every
+	// analyzer runs on every package (used by the golden tests, whose
+	// fixture packages live under testdata/ rather than internal/).
+	IgnoreScope bool
+}
+
+// Run applies the configured analyzers to pkg and returns the surviving
+// findings, sorted by file, line and analyzer. Findings suppressed by a
+// //lint:allow pragma on the same or the preceding line are dropped.
+func Run(cfg Config, pkg *Package) []Finding {
+	analyzers := cfg.Analyzers
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	allows := collectAllows(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		if !cfg.IgnoreScope && a.Scoped != nil && !a.Scoped(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		pass.report = func(f Finding) {
+			if allows.allowed(a.Name, f.File, f.Line) {
+				return
+			}
+			out = append(out, f)
+		}
+		a.Run(pass)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// allowSet indexes //lint:allow pragmas by analyzer, file and line.
+type allowSet map[string]map[int]bool // "analyzer\x00file" -> lines
+
+func (s allowSet) allowed(analyzer, file string, line int) bool {
+	lines := s[analyzer+"\x00"+file]
+	return lines[line] || lines[line-1]
+}
+
+// collectAllows scans every comment in the package for allow pragmas.
+// The pragma form is "//lint:allow <analyzer> <reason>"; the reason is
+// mandatory so exceptions stay self-documenting.
+func collectAllows(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // reason missing: pragma is ignored
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fields[0] + "\x00" + pos.Filename
+				if set[key] == nil {
+					set[key] = map[int]bool{}
+				}
+				set[key][pos.Line] = true
+			}
+		}
+	}
+	return set
+}
+
+// RelativizeFindings rewrites absolute file paths relative to base for
+// stable output; paths outside base are left untouched.
+func RelativizeFindings(findings []Finding, base string) {
+	for i := range findings {
+		if rel, err := filepath.Rel(base, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+		}
+	}
+}
+
+// simPackages are the import-path prefixes holding simulation code, where
+// the determinism contract (no wall clock, no math/rand) is absolute.
+// internal/live bridges to real time by design and is deliberately absent.
+var simPackages = []string{
+	"mpdp/internal/core",
+	"mpdp/internal/vnet",
+	"mpdp/internal/nf",
+	"mpdp/internal/experiment",
+	"mpdp/internal/workload",
+	"mpdp/internal/queueing",
+	"mpdp/internal/stats",
+	"mpdp/internal/fault",
+	"mpdp/internal/invariant",
+	"mpdp/internal/sim",
+	"mpdp/internal/packet",
+}
+
+func inSimScope(path string) bool {
+	for _, p := range simPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func inInternalScope(path string) bool {
+	return strings.HasPrefix(path, "mpdp/internal/")
+}

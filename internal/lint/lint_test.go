@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// loadFixture type-checks one testdata package and runs a single analyzer
+// over it with scoping disabled (fixture packages live under testdata/,
+// outside every analyzer's natural scope).
+func loadFixture(t *testing.T, a *Analyzer) []Finding {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", a.Name)
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	findings := Run(Config{Analyzers: []*Analyzer{a}, IgnoreScope: true}, pkg)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("Abs: %v", err)
+	}
+	RelativizeFindings(findings, abs)
+	return findings
+}
+
+// TestGolden checks every analyzer against its fixture package: seeded
+// violations must be reported, clean idioms must not, and pragma-
+// annotated lines must be suppressed. Run with -update to regenerate.
+func TestGolden(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			findings := loadFixture(t, a)
+			var b strings.Builder
+			for _, f := range findings {
+				fmt.Fprintf(&b, "%s\n", f)
+			}
+			got := b.String()
+			golden := filepath.Join("testdata", "src", a.Name, a.Name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatalf("writing golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run `go test -run Golden -update ./internal/lint` to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			if got == "" {
+				t.Errorf("fixture for %s produced no findings; the positive cases are not firing", a.Name)
+			}
+		})
+	}
+}
+
+// TestGoldenSuppression asserts each fixture exercises a pragma: the
+// function named "allowed" must contain a violation that the golden file
+// does NOT list.
+func TestGoldenSuppression(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", "src", a.Name, a.Name+".go"))
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			if !strings.Contains(string(src), "//lint:allow "+a.Name) {
+				t.Fatalf("fixture has no //lint:allow %s pragma case", a.Name)
+			}
+		})
+	}
+}
+
+// TestPragmaRequiresReason checks that a pragma without a reason does not
+// suppress, and a pragma naming a different analyzer does not suppress.
+func TestPragmaRequiresReason(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", "pragma")
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	findings := Run(Config{Analyzers: []*Analyzer{DeterminismAnalyzer}, IgnoreScope: true}, pkg)
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings (reason-less and wrong-analyzer pragmas must not suppress), got %d: %v", len(findings), findings)
+	}
+}
+
+// TestAnalyzerCatalog pins the catalog shape the -list flag and the
+// documentation rely on.
+func TestAnalyzerCatalog(t *testing.T) {
+	as := Analyzers()
+	if len(as) < 6 {
+		t.Fatalf("catalog has %d analyzers, want >= 6", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.ToLower(a.Name) != a.Name || strings.ContainsAny(a.Name, " \t") {
+			t.Errorf("analyzer name %q must be lowercase with no spaces (pragma syntax)", a.Name)
+		}
+	}
+}
+
+// TestFindingFormats pins the text and JSON output forms.
+func TestFindingFormats(t *testing.T) {
+	f := Finding{File: "a/b.go", Line: 7, Col: 3, Analyzer: "maporder", Message: "msg"}
+	if got, want := f.String(), "a/b.go:7: [maporder] msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, key := range []string{`"file"`, `"line"`, `"col"`, `"analyzer"`, `"message"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON %s missing key %s", data, key)
+		}
+	}
+}
+
+// TestExpandPatterns checks wildcard expansion skips testdata and finds
+// this package.
+func TestExpandPatterns(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dirs, err := ExpandPatterns([]string{loader.ModRoot + "/..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	var hasLint, hasTestdata bool
+	for _, d := range dirs {
+		if strings.HasSuffix(d, filepath.Join("internal", "lint")) {
+			hasLint = true
+		}
+		if strings.Contains(d, "testdata") {
+			hasTestdata = true
+		}
+	}
+	if !hasLint {
+		t.Errorf("expansion missed internal/lint: %v", dirs)
+	}
+	if hasTestdata {
+		t.Errorf("expansion descended into testdata: %v", dirs)
+	}
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader resolves import paths and type-checks packages using only the
+// standard library. Module-internal packages ("mpdp/...") are mapped to
+// directories under the repository root; everything else is expected to be
+// standard library and is resolved through GOROOT. Dependency packages are
+// checked with IgnoreFuncBodies for speed — only the packages under
+// analysis get full bodies and a populated types.Info.
+//
+// The zero-dependency go.mod is what makes this feasible: every import is
+// either stdlib or module-local, so no module graph resolution is needed.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string // directory containing go.mod
+	ModPath string // module path, e.g. "mpdp"
+
+	ctxt build.Context
+	deps map[string]*types.Package // dependency cache, by import path
+	gc   types.Importer            // fallback source importer for stdlib
+}
+
+// NewLoader locates the enclosing module starting from dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	ctxt := build.Default
+	// Force the pure-Go build so stdlib packages select their cgo-free
+	// variants; the linter never needs to run the cgo tool.
+	ctxt.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		ctxt:    ctxt,
+		deps:    map[string]*types.Package{},
+		gc:      importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// dirFor maps an import path to a directory, or "" if it is not
+// module-local.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModPath {
+		return l.ModRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// PathFor maps a directory under the module root to its import path.
+func (l *Loader) PathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	if abs == l.ModRoot {
+		return l.ModPath, nil
+	}
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModRoot)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Import implements types.Importer for dependency resolution during
+// type-checking. Results are cached and checked without function bodies.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	var (
+		pkg *types.Package
+		err error
+	)
+	if dir := l.dirFor(path); dir != "" {
+		pkg, _, _, err = l.check(path, dir, false)
+	} else {
+		// Standard library: type-check from GOROOT source, skipping
+		// function bodies.
+		bp, berr := l.ctxt.Import(path, l.ModRoot, 0)
+		if berr != nil {
+			return nil, berr
+		}
+		pkg, _, _, err = l.checkFiles(path, bp.Dir, bp.GoFiles, false)
+		if err != nil {
+			// Some low-level runtime packages resist source
+			// type-checking; fall back to the stdlib source importer
+			// which knows their special cases.
+			if p, gerr := l.gc.Import(path); gerr == nil {
+				pkg, err = p, nil
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	l.deps[path] = pkg
+	return pkg, nil
+}
+
+// Load fully type-checks the package in dir (non-test files only) and
+// returns the material a Pass needs.
+func (l *Loader) Load(dir string) (*Package, error) {
+	path, err := l.PathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, files, info, err := l.check(path, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}
+
+// check lists the buildable non-test files in dir and type-checks them.
+func (l *Loader) check(path, dir string, full bool) (*types.Package, []*ast.File, *types.Info, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	return l.checkFiles(path, dir, bp.GoFiles, full)
+}
+
+func (l *Loader) checkFiles(path, dir string, names []string, full bool) (*types.Package, []*ast.File, *types.Info, error) {
+	sort.Strings(names)
+	mode := parser.SkipObjectResolution
+	if full {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	var info *types.Info
+	if full {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: !full,
+		FakeImportC:      true,
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return pkg, files, info, nil
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeldAnalyzer flags channel operations (send, receive, select, range
+// over a channel) and WaitGroup/Cond waits executed while a sync.Mutex or
+// sync.RWMutex is held in the enclosing function. Blocking under a lock is
+// the classic recipe for the deadlocks and convoy effects that show up
+// only as rare tail-latency artifacts — exactly what this project cannot
+// tolerate in its measurement pipeline.
+//
+// The analysis is a straight-line scan per function: a lock is considered
+// held from its Lock()/RLock() statement until the matching
+// Unlock()/RUnlock() in the same statement sequence; a deferred unlock
+// holds until function exit by definition.
+var LockHeldAnalyzer = &Analyzer{
+	Name:   "lockheld",
+	Doc:    "flag channel ops or blocking waits while a sync.Mutex/RWMutex is held in the enclosing function",
+	Scoped: nil,
+	Run:    runLockHeld,
+}
+
+func runLockHeld(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanLockRegion(pass, n.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				scanLockRegion(pass, n.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+}
+
+// syncMethod returns the method name if call is a selector call resolving
+// to a method of package sync (covers embedded mutexes too), plus the
+// receiver expression's printed form as a stable key.
+func syncMethod(pass *Pass, call *ast.CallExpr) (name, recv string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return fn.Name(), types.ExprString(sel.X)
+}
+
+// scanLockRegion walks a statement list in order, tracking which mutexes
+// are held, and recursing into nested control flow with a copy of the
+// held set. Function literals are skipped: their bodies run on their own
+// goroutine or at defer time, not under the current lock scope (deferred
+// unlock literals are handled explicitly).
+func scanLockRegion(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				switch name, recv := syncMethod(pass, call); name {
+				case "Lock", "RLock":
+					held[recv] = true
+					continue
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// `defer mu.Unlock()` or `defer func() { mu.Unlock() }()`
+			// keeps the lock held to function exit; nothing to do — the
+			// held set already reflects that. Skip inspection of the
+			// deferred call itself.
+			continue
+		}
+		if len(held) > 0 {
+			reportBlockingOps(pass, stmt, held)
+		}
+		// Recurse into nested statement lists with an independent copy,
+		// so a lock taken inside a branch does not leak out.
+		for _, list := range nestedStmtLists(stmt) {
+			scanLockRegion(pass, list, copyHeld(held))
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// nestedStmtLists returns the statement lists directly nested in stmt.
+func nestedStmtLists(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, nestedStmtLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(s.Stmt)...)
+	}
+	return out
+}
+
+// reportBlockingOps inspects one statement (shallowly — nested blocks are
+// handled by the recursive scan, function literals escape the lock scope)
+// for operations that can block while held locks are outstanding.
+func reportBlockingOps(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	locks := heldNames(held)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			return false // covered by the recursive scan
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while %s is held; blocking under a lock risks deadlock and convoying", locks)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(), "channel receive while %s is held; blocking under a lock risks deadlock and convoying", locks)
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select while %s is held; blocking under a lock risks deadlock and convoying", locks)
+			return false
+		case *ast.CallExpr:
+			if name, recv := syncMethod(pass, n); name == "Wait" {
+				pass.Reportf(n.Pos(), "%s.Wait() while %s is held; blocking under a lock risks deadlock and convoying", recv, locks)
+			}
+		}
+		return true
+	})
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrderAnalyzer flags map iterations whose bodies have order-dependent
+// effects. Go randomizes map iteration order per run, so any map loop that
+// appends to a slice, writes output, sends on a channel, or feeds another
+// simulator component produces seed-unstable results unless the keys are
+// sorted first.
+//
+// The canonical sorted-iteration idiom stays clean: a loop that only
+// collects the keys into a slice (for later sorting) is exempt, as are
+// loops whose bodies are commutative (counting, summing into scalars,
+// writing into another map).
+var MapOrderAnalyzer = &Analyzer{
+	Name:   "maporder",
+	Doc:    "flag map iteration with order-dependent effects (append, output, channel send, engine/policy calls); sort keys first",
+	Scoped: nil,
+	Run:    runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		sorted := collectSortCalls(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			keyObj := loopVarObj(pass, rs.Key)
+			if effect, pos := orderDependentEffect(pass, rs.Body, keyObj, sorted); effect != "" {
+				pass.Reportf(pos, "map iteration body %s; iterate over sorted keys instead", effect)
+			}
+			return true
+		})
+	}
+}
+
+// sortCalls records, per slice variable, the positions where it is passed
+// to a sort.*/slices.Sort* call. An order-dependent append into a slice
+// that is sorted afterwards is the sanctioned collect-then-sort idiom
+// (the comparator must impose a total order for the result to be
+// deterministic — that part stays on the reviewer).
+type sortCalls map[types.Object][]token.Pos
+
+func (s sortCalls) sortedAfter(obj types.Object, pos token.Pos) bool {
+	for _, p := range s[obj] {
+		if p > pos {
+			return true
+		}
+	}
+	return false
+}
+
+func collectSortCalls(pass *Pass, file *ast.File) sortCalls {
+	out := sortCalls{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		name := obj.Name()
+		if !strings.HasPrefix(name, "Sort") && !strings.HasPrefix(name, "Slice") &&
+			name != "Strings" && name != "Ints" && name != "Float64s" && name != "Stable" && name != "Sort" {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok {
+			if target := pass.Info.Uses[arg]; target != nil {
+				out[target] = append(out[target], call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// loopVarObj resolves the object bound to a range loop variable.
+func loopVarObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+// orderDependentEffect scans a map-loop body for the first construct whose
+// outcome depends on iteration order and describes it.
+func orderDependentEffect(pass *Pass, body *ast.BlockStmt, keyObj types.Object, sorted sortCalls) (string, token.Pos) {
+	var effect string
+	var at token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			effect, at = "sends on a channel", n.Pos()
+			return false
+		case *ast.CallExpr:
+			if isKeyCollectAppend(pass, n, keyObj) {
+				return false // sorted-iteration idiom, first half
+			}
+			if isSortedAfterAppend(pass, n, sorted) {
+				return false // collect-then-sort idiom
+			}
+			if name, ok := orderDependentCall(pass, n); ok {
+				effect, at = name, n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return effect, at
+}
+
+// isSortedAfterAppend recognizes `s = append(s, ...)` where s is passed to
+// a sort call after the append.
+func isSortedAfterAppend(pass *Pass, call *ast.CallExpr, sorted sortCalls) bool {
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if b, ok := pass.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	target, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[target]
+	return obj != nil && sorted.sortedAfter(obj, call.Pos())
+}
+
+// isKeyCollectAppend recognizes `keys = append(keys, k)` where k is the
+// loop key: the standard way to gather keys before sorting them.
+func isKeyCollectAppend(pass *Pass, call *ast.CallExpr, keyObj types.Object) bool {
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || keyObj == nil {
+		return false
+	}
+	if b, ok := pass.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) != 2 {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && pass.Info.Uses[arg] == keyObj
+}
+
+// orderDependentCall classifies calls whose effect depends on the order
+// they are made in.
+func orderDependentCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+			return "appends to a slice", true
+		}
+	case *ast.SelectorExpr:
+		obj := pass.Info.Uses[fun.Sel]
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint")) {
+			return "writes output with fmt." + obj.Name(), true
+		}
+		switch fun.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Printf", "Print", "Println":
+			return "writes output via " + fun.Sel.Name, true
+		}
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			if name, ok := crossPackageMutator(pass, sel); ok {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// crossPackageMutator reports method calls that feed state into another
+// simulator package (engine, policy, stats sink, ...). Argument-less
+// methods are treated as read-only accessors and ignored; anything taking
+// parameters is assumed to record or mutate, which is order-sensitive for
+// components like P² estimators and Welford accumulators.
+func crossPackageMutator(pass *Pass, sel *types.Selection) (string, bool) {
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if !strings.HasPrefix(path, "mpdp/") || path == pass.Pkg.Path() {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return "", false
+	}
+	short := path[strings.LastIndex(path, "/")+1:]
+	return "calls " + short + "." + fn.Name() + " (state fed to another simulator package)", true
+}

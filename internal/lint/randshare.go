@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RandShareAnalyzer flags *xrand.Rand values that can escape to another
+// goroutine: captured by a `go func` literal, or stored in a struct that
+// is sent on a channel. A Rand is documented as not safe for concurrent
+// use, and sharing one across goroutines both races and destroys the
+// per-entity stream discipline that seed-determinism depends on. The fix
+// is always the same: hand the goroutine its own stream via Split().
+var RandShareAnalyzer = &Analyzer{
+	Name:   "randshare",
+	Doc:    "flag *xrand.Rand captured by go-routines or shipped through channels; derive a Split() stream per goroutine",
+	Scoped: nil,
+	Run:    runRandShare,
+}
+
+const xrandPath = "mpdp/internal/xrand"
+
+// isXrandPtr reports whether t is *xrand.Rand.
+func isXrandPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && obj.Pkg() != nil && obj.Pkg().Path() == xrandPath
+}
+
+func runRandShare(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoCapture(pass, lit)
+				}
+			case *ast.SendStmt:
+				checkChannelSend(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkGoCapture reports free *xrand.Rand variables referenced inside a
+// goroutine's function literal.
+func checkGoCapture(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !isXrandPtr(obj.Type()) {
+			return true
+		}
+		// Declared outside the literal means captured, not local.
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			pass.Reportf(id.Pos(), "*xrand.Rand %q captured by go func literal; pass a Split() stream instead", id.Name)
+		}
+		return true
+	})
+}
+
+// checkChannelSend reports sends whose payload (or its pointee) carries an
+// *xrand.Rand field — the stream crosses a goroutine boundary with the
+// value.
+func checkChannelSend(pass *Pass, send *ast.SendStmt) {
+	t := pass.Info.TypeOf(send.Value)
+	if t == nil {
+		return
+	}
+	if isXrandPtr(t) {
+		pass.Reportf(send.Pos(), "*xrand.Rand sent on a channel; the receiver must derive its own Split() stream")
+		return
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isXrandPtr(st.Field(i).Type()) {
+			pass.Reportf(send.Pos(), "struct with *xrand.Rand field %q sent on a channel; streams must stay goroutine-local", st.Field(i).Name())
+			return
+		}
+	}
+}

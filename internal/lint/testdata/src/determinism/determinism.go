@@ -1,0 +1,35 @@
+// Package determinism exercises the determinism analyzer: wall-clock
+// reads, timers and math/rand imports must be flagged; simulated-time
+// arithmetic and pragma-annotated exceptions must not.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bad reads the wall clock three ways and starts a timer.
+func bad() time.Duration {
+	t := time.Now()
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
+	return time.Since(t)
+}
+
+// badRand pulls from the global math/rand stream (the import itself is
+// the violation).
+func badRand() int {
+	return rand.Int()
+}
+
+// good uses time only for duration constants, which is fine: no clock is
+// read.
+func good() time.Duration {
+	return 3 * time.Millisecond
+}
+
+// allowed documents a deliberate exception with a pragma.
+func allowed() time.Time {
+	//lint:allow determinism startup banner timestamp, not simulation state
+	return time.Now()
+}

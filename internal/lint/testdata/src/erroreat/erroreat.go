@@ -1,0 +1,42 @@
+// Package erroreat exercises the discarded-error analyzer: calls whose
+// error result is dropped on the floor must be flagged; handled errors
+// and never-failing writers must not.
+package erroreat
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// badDiscard drops os.Remove's error.
+func badDiscard(path string) {
+	os.Remove(path)
+}
+
+// badFprintf drops a write error to a real (fallible) writer.
+func badFprintf(f *os.File) {
+	fmt.Fprintf(f, "hello\n")
+}
+
+// goodHandled propagates the error.
+func goodHandled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+// goodBuilder writes to a strings.Builder, which never fails.
+func goodBuilder() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 42)
+	return b.String()
+}
+
+// allowed documents a deliberate exception.
+func allowed(path string) {
+	//lint:allow erroreat best-effort cleanup of a temp file
+	os.Remove(path)
+}

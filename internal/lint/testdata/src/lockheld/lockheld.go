@@ -1,0 +1,71 @@
+// Package lockheld exercises the blocking-under-lock analyzer: channel
+// operations and waits between Lock and Unlock must be flagged; the same
+// operations outside the critical section must not.
+package lockheld
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// badSend blocks on a channel send while holding mu.
+func badSend(b *box, ch chan int) {
+	b.mu.Lock()
+	ch <- b.n
+	b.mu.Unlock()
+}
+
+// badRecvDeferred holds mu to function exit via defer and then receives.
+func badRecvDeferred(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n = <-ch
+}
+
+// badSelect selects while holding mu.
+func badSelect(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-ch:
+		b.n = v
+	default:
+	}
+}
+
+// badWait waits on a WaitGroup while holding mu.
+func badWait(b *box, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Wait()
+}
+
+// goodAfterUnlock releases the lock before touching the channel.
+func goodAfterUnlock(b *box, ch chan int) {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	ch <- n
+}
+
+// goodBranchScoped takes the lock only inside one branch; the send in the
+// other branch runs unlocked.
+func goodBranchScoped(b *box, ch chan int, locked bool) {
+	if locked {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	} else {
+		ch <- 1
+	}
+}
+
+// allowed documents a deliberate exception.
+func allowed(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:allow lockheld buffered handoff channel, never blocks by construction
+	ch <- b.n
+}

@@ -1,0 +1,81 @@
+// Package maporder exercises the map-iteration analyzer: order-dependent
+// loop bodies must be flagged; the collect-then-sort idioms and
+// commutative bodies must not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"mpdp/internal/stats"
+)
+
+// badAppend materializes values in map order.
+func badAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// badPrint writes output in map order.
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// badSend publishes entries in map order.
+func badSend(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// badObserve feeds a stats sink in map order; percentile estimators are
+// sequence-sensitive.
+func badObserve(m map[string]int64, h *stats.Hist) {
+	for _, v := range m {
+		h.Record(v)
+	}
+}
+
+// goodKeyCollect is the first half of the sorted-iteration idiom.
+func goodKeyCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortedAfter collects values and sorts them before use.
+func goodSortedAfter(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// goodCommutative only sums, which no iteration order can change.
+func goodCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// allowed documents a deliberate exception.
+func allowed(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//lint:allow maporder diagnostic dump, order does not matter
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+// Package pragma exercises pragma edge cases: an allow without a reason
+// and an allow naming the wrong analyzer must both fail to suppress.
+package pragma
+
+import "time"
+
+// noReason has a reason-less pragma, which is ignored by design: every
+// exception must be self-documenting.
+func noReason() time.Time {
+	//lint:allow determinism
+	return time.Now()
+}
+
+// wrongAnalyzer names a different analyzer, so determinism still fires.
+func wrongAnalyzer() time.Time {
+	//lint:allow maporder not the analyzer that fires here
+	return time.Now()
+}

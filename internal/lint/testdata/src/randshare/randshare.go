@@ -1,0 +1,58 @@
+// Package randshare exercises the RNG-sharing analyzer: a *xrand.Rand
+// escaping to another goroutine (closure capture or channel payload) must
+// be flagged; goroutine-local Split() streams must not.
+package randshare
+
+import "mpdp/internal/xrand"
+
+// worker carries per-goroutine state including its RNG stream.
+type worker struct {
+	id  int
+	rng *xrand.Rand
+}
+
+// badCapture shares the parent's stream with a goroutine.
+func badCapture(rng *xrand.Rand, done chan struct{}) {
+	go func() {
+		_ = rng.Uint64()
+		close(done)
+	}()
+}
+
+// badSendStruct ships a stream to whoever reads the channel.
+func badSendStruct(ch chan worker, rng *xrand.Rand) {
+	ch <- worker{id: 1, rng: rng}
+}
+
+// badSendRand ships the stream itself.
+func badSendRand(ch chan *xrand.Rand, rng *xrand.Rand) {
+	ch <- rng
+}
+
+// goodSplit derives an independent stream for the goroutine before
+// launching it; only the child stream is referenced inside.
+func goodSplit(rng *xrand.Rand, done chan struct{}) {
+	child := rng.Split()
+	go func(r *xrand.Rand) {
+		_ = r.Uint64()
+		close(done)
+	}(child)
+}
+
+// goodLocal creates the stream inside the goroutine.
+func goodLocal(done chan struct{}) {
+	go func() {
+		r := xrand.New(7)
+		_ = r.Uint64()
+		close(done)
+	}()
+}
+
+// allowed documents a deliberate exception.
+func allowed(rng *xrand.Rand, done chan struct{}) {
+	go func() {
+		//lint:allow randshare single goroutine, parent provably never touches rng again
+		_ = rng.Uint64()
+		close(done)
+	}()
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTreeIsClean runs the full default analyzer suite over the real
+// module — the same gate `make lint` and CI enforce — and requires zero
+// findings. Any contract violation introduced anywhere in the tree fails
+// this test before it ever reaches CI.
+func TestTreeIsClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dirs, err := ExpandPatterns([]string{loader.ModRoot + "/..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	if len(dirs) < 15 {
+		t.Fatalf("only %d package dirs found under %s; expansion is broken", len(dirs), loader.ModRoot)
+	}
+	findings, err := LintDirs(loader, Config{}, dirs)
+	if err != nil {
+		t.Fatalf("LintDirs: %v", err)
+	}
+	if len(findings) > 0 {
+		var b strings.Builder
+		for _, f := range findings {
+			b.WriteString("\n  ")
+			b.WriteString(f.String())
+		}
+		t.Errorf("tree has %d lint finding(s):%s", len(findings), b.String())
+	}
+}
+
+// TestDocsCoverAnalyzers is the DESIGN.md doc test: the "Static
+// contracts" section must name every analyzer in the catalog and document
+// the pragma syntax, and the README must mention `make lint` in the dev
+// workflow.
+func TestDocsCoverAnalyzers(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	design, err := os.ReadFile(filepath.Join(loader.ModRoot, "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	text := string(design)
+	if !strings.Contains(text, "Static contracts") {
+		t.Errorf("DESIGN.md has no \"Static contracts\" section")
+	}
+	if !strings.Contains(text, "//lint:allow") {
+		t.Errorf("DESIGN.md does not document the //lint:allow pragma syntax")
+	}
+	for _, a := range Analyzers() {
+		if !strings.Contains(text, a.Name) {
+			t.Errorf("DESIGN.md does not mention analyzer %q", a.Name)
+		}
+	}
+	readme, err := os.ReadFile(filepath.Join(loader.ModRoot, "README.md"))
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	if !strings.Contains(string(readme), "make lint") {
+		t.Errorf("README.md does not mention `make lint`")
+	}
+}

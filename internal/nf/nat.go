@@ -3,6 +3,7 @@ package nf
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"mpdp/internal/packet"
 	"mpdp/internal/sim"
@@ -191,18 +192,22 @@ func (n *NAT) allocPort(now sim.Time) (uint16, bool) {
 }
 
 // Expire reclaims mappings idle past Timeout. Returns how many were freed.
+// Reclaimed ports are returned to the free list in ascending order: the
+// free list feeds allocPort, so appending in map-iteration order would
+// make subsequent port assignments differ from run to run.
 func (n *NAT) Expire(now sim.Time) int {
-	freed := 0
+	var freedPorts []uint16
 	for k, e := range n.forward {
 		if now-e.lastSeen > n.Timeout {
 			delete(n.forward, k)
 			delete(n.reverse, e.extPort)
-			n.free = append(n.free, e.extPort)
+			freedPorts = append(freedPorts, e.extPort)
 			n.expired++
-			freed++
 		}
 	}
-	return freed
+	sort.Slice(freedPorts, func(i, j int) bool { return freedPorts[i] < freedPorts[j] })
+	n.free = append(n.free, freedPorts...)
+	return len(freedPorts)
 }
 
 // Mappings returns the number of live translations.

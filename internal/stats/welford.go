@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Welford accumulates mean and variance in one numerically stable pass.
 // The zero value is an empty accumulator ready for use.
@@ -127,11 +130,6 @@ func (s *WindowSeries) Points() []WindowPoint {
 	for bin, h := range s.bins {
 		out = append(out, WindowPoint{Start: bin * s.window, Hist: h})
 	}
-	// Insertion sort: bins are few (timeline windows).
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j-1].Start > out[j].Start; j-- {
-			out[j-1], out[j] = out[j], out[j-1]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }
