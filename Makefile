@@ -56,4 +56,4 @@ examples:
 	$(GO) run ./examples/tenantgateway
 
 clean:
-	rm -f results.csv test_output.txt bench_output.txt
+	rm -f results.csv suite_output.txt

@@ -7,6 +7,14 @@
 //	mpdp-bench -exp all -quick      # whole suite, reduced horizons
 //	mpdp-bench -exp E7 -csv out.csv # also write CSV
 //	mpdp-bench -list                # list experiment IDs
+//
+// Diagnostic profile mode (-exemplars K) runs one instrumented simulation
+// with the flight recorder on and reports where the K slowest packets'
+// latency went, instead of running the E-series registry:
+//
+//	mpdp-bench -exemplars 8                    # attribution report
+//	mpdp-bench -exemplars 8 -chrome tail.json  # + Perfetto-viewable trace
+//	mpdp-bench -exemplars 8 -events run.obs    # + raw event stream (mpdp-inspect)
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"time"
 
 	"mpdp/internal/experiment"
+	"mpdp/internal/obs"
 )
 
 func main() {
@@ -30,9 +39,24 @@ func main() {
 		plot   = flag.Bool("plot", false, "also render figures as ASCII charts")
 		check  = flag.Bool("check", false, "run the headline shape checks and exit (nonzero on violation)")
 		verify = flag.Bool("verify", false, "attach the end-to-end invariant checker to every run (fails on any violation)")
+
+		exemplars   = flag.Int("exemplars", 0, "profile mode: keep the K slowest packets and report tail attribution")
+		events      = flag.String("events", "", "profile mode: write the recorded event stream (MPDPOBS1) to this file")
+		chrome      = flag.String("chrome", "", "profile mode: write exemplar timelines as Chrome trace-event JSON")
+		exemplarCSV = flag.String("exemplar-csv", "", "profile mode: write the exemplar latency decomposition as CSV")
+		policy      = flag.String("policy", "mpdp", "profile mode: steering policy")
+		intf        = flag.String("interference", "moderate", "profile mode: interference level (none/light/moderate/heavy)")
 	)
 	flag.Parse()
 	experiment.SetVerify(*verify)
+
+	if *exemplars > 0 {
+		if err := runProfile(*exemplars, *seed, *quick, *plot, *csv, *events, *chrome, *exemplarCSV, *policy, *intf); err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *check {
 		bad, err := experiment.CheckShapes(experiment.SuiteOpts{Seed: *seed})
@@ -117,4 +141,67 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runProfile executes the diagnostic profile run and writes the requested
+// artifacts.
+func runProfile(k int, seed uint64, quick, plot bool, csvPath, eventsPath, chromePath, exemplarCSVPath, policy, interference string) error {
+	start := time.Now()
+	out, err := experiment.Profile(experiment.ProfileOpts{
+		Seed: seed, Exemplars: k,
+		Policy: policy, Interference: interference,
+		Quick: quick,
+	})
+	if err != nil {
+		return err
+	}
+	if err := out.Result.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := out.Report.Render(os.Stdout); err != nil {
+		return err
+	}
+	if plot {
+		for i := range out.Result.Figures {
+			fmt.Println()
+			if err := out.Result.Figures[i].Plot(os.Stdout, 72, 20); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("(profile wall time: %v)\n", time.Since(start).Round(time.Millisecond))
+
+	writeFile := func(path string, write func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if err := writeFile(eventsPath, func(f *os.File) error {
+		return obs.WriteAll(f, out.Events)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(chromePath, func(f *os.File) error {
+		return obs.WriteChromeTrace(f, out.Exemplars)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(exemplarCSVPath, func(f *os.File) error {
+		return obs.WriteExemplarCSV(f, out.Exemplars)
+	}); err != nil {
+		return err
+	}
+	return writeFile(csvPath, func(f *os.File) error {
+		return out.Result.CSV(f)
+	})
 }

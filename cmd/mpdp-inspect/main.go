@@ -1,0 +1,210 @@
+// mpdp-inspect reads a recorded flight-recorder event stream (MPDPOBS1,
+// written by mpdp-bench -events or obs.Recorder.WriteTo) and prints what
+// happened: stream summary, per-lane utilization, tail attribution, and
+// per-packet timelines.
+//
+// Usage:
+//
+//	mpdp-inspect run.obs                 # summary + lane table + attribution
+//	mpdp-inspect -top 16 run.obs         # widen the attribution report
+//	mpdp-inspect -timelines 3 run.obs    # also print the 3 slowest timelines
+//	mpdp-inspect -pkt 2552 run.obs       # full timeline of one packet
+//	mpdp-inspect -chrome tail.json run.obs  # export exemplars for Perfetto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mpdp/internal/obs"
+	"mpdp/internal/sim"
+)
+
+func main() {
+	var (
+		top       = flag.Int("top", 8, "exemplars to keep for the attribution report")
+		timelines = flag.Int("timelines", 0, "print full event timelines for the N slowest packets")
+		pkt       = flag.Uint64("pkt", 0, "print the full timeline of this packet (orig ID) and exit")
+		chrome    = flag.String("chrome", "", "export exemplar timelines as Chrome trace-event JSON")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail("usage: mpdp-inspect [flags] <events.obs>")
+	}
+	path := flag.Arg(0)
+
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	events, err := obs.ReadAll(f)
+	f.Close()
+	if err != nil {
+		fail("reading %s: %v", path, err)
+	}
+	if len(events) == 0 {
+		fail("%s holds no events", path)
+	}
+
+	if *pkt != 0 {
+		printPacketTimeline(events, *pkt)
+		return
+	}
+
+	printSummary(path, events)
+	fmt.Println()
+	printLanes(events)
+	fmt.Println()
+
+	// Rebuild exemplars by replaying the stream through the same collector
+	// the live engine uses.
+	coll := obs.NewCollector(*top)
+	for _, ev := range events {
+		coll.Emit(ev)
+	}
+	exemplars := coll.Exemplars()
+	if err := obs.BuildReport(exemplars).Render(os.Stdout); err != nil {
+		fail("%v", err)
+	}
+
+	for i := 0; i < *timelines && i < len(exemplars); i++ {
+		fmt.Println()
+		fmt.Printf("timeline of #%d (orig %d):\n", i+1, exemplars[i].OrigID)
+		printEvents(exemplars[i].Events)
+	}
+
+	if *chrome != "" {
+		cf, err := os.Create(*chrome)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := obs.WriteChromeTrace(cf, exemplars); err != nil {
+			cf.Close()
+			fail("writing %s: %v", *chrome, err)
+		}
+		if err := cf.Close(); err != nil {
+			fail("closing %s: %v", *chrome, err)
+		}
+		fmt.Printf("\nwrote %d exemplar timelines to %s\n", len(exemplars), *chrome)
+	}
+}
+
+// printSummary reports the stream's span and per-kind event counts.
+func printSummary(path string, events []obs.Event) {
+	span := events[len(events)-1].Time - events[0].Time
+	packets := make(map[uint64]bool)
+	flows := make(map[uint64]bool)
+	counts := make([]int, obs.NumKinds)
+	for _, ev := range events {
+		counts[ev.Kind]++
+		if ev.Kind != obs.KindHealth {
+			packets[ev.OrigID] = true
+			flows[ev.FlowID] = true
+		}
+	}
+	fmt.Printf("stream %s:\n", path)
+	fmt.Printf("  events   %d spanning %v (t=%v..%v)\n",
+		len(events), sim.Duration(span), events[0].Time, events[len(events)-1].Time)
+	fmt.Printf("  packets  %d across %d flows\n", len(packets), len(flows))
+	for k := 0; k < obs.NumKinds; k++ {
+		if counts[k] > 0 {
+			fmt.Printf("  %-16s %d\n", obs.Kind(k).String(), counts[k])
+		}
+	}
+}
+
+// printLanes reports per-lane activity: copies enqueued/served/dropped and
+// the lane's busy fraction over the stream's span (sum of service times).
+func printLanes(events []obs.Event) {
+	type laneStat struct {
+		enq, served, drops int
+		busy               sim.Duration
+	}
+	lanes := make(map[int32]*laneStat)
+	get := func(i int32) *laneStat {
+		ls, ok := lanes[i]
+		if !ok {
+			ls = &laneStat{}
+			lanes[i] = ls
+		}
+		return ls
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindEnqueue:
+			get(ev.Path).enq++
+		case obs.KindService:
+			ls := get(ev.Path)
+			ls.served++
+			ls.busy += sim.Duration(int64(ev.Time) - ev.A)
+		case obs.KindDrop:
+			if ev.Path >= 0 {
+				get(ev.Path).drops++
+			}
+		}
+	}
+	span := sim.Duration(events[len(events)-1].Time - events[0].Time)
+	ids := make([]int32, 0, len(lanes))
+	for i := range lanes {
+		ids = append(ids, i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	fmt.Println("lane  enqueued  served  drops  busy%")
+	for _, i := range ids {
+		ls := lanes[i]
+		busyPct := 0.0
+		if span > 0 {
+			busyPct = 100 * float64(ls.busy) / float64(span)
+		}
+		fmt.Printf("%4d  %8d  %6d  %5d  %5.1f\n", i, ls.enq, ls.served, ls.drops, busyPct)
+	}
+}
+
+// printPacketTimeline prints every event of one original packet.
+func printPacketTimeline(events []obs.Event, orig uint64) {
+	var evs []obs.Event
+	for _, ev := range events {
+		if ev.Kind != obs.KindHealth && ev.OrigID == orig {
+			evs = append(evs, ev)
+		}
+	}
+	if len(evs) == 0 {
+		fail("packet %d does not appear in the stream", orig)
+	}
+	fmt.Printf("packet %d (flow %x, seq %d): %d events\n",
+		orig, evs[0].FlowID, evs[0].Seq, len(evs))
+	printEvents(evs)
+}
+
+// printEvents renders a timeline, one event per line, with deltas from the
+// first event.
+func printEvents(evs []obs.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	t0 := evs[0].Time
+	for _, ev := range evs {
+		detail := ""
+		switch ev.Kind {
+		case obs.KindIngress:
+			detail = fmt.Sprintf("size=%dB", ev.A)
+		case obs.KindSteer:
+			detail = fmt.Sprintf("copies=%d canary=%d", ev.A, ev.B)
+		case obs.KindService:
+			detail = fmt.Sprintf("started=+%v verdict=%d", sim.Duration(sim.Time(ev.A)-t0), ev.B)
+		case obs.KindReorderRelease:
+			detail = fmt.Sprintf("entered=+%v timeout=%d", sim.Duration(sim.Time(ev.A)-t0), ev.B)
+		case obs.KindDrop:
+			detail = fmt.Sprintf("reason=%d conclusive=%d", ev.A, ev.B)
+		}
+		fmt.Printf("  +%-12v %-16s lane=%-3d copy=%-6d %s\n",
+			sim.Duration(ev.Time-t0), ev.Kind.String(), ev.Path, ev.PktID, detail)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpdp-inspect: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -8,11 +8,17 @@
 //
 //	mpdp-live -paths 4 -policy flowlet -packets 2000000
 //	mpdp-live -paths 8 -chain 5 -payload 1400
+//	mpdp-live -listen :9090 -rate 200000   # watch at /metrics, /metrics.json
+//
+// With -listen, the engine's counter registry is served over HTTP while
+// the run is in flight: /metrics is Prometheus text exposition,
+// /metrics.json an expvar-style JSON snapshot with per-second rates.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
@@ -34,6 +40,8 @@ func main() {
 		flows   = flag.Int("flows", 64, "distinct flows")
 		rate    = flag.Int("rate", 0, "offered packets/sec (0 = as fast as possible)")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		listen  = flag.String("listen", "", "serve live metrics over HTTP on this address (e.g. :9090)")
+		hold    = flag.Duration("hold", 0, "with -listen: keep serving this long after the run completes")
 	)
 	flag.Parse()
 
@@ -63,6 +71,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpdp-live: %v\n", err)
 		os.Exit(1)
+	}
+
+	var sampler *live.MetricsSampler
+	if *listen != "" {
+		sampler = live.NewMetricsSampler(e.Metrics(), time.Second, 300)
+		defer sampler.Stop()
+		srv := &http.Server{Addr: *listen, Handler: live.MetricsHandler(e.Metrics(), sampler)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "mpdp-live: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving metrics on %s (/metrics, /metrics.json)\n", *listen)
 	}
 
 	start := time.Now()
@@ -101,5 +122,10 @@ func main() {
 		float64(st.Latency.P50)/1000, float64(st.Latency.P99)/1000, float64(st.Latency.P999)/1000)
 	for i, served := range st.PerLane {
 		fmt.Printf("  lane %d served %d\n", i, served)
+	}
+
+	if *listen != "" && *hold > 0 {
+		fmt.Printf("holding metrics endpoint open for %v\n", *hold)
+		time.Sleep(*hold)
 	}
 }

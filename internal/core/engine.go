@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpdp/internal/nf"
+	"mpdp/internal/obs"
 	"mpdp/internal/packet"
 	"mpdp/internal/sim"
 	"mpdp/internal/vnet"
@@ -69,6 +70,13 @@ type Config struct {
 	// Health tunes the path-health state machine (zero values take
 	// defaults; Health.Disable turns it off).
 	Health HealthConfig
+
+	// Trace, when non-nil, receives the engine's flight-recorder event
+	// stream (see internal/obs): per-packet lifecycle events plus path
+	// health transitions. Sinks observe only — attaching one changes no
+	// run outcome — and every event field is virtual-time-derived, so the
+	// stream is byte-identical across runs of the same seed.
+	Trace obs.Sink
 }
 
 // Observer receives the engine's per-packet lifecycle events: exactly one
@@ -97,6 +105,7 @@ type DataPlane struct {
 	dups   map[uint64]*dupGroup
 
 	observer Observer
+	trace    obs.Sink
 
 	// Health machinery (see health.go). Progression is packet-clocked: the
 	// sweep runs every MaintainEvery ingress packets, so a healthy run
@@ -150,15 +159,18 @@ func New(s *sim.Simulator, cfg Config, sink DeliverFunc) *DataPlane {
 		cfg:       cfg,
 		policy:    cfg.Policy,
 		sink:      sink,
+		trace:     cfg.Trace,
 		seqGen:    make(map[uint64]uint64),
 		dups:      make(map[uint64]*dupGroup),
 		healthCfg: health,
 		metrics:   newMetrics(cfg.TimelineWindow),
 	}
 	dp.reorder = NewReorder(s, cfg.ReorderTimeout, dp.deliver)
+	dp.reorder.trace = cfg.Trace
 	dp.reorder.OnLost(func(p *packet.Packet) {
 		// A straggler the buffer gave up on: conclusively lost.
 		dp.metrics.drops[packet.DropReorder]++
+		dp.emit(obs.KindDrop, p, int32(p.PathID), int64(packet.DropReorder), 1)
 		if dp.observer != nil {
 			dp.observer.PacketLost(p, packet.DropReorder)
 		}
@@ -217,9 +229,54 @@ func (dp *DataPlane) ReorderStats() ReorderStats { return dp.reorder.Stats() }
 // PolicyName returns the active policy's name.
 func (dp *DataPlane) PolicyName() string { return dp.policy.Name() }
 
+// LaneSample reads lane i's instantaneous gauges for the obs sampler.
+// Strictly read-only: sampling never perturbs the run.
+func (dp *DataPlane) LaneSample(i int) obs.LaneSample {
+	ps := dp.paths[i]
+	return obs.LaneSample{
+		Depth:    ps.Depth(),
+		InFlight: ps.health.inflight,
+		Health:   int(ps.health.state),
+		Served:   ps.completed,
+	}
+}
+
 // SetObserver attaches a lifecycle observer (nil detaches). Attach before
 // the first Ingress; events for packets already in flight are not replayed.
 func (dp *DataPlane) SetObserver(o Observer) { dp.observer = o }
+
+// SetTrace attaches a flight-recorder sink (nil detaches). Attach before
+// the first Ingress; events are not replayed.
+func (dp *DataPlane) SetTrace(t obs.Sink) {
+	dp.trace = t
+	dp.reorder.trace = t
+}
+
+// emit is the flight-recorder hook: one nil check when recording is off.
+// Packet identity and the virtual clock supply every field, so the stream
+// is a pure function of the seed.
+func (dp *DataPlane) emit(kind obs.Kind, p *packet.Packet, path int32, a, b int64) {
+	if dp.trace == nil {
+		return
+	}
+	dp.trace.Emit(obs.Event{
+		Time: dp.sim.Now(), Kind: kind,
+		PktID: p.ID, OrigID: p.OrigID, FlowID: p.FlowID, Seq: p.Seq,
+		Path: path, A: a, B: b,
+	})
+}
+
+// setHealth moves path i to state s, emitting the transition.
+func (dp *DataPlane) setHealth(i int, h *pathHealth, s HealthState, now sim.Time) {
+	old := h.state
+	h.setState(s, now)
+	if dp.trace != nil {
+		dp.trace.Emit(obs.Event{
+			Time: now, Kind: obs.KindHealth, Path: int32(i),
+			A: int64(old), B: int64(s),
+		})
+	}
+}
 
 // Ingress admits one packet to the data plane at the current virtual time.
 // The engine assigns identity (ID, FlowID, Seq) and consults the policy.
@@ -240,6 +297,7 @@ func (dp *DataPlane) Ingress(p *packet.Packet) {
 
 	dp.metrics.offered++
 	dp.metrics.offeredBytes += uint64(p.Size())
+	dp.emit(obs.KindIngress, p, -1, int64(p.Size()), 0)
 	if dp.observer != nil {
 		dp.observer.PacketIngress(p)
 	}
@@ -266,15 +324,18 @@ func (dp *DataPlane) Ingress(p *packet.Packet) {
 	// copy, so a canary the sick path swallows or drops costs nothing (the
 	// primary copy still delivers) while a canary it serves is evidence of
 	// recovery. Real traffic, zero sacrifice.
+	canary := int64(0)
 	if dp.numProbing > 0 && len(idxs) == 1 {
 		dp.canaryCount++
 		if dp.canaryCount%uint64(dp.healthCfg.CanaryEvery) == 0 {
 			if pi := dp.nextProbing(); pi >= 0 && pi != idxs[0] {
 				idxs = []int{idxs[0], pi}
 				dp.metrics.canaries++
+				canary = 1
 			}
 		}
 	}
+	dp.emit(obs.KindSteer, p, int32(idxs[0]), int64(len(idxs)), canary)
 
 	if len(idxs) == 1 {
 		dp.send(p, idxs[0], nil)
@@ -292,6 +353,9 @@ func (dp *DataPlane) Ingress(p *packet.Packet) {
 		copies[j] = p.Clone(dp.idGen)
 	}
 	group.copies = copies
+	for j := 1; j < len(copies); j++ {
+		dp.emit(obs.KindDupSent, copies[j], int32(idxs[j]), 0, 0)
+	}
 	for j, i := range idxs {
 		dp.metrics.dupCopies++
 		dp.send(copies[j], i, group)
@@ -307,6 +371,7 @@ func (dp *DataPlane) send(p *packet.Packet, i int, group *dupGroup) {
 	ps.sent++
 	dp.metrics.copiesSent++
 	if ps.Lane.Enqueue(p) {
+		dp.emit(obs.KindEnqueue, p, int32(i), 0, 0)
 		h := &ps.health
 		if h.inflight == 0 {
 			h.pendingSince = dp.sim.Now()
@@ -317,6 +382,7 @@ func (dp *DataPlane) send(p *packet.Packet, i int, group *dupGroup) {
 	// Refused. The engine knows this sequence copy is gone, so punch the
 	// hole (or finish the dup group) immediately.
 	dp.metrics.drops[p.Dropped]++
+	dp.emit(obs.KindDrop, p, int32(i), int64(p.Dropped), 0)
 	if p.Dropped == packet.DropPathFailed && !dp.healthCfg.Disable {
 		// A fail-stop refusal is near-definitive evidence; quarantine as
 		// soon as the threshold allows.
@@ -346,9 +412,11 @@ func (dp *DataPlane) copyGone(p *packet.Packet, group *dupGroup) {
 }
 
 // lost finalizes a packet whose every copy is gone: the reorder stage is
-// told not to wait for it and the observer sees its fate.
+// told not to wait for it and the observer sees its fate. The B=1 drop
+// event marks the loss as conclusive (copy-level drops carry B=0).
 func (dp *DataPlane) lost(p *packet.Packet) {
 	dp.punch(p)
+	dp.emit(obs.KindDrop, p, int32(p.PathID), int64(p.Dropped), 1)
 	if dp.observer != nil {
 		dp.observer.PacketLost(p, p.Dropped)
 	}
@@ -365,6 +433,7 @@ func (dp *DataPlane) punch(p *packet.Packet) {
 func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
 	ps := dp.paths[p.PathID]
 	ps.observe(p.Done, p.ServiceTime(), p.Done-p.Enqueued)
+	dp.emit(obs.KindService, p, int32(p.PathID), int64(p.ServiceAt), int64(verdict))
 	h := &ps.health
 	h.inflight--
 	h.lastDone = p.Done
@@ -374,6 +443,7 @@ func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
 	if p.Cancelled {
 		// Raced with a cancel after service started; treat as loser.
 		dp.metrics.drops[packet.DropCancelled]++
+		dp.emit(obs.KindDrop, p, int32(p.PathID), int64(packet.DropCancelled), 0)
 		dp.copyGone(p, group)
 		return
 	}
@@ -395,7 +465,7 @@ func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
 				h.probeOK++
 				if h.probeOK >= dp.healthCfg.ProbeSuccesses {
 					dp.numProbing--
-					h.setState(HealthUp, dp.sim.Now())
+					dp.setHealth(p.PathID, h, HealthUp, dp.sim.Now())
 				}
 			}
 		}
@@ -408,6 +478,7 @@ func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
 				// A sibling already delivered; this copy loses.
 				p.Dropped = packet.DropCancelled
 				dp.metrics.drops[packet.DropCancelled]++
+				dp.emit(obs.KindDrop, p, int32(p.PathID), int64(packet.DropCancelled), 0)
 				group.remaining--
 				if group.remaining <= 0 {
 					delete(dp.dups, p.OrigID)
@@ -429,6 +500,7 @@ func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
 		}
 	case packet.Drop:
 		dp.metrics.drops[p.Dropped]++
+		dp.emit(obs.KindDrop, p, int32(p.PathID), int64(p.Dropped), 0)
 		dp.copyGone(p, group)
 	case packet.Consume:
 		// Terminated locally (e.g. tunnel endpoint); counts as completed
@@ -438,6 +510,7 @@ func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
 			if group.won {
 				p.Dropped = packet.DropCancelled
 				dp.metrics.drops[packet.DropCancelled]++
+				dp.emit(obs.KindDrop, p, int32(p.PathID), int64(packet.DropCancelled), 0)
 				group.remaining--
 				if group.remaining <= 0 {
 					delete(dp.dups, p.OrigID)
@@ -453,6 +526,7 @@ func (dp *DataPlane) onLaneDone(p *packet.Packet, verdict packet.Verdict) {
 		}
 		dp.metrics.consumed++
 		dp.punch(p)
+		dp.emit(obs.KindConsume, p, int32(p.PathID), 0, 0)
 		if dp.observer != nil {
 			dp.observer.PacketConsumed(p)
 		}
@@ -479,6 +553,7 @@ func (dp *DataPlane) cancelSiblings(winner *packet.Packet, group *dupGroup) {
 				// in-flight slot is released here too.
 				dp.paths[c.PathID].health.inflight--
 				dp.metrics.dupCancelled++
+				dp.emit(obs.KindDupCancel, c, int32(c.PathID), 0, 0)
 				group.remaining--
 			}
 		}
@@ -488,6 +563,7 @@ func (dp *DataPlane) cancelSiblings(winner *packet.Packet, group *dupGroup) {
 // deliver is the terminal stage: record metrics and hand to the sink.
 func (dp *DataPlane) deliver(p *packet.Packet) {
 	dp.metrics.recordDelivery(p)
+	dp.emit(obs.KindDeliver, p, int32(p.PathID), 0, 0)
 	if dp.observer != nil {
 		dp.observer.PacketDelivered(p)
 	}
@@ -544,6 +620,7 @@ func (dp *DataPlane) RestorePath(i int) {
 // is a copy that will never complete.
 func (dp *DataPlane) pathDrop(p *packet.Packet) {
 	dp.metrics.drops[packet.DropPathFailed]++
+	dp.emit(obs.KindDrop, p, int32(p.PathID), int64(packet.DropPathFailed), 0)
 	if p.PathID >= 0 && p.PathID < len(dp.paths) {
 		dp.paths[p.PathID].health.inflight--
 	}
@@ -560,7 +637,7 @@ func (dp *DataPlane) quarantinePath(i int) {
 	if ps.health.state == HealthProbing {
 		dp.numProbing--
 	}
-	ps.health.setState(HealthQuarantined, dp.sim.Now())
+	dp.setHealth(i, &ps.health, HealthQuarantined, dp.sim.Now())
 	dp.metrics.quarantines++
 	ps.Lane.DrainFailed(dp.pathDrop)
 }
@@ -623,13 +700,13 @@ func (dp *DataPlane) maintainHealth(now sim.Time) {
 			case h.dropFrac >= cfg.DropQuarantineFrac && anomalous:
 				dp.quarantinePath(i)
 			case h.dropFrac >= cfg.DropDegradeFrac && anomalous && h.state == HealthUp:
-				h.setState(HealthDegraded, now)
+				dp.setHealth(i, h, HealthDegraded, now)
 			case h.state == HealthDegraded && h.dropFrac < cfg.DropDegradeFrac/2:
-				h.setState(HealthUp, now)
+				dp.setHealth(i, h, HealthUp, now)
 			}
 		case HealthQuarantined:
 			if now-h.since >= cfg.QuarantineBackoff {
-				h.setState(HealthProbing, now)
+				dp.setHealth(i, h, HealthProbing, now)
 				dp.numProbing++
 			}
 		case HealthProbing:

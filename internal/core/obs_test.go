@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"mpdp/internal/nf"
+	"mpdp/internal/obs"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+	"mpdp/internal/vnet"
+)
+
+// obsRunConfig is a deterministic but eventful configuration: MPDP policy
+// (flowlet steering + selective duplication), service jitter and bursty
+// interference, so the stream exercises steer, dup, reorder and drop
+// events.
+func obsRunConfig(trace obs.Sink) Config {
+	return Config{
+		NumPaths:     4,
+		ChainFactory: func(i int) *nf.Chain { return passChain(1 * sim.Microsecond) },
+		Policy:       NewMPDP(DefaultMPDPConfig()),
+		QueueCap:     64,
+		JitterSigma:  0.3,
+		Interference: vnet.InterferenceConfig{
+			SlowFactor: 4, MeanOn: 50 * sim.Microsecond, MeanOff: 200 * sim.Microsecond,
+		},
+		Seed:  7,
+		Trace: trace,
+	}
+}
+
+// obsInject offers pkts packets at fixed spacing and runs the simulation
+// to a bounded horizon (perpetual interference processes keep the event
+// queue non-empty, so s.Run() would never return).
+func obsInject(dp *DataPlane, pkts int, spacing sim.Duration) {
+	s := dp.Sim()
+	for i := 0; i < pkts; i++ {
+		p := flowPkt(uint64(i % 8))
+		s.At(sim.Time(i)*spacing, func() { dp.Ingress(p) })
+	}
+	horizon := sim.Time(pkts)*spacing + 5*sim.Millisecond
+	s.RunUntil(horizon)
+	dp.Flush()
+	s.RunUntil(horizon + sim.Millisecond)
+}
+
+// recordedRun drives one run with a flight recorder attached and returns
+// the encoded event stream plus the delivery order.
+func recordedRun(t *testing.T, pkts int) ([]byte, []uint64) {
+	t.Helper()
+	s := sim.New()
+	rec := obs.NewRecorder(1 << 18) // large enough that nothing is overwritten
+	var order []uint64
+	dp := New(s, obsRunConfig(rec), func(p *packet.Packet) { order = append(order, p.OrigID) })
+	obsInject(dp, pkts, 300*sim.Nanosecond)
+	if rec.Overwritten() != 0 {
+		t.Fatalf("ring overwrote %d events; raise capacity", rec.Overwritten())
+	}
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes(), order
+}
+
+// TestTraceStreamByteIdentical is the determinism acceptance check: two
+// runs of the same seed must record byte-identical event streams.
+func TestTraceStreamByteIdentical(t *testing.T) {
+	a, _ := recordedRun(t, 600)
+	b, _ := recordedRun(t, 600)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed runs recorded different event streams")
+	}
+	evs, err := obs.ReadAll(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("recorded stream does not decode: %v", err)
+	}
+	if len(evs) < 600 {
+		t.Fatalf("only %d events recorded for 600 packets", len(evs))
+	}
+}
+
+// TestTraceStreamAccounting cross-checks the stream against the engine's
+// own metrics: one ingress event per offered packet, one deliver event per
+// delivered packet, one conclusive drop per lost packet.
+func TestTraceStreamAccounting(t *testing.T) {
+	s := sim.New()
+	rec := obs.NewRecorder(1 << 18)
+	dp := New(s, obsRunConfig(rec), func(p *packet.Packet) {})
+	obsInject(dp, 800, 250*sim.Nanosecond)
+
+	var ingress, deliver, conclusive, consume uint64
+	for _, ev := range rec.Events() {
+		switch {
+		case ev.Kind == obs.KindIngress:
+			ingress++
+		case ev.Kind == obs.KindDeliver:
+			deliver++
+		case ev.Kind == obs.KindConsume:
+			consume++
+		case ev.Kind == obs.KindDrop && ev.B == 1:
+			conclusive++
+		}
+	}
+	m := dp.Metrics()
+	if ingress != m.Offered() {
+		t.Errorf("ingress events %d != offered %d", ingress, m.Offered())
+	}
+	if deliver != m.Delivered() {
+		t.Errorf("deliver events %d != delivered %d", deliver, m.Delivered())
+	}
+	if conclusive+consume < m.TotalLost() {
+		t.Errorf("conclusive drops %d + consumes %d < lost %d", conclusive, consume, m.TotalLost())
+	}
+}
+
+// TestTraceDisabledChangesNothing: a run with the recorder attached and a
+// run with recording off must produce identical results — same metrics,
+// same delivery order.
+func TestTraceDisabledChangesNothing(t *testing.T) {
+	run := func(trace obs.Sink) (Metrics, []uint64) {
+		s := sim.New()
+		var order []uint64
+		dp := New(s, obsRunConfig(trace), func(p *packet.Packet) { order = append(order, p.OrigID) })
+		obsInject(dp, 600, 300*sim.Nanosecond)
+		return *dp.Metrics(), order
+	}
+	mOn, orderOn := run(obs.NewRecorder(1 << 18))
+	mOff, orderOff := run(nil)
+
+	if mOn.Offered() != mOff.Offered() || mOn.Delivered() != mOff.Delivered() ||
+		mOn.TotalLost() != mOff.TotalLost() || mOn.DupCopies() != mOff.DupCopies() {
+		t.Fatalf("metrics differ with recorder on/off: on=%d/%d/%d off=%d/%d/%d",
+			mOn.Offered(), mOn.Delivered(), mOn.TotalLost(),
+			mOff.Offered(), mOff.Delivered(), mOff.TotalLost())
+	}
+	if len(orderOn) != len(orderOff) {
+		t.Fatalf("delivery count differs: %d vs %d", len(orderOn), len(orderOff))
+	}
+	for i := range orderOn {
+		if orderOn[i] != orderOff[i] {
+			t.Fatalf("delivery order diverges at %d: %d vs %d", i, orderOn[i], orderOff[i])
+		}
+	}
+}
+
+// TestExemplarAttributionMatchesEngine: exemplars collected live must be
+// exactly the K slowest delivered packets, with components summing to the
+// engine's own recorded latency.
+func TestExemplarAttributionMatchesEngine(t *testing.T) {
+	const k = 16
+	s := sim.New()
+	coll := obs.NewCollector(k)
+	lat := make(map[uint64]sim.Duration)
+	dp := New(s, obsRunConfig(coll), func(p *packet.Packet) { lat[p.OrigID] = p.Latency() })
+	obsInject(dp, 800, 250*sim.Nanosecond)
+
+	exs := coll.Exemplars()
+	if len(exs) != k {
+		t.Fatalf("got %d exemplars, want %d", len(exs), k)
+	}
+	for i, ex := range exs {
+		want, ok := lat[ex.OrigID]
+		if !ok {
+			t.Fatalf("exemplar %d (orig %d) was never delivered", i, ex.OrigID)
+		}
+		if ex.Latency != want {
+			t.Errorf("exemplar %d latency %d != engine latency %d", i, ex.Latency, want)
+		}
+		if ex.Attr.Total() != ex.Latency {
+			t.Errorf("exemplar %d components sum to %d, latency %d (attr %+v)",
+				i, ex.Attr.Total(), ex.Latency, ex.Attr)
+		}
+	}
+	// The kept set must be the true K slowest.
+	all := make([]sim.Duration, 0, len(lat))
+	for _, d := range lat {
+		all = append(all, d)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] > all[j] })
+	for i, ex := range exs {
+		if ex.Latency != all[i] {
+			t.Fatalf("rank %d: exemplar latency %d, true %d-th slowest is %d",
+				i, ex.Latency, i, all[i])
+		}
+	}
+}

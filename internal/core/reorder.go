@@ -7,6 +7,9 @@
 package core
 
 import (
+	"sort"
+
+	"mpdp/internal/obs"
 	"mpdp/internal/packet"
 	"mpdp/internal/sim"
 )
@@ -33,6 +36,7 @@ type Reorder struct {
 	timeout sim.Duration
 	deliver DeliverFunc
 	onLost  DeliverFunc // a real packet discarded for good (late drop)
+	trace   obs.Sink    // optional flight-recorder hook (nil = off)
 
 	flows map[uint64]*flowOrder
 
@@ -79,6 +83,15 @@ func NewReorder(s *sim.Simulator, timeout sim.Duration, deliver DeliverFunc) *Re
 // (their original was or will be delivered by a sibling) do not fire it.
 func (r *Reorder) OnLost(fn DeliverFunc) { r.onLost = fn }
 
+// emit records a reorder-stage lifecycle event when a recorder is attached.
+func (r *Reorder) emit(kind obs.Kind, p *packet.Packet, a, b int64) {
+	if r.trace == nil || p == nil {
+		return
+	}
+	r.trace.Emit(obs.Event{Time: r.sim.Now(), Kind: kind, PktID: p.ID, OrigID: p.OrigID,
+		FlowID: p.FlowID, Seq: p.Seq, Path: int32(p.PathID), A: a, B: b})
+}
+
 func (r *Reorder) flow(id uint64) *flowOrder {
 	f, ok := r.flows[id]
 	if !ok {
@@ -119,6 +132,7 @@ func (r *Reorder) Submit(p *packet.Packet) {
 			return
 		}
 		r.outOfOrder++
+		r.emit(obs.KindReorderEnter, p, 0, 0)
 		f.pending[p.Seq] = pendingPkt{p: p, at: r.sim.Now()}
 		r.occupancy++
 		r.pktOccupancy++
@@ -175,6 +189,7 @@ func (r *Reorder) drain(f *flowOrder) {
 		r.occupancy--
 		if e.p != nil {
 			r.pktOccupancy--
+			r.emit(obs.KindReorderRelease, e.p, int64(e.at), 0)
 			r.release(f, e.p)
 		} else {
 			f.next++
@@ -239,6 +254,7 @@ func (r *Reorder) onTimeout(f *flowOrder) {
 			r.pktOccupancy--
 			r.timeoutRel++
 			f.next = min // skip the gap
+			r.emit(obs.KindReorderRelease, e.p, int64(e.at), 1)
 			r.release(f, e.p)
 		} else {
 			f.next = min + 1
@@ -287,9 +303,17 @@ func (s ReorderStats) OOOFraction() float64 {
 }
 
 // Flush force-releases everything still pending (end of measurement run),
-// in per-flow sequence order.
+// in per-flow sequence order. Flows are visited in ascending flow-ID order
+// so the release sequence — and any attached event recorder's stream — is
+// identical across same-seed runs.
 func (r *Reorder) Flush() {
-	for _, f := range r.flows {
+	ids := make([]uint64, 0, len(r.flows))
+	for id := range r.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := r.flows[id]
 		if f.timer != nil {
 			f.timer.Cancel()
 			f.timer = nil
@@ -307,6 +331,7 @@ func (r *Reorder) Flush() {
 			if e.p != nil {
 				r.pktOccupancy--
 				f.next = min
+				r.emit(obs.KindReorderRelease, e.p, int64(e.at), 1)
 				r.release(f, e.p)
 			} else {
 				f.next = min + 1

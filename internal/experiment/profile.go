@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpdp/internal/obs"
+	"mpdp/internal/sim"
+)
+
+// ProfileOpts configures a diagnostic profile run: one representative
+// workload with the full observability plane attached.
+type ProfileOpts struct {
+	Seed      uint64
+	Exemplars int // K slowest packets to keep (default 8)
+
+	// Workload shape (defaults mirror the E-series baseline).
+	Policy       string  // default "mpdp"
+	Util         float64 // default 0.7
+	Interference string  // default "moderate"
+	Quick        bool    // shrink the horizon for CI smoke runs
+
+	// SamplePeriod is the lane-gauge sampling period (default 20 µs).
+	SamplePeriod sim.Duration
+}
+
+// ProfileOutput bundles the rendered result with the raw observability
+// artifacts so callers can export them (event stream, Chrome trace, CSV).
+type ProfileOutput struct {
+	Result Result
+	Run    RunResult
+
+	Report     *obs.Report
+	Exemplars  []obs.Exemplar
+	Events     []obs.Event // full recorded stream, emission order
+	LaneSeries []obs.LaneSeries
+}
+
+// Profile runs one instrumented simulation: flight recorder on, tail
+// exemplars collected, lane gauges sampled. It answers "where did the
+// slowest packets' time go, and what were the lanes doing meanwhile".
+func Profile(opts ProfileOpts) (*ProfileOutput, error) {
+	if opts.Exemplars <= 0 {
+		opts.Exemplars = 8
+	}
+	if opts.Policy == "" {
+		opts.Policy = "mpdp"
+	}
+	if opts.Util == 0 {
+		opts.Util = 0.7
+	}
+	if opts.Interference == "" {
+		opts.Interference = "moderate"
+	}
+	if opts.SamplePeriod <= 0 {
+		opts.SamplePeriod = 20 * sim.Microsecond
+	}
+	duration := 50 * sim.Millisecond
+	if opts.Quick {
+		duration = 10 * sim.Millisecond
+	}
+
+	rec := obs.NewRecorder(0) // DefaultRecorderCap: the tail of the run
+	cfg := RunConfig{
+		Seed:         opts.Seed,
+		Policy:       opts.Policy,
+		Util:         opts.Util,
+		Interference: opts.Interference,
+		Duration:     duration,
+
+		Exemplars:    opts.Exemplars,
+		EventSink:    rec,
+		SamplePeriod: opts.SamplePeriod,
+		// Windows sized so the lane figures have ~25 points.
+		TimelineWindow: duration / 25,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	report := obs.BuildReport(res.Exemplars)
+	out := &ProfileOutput{
+		Run:        res,
+		Report:     report,
+		Exemplars:  res.Exemplars,
+		Events:     rec.Events(),
+		LaneSeries: res.LaneSeries,
+	}
+
+	// Renderable result: attribution table + lane gauge figures.
+	attr := Table{
+		Name:    "profile",
+		Title:   fmt.Sprintf("top-%d tail exemplars (%s, util %.2f, %s interference, seed %d)", len(res.Exemplars), opts.Policy, opts.Util, opts.Interference, opts.Seed),
+		Columns: []string{"rank", "latency µs", "lane", "pre-queue µs", "queue-wait µs", "service µs", "reorder µs", "dup"},
+	}
+	for i, ex := range res.Exemplars {
+		dup := "-"
+		if ex.Duplicated {
+			dup = "yes"
+		}
+		attr.Rows = append(attr.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.1f", float64(ex.Latency)/1000),
+			fmt.Sprintf("%d", ex.WinnerPath),
+			fmt.Sprintf("%.1f", float64(ex.Attr.PreQueue)/1000),
+			fmt.Sprintf("%.1f", float64(ex.Attr.QueueWait)/1000),
+			fmt.Sprintf("%.1f", float64(ex.Attr.Service)/1000),
+			fmt.Sprintf("%.1f", float64(ex.Attr.ReorderWait)/1000),
+			dup,
+		})
+	}
+
+	depthFig := Figure{
+		Name: "profile", Title: "lane queue depth over time (mean per window)",
+		XLabel: "t_ms", YLabel: "depth",
+	}
+	rateFig := Figure{
+		Name: "profile", Title: "lane service rate over time (completions per sample)",
+		XLabel: "t_ms", YLabel: "rate",
+	}
+	for _, ls := range res.LaneSeries {
+		dc := Curve{Label: fmt.Sprintf("lane%d", ls.Lane)}
+		for _, pt := range ls.Depth.Points() {
+			dc.Points = append(dc.Points, Point{X: float64(pt.Start) / 1e6, Y: pt.Hist.Mean()})
+		}
+		depthFig.Curves = append(depthFig.Curves, dc)
+		rc := Curve{Label: fmt.Sprintf("lane%d", ls.Lane)}
+		for _, pt := range ls.Rate.Points() {
+			rc.Points = append(rc.Points, Point{X: float64(pt.Start) / 1e6, Y: pt.Hist.Mean()})
+		}
+		rateFig.Curves = append(rateFig.Curves, rc)
+	}
+
+	out.Result = Result{
+		ID:    "profile",
+		Title: "diagnostic profile: tail attribution + lane gauges",
+		Notes: []string{
+			report.Headline(),
+			fmt.Sprintf("recorded %d events (%d overwritten by the ring)", rec.Len(), rec.Overwritten()),
+			fmt.Sprintf("p99 %.1f µs over %d delivered", float64(res.Latency.P99)/1000, res.Delivered),
+		},
+		Tables:  []Table{attr},
+		Figures: []Figure{depthFig, rateFig},
+	}
+	return out, nil
+}

@@ -8,6 +8,7 @@ import (
 	"mpdp/internal/fault"
 	"mpdp/internal/invariant"
 	"mpdp/internal/nf"
+	"mpdp/internal/obs"
 	"mpdp/internal/packet"
 	"mpdp/internal/sim"
 	"mpdp/internal/stats"
@@ -73,6 +74,19 @@ type RunConfig struct {
 	// Fault, when non-nil, is the fault-injection schedule for the run:
 	// lane failures, flaps, NF error windows, telemetry lies.
 	Fault *fault.Plan
+
+	// Observability taps (all off by default; attaching them never changes
+	// a run's numbers — see DESIGN.md, "Observability").
+
+	// Exemplars keeps the K slowest delivered packets' full event
+	// timelines for tail attribution (0 disables).
+	Exemplars int
+	// EventSink, when non-nil, receives every flight-recorder event (e.g.
+	// an obs.Recorder ring buffer or an obs.Writer streaming to disk).
+	EventSink obs.Sink `json:"-"`
+	// SamplePeriod, when > 0, polls per-lane gauges (queue depth, copies
+	// in flight, health state, service rate) every period of virtual time.
+	SamplePeriod sim.Duration
 
 	// Verify attaches the end-to-end invariant checker; any violation
 	// fails the run with an error. The -verify harness flag forces this on
@@ -196,6 +210,13 @@ type RunResult struct {
 
 	Reorder  core.ReorderStats
 	Timeline []stats.WindowPoint
+
+	// Exemplars holds the K slowest delivered packets (slowest first) when
+	// Config.Exemplars > 0.
+	Exemplars []obs.Exemplar `json:"-"`
+	// LaneSeries holds per-lane gauge time series when Config.SamplePeriod
+	// is positive.
+	LaneSeries []obs.LaneSeries `json:"-"`
 
 	Elapsed sim.Duration
 }
@@ -343,6 +364,20 @@ func Run(cfg RunConfig) (RunResult, error) {
 		TimelineWindow:  cfg.TimelineWindow,
 	}
 
+	// Observability taps. The collector and any caller-supplied sink share
+	// one hook stream; a nil MultiSink result leaves recording off (the
+	// hooks then cost one nil check each).
+	var collector *obs.Collector
+	var sinks []obs.Sink
+	if cfg.Exemplars > 0 {
+		collector = obs.NewCollector(cfg.Exemplars)
+		sinks = append(sinks, collector)
+	}
+	if cfg.EventSink != nil {
+		sinks = append(sinks, cfg.EventSink)
+	}
+	coreCfg.Trace = obs.MultiSink(sinks...)
+
 	// Warmup filtering: the headline latency histogram only counts packets
 	// delivered after the warmup boundary; the engine's own Metrics keep
 	// full-run counts for throughput and drop accounting.
@@ -361,6 +396,11 @@ func Run(cfg RunConfig) (RunResult, error) {
 			}
 		}
 	})
+
+	var sampler *obs.Sampler
+	if cfg.SamplePeriod > 0 {
+		sampler = obs.NewSampler(s, cfg.SamplePeriod, cfg.TimelineWindow, cfg.NumPaths, dp.LaneSample)
+	}
 
 	var chk *invariant.Checker
 	if cfg.Verify || verifyAll {
@@ -395,6 +435,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	// Run traffic plus a generous drain window; perpetual interference
 	// processes keep the event queue non-empty, so bound by time.
 	s.RunUntil(cfg.Duration + 20*sim.Millisecond)
+	if sampler != nil {
+		sampler.Stop()
+	}
 	dp.Flush()
 	s.RunUntil(cfg.Duration + 25*sim.Millisecond)
 
@@ -439,6 +482,12 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	if m.Timeline != nil {
 		res.Timeline = m.Timeline.Points()
+	}
+	if collector != nil {
+		res.Exemplars = collector.Exemplars()
+	}
+	if sampler != nil {
+		res.LaneSeries = sampler.Series()
 	}
 	return res, nil
 }

@@ -203,6 +203,13 @@ func (c *Checker) Finish(requireDrained bool) error {
 	if m.Consumed() != c.consumed {
 		c.violate("engine consumed %d != observed %d", m.Consumed(), c.consumed)
 	}
+	// Over-delivery: Metrics.TotalLost computes offered-delivered-consumed
+	// and clamps a negative result to 0, so a duplicate-delivery bug would
+	// vanish from the loss accounting. Catch it here on the raw counters.
+	if done := m.Delivered() + m.Consumed(); done > m.Offered() {
+		c.violate("over-delivery: delivered %d + consumed %d exceeds offered %d (TotalLost clamps this to 0)",
+			m.Delivered(), m.Consumed(), m.Offered())
+	}
 
 	out := c.Outstanding()
 	if requireDrained {

@@ -210,6 +210,7 @@ var simPackages = []string{
 	"mpdp/internal/invariant",
 	"mpdp/internal/sim",
 	"mpdp/internal/packet",
+	"mpdp/internal/obs",
 }
 
 func inSimScope(path string) bool {

@@ -84,6 +84,9 @@ type Engine struct {
 
 	mu      sync.Mutex
 	latency *stats.Hist
+
+	metricsOnce sync.Once
+	metricsReg  *Registry
 }
 
 type liveFlowlet struct {

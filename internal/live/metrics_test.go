@@ -1,0 +1,165 @@
+package live
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRegistrySnapshotAndFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("owned_total").Store(7)
+	var ext atomic.Uint64
+	ext.Store(42)
+	r.CounterFunc("hooked_total", ext.Load)
+	r.GaugeFunc("depth", func() float64 { return 3.5 })
+	r.CounterFunc(`lane_served_total{lane="0"}`, func() uint64 { return 10 })
+	r.CounterFunc(`lane_served_total{lane="1"}`, func() uint64 { return 20 })
+
+	snap := r.Snapshot()
+	if snap["owned_total"] != 7 || snap["hooked_total"] != 42 || snap["depth"] != 3.5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	var js strings.Builder
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]float64
+	if err := json.Unmarshal([]byte(js.String()), &decoded); err != nil {
+		t.Fatalf("JSON output does not parse: %v\n%s", err, js.String())
+	}
+	if decoded["owned_total"] != 7 || decoded["depth"] != 3.5 {
+		t.Fatalf("decoded = %v", decoded)
+	}
+
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	for _, want := range []string{
+		"# TYPE owned_total counter",
+		"# TYPE depth gauge",
+		`lane_served_total{lane="0"} 10`,
+		`lane_served_total{lane="1"} 20`,
+		"owned_total 7",
+		"depth 3.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with multiple labeled series.
+	if n := strings.Count(out, "# TYPE lane_served_total"); n != 1 {
+		t.Fatalf("family lane_served_total typed %d times:\n%s", n, out)
+	}
+}
+
+func TestPromSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"ok_name":     "ok_name",
+		"dots.and-hy": "dots_and_hy",
+		"9lead":       "_lead",
+	} {
+		if got := promSanitize(in); got != want {
+			t.Fatalf("promSanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMetricsSamplerRatesAndHistory(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("work_total")
+	s := NewMetricsSampler(r, 5*time.Millisecond, 10)
+	defer s.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		c.Add(100)
+		if len(s.History()) >= 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hist := s.History()
+	if len(hist) < 3 {
+		t.Fatalf("sampler collected %d samples", len(hist))
+	}
+	if len(hist) > 10 {
+		t.Fatalf("history exceeded keep bound: %d", len(hist))
+	}
+	rates := s.Rates()
+	if _, ok := rates["work_total_per_sec"]; !ok {
+		t.Fatalf("no rate computed: %v", rates)
+	}
+}
+
+// TestMetricsHandlerUnderLoad hits both endpoints while the engine is
+// actively processing packets.
+func TestMetricsHandlerUnderLoad(t *testing.T) {
+	e := startTest(t, Config{Paths: 2}, nil)
+	sampler := NewMetricsSampler(e.Metrics(), 2*time.Millisecond, 50)
+	defer sampler.Stop()
+	srv := httptest.NewServer(MetricsHandler(e.Metrics(), sampler))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50000; i++ {
+			e.Ingress(livePkt(uint64(i%16), 128))
+		}
+		e.Close()
+	}()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	for i := 0; i < 20; i++ {
+		prom, ct := get("/metrics")
+		if !strings.Contains(ct, "text/plain") {
+			t.Fatalf("/metrics content type %q", ct)
+		}
+		if !strings.Contains(prom, "mpdp_offered_total") {
+			t.Fatalf("/metrics missing engine counters:\n%s", prom)
+		}
+		js, ct := get("/metrics.json")
+		if !strings.Contains(ct, "application/json") {
+			t.Fatalf("/metrics.json content type %q", ct)
+		}
+		var doc struct {
+			Metrics map[string]float64 `json:"metrics"`
+		}
+		if err := json.Unmarshal([]byte(js), &doc); err != nil {
+			t.Fatalf("/metrics.json does not parse: %v", err)
+		}
+		if _, ok := doc.Metrics["mpdp_delivered_total"]; !ok {
+			t.Fatalf("/metrics.json missing engine counters: %v", doc.Metrics)
+		}
+	}
+	<-done
+
+	// After the run, offered must equal the pushed count.
+	snap := e.Metrics().Snapshot()
+	if snap["mpdp_offered_total"] != 50000 {
+		t.Fatalf("offered = %v, want 50000", snap["mpdp_offered_total"])
+	}
+}

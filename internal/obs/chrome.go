@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chrome trace-event export: exemplar timelines rendered as the Trace
+// Event Format consumed by Perfetto / chrome://tracing. Each exemplar
+// becomes one "thread"; its latency components are complete ("X") slices
+// and its discrete events (steer, dup sent/cancelled, reorder enter) are
+// instant ("i") markers. Timestamps are microseconds of virtual time.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"metadata,omitempty"`
+}
+
+const nsPerUs = 1000.0
+
+// WriteChromeTrace renders the exemplars as a Chrome trace-event JSON
+// document. Slices per exemplar: pre-queue, queue-wait, service,
+// reorder-wait; markers for steering, duplication and reorder entry.
+func WriteChromeTrace(w io.Writer, exemplars []Exemplar) error {
+	tr := chromeTrace{
+		DisplayTimeUnit: "ns",
+		Metadata:        map[string]string{"source": "mpdp tail exemplars"},
+	}
+	for i, ex := range exemplars {
+		tid := i + 1
+		base := float64(ex.Ingress) / nsPerUs
+		name := fmt.Sprintf("exemplar %d (flow %x seq %d)", tid, ex.FlowID, ex.Seq)
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+		cursor := base
+		for _, c := range []struct {
+			name string
+			dur  float64
+		}{
+			{"pre-queue", float64(ex.Attr.PreQueue) / nsPerUs},
+			{"queue-wait", float64(ex.Attr.QueueWait) / nsPerUs},
+			{"service", float64(ex.Attr.Service) / nsPerUs},
+			{"reorder-wait", float64(ex.Attr.ReorderWait) / nsPerUs},
+		} {
+			if c.dur <= 0 {
+				continue
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: c.name, Ph: "X", Ts: cursor, Dur: c.dur, Pid: 0, Tid: tid,
+				Args: map[string]any{"lane": ex.WinnerPath},
+			})
+			cursor += c.dur
+		}
+		for _, ev := range ex.Events {
+			switch ev.Kind {
+			case KindSteer, KindDupSent, KindDupCancel, KindReorderEnter, KindDrop:
+				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+					Name: ev.Kind.String(), Ph: "i", Ts: float64(ev.Time) / nsPerUs,
+					Pid: 0, Tid: tid, S: "t",
+					Args: map[string]any{"lane": ev.Path, "copy": ev.PktID, "a": ev.A, "b": ev.B},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// WriteExemplarCSV renders one row per exemplar with the exact latency
+// decomposition, machine-readable for plotting.
+func WriteExemplarCSV(w io.Writer, exemplars []Exemplar) error {
+	var b strings.Builder
+	b.WriteString("rank,orig_id,flow_id,seq,lane,duplicated,ingress_ns,delivered_ns,latency_ns,pre_queue_ns,queue_wait_ns,service_ns,reorder_wait_ns\n")
+	for i, ex := range exemplars {
+		dup := 0
+		if ex.Duplicated {
+			dup = 1
+		}
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			i+1, ex.OrigID, ex.FlowID, ex.Seq, ex.WinnerPath, dup,
+			ex.Ingress, ex.Delivered, ex.Latency,
+			ex.Attr.PreQueue, ex.Attr.QueueWait, ex.Attr.Service, ex.Attr.ReorderWait)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

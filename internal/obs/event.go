@@ -1,0 +1,144 @@
+// Package obs is MPDP's deterministic observability layer: a flight
+// recorder of per-packet lifecycle events, tail-exemplar collection with
+// latency attribution, and per-lane time-series sampling.
+//
+// The whole package lives in virtual time. Events are emitted by cheap,
+// nil-guarded hooks inside internal/core (engine, reorder stage, health
+// machinery); every field of every event is derived from the simulator
+// clock and the packet's own metadata, so two runs of the same seed
+// record byte-identical streams. An unattached sink costs one nil check
+// per would-be event and changes nothing about a run.
+package obs
+
+import "mpdp/internal/sim"
+
+// Kind identifies a lifecycle event.
+type Kind uint8
+
+const (
+	// KindIngress: a packet entered the data plane. Arg A is the frame
+	// length in bytes.
+	KindIngress Kind = iota
+	// KindSteer: the policy's verdict for an ingress packet. Path is the
+	// primary pick, A the number of copies (>1 means duplication), B is 1
+	// when the extra copy is a health-probe canary.
+	KindSteer
+	// KindEnqueue: one copy was accepted by its lane's queue.
+	KindEnqueue
+	// KindService: one copy finished NF-chain service. A is the virtual
+	// time service began, B encodes the chain verdict (packet.Verdict).
+	// Emitted at completion so the stream stays time-ordered.
+	KindService
+	// KindDupSent: a duplicate copy was minted. PktID is the clone's ID.
+	KindDupSent
+	// KindDupCancel: a still-queued duplicate was revoked after its twin
+	// won the race.
+	KindDupCancel
+	// KindReorderEnter: a copy arrived out of order and was parked in the
+	// reorder buffer to wait for a predecessor.
+	KindReorderEnter
+	// KindReorderRelease: a parked copy left the reorder buffer. A is the
+	// virtual time it entered, B is 1 when a gap timeout forced it out.
+	KindReorderRelease
+	// KindHealth: a path's health state changed. A is the old state, B the
+	// new state (core.HealthState values).
+	KindHealth
+	// KindDrop: a copy left the plane without delivery. A is the
+	// packet.DropReason.
+	KindDrop
+	// KindDeliver: the packet was released, in order, to the guest.
+	KindDeliver
+	// KindConsume: the chain terminated the packet locally (e.g. a tunnel
+	// endpoint); completed work that exits the pipeline early.
+	KindConsume
+
+	numKinds // sentinel: keep last
+)
+
+// NumKinds is the number of defined event kinds (decoder bound).
+const NumKinds = int(numKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case KindIngress:
+		return "ingress"
+	case KindSteer:
+		return "steer"
+	case KindEnqueue:
+		return "enqueue"
+	case KindService:
+		return "service"
+	case KindDupSent:
+		return "dup-sent"
+	case KindDupCancel:
+		return "dup-cancel"
+	case KindReorderEnter:
+		return "reorder-enter"
+	case KindReorderRelease:
+		return "reorder-release"
+	case KindHealth:
+		return "health"
+	case KindDrop:
+		return "drop"
+	case KindDeliver:
+		return "deliver"
+	case KindConsume:
+		return "consume"
+	default:
+		return "kind(?)"
+	}
+}
+
+// Event is one flight-recorder entry. The fixed shape (no pointers, no
+// strings) keeps recording allocation-free and the binary codec trivial.
+type Event struct {
+	Time sim.Time // virtual time of the event
+	Kind Kind
+
+	// Packet identity. PktID is the copy's own ID (duplicates differ),
+	// OrigID the ingress packet's. Zero for path-scoped events (health).
+	PktID  uint64
+	OrigID uint64
+	FlowID uint64
+	Seq    uint64
+
+	// Path is the lane involved, -1 when not applicable.
+	Path int32
+
+	// A and B are kind-specific arguments (see the Kind doc comments).
+	A, B int64
+}
+
+// Sink receives events. Implementations must not mutate engine or packet
+// state — a sink observes the run, it never participates in it.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// Tee fans one event stream out to several sinks, in order.
+type Tee []Sink
+
+// Emit implements Sink.
+func (t Tee) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+// MultiSink returns a single Sink over the non-nil entries of sinks: nil
+// when none remain, the sink itself when one does, a Tee otherwise.
+func MultiSink(sinks ...Sink) Sink {
+	var live Tee
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

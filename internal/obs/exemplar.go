@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"container/heap"
+	"sort"
+
+	"mpdp/internal/sim"
+)
+
+// Attribution decomposes one delivered packet's end-to-end latency into
+// the pipeline stages of its winning copy. The components sum exactly to
+// the recorded latency: every nanosecond between ingress and in-order
+// delivery is assigned to precisely one stage.
+type Attribution struct {
+	// PreQueue is ingress → lane enqueue (steer decision + admission;
+	// zero in the current engine, which enqueues synchronously).
+	PreQueue sim.Duration
+	// QueueWait is enqueue → service start on the winning copy's lane.
+	QueueWait sim.Duration
+	// Service is the NF-chain service time of the winning copy.
+	Service sim.Duration
+	// ReorderWait is service end → in-order release to the guest.
+	ReorderWait sim.Duration
+}
+
+// Total returns the components' sum (the packet's end-to-end latency).
+func (a Attribution) Total() sim.Duration {
+	return a.PreQueue + a.QueueWait + a.Service + a.ReorderWait
+}
+
+// Exemplar is one delivered packet kept for tail attribution: its full
+// event timeline plus the derived latency breakdown.
+type Exemplar struct {
+	OrigID uint64
+	FlowID uint64
+	Seq    uint64
+
+	Ingress   sim.Time
+	Delivered sim.Time
+	Latency   sim.Duration
+
+	// WinnerPath is the lane whose copy delivered (-1 if unknown).
+	WinnerPath int32
+	// Duplicated reports whether the packet was sent as multiple copies.
+	Duplicated bool
+
+	Attr Attribution
+
+	// Events is the packet's full lifecycle, in emission order.
+	Events []Event
+}
+
+// Collector keeps the K slowest delivered packets' full event timelines.
+// It implements Sink: feed it the live hook stream, or replay a recorded
+// stream through it to rebuild exemplars offline (mpdp-inspect does).
+//
+// Memory is bounded: per-packet event lists exist only while the packet
+// is in flight, and at most K finished timelines are retained.
+type Collector struct {
+	k       int
+	pending map[uint64][]Event // OrigID -> events so far
+	worst   exemplarHeap       // min-heap on Latency: worst K delivered
+}
+
+// NewCollector keeps the k slowest delivered packets (default 8 if k<=0).
+func NewCollector(k int) *Collector {
+	if k <= 0 {
+		k = 8
+	}
+	return &Collector{k: k, pending: make(map[uint64][]Event)}
+}
+
+// K returns the collector's capacity.
+func (c *Collector) K() int { return c.k }
+
+// Emit implements Sink.
+func (c *Collector) Emit(ev Event) {
+	if ev.Kind == KindHealth {
+		return // path-scoped; not part of any packet's timeline
+	}
+	if ev.Kind == KindIngress {
+		c.pending[ev.OrigID] = append(c.pending[ev.OrigID], ev)
+		return
+	}
+	evs, ok := c.pending[ev.OrigID]
+	if !ok {
+		// A straggler event for a packet finalized earlier (e.g. a losing
+		// duplicate finishing service after its twin delivered), or a
+		// stream cut that lost the ingress. Either way, not a timeline.
+		return
+	}
+	evs = append(evs, ev)
+	switch {
+	case ev.Kind == KindDeliver:
+		delete(c.pending, ev.OrigID)
+		c.offer(evs)
+	case ev.Kind == KindConsume, ev.Kind == KindDrop && ev.B == 1:
+		// Conclusive non-delivery: no latency to attribute.
+		delete(c.pending, ev.OrigID)
+	default:
+		c.pending[ev.OrigID] = evs
+	}
+}
+
+// offer finalizes a delivered timeline and keeps it if it is among the K
+// slowest seen so far.
+func (c *Collector) offer(evs []Event) {
+	ex := buildExemplar(evs)
+	if len(c.worst) < c.k {
+		heap.Push(&c.worst, ex)
+		return
+	}
+	if ex.Latency > c.worst[0].Latency {
+		c.worst[0] = ex
+		heap.Fix(&c.worst, 0)
+	}
+}
+
+// Pending returns the number of packets currently mid-flight.
+func (c *Collector) Pending() int { return len(c.pending) }
+
+// Exemplars returns the kept exemplars, slowest first.
+func (c *Collector) Exemplars() []Exemplar {
+	out := make([]Exemplar, len(c.worst))
+	copy(out, c.worst)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Latency != out[j].Latency {
+			return out[i].Latency > out[j].Latency
+		}
+		return out[i].OrigID < out[j].OrigID // deterministic tiebreak
+	})
+	return out
+}
+
+// buildExemplar derives the latency breakdown from a delivered packet's
+// event list. The deliver event names the winning copy; its enqueue and
+// service events carve the end-to-end span into stages.
+func buildExemplar(evs []Event) Exemplar {
+	ex := Exemplar{WinnerPath: -1, Events: evs}
+	var ingress, enq, svcStart, svcEnd, delivered sim.Time
+	var winner uint64
+	for _, ev := range evs {
+		switch ev.Kind {
+		case KindIngress:
+			ex.OrigID, ex.FlowID, ex.Seq = ev.OrigID, ev.FlowID, ev.Seq
+			ingress = ev.Time
+		case KindSteer:
+			if ev.A > 1 {
+				ex.Duplicated = true
+			}
+		case KindDeliver:
+			delivered = ev.Time
+			winner = ev.PktID
+			ex.WinnerPath = ev.Path
+		}
+	}
+	for _, ev := range evs {
+		if ev.PktID != winner {
+			continue
+		}
+		switch ev.Kind {
+		case KindEnqueue:
+			enq = ev.Time
+		case KindService:
+			svcStart, svcEnd = sim.Time(ev.A), ev.Time
+		}
+	}
+	ex.Ingress, ex.Delivered = ingress, delivered
+	ex.Latency = delivered - ingress
+	// Degrade gracefully on incomplete timelines (ring-buffer truncation):
+	// any missing stage boundary collapses its component into a neighbor
+	// so the attribution always sums to the end-to-end latency.
+	if enq == 0 && ingress != 0 {
+		enq = ingress
+	}
+	if svcStart == 0 {
+		svcStart = enq
+	}
+	if svcEnd == 0 {
+		svcEnd = svcStart
+	}
+	ex.Attr = Attribution{
+		PreQueue:    enq - ingress,
+		QueueWait:   svcStart - enq,
+		Service:     svcEnd - svcStart,
+		ReorderWait: delivered - svcEnd,
+	}
+	return ex
+}
+
+// exemplarHeap is a min-heap on Latency (root = fastest kept exemplar).
+type exemplarHeap []Exemplar
+
+func (h exemplarHeap) Len() int           { return len(h) }
+func (h exemplarHeap) Less(i, j int) bool { return h[i].Latency < h[j].Latency }
+func (h exemplarHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *exemplarHeap) Push(x any)        { *h = append(*h, x.(Exemplar)) }
+func (h *exemplarHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h exemplarHeap) MinLatency() sim.Duration {
+	if len(h) == 0 {
+		return 0
+	}
+	return h[0].Latency
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpdp/internal/sim"
+)
+
+// timeline feeds the collector one packet's lifecycle and returns the
+// events (helper for hand-built streams).
+func timeline(orig uint64, ingress, enq, svcStart, svcEnd, deliver sim.Time, path int32) []Event {
+	return []Event{
+		{Time: ingress, Kind: KindIngress, PktID: orig, OrigID: orig, FlowID: 1, Seq: orig, Path: -1, A: 1500},
+		{Time: ingress, Kind: KindSteer, PktID: orig, OrigID: orig, FlowID: 1, Seq: orig, Path: path, A: 1},
+		{Time: enq, Kind: KindEnqueue, PktID: orig, OrigID: orig, FlowID: 1, Seq: orig, Path: path},
+		{Time: svcEnd, Kind: KindService, PktID: orig, OrigID: orig, FlowID: 1, Seq: orig, Path: path, A: int64(svcStart)},
+		{Time: deliver, Kind: KindDeliver, PktID: orig, OrigID: orig, FlowID: 1, Seq: orig, Path: path},
+	}
+}
+
+func TestCollectorAttributionSumsExactly(t *testing.T) {
+	c := NewCollector(4)
+	for _, ev := range timeline(1, 100, 100, 700, 1300, 1950, 2) {
+		c.Emit(ev)
+	}
+	exs := c.Exemplars()
+	if len(exs) != 1 {
+		t.Fatalf("got %d exemplars, want 1", len(exs))
+	}
+	ex := exs[0]
+	if ex.Latency != 1850 {
+		t.Fatalf("latency = %d, want 1850", ex.Latency)
+	}
+	want := Attribution{PreQueue: 0, QueueWait: 600, Service: 600, ReorderWait: 650}
+	if ex.Attr != want {
+		t.Fatalf("attribution = %+v, want %+v", ex.Attr, want)
+	}
+	if ex.Attr.Total() != ex.Latency {
+		t.Fatalf("components sum to %d, latency %d", ex.Attr.Total(), ex.Latency)
+	}
+	if ex.WinnerPath != 2 || ex.Duplicated {
+		t.Fatalf("winner=%d dup=%v", ex.WinnerPath, ex.Duplicated)
+	}
+}
+
+func TestCollectorKeepsKSlowest(t *testing.T) {
+	c := NewCollector(3)
+	// Ten packets with latencies 100, 200, ..., 1000.
+	for i := uint64(1); i <= 10; i++ {
+		base := sim.Time(i * 10000)
+		lat := sim.Time(i * 100)
+		for _, ev := range timeline(i, base, base, base, base+lat/2, base+lat, 0) {
+			c.Emit(ev)
+		}
+	}
+	exs := c.Exemplars()
+	if len(exs) != 3 {
+		t.Fatalf("got %d exemplars, want 3", len(exs))
+	}
+	for i, want := range []sim.Duration{1000, 900, 800} {
+		if exs[i].Latency != want {
+			t.Fatalf("exemplar %d latency = %d, want %d", i, exs[i].Latency, want)
+		}
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d after all delivered", c.Pending())
+	}
+}
+
+func TestCollectorWinnerAttribution(t *testing.T) {
+	// Duplicated packet: copy 11 (lane 0) is slow, clone 12 (lane 1) wins.
+	// Attribution must follow the winning copy's timeline.
+	evs := []Event{
+		{Time: 0, Kind: KindIngress, PktID: 11, OrigID: 11, FlowID: 5, Seq: 3, Path: -1, A: 200},
+		{Time: 0, Kind: KindSteer, PktID: 11, OrigID: 11, FlowID: 5, Seq: 3, Path: 0, A: 2},
+		{Time: 0, Kind: KindDupSent, PktID: 12, OrigID: 11, FlowID: 5, Seq: 3, Path: 1},
+		{Time: 0, Kind: KindEnqueue, PktID: 11, OrigID: 11, FlowID: 5, Seq: 3, Path: 0},
+		{Time: 5, Kind: KindEnqueue, PktID: 12, OrigID: 11, FlowID: 5, Seq: 3, Path: 1},
+		{Time: 300, Kind: KindService, PktID: 12, OrigID: 11, FlowID: 5, Seq: 3, Path: 1, A: 50},
+		{Time: 400, Kind: KindDeliver, PktID: 12, OrigID: 11, FlowID: 5, Seq: 3, Path: 1},
+	}
+	c := NewCollector(1)
+	for _, ev := range evs {
+		c.Emit(ev)
+	}
+	exs := c.Exemplars()
+	if len(exs) != 1 {
+		t.Fatalf("got %d exemplars", len(exs))
+	}
+	ex := exs[0]
+	if !ex.Duplicated || ex.WinnerPath != 1 {
+		t.Fatalf("dup=%v winner=%d, want true/1", ex.Duplicated, ex.WinnerPath)
+	}
+	want := Attribution{PreQueue: 5, QueueWait: 45, Service: 250, ReorderWait: 100}
+	if ex.Attr != want {
+		t.Fatalf("attribution = %+v, want %+v", ex.Attr, want)
+	}
+	if ex.Attr.Total() != ex.Latency {
+		t.Fatalf("components sum to %d, latency %d", ex.Attr.Total(), ex.Latency)
+	}
+
+	// The losing copy's straggler service event must not corrupt state or
+	// leak a pending timeline.
+	c.Emit(Event{Time: 900, Kind: KindService, PktID: 11, OrigID: 11, FlowID: 5, Seq: 3, Path: 0, A: 600})
+	if c.Pending() != 0 {
+		t.Fatalf("straggler leaked a pending timeline (pending=%d)", c.Pending())
+	}
+}
+
+func TestCollectorDropsAndConsumesFinalize(t *testing.T) {
+	c := NewCollector(4)
+	// Conclusive drop (B=1): timeline discarded, nothing kept.
+	c.Emit(Event{Time: 0, Kind: KindIngress, PktID: 1, OrigID: 1, FlowID: 1, Seq: 0, Path: -1})
+	c.Emit(Event{Time: 10, Kind: KindDrop, PktID: 1, OrigID: 1, FlowID: 1, Seq: 0, Path: 0, A: 1, B: 1})
+	// Copy-level drop (B=0): timeline stays open, then delivers.
+	c.Emit(Event{Time: 20, Kind: KindIngress, PktID: 2, OrigID: 2, FlowID: 1, Seq: 1, Path: -1})
+	c.Emit(Event{Time: 30, Kind: KindDrop, PktID: 3, OrigID: 2, FlowID: 1, Seq: 1, Path: 1, A: 2, B: 0})
+	c.Emit(Event{Time: 40, Kind: KindDeliver, PktID: 2, OrigID: 2, FlowID: 1, Seq: 1, Path: 0})
+	// Consumed by the chain: completed but never delivered, not an exemplar.
+	c.Emit(Event{Time: 50, Kind: KindIngress, PktID: 4, OrigID: 4, FlowID: 2, Seq: 0, Path: -1})
+	c.Emit(Event{Time: 60, Kind: KindConsume, PktID: 4, OrigID: 4, FlowID: 2, Seq: 0, Path: 0})
+
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", c.Pending())
+	}
+	exs := c.Exemplars()
+	if len(exs) != 1 || exs[0].OrigID != 2 {
+		t.Fatalf("exemplars = %+v, want exactly packet 2", exs)
+	}
+}
+
+func TestCollectorReplayFromStream(t *testing.T) {
+	// Offline rebuild (what mpdp-inspect does): encode a stream, decode it,
+	// replay through a fresh collector, and get identical exemplars.
+	live := NewCollector(2)
+	evs := timeline(1, 0, 0, 100, 400, 600, 1)
+	evs = append(evs, timeline(2, 1000, 1000, 1010, 1300, 2400, 0)...)
+	for _, ev := range evs {
+		live.Emit(ev)
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := NewCollector(2)
+	for _, ev := range decoded {
+		replayed.Emit(ev)
+	}
+	a, b := live.Exemplars(), replayed.Exemplars()
+	if len(a) != len(b) {
+		t.Fatalf("live %d vs replayed %d exemplars", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].OrigID != b[i].OrigID || a[i].Latency != b[i].Latency || a[i].Attr != b[i].Attr {
+			t.Fatalf("exemplar %d differs: live %+v replayed %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReportHeadlineAndRender(t *testing.T) {
+	c := NewCollector(4)
+	// Two queue-wait-dominated exemplars on lane 3.
+	for _, ev := range timeline(1, 0, 0, 900, 1000, 1000, 3) {
+		c.Emit(ev)
+	}
+	for _, ev := range timeline(2, 5000, 5000, 5800, 5900, 5900, 3) {
+		c.Emit(ev)
+	}
+	r := BuildReport(c.Exemplars())
+	dom, frac := r.DominantComponent()
+	if dom != "queue-wait" || frac < 0.8 {
+		t.Fatalf("dominant = %s %.2f, want queue-wait > 0.8", dom, frac)
+	}
+	head := r.Headline()
+	if !strings.Contains(head, "queue-wait") || !strings.Contains(head, "lane 3") {
+		t.Fatalf("headline %q missing attribution", head)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"tail exemplars: 2", "hot lane: 3", "queue-wait"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Empty report renders without panicking.
+	var empty bytes.Buffer
+	if err := BuildReport(nil).Render(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(BuildReport(nil).Headline(), "no exemplars") {
+		t.Fatal("empty headline should say so")
+	}
+}
+
+func TestChromeTraceAndCSV(t *testing.T) {
+	c := NewCollector(2)
+	for _, ev := range timeline(1, 0, 0, 100, 400, 600, 1) {
+		c.Emit(ev)
+	}
+	exs := c.Exemplars()
+
+	var js bytes.Buffer
+	if err := WriteChromeTrace(&js, exs); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"traceEvents"`, `"queue-wait"`, `"thread_name"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Fatalf("chrome trace missing %s:\n%s", want, js.String())
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := WriteExemplarCSV(&csv, exs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv has %d lines, want header + 1 row:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "rank,orig_id") {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,1,1,1,1,0,0,600,600,0,100,300,200") {
+		t.Fatalf("csv row %q", lines[1])
+	}
+}

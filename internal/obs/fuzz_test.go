@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"mpdp/internal/sim"
+)
+
+// FuzzReader: arbitrary bytes must never panic the decoder (mpdp-inspect
+// reads user-supplied files); whatever decodes must satisfy the format
+// invariants.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleEvents()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(MagicOBS[:])
+	f.Add([]byte("garbage"))
+	f.Add(append(append([]byte{}, MagicOBS[:]...), make([]byte, recordSize/2)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var last sim.Time
+		for _, ev := range evs {
+			if int(ev.Kind) >= NumKinds {
+				t.Fatalf("undefined kind %d accepted", ev.Kind)
+			}
+			if ev.Time < 0 {
+				t.Fatal("negative timestamp accepted")
+			}
+			if ev.Time < last {
+				t.Fatal("non-monotonic timestamps accepted")
+			}
+			if ev.Path < -1 {
+				t.Fatalf("invalid path %d accepted", ev.Path)
+			}
+			last = ev.Time
+		}
+	})
+}

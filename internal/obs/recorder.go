@@ -1,0 +1,85 @@
+package obs
+
+import "io"
+
+// Recorder is the flight recorder: a fixed-capacity ring buffer of the
+// most recent events. When full it overwrites the oldest entry, like a
+// crash recorder — the tail of a run is always available at bounded
+// memory, no matter how long the run was.
+//
+// Recording is allocation-free after construction and purely
+// deterministic: the ring's contents are a function of the emitted event
+// sequence alone.
+type Recorder struct {
+	buf     []Event
+	next    int    // ring write cursor
+	n       int    // live entries (≤ cap)
+	emitted uint64 // total events ever emitted
+}
+
+// DefaultRecorderCap is the default ring capacity (events).
+const DefaultRecorderCap = 1 << 16
+
+// NewRecorder builds a recorder holding the last capacity events
+// (DefaultRecorderCap when ≤ 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCap
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(ev Event) {
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.emitted++
+}
+
+// Len returns the number of events currently held.
+func (r *Recorder) Len() int { return r.n }
+
+// Emitted returns the total number of events ever emitted at the ring.
+func (r *Recorder) Emitted() uint64 { return r.emitted }
+
+// Overwritten returns how many events the ring has already discarded.
+func (r *Recorder) Overwritten() uint64 { return r.emitted - uint64(r.n) }
+
+// Events returns the held events, oldest first (a copy; the ring keeps
+// recording).
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// WriteTo encodes the held events, oldest first, in the MPDPOBS1 binary
+// format. It returns the number of bytes written.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	ew, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		if err := ew.Write(r.buf[(start+i)%len(r.buf)]); err != nil {
+			return ew.BytesWritten(), err
+		}
+	}
+	if err := ew.Flush(); err != nil {
+		return ew.BytesWritten(), err
+	}
+	return ew.BytesWritten(), nil
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"mpdp/internal/sim"
+)
+
+func TestRecorderBasic(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Time: sim.Time(i * 10), Kind: KindIngress, OrigID: uint64(i)})
+	}
+	if r.Len() != 5 || r.Emitted() != 5 || r.Overwritten() != 0 {
+		t.Fatalf("Len=%d Emitted=%d Overwritten=%d", r.Len(), r.Emitted(), r.Overwritten())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.OrigID != uint64(i) {
+			t.Fatalf("event %d has OrigID %d", i, ev.OrigID)
+		}
+	}
+}
+
+func TestRecorderWraps(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Time: sim.Time(i * 10), Kind: KindIngress, OrigID: uint64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Emitted() != 10 || r.Overwritten() != 6 {
+		t.Fatalf("Emitted=%d Overwritten=%d, want 10/6", r.Emitted(), r.Overwritten())
+	}
+	evs := r.Events()
+	want := []uint64{6, 7, 8, 9} // the most recent four, oldest first
+	for i, ev := range evs {
+		if ev.OrigID != want[i] {
+			t.Fatalf("events = %v at %d, want OrigID %d", ev, i, want[i])
+		}
+	}
+}
+
+func TestRecorderWriteTo(t *testing.T) {
+	r := NewRecorder(16)
+	for _, ev := range sampleEvents() {
+		r.Emit(ev)
+	}
+	var buf bytes.Buffer
+	n, err := r.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	out, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	in := sampleEvents()
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRecorderDefaultCap(t *testing.T) {
+	r := NewRecorder(0)
+	if got := len(r.buf); got != DefaultRecorderCap {
+		t.Fatalf("default capacity = %d, want %d", got, DefaultRecorderCap)
+	}
+}

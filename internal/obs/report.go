@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report is the aggregate attribution over a set of tail exemplars: where
+// the slowest packets' time actually went, and which lanes served them.
+type Report struct {
+	Exemplars []Exemplar
+
+	// Aggregate components over all exemplars.
+	Total Attribution
+	// LaneCounts maps winner lane -> number of exemplars it served.
+	LaneCounts map[int32]int
+	// Duplicated is how many exemplars were sent as multiple copies.
+	Duplicated int
+}
+
+// BuildReport aggregates exemplars (as returned by Collector.Exemplars)
+// into an attribution report.
+func BuildReport(exemplars []Exemplar) *Report {
+	r := &Report{Exemplars: exemplars, LaneCounts: make(map[int32]int)}
+	for _, ex := range exemplars {
+		r.Total.PreQueue += ex.Attr.PreQueue
+		r.Total.QueueWait += ex.Attr.QueueWait
+		r.Total.Service += ex.Attr.Service
+		r.Total.ReorderWait += ex.Attr.ReorderWait
+		r.LaneCounts[ex.WinnerPath]++
+		if ex.Duplicated {
+			r.Duplicated++
+		}
+	}
+	return r
+}
+
+// Fractions returns each component's share of the exemplars' total
+// latency, in [0,1].
+func (r *Report) Fractions() (preQueue, queueWait, service, reorder float64) {
+	t := float64(r.Total.Total())
+	if t <= 0 {
+		return 0, 0, 0, 0
+	}
+	return float64(r.Total.PreQueue) / t, float64(r.Total.QueueWait) / t,
+		float64(r.Total.Service) / t, float64(r.Total.ReorderWait) / t
+}
+
+// DominantComponent names the stage that contributed the most latency
+// across the exemplars, with its share.
+func (r *Report) DominantComponent() (string, float64) {
+	pq, qw, sv, ro := r.Fractions()
+	name, frac := "queue-wait", qw
+	if pq > frac {
+		name, frac = "pre-queue", pq
+	}
+	if sv > frac {
+		name, frac = "service", sv
+	}
+	if ro > frac {
+		name, frac = "reorder-wait", ro
+	}
+	return name, frac
+}
+
+// hotLane returns the lane serving the most exemplars (ties to the lowest
+// lane id, keeping output deterministic).
+func (r *Report) hotLane() (int32, int) {
+	lanes := make([]int32, 0, len(r.LaneCounts))
+	for l := range r.LaneCounts {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i] < lanes[j] })
+	best, bestN := int32(-1), 0
+	for _, l := range lanes {
+		if n := r.LaneCounts[l]; n > bestN {
+			best, bestN = l, n
+		}
+	}
+	return best, bestN
+}
+
+// Render writes the human-readable attribution report: a headline
+// ("the tail is X% queue-wait, concentrated on lane Y"), then one line
+// per exemplar with its exact breakdown.
+func (r *Report) Render(w io.Writer) error {
+	var b strings.Builder
+	n := len(r.Exemplars)
+	fmt.Fprintf(&b, "-- tail exemplars: %d slowest delivered packets --\n", n)
+	if n == 0 {
+		b.WriteString("(no delivered packets recorded)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	pq, qw, sv, ro := r.Fractions()
+	dom, domFrac := r.DominantComponent()
+	lane, laneN := r.hotLane()
+	fmt.Fprintf(&b, "worst latency: %v   attribution: %.0f%% %s\n",
+		r.Exemplars[0].Latency, domFrac*100, dom)
+	fmt.Fprintf(&b, "breakdown: pre-queue %.1f%%  queue-wait %.1f%%  service %.1f%%  reorder-wait %.1f%%\n",
+		pq*100, qw*100, sv*100, ro*100)
+	fmt.Fprintf(&b, "hot lane: %d served %d/%d exemplars; %d/%d were duplicated\n",
+		lane, laneN, n, r.Duplicated, n)
+	b.WriteString("\n  #  latency     flow:seq              lane  queue       service     reorder     dup\n")
+	for i, ex := range r.Exemplars {
+		dup := "-"
+		if ex.Duplicated {
+			dup = "yes"
+		}
+		fmt.Fprintf(&b, "%3d  %-10v  %016x:%-4d  %4d  %-10v  %-10v  %-10v  %s\n",
+			i+1, ex.Latency, ex.FlowID, ex.Seq, ex.WinnerPath,
+			ex.Attr.QueueWait, ex.Attr.Service, ex.Attr.ReorderWait, dup)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Headline returns the one-line summary used in experiment notes, e.g.
+// "tail = 84% queue-wait (lane 2 served 6/8 exemplars)".
+func (r *Report) Headline() string {
+	if len(r.Exemplars) == 0 {
+		return "tail = (no exemplars)"
+	}
+	dom, frac := r.DominantComponent()
+	lane, laneN := r.hotLane()
+	return fmt.Sprintf("tail = %.0f%% %s (lane %d served %d/%d exemplars)",
+		frac*100, dom, lane, laneN, len(r.Exemplars))
+}

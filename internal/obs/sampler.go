@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"mpdp/internal/sim"
+	"mpdp/internal/stats"
+)
+
+// LaneSample is one instantaneous reading of a lane's gauges.
+type LaneSample struct {
+	// Depth is the lane's queue depth including the packet in service.
+	Depth int
+	// InFlight is copies sent to the lane and not yet resolved.
+	InFlight int
+	// Health is the path's health state (core.HealthState as an int).
+	Health int
+	// Served is the lane's cumulative completion count; the sampler
+	// differentiates it into a per-window service rate.
+	Served uint64
+}
+
+// LaneProbe reads lane i's gauges at the current virtual time. Probes
+// must be read-only: sampling may never perturb the run.
+type LaneProbe func(lane int) LaneSample
+
+// LaneSeries is the sampled time series of one lane's gauges. Each gauge
+// is a stats.WindowSeries (a histogram per time window), so downstream
+// consumers can read means, maxima, or percentiles per window.
+type LaneSeries struct {
+	Lane     int
+	Depth    *stats.WindowSeries // queue depth samples
+	InFlight *stats.WindowSeries // in-flight copy samples
+	Health   *stats.WindowSeries // health state samples (0=up..3=probing)
+	Rate     *stats.WindowSeries // completions observed per sample tick
+}
+
+// Sampler polls per-lane gauges on the virtual-time ticker. It is
+// read-only and seed-deterministic: ticks land at fixed virtual times and
+// probes only read engine state, so an attached sampler changes no
+// experiment numbers.
+type Sampler struct {
+	series     []LaneSeries
+	probe      LaneProbe
+	ticker     *sim.Ticker
+	lastServed []uint64
+}
+
+// NewSampler starts sampling lanes [0,lanes) every period, binning the
+// series into windows of the given length (window <= 0 takes the period,
+// i.e. one sample per bin). Call Stop at end of measurement.
+func NewSampler(s *sim.Simulator, period, window sim.Duration, lanes int, probe LaneProbe) *Sampler {
+	if period <= 0 {
+		panic("obs: NewSampler with non-positive period")
+	}
+	if window <= 0 {
+		window = period
+	}
+	sp := &Sampler{probe: probe, lastServed: make([]uint64, lanes)}
+	for i := 0; i < lanes; i++ {
+		sp.series = append(sp.series, LaneSeries{
+			Lane:     i,
+			Depth:    stats.NewWindowSeries(int64(window)),
+			InFlight: stats.NewWindowSeries(int64(window)),
+			Health:   stats.NewWindowSeries(int64(window)),
+			Rate:     stats.NewWindowSeries(int64(window)),
+		})
+	}
+	sp.ticker = sim.NewTicker(s, period, sp.tick)
+	return sp
+}
+
+func (sp *Sampler) tick(now sim.Time) {
+	for i := range sp.series {
+		ls := sp.probe(i)
+		se := &sp.series[i]
+		se.Depth.Add(int64(now), int64(ls.Depth))
+		se.InFlight.Add(int64(now), int64(ls.InFlight))
+		se.Health.Add(int64(now), int64(ls.Health))
+		se.Rate.Add(int64(now), int64(ls.Served-sp.lastServed[i]))
+		sp.lastServed[i] = ls.Served
+	}
+}
+
+// Stop halts the ticker. The collected series remain readable.
+func (sp *Sampler) Stop() { sp.ticker.Stop() }
+
+// Series returns the per-lane series (shared, not copied).
+func (sp *Sampler) Series() []LaneSeries { return sp.series }

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"testing"
+
+	"mpdp/internal/sim"
+)
+
+func TestSamplerSamplesAndDifferentiates(t *testing.T) {
+	s := sim.New()
+	// Fake gauges: depth rises 1 per µs tick on lane 0; served counts 10
+	// completions per tick on lane 1.
+	var tick int
+	probe := func(lane int) LaneSample {
+		switch lane {
+		case 0:
+			return LaneSample{Depth: tick, Health: 1}
+		default:
+			return LaneSample{Served: uint64(10 * tick)}
+		}
+	}
+	sp := NewSampler(s, sim.Microsecond, 10*sim.Microsecond, 2, probe)
+	// Advance the fake gauges just before each sampler tick fires.
+	for i := 1; i <= 20; i++ {
+		at := sim.Time(i) * sim.Time(sim.Microsecond)
+		s.At(at-1, func() { tick++ })
+	}
+	s.RunUntil(sim.Time(21 * sim.Microsecond))
+	sp.Stop()
+
+	series := sp.Series()
+	if len(series) != 2 {
+		t.Fatalf("got %d lane series, want 2", len(series))
+	}
+	depth := series[0].Depth.Points()
+	// Ticks at 1..20 µs with 10 µs windows: bins [0,10), [10,20), [20,30).
+	if len(depth) != 3 {
+		t.Fatalf("depth bins = %d, want 3", len(depth))
+	}
+	if got := depth[0].Hist.Max(); got != 9 {
+		t.Fatalf("window 0 max depth = %d, want 9", got)
+	}
+	if got := depth[1].Hist.Max(); got != 19 {
+		t.Fatalf("window 1 max depth = %d, want 19", got)
+	}
+	// Health gauge is recorded as-is.
+	if got := series[0].Health.Points()[0].Hist.Max(); got != 1 {
+		t.Fatalf("health sample = %d, want 1", got)
+	}
+	// Rate is the served delta per tick: first tick sees 10-0, then 10 each.
+	rate := series[1].Rate.Points()
+	if len(rate) == 0 || rate[0].Hist.Max() != 10 || rate[0].Hist.Min() != 10 {
+		t.Fatalf("rate window 0 = min %d max %d, want 10/10",
+			rate[0].Hist.Min(), rate[0].Hist.Max())
+	}
+
+	// Stopped sampler records nothing further.
+	before := series[0].Depth.Points()
+	s.RunUntil(sim.Time(40 * sim.Microsecond))
+	after := series[0].Depth.Points()
+	if len(after) != len(before) {
+		t.Fatal("sampler kept recording after Stop")
+	}
+}
+
+func TestSamplerRejectsBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for period <= 0")
+		}
+	}()
+	NewSampler(sim.New(), 0, 0, 1, func(int) LaneSample { return LaneSample{} })
+}
