@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"mpdp/internal/experiment"
+	"mpdp/internal/sim"
+)
+
+// benchScenario is one canonical configuration for the machine-readable
+// benchmark mode (-bench-json). The set spans the headline comparison:
+// single-path vs multipath, quiet vs interfered host.
+type benchScenario struct {
+	name string
+	cfg  experiment.RunConfig
+}
+
+func benchScenarios(seed uint64, quick bool) []benchScenario {
+	dur := 50 * sim.Millisecond
+	if quick {
+		dur = 10 * sim.Millisecond
+	}
+	base := func(policy, intf string) experiment.RunConfig {
+		return experiment.RunConfig{
+			Seed: seed, Policy: policy, Interference: intf,
+			Util: 0.7, Duration: dur,
+		}
+	}
+	return []benchScenario{
+		{"single_none", base("single", "none")},
+		{"single_moderate", base("single", "moderate")},
+		{"mpdp_none", base("mpdp", "none")},
+		{"mpdp_moderate", base("mpdp", "moderate")},
+	}
+}
+
+// benchDoc is the JSON document one scenario emits: enough for a CI
+// artifact to diff runs (throughput, tail latency, allocation pressure).
+type benchDoc struct {
+	Scenario     string  `json:"scenario"`
+	Policy       string  `json:"policy"`
+	Interference string  `json:"interference"`
+	Seed         uint64  `json:"seed"`
+	Quick        bool    `json:"quick"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Offered      uint64  `json:"offered"`
+	Delivered    uint64  `json:"delivered"`
+	DeliveryRate float64 `json:"delivery_rate"`
+	GoodputGbps  float64 `json:"goodput_gbps"`
+	ThroughputPS float64 `json:"throughput_pkts_per_sec"` // wall-clock simulation speed
+
+	LatencyNS struct {
+		Mean float64 `json:"mean"`
+		P50  int64   `json:"p50"`
+		P90  int64   `json:"p90"`
+		P99  int64   `json:"p99"`
+		P999 int64   `json:"p999"`
+		Max  int64   `json:"max"`
+	} `json:"latency_ns"`
+
+	WallMS float64 `json:"wall_ms"`
+	Allocs struct {
+		Mallocs         uint64  `json:"mallocs"`
+		TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+		PerPacket       float64 `json:"mallocs_per_offered_packet"`
+	} `json:"allocs"`
+}
+
+// runBenchJSON runs the canonical scenarios and writes one
+// BENCH_<scenario>.json per scenario into dir.
+func runBenchJSON(dir string, seed uint64, quick bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, sc := range benchScenarios(seed, quick) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := experiment.Run(sc.cfg)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.name, err)
+		}
+
+		var doc benchDoc
+		doc.Scenario = sc.name
+		doc.Policy = res.Config.Policy
+		doc.Interference = res.Config.Interference
+		doc.Seed = seed
+		doc.Quick = quick
+		doc.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		doc.Offered = res.Offered
+		doc.Delivered = res.Delivered
+		doc.DeliveryRate = res.DeliveryRate
+		doc.GoodputGbps = res.GoodputGbps
+		if s := wall.Seconds(); s > 0 {
+			doc.ThroughputPS = float64(res.Offered) / s
+		}
+		doc.LatencyNS.Mean = res.Latency.Mean
+		doc.LatencyNS.P50 = res.Latency.P50
+		doc.LatencyNS.P90 = res.Latency.P90
+		doc.LatencyNS.P99 = res.Latency.P99
+		doc.LatencyNS.P999 = res.Latency.P999
+		doc.LatencyNS.Max = res.Latency.Max
+		doc.WallMS = float64(wall.Microseconds()) / 1000
+		doc.Allocs.Mallocs = after.Mallocs - before.Mallocs
+		doc.Allocs.TotalAllocBytes = after.TotalAlloc - before.TotalAlloc
+		if res.Offered > 0 {
+			doc.Allocs.PerPacket = float64(doc.Allocs.Mallocs) / float64(res.Offered)
+		}
+
+		path := filepath.Join(dir, "BENCH_"+sc.name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%-18s p99=%8.1fus delivered=%5.1f%% wall=%7.1fms allocs/pkt=%5.1f -> %s\n",
+			sc.name, float64(res.Latency.P99)/1000, res.DeliveryRate*100,
+			doc.WallMS, doc.Allocs.PerPacket, path)
+	}
+	return nil
+}

@@ -15,6 +15,13 @@
 //	mpdp-bench -exemplars 8                    # attribution report
 //	mpdp-bench -exemplars 8 -chrome tail.json  # + Perfetto-viewable trace
 //	mpdp-bench -exemplars 8 -events run.obs    # + raw event stream (mpdp-inspect)
+//
+// Machine-readable benchmark mode (-bench-json DIR) runs the canonical
+// single-path/multipath × quiet/interfered scenarios and writes one
+// BENCH_<scenario>.json per scenario (throughput, latency quantiles,
+// allocation counts) — the artifact CI archives per commit:
+//
+//	mpdp-bench -bench-json out/ -quick
 package main
 
 import (
@@ -46,9 +53,19 @@ func main() {
 		exemplarCSV = flag.String("exemplar-csv", "", "profile mode: write the exemplar latency decomposition as CSV")
 		policy      = flag.String("policy", "mpdp", "profile mode: steering policy")
 		intf        = flag.String("interference", "moderate", "profile mode: interference level (none/light/moderate/heavy)")
+
+		benchJSON = flag.String("bench-json", "", "run the canonical benchmark scenarios and write BENCH_<scenario>.json files into this directory")
 	)
 	flag.Parse()
 	experiment.SetVerify(*verify)
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *exemplars > 0 {
 		if err := runProfile(*exemplars, *seed, *quick, *plot, *csv, *events, *chrome, *exemplarCSV, *policy, *intf); err != nil {

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// inspectLive fetches a running engine's Prometheus exposition and renders
+// the latency histograms as ASCII distributions plus derived quantiles —
+// the live counterpart of replaying an .obs file.
+func inspectLive(baseURL string) error {
+	url := strings.TrimSuffix(baseURL, "/") + "/metrics"
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+
+	hists, scalars, err := parsePromHistograms(resp.Body)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("live metrics from %s:\n\n", url)
+
+	// Scalars first: the engine's counters and gauges, sorted.
+	names := make([]string, 0, len(scalars))
+	for n := range scalars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-48s %s\n", n, trimFloat(scalars[n]))
+	}
+
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println()
+		renderHistogram(k, hists[k])
+	}
+	if len(hists) == 0 {
+		fmt.Println("\n(no histogram families exposed)")
+	}
+	return nil
+}
+
+// promHist is one histogram series reassembled from _bucket/_sum/_count
+// lines: cumulative buckets in exposition order.
+type promHist struct {
+	les    []float64 // upper bounds, +Inf last
+	cum    []uint64
+	sum    float64
+	count  uint64
+	quants map[string]float64 // derived _p50.. gauges, if present
+}
+
+// parsePromHistograms splits a text exposition into histogram families
+// (keyed by family+labels, le stripped) and the remaining scalar series.
+func parsePromHistograms(r interface{ Read([]byte) (int, error) }) (map[string]*promHist, map[string]float64, error) {
+	hists := make(map[string]*promHist)
+	scalars := make(map[string]float64)
+	histFamilies := make(map[string]bool)
+
+	get := func(key string) *promHist {
+		h, ok := hists[key]
+		if !ok {
+			h = &promHist{quants: map[string]float64{}}
+			hists[key] = h
+		}
+		return h
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			if f := strings.Fields(line); len(f) == 4 && f[1] == "TYPE" && f[3] == "histogram" {
+				histFamilies[f[2]] = true
+			}
+			continue
+		}
+		name, labels, val, ok := parsePromLine(line)
+		if !ok {
+			continue
+		}
+		base, suffix := histBase(name, histFamilies)
+		switch suffix {
+		case "_bucket":
+			le := labels["le"]
+			delete(labels, "le")
+			key := base + labelKey(labels)
+			h := get(key)
+			lef := math.Inf(1)
+			if le != "+Inf" {
+				lef, _ = strconv.ParseFloat(le, 64)
+			}
+			h.les = append(h.les, lef)
+			h.cum = append(h.cum, uint64(val))
+		case "_sum":
+			get(base + labelKey(labels)).sum = val
+		case "_count":
+			get(base + labelKey(labels)).count = uint64(val)
+		case "_p50", "_p90", "_p99", "_p999":
+			get(base + labelKey(labels)).quants[suffix[1:]] = val
+		default:
+			scalars[name+labelKey(labels)] = val
+		}
+	}
+	return hists, scalars, sc.Err()
+}
+
+// histBase splits "fam_bucket" into ("fam", "_bucket") when fam is a known
+// histogram family; otherwise returns (name, "").
+func histBase(name string, families map[string]bool) (string, string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count", "_p50", "_p90", "_p99", "_p999"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok && families[base] {
+			return base, suffix
+		}
+	}
+	return name, ""
+}
+
+// parsePromLine parses `name{k="v",...} value`.
+func parsePromLine(line string) (name string, labels map[string]string, val float64, ok bool) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return "", nil, 0, false
+	}
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	series := strings.TrimSpace(line[:sp])
+	labels = map[string]string{}
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		name = series[:i]
+		block := strings.TrimSuffix(series[i+1:], "}")
+		for _, pair := range splitLabelPairs(block) {
+			if eq := strings.IndexByte(pair, '='); eq > 0 {
+				labels[pair[:eq]] = strings.Trim(pair[eq+1:], `"`)
+			}
+		}
+	} else {
+		name = series
+	}
+	return name, labels, v, true
+}
+
+// splitLabelPairs splits `a="x",b="y,z"` on commas outside quotes.
+func splitLabelPairs(block string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(block); i++ {
+		switch block[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, block[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(block) {
+		out = append(out, block[start:])
+	}
+	return out
+}
+
+// labelKey renders labels back to a stable `{k="v",...}` block.
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// renderHistogram prints one family as per-bucket bars (from cumulative
+// diffs) with the derived quantiles alongside.
+func renderHistogram(key string, h *promHist) {
+	fmt.Printf("%s: count=%d", key, h.count)
+	if h.count > 0 {
+		fmt.Printf(" mean=%s", trimFloat(h.sum/float64(h.count)))
+	}
+	for _, q := range []string{"p50", "p90", "p99", "p999"} {
+		if v, ok := h.quants[q]; ok {
+			fmt.Printf(" %s=%s", q, trimFloat(v))
+		}
+	}
+	fmt.Println()
+	if len(h.les) == 0 || h.count == 0 {
+		return
+	}
+	var maxN uint64
+	var prev uint64
+	counts := make([]uint64, len(h.cum))
+	for i, c := range h.cum {
+		counts[i] = c - prev
+		prev = c
+		if counts[i] > maxN {
+			maxN = counts[i]
+		}
+	}
+	const width = 48
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		bar := int(float64(n) / float64(maxN) * width)
+		if bar == 0 {
+			bar = 1
+		}
+		le := "+Inf"
+		if !math.IsInf(h.les[i], 1) {
+			le = trimFloat(h.les[i])
+		}
+		fmt.Printf("  le %-14s %8d %s\n", le, n, strings.Repeat("#", bar))
+	}
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// failIf exits on error with the inspect prefix.
+func failIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpdp-inspect: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,12 @@
 //	mpdp-inspect -timelines 3 run.obs    # also print the 3 slowest timelines
 //	mpdp-inspect -pkt 2552 run.obs       # full timeline of one packet
 //	mpdp-inspect -chrome tail.json run.obs  # export exemplars for Perfetto
+//
+// Live mode (-live URL) skips the event stream entirely and renders a
+// running engine's metrics instead: scalars, then every histogram family
+// (per-stage latency spans) as an ASCII distribution with quantiles:
+//
+//	mpdp-inspect -live http://localhost:9090
 package main
 
 import (
@@ -28,10 +34,15 @@ func main() {
 		timelines = flag.Int("timelines", 0, "print full event timelines for the N slowest packets")
 		pkt       = flag.Uint64("pkt", 0, "print the full timeline of this packet (orig ID) and exit")
 		chrome    = flag.String("chrome", "", "export exemplar timelines as Chrome trace-event JSON")
+		liveURL   = flag.String("live", "", "inspect a running engine's metrics at this base URL instead of an .obs file")
 	)
 	flag.Parse()
+	if *liveURL != "" {
+		failIf(inspectLive(*liveURL))
+		return
+	}
 	if flag.NArg() != 1 {
-		fail("usage: mpdp-inspect [flags] <events.obs>")
+		fail("usage: mpdp-inspect [flags] <events.obs> | mpdp-inspect -live <url>")
 	}
 	path := flag.Arg(0)
 

@@ -9,10 +9,16 @@
 //	mpdp-live -paths 4 -policy flowlet -packets 2000000
 //	mpdp-live -paths 8 -chain 5 -payload 1400
 //	mpdp-live -listen :9090 -rate 200000   # watch at /metrics, /metrics.json
+//	mpdp-live -listen :9090 -slo "p99<2ms,avail>99.9"   # + /slo.json
+//	mpdp-live -debug-listen 127.0.0.1:6060 # pprof + /debug/vars
 //
 // With -listen, the engine's counter registry is served over HTTP while
-// the run is in flight: /metrics is Prometheus text exposition,
-// /metrics.json an expvar-style JSON snapshot with per-second rates.
+// the run is in flight: /metrics is Prometheus text exposition (per-stage
+// latency histograms included), /metrics.json an expvar-style JSON
+// snapshot with per-second rates. With -slo, deliveries and losses feed a
+// multi-window burn-rate tracker served at /slo.json and as mpdp_slo_*
+// series. -debug-listen binds net/http/pprof and expvar on a separate
+// address (keep it loopback).
 package main
 
 import (
@@ -42,8 +48,20 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		listen  = flag.String("listen", "", "serve live metrics over HTTP on this address (e.g. :9090)")
 		hold    = flag.Duration("hold", 0, "with -listen: keep serving this long after the run completes")
+		sloSpec = flag.String("slo", "", `SLO objectives, e.g. "p99<2ms,avail>99.9" (enables /slo.json and mpdp_slo_* metrics)`)
+		debug   = flag.String("debug-listen", "", "serve pprof and /debug/vars on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+
+	var tracker *live.SLOTracker
+	if *sloSpec != "" {
+		obj, err := live.ParseSLO(*sloSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-live: %v\n", err)
+			os.Exit(1)
+		}
+		tracker = live.NewSLOTracker(obj, nil)
+	}
 
 	rng := xrand.New(*seed)
 	var sizes workload.SizeDist = workload.IMIX{Rng: rng.Split()}
@@ -67,23 +85,60 @@ func main() {
 		Paths:        *paths,
 		ChainFactory: func(i int) *nf.Chain { return nf.PresetChain(*chain) },
 		Policy:       live.PolicyName(*policy),
+		SLO:          tracker,
 	}, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpdp-live: %v\n", err)
 		os.Exit(1)
 	}
 
+	if tracker != nil {
+		// Drive the tracker's snapshot rings and state machine.
+		stopTick := make(chan struct{})
+		defer close(stopTick)
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopTick:
+					return
+				case <-t.C:
+					tracker.Tick()
+				}
+			}
+		}()
+	}
+
 	var sampler *live.MetricsSampler
 	if *listen != "" {
 		sampler = live.NewMetricsSampler(e.Metrics(), time.Second, 300)
 		defer sampler.Stop()
-		srv := &http.Server{Addr: *listen, Handler: live.MetricsHandler(e.Metrics(), sampler)}
+		mux := http.NewServeMux()
+		mh := live.MetricsHandler(e.Metrics(), sampler)
+		mux.Handle("/metrics", mh)
+		mux.Handle("/metrics.json", mh)
+		endpoints := "/metrics, /metrics.json"
+		if tracker != nil {
+			mux.Handle("/slo.json", live.SLOHandler(tracker))
+			endpoints += ", /slo.json"
+		}
+		srv := &http.Server{Addr: *listen, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "mpdp-live: metrics server: %v\n", err)
 			}
 		}()
-		fmt.Printf("serving metrics on %s (/metrics, /metrics.json)\n", *listen)
+		fmt.Printf("serving metrics on %s (%s)\n", *listen, endpoints)
+	}
+	if *debug != "" {
+		srv := &http.Server{Addr: *debug, Handler: live.DebugHandler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "mpdp-live: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving pprof and expvar on %s (/debug/pprof/, /debug/vars)\n", *debug)
 	}
 
 	start := time.Now()
@@ -122,6 +177,27 @@ func main() {
 		float64(st.Latency.P50)/1000, float64(st.Latency.P99)/1000, float64(st.Latency.P999)/1000)
 	for i, served := range st.PerLane {
 		fmt.Printf("  lane %d served %d\n", i, served)
+	}
+
+	if spans := e.StageSnapshot(); spans != nil {
+		fmt.Println("per-stage wall latency:")
+		fmt.Printf("  %-18s %10s %10s %10s %10s\n", "stage", "count", "p50(us)", "p99(us)", "max(us)")
+		for _, sp := range spans {
+			fmt.Printf("  %-18s %10d %10.1f %10.1f %10.1f\n", sp.Stage, sp.Latency.Count,
+				float64(sp.Latency.P50)/1000, float64(sp.Latency.P99)/1000, float64(sp.Latency.Max)/1000)
+		}
+	}
+
+	if tracker != nil {
+		tracker.Tick() // final evaluation over the whole run
+		status := tracker.Status()
+		fmt.Printf("slo %q: state=%s", status.Objective, status.State)
+		for _, k := range []string{"latency_good_ratio", "avail_good_ratio"} {
+			if v, ok := status.Ratios[k]; ok {
+				fmt.Printf(" %s=%.5f", k, v)
+			}
+		}
+		fmt.Println()
 	}
 
 	if *listen != "" && *hold > 0 {

@@ -67,6 +67,12 @@ type Config struct {
 	// the adaptivity-timeline experiment.
 	TimelineWindow sim.Duration
 
+	// StageTiming, when set, records every chain element's virtual service
+	// cost into per-stage histograms (Metrics.StageService) — the
+	// simulated analogue of the live engine's per-NF span timing. Off by
+	// default: the hook adds one closure call per element per packet.
+	StageTiming bool
+
 	// Health tunes the path-health state machine (zero values take
 	// defaults; Health.Disable turns it off).
 	Health HealthConfig
@@ -183,6 +189,7 @@ func New(s *sim.Simulator, cfg Config, sink DeliverFunc) *DataPlane {
 			Chain:            cfg.ChainFactory(i),
 			DispatchOverhead: cfg.DispatchOverhead,
 			JitterSigma:      cfg.JitterSigma,
+			StageHook:        dp.metrics.stageHook(cfg.StageTiming),
 		}
 		if laneCfg.QueueCap == 0 {
 			laneCfg.QueueCap = 512

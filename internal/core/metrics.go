@@ -1,6 +1,7 @@
 package core
 
 import (
+	"mpdp/internal/nf"
 	"mpdp/internal/packet"
 	"mpdp/internal/sim"
 	"mpdp/internal/stats"
@@ -20,6 +21,13 @@ type Metrics struct {
 
 	// Timeline, non-nil when configured, bins latency by delivery time.
 	Timeline *stats.WindowSeries
+
+	// Per-element service-cost histograms, populated only when
+	// Config.StageTiming is on. Indexed by chain position; names taken from
+	// the first lane to report each stage (chains are homogeneous across
+	// lanes in every preset; heterogeneous chains keep the first-seen name).
+	stageHists []*stats.Hist
+	stageNames []string
 
 	offered        uint64
 	offeredBytes   uint64
@@ -58,6 +66,46 @@ func (m *Metrics) recordDelivery(p *packet.Packet) {
 	m.ReorderWait.Record(int64(p.ReorderWait()))
 	if m.Timeline != nil {
 		m.Timeline.Add(int64(p.Delivered), lat)
+	}
+}
+
+// recordStage accumulates one element's service cost. Single-threaded like
+// the rest of the engine (the simulator is sequential), so plain slices.
+func (m *Metrics) recordStage(i int, name string, cost sim.Duration) {
+	for len(m.stageHists) <= i {
+		m.stageHists = append(m.stageHists, stats.NewHist())
+		m.stageNames = append(m.stageNames, "")
+	}
+	if m.stageNames[i] == "" {
+		m.stageNames[i] = name
+	}
+	m.stageHists[i].Record(int64(cost))
+}
+
+// StageStat is one chain position's virtual service-cost distribution.
+type StageStat struct {
+	Name    string
+	Latency stats.Summary
+}
+
+// StageService returns per-element service-cost summaries in chain order.
+// Empty unless the engine ran with Config.StageTiming.
+func (m *Metrics) StageService() []StageStat {
+	out := make([]StageStat, len(m.stageHists))
+	for i, h := range m.stageHists {
+		out[i] = StageStat{Name: m.stageNames[i], Latency: h.Summarize()}
+	}
+	return out
+}
+
+// StageHook returns the metrics sink usable as an nf.StageHook, or nil
+// when stage timing is off (so lanes keep the unhooked fast path).
+func (m *Metrics) stageHook(enabled bool) nf.StageHook {
+	if !enabled {
+		return nil
+	}
+	return func(i int, e nf.Element, r nf.Result) {
+		m.recordStage(i, e.Name(), r.Cost)
 	}
 }
 

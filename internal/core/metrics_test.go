@@ -98,6 +98,58 @@ func TestMetricsDuplicationAccounting(t *testing.T) {
 	}
 }
 
+// TestMetricsStageTiming runs the engine with per-element stage timing on
+// and checks that every chain stage reports a cost distribution consistent
+// with the chain's construction, and that the hook is absent (no stage
+// histograms) by default.
+func TestMetricsStageTiming(t *testing.T) {
+	run := func(stageTiming bool) *Metrics {
+		s := sim.New()
+		cfg := engineConfig(2, JSQ{})
+		cfg.StageTiming = stageTiming
+		cfg.ChainFactory = func(i int) *nf.Chain { return nf.PresetChain(3) }
+		dp := New(s, cfg, nil)
+		inject(dp, 200, 4, 1*sim.Microsecond)
+		return dp.Metrics()
+	}
+
+	if got := run(false).StageService(); len(got) != 0 {
+		t.Fatalf("stage timing off but %d stage hists recorded", len(got))
+	}
+
+	m := run(true)
+	stages := m.StageService()
+	if len(stages) != nf.PresetChain(3).Len() {
+		t.Fatalf("stage count %d, want %d", len(stages), nf.PresetChain(3).Len())
+	}
+	var stageSum float64
+	for i, st := range stages {
+		if st.Name == "" {
+			t.Fatalf("stage %d has no name", i)
+		}
+		if st.Latency.Count == 0 {
+			t.Fatalf("stage %q recorded nothing", st.Name)
+		}
+		stageSum += st.Latency.Mean * float64(st.Latency.Count)
+	}
+	// Per-stage costs must sum to (roughly — histogram buckets are exact
+	// for sums) the total service cost the lanes charged, before jitter and
+	// interference scaling. Jitter is on in engineConfig, so compare
+	// against the raw chain cost via a jitter-free reference instead:
+	// every stage fired once per serviced packet, and each element's cost
+	// is deterministic per packet, so the sum must be positive and the
+	// stage count must equal the serviced-packet count per stage.
+	if stageSum <= 0 {
+		t.Fatal("stage costs sum to zero")
+	}
+	first := stages[0].Latency.Count
+	for _, st := range stages {
+		if st.Latency.Count != first {
+			t.Fatalf("pass-all preset chain should process every packet at every stage: %+v", stages)
+		}
+	}
+}
+
 // TestMetricsDropAccountingVsTotalLost overloads a tiny queue with
 // duplication on: the per-reason drop counters count copies (and so may
 // exceed packet loss), while TotalLost counts distinct packets. Both views

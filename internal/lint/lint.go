@@ -197,7 +197,10 @@ func RelativizeFindings(findings []Finding, base string) {
 
 // simPackages are the import-path prefixes holding simulation code, where
 // the determinism contract (no wall clock, no math/rand) is absolute.
-// internal/live bridges to real time by design and is deliberately absent.
+// internal/live bridges to real time by design and is deliberately absent:
+// its histogram shards pick a stripe with math/rand/v2 and its SLO
+// burn-rate windows are anchored to wall-clock time, both of which the
+// determinism rules would (correctly, for sim code) reject.
 var simPackages = []string{
 	"mpdp/internal/core",
 	"mpdp/internal/vnet",

@@ -124,21 +124,15 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if dir := l.dirFor(path); dir != "" {
 		pkg, _, _, err = l.check(path, dir, false)
 	} else {
-		// Standard library: type-check from GOROOT source, skipping
-		// function bodies.
-		bp, berr := l.ctxt.Import(path, l.ModRoot, 0)
-		if berr != nil {
-			return nil, berr
-		}
-		pkg, _, _, err = l.checkFiles(path, bp.Dir, bp.GoFiles, false)
-		if err != nil {
-			// Some low-level runtime packages resist source
-			// type-checking; fall back to the stdlib source importer
-			// which knows their special cases.
-			if p, gerr := l.gc.Import(path); gerr == nil {
-				pkg, err = p, nil
-			}
-		}
+		// Standard library: resolve through a single shared source
+		// importer. Type identity in go/types is by *types.Package, so
+		// every stdlib package must come from one importer — mixing our
+		// own per-package checks with a fallback importer would produce
+		// two distinct "time" packages and spurious mismatches like
+		// "cannot use 10 * time.Second as time.Duration" whenever a
+		// checked package assigns across the two universes (e.g. setting
+		// http.Client.Timeout).
+		pkg, err = l.gc.Import(path)
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,29 @@
+package live
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the opt-in runtime introspection mux:
+//
+//	/debug/pprof/        net/http/pprof index (heap, goroutine, ...)
+//	/debug/pprof/profile 30s CPU profile
+//	/debug/pprof/trace   execution trace
+//	/debug/vars          expvar JSON (cmdline, memstats)
+//
+// It is deliberately a separate handler from MetricsHandler so operators
+// bind it to a separate (loopback or firewalled) listener: profiling
+// endpoints can stall the process and must never ride along on the
+// scrape port by accident.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

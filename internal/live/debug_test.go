@@ -1,0 +1,41 @@
+package live
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s body: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: code %d", code)
+	}
+	if code, body := get("/debug/pprof/goroutine?debug=1"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("goroutine profile: code %d", code)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars: code %d, body %.80s", code, body)
+	}
+	// Metrics endpoints must NOT be served here (separate listener contract).
+	if code, _ := get("/metrics"); code == 200 {
+		t.Fatal("/metrics must not be on the debug mux")
+	}
+}

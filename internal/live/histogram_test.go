@@ -1,0 +1,263 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpdp/internal/stats"
+)
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, math.MaxInt64} {
+		b := hBucketOf(v)
+		lo, hi := hBucketLower(b), hBucketUpper(b)
+		if v < lo || v > hi {
+			t.Fatalf("value %d maps to bucket %d = [%d, %d]", v, b, lo, hi)
+		}
+		if b > 0 {
+			if prevHi := hBucketUpper(b - 1); prevHi >= lo {
+				t.Fatalf("bucket %d lower %d overlaps bucket %d upper %d", b, lo, b-1, prevHi)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantilesVsExact(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewPCG(1, 2))
+	sample := make([]int64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		// Log-uniform latencies spanning ns to tens of ms.
+		v := int64(math.Exp(rng.Float64() * math.Log(5e7)))
+		sample = append(sample, v)
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.NCount != 50000 {
+		t.Fatalf("count %d", s.NCount)
+	}
+	exact := stats.Quantiles(sample, 0.5, 0.9, 0.99, 0.999)
+	for i, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := s.Quantile(q)
+		lo, hi := s.QuantileBounds(q)
+		if exact[i] < lo || exact[i] > hi {
+			t.Fatalf("q%.3f: exact %d outside reported bounds [%d, %d]", q, exact[i], lo, hi)
+		}
+		// Midpoint within the bucket's ~3.1% relative error of the truth.
+		if rel := math.Abs(float64(got)-float64(exact[i])) / float64(exact[i]); rel > 0.04 {
+			t.Fatalf("q%.3f: histogram %d vs exact %d (rel err %.3f)", q, got, exact[i], rel)
+		}
+	}
+	var sum int64
+	for _, v := range sample {
+		sum += v
+	}
+	if s.Sum != sum {
+		t.Fatalf("sum %d != exact %d", s.Sum, sum)
+	}
+}
+
+func TestHistogramMinMaxAndEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.NCount != 0 || s.Min != 0 || s.Max != 0 || s.Quantile(0.99) != 0 {
+		t.Fatalf("empty snapshot %+v", s)
+	}
+	h.Record(500)
+	h.Record(7)
+	h.Record(-3) // clamps to 0
+	s = h.Snapshot()
+	if s.Min != 0 || s.Max != 500 || s.NCount != 3 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %d", q)
+	}
+	if q := s.Quantile(1); q != 500 {
+		t.Fatalf("p100 = %d (clamping to observed max expected)", q)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 1000; i++ {
+		a.Record(i)
+		b.Record(i + 100000)
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.NCount != 2000 {
+		t.Fatalf("merged count %d", s.NCount)
+	}
+	if s.Min != 0 || s.Max != 100999 {
+		t.Fatalf("merged min/max %d/%d", s.Min, s.Max)
+	}
+	if p50 := s.Quantile(0.5); p50 > 1100 {
+		t.Fatalf("merged p50 %d should sit at the top of a's range", p50)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, per = 8, 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(g*1000 + i%997))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.NCount != goroutines*per {
+		t.Fatalf("lost observations: %d of %d", s.NCount, goroutines*per)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.NCount {
+		t.Fatalf("bucket sum %d != count %d", total, s.NCount)
+	}
+}
+
+// TestHistogramRecordNoAllocs is the deterministic version of the CI
+// benchmark gate: the record path must never allocate, or the
+// instrumentation would cause the GC tails it exists to measure.
+func TestHistogramRecordNoAllocs(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Record(12345) }); n != 0 {
+		t.Fatalf("Record allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Count() }); n != 0 {
+		t.Fatalf("Count allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestHistogramCumBuckets(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{5, 100, 100, 5000, 1 << 20} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	bks := s.CumBuckets()
+	if len(bks) == 0 {
+		t.Fatal("no buckets")
+	}
+	var last uint64
+	for i, b := range bks {
+		if b.Count < last {
+			t.Fatalf("bucket %d count %d not cumulative (prev %d)", i, b.Count, last)
+		}
+		if i > 0 && b.Le <= bks[i-1].Le {
+			t.Fatalf("bucket bounds not increasing: %v", bks)
+		}
+		last = b.Count
+	}
+	if last != s.NCount {
+		t.Fatalf("final bucket %d != count %d", last, s.NCount)
+	}
+}
+
+func TestRegistryHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000)
+	}
+	r.RegisterHistogram(`stage_latency_ns{stage="nf_nat"}`, h)
+
+	snap := r.Snapshot()
+	for _, key := range []string{
+		`stage_latency_ns_count{stage="nf_nat"}`,
+		`stage_latency_ns_sum{stage="nf_nat"}`,
+		`stage_latency_ns_p50{stage="nf_nat"}`,
+		`stage_latency_ns_p999{stage="nf_nat"}`,
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Fatalf("snapshot missing %q: %v", key, snap)
+		}
+	}
+	if snap[`stage_latency_ns_count{stage="nf_nat"}`] != 1000 {
+		t.Fatalf("count = %v", snap[`stage_latency_ns_count{stage="nf_nat"}`])
+	}
+	p50 := snap[`stage_latency_ns_p50{stage="nf_nat"}`]
+	if p50 < 450e3 || p50 > 550e3 {
+		t.Fatalf("p50 = %v, want ≈ 500500", p50)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE stage_latency_ns histogram",
+		`stage_latency_ns_bucket{stage="nf_nat",le="+Inf"} 1000`,
+		`stage_latency_ns_count{stage="nf_nat"} 1000`,
+		"# TYPE stage_latency_ns_p99 gauge",
+		`stage_latency_ns_p99{stage="nf_nat"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative le series must be monotone in the rendered order.
+	var prev float64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "stage_latency_ns_bucket") && !strings.Contains(line, "+Inf") {
+			var le, c float64
+			if _, err := fmt.Sscanf(strings.NewReplacer("{stage=\"nf_nat\",le=\"", " ", "\"}", " ").Replace(line), "stage_latency_ns_bucket %f %f", &le, &c); err != nil {
+				t.Fatalf("unparseable bucket line %q: %v", line, err)
+			}
+			if c < prev {
+				t.Fatalf("bucket counts not cumulative:\n%s", out)
+			}
+			prev = c
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i&0xffff) + 100)
+	}
+}
+
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(100)
+		for pb.Next() {
+			v = (v*2862933555777941757 + 3037000493) & 0xfffff
+			h.Record(v)
+		}
+	})
+}
+
+func BenchmarkHistogramSnapshot(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < 100000; i++ {
+		h.Record(int64(i % 100000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		if s.NCount == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

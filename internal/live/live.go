@@ -58,6 +58,16 @@ type Config struct {
 	// of wall time). 0 disables the reorder stage entirely (unordered
 	// delivery).
 	ReorderTimeout time.Duration
+	// DisableSpans turns off per-stage span timing (dispatch, queue wait,
+	// each NF element, service, reorder wait). Spans are on by default:
+	// recording is lock-free and allocation-free, so the cost is a few
+	// clock reads per packet.
+	DisableSpans bool
+	// SLO, when non-nil, receives every delivery (with its e2e latency)
+	// and every loss — tail drops, chain drops, reorder stragglers — so
+	// burn-rate alerting tracks the engine's real error budget. The
+	// tracker is also registered on the engine's metrics registry.
+	SLO *SLOTracker
 }
 
 // Engine is a running live data plane. Create with Start, feed with
@@ -82,8 +92,13 @@ type Engine struct {
 	tailDrops atomic.Uint64
 	delivered atomic.Uint64
 
-	mu      sync.Mutex
-	latency *stats.Hist
+	// latency is the end-to-end wall-latency histogram (ingress →
+	// delivery). Lock-free: the egress goroutine records, readers
+	// snapshot concurrently. When spans are enabled it is the same
+	// histogram as spans.e2e.
+	latency *Histogram
+	// spans holds the per-stage histograms; nil when Config.DisableSpans.
+	spans *spanSet
 
 	metricsOnce sync.Once
 	metricsReg  *Registry
@@ -101,6 +116,11 @@ type laneWorker struct {
 	depth  atomic.Int64
 	served atomic.Uint64
 	drops  atomic.Uint64 // policy drops by the chain
+
+	// Span state, touched only by this lane's goroutine. The hook is
+	// built once at Start so the per-packet chain call allocates nothing.
+	spanPrev sim.Time
+	spanHook nf.StageHook
 }
 
 // Start launches the engine's goroutines. deliver receives packets (in
@@ -134,7 +154,7 @@ func Start(cfg Config, deliver func(*packet.Packet)) (*Engine, error) {
 		deliver:  deliver,
 		flowlets: make(map[uint64]*liveFlowlet),
 		seqGen:   make(map[uint64]uint64),
-		latency:  stats.NewHist(),
+		latency:  NewHistogram(),
 	}
 	for i := 0; i < cfg.Paths; i++ {
 		lw := &laneWorker{
@@ -143,6 +163,23 @@ func Start(cfg Config, deliver func(*packet.Packet)) (*Engine, error) {
 			chain: cfg.ChainFactory(i),
 		}
 		e.lanes = append(e.lanes, lw)
+	}
+	if !cfg.DisableSpans {
+		// Every lane runs a replica of the same chain shape; lane 0's
+		// element list names the per-NF stages.
+		e.spans = newSpanSet(e.lanes[0].chain.Elements(), e.latency)
+		for _, lw := range e.lanes {
+			lw := lw
+			lw.spanHook = func(i int, _ nf.Element, _ nf.Result) {
+				now := e.now()
+				if i < len(e.spans.nfStages) {
+					e.spans.nfStages[i].Record(int64(now - lw.spanPrev))
+				}
+				lw.spanPrev = now
+			}
+		}
+	}
+	for _, lw := range e.lanes {
 		e.wg.Add(1)
 		go e.runLane(lw)
 	}
@@ -172,13 +209,22 @@ func (e *Engine) Ingress(p *packet.Packet) {
 	lane := e.pick(p)
 	p.PathID = lane
 	lw := e.lanes[lane]
+	// Stamp before the send: the channel send happens-before the lane
+	// worker's receive, so the worker may read Enqueued; stamping after a
+	// successful send would race with it.
+	p.Enqueued = e.now()
 	select {
 	case lw.in <- p:
 		lw.depth.Add(1)
-		p.Enqueued = e.now()
+		if e.spans != nil {
+			e.spans.dispatch.Record(int64(p.Enqueued - p.Ingress))
+		}
 	default:
 		e.tailDrops.Add(1)
 		p.Dropped = packet.DropQueueFull
+		if e.cfg.SLO != nil {
+			e.cfg.SLO.ObserveLoss()
+		}
 	}
 }
 
@@ -226,11 +272,21 @@ func (e *Engine) runLane(lw *laneWorker) {
 	for p := range lw.in {
 		lw.depth.Add(-1)
 		p.ServiceAt = e.now()
-		r := lw.chain.Process(p.ServiceAt, p)
+		if e.spans != nil {
+			e.spans.queueWait.Record(int64(p.ServiceAt - p.Enqueued))
+		}
+		lw.spanPrev = p.ServiceAt
+		r := lw.chain.ProcessHooked(p.ServiceAt, p, lw.spanHook)
 		p.Done = e.now()
+		if e.spans != nil {
+			e.spans.service.Record(int64(p.Done - p.ServiceAt))
+		}
 		lw.served.Add(1)
 		if r.Verdict != packet.Pass {
 			lw.drops.Add(1)
+			if e.cfg.SLO != nil {
+				e.cfg.SLO.ObserveLoss()
+			}
 			continue
 		}
 		e.egress <- p
@@ -250,9 +306,13 @@ func (e *Engine) runEgress() {
 	release := func(p *packet.Packet) {
 		p.Delivered = e.now()
 		e.delivered.Add(1)
-		e.mu.Lock()
+		if e.spans != nil {
+			e.spans.reorderWait.Record(int64(p.Delivered - p.Done))
+		}
 		e.latency.Record(int64(p.Latency()))
-		e.mu.Unlock()
+		if e.cfg.SLO != nil {
+			e.cfg.SLO.ObserveDelivery(int64(p.Latency()))
+		}
 		if e.deliver != nil {
 			e.deliver(p)
 		}
@@ -279,6 +339,9 @@ func (e *Engine) runEgress() {
 		switch {
 		case p.Seq < f.next:
 			p.Dropped = packet.DropReorder // straggler past a timeout skip
+			if e.cfg.SLO != nil {
+				e.cfg.SLO.ObserveLoss()
+			}
 		case p.Seq == f.next:
 			f.next++
 			release(p)
@@ -392,8 +455,16 @@ func (e *Engine) Snapshot() Stats {
 	for _, lw := range e.lanes {
 		st.PerLane = append(st.PerLane, lw.served.Load())
 	}
-	e.mu.Lock()
-	st.Latency = e.latency.Summarize()
-	e.mu.Unlock()
+	st.Latency = e.latency.Snapshot().summary()
 	return st
+}
+
+// StageSnapshot returns the per-stage span summaries (dispatch, queue
+// wait, each NF element, service, reorder wait, e2e) in pipeline order,
+// or nil when spans are disabled.
+func (e *Engine) StageSnapshot() []StageSpan {
+	if e.spans == nil {
+		return nil
+	}
+	return e.spans.snapshot()
 }

@@ -24,6 +24,7 @@ type Registry struct {
 	owned    map[string]*atomic.Uint64
 	counters map[string]func() uint64
 	gauges   map[string]func() float64
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -32,6 +33,7 @@ func NewRegistry() *Registry {
 		owned:    make(map[string]*atomic.Uint64),
 		counters: make(map[string]func() uint64),
 		gauges:   make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -61,12 +63,50 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.gauges[name] = fn
 }
 
-// Snapshot reads every metric. Counters and gauges share the namespace;
-// names are unique by construction in the engine's registry.
+// RegisterHistogram attaches a Histogram under name (which may carry a
+// label block, e.g. `mpdp_stage_latency_ns{stage="nf_nat"}`). The registry
+// renders it as a Prometheus histogram family plus derived
+// `<family>_{p50,p90,p99,p999}` quantile gauges and `<family>_count`/
+// `<family>_sum`, and folds the same derived values into Snapshot and the
+// JSON exposition.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = h
+}
+
+// histDerived appends one histogram's derived scalar readings to out. The
+// suffix is inserted before any label block so labeled families stay
+// labeled: `lat_ns{stage="x"}` → `lat_ns_p99{stage="x"}`.
+func histDerived(out map[string]float64, name string, s *HistSnapshot) {
+	family, labels := splitLabels(name)
+	put := func(suffix string, v float64) {
+		out[family+suffix+labels] = v
+	}
+	put("_count", float64(s.NCount))
+	put("_sum", float64(s.Sum))
+	put("_p50", float64(s.Quantile(0.50)))
+	put("_p90", float64(s.Quantile(0.90)))
+	put("_p99", float64(s.Quantile(0.99)))
+	put("_p999", float64(s.Quantile(0.999)))
+}
+
+// Snapshot reads every metric, including each histogram's derived count,
+// sum and quantiles. Counters and gauges share the namespace; names are
+// unique by construction in the engine's registry.
 func (r *Registry) Snapshot() map[string]float64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]float64, len(r.owned)+len(r.counters)+len(r.gauges))
+	out := r.scalarsLocked()
+	for name, h := range r.hists {
+		histDerived(out, name, h.Snapshot())
+	}
+	return out
+}
+
+// scalarsLocked reads the non-histogram metrics. Callers hold r.mu.
+func (r *Registry) scalarsLocked() map[string]float64 {
+	out := make(map[string]float64, len(r.owned)+len(r.counters)+len(r.gauges)+6*len(r.hists))
 	for name, c := range r.owned {
 		out[name] = float64(c.Load())
 	}
@@ -79,16 +119,22 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
-// counterNames returns the names registered as counters (owned + hooks).
+// counterNames returns the names registered as counters (owned + hooks),
+// plus each histogram's monotone derived series (count and sum).
 func (r *Registry) counterNames() map[string]bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]bool, len(r.owned)+len(r.counters))
+	out := make(map[string]bool, len(r.owned)+len(r.counters)+2*len(r.hists))
 	for name := range r.owned {
 		out[name] = true
 	}
 	for name := range r.counters {
 		out[name] = true
+	}
+	for name := range r.hists {
+		family, labels := splitLabels(name)
+		out[family+"_count"+labels] = true
+		out[family+"_sum"+labels] = true
 	}
 	return out
 }
@@ -127,15 +173,30 @@ func trimJSONNumber(v float64) string {
 // WritePrometheus writes the snapshot in the Prometheus text exposition
 // format (version 0.0.4). Registry names may carry a label block (e.g.
 // `mpdp_lane_depth{lane="2"}`); the TYPE comment is emitted once per
-// metric family.
+// metric family. Registered histograms render as native histogram
+// families (`_bucket{le=...}` cumulative series coalesced per power of
+// two, `_sum`, `_count`) followed by derived quantile gauges.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	snap := r.Snapshot()
+	r.mu.RLock()
+	snap := r.scalarsLocked()
+	histNames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		histNames = append(histNames, name)
+	}
+	histSnaps := make(map[string]*HistSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		histSnaps[name] = h.Snapshot()
+	}
+	r.mu.RUnlock()
 	isCounter := r.counterNames()
+
 	names := make([]string, 0, len(snap))
 	for name := range snap {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	sort.Strings(histNames)
+
 	var b strings.Builder
 	typed := make(map[string]bool)
 	for _, name := range names {
@@ -150,6 +211,41 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			typed[family] = true
 		}
 		fmt.Fprintf(&b, "%s%s %s\n", family, labels, trimJSONNumber(snap[name]))
+	}
+
+	for _, name := range histNames {
+		family, labels := splitLabels(name)
+		family = promSanitize(family)
+		s := histSnaps[name]
+		if !typed[family] {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", family)
+			typed[family] = true
+		}
+		// le labels merge into an existing label block: {stage="x"} →
+		// {stage="x",le="…"}.
+		leLabel := func(le string) string {
+			if labels == "" {
+				return fmt.Sprintf("{le=%q}", le)
+			}
+			return fmt.Sprintf("%s,le=%q}", strings.TrimSuffix(labels, "}"), le)
+		}
+		for _, bk := range s.CumBuckets() {
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", family, leLabel(fmt.Sprintf("%d", bk.Le)), bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", family, leLabel("+Inf"), s.NCount)
+		fmt.Fprintf(&b, "%s_sum%s %d\n", family, labels, s.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", family, labels, s.NCount)
+		for _, q := range []struct {
+			suffix string
+			q      float64
+		}{{"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}, {"_p999", 0.999}} {
+			qf := family + q.suffix
+			if !typed[qf] {
+				fmt.Fprintf(&b, "# TYPE %s gauge\n", qf)
+				typed[qf] = true
+			}
+			fmt.Fprintf(&b, "%s%s %d\n", qf, labels, s.Quantile(q.q))
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -199,8 +295,9 @@ type MetricsSampler struct {
 	last    map[string]float64
 	rates   map[string]float64
 
-	stop chan struct{}
-	done chan struct{}
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // NewMetricsSampler starts sampling reg every period, keeping the last
@@ -244,7 +341,14 @@ func (s *MetricsSampler) sample(now time.Time) {
 	if s.last != nil {
 		secs := s.period.Seconds()
 		for name := range counters {
-			s.rates[name+"_per_sec"] = (snap[name] - s.last[name]) / secs
+			rate := (snap[name] - s.last[name]) / secs
+			// A counter that moved backwards (source restarted or was
+			// reset) yields a bogus negative delta for one period; clamp
+			// so dashboards never see a negative rate.
+			if rate < 0 {
+				rate = 0
+			}
+			s.rates[name+"_per_sec"] = rate
 		}
 	}
 	s.last = snap
@@ -274,13 +378,12 @@ func (s *MetricsSampler) History() []Sample {
 	return out
 }
 
-// Stop halts the sampling goroutine and waits for it to exit.
+// Stop halts the sampling goroutine and waits for it to exit. Safe to
+// call from multiple goroutines: the close happens exactly once (a naive
+// closed-check-then-close races two concurrent stoppers into a double
+// close and a panic).
 func (s *MetricsSampler) Stop() {
-	select {
-	case <-s.stop:
-	default:
-		close(s.stop)
-	}
+	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
 }
 
@@ -328,9 +431,18 @@ func (e *Engine) Metrics() *Registry {
 		r.CounterFunc("mpdp_offered_total", e.offered.Load)
 		r.CounterFunc("mpdp_delivered_total", e.delivered.Load)
 		r.CounterFunc("mpdp_tail_drops_total", e.tailDrops.Load)
-		r.GaugeFunc("mpdp_latency_p50_ns", func() float64 { return float64(e.Snapshot().Latency.P50) })
-		r.GaugeFunc("mpdp_latency_p99_ns", func() float64 { return float64(e.Snapshot().Latency.P99) })
-		r.GaugeFunc("mpdp_latency_p999_ns", func() float64 { return float64(e.Snapshot().Latency.P999) })
+		quantile := func(q float64) func() float64 {
+			return func() float64 { return float64(e.latency.Snapshot().Quantile(q)) }
+		}
+		r.GaugeFunc("mpdp_latency_p50_ns", quantile(0.50))
+		r.GaugeFunc("mpdp_latency_p99_ns", quantile(0.99))
+		r.GaugeFunc("mpdp_latency_p999_ns", quantile(0.999))
+		if e.spans != nil {
+			e.spans.register(r)
+		}
+		if e.cfg.SLO != nil {
+			e.cfg.SLO.Register(r)
+		}
 		for _, lw := range e.lanes {
 			lw := lw
 			r.CounterFunc(fmt.Sprintf("mpdp_lane_served_total{lane=\"%d\"}", lw.id), lw.served.Load)

@@ -3,9 +3,11 @@ package live
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -66,10 +68,107 @@ func TestPromSanitize(t *testing.T) {
 		"ok_name":     "ok_name",
 		"dots.and-hy": "dots_and_hy",
 		"9lead":       "_lead",
+		"":            "",
+		"nameµ_k":     "name__k", // UTF-8 maps to one underscore per rune
+		"a:b":         "a:b",     // colons are legal (recording rules)
+		"x9":          "x9",      // digits legal after the first byte
+		"Δtotal":      "_total",  // leading non-ASCII
+		"a b\tc":      "a_b_c",   // whitespace
+		"9":           "_",       // single leading digit
+		"_ok":         "_ok",     // leading underscore stays
+		"CamelCase":   "CamelCase",
 	} {
 		if got := promSanitize(in); got != want {
 			t.Fatalf("promSanitize(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestSplitLabels(t *testing.T) {
+	for _, tc := range []struct{ in, family, labels string }{
+		{"plain_total", "plain_total", ""},
+		{`m{lane="0"}`, "m", `{lane="0"}`},
+		{`m{k="a=b"}`, "m", `{k="a=b"}`}, // '=' inside a label value
+		{`m{a="1",b="2"}`, "m", `{a="1",b="2"}`},
+		{"{}", "", "{}"}, // degenerate: empty family
+		{`m{v="µ"}`, "m", `{v="µ"}`},
+	} {
+		family, labels := splitLabels(tc.in)
+		if family != tc.family || labels != tc.labels {
+			t.Fatalf("splitLabels(%q) = (%q, %q), want (%q, %q)",
+				tc.in, family, labels, tc.family, tc.labels)
+		}
+	}
+}
+
+func TestTrimJSONNumber(t *testing.T) {
+	neg0 := math.Copysign(0, -1)
+	for in, want := range map[float64]string{
+		0:          "0",
+		neg0:       "0", // -0.0 compares equal to 0: renders as integer zero
+		7:          "7",
+		-3:         "-3",
+		3.5:        "3.5",
+		1e15:       "1000000000000000",
+		0.001:      "0.001",
+		-2.25:      "-2.25",
+		1e21:       "1e+21", // past int64 precision: falls back to %g
+		math.NaN(): "NaN",
+	} {
+		if got := trimJSONNumber(in); got != want {
+			t.Fatalf("trimJSONNumber(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestMetricsSamplerConcurrentStop hammers Stop from many goroutines: the
+// sync.Once close must make this race- and panic-free (run with -race).
+func TestMetricsSamplerConcurrentStop(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Store(1)
+	s := NewMetricsSampler(r, time.Millisecond, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Stop()
+		}()
+	}
+	wg.Wait()
+	s.Stop() // and again after it is already stopped
+}
+
+// TestMetricsSamplerNegativeRateClamps feeds the sampler a counter that
+// moves backwards (source reset) and checks the reported rate clamps to 0
+// instead of going negative.
+func TestMetricsSamplerNegativeRateClamps(t *testing.T) {
+	r := NewRegistry()
+	var v atomic.Uint64
+	v.Store(1000)
+	r.CounterFunc("resetting_total", v.Load)
+	s := &MetricsSampler{
+		reg: r, period: time.Second, keep: 4,
+		rates: make(map[string]float64),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	base := time.Unix(0, 0)
+	s.sample(base)
+	v.Store(2000) // forward: positive rate
+	s.sample(base.Add(time.Second))
+	if got := s.Rates()["resetting_total_per_sec"]; got != 1000 {
+		t.Fatalf("forward rate %v, want 1000", got)
+	}
+	v.Store(50) // backwards: counter reset
+	s.sample(base.Add(2 * time.Second))
+	if got := s.Rates()["resetting_total_per_sec"]; got != 0 {
+		t.Fatalf("rate after reset %v, want clamp to 0", got)
+	}
+	v.Store(150) // recovers on the next period
+	s.sample(base.Add(3 * time.Second))
+	if got := s.Rates()["resetting_total_per_sec"]; got != 100 {
+		t.Fatalf("recovered rate %v, want 100", got)
 	}
 }
 

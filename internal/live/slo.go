@@ -1,0 +1,462 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the live plane's SLO tracker: latency and
+// availability objectives evaluated with multi-window multi-burn-rate
+// alerting (the SRE-workbook recipe). Each observation is classed good or
+// bad against the objectives; the tracker keeps cumulative counters plus
+// two ring buffers of periodic snapshots (a fine ring for the fast
+// windows, a coarse ring for the slow ones) and derives, per window, the
+// burn rate — the error rate as a multiple of the budget the objective
+// allows. Paired windows gate each alert so a burst must both be recent
+// (short window burning) and sustained (long window burning) to fire.
+
+// SLOState is the tracker's alert state.
+type SLOState int
+
+const (
+	SLOOK SLOState = iota
+	SLOWarning
+	SLOCritical
+)
+
+func (s SLOState) String() string {
+	switch s {
+	case SLOOK:
+		return "ok"
+	case SLOWarning:
+		return "warning"
+	case SLOCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("SLOState(%d)", int(s))
+	}
+}
+
+// SLOObjective is a parsed objective set.
+type SLOObjective struct {
+	// LatencyNS is the per-packet latency threshold in nanoseconds; a
+	// delivered packet slower than this is a bad event. 0 disables the
+	// latency objective.
+	LatencyNS int64
+	// LatencyTarget is the fraction of packets that must meet LatencyNS
+	// (e.g. 0.99 for "p99 < 2ms"). The error budget is 1 - target.
+	LatencyTarget float64
+	// AvailTarget is the fraction of offered packets that must be
+	// delivered (e.g. 0.999 for "avail > 99.9"). 0 disables it.
+	AvailTarget float64
+}
+
+// ParseSLO parses a comma-separated objective spec like
+//
+//	p99<2ms,avail>99.9
+//
+// Latency terms are p<quantile><threshold> with a Go duration threshold
+// (ns, us, ms, s); the quantile digits set the target fraction (p99 →
+// 0.99, p999 → 0.999). Availability terms are avail><percent>.
+func ParseSLO(spec string) (SLOObjective, error) {
+	var o SLOObjective
+	if strings.TrimSpace(spec) == "" {
+		return o, fmt.Errorf("slo: empty spec")
+	}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		switch {
+		case strings.HasPrefix(term, "p"):
+			rest := term[1:]
+			i := strings.IndexByte(rest, '<')
+			if i <= 0 {
+				return o, fmt.Errorf("slo: latency term %q needs the form p99<2ms", term)
+			}
+			digits := rest[:i]
+			target := 0.0
+			scale := 0.1
+			for _, c := range digits {
+				if c < '0' || c > '9' {
+					return o, fmt.Errorf("slo: bad quantile %q in %q", digits, term)
+				}
+				target += float64(c-'0') * scale
+				scale /= 10
+			}
+			if target <= 0 || target >= 1 {
+				return o, fmt.Errorf("slo: quantile p%s out of range in %q", digits, term)
+			}
+			d, err := time.ParseDuration(rest[i+1:])
+			if err != nil || d <= 0 {
+				return o, fmt.Errorf("slo: bad latency threshold in %q", term)
+			}
+			o.LatencyNS = d.Nanoseconds()
+			o.LatencyTarget = target
+		case strings.HasPrefix(term, "avail>"):
+			var pct float64
+			if _, err := fmt.Sscanf(term[len("avail>"):], "%g", &pct); err != nil || pct <= 0 || pct >= 100 {
+				return o, fmt.Errorf("slo: bad availability term %q (want avail>99.9)", term)
+			}
+			o.AvailTarget = pct / 100
+		default:
+			return o, fmt.Errorf("slo: unknown term %q", term)
+		}
+	}
+	return o, nil
+}
+
+// String renders the objective back in spec form.
+func (o SLOObjective) String() string {
+	var parts []string
+	if o.LatencyNS > 0 {
+		q := strings.TrimRight(strings.TrimPrefix(fmt.Sprintf("%.4f", o.LatencyTarget), "0."), "0")
+		parts = append(parts, fmt.Sprintf("p%s<%s", q, time.Duration(o.LatencyNS)))
+	}
+	if o.AvailTarget > 0 {
+		parts = append(parts, fmt.Sprintf("avail>%g", o.AvailTarget*100))
+	}
+	return strings.Join(parts, ",")
+}
+
+// sloWindow pairs a lookback duration with the burn-rate threshold that,
+// sustained over that window, justifies its alert severity.
+type sloWindow struct {
+	name string
+	dur  time.Duration
+	burn float64
+}
+
+// The canonical multiwindow pairs: the fast pair (5m+1h at 14.4×) catches
+// budget-torching incidents within minutes; the slow pair (6h+3d at 1×)
+// catches slow leaks that would exhaust a 30-day budget on schedule.
+var (
+	sloFastWindows = [2]sloWindow{{"5m", 5 * time.Minute, 14.4}, {"1h", time.Hour, 14.4}}
+	sloSlowWindows = [2]sloWindow{{"6h", 6 * time.Hour, 1.0}, {"3d", 72 * time.Hour, 1.0}}
+)
+
+// sloCounters is one cumulative reading of the tracker's event counters.
+type sloCounters struct {
+	latGood, latBad     uint64 // latency objective events
+	availGood, availBad uint64 // availability objective events
+}
+
+// sloRing is a fixed-period ring of cumulative counter snapshots, newest
+// last. Window deltas subtract the snapshot nearest the window start from
+// the current counters.
+type sloRing struct {
+	period time.Duration
+	snaps  []sloCounters // ring storage
+	times  []time.Time
+	head   int // next write slot
+	filled int
+}
+
+func newSLORing(period, span time.Duration) *sloRing {
+	n := int(span/period) + 1
+	return &sloRing{
+		period: period,
+		snaps:  make([]sloCounters, n),
+		times:  make([]time.Time, n),
+	}
+}
+
+func (r *sloRing) push(now time.Time, c sloCounters) {
+	r.snaps[r.head] = c
+	r.times[r.head] = now
+	r.head = (r.head + 1) % len(r.snaps)
+	if r.filled < len(r.snaps) {
+		r.filled++
+	}
+}
+
+// at returns the newest snapshot no newer than t, and whether the ring
+// reaches back that far. With nothing old enough, the oldest retained
+// snapshot is returned with ok=false; callers then treat the window as
+// spanning the tracker's whole (short) life. Snapshots are pushed in
+// time order, so this is a binary search over the ring's chronology.
+func (r *sloRing) at(t time.Time) (sloCounters, bool) {
+	if r.filled == 0 {
+		return sloCounters{}, false
+	}
+	n := len(r.snaps)
+	idxAt := func(j int) int { return (r.head - r.filled + j + n) % n }
+	if r.times[idxAt(0)].After(t) {
+		return r.snaps[idxAt(0)], false
+	}
+	lo, hi := 0, r.filled-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.times[idxAt(mid)].After(t) {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return r.snaps[idxAt(lo)], true
+}
+
+// SLOTracker classifies observations against an objective and drives the
+// ok → warning → critical state machine. Observe is lock-free (atomic
+// adds); Tick and readers take a mutex. The clock is injected so the
+// state machine is testable without waiting hours.
+type SLOTracker struct {
+	obj SLOObjective
+	now func() time.Time
+
+	latGood, latBad     atomic.Uint64
+	availGood, availBad atomic.Uint64
+
+	mu     sync.Mutex
+	fine   *sloRing // 1s snapshots spanning the fast windows
+	coarse *sloRing // 60s snapshots spanning the slow windows
+	state  SLOState
+	since  time.Time
+	burns  map[string]SLOBurn // latest per-window burn rates
+}
+
+// SLOBurn is one window's burn reading for one objective.
+type SLOBurn struct {
+	Window    string  `json:"window"`
+	Objective string  `json:"objective"` // "latency" or "availability"
+	Rate      float64 `json:"burn_rate"` // error-rate / budget
+	Events    uint64  `json:"events"`    // observations in the window
+}
+
+// NewSLOTracker builds a tracker for obj. clock may be nil (wall time).
+func NewSLOTracker(obj SLOObjective, clock func() time.Time) *SLOTracker {
+	if clock == nil {
+		clock = time.Now
+	}
+	t := &SLOTracker{
+		obj:    obj,
+		now:    clock,
+		fine:   newSLORing(time.Second, sloFastWindows[1].dur),
+		coarse: newSLORing(time.Minute, sloSlowWindows[1].dur),
+		burns:  make(map[string]SLOBurn),
+	}
+	t.since = clock()
+	// Seed both rings with a zero baseline so the very first Tick already
+	// measures a delta (otherwise a short-lived run evaluates nothing).
+	t.fine.push(t.since, sloCounters{})
+	t.coarse.push(t.since, sloCounters{})
+	return t
+}
+
+// Objective returns the tracked objective.
+func (t *SLOTracker) Objective() SLOObjective { return t.obj }
+
+// ObserveDelivery records one delivered packet with its e2e latency.
+func (t *SLOTracker) ObserveDelivery(latencyNS int64) {
+	if t.obj.LatencyNS > 0 {
+		if latencyNS <= t.obj.LatencyNS {
+			t.latGood.Add(1)
+		} else {
+			t.latBad.Add(1)
+		}
+	}
+	if t.obj.AvailTarget > 0 {
+		t.availGood.Add(1)
+	}
+}
+
+// ObserveLoss records one packet that was offered but not delivered
+// (tail drop, chain drop, reorder straggler).
+func (t *SLOTracker) ObserveLoss() {
+	if t.obj.AvailTarget > 0 {
+		t.availBad.Add(1)
+	}
+}
+
+func (t *SLOTracker) counters() sloCounters {
+	return sloCounters{
+		latGood: t.latGood.Load(), latBad: t.latBad.Load(),
+		availGood: t.availGood.Load(), availBad: t.availBad.Load(),
+	}
+}
+
+// burnRate returns the burn over [now-w.dur, now] for bad/good deltas
+// picked by pick, against budget. ok=false when the window saw no events.
+func burnOver(cur, old sloCounters, pick func(sloCounters) (good, bad uint64), budget float64) (SLOBurn, bool) {
+	cg, cb := pick(cur)
+	og, ob := pick(old)
+	good, bad := cg-og, cb-ob
+	total := good + bad
+	if total == 0 || budget <= 0 {
+		return SLOBurn{}, false
+	}
+	errRate := float64(bad) / float64(total)
+	return SLOBurn{Rate: errRate / budget, Events: total}, true
+}
+
+// Tick advances the tracker: pushes counter snapshots into the rings and
+// re-evaluates the state machine. Call it about once a second (the
+// engine's sampler or a dedicated ticker); tests call it directly with an
+// advancing fake clock.
+func (t *SLOTracker) Tick() {
+	now := t.now()
+	cur := t.counters()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Push into each ring no faster than its period.
+	if t.fine.filled == 0 || now.Sub(t.lastTime(t.fine)) >= t.fine.period {
+		t.fine.push(now, cur)
+	}
+	if t.coarse.filled == 0 || now.Sub(t.lastTime(t.coarse)) >= t.coarse.period {
+		t.coarse.push(now, cur)
+	}
+
+	type objective struct {
+		name   string
+		pick   func(sloCounters) (uint64, uint64)
+		budget float64
+	}
+	var objectives []objective
+	if t.obj.LatencyNS > 0 {
+		objectives = append(objectives, objective{"latency",
+			func(c sloCounters) (uint64, uint64) { return c.latGood, c.latBad },
+			1 - t.obj.LatencyTarget})
+	}
+	if t.obj.AvailTarget > 0 {
+		objectives = append(objectives, objective{"availability",
+			func(c sloCounters) (uint64, uint64) { return c.availGood, c.availBad },
+			1 - t.obj.AvailTarget})
+	}
+
+	state := SLOOK
+	burns := make(map[string]SLOBurn, 8)
+	for _, obj := range objectives {
+		eval := func(w sloWindow, ring *sloRing) (SLOBurn, bool) {
+			old, _ := ring.at(now.Add(-w.dur))
+			b, ok := burnOver(cur, old, obj.pick, obj.budget)
+			b.Window, b.Objective = w.name, obj.name
+			burns[obj.name+"_"+w.name] = b
+			return b, ok
+		}
+		fastShort, ok1 := eval(sloFastWindows[0], t.fine)
+		fastLong, ok2 := eval(sloFastWindows[1], t.fine)
+		slowShort, ok3 := eval(sloSlowWindows[0], t.coarse)
+		slowLong, ok4 := eval(sloSlowWindows[1], t.coarse)
+		if ok1 && ok2 && fastShort.Rate >= sloFastWindows[0].burn && fastLong.Rate >= sloFastWindows[1].burn {
+			state = SLOCritical
+		} else if ok3 && ok4 && slowShort.Rate >= sloSlowWindows[0].burn && slowLong.Rate >= sloSlowWindows[1].burn {
+			if state < SLOWarning {
+				state = SLOWarning
+			}
+		}
+	}
+	if state != t.state {
+		t.state = state
+		t.since = now
+	}
+	t.burns = burns
+}
+
+func (t *SLOTracker) lastTime(r *sloRing) time.Time {
+	idx := (r.head - 1 + len(r.snaps)) % len(r.snaps)
+	return r.times[idx]
+}
+
+// State returns the current alert state and when it was entered.
+func (t *SLOTracker) State() (SLOState, time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state, t.since
+}
+
+// SLOStatus is the tracker's full JSON-ready status document.
+type SLOStatus struct {
+	Objective string             `json:"objective"`
+	State     string             `json:"state"`
+	Since     time.Time          `json:"since"`
+	Totals    map[string]uint64  `json:"totals"`
+	Burns     []SLOBurn          `json:"burn_rates"`
+	Ratios    map[string]float64 `json:"ratios"`
+}
+
+// Status assembles the current status.
+func (t *SLOTracker) Status() SLOStatus {
+	cur := t.counters()
+	t.mu.Lock()
+	state, since := t.state, t.since
+	burns := make([]SLOBurn, 0, len(t.burns))
+	for _, b := range t.burns {
+		burns = append(burns, b)
+	}
+	t.mu.Unlock()
+	sort.Slice(burns, func(i, j int) bool {
+		if burns[i].Objective != burns[j].Objective {
+			return burns[i].Objective < burns[j].Objective
+		}
+		return burns[i].Window < burns[j].Window
+	})
+
+	st := SLOStatus{
+		Objective: t.obj.String(),
+		State:     state.String(),
+		Since:     since,
+		Totals: map[string]uint64{
+			"latency_good": cur.latGood, "latency_bad": cur.latBad,
+			"avail_good": cur.availGood, "avail_bad": cur.availBad,
+		},
+		Burns:  burns,
+		Ratios: map[string]float64{},
+	}
+	if n := cur.latGood + cur.latBad; n > 0 {
+		st.Ratios["latency_good_ratio"] = float64(cur.latGood) / float64(n)
+	}
+	if n := cur.availGood + cur.availBad; n > 0 {
+		st.Ratios["avail_good_ratio"] = float64(cur.availGood) / float64(n)
+	}
+	return st
+}
+
+// WriteJSON writes the status document.
+func (t *SLOTracker) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false) // keep "p99<2ms" readable, not <
+	return enc.Encode(t.Status())
+}
+
+// Register exposes the tracker on a registry as mpdp_slo_* series: the
+// numeric state, cumulative good/bad counters, and per-window burn-rate
+// gauges.
+func (t *SLOTracker) Register(r *Registry) {
+	r.GaugeFunc("mpdp_slo_state", func() float64 {
+		s, _ := t.State()
+		return float64(s)
+	})
+	r.CounterFunc("mpdp_slo_latency_good_total", t.latGood.Load)
+	r.CounterFunc("mpdp_slo_latency_bad_total", t.latBad.Load)
+	r.CounterFunc("mpdp_slo_avail_good_total", t.availGood.Load)
+	r.CounterFunc("mpdp_slo_avail_bad_total", t.availBad.Load)
+	for _, w := range []sloWindow{sloFastWindows[0], sloFastWindows[1], sloSlowWindows[0], sloSlowWindows[1]} {
+		for _, obj := range []string{"latency", "availability"} {
+			key := obj + "_" + w.name
+			r.GaugeFunc(fmt.Sprintf("mpdp_slo_burn_rate{objective=%q,window=%q}", obj, w.name), func() float64 {
+				t.mu.Lock()
+				defer t.mu.Unlock()
+				return t.burns[key].Rate
+			})
+		}
+	}
+}
+
+// SLOHandler serves the tracker at /slo.json.
+func SLOHandler(t *SLOTracker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slo.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

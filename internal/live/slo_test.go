@@ -1,0 +1,221 @@
+package live
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpdp/internal/packet"
+)
+
+func TestParseSLO(t *testing.T) {
+	o, err := ParseSLO("p99<2ms,avail>99.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.LatencyNS != 2*time.Millisecond.Nanoseconds() || o.LatencyTarget != 0.99 {
+		t.Fatalf("latency objective %+v", o)
+	}
+	if math.Abs(o.AvailTarget-0.999) > 1e-12 {
+		t.Fatalf("avail objective %v", o.AvailTarget)
+	}
+
+	o, err = ParseSLO("p999<500us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.LatencyTarget != 0.999 || o.LatencyNS != 500*time.Microsecond.Nanoseconds() {
+		t.Fatalf("p999 objective %+v", o)
+	}
+	if o.AvailTarget != 0 {
+		t.Fatal("avail should be disabled")
+	}
+
+	if s := o.String(); !strings.Contains(s, "p999<") {
+		t.Fatalf("round-trip spec %q", s)
+	}
+
+	for _, bad := range []string{"", "p99", "p99<", "p99<-1ms", "p0<1ms", "avail>", "avail>101", "avail>0", "latency<1ms", "p99<1ms,,"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// fakeClock is an injectable clock for deterministic SLO tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// feed pushes good/bad observations and ticks once per simulated step
+// for the given span. Long phases use a coarse step so simulating days
+// stays cheap; the coarse ring only retains one snapshot per minute
+// anyway.
+func feed(tr *SLOTracker, clk *fakeClock, span, step time.Duration, goodPerStep, badPerStep int) {
+	steps := int(span / step)
+	for i := 0; i < steps; i++ {
+		for g := 0; g < goodPerStep; g++ {
+			tr.ObserveDelivery(1) // well under any latency threshold
+		}
+		for b := 0; b < badPerStep; b++ {
+			tr.ObserveLoss()
+		}
+		clk.advance(step)
+		tr.Tick()
+	}
+}
+
+// TestSLOStateMachine drives the tracker through ok → critical → ok →
+// warning with a fake clock: a hard outage torches the fast windows, a
+// slow leak only trips the slow pair.
+func TestSLOStateMachine(t *testing.T) {
+	obj, err := ParseSLO("p99<2ms,avail>99.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	tr := NewSLOTracker(obj, clk.now)
+
+	// Healthy traffic: all good, state stays ok.
+	feed(tr, clk, 2*time.Minute, time.Second, 1000, 0)
+	if s, _ := tr.State(); s != SLOOK {
+		t.Fatalf("healthy state = %v", s)
+	}
+
+	// Hard outage: 10% of packets lost. Budget is 0.1%, so the burn rate
+	// is 100x — far past the 14.4x fast threshold. Both fast windows see
+	// it within minutes.
+	feed(tr, clk, 6*time.Minute, time.Second, 900, 100)
+	if s, _ := tr.State(); s != SLOCritical {
+		t.Fatalf("outage state = %v, want critical", s)
+	}
+	st := tr.Status()
+	if st.State != "critical" {
+		t.Fatalf("status state %q", st.State)
+	}
+
+	// Recovery: the bad events age out of the 5m window.
+	feed(tr, clk, 20*time.Minute, time.Second, 1000, 0)
+	if s, _ := tr.State(); s != SLOOK && s != SLOWarning {
+		t.Fatalf("recovered fast state = %v", s)
+	}
+	// ... and after the slow windows drain too, fully ok.
+	feed(tr, clk, 80*time.Hour, time.Minute, 1000, 0)
+	if s, _ := tr.State(); s != SLOOK {
+		t.Fatalf("fully recovered state = %v", s)
+	}
+
+	// Slow leak: 0.3% loss — 3x budget burn. Too slow for the 14.4x fast
+	// pair, but sustained over the 6h and 3d windows it must warn.
+	feed(tr, clk, 80*time.Hour, time.Minute, 997, 3)
+	if s, _ := tr.State(); s != SLOWarning {
+		t.Fatalf("slow-leak state = %v, want warning", s)
+	}
+}
+
+// TestSLOLatencyObjective checks the latency arm: deliveries past the
+// threshold are bad events even with perfect availability.
+func TestSLOLatencyObjective(t *testing.T) {
+	obj, err := ParseSLO("p99<1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	tr := NewSLOTracker(obj, clk.now)
+
+	slow := (2 * time.Millisecond).Nanoseconds()
+	fast := (100 * time.Microsecond).Nanoseconds()
+	for i := 0; i < 600; i++ {
+		// 20% of deliveries breach the 1ms threshold: burn 20x the 1%
+		// budget, past the 14.4x critical gate.
+		for j := 0; j < 80; j++ {
+			tr.ObserveDelivery(fast)
+		}
+		for j := 0; j < 20; j++ {
+			tr.ObserveDelivery(slow)
+		}
+		clk.advance(time.Second)
+		tr.Tick()
+	}
+	if s, _ := tr.State(); s != SLOCritical {
+		t.Fatalf("latency breach state = %v, want critical", s)
+	}
+	st := tr.Status()
+	if st.Totals["latency_bad"] == 0 || st.Totals["avail_bad"] != 0 {
+		t.Fatalf("totals %v", st.Totals)
+	}
+	if r := st.Ratios["latency_good_ratio"]; r < 0.79 || r > 0.81 {
+		t.Fatalf("latency_good_ratio %v", r)
+	}
+}
+
+// TestSLOStatusAndMetrics checks the JSON document shape and the
+// registry series.
+func TestSLOStatusAndMetrics(t *testing.T) {
+	obj, _ := ParseSLO("p99<2ms,avail>99.9")
+	clk := &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	tr := NewSLOTracker(obj, clk.now)
+	feed(tr, clk, time.Minute, time.Second, 99, 1)
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"state"`, `"burn_rates"`, `"objective": "p99<2ms,avail>99.9"`, `"window": "5m"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("slo.json missing %s:\n%s", want, b.String())
+		}
+	}
+
+	r := NewRegistry()
+	tr.Register(r)
+	snap := r.Snapshot()
+	if snap["mpdp_slo_avail_bad_total"] != 60 {
+		t.Fatalf("avail_bad %v", snap["mpdp_slo_avail_bad_total"])
+	}
+	burn := snap[`mpdp_slo_burn_rate{objective="availability",window="5m"}`]
+	// 1% loss against a 0.1% budget: burn ≈ 10x.
+	if burn < 8 || burn > 12 {
+		t.Fatalf("5m availability burn %v, want ≈10", burn)
+	}
+	// 10x burn sits under the 14.4x fast gate (not critical) but over the
+	// 1x slow gate — with the tracker only a minute old the slow windows
+	// clamp to its whole life, so the sustained burn reads as a warning.
+	if snap["mpdp_slo_state"] != float64(SLOWarning) {
+		t.Fatalf("state gauge %v, want warning (%v)", snap["mpdp_slo_state"], float64(SLOWarning))
+	}
+}
+
+// TestSLOEngineIntegration runs the live engine with a tracker attached
+// and checks deliveries and drops both land in the tracker, and the
+// engine's registry exposes the slo series.
+func TestSLOEngineIntegration(t *testing.T) {
+	obj, _ := ParseSLO("p99<10s,avail>99")
+	tr := NewSLOTracker(obj, nil)
+	var got atomic.Uint64
+	e := startTest(t, Config{Paths: 2, QueueCap: 8, SLO: tr}, func(*packet.Packet) { got.Add(1) })
+	for i := 0; i < 20000; i++ {
+		e.Ingress(livePkt(uint64(i%16), 200))
+	}
+	e.Close()
+	st := e.Snapshot()
+
+	status := tr.Status()
+	if status.Totals["avail_good"] != st.Delivered {
+		t.Fatalf("tracker good %d != delivered %d", status.Totals["avail_good"], st.Delivered)
+	}
+	if status.Totals["avail_bad"] != st.TailDrops {
+		t.Fatalf("tracker bad %d != tail drops %d", status.Totals["avail_bad"], st.TailDrops)
+	}
+	if status.Totals["latency_good"]+status.Totals["latency_bad"] != st.Delivered {
+		t.Fatalf("latency events %d+%d != delivered %d",
+			status.Totals["latency_good"], status.Totals["latency_bad"], st.Delivered)
+	}
+	snap := e.Metrics().Snapshot()
+	if snap["mpdp_slo_avail_good_total"] != float64(st.Delivered) {
+		t.Fatalf("registry slo series %v != %d", snap["mpdp_slo_avail_good_total"], st.Delivered)
+	}
+}

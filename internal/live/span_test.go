@@ -1,0 +1,134 @@
+package live
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpdp/internal/nf"
+)
+
+// TestLiveSpansCoverPipeline runs real traffic through the live engine and
+// checks every stage span — dispatch, queue wait, each NF element,
+// service, reorder wait, e2e — recorded observations, in pipeline order,
+// with counts consistent with the delivered packet count.
+func TestLiveSpansCoverPipeline(t *testing.T) {
+	e := startTest(t, Config{Paths: 2, ReorderTimeout: 50 * time.Millisecond}, nil)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		e.Ingress(livePkt(uint64(i%16), 200))
+	}
+	e.Close()
+	st := e.Snapshot()
+
+	spans := e.StageSnapshot()
+	chainLen := nf.PresetChain(3).Len()
+	want := []string{"dispatch", "queue_wait"}
+	for i, el := range nf.PresetChain(3).Elements() {
+		want = append(want, "nf"+string(rune('0'+i))+"_"+el.Name())
+	}
+	want = append(want, "service", "reorder_wait", "e2e")
+	if len(spans) != len(want) {
+		t.Fatalf("got %d spans, want %d (%v)", len(spans), len(want), spans)
+	}
+	for i, sp := range spans {
+		if sp.Stage != want[i] {
+			t.Fatalf("span %d = %q, want %q", i, sp.Stage, want[i])
+		}
+		if sp.Latency.Count == 0 {
+			t.Fatalf("stage %q recorded nothing", sp.Stage)
+		}
+		if sp.Latency.P99 < sp.Latency.P50 || sp.Latency.Max < sp.Latency.P99 {
+			t.Fatalf("stage %q quantiles not ordered: %+v", sp.Stage, sp.Latency)
+		}
+	}
+	_ = chainLen
+
+	// Enqueued packets traverse every stage: dispatch count == offered -
+	// tail drops, e2e count == delivered.
+	enq := st.Offered - st.TailDrops
+	if got := spans[0].Latency.Count; uint64(got) != enq {
+		t.Fatalf("dispatch count %d != enqueued %d", got, enq)
+	}
+	if got := spans[len(spans)-1].Latency.Count; uint64(got) != st.Delivered {
+		t.Fatalf("e2e count %d != delivered %d", got, st.Delivered)
+	}
+	// The pass-all preset chain runs every element on every serviced
+	// packet, so per-NF counts match the service count.
+	var svc uint64
+	for _, sp := range spans {
+		if sp.Stage == "service" {
+			svc = sp.Latency.Count
+		}
+	}
+	for _, sp := range spans {
+		if strings.HasPrefix(sp.Stage, "nf") && sp.Latency.Count != svc {
+			t.Fatalf("stage %q count %d != service count %d", sp.Stage, sp.Latency.Count, svc)
+		}
+	}
+}
+
+// TestLiveSpansDisabled checks the opt-out: no span histograms, but the
+// e2e latency summary still works.
+func TestLiveSpansDisabled(t *testing.T) {
+	e := startTest(t, Config{Paths: 2, DisableSpans: true}, nil)
+	for i := 0; i < 2000; i++ {
+		e.Ingress(livePkt(uint64(i%8), 100))
+	}
+	e.Close()
+	if got := e.StageSnapshot(); got != nil {
+		t.Fatalf("spans disabled but StageSnapshot returned %v", got)
+	}
+	if st := e.Snapshot(); st.Latency.Count == 0 {
+		t.Fatal("e2e latency must keep working without spans")
+	}
+	var b strings.Builder
+	if err := e.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "mpdp_stage_latency_ns") {
+		t.Fatal("stage families exposed despite DisableSpans")
+	}
+}
+
+// TestLiveSpansInMetrics checks the registry exposes each stage as a
+// labeled histogram family with non-zero derived p99 gauges, the
+// acceptance criterion for the live SLO plane.
+func TestLiveSpansInMetrics(t *testing.T) {
+	e := startTest(t, Config{Paths: 2}, nil)
+	for i := 0; i < 5000; i++ {
+		e.Ingress(livePkt(uint64(i%16), 200))
+	}
+	e.Close()
+
+	snap := e.Metrics().Snapshot()
+	for _, stage := range []string{"dispatch", "queue_wait", "service", "e2e"} {
+		key := `mpdp_stage_latency_ns_count{stage="` + stage + `"}`
+		if snap[key] == 0 {
+			t.Fatalf("no observations for %s in snapshot", key)
+		}
+	}
+	if snap[`mpdp_stage_latency_ns_p99{stage="e2e"}`] <= 0 {
+		t.Fatal("e2e p99 gauge is zero under load")
+	}
+
+	var b strings.Builder
+	if err := e.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE mpdp_stage_latency_ns histogram",
+		`mpdp_stage_latency_ns_bucket{stage="e2e",le="+Inf"}`,
+		`mpdp_stage_latency_ns_p99{stage="queue_wait"}`,
+		`mpdp_stage_latency_ns_count{stage="dispatch"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Per-NF stages appear with their index-qualified names.
+	if !strings.Contains(out, `stage="nf0_`) {
+		t.Fatalf("no per-NF stage families in exposition:\n%s", out)
+	}
+}

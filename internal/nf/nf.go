@@ -112,11 +112,32 @@ func (c *Chain) Elements() []Element { return c.elements }
 // Process runs the packet through the chain, summing element costs. The
 // first Drop/Consume verdict short-circuits; its cost is still charged.
 func (c *Chain) Process(now sim.Time, p *packet.Packet) Result {
+	return c.ProcessHooked(now, p, nil)
+}
+
+// StageHook observes one element's result as a chain runs: i is the
+// element's index, e the element, r its individual result (not the running
+// total). Hooks fire after each element that executed, including the one
+// whose verdict short-circuited the chain.
+//
+// The hook is a timing/observability point: it must not mutate the packet.
+// It receives no clock — callers that want wall-clock stage timing read
+// their own clock inside the hook (the live engine), while virtual-time
+// callers use r.Cost directly (the simulator), which keeps this package
+// inside the determinism contract.
+type StageHook func(i int, e Element, r Result)
+
+// ProcessHooked is Process with a per-element observation hook. A nil hook
+// is exactly Process.
+func (c *Chain) ProcessHooked(now sim.Time, p *packet.Packet, hook StageHook) Result {
 	var total sim.Duration
 	for i, e := range c.elements {
 		r := e.Process(now, p)
 		total += r.Cost
 		c.processed[i]++
+		if hook != nil {
+			hook(i, e, r)
+		}
 		if r.Verdict != packet.Pass {
 			if r.Verdict == packet.Drop {
 				c.dropped[i]++

@@ -62,6 +62,45 @@ func TestChainShortCircuitsOnDrop(t *testing.T) {
 	}
 }
 
+func TestChainProcessHooked(t *testing.T) {
+	fixed := func(name string, cost sim.Duration, v packet.Verdict) Element {
+		return Func{ElemName: name, Fn: func(now sim.Time, p *packet.Packet) Result {
+			return Result{Verdict: v, Cost: cost}
+		}}
+	}
+	c := NewChain("t",
+		fixed("a", 10, packet.Pass),
+		fixed("b", 20, packet.Drop),
+		fixed("c", 30, packet.Pass))
+	type call struct {
+		i    int
+		name string
+		cost sim.Duration
+	}
+	var calls []call
+	r := c.ProcessHooked(0, mkUDP(t, tenantKey(1, 80), nil), func(i int, e Element, r Result) {
+		calls = append(calls, call{i, e.Name(), r.Cost})
+	})
+	if r.Verdict != packet.Drop || r.Cost != 30 {
+		t.Fatalf("result %+v", r)
+	}
+	// The hook fires per executed element — including the short-circuiting
+	// one — with individual (not cumulative) costs.
+	want := []call{{0, "a", 10}, {1, "b", 20}}
+	if len(calls) != len(want) {
+		t.Fatalf("hook calls %+v", calls)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("hook call %d = %+v, want %+v", i, calls[i], want[i])
+		}
+	}
+	// Nil hook is plain Process: same counters semantics, no panic.
+	if r := c.ProcessHooked(0, mkUDP(t, tenantKey(2, 80), nil), nil); r.Verdict != packet.Drop {
+		t.Fatalf("nil-hook result %+v", r)
+	}
+}
+
 func TestChainPanicsOnEmptyOrNil(t *testing.T) {
 	for name, fn := range map[string]func(){
 		"empty": func() { NewChain("x") },

@@ -44,6 +44,11 @@ type LaneConfig struct {
 	// usually a stochastic *Interference, or a ScriptedSlowdown in
 	// timeline experiments.
 	Interference Slowdown
+	// StageHook, if non-nil, observes every chain element's result as the
+	// lane serves a packet (see nf.StageHook). Virtual-time only: hooks
+	// read r.Cost, never a clock, so an attached hook changes no run
+	// outcome.
+	StageHook nf.StageHook
 }
 
 // Slowdown supplies a time-varying service-time multiplier for a lane.
@@ -207,7 +212,7 @@ func (l *Lane) startNext() {
 		l.serving = p
 		p.ServiceAt = now
 
-		result := l.cfg.Chain.Process(now, p)
+		result := l.cfg.Chain.ProcessHooked(now, p, l.cfg.StageHook)
 		svc := l.serviceTime(result.Cost)
 		l.busyUntil = now + svc
 		l.busyTotal += svc
@@ -290,7 +295,7 @@ func (l *Lane) Recover() {
 		now := l.sim.Now()
 		l.serving = p
 		p.ServiceAt = now
-		result := l.cfg.Chain.Process(now, p)
+		result := l.cfg.Chain.ProcessHooked(now, p, l.cfg.StageHook)
 		svc := l.serviceTime(result.Cost)
 		l.busyUntil = now + svc
 		l.busyTotal += svc
