@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race verify cover bench suite suite-quick check lint examples clean
+.PHONY: all build test test-short race verify cover bench suite suite-quick check lint examples clean loopback fuzz-frame
 
 all: build test
 
@@ -39,6 +39,15 @@ suite-quick:
 # Fast qualitative regression: do the headline shapes still hold?
 check:
 	$(GO) run ./cmd/mpdp-bench -check
+
+# Hermetic wire-path self-benchmark: sender + receiver over loopback UDP,
+# hedged across 2 paths, invariant-checked (see cmd/mpdp-gateway).
+loopback:
+	$(GO) run ./cmd/mpdp-gateway -loopback -duration 10s -sched hedge -paths 2
+
+# Fuzz the MPDP1 frame decoder (corpus seeded from testdata golden frames).
+fuzz-frame:
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 30s ./internal/transport/
 
 # One local command matching the CI gate: vet (all standard analyzers),
 # gofmt, and the project's own contract linter (see internal/lint and

@@ -32,6 +32,7 @@ import (
 	"mpdp/internal/live"
 	"mpdp/internal/nf"
 	"mpdp/internal/packet"
+	"mpdp/internal/shutdown"
 	"mpdp/internal/workload"
 	"mpdp/internal/xrand"
 )
@@ -141,6 +142,11 @@ func main() {
 		fmt.Printf("serving pprof and expvar on %s (/debug/pprof/, /debug/vars)\n", *debug)
 	}
 
+	// SIGINT/SIGTERM stops the push loop at a batch boundary and falls
+	// through to the normal exit report: an interrupted run still reports.
+	stop := shutdown.Notify()
+	interrupted := false
+	pushed := 0
 	start := time.Now()
 	if *rate > 0 {
 		// Batch pacing: sleep between 256-packet bursts to hold the
@@ -150,20 +156,33 @@ func main() {
 		next := start
 		for i, p := range pkts {
 			if i%batch == 0 {
+				if shutdown.Requested() {
+					interrupted = true
+					break
+				}
 				if d := time.Until(next); d > 0 {
 					time.Sleep(d)
 				}
 				next = next.Add(perBatch)
 			}
 			e.Ingress(p)
+			pushed++
 		}
 	} else {
-		for _, p := range pkts {
+		for i, p := range pkts {
+			if i%1024 == 0 && shutdown.Requested() {
+				interrupted = true
+				break
+			}
 			e.Ingress(p)
+			pushed++
 		}
 	}
 	e.Close()
 	elapsed := time.Since(start)
+	if interrupted {
+		fmt.Printf("interrupted after %d of %d packets; reporting on what ran\n", pushed, len(pkts))
+	}
 
 	st := e.Snapshot()
 	mpps := float64(st.Delivered) / elapsed.Seconds() / 1e6
@@ -200,8 +219,11 @@ func main() {
 		fmt.Println()
 	}
 
-	if *listen != "" && *hold > 0 {
-		fmt.Printf("holding metrics endpoint open for %v\n", *hold)
-		time.Sleep(*hold)
+	if *listen != "" && *hold > 0 && !interrupted {
+		fmt.Printf("holding metrics endpoint open for %v (interrupt to stop)\n", *hold)
+		select {
+		case <-stop:
+		case <-time.After(*hold):
+		}
 	}
 }

@@ -161,3 +161,163 @@ func (h *pathHealth) rotateWindow(minSamples int) {
 	h.dropFrac = float64(h.winDropped) / float64(total)
 	h.winServed, h.winDropped = 0, 0
 }
+
+// HealthTracker is the exported, signal-driven face of the path-health
+// state machine: the same pathHealth core the simulated engine drives with
+// lane completions, but fed by whatever the caller's transport can actually
+// observe — cumulative ack/gap deltas, refused sends, and a periodic
+// Maintain sweep. internal/transport attaches one per UDP path and feeds it
+// from real acknowledgements, so a wire path flaps through the identical
+// up → degraded → quarantined → probing → up machine the simulator uses.
+//
+// Unlike the engine's sweep, a tracker sees only its own path, so the
+// drop-fraction transitions use the configured thresholds absolutely (no
+// cross-path median): a caller with peer context can layer its own
+// anomaly comparison on top.
+//
+// Times are sim.Time values from any monotone clock the caller owns; the
+// transport passes wall nanoseconds. The tracker is not goroutine-safe —
+// serialize calls (the transport funnels all signals through one lock).
+type HealthTracker struct {
+	cfg         HealthConfig
+	h           pathHealth
+	quarantines int
+}
+
+// NewHealthTracker builds a tracker in the Up state. Zero-valued config
+// fields take the HealthConfig defaults.
+func NewHealthTracker(cfg HealthConfig) *HealthTracker {
+	cfg.fillDefaults()
+	return &HealthTracker{cfg: cfg, h: newPathHealth()}
+}
+
+// State returns the current health state.
+func (t *HealthTracker) State() HealthState { return t.h.state }
+
+// Since returns when the tracker entered its current state.
+func (t *HealthTracker) Since() sim.Time { return t.h.since }
+
+// Eligible reports whether the path may receive ordinary new traffic (Up or
+// Degraded). Probing paths take only the caller's canary trickle.
+func (t *HealthTracker) Eligible() bool {
+	return t.h.state == HealthUp || t.h.state == HealthDegraded
+}
+
+// InFlight returns frames sent but not yet resolved by an ack or a gap.
+func (t *HealthTracker) InFlight() int { return t.h.inflight }
+
+// Quarantines returns how many times the path has been quarantined.
+func (t *HealthTracker) Quarantines() int { return t.quarantines }
+
+// ObserveSent records n frames handed to the path's socket.
+func (t *HealthTracker) ObserveSent(now sim.Time, n int) {
+	if t.cfg.Disable || n <= 0 {
+		return
+	}
+	if t.h.inflight == 0 {
+		t.h.pendingSince = now
+	}
+	t.h.inflight += n
+}
+
+// ObserveAck folds one acknowledgement into the machine: delivered frames
+// newly confirmed received and lost frames newly and conclusively gapped
+// since the previous ack (both deltas, not cumulative totals). A loss while
+// probing re-quarantines immediately — a dropped canary means the path has
+// not earned its way back.
+func (t *HealthTracker) ObserveAck(now sim.Time, delivered, lost int) {
+	if t.cfg.Disable {
+		return
+	}
+	t.h.inflight -= delivered + lost
+	if t.h.inflight < 0 {
+		t.h.inflight = 0
+	}
+	if delivered > 0 {
+		t.h.lastDone = now
+		t.h.consecFail = 0
+		t.h.winServed += delivered
+	}
+	if lost > 0 {
+		t.h.winDropped += lost
+	}
+	if t.h.state == HealthProbing {
+		if lost > 0 {
+			t.quarantine(now)
+			return
+		}
+		if delivered > 0 {
+			t.h.probeOK += delivered
+			if t.h.probeOK >= t.cfg.ProbeSuccesses {
+				t.h.setState(HealthUp, now)
+			}
+		}
+	}
+}
+
+// ObserveSendRefused records a refused send (socket write error): the
+// transport analogue of a fail-stop enqueue rejection. FailThreshold
+// consecutive refusals quarantine the path.
+func (t *HealthTracker) ObserveSendRefused(now sim.Time) {
+	if t.cfg.Disable {
+		return
+	}
+	t.h.consecFail++
+	if t.h.consecFail >= t.cfg.FailThreshold {
+		t.quarantine(now)
+	}
+}
+
+// Maintain runs the lazy sweep: the blackhole watchdog, error-window
+// rotation and drop-fraction transitions, and quarantine-backoff expiry.
+// Call it on the caller's own cadence (the transport runs it per ack and
+// every MaintainEvery sends).
+func (t *HealthTracker) Maintain(now sim.Time) {
+	if t.cfg.Disable {
+		return
+	}
+	cfg := &t.cfg
+	h := &t.h
+	switch h.state {
+	case HealthUp, HealthDegraded:
+		// Blackhole watchdog: work outstanding, nothing coming back.
+		if h.inflight > 0 && now-h.pendingSince > cfg.SuspectTimeout &&
+			(h.lastDone == 0 || now-h.lastDone > cfg.SuspectTimeout) {
+			t.quarantine(now)
+			return
+		}
+		h.rotateWindow(cfg.DropWindowMin)
+		if h.dropFrac < 0 {
+			return
+		}
+		switch {
+		case h.dropFrac >= cfg.DropQuarantineFrac:
+			t.quarantine(now)
+		case h.dropFrac >= cfg.DropDegradeFrac && h.state == HealthUp:
+			h.setState(HealthDegraded, now)
+		case h.state == HealthDegraded && h.dropFrac < cfg.DropDegradeFrac/2:
+			h.setState(HealthUp, now)
+		}
+	case HealthQuarantined:
+		if now-h.since >= cfg.QuarantineBackoff {
+			h.setState(HealthProbing, now)
+			// Fresh accounting epoch: the pre-quarantine drop fraction must
+			// not re-condemn the path the moment the canaries earn it back.
+			h.winServed, h.winDropped = 0, 0
+			h.dropFrac = -1
+		}
+	case HealthProbing:
+		// A canary swallowed silently means the blackhole persists.
+		if h.inflight > 0 && now-h.pendingSince > cfg.SuspectTimeout {
+			t.quarantine(now)
+		}
+	}
+}
+
+func (t *HealthTracker) quarantine(now sim.Time) {
+	if t.h.state == HealthQuarantined {
+		return
+	}
+	t.h.setState(HealthQuarantined, now)
+	t.quarantines++
+}

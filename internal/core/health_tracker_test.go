@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"mpdp/internal/sim"
+)
+
+// The HealthTracker tests drive the state machine exactly the way the wire
+// transport does: cumulative ack deltas (delivered, lost), refused sends,
+// and Maintain sweeps on a wall-like clock — no simulator events involved.
+
+func trackerCfg() HealthConfig {
+	return HealthConfig{
+		SuspectTimeout:    1 * sim.Millisecond,
+		QuarantineBackoff: 2 * sim.Millisecond,
+		ProbeSuccesses:    4,
+		DropWindowMin:     16,
+	}
+}
+
+// ackRound sends n frames and immediately acks them with the given loss
+// split, advancing the clock by step.
+func ackRound(t *HealthTracker, now *sim.Time, sent, delivered, lost int, step sim.Duration) {
+	t.ObserveSent(*now, sent)
+	*now += step
+	t.ObserveAck(*now, delivered, lost)
+	t.Maintain(*now)
+}
+
+func TestHealthTrackerStaysUpOnCleanAcks(t *testing.T) {
+	ht := NewHealthTracker(trackerCfg())
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		ackRound(ht, &now, 10, 10, 0, 100*sim.Microsecond)
+	}
+	if got := ht.State(); got != HealthUp {
+		t.Fatalf("state after clean acks = %v, want up", got)
+	}
+	if ht.InFlight() != 0 {
+		t.Fatalf("inflight = %d, want 0", ht.InFlight())
+	}
+}
+
+func TestHealthTrackerLossFlapAndRecovery(t *testing.T) {
+	// The full round trip the transport exercises with an impaired path:
+	// heavy real loss quarantines, backoff moves to probing, clean canary
+	// acks restore Up.
+	ht := NewHealthTracker(trackerCfg())
+	now := sim.Time(0)
+
+	// Healthy warm-up.
+	for i := 0; i < 4; i++ {
+		ackRound(ht, &now, 8, 8, 0, 100*sim.Microsecond)
+	}
+
+	// Gap-heavy acks: 75% of frames lost. The first completed window
+	// (>= DropWindowMin samples) pushes dropFrac over DropQuarantineFrac.
+	for i := 0; i < 8 && ht.State() != HealthQuarantined; i++ {
+		ackRound(ht, &now, 8, 2, 6, 100*sim.Microsecond)
+	}
+	if got := ht.State(); got != HealthQuarantined {
+		t.Fatalf("state after 75%% loss = %v, want quarantined", got)
+	}
+	if ht.Quarantines() != 1 {
+		t.Fatalf("quarantines = %d, want 1", ht.Quarantines())
+	}
+
+	// Backoff expires: probing.
+	now += 3 * sim.Millisecond
+	ht.Maintain(now)
+	if got := ht.State(); got != HealthProbing {
+		t.Fatalf("state after backoff = %v, want probing", got)
+	}
+	if ht.Eligible() {
+		t.Fatal("probing path must not be eligible for ordinary traffic")
+	}
+
+	// A lost canary re-quarantines immediately.
+	ackRound(ht, &now, 1, 0, 1, 100*sim.Microsecond)
+	if got := ht.State(); got != HealthQuarantined {
+		t.Fatalf("state after lost canary = %v, want quarantined", got)
+	}
+
+	// Second probe round: clean canaries earn the path back.
+	now += 3 * sim.Millisecond
+	ht.Maintain(now)
+	if got := ht.State(); got != HealthProbing {
+		t.Fatalf("state after second backoff = %v, want probing", got)
+	}
+	for i := 0; i < 4; i++ {
+		ackRound(ht, &now, 1, 1, 0, 100*sim.Microsecond)
+	}
+	if got := ht.State(); got != HealthUp {
+		t.Fatalf("state after %d clean canaries = %v, want up", 4, got)
+	}
+	if !ht.Eligible() {
+		t.Fatal("recovered path must be eligible")
+	}
+	if ht.Quarantines() != 2 {
+		t.Fatalf("quarantines = %d, want 2", ht.Quarantines())
+	}
+}
+
+func TestHealthTrackerModerateLossDegrades(t *testing.T) {
+	ht := NewHealthTracker(trackerCfg())
+	now := sim.Time(0)
+	// ~31% loss: above DropDegradeFrac (0.25), below DropQuarantineFrac.
+	for i := 0; i < 8; i++ {
+		ackRound(ht, &now, 16, 11, 5, 100*sim.Microsecond)
+	}
+	if got := ht.State(); got != HealthDegraded {
+		t.Fatalf("state after moderate loss = %v, want degraded", got)
+	}
+	if !ht.Eligible() {
+		t.Fatal("degraded path must stay eligible (warning tier)")
+	}
+	// Loss clears well below half the degrade threshold: back to Up.
+	for i := 0; i < 8; i++ {
+		ackRound(ht, &now, 16, 16, 0, 100*sim.Microsecond)
+	}
+	if got := ht.State(); got != HealthUp {
+		t.Fatalf("state after recovery = %v, want up", got)
+	}
+}
+
+func TestHealthTrackerSendRefusedQuarantines(t *testing.T) {
+	ht := NewHealthTracker(trackerCfg()) // FailThreshold defaults to 1
+	ht.ObserveSendRefused(10)
+	if got := ht.State(); got != HealthQuarantined {
+		t.Fatalf("state after refused send = %v, want quarantined", got)
+	}
+}
+
+func TestHealthTrackerBlackholeWatchdog(t *testing.T) {
+	ht := NewHealthTracker(trackerCfg())
+	now := sim.Time(0)
+	ht.ObserveSent(now, 32) // frames out, then silence: no acks at all
+	now += 2 * sim.Millisecond
+	ht.Maintain(now)
+	if got := ht.State(); got != HealthQuarantined {
+		t.Fatalf("state after ack silence = %v, want quarantined", got)
+	}
+
+	// While probing, the watchdog applies too: canaries out, still silence.
+	now += 3 * sim.Millisecond
+	ht.Maintain(now)
+	if got := ht.State(); got != HealthProbing {
+		t.Fatalf("state after backoff = %v, want probing", got)
+	}
+	ht.ObserveSent(now, 1)
+	now += 2 * sim.Millisecond
+	ht.Maintain(now)
+	if got := ht.State(); got != HealthQuarantined {
+		t.Fatalf("state after silent canary = %v, want quarantined", got)
+	}
+}
+
+func TestHealthTrackerDisabled(t *testing.T) {
+	ht := NewHealthTracker(HealthConfig{Disable: true})
+	now := sim.Time(0)
+	ht.ObserveSendRefused(now)
+	ackRound(ht, &now, 16, 0, 16, sim.Millisecond)
+	ht.ObserveSent(now, 64)
+	now += 10 * sim.Millisecond
+	ht.Maintain(now)
+	if got := ht.State(); got != HealthUp {
+		t.Fatalf("disabled tracker moved to %v, want up forever", got)
+	}
+}

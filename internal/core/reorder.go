@@ -47,8 +47,9 @@ type Reorder struct {
 	lateDrops    uint64
 	timeoutRel   uint64
 	holesPunched uint64
-	occupancy    int // buffered entries, tombstones included
-	pktOccupancy int // buffered real packets only
+	gapSkipped   uint64 // sequence numbers abandoned by a gap timeout
+	occupancy    int    // buffered entries, tombstones included
+	pktOccupancy int    // buffered real packets only
 	maxOccupancy int
 }
 
@@ -250,6 +251,7 @@ func (r *Reorder) onTimeout(f *flowOrder) {
 		}
 		delete(f.pending, min)
 		r.occupancy--
+		r.gapSkipped += min - f.next // seqs the timeout declares lost
 		if e.p != nil {
 			r.pktOccupancy--
 			r.timeoutRel++
@@ -272,6 +274,7 @@ type ReorderStats struct {
 	LateDrops    uint64 // stragglers arriving after a timeout skip
 	TimeoutFires uint64 // packets force-released by the gap timeout
 	HolesPunched uint64 // losses the engine reported via Skip
+	GapSkipped   uint64 // sequence numbers abandoned by a gap timeout
 	MaxOccupancy int    // peak buffered entries
 	Pending      int    // currently buffered (tombstones included)
 	PendingPkts  int    // currently buffered real packets
@@ -286,6 +289,7 @@ func (r *Reorder) Stats() ReorderStats {
 		LateDrops:    r.lateDrops,
 		TimeoutFires: r.timeoutRel,
 		HolesPunched: r.holesPunched,
+		GapSkipped:   r.gapSkipped,
 		MaxOccupancy: r.maxOccupancy,
 		Pending:      r.occupancy,
 		PendingPkts:  r.pktOccupancy,

@@ -201,6 +201,11 @@ func RelativizeFindings(findings []Finding, base string) {
 // its histogram shards pick a stripe with math/rand/v2 and its SLO
 // burn-rate windows are anchored to wall-clock time, both of which the
 // determinism rules would (correctly, for sim code) reject.
+//
+// internal/transport IS in scope despite running on a real wire: its few
+// wall-clock reads are funnelled through clock.go and annotated with
+// //lint:allow pragmas, so any NEW time.Now creeping into the data path
+// gets flagged instead of silently joining them.
 var simPackages = []string{
 	"mpdp/internal/core",
 	"mpdp/internal/vnet",
@@ -214,6 +219,7 @@ var simPackages = []string{
 	"mpdp/internal/sim",
 	"mpdp/internal/packet",
 	"mpdp/internal/obs",
+	"mpdp/internal/transport",
 }
 
 func inSimScope(path string) bool {

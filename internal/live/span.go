@@ -76,6 +76,11 @@ type StageSpan struct {
 	Latency stats.Summary
 }
 
+// Summary converts a histogram snapshot to the stats.Summary shape the
+// rest of the repo reports (exported for the wire transport's span
+// reporting, which reuses these histograms outside the engine).
+func (s *HistSnapshot) Summary() stats.Summary { return s.summary() }
+
 // summary converts a histogram snapshot to the stats.Summary shape the
 // rest of the repo reports.
 func (s *HistSnapshot) summary() stats.Summary {

@@ -1,0 +1,57 @@
+// Package shutdown is the signal-to-cancellation bridge shared by the
+// long-running binaries (mpdp-live, mpdp-gateway): the first SIGINT or
+// SIGTERM asks the run to stop and produce its normal exit report — an
+// interrupted measurement is still a measurement — and a second signal
+// force-quits for when the graceful path itself is wedged.
+package shutdown
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+var (
+	once sync.Once
+	stop chan struct{}
+)
+
+// Notify returns a channel that is closed on the first SIGINT/SIGTERM.
+// Callers select on it (or poll with a non-blocking receive) at natural
+// batch boundaries and then run their usual end-of-run reporting. A second
+// signal exits the process immediately with status 1.
+//
+// The channel is shared process-wide: every caller sees the same
+// cancellation, and installing the handler is idempotent.
+func Notify() <-chan struct{} {
+	once.Do(func() {
+		stop = make(chan struct{})
+		sigs := make(chan os.Signal, 2)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sigs
+			fmt.Fprintf(os.Stderr, "\n%s: stopping for exit report (signal again to force quit)\n", s) //lint:allow erroreat stderr notice on best effort
+			close(stop)
+			<-sigs
+			fmt.Fprintln(os.Stderr, "forced quit") //lint:allow erroreat stderr notice on best effort
+			os.Exit(1)
+		}()
+	})
+	return stop
+}
+
+// Requested reports (without blocking) whether a stop has been signalled.
+// Returns false when Notify has never been called.
+func Requested() bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}

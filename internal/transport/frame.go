@@ -1,0 +1,180 @@
+// Package transport is the on-the-wire multipath data plane: real UDP
+// datagrams carrying MPDP1 frames across N concurrent socket pairs, with
+// sender-side path scheduling (round-robin, least-inflight, hedged
+// duplication), per-path loss detection from gap/ack tracking feeding the
+// core path-health state machine, first-copy-wins dedup, and in-order
+// delivery through the core reorder buffer.
+//
+// Where internal/sim mitigates tail latency in virtual time and
+// internal/live in one process's wall clock, this package puts MPDP frames
+// on actual sockets: the scheduling policies, health machine, and reorder
+// semantics are the ones internal/core defines, re-driven by signals a real
+// network provides (acks, gaps, write errors) instead of simulator events.
+//
+// Wire format (MPDP1, little endian, fixed 44-byte header — varint-free so
+// the encode hot path is a handful of stores and decoding never reads past
+// a validated length):
+//
+//	offset size field
+//	0      4    magic "MPDP"
+//	4      1    version (0x01; magic+version spell the MPDP1 format name)
+//	5      1    flags (dup/ack/probe/echo)
+//	6      2    path ID
+//	8      8    flow ID
+//	16     8    global seq   (per-flow ingress sequence; reorder key)
+//	24     8    path seq     (per-path monotone counter; gap-detection key)
+//	32     8    send timestamp (sender's unix nanoseconds)
+//	40     4    payload length
+//	44     …    payload
+//
+// Ack frames (FlagAck) reuse the header as the ack body and carry no
+// payload: path seq holds the highest path seq seen on the acked path,
+// global seq the cumulative count of data frames received on it, and the
+// timestamp echoes the newest data frame's send time (an RTT probe).
+//
+// The codec mirrors internal/obs's MPDPOBS1 discipline: a fuzzed decoder
+// that never panics and never aliases out of bounds, strict validation
+// (magic, version, flags, length consistency) so corruption is detected
+// rather than misparsed, and golden frames under testdata/ pinning the
+// byte layout forever.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame flag bits.
+const (
+	// FlagDup marks a hedged duplicate copy; the receiver's dedup window
+	// keeps whichever copy of (flow, seq) lands first.
+	FlagDup uint8 = 1 << 0
+	// FlagAck marks an acknowledgement frame (header-only).
+	FlagAck uint8 = 1 << 1
+	// FlagProbe marks a canary sent down a probing path.
+	FlagProbe uint8 = 1 << 2
+	// FlagEcho marks a data frame reflected by an echo gateway; its send
+	// timestamp is the original sender's, so arrival time minus timestamp
+	// is a full wire round trip.
+	FlagEcho uint8 = 1 << 3
+
+	flagsKnown = FlagDup | FlagAck | FlagProbe | FlagEcho
+)
+
+// Version is the MPDP1 wire version byte.
+const Version = 1
+
+// HeaderLen is the fixed encoded header size.
+const HeaderLen = 44
+
+// MaxPayload bounds a frame's payload so every frame fits comfortably in
+// one UDP datagram (loopback and jumbo-capable fabrics included) and a
+// hostile length field cannot ask for gigabytes.
+const MaxPayload = 16 << 10
+
+// Magic identifies an MPDP1 frame (together with the version byte).
+var Magic = [4]byte{'M', 'P', 'D', 'P'}
+
+// Codec errors.
+var (
+	ErrBadMagic   = errors.New("transport: bad magic (not an MPDP1 frame)")
+	ErrBadVersion = errors.New("transport: unsupported MPDP1 version")
+	ErrCorrupt    = errors.New("transport: corrupt frame")
+	ErrTooLarge   = fmt.Errorf("transport: payload exceeds %d bytes", MaxPayload)
+)
+
+// Header is the decoded MPDP1 fixed header.
+type Header struct {
+	Flags     uint8
+	PathID    uint16
+	FlowID    uint64
+	Seq       uint64 // per-flow global sequence
+	PathSeq   uint64 // per-path monotone counter
+	SendNanos int64  // sender clock, unix nanoseconds
+}
+
+// IsAck reports whether the frame is an acknowledgement.
+func (h *Header) IsAck() bool { return h.Flags&FlagAck != 0 }
+
+// IsDup reports whether the frame is a hedged duplicate copy.
+func (h *Header) IsDup() bool { return h.Flags&FlagDup != 0 }
+
+// EncodedLen returns the wire size of a frame with the given payload size.
+func EncodedLen(payloadLen int) int { return HeaderLen + payloadLen }
+
+// putHeader stores h plus the payload length into dst[0:HeaderLen].
+// dst must be at least HeaderLen bytes.
+func putHeader(dst []byte, h *Header, payloadLen int) {
+	_ = dst[HeaderLen-1] // one bound check for the whole header
+	copy(dst[0:4], Magic[:])
+	dst[4] = Version
+	dst[5] = h.Flags
+	binary.LittleEndian.PutUint16(dst[6:8], h.PathID)
+	binary.LittleEndian.PutUint64(dst[8:16], h.FlowID)
+	binary.LittleEndian.PutUint64(dst[16:24], h.Seq)
+	binary.LittleEndian.PutUint64(dst[24:32], h.PathSeq)
+	binary.LittleEndian.PutUint64(dst[32:40], uint64(h.SendNanos))
+	binary.LittleEndian.PutUint32(dst[40:44], uint32(payloadLen))
+}
+
+// AppendFrame appends the encoded frame to buf and returns the extended
+// slice. With a pre-sized buf (cap >= len(buf)+HeaderLen+len(payload)) it
+// performs zero allocations — the sender's per-path scratch buffers keep
+// the hot path alloc-free (CI-gated by BenchmarkFrameEncode).
+func AppendFrame(buf []byte, h *Header, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return buf, ErrTooLarge
+	}
+	off := len(buf)
+	n := HeaderLen + len(payload)
+	if cap(buf)-off < n {
+		grown := make([]byte, off, off+n)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:off+n]
+	putHeader(buf[off:], h, len(payload))
+	copy(buf[off+HeaderLen:], payload)
+	return buf, nil
+}
+
+// DecodeFrame parses one MPDP1 frame from b. The returned payload aliases
+// b (zero copy); callers that reuse the read buffer must copy it before
+// the next read. Every failure mode returns a typed error — the decoder
+// never panics on arbitrary input (fuzz-enforced).
+func DecodeFrame(b []byte) (Header, []byte, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, nil, ErrCorrupt
+	}
+	if b[0] != Magic[0] || b[1] != Magic[1] || b[2] != Magic[2] || b[3] != Magic[3] {
+		return h, nil, ErrBadMagic
+	}
+	if b[4] != Version {
+		return h, nil, ErrBadVersion
+	}
+	flags := b[5]
+	if flags&^flagsKnown != 0 {
+		return h, nil, ErrCorrupt
+	}
+	plen := binary.LittleEndian.Uint32(b[40:44])
+	if plen > MaxPayload {
+		return h, nil, ErrTooLarge
+	}
+	if len(b) != HeaderLen+int(plen) {
+		// A datagram carries exactly one frame; trailing or missing bytes
+		// mean truncation or tampering, never a second frame.
+		return h, nil, ErrCorrupt
+	}
+	if flags&FlagAck != 0 && plen != 0 {
+		return h, nil, ErrCorrupt
+	}
+	h.Flags = flags
+	h.PathID = binary.LittleEndian.Uint16(b[6:8])
+	h.FlowID = binary.LittleEndian.Uint64(b[8:16])
+	h.Seq = binary.LittleEndian.Uint64(b[16:24])
+	h.PathSeq = binary.LittleEndian.Uint64(b[24:32])
+	h.SendNanos = int64(binary.LittleEndian.Uint64(b[32:40]))
+	return h, b[HeaderLen : HeaderLen+int(plen)], nil
+}

@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden frames")
+
+// goldenFrames are the canonical fixtures: one of each frame shape the
+// protocol produces. Their encodings are pinned byte-for-byte under
+// testdata/ — any codec change that alters the wire layout fails TestGolden
+// until the format version is bumped and the files are regenerated with
+// `go test ./internal/transport -run TestGolden -update`.
+func goldenFrames() []struct {
+	name    string
+	h       Header
+	payload []byte
+} {
+	return []struct {
+		name    string
+		h       Header
+		payload []byte
+	}{
+		{
+			name:    "data",
+			h:       Header{PathID: 1, FlowID: 0xdeadbeefcafe0001, Seq: 42, PathSeq: 17, SendNanos: 1700000000123456789},
+			payload: []byte("hello multipath"),
+		},
+		{
+			name:    "dup",
+			h:       Header{Flags: FlagDup, PathID: 2, FlowID: 0xdeadbeefcafe0001, Seq: 42, PathSeq: 9, SendNanos: 1700000000123456790},
+			payload: []byte("hello multipath"),
+		},
+		{
+			name: "ack",
+			h:    Header{Flags: FlagAck, PathID: 1, Seq: 12345, PathSeq: 12400, SendNanos: 1700000000123450000},
+		},
+		{
+			name:    "probe",
+			h:       Header{Flags: FlagProbe, PathID: 3, FlowID: 7, Seq: 0, PathSeq: 1, SendNanos: 1},
+			payload: []byte{0xde, 0xad},
+		},
+		{
+			name:    "echo",
+			h:       Header{Flags: FlagEcho, PathID: 0, FlowID: 7, Seq: 3, PathSeq: 4, SendNanos: 1700000000123456791},
+			payload: bytes.Repeat([]byte{0xab}, 64),
+		},
+	}
+}
+
+func TestGolden(t *testing.T) {
+	for _, g := range goldenFrames() {
+		enc, err := AppendFrame(nil, &g.h, g.payload)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", g.name, err)
+		}
+		path := filepath.Join("testdata", g.name+".frame")
+		if *updateGolden {
+			if err := os.WriteFile(path, enc, 0o644); err != nil {
+				t.Fatalf("%s: write golden: %v", g.name, err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: read golden (run with -update to create): %v", g.name, err)
+		}
+		if !bytes.Equal(enc, want) {
+			t.Errorf("%s: encoding drifted from golden bytes:\n got %x\nwant %x", g.name, enc, want)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, g := range goldenFrames() {
+		enc, err := AppendFrame(nil, &g.h, g.payload)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", g.name, err)
+		}
+		if len(enc) != EncodedLen(len(g.payload)) {
+			t.Fatalf("%s: encoded %d bytes, want %d", g.name, len(enc), EncodedLen(len(g.payload)))
+		}
+		h, payload, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", g.name, err)
+		}
+		if h != g.h {
+			t.Errorf("%s: header round trip: got %+v want %+v", g.name, h, g.h)
+		}
+		if !bytes.Equal(payload, g.payload) {
+			t.Errorf("%s: payload round trip mismatch", g.name)
+		}
+		// Re-encode must be byte-identical (the fuzz target's property, on
+		// the canonical corpus).
+		re, err := AppendFrame(nil, &h, payload)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", g.name, err)
+		}
+		if !bytes.Equal(re, enc) {
+			t.Errorf("%s: re-encode not byte-identical", g.name)
+		}
+	}
+}
+
+func TestAppendFrameReusesBuffer(t *testing.T) {
+	h := Header{FlowID: 1, Seq: 2, PathSeq: 3, SendNanos: 4}
+	payload := bytes.Repeat([]byte{0x55}, 128)
+	buf := make([]byte, 0, 4096)
+	out, err := AppendFrame(buf, &h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendFrame reallocated despite sufficient capacity")
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	valid, err := AppendFrame(nil, &Header{FlowID: 1, Seq: 1, PathSeq: 1, SendNanos: 1}, []byte("xyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"short", func(b []byte) []byte { return b[:HeaderLen-1] }, ErrCorrupt},
+		{"empty", func(b []byte) []byte { return nil }, ErrCorrupt},
+		{"magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrBadMagic},
+		{"version", func(b []byte) []byte { b[4] = 99; return b }, ErrBadVersion},
+		{"flags", func(b []byte) []byte { b[5] = 0x80; return b }, ErrCorrupt},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-1] }, ErrCorrupt},
+		{"trailing-bytes", func(b []byte) []byte { return append(b, 0) }, ErrCorrupt},
+		{"huge-length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[40:44], MaxPayload+1)
+			return b
+		}, ErrTooLarge},
+		{"ack-with-payload", func(b []byte) []byte { b[5] = FlagAck; return b }, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		b := append([]byte(nil), valid...)
+		if _, _, err := DecodeFrame(tc.mut(b)); err != tc.want {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAppendFrameRejectsOversizedPayload(t *testing.T) {
+	if _, err := AppendFrame(nil, &Header{}, make([]byte, MaxPayload+1)); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// BenchmarkFrameEncode is the CI-gated allocation budget for the encode hot
+// path: with a reused buffer, AppendFrame must not allocate.
+func BenchmarkFrameEncode(b *testing.B) {
+	h := Header{PathID: 1, FlowID: 0xfeed, Seq: 1, PathSeq: 1, SendNanos: 1}
+	payload := bytes.Repeat([]byte{0x42}, 1024)
+	buf := make([]byte, 0, EncodedLen(len(payload)))
+	b.ReportAllocs()
+	b.SetBytes(int64(EncodedLen(len(payload))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Seq++
+		h.PathSeq++
+		out, err := AppendFrame(buf[:0], &h, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x42}, 1024)
+	enc, err := AppendFrame(nil, &Header{FlowID: 9, Seq: 1, PathSeq: 1, SendNanos: 1}, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeFrame(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

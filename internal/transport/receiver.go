@@ -1,0 +1,368 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpdp/internal/core"
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+// ReceiverConfig configures a multipath Receiver.
+type ReceiverConfig struct {
+	// Addrs are the listen addresses, one per path (use "127.0.0.1:0" for
+	// ephemeral loopback ports and read them back with Addrs()).
+	Addrs []string
+	// ReorderTimeout is the gap timeout of the reorder stage: how long a
+	// hole blocks successors before being declared lost (default 5 ms).
+	ReorderTimeout time.Duration
+	// DedupWindow is the per-flow first-copy-wins window in sequence
+	// numbers (default DefaultDedupWindow).
+	DedupWindow uint64
+	// Queue is the depth of the socket→reorder channel (default 4096).
+	Queue int
+	// AckEvery sends a cumulative ack after this many data frames on a
+	// path (default 32).
+	AckEvery int
+	// AckInterval bounds ack latency on a quiet path: a sweeper acks any
+	// path with unreported progress at this period (default 2 ms). The
+	// sweep is also what lets the sender's gap accounting conclude losses
+	// on a path that went quiet mid-burst.
+	AckInterval time.Duration
+	// EchoBack reflects every data frame to its source with FlagEcho set
+	// (header only), giving the sender per-frame RTT samples.
+	EchoBack bool
+	// Spans, when non-nil, records socket-read/reorder/deliver/e2e stages.
+	Spans *Spans
+	// Deliver receives packets in per-flow order on the reorder driver
+	// goroutine. The packet is owned by the callback.
+	Deliver func(p *packet.Packet)
+	// OnLost is invoked (driver goroutine) for stragglers that arrive
+	// after their sequence was timed out past.
+	OnLost func(p *packet.Packet)
+	// Verifier, when non-nil, is fed every in-order delivery.
+	Verifier *Verifier
+}
+
+// recvPath is one listening socket plus its ack bookkeeping, shared between
+// the path's reader goroutine and the ack sweeper under mu.
+type recvPath struct {
+	id   uint16
+	conn *net.UDPConn
+
+	mu        sync.Mutex
+	src       *net.UDPAddr // last data source: where acks go
+	wire      *dedupWindow // per-path wire dedup on PathSeq
+	high      uint64       // highest PathSeq seen
+	recv      uint64       // distinct frames received
+	lastSend  int64        // SendNanos of the newest data frame (RTT echo)
+	sinceAck  int
+	ackedRecv uint64 // recv as of the last ack sent
+
+	frames   uint64 // raw datagrams that decoded as data frames
+	wireDups uint64 // wire-level duplicates (same PathSeq twice)
+	badFrame uint64 // datagrams DecodeFrame rejected
+}
+
+// Receiver listens on N UDP paths, acknowledges per-path receipt (feeding
+// the sender's loss detection), deduplicates hedged copies, and funnels
+// everything through the core reorder buffer for in-order delivery.
+type Receiver struct {
+	cfg    ReceiverConfig
+	paths  []*recvPath
+	driver *reorderDriver
+
+	delivered atomic.Uint64
+	lost      atomic.Uint64
+
+	wg      sync.WaitGroup
+	sweepWG sync.WaitGroup
+	stop    chan struct{}
+}
+
+// Listen binds every path and starts the readers, the reorder driver, and
+// the ack sweeper.
+func Listen(cfg ReceiverConfig) (*Receiver, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("transport: no listen addresses")
+	}
+	if cfg.ReorderTimeout == 0 {
+		cfg.ReorderTimeout = 5 * time.Millisecond
+	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 4096
+	}
+	if cfg.AckEvery == 0 {
+		cfg.AckEvery = 32
+	}
+	if cfg.AckInterval == 0 {
+		cfg.AckInterval = 2 * time.Millisecond
+	}
+	r := &Receiver{cfg: cfg, stop: make(chan struct{})}
+	for i, addr := range cfg.Addrs {
+		laddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			r.closeConns()
+			return nil, fmt.Errorf("transport: path %d listen %q: %w", i, addr, err)
+		}
+		conn, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			r.closeConns()
+			return nil, fmt.Errorf("transport: path %d listen: %w", i, err)
+		}
+		// Best-effort: a deep kernel buffer absorbs sender bursts that
+		// outrun the reader goroutine (loss here is indistinguishable from
+		// wire loss, so buy as much headroom as the host allows).
+		conn.SetReadBuffer(4 << 20) //lint:allow erroreat best-effort socket buffer sizing
+		r.paths = append(r.paths, &recvPath{
+			id:   uint16(i),
+			conn: conn,
+			wire: newDedupWindow(DefaultDedupWindow),
+		})
+	}
+	r.driver = newReorderDriver(
+		func() sim.Time { return sim.Time(nowNanos()) },
+		cfg.ReorderTimeout, cfg.DedupWindow, r.deliver, r.onLost, cfg.Queue)
+	r.driver.start()
+	for _, p := range r.paths {
+		r.wg.Add(1)
+		go r.readLoop(p)
+	}
+	r.sweepWG.Add(1)
+	go r.ackSweep()
+	return r, nil
+}
+
+// Addrs returns the bound address of every path, in path order.
+func (r *Receiver) Addrs() []string {
+	out := make([]string, len(r.paths))
+	for i, p := range r.paths {
+		out[i] = p.conn.LocalAddr().String()
+	}
+	return out
+}
+
+func (r *Receiver) closeConns() {
+	for _, p := range r.paths {
+		if p.conn != nil {
+			p.conn.Close() //lint:allow erroreat best-effort teardown of a UDP socket
+		}
+	}
+}
+
+// deliver runs on the reorder driver goroutine for each in-order release.
+func (r *Receiver) deliver(p *packet.Packet) {
+	now := nowNanos()
+	if sp := r.cfg.Spans; sp != nil {
+		sp.Reorder.Record(now - int64(p.Done))
+		sp.E2E.Record(now - int64(p.Ingress))
+	}
+	if v := r.cfg.Verifier; v != nil {
+		v.NoteDelivered(p.FlowID, p.Seq)
+	}
+	r.delivered.Add(1)
+	if fn := r.cfg.Deliver; fn != nil {
+		t0 := nowNanos()
+		fn(p)
+		if sp := r.cfg.Spans; sp != nil {
+			sp.Deliver.Record(nowNanos() - t0)
+		}
+	}
+}
+
+func (r *Receiver) onLost(p *packet.Packet) {
+	r.lost.Add(1)
+	if fn := r.cfg.OnLost; fn != nil {
+		fn(p)
+	}
+}
+
+// readLoop pulls datagrams off one path's socket until it is closed.
+func (r *Receiver) readLoop(p *recvPath) {
+	defer r.wg.Done()
+	buf := make([]byte, HeaderLen+MaxPayload)
+	for {
+		t0 := nowNanos()
+		n, src, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		now := nowNanos()
+		if sp := r.cfg.Spans; sp != nil {
+			sp.SocketRead.Record(now - t0)
+		}
+		h, payload, err := DecodeFrame(buf[:n])
+		if err != nil {
+			p.mu.Lock()
+			p.badFrame++
+			p.mu.Unlock()
+			continue
+		}
+		if h.IsAck() {
+			continue // acks flow sender-ward only
+		}
+
+		p.mu.Lock()
+		p.src = src
+		p.frames++
+		fresh := p.wire.Admit(h.PathSeq)
+		if fresh {
+			if h.PathSeq > p.high {
+				p.high = h.PathSeq
+			}
+			p.recv++
+			p.lastSend = h.SendNanos
+			p.sinceAck++
+		} else {
+			p.wireDups++
+		}
+		ackNow := p.sinceAck >= r.cfg.AckEvery
+		var ack Header
+		if ackNow {
+			ack = p.ackHeaderLocked()
+		}
+		p.mu.Unlock()
+
+		// Socket writes stay outside the lock.
+		if ackNow {
+			r.writeControl(p, ack, src)
+		}
+		if r.cfg.EchoBack && fresh {
+			echo := h
+			echo.Flags = FlagEcho
+			r.writeControl(p, echo, src)
+		}
+		if !fresh {
+			continue // wire duplicate: already counted, never resubmitted
+		}
+
+		data := make([]byte, len(payload))
+		copy(data, payload)
+		r.driver.in <- &packet.Packet{
+			FlowID:  h.FlowID,
+			Seq:     h.Seq,
+			Data:    data,
+			PathID:  int(h.PathID),
+			IsDup:   h.IsDup(),
+			Ingress: sim.Time(h.SendNanos),
+			Done:    sim.Time(now),
+		}
+	}
+}
+
+// ackHeaderLocked builds the cumulative ack for the path's current state.
+// Callers hold p.mu.
+func (p *recvPath) ackHeaderLocked() Header {
+	p.sinceAck = 0
+	p.ackedRecv = p.recv
+	return Header{
+		Flags:     FlagAck,
+		PathID:    p.id,
+		FlowID:    0,
+		Seq:       p.recv,     // total distinct frames received
+		PathSeq:   p.high,     // high-water mark: high-recv = missing below it
+		SendNanos: p.lastSend, // RTT echo of the newest data frame
+	}
+}
+
+// writeControl sends a header-only frame (ack or echo) back to src.
+func (r *Receiver) writeControl(p *recvPath, h Header, src *net.UDPAddr) {
+	var arr [HeaderLen]byte
+	frame, err := AppendFrame(arr[:0], &h, nil)
+	if err != nil {
+		return // cannot happen: header-only frames always encode
+	}
+	if _, err := p.conn.WriteToUDP(frame, src); err != nil {
+		return // receiver-side ack loss looks like wire loss; sender copes
+	}
+}
+
+// ackSweep acks any path with unreported progress every AckInterval, so a
+// path that went quiet still reports (and the sender can conclude losses).
+func (r *Receiver) ackSweep() {
+	defer r.sweepWG.Done()
+	ticker := time.NewTicker(r.cfg.AckInterval) //lint:allow determinism wall-clock ack pacing for a real wire
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			for _, p := range r.paths {
+				p.mu.Lock()
+				pending := p.src != nil && (p.recv != p.ackedRecv || p.high > p.recv)
+				var ack Header
+				var src *net.UDPAddr
+				if pending {
+					ack = p.ackHeaderLocked()
+					src = p.src
+				}
+				p.mu.Unlock()
+				if pending {
+					r.writeControl(p, ack, src)
+				}
+			}
+		}
+	}
+}
+
+// RecvPathStats is one path's receiver-side accounting.
+type RecvPathStats struct {
+	Path      int    `json:"path"`
+	Addr      string `json:"addr"`
+	Frames    uint64 `json:"frames"`
+	Received  uint64 `json:"received"`
+	HighSeq   uint64 `json:"high_seq"`
+	WireDups  uint64 `json:"wire_dups"`
+	BadFrames uint64 `json:"bad_frames"`
+}
+
+// ReceiverStats aggregates the receiver's counters.
+type ReceiverStats struct {
+	Delivered uint64            `json:"delivered"` // in-order releases to the application
+	Lost      uint64            `json:"lost"`      // stragglers past a timeout skip
+	DupDrops  uint64            `json:"dup_drops"` // hedged siblings dropped pre-reorder
+	Reorder   core.ReorderStats `json:"reorder"`
+	Paths     []RecvPathStats   `json:"paths"`
+}
+
+// Stats snapshots the receiver. Safe to call while running: driver-owned
+// counters are answered by the driver goroutine itself.
+func (r *Receiver) Stats() ReceiverStats {
+	ds := r.driver.snapshotStats()
+	st := ReceiverStats{
+		Delivered: r.delivered.Load(),
+		Lost:      r.lost.Load(),
+		DupDrops:  ds.DupDrops,
+		Reorder:   ds.Reorder,
+	}
+	for _, p := range r.paths {
+		p.mu.Lock()
+		st.Paths = append(st.Paths, RecvPathStats{
+			Path:      int(p.id),
+			Addr:      p.conn.LocalAddr().String(),
+			Frames:    p.frames,
+			Received:  p.recv,
+			HighSeq:   p.high,
+			WireDups:  p.wireDups,
+			BadFrames: p.badFrame,
+		})
+		p.mu.Unlock()
+	}
+	return st
+}
+
+// Close stops the readers and the ack sweeper, then drains the reorder
+// driver (flushing still-buffered packets in order).
+func (r *Receiver) Close() error {
+	close(r.stop)
+	r.sweepWG.Wait()
+	r.closeConns()
+	r.wg.Wait()
+	r.driver.close()
+	return nil
+}

@@ -1,0 +1,155 @@
+package transport
+
+// Sender-side path scheduling. The schedulers mirror the internal/core
+// policies on the signals a real wire provides — no lane telemetry, but
+// exact in-flight counts from ack accounting — and reuse core's health
+// machinery (core.HealthTracker per path) with the same contract the
+// simulated policies obey: Quarantined and Probing paths receive no
+// ordinary traffic, probing paths take a canary trickle (one in
+// CanaryEvery packets), and when NO path is eligible the scheduler falls
+// back to ignoring health so traffic keeps flowing and keeps the watchdog
+// fed.
+
+// SchedulerName selects the sender's path scheduler.
+type SchedulerName string
+
+const (
+	// SchedRoundRobin sprays packets across eligible paths per packet —
+	// core's RoundRobin on the wire.
+	SchedRoundRobin SchedulerName = "rr"
+	// SchedLeastInflight picks the eligible path with the fewest
+	// unacknowledged frames — core's JSQ with ack-derived depth.
+	SchedLeastInflight SchedulerName = "least-inflight"
+	// SchedHedge duplicates every packet onto the HedgeK least-loaded
+	// eligible paths — core's Redundant policy; the receiver's
+	// first-copy-wins dedup keeps whichever copy lands first.
+	SchedHedge SchedulerName = "hedge"
+)
+
+// scheduler picks path indices for one application packet. Owned by the
+// sender's Send goroutine (callers hold the sender lock for health reads).
+type scheduler struct {
+	name        SchedulerName
+	hedgeK      int
+	canaryEvery int
+
+	next  int    // round-robin cursor
+	count uint64 // packets scheduled (canary clock)
+	picks []int  // scratch, reused across calls
+	elig  []int  // scratch, reused across calls
+}
+
+// pathView is what the scheduler reads per path: health eligibility and
+// ack-derived load.
+type pathView interface {
+	eligible() bool
+	probing() bool
+	inflight() int
+}
+
+// pick returns 1..n distinct path indices for the next packet, plus the
+// position in picks (or -1) of a canary copy onto a probing path. Unlike
+// core's engine — where a canary IS the packet's only copy — the wire
+// scheduler sends the canary alongside the normal pick: the probing path
+// gets real sacrificial volume, but a still-dead path costs an extra
+// frame, not an end-to-end loss (the receiver's dedup absorbs whichever
+// copy is surplus).
+func (s *scheduler) pick(paths []*senderPath) (picks []int, canaryIdx int) {
+	s.count++
+	canaryIdx = -1
+	canaryPath := -1
+	// Canary trickle: every canaryEvery-th packet feeds a probing path,
+	// sacrificial volume proving (or disproving) recovery.
+	if s.canaryEvery > 0 && s.count%uint64(s.canaryEvery) == 0 {
+		canaryPath = s.nextProbing(paths)
+	}
+
+	s.elig = s.elig[:0]
+	for i, p := range paths {
+		if p.eligible() {
+			s.elig = append(s.elig, i)
+		}
+	}
+	cand := s.elig
+	if len(cand) == 0 {
+		// Mass failure: ignore health rather than stall (and keep the
+		// watchdogs fed), exactly like the core policies.
+		for i := range paths {
+			s.elig = append(s.elig, i)
+		}
+		cand = s.elig
+	}
+
+	s.picks = s.picks[:0]
+	switch s.name {
+	case SchedRoundRobin:
+		s.picks = append(s.picks, cand[s.next%len(cand)])
+		s.next++
+	case SchedLeastInflight:
+		s.picks = append(s.picks, bestByInflight(paths, cand, -1))
+	default: // SchedHedge
+		k := s.hedgeK
+		if k < 2 {
+			k = 2
+		}
+		if k > len(cand) {
+			k = len(cand)
+		}
+		first := bestByInflight(paths, cand, -1)
+		s.picks = append(s.picks, first)
+		for len(s.picks) < k {
+			next := bestByInflight(paths, cand, s.picks...)
+			if next < 0 {
+				break
+			}
+			s.picks = append(s.picks, next)
+		}
+	}
+	if canaryPath >= 0 {
+		for i, p := range s.picks {
+			if p == canaryPath {
+				return s.picks, i // fallback mode already routed here
+			}
+		}
+		canaryIdx = len(s.picks)
+		s.picks = append(s.picks, canaryPath)
+	}
+	return s.picks, canaryIdx
+}
+
+// nextProbing rotates across probing paths so concurrent probes share the
+// canary trickle (mirrors core's nextProbing).
+func (s *scheduler) nextProbing(paths []*senderPath) int {
+	n := len(paths)
+	start := int(s.count) % n
+	for off := 0; off < n; off++ {
+		i := (start + off) % n
+		if paths[i].probing() {
+			return i
+		}
+	}
+	return -1
+}
+
+// bestByInflight returns the candidate with the fewest in-flight frames
+// (ties to the lowest index, keeping runs deterministic), excluding any
+// index in skip. Returns -1 when every candidate is excluded.
+func bestByInflight(paths []*senderPath, cand []int, skip ...int) int {
+	best, bestLoad := -1, 0
+	for _, i := range cand {
+		excluded := false
+		for _, sk := range skip {
+			if i == sk {
+				excluded = true
+				break
+			}
+		}
+		if excluded {
+			continue
+		}
+		if load := paths[i].inflight(); best == -1 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}

@@ -1,0 +1,434 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mpdp/internal/core"
+	"mpdp/internal/sim"
+)
+
+// PathConfig names one wire path: a distinct local/remote UDP socket pair.
+type PathConfig struct {
+	// LocalAddr is the local bind address ("" lets the kernel pick an
+	// ephemeral port). Distinct local addresses are what make the paths
+	// independently routable (and independently impairable).
+	LocalAddr string
+	// RemoteAddr is the receiver endpoint for this path.
+	RemoteAddr string
+}
+
+// SenderConfig configures a multipath Sender.
+type SenderConfig struct {
+	// Paths are the wire paths, at least one.
+	Paths []PathConfig
+	// Scheduler picks paths per packet (default SchedHedge).
+	Scheduler SchedulerName
+	// HedgeK is how many copies SchedHedge sends (default 2).
+	HedgeK int
+	// Health tunes the per-path state machine; times are wall nanoseconds.
+	// The zero value takes core's defaults, which suit a loopback wire;
+	// real networks want SuspectTimeout/QuarantineBackoff well above RTT.
+	Health core.HealthConfig
+	// Impairer, when non-nil, intercepts every outgoing frame (fault
+	// injection for tests and experiments).
+	Impairer Impairer
+	// MaintainEvery runs the health sweep once per this many sends
+	// (default 16, mirroring core).
+	MaintainEvery int
+	// Spans, when non-nil, records encode and socket-write stage latency.
+	Spans *Spans
+	// OnEcho is invoked from a path's reader goroutine for each echoed
+	// frame, with the measured round-trip time.
+	OnEcho func(path int, h Header, rtt time.Duration)
+	// Verifier, when non-nil, is told about every application packet
+	// before its first wire copy is written (so a delivery can never race
+	// ahead of its send record).
+	Verifier *Verifier
+}
+
+// senderPath is one wire path's socket plus its ack-accounting and health
+// state. pathSeq and the scratch buffer belong to the Send goroutine; the
+// accounting fields and tracker are guarded by Sender.mu (shared between
+// Send and this path's ack reader).
+type senderPath struct {
+	id   uint16
+	conn *net.UDPConn
+
+	health  *core.HealthTracker
+	pathSeq uint64 // last wire seq assigned on this path
+
+	// Cumulative ack state: the receiver reports (highest pathSeq seen,
+	// total frames received); deltas against the previous report yield the
+	// newly-delivered and newly-lost counts fed to the health machine.
+	ackHigh uint64
+	ackRecv uint64
+
+	sent     uint64
+	acked    uint64
+	lost     uint64
+	refused  uint64
+	rttNanos int64 // EWMA, 0 until the first ack carries an RTT echo
+
+	scratch []byte
+}
+
+func (p *senderPath) eligible() bool { return p.health.Eligible() }
+func (p *senderPath) probing() bool  { return p.health.State() == core.HealthProbing }
+func (p *senderPath) inflight() int  { return p.health.InFlight() }
+
+// Sender sprays one logical flow stream across N UDP paths. Send is
+// single-goroutine (like live.Ingress): callers serialize their own
+// submission; the per-path ack readers run concurrently and share only the
+// mutex-guarded accounting.
+type Sender struct {
+	cfg   SenderConfig
+	paths []*senderPath
+	sched scheduler
+
+	mu       sync.Mutex
+	flowSeq  map[uint64]uint64 // next per-flow seq (the reorder key)
+	packets  uint64
+	frames   uint64
+	canaries uint64
+	sinceMnt int
+
+	wg       sync.WaitGroup
+	delayers sync.WaitGroup
+	closed   chan struct{}
+}
+
+// Dial opens every path's socket and starts the ack readers.
+func Dial(cfg SenderConfig) (*Sender, error) {
+	if len(cfg.Paths) == 0 {
+		return nil, fmt.Errorf("transport: no paths configured")
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = SchedHedge
+	}
+	if cfg.HedgeK == 0 {
+		cfg.HedgeK = 2
+	}
+	if cfg.MaintainEvery == 0 {
+		cfg.MaintainEvery = 16
+	}
+	s := &Sender{
+		cfg: cfg,
+		sched: scheduler{
+			name:        cfg.Scheduler,
+			hedgeK:      cfg.HedgeK,
+			canaryEvery: canaryEvery(cfg.Health),
+		},
+		flowSeq: make(map[uint64]uint64),
+		closed:  make(chan struct{}),
+	}
+	for i, pc := range cfg.Paths {
+		raddr, err := net.ResolveUDPAddr("udp", pc.RemoteAddr)
+		if err != nil {
+			s.closeConns()
+			return nil, fmt.Errorf("transport: path %d remote %q: %w", i, pc.RemoteAddr, err)
+		}
+		var laddr *net.UDPAddr
+		if pc.LocalAddr != "" {
+			laddr, err = net.ResolveUDPAddr("udp", pc.LocalAddr)
+			if err != nil {
+				s.closeConns()
+				return nil, fmt.Errorf("transport: path %d local %q: %w", i, pc.LocalAddr, err)
+			}
+		}
+		conn, err := net.DialUDP("udp", laddr, raddr)
+		if err != nil {
+			s.closeConns()
+			return nil, fmt.Errorf("transport: path %d dial: %w", i, err)
+		}
+		conn.SetWriteBuffer(1 << 20) //lint:allow erroreat best-effort socket buffer sizing
+		p := &senderPath{
+			id:      uint16(i),
+			conn:    conn,
+			health:  core.NewHealthTracker(cfg.Health),
+			scratch: make([]byte, 0, HeaderLen+MaxPayload),
+		}
+		s.paths = append(s.paths, p)
+	}
+	for _, p := range s.paths {
+		s.wg.Add(1)
+		go s.readAcks(p)
+	}
+	return s, nil
+}
+
+func canaryEvery(cfg core.HealthConfig) int {
+	if cfg.Disable {
+		return 0
+	}
+	if cfg.CanaryEvery != 0 {
+		return cfg.CanaryEvery
+	}
+	return 16
+}
+
+func (s *Sender) closeConns() {
+	for _, p := range s.paths {
+		if p.conn != nil {
+			p.conn.Close() //lint:allow erroreat best-effort teardown of a UDP socket
+		}
+	}
+}
+
+// Send schedules payload onto one or more paths (hedging may emit several
+// wire copies of the same flow seq) and returns the assigned per-flow
+// sequence number. Not safe for concurrent use — callers own a single
+// submission goroutine.
+func (s *Sender) Send(flowID uint64, payload []byte) (uint64, error) {
+	if len(payload) > MaxPayload {
+		return 0, ErrTooLarge
+	}
+	now := nowNanos()
+
+	s.mu.Lock()
+	s.sinceMnt++
+	if s.sinceMnt >= s.cfg.MaintainEvery {
+		s.sinceMnt = 0
+		for _, p := range s.paths {
+			p.health.Maintain(sim.Time(now))
+		}
+	}
+	picks, canaryIdx := s.sched.pick(s.paths)
+	seq := s.flowSeq[flowID]
+	s.flowSeq[flowID] = seq + 1
+	s.packets++
+	if canaryIdx >= 0 {
+		s.canaries++
+	}
+	// Assign wire seqs and charge health before releasing the lock, so an
+	// ack racing the socket write can never observe inflight underflow.
+	type plan struct {
+		path    *senderPath
+		pathSeq uint64
+		flags   uint8
+	}
+	plans := make([]plan, 0, 4)
+	for idx, i := range picks {
+		p := s.paths[i]
+		p.pathSeq++
+		p.sent++
+		s.frames++
+		p.health.ObserveSent(sim.Time(now), 1)
+		var flags uint8
+		if idx > 0 {
+			flags |= FlagDup
+		}
+		if idx == canaryIdx {
+			flags |= FlagProbe
+		}
+		plans = append(plans, plan{p, p.pathSeq, flags})
+	}
+	s.mu.Unlock()
+
+	if v := s.cfg.Verifier; v != nil {
+		v.NoteSent(flowID, seq)
+	}
+
+	var firstErr error
+	for _, pl := range plans {
+		h := Header{
+			Flags:     pl.flags,
+			PathID:    pl.path.id,
+			FlowID:    flowID,
+			Seq:       seq,
+			PathSeq:   pl.pathSeq,
+			SendNanos: now,
+		}
+		if err := s.writeFrame(pl.path, h, payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return seq, firstErr
+}
+
+// writeFrame encodes and transmits one wire frame, applying the impairer
+// verdict. Socket writes happen outside the sender lock.
+func (s *Sender) writeFrame(p *senderPath, h Header, payload []byte) error {
+	t0 := nowNanos()
+	buf, err := AppendFrame(p.scratch[:0], &h, payload)
+	if err != nil {
+		return err
+	}
+	p.scratch = buf[:0]
+	if sp := s.cfg.Spans; sp != nil {
+		sp.Encode.Record(nowNanos() - t0)
+	}
+
+	writes := 1
+	if im := s.cfg.Impairer; im != nil {
+		v := im.Impair(int(h.PathID), &h)
+		if v.Drop {
+			return nil // a silent wire loss: the receiver sees a path-seq gap
+		}
+		if v.Duplicate {
+			writes = 2
+		}
+		if v.Delay > 0 {
+			// Delayed frames need their own copy: scratch is reused by the
+			// next Send before the timer fires.
+			own := make([]byte, len(buf))
+			copy(own, buf)
+			s.delayers.Add(1)
+			time.AfterFunc(v.Delay, func() { //lint:allow determinism impairer-injected wire delay
+				defer s.delayers.Done()
+				select {
+				case <-s.closed:
+					return
+				default:
+				}
+				for i := 0; i < writes; i++ {
+					s.write(p, own) //lint:allow erroreat write already fed the failure to health; a delayed frame has no caller to tell
+				}
+			})
+			return nil
+		}
+	}
+	var werr error
+	for i := 0; i < writes; i++ {
+		if err := s.write(p, buf); err != nil && werr == nil {
+			werr = err
+		}
+	}
+	return werr
+}
+
+// write performs the socket write and feeds the result to health.
+func (s *Sender) write(p *senderPath, frame []byte) error {
+	t0 := nowNanos()
+	_, err := p.conn.Write(frame)
+	if sp := s.cfg.Spans; sp != nil {
+		sp.SocketWrite.Record(nowNanos() - t0)
+	}
+	if err != nil {
+		s.mu.Lock()
+		p.refused++
+		p.health.ObserveSendRefused(sim.Time(nowNanos()))
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// readAcks consumes ack and echo frames from one path's socket until it is
+// closed.
+func (s *Sender) readAcks(p *senderPath) {
+	defer s.wg.Done()
+	buf := make([]byte, HeaderLen+MaxPayload)
+	for {
+		n, err := p.conn.Read(buf)
+		if err != nil {
+			return // socket closed (or ICMP-refused): Close tears us down
+		}
+		h, _, err := DecodeFrame(buf[:n])
+		if err != nil {
+			continue // garbage on the wire is not our ack
+		}
+		switch {
+		case h.IsAck():
+			s.handleAck(p, h)
+		case h.Flags&FlagEcho != 0:
+			if fn := s.cfg.OnEcho; fn != nil {
+				fn(int(p.id), h, time.Duration(nowNanos()-h.SendNanos))
+			}
+		}
+	}
+}
+
+// handleAck folds one cumulative ack report into the path's accounting and
+// health. Ack frames carry: PathSeq = highest wire seq the receiver has
+// seen on this path, Seq = total frames it has received on this path, and
+// SendNanos echoing the newest data frame's send timestamp (RTT sample).
+func (s *Sender) handleAck(p *senderPath, h Header) {
+	now := nowNanos()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	high, recv := h.PathSeq, h.Seq
+	if high < p.ackHigh || recv < p.ackRecv {
+		return // reordered/duplicated ack: older than what we've processed
+	}
+	newDelivered := int(recv - p.ackRecv)
+	// The gap (high - recv) is how many frames are currently missing below
+	// the high-water mark; its growth since the last report is the newly
+	// conclusive loss. Shrinkage (a straggler filled a hole) clamps to 0 —
+	// the earlier loss verdict already charged the health machine.
+	newLost := int((high - recv)) - int(p.ackHigh-p.ackRecv)
+	if newLost < 0 {
+		newLost = 0
+	}
+	p.ackHigh, p.ackRecv = high, recv
+	p.acked += uint64(newDelivered)
+	p.lost += uint64(newLost)
+	if h.SendNanos > 0 {
+		rtt := now - h.SendNanos
+		if rtt > 0 {
+			if p.rttNanos == 0 {
+				p.rttNanos = rtt
+			} else {
+				p.rttNanos += (rtt - p.rttNanos) / 8
+			}
+		}
+	}
+	p.health.ObserveAck(sim.Time(now), newDelivered, newLost)
+	p.health.Maintain(sim.Time(now))
+}
+
+// PathStats is one path's cumulative sender-side accounting.
+type PathStats struct {
+	Path        int           `json:"path"`
+	Remote      string        `json:"remote"`
+	Sent        uint64        `json:"sent"`
+	Acked       uint64        `json:"acked"`
+	Lost        uint64        `json:"lost"`
+	Refused     uint64        `json:"refused"`
+	InFlight    int           `json:"in_flight"`
+	RTT         time.Duration `json:"rtt_ns"`
+	Health      string        `json:"health"`
+	Quarantines int           `json:"quarantines"`
+}
+
+// SenderStats aggregates the sender's counters.
+type SenderStats struct {
+	Packets  uint64      `json:"packets"`  // application packets accepted
+	Frames   uint64      `json:"frames"`   // wire frames scheduled (hedge copies included)
+	Canaries uint64      `json:"canaries"` // probe-trickle packets
+	Paths    []PathStats `json:"paths"`
+}
+
+// Stats snapshots the sender's accounting.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SenderStats{Packets: s.packets, Frames: s.frames, Canaries: s.canaries}
+	for _, p := range s.paths {
+		st.Paths = append(st.Paths, PathStats{
+			Path:        int(p.id),
+			Remote:      p.conn.RemoteAddr().String(),
+			Sent:        p.sent,
+			Acked:       p.acked,
+			Lost:        p.lost,
+			Refused:     p.refused,
+			InFlight:    p.health.InFlight(),
+			RTT:         time.Duration(p.rttNanos),
+			Health:      p.health.State().String(),
+			Quarantines: p.health.Quarantines(),
+		})
+	}
+	return st
+}
+
+// Close shuts every path socket and waits for the ack readers (and any
+// impairer-delayed writes) to finish.
+func (s *Sender) Close() error {
+	close(s.closed)
+	s.delayers.Wait()
+	s.closeConns()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"fmt"
+
+	"mpdp/internal/live"
+)
+
+// Spans bundles the wire path's per-stage latency histograms, recorded
+// into the live metrics plane (sharded lock-free live.Histogram, the same
+// recorder the in-process engine uses). Stages, in pipeline order:
+//
+//	encode        header+payload serialization into the path scratch buffer
+//	socket_write  the sendto(2) call
+//	socket_read   the recvfrom(2) call (includes waiting for the frame:
+//	              under load this is inter-arrival time, idle it is idle)
+//	reorder       in-order release delay after arrival
+//	deliver       the application's deliver callback
+//	e2e           send timestamp → in-order delivery (the wire-path
+//	              analogue of the paper's last-mile latency; cross-host it
+//	              inherits the two clocks' offset)
+//
+// A nil *Spans disables recording at every site.
+type Spans struct {
+	Encode      *live.Histogram
+	SocketWrite *live.Histogram
+	SocketRead  *live.Histogram
+	Reorder     *live.Histogram
+	Deliver     *live.Histogram
+	E2E         *live.Histogram
+}
+
+// NewSpans allocates the stage histograms and, when reg is non-nil,
+// registers them as the labeled family mpdp_wire_stage_latency_ns{stage=...}
+// (mirroring the live engine's mpdp_stage_latency_ns family).
+func NewSpans(reg *live.Registry) *Spans {
+	s := &Spans{
+		Encode:      live.NewHistogram(),
+		SocketWrite: live.NewHistogram(),
+		SocketRead:  live.NewHistogram(),
+		Reorder:     live.NewHistogram(),
+		Deliver:     live.NewHistogram(),
+		E2E:         live.NewHistogram(),
+	}
+	if reg != nil {
+		for _, st := range s.stages() {
+			reg.RegisterHistogram(fmt.Sprintf("mpdp_wire_stage_latency_ns{stage=%q}", st.name), st.h)
+		}
+	}
+	return s
+}
+
+type spanStage struct {
+	name string
+	h    *live.Histogram
+}
+
+func (s *Spans) stages() []spanStage {
+	return []spanStage{
+		{"encode", s.Encode},
+		{"socket_write", s.SocketWrite},
+		{"socket_read", s.SocketRead},
+		{"reorder", s.Reorder},
+		{"deliver", s.Deliver},
+		{"e2e", s.E2E},
+	}
+}
+
+// StageSnapshot returns every stage's summary in pipeline order, in the
+// same shape the live engine reports.
+func (s *Spans) StageSnapshot() []live.StageSpan {
+	if s == nil {
+		return nil
+	}
+	var out []live.StageSpan
+	for _, st := range s.stages() {
+		snap := st.h.Snapshot()
+		out = append(out, live.StageSpan{Stage: st.name, Latency: snap.Summary()})
+	}
+	return out
+}
