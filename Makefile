@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race verify cover bench suite suite-quick check lint examples clean loopback fuzz-frame
+.PHONY: all build test test-short race verify cover bench bench-snapshots bench-diff suite suite-quick check lint examples clean loopback fuzz-frame
 
 all: build test
 
@@ -28,6 +28,16 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the checked-in performance baselines (bench/BENCH_*.json) after
+# an intentional performance change; CI diffs fresh runs against them.
+bench-snapshots:
+	$(GO) run ./cmd/mpdp-bench -bench-json bench/ -quick
+
+# The CI regression gate, locally: re-measure every checked-in snapshot
+# and fail on p99 regression >10% or any allocs/packet increase.
+bench-diff:
+	$(GO) run ./cmd/mpdp-bench -bench-diff bench/
 
 # Regenerate every table and figure of the evaluation (EXPERIMENTS.md data).
 suite:

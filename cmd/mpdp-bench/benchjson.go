@@ -31,11 +31,17 @@ func benchScenarios(seed uint64, quick bool) []benchScenario {
 			Util: 0.7, Duration: dur,
 		}
 	}
+	// The E22 scenario exercises the deadline-aware policy end to end:
+	// every packet carries a 2 ms deadline and duplication is paid for out
+	// of the policy's default budget.
+	e22 := base("deadline", "moderate")
+	e22.Deadline = 2 * sim.Millisecond
 	return []benchScenario{
 		{"single_none", base("single", "none")},
 		{"single_moderate", base("single", "moderate")},
 		{"mpdp_none", base("mpdp", "none")},
 		{"mpdp_moderate", base("mpdp", "moderate")},
+		{"E22", e22},
 	}
 }
 
@@ -63,12 +69,64 @@ type benchDoc struct {
 		Max  int64   `json:"max"`
 	} `json:"latency_ns"`
 
+	// Deadline-aware scenarios also record the cost side of the frontier.
+	DeadlineHitRate float64 `json:"deadline_hit_rate,omitempty"`
+	DupBytes        uint64  `json:"dup_bytes,omitempty"`
+
 	WallMS float64 `json:"wall_ms"`
 	Allocs struct {
 		Mallocs         uint64  `json:"mallocs"`
 		TotalAllocBytes uint64  `json:"total_alloc_bytes"`
 		PerPacket       float64 `json:"mallocs_per_offered_packet"`
 	} `json:"allocs"`
+}
+
+// measureScenario runs one scenario with allocation accounting and condenses
+// it into the benchmark document. Shared by -bench-json and -bench-diff so a
+// diff compares like with like.
+func measureScenario(sc benchScenario, seed uint64, quick bool) (benchDoc, error) {
+	var doc benchDoc
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := experiment.Run(sc.cfg)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return doc, fmt.Errorf("scenario %s: %w", sc.name, err)
+	}
+
+	doc.Scenario = sc.name
+	doc.Policy = res.Config.Policy
+	doc.Interference = res.Config.Interference
+	doc.Seed = seed
+	doc.Quick = quick
+	doc.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	doc.Offered = res.Offered
+	doc.Delivered = res.Delivered
+	doc.DeliveryRate = res.DeliveryRate
+	doc.GoodputGbps = res.GoodputGbps
+	if s := wall.Seconds(); s > 0 {
+		doc.ThroughputPS = float64(res.Offered) / s
+	}
+	doc.LatencyNS.Mean = res.Latency.Mean
+	doc.LatencyNS.P50 = res.Latency.P50
+	doc.LatencyNS.P90 = res.Latency.P90
+	doc.LatencyNS.P99 = res.Latency.P99
+	doc.LatencyNS.P999 = res.Latency.P999
+	doc.LatencyNS.Max = res.Latency.Max
+	if res.Config.Deadline > 0 {
+		doc.DeadlineHitRate = res.DeadlineHitRate
+		doc.DupBytes = res.DupBytes
+	}
+	doc.WallMS = float64(wall.Microseconds()) / 1000
+	doc.Allocs.Mallocs = after.Mallocs - before.Mallocs
+	doc.Allocs.TotalAllocBytes = after.TotalAlloc - before.TotalAlloc
+	if res.Offered > 0 {
+		doc.Allocs.PerPacket = float64(doc.Allocs.Mallocs) / float64(res.Offered)
+	}
+	return doc, nil
 }
 
 // runBenchJSON runs the canonical scenarios and writes one
@@ -78,42 +136,9 @@ func runBenchJSON(dir string, seed uint64, quick bool) error {
 		return err
 	}
 	for _, sc := range benchScenarios(seed, quick) {
-		var before, after runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		res, err := experiment.Run(sc.cfg)
-		wall := time.Since(start)
-		runtime.ReadMemStats(&after)
+		doc, err := measureScenario(sc, seed, quick)
 		if err != nil {
-			return fmt.Errorf("scenario %s: %w", sc.name, err)
-		}
-
-		var doc benchDoc
-		doc.Scenario = sc.name
-		doc.Policy = res.Config.Policy
-		doc.Interference = res.Config.Interference
-		doc.Seed = seed
-		doc.Quick = quick
-		doc.GOMAXPROCS = runtime.GOMAXPROCS(0)
-		doc.Offered = res.Offered
-		doc.Delivered = res.Delivered
-		doc.DeliveryRate = res.DeliveryRate
-		doc.GoodputGbps = res.GoodputGbps
-		if s := wall.Seconds(); s > 0 {
-			doc.ThroughputPS = float64(res.Offered) / s
-		}
-		doc.LatencyNS.Mean = res.Latency.Mean
-		doc.LatencyNS.P50 = res.Latency.P50
-		doc.LatencyNS.P90 = res.Latency.P90
-		doc.LatencyNS.P99 = res.Latency.P99
-		doc.LatencyNS.P999 = res.Latency.P999
-		doc.LatencyNS.Max = res.Latency.Max
-		doc.WallMS = float64(wall.Microseconds()) / 1000
-		doc.Allocs.Mallocs = after.Mallocs - before.Mallocs
-		doc.Allocs.TotalAllocBytes = after.TotalAlloc - before.TotalAlloc
-		if res.Offered > 0 {
-			doc.Allocs.PerPacket = float64(doc.Allocs.Mallocs) / float64(res.Offered)
+			return err
 		}
 
 		path := filepath.Join(dir, "BENCH_"+sc.name+".json")
@@ -131,7 +156,7 @@ func runBenchJSON(dir string, seed uint64, quick bool) error {
 			return err
 		}
 		fmt.Printf("%-18s p99=%8.1fus delivered=%5.1f%% wall=%7.1fms allocs/pkt=%5.1f -> %s\n",
-			sc.name, float64(res.Latency.P99)/1000, res.DeliveryRate*100,
+			sc.name, float64(doc.LatencyNS.P99)/1000, doc.DeliveryRate*100,
 			doc.WallMS, doc.Allocs.PerPacket, path)
 	}
 	return nil

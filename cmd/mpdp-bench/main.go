@@ -22,6 +22,12 @@
 // allocation counts) — the artifact CI archives per commit:
 //
 //	mpdp-bench -bench-json out/ -quick
+//
+// The companion gate mode (-bench-diff DIR) re-runs every scenario a
+// BENCH_*.json in DIR recorded (same seed, same horizon) and fails when the
+// fresh p99 latency or allocs/packet exceed the baseline by more than 10%:
+//
+//	mpdp-bench -bench-diff bench/
 package main
 
 import (
@@ -55,12 +61,21 @@ func main() {
 		intf        = flag.String("interference", "moderate", "profile mode: interference level (none/light/moderate/heavy)")
 
 		benchJSON = flag.String("bench-json", "", "run the canonical benchmark scenarios and write BENCH_<scenario>.json files into this directory")
+		benchDiff = flag.String("bench-diff", "", "re-run the scenarios recorded as BENCH_*.json in this directory and fail on >10% p99 or allocs/pkt regression")
 	)
 	flag.Parse()
 	experiment.SetVerify(*verify)
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchDiff != "" {
+		if err := runBenchDiff(*benchDiff); err != nil {
 			fmt.Fprintf(os.Stderr, "mpdp-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"mpdp/internal/core"
+	"mpdp/internal/experiment"
 	"mpdp/internal/live"
 	"mpdp/internal/packet"
 	"mpdp/internal/shutdown"
@@ -47,8 +48,11 @@ func main() {
 		paths    = flag.Int("paths", 2, "number of UDP paths (loopback mode)")
 		addrs    = flag.String("addrs", "", "recv/echo: comma-separated listen addresses, one per path")
 		remotes  = flag.String("remotes", "", "send: comma-separated receiver addresses, one per path")
-		sched    = flag.String("sched", "hedge", "path scheduler: rr|least-inflight|hedge")
+		sched    = flag.String("sched", "hedge", "path scheduler: rr|least-inflight|hedge|deadline")
 		hedgeK   = flag.Int("hedge", 2, "copies per packet for -sched hedge")
+		deadline = flag.Duration("deadline", 0, "-sched deadline: per-packet deadline (0 = default 2ms)")
+		dupBud   = flag.String("dup-budget", "", "-sched deadline: duplication budget, bytes/sec (e.g. 1MBps; 0 or empty disables duplication)")
+		dupMarg  = flag.Float64("deadline-margin", 0, "-sched deadline: jitter multiplier in the risk estimate (0 = default 3)")
 		packets  = flag.Uint64("packets", 0, "stop after this many packets (0 = run for -duration)")
 		duration = flag.Duration("duration", 0, "send/loopback run length (default 3s when -packets is 0)")
 		rate     = flag.Float64("rate", 0, "offered packets/sec (0 = as fast as the wire accepts)")
@@ -70,6 +74,17 @@ func main() {
 	flag.Parse()
 	if *loopback {
 		*mode = "loopback"
+	}
+
+	// On the wire, "no budget configured" means duplication stays off: the
+	// deadline scheduler then always takes its best single path.
+	budgetBps := 0.0
+	if *dupBud != "" {
+		v, err := experiment.ParseByteRate(*dupBud)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		budgetBps = v
 	}
 
 	var tracker *live.SLOTracker
@@ -138,9 +153,10 @@ func main() {
 	case "loopback":
 		runLoopback(loopCfg{
 			paths: *paths, sched: transport.SchedulerName(*sched), hedgeK: *hedgeK,
+			deadline: *deadline, deadlineMargin: *dupMarg, dupBudgetBps: budgetBps,
 			packets: *packets, duration: *duration, rate: *rate,
 			payload: *payload, flows: *flows, reorderT: *reorderT,
-			impairer: impairer, spans: spans, tracker: tracker,
+			impairer: impairer, spans: spans, reg: reg, tracker: tracker,
 			stop: stop, jsonOut: *jsonOut,
 		})
 	case "recv", "echo":
@@ -148,46 +164,55 @@ func main() {
 			*reorderT, spans, tracker, stop, *jsonOut)
 	case "send":
 		runSender(strings.Split(nonEmpty(*remotes, "-remotes"), ","),
-			transport.SchedulerName(*sched), *hedgeK, *packets, *duration, *rate,
-			*payload, *flows, impairer, spans, stop, *jsonOut)
+			transport.SchedulerName(*sched), *hedgeK, *deadline, *dupMarg, budgetBps,
+			*packets, *duration, *rate,
+			*payload, *flows, impairer, spans, reg, stop, *jsonOut)
 	default:
 		fatalf("unknown -mode %q (want loopback|send|recv|echo)", *mode)
 	}
 }
 
 type loopCfg struct {
-	paths    int
-	sched    transport.SchedulerName
-	hedgeK   int
-	packets  uint64
-	duration time.Duration
-	rate     float64
-	payload  int
-	flows    int
-	reorderT time.Duration
-	impairer transport.Impairer
-	spans    *transport.Spans
-	tracker  *live.SLOTracker
-	stop     <-chan struct{}
-	jsonOut  bool
+	paths          int
+	sched          transport.SchedulerName
+	hedgeK         int
+	deadline       time.Duration
+	deadlineMargin float64
+	dupBudgetBps   float64
+	packets        uint64
+	duration       time.Duration
+	rate           float64
+	payload        int
+	flows          int
+	reorderT       time.Duration
+	impairer       transport.Impairer
+	spans          *transport.Spans
+	reg            *live.Registry
+	tracker        *live.SLOTracker
+	stop           <-chan struct{}
+	jsonOut        bool
 }
 
 func runLoopback(c loopCfg) {
 	rep, err := transport.RunLoopback(transport.LoopbackConfig{
-		Paths:          c.paths,
-		Scheduler:      c.sched,
-		HedgeK:         c.hedgeK,
-		Flows:          c.flows,
-		Payload:        c.payload,
-		Packets:        c.packets,
-		Duration:       c.duration,
-		Rate:           c.rate,
-		Health:         wireHealth(),
-		Impairer:       c.impairer,
-		ReorderTimeout: c.reorderT,
-		Spans:          c.spans,
-		SLO:            c.tracker,
-		Stop:           c.stop,
+		Paths:                c.paths,
+		Scheduler:            c.sched,
+		HedgeK:               c.hedgeK,
+		Deadline:             c.deadline,
+		DeadlineMargin:       c.deadlineMargin,
+		DupBudgetBytesPerSec: c.dupBudgetBps,
+		Flows:                c.flows,
+		Payload:              c.payload,
+		Packets:              c.packets,
+		Duration:             c.duration,
+		Rate:                 c.rate,
+		Health:               wireHealth(),
+		Impairer:             c.impairer,
+		ReorderTimeout:       c.reorderT,
+		Spans:                c.spans,
+		Metrics:              c.reg,
+		SLO:                  c.tracker,
+		Stop:                 c.stop,
 	})
 	if err != nil {
 		fatalf("loopback: %v", err)
@@ -256,23 +281,29 @@ func runReceiver(addrs []string, echo bool, reorderT time.Duration,
 }
 
 func runSender(remotes []string, sched transport.SchedulerName, hedgeK int,
+	deadline time.Duration, deadlineMargin, dupBudgetBps float64,
 	packets uint64, duration time.Duration, rate float64, payload, flows int,
-	impairer transport.Impairer, spans *transport.Spans, stop <-chan struct{}, jsonOut bool) {
+	impairer transport.Impairer, spans *transport.Spans, reg *live.Registry,
+	stop <-chan struct{}, jsonOut bool) {
 	var paths []transport.PathConfig
 	for _, r := range remotes {
 		paths = append(paths, transport.PathConfig{RemoteAddr: strings.TrimSpace(r)})
 	}
 	send, err := transport.Dial(transport.SenderConfig{
-		Paths:     paths,
-		Scheduler: sched,
-		HedgeK:    hedgeK,
-		Health:    wireHealth(),
-		Impairer:  impairer,
-		Spans:     spans,
+		Paths:                paths,
+		Scheduler:            sched,
+		HedgeK:               hedgeK,
+		Deadline:             deadline,
+		DeadlineMargin:       deadlineMargin,
+		DupBudgetBytesPerSec: dupBudgetBps,
+		Health:               wireHealth(),
+		Impairer:             impairer,
+		Spans:                spans,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
+	send.RegisterMetrics(reg)
 	if packets == 0 && duration == 0 {
 		duration = 3 * time.Second
 	}
@@ -333,6 +364,16 @@ func printReport(rep *transport.LoopbackReport, tracker *live.SLOTracker) {
 	rs := rep.Receiver.Reorder
 	fmt.Printf("reorder: %d in-order, %d out-of-order, %d timeout releases, peak held %d\n",
 		rs.InOrder, rs.OutOfOrder, rs.TimeoutFires, rs.MaxOccupancy)
+	if total := rep.DeadlineHits + rep.DeadlineMisses; total > 0 {
+		fmt.Printf("deadline: hit=%d miss=%d hit_rate=%.2f%%\n",
+			rep.DeadlineHits, rep.DeadlineMisses,
+			100*float64(rep.DeadlineHits)/float64(total))
+	}
+	if ds := rep.Sender.Deadline; ds != nil {
+		fmt.Printf("deadline sched: safe=%d at_risk=%d dup=%d denied=%d budget_spent=%dB budget_denied=%d dup_bytes=%d\n",
+			ds.Safe, ds.AtRisk, ds.Duplicated, ds.Denied,
+			ds.BudgetSpent, ds.BudgetDenied, rep.Sender.DupBytes)
+	}
 	printSenderPaths(rep.Sender)
 	for _, sp := range rep.Spans {
 		if sp.Stage != "e2e" || sp.Latency.Count == 0 {

@@ -34,8 +34,26 @@ func main() {
 		qdisc    = flag.String("qdisc", "fifo", "queue discipline: fifo|prio|drr")
 		traceIn  = flag.String("trace", "", "replay this trace file instead of synthetic traffic")
 		confFile = flag.String("config", "", "load the run configuration from a JSON file (flags ignored)")
+
+		deadline  = flag.Duration("deadline", 0, "per-packet deadline stamped at ingress (0 = none; e.g. 2ms)")
+		dupBudget = flag.String("dup-budget", "", "deadline policy duplication budget, bytes/sec (e.g. 1MBps; 0 disables duplication; empty = policy default)")
+		dupMargin = flag.Float64("deadline-margin", 0, "deadline policy jitter multiplier (0 = default 3)")
 	)
 	flag.Parse()
+
+	budgetBps := 0.0
+	if *dupBudget != "" {
+		v, err := experiment.ParseByteRate(*dupBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if v == 0 {
+			budgetBps = -1 // explicit zero: duplication off
+		} else {
+			budgetBps = v
+		}
+	}
 
 	cfg := experiment.RunConfig{
 		Seed: *seed, NumPaths: *paths, ChainLen: *chain,
@@ -43,7 +61,10 @@ func main() {
 		Arrival: *arrival, SizeDist: *size,
 		Interference: *intf, Flows: *flows,
 		Qdisc: *qdisc, TraceFile: *traceIn,
-		Duration: sim.Duration(duration.Nanoseconds()),
+		Duration:       sim.Duration(duration.Nanoseconds()),
+		Deadline:       sim.Duration(deadline.Nanoseconds()),
+		DeadlineMargin: *dupMargin,
+		DupBudgetBps:   budgetBps,
 	}
 	if *confFile != "" {
 		loaded, err := experiment.LoadConfig(*confFile)
@@ -74,9 +95,17 @@ func main() {
 		r.QueueWaitMean/1000, r.QueueWaitP99/1000,
 		r.ServiceMean/1000, r.ServiceP99/1000,
 		r.ReorderWaitMean/1000, r.ReorderWaitP99/1000)
-	fmt.Printf("multipath dup_overhead=%.1f%% dup_cancelled=%d ooo=%.2f%% reorder_max_occupancy=%d holes=%d\n",
-		r.DupOverhead*100, r.DupCancelled, r.Reorder.OOOFraction()*100,
+	fmt.Printf("multipath dup_overhead=%.1f%% dup_bytes=%d dup_cancelled=%d ooo=%.2f%% reorder_max_occupancy=%d holes=%d\n",
+		r.DupOverhead*100, r.DupBytes, r.DupCancelled, r.Reorder.OOOFraction()*100,
 		r.Reorder.MaxOccupancy, r.Reorder.HolesPunched)
+	if ec.Deadline > 0 {
+		fmt.Printf("deadline  %s hit=%d miss=%d hit_rate=%.2f%%\n",
+			ec.Deadline, r.DeadlineHits, r.DeadlineMisses, r.DeadlineHitRate*100)
+		if st := r.DeadlineSched; st != nil {
+			fmt.Printf("          sched safe=%d at_risk=%d late=%d dup=%d denied=%d budget_spent=%dB budget_denied=%d\n",
+				st.Safe, st.AtRisk, st.Late, st.Duplicated, st.Denied, r.BudgetSpentBytes, r.BudgetDenied)
+		}
+	}
 	if *cdf {
 		fmt.Println("\nlatency_us cum_frac")
 		for _, p := range r.CDF {

@@ -53,6 +53,12 @@ type Config struct {
 	// EWMAAlpha is the telemetry smoothing factor (default 0.2).
 	EWMAAlpha float64
 
+	// Deadline, when > 0, stamps every ingress packet that does not already
+	// carry one with an absolute deadline of now+Deadline. Deadline-aware
+	// policies schedule against it; delivery accounting scores hit/miss for
+	// every policy, so deadline-hit-rate is comparable across the whole menu.
+	Deadline sim.Duration
+
 	// TelemetryWindow is the rotation period of each path's windowed p99
 	// estimate (default 5 ms): long enough to converge, short enough that
 	// a past interference episode ages out within two windows. Rotation
@@ -301,10 +307,13 @@ func (dp *DataPlane) Ingress(p *packet.Packet) {
 	p.Seq = dp.seqGen[p.FlowID]
 	dp.seqGen[p.FlowID]++
 	p.PathID = -1
+	if dp.cfg.Deadline > 0 && p.Deadline == 0 {
+		p.Deadline = now + dp.cfg.Deadline
+	}
 
 	dp.metrics.offered++
 	dp.metrics.offeredBytes += uint64(p.Size())
-	dp.emit(obs.KindIngress, p, -1, int64(p.Size()), 0)
+	dp.emit(obs.KindIngress, p, -1, int64(p.Size()), int64(p.Deadline))
 	if dp.observer != nil {
 		dp.observer.PacketIngress(p)
 	}
@@ -361,6 +370,9 @@ func (dp *DataPlane) Ingress(p *packet.Packet) {
 	}
 	group.copies = copies
 	for j := 1; j < len(copies); j++ {
+		// Every extra copy — hedged, selective, or canary mirror — bills its
+		// bytes to the shared duplication-cost axis.
+		dp.metrics.dupBytes += uint64(copies[j].Size())
 		dp.emit(obs.KindDupSent, copies[j], int32(idxs[j]), 0, 0)
 	}
 	for j, i := range idxs {

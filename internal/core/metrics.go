@@ -36,7 +36,10 @@ type Metrics struct {
 	consumed       uint64
 	copiesSent     uint64
 	dupCopies      uint64
+	dupBytes       uint64
 	dupCancelled   uint64
+	deadlineHits   uint64
+	deadlineMisses uint64
 	canaries       uint64
 	quarantines    uint64
 	drops          map[packet.DropReason]uint64
@@ -66,6 +69,13 @@ func (m *Metrics) recordDelivery(p *packet.Packet) {
 	m.ReorderWait.Record(int64(p.ReorderWait()))
 	if m.Timeline != nil {
 		m.Timeline.Add(int64(p.Delivered), lat)
+	}
+	if p.Deadline > 0 {
+		if p.MissedDeadline() {
+			m.deadlineMisses++
+		} else {
+			m.deadlineHits++
+		}
 	}
 }
 
@@ -126,6 +136,28 @@ func (m *Metrics) CopiesSent() uint64 { return m.copiesSent }
 
 // DupCopies returns extra copies created by duplication.
 func (m *Metrics) DupCopies() uint64 { return m.dupCopies }
+
+// DupBytes returns the bytes of extra copies created by duplication — the
+// common cost axis every duplicating policy (hedge-style redundancy, MPDP
+// selective duplication, deadline-aware escalation) is measured on.
+func (m *Metrics) DupBytes() uint64 { return m.dupBytes }
+
+// DeadlineHits returns delivered packets that made their deadline (packets
+// without a deadline are counted in neither bucket).
+func (m *Metrics) DeadlineHits() uint64 { return m.deadlineHits }
+
+// DeadlineMisses returns delivered packets that blew their deadline.
+func (m *Metrics) DeadlineMisses() uint64 { return m.deadlineMisses }
+
+// DeadlineHitRate returns hits/(hits+misses) over delivered deadline
+// packets, or 1 when no packet carried a deadline.
+func (m *Metrics) DeadlineHitRate() float64 {
+	total := m.deadlineHits + m.deadlineMisses
+	if total == 0 {
+		return 1
+	}
+	return float64(m.deadlineHits) / float64(total)
+}
 
 // DupCancelled returns duplicate copies cancelled while still queued
 // (i.e. whose service cost was saved).

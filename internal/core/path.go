@@ -20,9 +20,10 @@ type TelemetryTamper func(now sim.Time, svc, lat sim.Duration) (tsvc, tlat sim.D
 type PathState struct {
 	Lane *vnet.Lane
 
-	svcEWMA *stats.EWMA      // mean service time on this path
-	latEWMA *stats.EWMA      // mean path latency (queue wait + service)
-	latP99  *stats.RollingP2 // tail of recent path latency (windowed)
+	svcEWMA *stats.EWMA         // mean service time on this path
+	latEWMA *stats.EWMA         // mean path latency (queue wait + service)
+	latP99  *stats.RollingP2    // tail of recent path latency (windowed)
+	fluct   *FluctuationMonitor // latency level + jitter for deadline risk
 
 	// Lazy telemetry-window rotation, driven by this path's completions.
 	window     sim.Duration // <=0: cumulative (never rotates)
@@ -47,6 +48,7 @@ func newPathState(lane *vnet.Lane, alpha float64, window sim.Duration) *PathStat
 		svcEWMA: stats.NewEWMA(alpha),
 		latEWMA: stats.NewEWMA(alpha),
 		latP99:  stats.NewRollingP2(0.99),
+		fluct:   NewFluctuationMonitor(alpha),
 		window:  window,
 		health:  newPathHealth(),
 	}
@@ -73,6 +75,7 @@ func (ps *PathState) observe(now sim.Time, svc, lat sim.Duration) {
 	}
 	ps.svcEWMA.Add(float64(svc))
 	ps.latEWMA.Add(float64(lat))
+	ps.fluct.Observe(lat)
 	if ps.window > 0 && now-ps.lastRotate >= ps.window {
 		ps.latP99.Rotate()
 		ps.lastRotate = now
@@ -115,6 +118,12 @@ func (ps *PathState) MeanService() sim.Duration {
 func (ps *PathState) MeanLatency() sim.Duration {
 	return sim.Duration(ps.latEWMA.Value())
 }
+
+// Fluct returns the path's fluctuation monitor (latency level + jitter),
+// the dispersion signal deadline-aware scheduling judges risk against.
+// The same tamper hook that rewrites EWMA/p99 telemetry feeds it, so lying
+// telemetry distorts deadline estimates exactly as it distorts scores.
+func (ps *PathState) Fluct() *FluctuationMonitor { return ps.fluct }
 
 // P99Latency returns the streaming p99 latency estimate for this path.
 func (ps *PathState) P99Latency() sim.Duration {

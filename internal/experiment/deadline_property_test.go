@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"mpdp/internal/core"
+	"mpdp/internal/obs"
+	"mpdp/internal/sim"
+)
+
+// P3 property, part 1: across randomized seeds, loads and impairments, the
+// total duplicated bytes of a deadline run never exceed the configured
+// DupBudget's hard allowance (burst + rate·horizon), and the engine's
+// dup-byte accounting agrees with the bucket's own ledger.
+func TestDeadlineDupBudgetNeverExceeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep skipped in -short mode")
+	}
+	const (
+		rate  = 256 << 10 // 256 KiB/s
+		burst = 4 << 10   // 4 KiB
+	)
+	utils := []float64{0.5, 0.9}
+	intfs := []string{"none", "heavy"}
+	arrivals := []string{"poisson", "onoff"}
+	n := 0
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, util := range utils {
+			for _, intf := range intfs {
+				cfg := RunConfig{
+					Seed:           seed,
+					Policy:         "deadline",
+					Util:           util,
+					Interference:   intf,
+					Arrival:        arrivals[n%len(arrivals)],
+					Deadline:       100 * sim.Microsecond, // tight: escalations are common
+					DupBudgetBps:   rate,
+					DupBudgetBurst: burst,
+					Duration:       5 * sim.Millisecond,
+				}
+				n++
+				r, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Spends stop with ingress, so the horizon bounds elapsed
+				// virtual time at the last possible TrySpend.
+				allow := core.NewDupBudget(rate, burst).Allowance(cfg.Duration)
+				if float64(r.BudgetSpentBytes) > allow {
+					t.Fatalf("seed=%d util=%.1f intf=%s: spent %d bytes past the %.0f-byte allowance",
+						seed, util, intf, r.BudgetSpentBytes, allow)
+				}
+				// Without faults there are no canary mirrors, so every
+				// duplicated byte the engine billed came out of the bucket.
+				if r.DupBytes != r.BudgetSpentBytes {
+					t.Fatalf("seed=%d util=%.1f intf=%s: engine billed %d dup bytes, bucket granted %d",
+						seed, util, intf, r.DupBytes, r.BudgetSpentBytes)
+				}
+				if r.DeadlineHits+r.DeadlineMisses != r.Delivered {
+					t.Fatalf("seed=%d: deadline scored %d of %d deliveries",
+						seed, r.DeadlineHits+r.DeadlineMisses, r.Delivered)
+				}
+			}
+		}
+	}
+}
+
+// P3 property, part 2: with budget zero, the deadline policy degrades exactly
+// to best-single-path — the flight-recorder stream of a budget-zero run is
+// byte-identical to a run of the explicitly duplication-free variant.
+func TestDeadlineZeroBudgetByteIdenticalToNoDup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream-identity sweep skipped in -short mode")
+	}
+	record := func(seed uint64, policy string, budgetBps float64) []byte {
+		rec := obs.NewRecorder(1 << 19)
+		cfg := RunConfig{
+			Seed:         seed,
+			Policy:       policy,
+			Util:         0.8,
+			Interference: "moderate",
+			Deadline:     50 * sim.Microsecond,
+			DupBudgetBps: budgetBps,
+			Duration:     4 * sim.Millisecond,
+			EventSink:    rec,
+		}
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Overwritten() != 0 {
+			t.Fatalf("recorder overwrote %d events; raise capacity", rec.Overwritten())
+		}
+		var buf bytes.Buffer
+		if _, err := rec.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		zero := record(seed, "deadline", -1) // negative = budget zero
+		noDup := record(seed, "deadline-nodup", 0)
+		if !bytes.Equal(zero, noDup) {
+			t.Fatalf("seed %d: budget-zero stream differs from the no-dup stream", seed)
+		}
+		// Sanity that the identity has teeth: with a real budget the same
+		// workload must produce a different stream (duplication happened).
+		funded := record(seed, "deadline", 0) // 0 = policy default budget
+		if bytes.Equal(zero, funded) {
+			t.Fatalf("seed %d: funded run identical to budget-zero run — no duplication occurred, the property is vacuous", seed)
+		}
+	}
+}

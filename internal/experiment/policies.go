@@ -16,6 +16,17 @@ type PolicyParams struct {
 	DupBudget      float64
 	DupK           int
 	ClassAware     bool
+
+	// Deadline-aware policy knobs. Deadline is the fallback per-packet
+	// budget, DeadlineMargin the jitter multiplier. DupBudgetBps /
+	// DupBudgetBurst configure the duplication-bytes token bucket: both
+	// zero takes the policy default (1 MiB/s, 64 KiB burst); a NEGATIVE
+	// DupBudgetBps means budget zero — duplication disabled outright, the
+	// degradation case the P3 property test pins down.
+	Deadline       sim.Duration
+	DeadlineMargin float64
+	DupBudgetBps   float64
+	DupBudgetBurst float64
 }
 
 // policyBuilders maps CLI/table names to constructors.
@@ -71,6 +82,35 @@ var policyBuilders = map[string]func(rng *xrand.Rand, p PolicyParams) core.Polic
 		cfg.DupBudget = 0
 		return core.NewMPDP(cfg)
 	},
+	"deadline": func(rng *xrand.Rand, p PolicyParams) core.Policy {
+		return core.NewDeadlineAware(deadlineConfig(p))
+	},
+	"deadline-nodup": func(rng *xrand.Rand, p PolicyParams) core.Policy {
+		// The budget-free twin: identical best-single-path choice, never a
+		// duplicate. P3 asserts "deadline" with budget zero is byte-identical
+		// to this.
+		cfg := deadlineConfig(p)
+		cfg.Budget = nil
+		return core.NewDeadlineAware(cfg)
+	},
+}
+
+// deadlineConfig maps PolicyParams onto the DeadlineAware configuration.
+func deadlineConfig(p PolicyParams) core.DeadlineAwareConfig {
+	cfg := core.DefaultDeadlineAwareConfig()
+	if p.Deadline != 0 {
+		cfg.Deadline = p.Deadline
+	}
+	if p.DeadlineMargin != 0 {
+		cfg.Margin = p.DeadlineMargin
+	}
+	switch {
+	case p.DupBudgetBps < 0:
+		cfg.Budget = core.NewDupBudget(0, 0) // deny-all: budget zero
+	case p.DupBudgetBps != 0 || p.DupBudgetBurst != 0:
+		cfg.Budget = core.NewDupBudget(p.DupBudgetBps, p.DupBudgetBurst)
+	}
+	return cfg
 }
 
 // NewPolicy builds a policy by name. The DupBudget/FlowletTimeout fields of

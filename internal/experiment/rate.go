@@ -1,0 +1,36 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseByteRate parses a human-readable byte rate like "1MBps", "500KBps",
+// "2.5MBps" or a plain number of bytes per second ("1048576"). Units are
+// binary (K=1024) to match the policy defaults; the "Bps"/"B/s" suffix is
+// optional after a unit letter. "0" disables the budget.
+func ParseByteRate(s string) (float64, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	upper := strings.ToUpper(s)
+	upper = strings.TrimSuffix(upper, "B/S")
+	upper = strings.TrimSuffix(upper, "BPS")
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(upper, "G"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "G")
+	case strings.HasSuffix(upper, "M"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "M")
+	case strings.HasSuffix(upper, "K"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "K")
+	case strings.HasSuffix(upper, "B"):
+		// plain bytes: "64B", or bare "...B" left from "64Bps"
+		upper = strings.TrimSuffix(upper, "B")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(upper), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("experiment: bad byte rate %q (want e.g. 1MBps, 500KBps, or bytes/sec)", orig)
+	}
+	return v * mult, nil
+}

@@ -56,6 +56,16 @@ type RunConfig struct {
 	DupK           int
 	ClassAware     bool
 
+	// Deadline knobs. Deadline > 0 stamps every ingress packet with
+	// now+Deadline (any policy; delivery accounting scores hit/miss).
+	// DeadlineMargin and the DupBudgetBps/DupBudgetBurst token bucket
+	// configure the "deadline" policy; a negative DupBudgetBps means budget
+	// zero (duplication disabled outright).
+	Deadline       sim.Duration
+	DeadlineMargin float64
+	DupBudgetBps   float64
+	DupBudgetBurst float64
+
 	// Engine knobs.
 	QueueCap       int
 	Qdisc          string  // "fifo" (default), "prio", "drr"
@@ -186,12 +196,25 @@ type RunResult struct {
 	Latency      stats.Summary
 	CDF          []stats.CDFPoint
 	Offered      uint64
+	OfferedBytes uint64
 	Delivered    uint64
 	Lost         uint64
 	DeliveryRate float64
 	GoodputGbps  float64
 	DupOverhead  float64
 	DupCancelled uint64
+	DupBytes     uint64 // bytes of extra duplicate copies (any duplicating policy)
+
+	// Deadline accounting, non-zero only when Config.Deadline > 0.
+	DeadlineHits    uint64
+	DeadlineMisses  uint64
+	DeadlineHitRate float64
+
+	// DeadlineSched holds the deadline policy's decision counters (nil for
+	// other policies); BudgetSpentBytes/BudgetDenied its token bucket.
+	DeadlineSched    *core.DeadlineAwareStats
+	BudgetSpentBytes uint64
+	BudgetDenied     uint64
 
 	QueueWaitMean, QueueWaitP99     float64
 	ServiceMean, ServiceP99         float64
@@ -315,6 +338,10 @@ func Run(cfg RunConfig) (RunResult, error) {
 		DupBudget:      cfg.DupBudget,
 		DupK:           cfg.DupK,
 		ClassAware:     cfg.ClassAware,
+		Deadline:       cfg.Deadline,
+		DeadlineMargin: cfg.DeadlineMargin,
+		DupBudgetBps:   cfg.DupBudgetBps,
+		DupBudgetBurst: cfg.DupBudgetBurst,
 	})
 	if err != nil {
 		return RunResult{}, err
@@ -360,6 +387,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		SlowdownFor:     cfg.SlowdownFor,
 		ReorderTimeout:  cfg.ReorderTimeout,
 		DisableReorder:  cfg.DisableReorder,
+		Deadline:        cfg.Deadline,
 		Seed:            cfg.Seed,
 		TimelineWindow:  cfg.TimelineWindow,
 	}
@@ -453,12 +481,18 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Latency:      measured.Summarize(),
 		CDF:          measured.CDF(),
 		Offered:      m.Offered(),
+		OfferedBytes: m.OfferedBytes(),
 		Delivered:    m.Delivered(),
 		Lost:         m.TotalLost(),
 		DeliveryRate: m.DeliveryRate(),
 		GoodputGbps:  m.GoodputBps(cfg.Duration) / 1e9,
 		DupOverhead:  m.DupOverhead(),
 		DupCancelled: m.DupCancelled(),
+		DupBytes:     m.DupBytes(),
+
+		DeadlineHits:    m.DeadlineHits(),
+		DeadlineMisses:  m.DeadlineMisses(),
+		DeadlineHitRate: m.DeadlineHitRate(),
 
 		QueueWaitMean:   m.QueueWait.Mean(),
 		QueueWaitP99:    float64(m.QueueWait.Percentile(0.99)),
@@ -472,6 +506,14 @@ func Run(cfg RunConfig) (RunResult, error) {
 
 		Reorder: dp.ReorderStats(),
 		Elapsed: cfg.Duration,
+	}
+	if da, ok := policy.(*core.DeadlineAware); ok {
+		st := da.Stats()
+		res.DeadlineSched = &st
+		if b := da.Budget(); b != nil {
+			res.BudgetSpentBytes = b.SpentBytes()
+			res.BudgetDenied = b.Denied()
+		}
 	}
 	for i, h := range classHists {
 		res.ClassP99[i] = float64(h.Percentile(0.99)) / 1000

@@ -7,10 +7,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(ids))
+	if len(ids) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(ids))
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E20" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E22" {
 		t.Fatalf("suite order wrong: %v", ids)
 	}
 }

@@ -169,3 +169,22 @@ func TestExpandPatterns(t *testing.T) {
 		t.Errorf("expansion descended into testdata: %v", dirs)
 	}
 }
+
+// TestDeterminismScopeCoversSchedulingCode pins the packages whose
+// scheduling decisions feed the byte-identical-stream contract — including
+// the deadline policy (internal/core) and its wire mirror
+// (internal/transport) — inside the determinism analyzer's scope. Removing
+// one from simPackages would silently exempt new wall-clock or math/rand
+// uses there.
+func TestDeterminismScopeCoversSchedulingCode(t *testing.T) {
+	for _, pkg := range []string{
+		"mpdp/internal/core",      // policies incl. DeadlineAware + DupBudget
+		"mpdp/internal/transport", // wire scheduler incl. SchedDeadline
+		"mpdp/internal/experiment",
+		"mpdp/internal/sim",
+	} {
+		if !inSimScope(pkg) {
+			t.Errorf("%s fell out of the determinism scope", pkg)
+		}
+	}
+}

@@ -17,7 +17,8 @@ type Kind uint8
 
 const (
 	// KindIngress: a packet entered the data plane. Arg A is the frame
-	// length in bytes.
+	// length in bytes, B the packet's absolute deadline in virtual time
+	// (0 when it carries none).
 	KindIngress Kind = iota
 	// KindSteer: the policy's verdict for an ingress packet. Path is the
 	// primary pick, A the number of copies (>1 means duplication), B is 1

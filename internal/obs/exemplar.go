@@ -39,6 +39,13 @@ type Exemplar struct {
 	Delivered sim.Time
 	Latency   sim.Duration
 
+	// Deadline is the packet's absolute deadline (0 = none);
+	// DeadlineMissed reports delivery after it. A tail exemplar that made
+	// its deadline anyway is a benign straggler; one that missed is the
+	// event the deadline-aware policy exists to prevent.
+	Deadline       sim.Time
+	DeadlineMissed bool
+
 	// WinnerPath is the lane whose copy delivered (-1 if unknown).
 	WinnerPath int32
 	// Duplicated reports whether the packet was sent as multiple copies.
@@ -144,6 +151,7 @@ func buildExemplar(evs []Event) Exemplar {
 		case KindIngress:
 			ex.OrigID, ex.FlowID, ex.Seq = ev.OrigID, ev.FlowID, ev.Seq
 			ingress = ev.Time
+			ex.Deadline = sim.Time(ev.B)
 		case KindSteer:
 			if ev.A > 1 {
 				ex.Duplicated = true
@@ -167,6 +175,7 @@ func buildExemplar(evs []Event) Exemplar {
 	}
 	ex.Ingress, ex.Delivered = ingress, delivered
 	ex.Latency = delivered - ingress
+	ex.DeadlineMissed = ex.Deadline > 0 && delivered > ex.Deadline
 	// Degrade gracefully on incomplete timelines (ring-buffer truncation):
 	// any missing stage boundary collapses its component into a neighbor
 	// so the attribution always sums to the end-to-end latency.

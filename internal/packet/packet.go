@@ -101,6 +101,11 @@ type Packet struct {
 	Done      sim.Time // finished NF-chain service
 	Delivered sim.Time // released in order to the guest
 
+	// Deadline is the absolute virtual time by which the packet must be
+	// delivered to count as on time (0 = no deadline). Stamped at ingress;
+	// deadline-aware scheduling reads it, delivery accounting scores it.
+	Deadline sim.Time
+
 	// PathID is the multipath lane the scheduler chose (-1 = unset).
 	PathID int
 
@@ -125,6 +130,12 @@ func (p *Packet) ReorderWait() sim.Duration { return p.Delivered - p.Done }
 
 // Latency is the full last-mile latency: ingress to in-order delivery.
 func (p *Packet) Latency() sim.Duration { return p.Delivered - p.Ingress }
+
+// MissedDeadline reports whether a delivered packet blew its deadline.
+// Always false for packets without one.
+func (p *Packet) MissedDeadline() bool {
+	return p.Deadline > 0 && p.Delivered > p.Deadline
+}
 
 // Clone deep-copies the packet (fresh Data buffer) and assigns the given
 // new ID, preserving OrigID lineage. Used by the duplication policy.

@@ -100,3 +100,66 @@ func (im *RandomImpairer) Counts() (dropped, delayed, duplicated uint64) {
 	defer im.mu.Unlock()
 	return im.dropped, im.delayed, im.duped
 }
+
+// BurstImpairConfig parameterizes BurstImpairer: episodic delay windows on
+// one path, the last-mile fluctuation shape the paper targets (a neighbor
+// VM wakes up, the path degrades for a stretch, then recovers) — as
+// opposed to RandomImpairer's i.i.d. per-frame faults, which no
+// telemetry-driven scheduler can anticipate.
+type BurstImpairConfig struct {
+	// Path selects the impaired path; -1 applies to every path.
+	Path int
+	// Period is the cycle length in frames; Length is how many frames at
+	// the head of each cycle are inside the burst. Frames are counted
+	// across ALL paths, so the burst window advances like wall time even
+	// when a scheduler steers traffic away from the impaired path.
+	Period, Length uint64
+	// Delay is added to every impaired-path frame inside a burst.
+	Delay time.Duration
+}
+
+// BurstImpairer delays impaired-path frames during periodic burst windows.
+// Frame-counted (not clock-driven), so a run's fault pattern depends only
+// on send order.
+type BurstImpairer struct {
+	cfg BurstImpairConfig
+
+	mu      sync.Mutex
+	n       uint64
+	delayed uint64
+}
+
+// NewBurstImpairer builds the impairer; degenerate geometry (zero period,
+// or bursts at least as long as the period) clamps to an always-on delay.
+func NewBurstImpairer(cfg BurstImpairConfig) *BurstImpairer {
+	if cfg.Period == 0 {
+		cfg.Period = 1
+	}
+	if cfg.Length > cfg.Period {
+		cfg.Length = cfg.Period
+	}
+	return &BurstImpairer{cfg: cfg}
+}
+
+// Impair implements Impairer.
+func (im *BurstImpairer) Impair(path int, h *Header) Impairment {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	pos := im.n % im.cfg.Period
+	im.n++
+	if pos >= im.cfg.Length {
+		return Impairment{}
+	}
+	if im.cfg.Path != -1 && path != im.cfg.Path {
+		return Impairment{}
+	}
+	im.delayed++
+	return Impairment{Delay: im.cfg.Delay}
+}
+
+// Delayed returns how many frames the burst windows caught.
+func (im *BurstImpairer) Delayed() uint64 {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.delayed
+}

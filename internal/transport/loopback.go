@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mpdp/internal/core"
@@ -19,6 +20,20 @@ type LoopbackConfig struct {
 	// Scheduler and HedgeK select the path scheduler (default hedge, K=2).
 	Scheduler SchedulerName
 	HedgeK    int
+	// Deadline is the per-packet latency budget: SchedDeadline schedules
+	// against it, and — for every scheduler — deliveries are scored
+	// hit/miss against it when it is > 0 (default 2 ms with SchedDeadline).
+	Deadline time.Duration
+	// DeadlineMargin is SchedDeadline's jitter multiplier (default 3).
+	DeadlineMargin float64
+	// DupBudgetBytesPerSec and DupBudgetBurst configure SchedDeadline's
+	// duplication-bytes token bucket (both zero = duplication off).
+	DupBudgetBytesPerSec float64
+	DupBudgetBurst       float64
+	// Metrics, when non-nil, receives the sender's mpdp_dup_bytes_total /
+	// mpdp_deadline_* / mpdp_dup_budget_* counters plus the run's
+	// deadline-hit counters.
+	Metrics *live.Registry
 	// Flows spreads traffic across this many flow IDs (default 8).
 	Flows int
 	// Payload is the data-frame payload size in bytes (default 256).
@@ -63,18 +78,22 @@ type LoopbackConfig struct {
 // LoopbackReport is the run's outcome: counters from both ends, reorder
 // cost, and the invariant verdict.
 type LoopbackReport struct {
-	Elapsed     time.Duration    `json:"elapsed_ns"`
-	Packets     uint64           `json:"packets"`   // application packets sent
-	Frames      uint64           `json:"frames"`    // wire frames (hedge copies included)
-	Delivered   uint64           `json:"delivered"` // in-order, dedup-clean deliveries
-	Lost        uint64           `json:"lost"`
-	DupDrops    uint64           `json:"dup_drops"` // hedged siblings absorbed pre-reorder
-	WireDups    uint64           `json:"wire_dups"` // wire-level duplicates absorbed per path
-	Sender      SenderStats      `json:"sender"`
-	Receiver    ReceiverStats    `json:"receiver"`
-	Violations  []string         `json:"violations,omitempty"` // capped at 16 messages
-	NViolations uint64           `json:"n_violations"`         // exact count
-	Spans       []live.StageSpan `json:"spans,omitempty"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	Packets   uint64        `json:"packets"`   // application packets sent
+	Frames    uint64        `json:"frames"`    // wire frames (hedge copies included)
+	Delivered uint64        `json:"delivered"` // in-order, dedup-clean deliveries
+	Lost      uint64        `json:"lost"`
+	DupDrops  uint64        `json:"dup_drops"` // hedged siblings absorbed pre-reorder
+	WireDups  uint64        `json:"wire_dups"` // wire-level duplicates absorbed per path
+	// Deadline accounting, populated when Deadline > 0: deliveries whose
+	// e2e latency fit (or blew) the budget.
+	DeadlineHits   uint64           `json:"deadline_hits,omitempty"`
+	DeadlineMisses uint64           `json:"deadline_misses,omitempty"`
+	Sender         SenderStats      `json:"sender"`
+	Receiver       ReceiverStats    `json:"receiver"`
+	Violations     []string         `json:"violations,omitempty"` // capped at 16 messages
+	NViolations    uint64           `json:"n_violations"`         // exact count
+	Spans          []live.StageSpan `json:"spans,omitempty"`
 }
 
 // Verify returns the invariant verdict: nil when the run surfaced every
@@ -110,6 +129,15 @@ func RunLoopback(cfg LoopbackConfig) (*LoopbackReport, error) {
 	if cfg.Window == 0 {
 		cfg.Window = 256
 	}
+	if cfg.Scheduler == SchedDeadline && cfg.Deadline == 0 {
+		cfg.Deadline = 2 * time.Millisecond
+	}
+
+	// Deadline scoring: e2e latency vs the configured budget, counted for
+	// every scheduler so runs are comparable on the same axis. Atomics —
+	// the receiver's driver goroutine writes, the harness reads at the end.
+	var dlHits, dlMisses atomic.Uint64
+	pktDeadlineNanos := cfg.Deadline.Nanoseconds()
 
 	verifier := NewVerifier()
 	addrs := make([]string, cfg.Paths)
@@ -125,6 +153,13 @@ func RunLoopback(cfg LoopbackConfig) (*LoopbackReport, error) {
 		Deliver: func(p *packet.Packet) {
 			if cfg.SLO != nil {
 				cfg.SLO.ObserveDelivery(int64(p.Delivered - p.Ingress))
+			}
+			if pktDeadlineNanos > 0 {
+				if int64(p.Delivered-p.Ingress) <= pktDeadlineNanos {
+					dlHits.Add(1)
+				} else {
+					dlMisses.Add(1)
+				}
 			}
 			if cfg.OnDeliver != nil {
 				cfg.OnDeliver(p)
@@ -145,17 +180,26 @@ func RunLoopback(cfg LoopbackConfig) (*LoopbackReport, error) {
 		paths[i] = PathConfig{RemoteAddr: a}
 	}
 	send, err := Dial(SenderConfig{
-		Paths:     paths,
-		Scheduler: cfg.Scheduler,
-		HedgeK:    cfg.HedgeK,
-		Health:    cfg.Health,
-		Impairer:  cfg.Impairer,
-		Spans:     cfg.Spans,
-		Verifier:  verifier,
+		Paths:                paths,
+		Scheduler:            cfg.Scheduler,
+		HedgeK:               cfg.HedgeK,
+		Deadline:             cfg.Deadline,
+		DeadlineMargin:       cfg.DeadlineMargin,
+		DupBudgetBytesPerSec: cfg.DupBudgetBytesPerSec,
+		DupBudgetBurst:       cfg.DupBudgetBurst,
+		Health:               cfg.Health,
+		Impairer:             cfg.Impairer,
+		Spans:                cfg.Spans,
+		Verifier:             verifier,
 	})
 	if err != nil {
 		recv.Close() //lint:allow erroreat teardown on the error path
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		send.RegisterMetrics(cfg.Metrics)
+		cfg.Metrics.CounterFunc("mpdp_deadline_hit_total", dlHits.Load)
+		cfg.Metrics.CounterFunc("mpdp_deadline_miss_total", dlMisses.Load)
 	}
 
 	payload := make([]byte, cfg.Payload)
@@ -256,18 +300,20 @@ sendLoop:
 	_ = verifier.Finish()
 	msgs, n := verifier.Violations()
 	report := &LoopbackReport{
-		Elapsed:     elapsed,
-		Packets:     ss.Packets,
-		Frames:      ss.Frames,
-		Delivered:   rs.Delivered,
-		Lost:        rs.Lost,
-		DupDrops:    rs.DupDrops,
-		WireDups:    wireDups,
-		Sender:      ss,
-		Receiver:    rs,
-		Violations:  msgs,
-		NViolations: n,
-		Spans:       cfg.Spans.StageSnapshot(),
+		Elapsed:        elapsed,
+		Packets:        ss.Packets,
+		Frames:         ss.Frames,
+		Delivered:      rs.Delivered,
+		Lost:           rs.Lost,
+		DupDrops:       rs.DupDrops,
+		WireDups:       wireDups,
+		DeadlineHits:   dlHits.Load(),
+		DeadlineMisses: dlMisses.Load(),
+		Sender:         ss,
+		Receiver:       rs,
+		Violations:     msgs,
+		NViolations:    n,
+		Spans:          cfg.Spans.StageSnapshot(),
 	}
 	if sendErr != nil && report.Delivered == 0 {
 		return report, fmt.Errorf("transport: no deliveries; last send error: %w", sendErr)

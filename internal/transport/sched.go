@@ -24,6 +24,12 @@ const (
 	// eligible paths — core's Redundant policy; the receiver's
 	// first-copy-wins dedup keeps whichever copy lands first.
 	SchedHedge SchedulerName = "hedge"
+	// SchedDeadline mirrors core's DeadlineAware on the wire: best single
+	// path while the packet's deadline looks safe there (judged against the
+	// path's ack-derived RTT plus a jitter margin), escalating to a second
+	// copy only when the deadline is at risk — and only when the global
+	// duplication-bytes budget covers the extra frame.
+	SchedDeadline SchedulerName = "deadline"
 )
 
 // scheduler picks path indices for one application packet. Owned by the
@@ -33,10 +39,90 @@ type scheduler struct {
 	hedgeK      int
 	canaryEvery int
 
+	// Deadline mode (SchedDeadline only). deadlineNanos is the per-packet
+	// wall-clock latency budget; margin multiplies the path's RTT jitter in
+	// the risk estimate; budget meters duplicated bytes.
+	deadlineNanos int64
+	margin        float64
+	budget        *wireDupBudget
+	dstats        WireDeadlineStats
+
 	next  int    // round-robin cursor
 	count uint64 // packets scheduled (canary clock)
 	picks []int  // scratch, reused across calls
 	elig  []int  // scratch, reused across calls
+}
+
+// WireDeadlineStats snapshots the deadline scheduler's decisions and
+// budget accounting (all zero unless SchedDeadline is active).
+type WireDeadlineStats struct {
+	Safe         uint64 `json:"safe"`    // deadline judged safe on the best path
+	AtRisk       uint64 `json:"at_risk"` // deadline judged at risk
+	Duplicated   uint64 `json:"duplicated"`
+	Denied       uint64 `json:"denied"` // duplication wanted but withheld
+	BudgetSpent  uint64 `json:"budget_spent_bytes"`
+	BudgetDenied uint64 `json:"budget_denied"`
+}
+
+// wireDupBudget is core.DupBudget re-expressed in wall nanoseconds: a
+// duplication-bytes token bucket refilled at rate bytes/sec up to burst.
+// Guarded by the sender lock like the rest of the scheduler state.
+type wireDupBudget struct {
+	rate  float64 // bytes per second
+	burst float64 // bucket capacity in bytes
+
+	tokens    float64
+	lastNanos int64
+	started   bool
+
+	spent  uint64
+	denied uint64
+}
+
+func newWireDupBudget(bytesPerSec, burst float64) *wireDupBudget {
+	if !(bytesPerSec > 0) {
+		bytesPerSec = 0
+	}
+	if !(burst > 0) {
+		burst = 0
+	}
+	if burst == 0 && bytesPerSec > 0 {
+		burst = bytesPerSec / 100 // 10 ms worth, mirroring core.NewDupBudget
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &wireDupBudget{rate: bytesPerSec, burst: burst}
+}
+
+// trySpend withdraws size bytes if available at wall time nowNanos.
+// Tokens never go negative: a spend either fits or is denied.
+func (b *wireDupBudget) trySpend(nowNanos int64, size int) bool {
+	if b.rate == 0 && b.burst == 0 {
+		b.denied++
+		return false
+	}
+	if !b.started {
+		b.started = true
+		b.lastNanos = nowNanos
+		b.tokens = b.burst
+	} else if nowNanos > b.lastNanos {
+		b.tokens += b.rate * float64(nowNanos-b.lastNanos) / 1e9
+		b.lastNanos = nowNanos
+	}
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if size < 0 {
+		size = 0
+	}
+	if float64(size) > b.tokens {
+		b.denied++
+		return false
+	}
+	b.tokens -= float64(size)
+	b.spent += uint64(size)
+	return true
 }
 
 // pathView is what the scheduler reads per path: health eligibility and
@@ -53,8 +139,9 @@ type pathView interface {
 // scheduler sends the canary alongside the normal pick: the probing path
 // gets real sacrificial volume, but a still-dead path costs an extra
 // frame, not an end-to-end loss (the receiver's dedup absorbs whichever
-// copy is surplus).
-func (s *scheduler) pick(paths []*senderPath) (picks []int, canaryIdx int) {
+// copy is surplus). nowNanos and size feed only the deadline scheduler's
+// budget accounting; the other modes ignore them.
+func (s *scheduler) pick(paths []*senderPath, nowNanos int64, size int) (picks []int, canaryIdx int) {
 	s.count++
 	canaryIdx = -1
 	canaryPath := -1
@@ -87,6 +174,29 @@ func (s *scheduler) pick(paths []*senderPath) (picks []int, canaryIdx int) {
 		s.next++
 	case SchedLeastInflight:
 		s.picks = append(s.picks, bestByInflight(paths, cand, -1))
+	case SchedDeadline:
+		// Best single path by RTT-plus-jitter estimate; duplicate onto the
+		// runner-up only when even the best estimate threatens the deadline
+		// and the byte budget covers the extra frame.
+		first := s.bestByEstimate(paths, cand, -1)
+		s.picks = append(s.picks, first)
+		est := pathEstimate(paths[first], s.margin)
+		switch {
+		case s.deadlineNanos <= 0 || est <= s.deadlineNanos:
+			// est==0 means no RTT sample yet: optimistic until acks teach us.
+			s.dstats.Safe++
+		default:
+			s.dstats.AtRisk++
+			second := s.bestByEstimate(paths, cand, first)
+			if second < 0 {
+				s.dstats.Denied++
+			} else if s.budget == nil || !s.budget.trySpend(nowNanos, size) {
+				s.dstats.Denied++
+			} else {
+				s.dstats.Duplicated++
+				s.picks = append(s.picks, second)
+			}
+		}
 	default: // SchedHedge
 		k := s.hedgeK
 		if k < 2 {
@@ -129,6 +239,46 @@ func (s *scheduler) nextProbing(paths []*senderPath) int {
 		}
 	}
 	return -1
+}
+
+// bestByEstimate returns the candidate with the lowest RTT-plus-jitter
+// estimate, excluding skip. Ties break by in-flight count then lowest
+// index; unsampled paths (estimate 0) win outright, so a fresh path gets
+// traffic — and therefore RTT samples — immediately. Returns -1 when every
+// candidate is excluded.
+func (s *scheduler) bestByEstimate(paths []*senderPath, cand []int, skip int) int {
+	best := -1
+	var bestEst int64
+	var bestLoad int
+	for _, i := range cand {
+		if i == skip {
+			continue
+		}
+		est := pathEstimate(paths[i], s.margin)
+		load := paths[i].inflight()
+		if best == -1 || est < bestEst || (est == bestEst && load < bestLoad) {
+			best, bestEst, bestLoad = i, est, load
+		}
+	}
+	return best
+}
+
+// pathEstimate is the wire analogue of core's fluctuation estimate: the
+// path's smoothed RTT plus margin times its smoothed RTT deviation,
+// clamped finite. 0 until the first ack delivers an RTT sample.
+func pathEstimate(p *senderPath, margin float64) int64 {
+	if p.rttNanos == 0 {
+		return 0
+	}
+	est := float64(p.rttNanos) + margin*float64(p.rttJitter)
+	if !(est > 0) { // NaN or non-positive
+		return 0
+	}
+	const maxEst = int64(1) << 60
+	if est > float64(maxEst) {
+		return maxEst
+	}
+	return int64(est)
 }
 
 // bestByInflight returns the candidate with the fewest in-flight frames

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mpdp/internal/core"
+	"mpdp/internal/live"
 	"mpdp/internal/sim"
 )
 
@@ -28,6 +29,18 @@ type SenderConfig struct {
 	Scheduler SchedulerName
 	// HedgeK is how many copies SchedHedge sends (default 2).
 	HedgeK int
+	// Deadline is the per-packet latency budget SchedDeadline protects
+	// (default 2 ms). Ignored by the other schedulers.
+	Deadline time.Duration
+	// DeadlineMargin multiplies the path's RTT jitter in SchedDeadline's
+	// risk estimate (default 3, clamped to [0, 64]).
+	DeadlineMargin float64
+	// DupBudgetBytesPerSec and DupBudgetBurst configure SchedDeadline's
+	// global duplication-bytes token bucket. Both zero means duplication is
+	// disabled entirely: the scheduler degrades to its best-single-path
+	// choice. A zero burst with a positive rate defaults to 10 ms of rate.
+	DupBudgetBytesPerSec float64
+	DupBudgetBurst       float64
 	// Health tunes the per-path state machine; times are wall nanoseconds.
 	// The zero value takes core's defaults, which suit a loopback wire;
 	// real networks want SuspectTimeout/QuarantineBackoff well above RTT.
@@ -66,11 +79,12 @@ type senderPath struct {
 	ackHigh uint64
 	ackRecv uint64
 
-	sent     uint64
-	acked    uint64
-	lost     uint64
-	refused  uint64
-	rttNanos int64 // EWMA, 0 until the first ack carries an RTT echo
+	sent      uint64
+	acked     uint64
+	lost      uint64
+	refused   uint64
+	rttNanos  int64 // EWMA, 0 until the first ack carries an RTT echo
+	rttJitter int64 // EWMA of |rtt - smoothed rtt|; the wire's fluctuation signal
 
 	scratch []byte
 }
@@ -93,6 +107,7 @@ type Sender struct {
 	packets  uint64
 	frames   uint64
 	canaries uint64
+	dupBytes uint64 // payload bytes of extra wire copies (hedge + deadline + canary)
 	sinceMnt int
 
 	wg       sync.WaitGroup
@@ -123,6 +138,24 @@ func Dial(cfg SenderConfig) (*Sender, error) {
 		},
 		flowSeq: make(map[uint64]uint64),
 		closed:  make(chan struct{}),
+	}
+	if cfg.Scheduler == SchedDeadline {
+		deadline := cfg.Deadline
+		if deadline == 0 {
+			deadline = 2 * time.Millisecond
+		}
+		margin := cfg.DeadlineMargin
+		if !(margin > 0) { // zero, negative, or NaN take the default
+			margin = 3
+		}
+		if margin > 64 {
+			margin = 64
+		}
+		s.sched.deadlineNanos = deadline.Nanoseconds()
+		s.sched.margin = margin
+		if cfg.DupBudgetBytesPerSec > 0 || cfg.DupBudgetBurst > 0 {
+			s.sched.budget = newWireDupBudget(cfg.DupBudgetBytesPerSec, cfg.DupBudgetBurst)
+		}
 	}
 	for i, pc := range cfg.Paths {
 		raddr, err := net.ResolveUDPAddr("udp", pc.RemoteAddr)
@@ -195,7 +228,7 @@ func (s *Sender) Send(flowID uint64, payload []byte) (uint64, error) {
 			p.health.Maintain(sim.Time(now))
 		}
 	}
-	picks, canaryIdx := s.sched.pick(s.paths)
+	picks, canaryIdx := s.sched.pick(s.paths, now, len(payload))
 	seq := s.flowSeq[flowID]
 	s.flowSeq[flowID] = seq + 1
 	s.packets++
@@ -219,6 +252,9 @@ func (s *Sender) Send(flowID uint64, payload []byte) (uint64, error) {
 		var flags uint8
 		if idx > 0 {
 			flags |= FlagDup
+			// Extra wire copies — hedged, deadline escalations, canary
+			// mirrors — bill their payload to the duplication-cost axis.
+			s.dupBytes += uint64(len(payload))
 		}
 		if idx == canaryIdx {
 			flags |= FlagProbe
@@ -371,7 +407,12 @@ func (s *Sender) handleAck(p *senderPath, h Header) {
 			if p.rttNanos == 0 {
 				p.rttNanos = rtt
 			} else {
+				dev := rtt - p.rttNanos
+				if dev < 0 {
+					dev = -dev
+				}
 				p.rttNanos += (rtt - p.rttNanos) / 8
+				p.rttJitter += (dev - p.rttJitter) / 8
 			}
 		}
 	}
@@ -389,23 +430,35 @@ type PathStats struct {
 	Refused     uint64        `json:"refused"`
 	InFlight    int           `json:"in_flight"`
 	RTT         time.Duration `json:"rtt_ns"`
+	RTTJitter   time.Duration `json:"rtt_jitter_ns"`
 	Health      string        `json:"health"`
 	Quarantines int           `json:"quarantines"`
 }
 
 // SenderStats aggregates the sender's counters.
 type SenderStats struct {
-	Packets  uint64      `json:"packets"`  // application packets accepted
-	Frames   uint64      `json:"frames"`   // wire frames scheduled (hedge copies included)
-	Canaries uint64      `json:"canaries"` // probe-trickle packets
-	Paths    []PathStats `json:"paths"`
+	Packets  uint64 `json:"packets"`   // application packets accepted
+	Frames   uint64 `json:"frames"`    // wire frames scheduled (hedge copies included)
+	Canaries uint64 `json:"canaries"`  // probe-trickle packets
+	DupBytes uint64 `json:"dup_bytes"` // payload bytes of extra wire copies
+	// Deadline is non-nil when SchedDeadline is active.
+	Deadline *WireDeadlineStats `json:"deadline,omitempty"`
+	Paths    []PathStats        `json:"paths"`
 }
 
 // Stats snapshots the sender's accounting.
 func (s *Sender) Stats() SenderStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := SenderStats{Packets: s.packets, Frames: s.frames, Canaries: s.canaries}
+	st := SenderStats{Packets: s.packets, Frames: s.frames, Canaries: s.canaries, DupBytes: s.dupBytes}
+	if s.sched.name == SchedDeadline {
+		d := s.sched.dstats
+		if b := s.sched.budget; b != nil {
+			d.BudgetSpent = b.spent
+			d.BudgetDenied = b.denied
+		}
+		st.Deadline = &d
+	}
 	for _, p := range s.paths {
 		st.Paths = append(st.Paths, PathStats{
 			Path:        int(p.id),
@@ -416,11 +469,48 @@ func (s *Sender) Stats() SenderStats {
 			Refused:     p.refused,
 			InFlight:    p.health.InFlight(),
 			RTT:         time.Duration(p.rttNanos),
+			RTTJitter:   time.Duration(p.rttJitter),
 			Health:      p.health.State().String(),
 			Quarantines: p.health.Quarantines(),
 		})
 	}
 	return st
+}
+
+// RegisterMetrics exposes the sender's duplication and deadline counters
+// on a live registry: mpdp_dup_bytes_total always, the mpdp_deadline_* /
+// mpdp_dup_budget_* family when SchedDeadline is active. Snapshot
+// closures take the sender lock, matching every other reader.
+func (s *Sender) RegisterMetrics(reg *live.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("mpdp_dup_bytes_total", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.dupBytes
+	})
+	if s.sched.name != SchedDeadline {
+		return
+	}
+	dstat := func(f func(WireDeadlineStats) uint64) func() uint64 {
+		return func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			d := s.sched.dstats
+			if b := s.sched.budget; b != nil {
+				d.BudgetSpent = b.spent
+				d.BudgetDenied = b.denied
+			}
+			return f(d)
+		}
+	}
+	reg.CounterFunc("mpdp_deadline_safe_total", dstat(func(d WireDeadlineStats) uint64 { return d.Safe }))
+	reg.CounterFunc("mpdp_deadline_at_risk_total", dstat(func(d WireDeadlineStats) uint64 { return d.AtRisk }))
+	reg.CounterFunc("mpdp_deadline_dups_total", dstat(func(d WireDeadlineStats) uint64 { return d.Duplicated }))
+	reg.CounterFunc("mpdp_deadline_denied_total", dstat(func(d WireDeadlineStats) uint64 { return d.Denied }))
+	reg.CounterFunc("mpdp_dup_budget_spent_bytes_total", dstat(func(d WireDeadlineStats) uint64 { return d.BudgetSpent }))
+	reg.CounterFunc("mpdp_dup_budget_denied_total", dstat(func(d WireDeadlineStats) uint64 { return d.BudgetDenied }))
 }
 
 // Close shuts every path socket and waits for the ack readers (and any
