@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race verify cover bench bench-snapshots bench-diff suite suite-quick check lint examples clean loopback fuzz-frame
+.PHONY: all build test test-short race verify cover bench bench-snapshots bench-diff suite suite-quick check lint hotpath-gates examples clean loopback fuzz-frame
 
 all: build test
 
@@ -67,6 +67,14 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) run ./cmd/mpdp-lint -werror ./...
+
+# Regenerate the hot-path runtime alloc-gate list from //mpdp:hotpath
+# annotations and fail if it differs from the checked-in file. CI runs
+# every listed benchmark with -benchmem and holds it at 0 allocs/op.
+hotpath-gates:
+	$(GO) run ./cmd/mpdp-lint -hotpath-gates bench/hotpath_gates.txt ./...
+	@git diff --exit-code -- bench/hotpath_gates.txt || \
+		{ echo "bench/hotpath_gates.txt was stale; commit the regenerated file"; exit 1; }
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,14 +1,22 @@
-// Command mpdp-lint enforces the simulator's determinism and concurrency
-// contracts with project-specific static analysis (see internal/lint).
+// Command mpdp-lint enforces the simulator's determinism, concurrency and
+// hot-path contracts with project-specific static analysis (see
+// internal/lint).
 //
 // Usage:
 //
-//	mpdp-lint [-json] [-werror] [-list] [packages...]
+//	mpdp-lint [-json] [-werror] [-list] [-hotpath-gates FILE] [packages...]
 //
 // Packages are directories or `dir/...` patterns; the default is `./...`.
 // Findings print as `file:line: [analyzer] message`. With -werror any
 // finding exits 1 (the CI gate); without it the exit status only reflects
 // driver errors. -list prints the analyzer catalog and exits.
+//
+// -hotpath-gates regenerates the runtime allocation-gate list from the
+// //mpdp:hotpath annotations in the tree and writes it to FILE ("-" for
+// stdout), then exits: one "<package dir>\t<benchmark>" line per gate.
+// CI runs every listed benchmark with -benchmem and fails on a non-zero
+// allocs/op, so the static zero-alloc contract and the runtime gate are
+// generated from the same annotations and cannot drift.
 package main
 
 import (
@@ -25,6 +33,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
 		werror  = flag.Bool("werror", false, "exit 1 if any finding is reported")
 		list    = flag.Bool("list", false, "print the analyzer catalog and exit")
+		gates   = flag.String("hotpath-gates", "", "regenerate the hot-path alloc-gate list from //mpdp:hotpath annotations into `FILE` (- for stdout) and exit")
 	)
 	flag.Parse()
 
@@ -39,10 +48,38 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if *gates != "" {
+		if err := writeGates(patterns, *gates); err != nil {
+			fmt.Fprintln(os.Stderr, "mpdp-lint:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if err := run(patterns, *jsonOut, *werror); err != nil {
 		fmt.Fprintln(os.Stderr, "mpdp-lint:", err)
 		os.Exit(2)
 	}
+}
+
+func writeGates(patterns []string, out string) error {
+	dirs, err := lint.ExpandPatterns(patterns)
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		return err
+	}
+	gates, err := lint.CollectHotpathGates(loader.ModRoot, dirs)
+	if err != nil {
+		return err
+	}
+	text := lint.FormatHotpathGates(gates)
+	if out == "-" {
+		_, err = os.Stdout.WriteString(text)
+		return err
+	}
+	return os.WriteFile(out, []byte(text), 0o644)
 }
 
 func run(patterns []string, jsonOut, werror bool) error {
@@ -54,7 +91,7 @@ func run(patterns []string, jsonOut, werror bool) error {
 	if err != nil {
 		return err
 	}
-	findings, err := lint.LintDirs(loader, lint.Config{}, dirs)
+	findings, err := lint.LintDirs(loader, lint.Config{CheckPragmas: true}, dirs)
 	if err != nil {
 		return err
 	}

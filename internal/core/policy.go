@@ -197,6 +197,7 @@ type Flowlet struct {
 	Timeout sim.Duration
 
 	table map[uint64]*flowletEntry
+	out   []int // scratch for Pick's result; reused across calls
 }
 
 type flowletEntry struct {
@@ -217,6 +218,7 @@ func NewFlowlet(timeout sim.Duration) *Flowlet {
 func (f *Flowlet) Steer(flowID uint64, path int, now sim.Time) {
 	e, ok := f.table[flowID]
 	if !ok {
+		//lint:allow hotalloc one entry per flow at first sight, amortized over the flow's packets
 		e = &flowletEntry{}
 		f.table[flowID] = e
 	}
@@ -226,7 +228,12 @@ func (f *Flowlet) Steer(flowID uint64, path int, now sim.Time) {
 // Name implements Policy.
 func (f *Flowlet) Name() string { return "flowlet" }
 
-// Pick implements Policy.
+// Pick implements Policy. The returned slice is the policy's reusable
+// scratch buffer: it is valid until the next Pick/Steer call, matching the
+// engine's consume-immediately usage. Steady state is allocation-free; the
+// per-flow table entry is the only (amortized) allocation.
+//
+//mpdp:hotpath bench=BenchmarkFlowletPick
 func (f *Flowlet) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
 	e, ok := f.table[p.FlowID]
 	if ok && now-e.lastSeen <= f.Timeout {
@@ -234,16 +241,19 @@ func (f *Flowlet) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int
 		// A sticky path that went quarantined/probing forces an immediate
 		// re-steer — the whole point of health integration.
 		if e.path < len(paths) && paths[e.path].Eligible() {
-			return []int{e.path}
+			f.out = append(f.out[:0], e.path)
+			return f.out
 		}
 	}
 	best := bestScore(paths)
 	if !ok {
+		//lint:allow hotalloc one entry per flow at first sight, amortized over the flow's packets
 		e = &flowletEntry{}
 		f.table[p.FlowID] = e
 	}
 	e.path, e.lastSeen = best, now
-	return []int{best}
+	f.out = append(f.out[:0], best)
+	return f.out
 }
 
 // bestScore returns the index of the lowest-Score eligible path (ties to the
@@ -383,6 +393,7 @@ func DefaultMPDPConfig() MPDPConfig {
 type MPDP struct {
 	cfg     MPDPConfig
 	flowlet *Flowlet
+	out     []int // scratch for Pick's result; reused across calls
 
 	picked     uint64
 	duplicated uint64
@@ -406,7 +417,11 @@ func NewMPDP(cfg MPDPConfig) *MPDP {
 // Name implements Policy.
 func (m *MPDP) Name() string { return "mpdp" }
 
-// Pick implements Policy.
+// Pick implements Policy. Like Flowlet.Pick, the returned slice is a
+// reusable scratch buffer valid until the next call; the steady state
+// allocates nothing (CI-gated by BenchmarkMPDPPick).
+//
+//mpdp:hotpath bench=BenchmarkMPDPPick
 func (m *MPDP) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
 	m.picked++
 	choice := m.flowlet.Pick(now, p, paths)
@@ -432,7 +447,8 @@ func (m *MPDP) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
 	}
 
 	if !m.shouldDuplicate(p, paths[first]) {
-		return []int{first}
+		m.out = append(m.out[:0], first)
+		return m.out
 	}
 	second := secondBest(paths, first)
 	// Duplicate only onto spare capacity: a copy sent to a busy path adds
@@ -440,10 +456,12 @@ func (m *MPDP) Pick(now sim.Time, p *packet.Packet, paths []*PathState) []int {
 	// pathology, quantified in E7/E12). A nearly idle twin path serves
 	// the copy for free.
 	if second == first || paths[second].Depth() > 1 {
-		return []int{first}
+		m.out = append(m.out[:0], first)
+		return m.out
 	}
 	m.duplicated++
-	return []int{first, second}
+	m.out = append(m.out[:0], first, second)
+	return m.out
 }
 
 // Rerouted reports how many packets triggered an emergency reroute.

@@ -21,7 +21,7 @@ func passChain(cost sim.Duration) *nf.Chain {
 }
 
 // testPaths builds n idle deterministic paths on a fresh simulator.
-func testPaths(t *testing.T, n int, cost sim.Duration) (*sim.Simulator, []*PathState) {
+func testPaths(t testing.TB, n int, cost sim.Duration) (*sim.Simulator, []*PathState) {
 	t.Helper()
 	s := sim.New()
 	paths := make([]*PathState, n)
@@ -443,5 +443,29 @@ func TestWeightedRRProportionalToRate(t *testing.T) {
 	ratio := float64(counts[0]) / float64(counts[1])
 	if ratio < 1.6 || ratio > 2.4 {
 		t.Fatalf("weighted split ratio %.2f (counts %v), want ~2", ratio, counts)
+	}
+}
+
+func BenchmarkFlowletPick(b *testing.B) {
+	_, paths := testPaths(b, 4, 100)
+	f := NewFlowlet(500 * sim.Microsecond)
+	pkt := flowPkt(1)
+	f.Pick(0, pkt, paths) // warm-up: flow entry + scratch allocate once here
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Pick(sim.Time(i), pkt, paths)
+	}
+}
+
+func BenchmarkMPDPPick(b *testing.B) {
+	_, paths := testPaths(b, 4, 100)
+	m := NewMPDP(DefaultMPDPConfig())
+	pkt := flowPkt(1)
+	m.Pick(0, pkt, paths) // warm-up: flow entry + scratch allocate once here
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Pick(sim.Time(i), pkt, paths)
 	}
 }

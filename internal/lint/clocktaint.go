@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ClockTaintAnalyzer upgrades the determinism contract from call-site
+// matching to intra-package taint flow. The determinism analyzer catches
+// a time.Now() written inside a sim-scope package; this analyzer catches
+// the smuggled variant: a wall-clock value read in bridge code (live,
+// cmd/*) and handed into sim-scope code through a parameter, a struct
+// field, a package-level variable or a type conversion. Sinks are
+// conversions to sim-scope named types (sim.Time and friends), arguments
+// to sim-scope functions, and stores into sim-scope struct fields.
+//
+// The transport clock.go funnel is the only blessed source: a wall-clock
+// read annotated with a //lint:allow determinism pragma is a declared
+// funnel and does not seed taint. Everything else that touches
+// time.Now/Since/Until is tracked.
+var ClockTaintAnalyzer = &Analyzer{
+	Name:   "clocktaint",
+	Doc:    "track wall-clock values through assignments, fields and calls; forbid them crossing into sim-scope types, functions or fields",
+	Scoped: nil,
+	Run:    runClockTaint,
+}
+
+// taintSourceFuncs are the package-time functions whose results carry
+// wall-clock taint.
+var taintSourceFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+type taintState struct {
+	pass    *Pass
+	blessed map[string]map[int]bool // file -> lines carrying a determinism allow pragma
+	vars    map[types.Object]bool   // tainted variables (locals, params, globals)
+	fields  map[types.Object]bool   // tainted struct field objects (this package's types)
+	funcs   map[types.Object]bool   // same-package functions returning taint
+	changed bool
+}
+
+func runClockTaint(pass *Pass) {
+	st := &taintState{
+		pass:    pass,
+		blessed: blessedLines(pass),
+		vars:    map[types.Object]bool{},
+		fields:  map[types.Object]bool{},
+		funcs:   map[types.Object]bool{},
+	}
+	// Propagate to a fixpoint: field- and function-mediated flow needs a
+	// bounded number of whole-package sweeps (taint depth is tiny in
+	// practice; the bound keeps pathological inputs linear).
+	for i := 0; i < 8; i++ {
+		st.changed = false
+		for _, file := range pass.Files {
+			st.propagateFile(file)
+		}
+		if !st.changed {
+			break
+		}
+	}
+	for _, file := range pass.Files {
+		st.reportSinks(file)
+	}
+}
+
+// blessedLines collects, per file, the lines annotated with a
+// determinism allow pragma: declared wall-clock funnels (the transport
+// clock) whose reads must not seed taint.
+func blessedLines(pass *Pass) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:allow determinism ") {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]bool{}
+				}
+				out[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// isBlessed reports whether pos sits on (or directly under) a declared
+// funnel line.
+func (st *taintState) isBlessed(n ast.Node) bool {
+	pos := st.pass.Fset.Position(n.Pos())
+	lines := st.blessed[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// tainted evaluates whether an expression carries wall-clock taint.
+func (st *taintState) tainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := st.pass.Info.Uses[e]
+		if obj == nil {
+			obj = st.pass.Info.Defs[e]
+		}
+		return obj != nil && st.vars[obj]
+	case *ast.SelectorExpr:
+		if obj := st.pass.Info.Uses[e.Sel]; obj != nil && st.fields[obj] {
+			return true
+		}
+		return false
+	case *ast.CallExpr:
+		return st.callTainted(e)
+	case *ast.BinaryExpr:
+		return st.tainted(e.X) || st.tainted(e.Y)
+	case *ast.ParenExpr:
+		return st.tainted(e.X)
+	case *ast.StarExpr:
+		return st.tainted(e.X)
+	case *ast.UnaryExpr:
+		return st.tainted(e.X)
+	case *ast.IndexExpr:
+		return st.tainted(e.X)
+	}
+	return false
+}
+
+// callTainted reports whether a call's result is wall-clock tainted: a
+// seed call (time.Now/Since/Until, unless blessed), a conversion of a
+// tainted value, a time.Time/Duration method on a tainted receiver
+// (t.UnixNano(), d.Nanoseconds(), ...), or a same-package function whose
+// returns are tainted.
+func (st *taintState) callTainted(call *ast.CallExpr) bool {
+	// Conversion of a tainted operand stays tainted.
+	if tv, ok := st.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return len(call.Args) == 1 && st.tainted(call.Args[0])
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := st.pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+			if taintSourceFuncs[obj.Name()] && !st.isBlessed(call) {
+				return true // the seed
+			}
+			// Methods on tainted time values propagate.
+			return st.tainted(sel.X)
+		}
+	}
+	if callee := staticCallee(st.pass, call); callee != nil && st.funcs[callee] {
+		return true
+	}
+	return false
+}
+
+// markVar taints the object behind an identifier or field selector.
+func (st *taintState) mark(lhs ast.Expr) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := st.pass.Info.Defs[lhs]
+		if obj == nil {
+			obj = st.pass.Info.Uses[lhs]
+		}
+		if obj != nil && !st.vars[obj] {
+			st.vars[obj] = true
+			st.changed = true
+		}
+	case *ast.SelectorExpr:
+		if obj := st.pass.Info.Uses[lhs.Sel]; obj != nil {
+			// Only fields of this package's types are tracked for flow;
+			// stores into sim-scope fields are sinks, reported later.
+			if v, ok := obj.(*types.Var); ok && v.IsField() && obj.Pkg() == st.pass.Pkg && !st.fields[obj] {
+				st.fields[obj] = true
+				st.changed = true
+			}
+		}
+	case *ast.StarExpr:
+		st.mark(lhs.X)
+	case *ast.ParenExpr:
+		st.mark(lhs.X)
+	}
+}
+
+// propagateFile runs one taint-propagation sweep over a file.
+func (st *taintState) propagateFile(file *ast.File) {
+	var curFn types.Object
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			prev := curFn
+			curFn = st.pass.Info.Defs[n.Name]
+			if n.Body != nil {
+				ast.Inspect(n.Body, walk)
+			}
+			curFn = prev
+			return false
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !st.tainted(rhs) {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					st.mark(n.Lhs[i])
+				} else {
+					for _, lhs := range n.Lhs { // tuple assignment: taint all
+						st.mark(lhs)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if st.tainted(v) && i < len(n.Names) {
+					st.mark(n.Names[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			if curFn == nil {
+				break
+			}
+			for _, r := range n.Results {
+				if st.tainted(r) && !st.funcs[curFn] {
+					st.funcs[curFn] = true
+					st.changed = true
+				}
+			}
+		case *ast.CallExpr:
+			st.propagateCallArgs(n)
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+}
+
+// propagateCallArgs taints the parameters of same-package callees that
+// receive tainted arguments, so the taint follows the value into the
+// callee's body on the next sweep.
+func (st *taintState) propagateCallArgs(call *ast.CallExpr) {
+	callee := staticCallee(st.pass, call)
+	if callee == nil || callee.Pkg() != st.pass.Pkg {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if st.tainted(arg) {
+			p := sig.Params().At(i)
+			if !st.vars[p] {
+				st.vars[p] = true
+				st.changed = true
+			}
+		}
+	}
+}
+
+// reportSinks walks a file reporting every point where a tainted value
+// crosses into sim scope.
+func (st *taintState) reportSinks(file *ast.File) {
+	pass := st.pass
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Conversion to a sim-scope named type.
+			if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+				if named := namedOf(tv.Type); named != nil && st.simScopeObj(named.Obj()) && st.tainted(n.Args[0]) {
+					pass.Reportf(n.Pos(), "wall-clock-derived value converted to sim-scope type %s.%s; virtual time must come from the sim clock", named.Obj().Pkg().Name(), named.Obj().Name())
+				}
+				return true
+			}
+			// Argument to a sim-scope function.
+			if callee := staticCallee(pass, n); callee != nil && st.simScopeObj(callee) {
+				for _, arg := range n.Args {
+					if st.tainted(arg) {
+						pass.Reportf(arg.Pos(), "wall-clock-derived value passed to sim-scope %s.%s; virtual time must come from the sim clock", callee.Pkg().Name(), callee.Name())
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !st.tainted(rhs) {
+					continue
+				}
+				if sel, ok := n.Lhs[i].(*ast.SelectorExpr); ok {
+					if obj := pass.Info.Uses[sel.Sel]; obj != nil && st.simScopeObj(obj) {
+						if v, ok := obj.(*types.Var); ok && v.IsField() {
+							pass.Reportf(n.Pos(), "wall-clock-derived value stored into sim-scope field %s.%s; virtual time must come from the sim clock", obj.Pkg().Name(), obj.Name())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// simScopeObj reports whether obj belongs to a sim-scope package other
+// than the one under analysis (in-package flow is the determinism
+// analyzer's domain; the boundary crossing is the taint sink).
+func (st *taintState) simScopeObj(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Pkg() != st.pass.Pkg && inSimScope(obj.Pkg().Path())
+}

@@ -5,8 +5,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ExpandPatterns turns command-line package patterns into a sorted list
@@ -77,17 +79,58 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
-// LintDirs loads and analyzes every directory, accumulating findings.
-// Load or type-check failures are reported as errors: the linter must not
-// silently skip a package it cannot see.
+// LintDirs loads and analyzes every directory, accumulating findings, and
+// runs the session's whole-program Finish phase at the end. Packages are
+// type-checked and analyzed in parallel; the output is deterministic
+// regardless: per-package findings are merged in directory order and the
+// final list is stably sorted. Load or type-check failures are reported
+// as errors — the linter must not silently skip a package it cannot see —
+// and the error for the lexically first failing directory wins, so
+// failures are stable too.
 func LintDirs(l *Loader, cfg Config, dirs []string) ([]Finding, error) {
-	var out []Finding
-	for _, dir := range dirs {
-		pkg, err := l.Load(dir)
+	if cfg.Session == nil {
+		cfg.Session = NewSession()
+	}
+	workers := runtime.NumCPU()
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perDir := make([][]Finding, len(dirs))
+	errs := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				pkg, err := l.Load(dirs[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				perDir[i] = Run(cfg, pkg)
+			}
+		}()
+	}
+	for i := range dirs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Run(cfg, pkg)...)
 	}
+	var out []Finding
+	for _, findings := range perDir {
+		out = append(out, findings...)
+	}
+	out = append(out, cfg.Session.Finish(cfg)...)
+	SortFindings(out)
 	return out, nil
 }

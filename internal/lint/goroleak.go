@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeakAnalyzer flags goroutines that cannot be stopped: a `go`
+// statement whose body (a literal, or a same-package function) runs an
+// unconditional `for {}` loop with no way out — no select, no channel
+// receive, no return or break. Such a goroutine outlives every shutdown
+// path, pins its captures, and keeps touching shared state while the
+// process drains; the shutdown and mesh-handoff work (ROADMAP item 3)
+// requires every long-lived goroutine to be joinable.
+//
+// It also enforces the hot-path send contract: a function annotated
+// //mpdp:hotpath (or reached from one in-package) must not perform a bare
+// blocking channel send — a full queue would stall the datapath for an
+// unbounded time. Sends inside a select (which can time out or drop) are
+// fine.
+var GoroLeakAnalyzer = &Analyzer{
+	Name:   "goroleak",
+	Doc:    "flag goroutines running unstoppable for-loops, and blocking channel sends in //mpdp:hotpath functions",
+	Scoped: nil,
+	Run:    runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	decls := packageFuncDecls(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := spawnedBody(pass, g, decls)
+			if body == nil {
+				return true
+			}
+			if loop := unstoppableLoop(pass, body); loop != nil {
+				pass.Reportf(g.Pos(), "goroutine runs an unstoppable for-loop (no select, channel receive, return or break); thread a context, done channel or stop flag")
+			}
+			return true
+		})
+	}
+
+	// Hot-path send contract.
+	anns, _ := hotpathFuncs(pass.Files)
+	if len(anns) == 0 {
+		return
+	}
+	hot := hotSet(pass, anns, decls)
+	for _, fd := range funcDeclsInOrder(pass.Files) {
+		root, ok := hot[fd]
+		if !ok || fd.Body == nil {
+			continue
+		}
+		reportBlockingSends(pass, fd, root)
+	}
+}
+
+// spawnedBody resolves the statement body a go statement will run: the
+// literal's body, or the declaration body of a same-package function.
+func spawnedBody(pass *Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	default:
+		if callee := staticCallee(pass, g.Call); callee != nil {
+			if fd, ok := decls[callee]; ok && fd.Body != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// unstoppableLoop finds a `for {}` (no condition) loop in body with no
+// escape construct inside it, returning the loop or nil. Loops that range
+// over a channel are inherently stoppable (close the channel), as are
+// loops containing a select, a channel receive, a return or a break.
+func unstoppableLoop(pass *Pass, body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !hasEscape(loop.Body) {
+			found = loop
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasEscape reports whether a loop body contains any construct that can
+// end or park the loop on an external signal: select, channel receive,
+// return, break, panic, or a WaitGroup/Cond wait (which at least makes
+// the goroutine joinable at a rendezvous).
+func hasEscape(body *ast.BlockStmt) bool {
+	escape := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escape {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its body is a different goroutine's problem
+		case *ast.SelectStmt:
+			escape = true
+		case *ast.ReturnStmt:
+			escape = true
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" || n.Tok.String() == "goto" {
+				escape = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				escape = true
+			}
+		case *ast.RangeStmt:
+			escape = true // ranging over a channel ends on close
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				escape = true
+			}
+		}
+		return !escape
+	})
+	return escape
+}
+
+// reportBlockingSends flags bare channel sends in a hot function. Sends
+// that appear as a select comm clause are exempt: the select bounds the
+// stall (default case, timeout arm, or shutdown arm).
+func reportBlockingSends(pass *Pass, fd *ast.FuncDecl, root string) {
+	inSelect := map[ast.Stmt]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+				inSelect[cc.Comm] = true
+			}
+		}
+		return true
+	})
+	origin := ""
+	if rootName(fd) != root {
+		origin = " (in hotpath " + root + " via in-package calls)"
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			_ = fl
+			return false
+		}
+		send, ok := n.(*ast.SendStmt)
+		if !ok || inSelect[send] {
+			return true
+		}
+		pass.Reportf(send.Pos(), "blocking channel send in hot path%s; use a select with a default or shutdown arm so a full queue cannot stall the datapath", origin)
+		return true
+	})
+}

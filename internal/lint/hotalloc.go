@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAllocAnalyzer enforces the zero-allocation contract on functions
+// annotated //mpdp:hotpath and everything they call inside the same
+// package (resolved over the in-package static call graph, so a contract
+// on the frame encoder also covers its helpers). Flagged allocation
+// shapes: make/new, append growth (unless appending into a
+// caller-provided parameter — the Append* encoder idiom, where growth is
+// the caller's allocation), composite literals that escape (&T{…}, slice
+// and map literals), interface boxing at call sites and conversions,
+// closure creation, goroutine spawns, non-constant string concatenation,
+// string<->[]byte conversions, and any call into fmt, reflect or log.
+//
+// The runtime half of the same contract is the generated benchmark gate
+// list (see CollectHotpathGates): each annotation's bench attribute is
+// measured with -benchmem in CI and held at 0 allocs/op.
+var HotAllocAnalyzer = &Analyzer{
+	Name:   "hotalloc",
+	Doc:    "forbid heap allocation in //mpdp:hotpath functions and their in-package callees (make/new/append growth, escaping literals, boxing, closures, string concat, fmt/reflect)",
+	Scoped: nil,
+	Run:    runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	anns, strays := hotpathFuncs(pass.Files)
+	for _, ann := range strays {
+		for _, e := range ann.errs {
+			pass.Reportf(ann.pos, "bad //mpdp:hotpath: %s", e)
+		}
+	}
+	if len(anns) == 0 {
+		return
+	}
+	for _, fd := range funcDeclsInOrder(pass.Files) {
+		if ann, ok := anns[fd]; ok {
+			for _, e := range ann.errs {
+				pass.Reportf(ann.pos, "bad //mpdp:hotpath: %s", e)
+			}
+		}
+	}
+
+	decls := packageFuncDecls(pass)
+	hot := hotSet(pass, anns, decls)
+	for _, fd := range funcDeclsInOrder(pass.Files) {
+		root, ok := hot[fd]
+		if !ok || fd.Body == nil {
+			continue
+		}
+		origin := ""
+		if rootName(fd) != root {
+			origin = " (in hotpath " + root + " via in-package calls)"
+		}
+		checkAllocs(pass, fd, origin)
+	}
+}
+
+// packageFuncDecls maps each function object defined in the package to
+// its declaration, for call-graph resolution.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	out := map[types.Object]*ast.FuncDecl{}
+	for _, fd := range funcDeclsInOrder(pass.Files) {
+		if obj := pass.Info.Defs[fd.Name]; obj != nil {
+			out[obj] = fd
+		}
+	}
+	return out
+}
+
+// funcDeclsInOrder returns every function declaration in stable
+// file-then-source order (map iteration never drives traversal: finding
+// order must be byte-identical across runs).
+func funcDeclsInOrder(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// rootName renders a declaration's display name ("(*T).M" or "F").
+func rootName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// hotSet expands the annotated roots over the in-package static call
+// graph, attributing each reached function to the first root that
+// reaches it (deterministic BFS in declaration order).
+func hotSet(pass *Pass, anns map[*ast.FuncDecl]*hotpathAnnotation, decls map[types.Object]*ast.FuncDecl) map[*ast.FuncDecl]string {
+	hot := map[*ast.FuncDecl]string{}
+	var queue []*ast.FuncDecl
+	for _, fd := range funcDeclsInOrder(pass.Files) {
+		if _, ok := anns[fd]; ok {
+			hot[fd] = rootName(fd)
+			queue = append(queue, fd)
+		}
+	}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if fd.Body == nil {
+			continue
+		}
+		root := hot[fd]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pass, call)
+			if callee == nil {
+				return true
+			}
+			cd, ok := decls[callee]
+			if !ok {
+				return true
+			}
+			if _, seen := hot[cd]; !seen {
+				hot[cd] = root
+				queue = append(queue, cd)
+			}
+			return true
+		})
+	}
+	return hot
+}
+
+// staticCallee resolves a call to the *types.Func object it statically
+// invokes, or nil for builtins, conversions, interface dispatch outside
+// the package, and function values.
+func staticCallee(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// allocPackages are the stdlib packages whose entry points allocate (and
+// reflect) by construction; any call from a hot function is a finding.
+var allocPackages = map[string]bool{"fmt": true, "reflect": true, "log": true}
+
+// checkAllocs walks one hot function's body and reports every statically
+// visible allocation shape.
+func checkAllocs(pass *Pass, fd *ast.FuncDecl, origin string) {
+	params := paramObjs(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates in hot path%s; hoist the func value or restructure", origin)
+			return false // the closure body runs outside the hot frame
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine spawn in hot path%s allocates a stack; hand work to an existing worker", origin)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if lit, ok := n.X.(*ast.CompositeLit); ok {
+					name := "composite"
+					if id, ok := lit.Type.(*ast.Ident); ok {
+						name = id.Name
+					}
+					pass.Reportf(n.Pos(), "&%s{...} literal escapes to the heap in hot path%s; reuse a pooled or caller-provided object", name, origin)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in hot path%s; preallocate outside the hot loop", origin)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in hot path%s; preallocate outside the hot loop", origin)
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isNonConstString(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hot path%s; use a preallocated buffer", origin)
+			}
+		case *ast.CallExpr:
+			checkCallAlloc(pass, n, params, origin)
+		}
+		return true
+	})
+}
+
+// paramObjs collects the parameter (and named result) objects of fd,
+// including the receiver: appending into one of these is the caller's
+// allocation, not this function's.
+func paramObjs(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	addFields(fd.Type.Results)
+	return out
+}
+
+func checkCallAlloc(pass *Pass, call *ast.CallExpr, params map[types.Object]bool, origin string) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in hot path%s; hoist the allocation out of the hot loop", origin)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in hot path%s; reuse a pooled or caller-provided object", origin)
+			case "append":
+				if len(call.Args) > 0 && !isCallerBuffer(pass, call.Args[0], params) {
+					pass.Reportf(call.Pos(), "append may grow the backing array in hot path%s; append into a caller-provided buffer or preallocate capacity", origin)
+				}
+			}
+			return
+		}
+	}
+	// Conversions: T(x).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkConversion(pass, call, tv.Type, origin)
+		return
+	}
+	// Calls into allocation-heavy stdlib packages.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && allocPackages[obj.Pkg().Path()] {
+			pass.Reportf(call.Pos(), "%s.%s allocates (and reflects) in hot path%s; format outside the hot loop", obj.Pkg().Name(), obj.Name(), origin)
+			return
+		}
+	}
+	// Interface boxing of concrete arguments.
+	checkBoxing(pass, call, origin)
+}
+
+// checkConversion flags allocating conversions: string <-> []byte/[]rune
+// and concrete -> interface.
+func checkConversion(pass *Pass, call *ast.CallExpr, target types.Type, origin string) {
+	src := pass.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if tv, ok := pass.Info.Types[call]; ok && tv.Value != nil {
+		return // constant conversion, folded at compile time
+	}
+	tu, su := target.Underlying(), src.Underlying()
+	if isString(tu) && isByteOrRuneSlice(su) {
+		pass.Reportf(call.Pos(), "[]byte->string conversion copies in hot path%s; keep the byte slice", origin)
+		return
+	}
+	if isByteOrRuneSlice(tu) && isString(su) {
+		pass.Reportf(call.Pos(), "string->slice conversion copies in hot path%s; keep the byte slice", origin)
+		return
+	}
+	if types.IsInterface(tu) && !types.IsInterface(su) && su != types.Typ[types.UntypedNil] {
+		pass.Reportf(call.Pos(), "conversion to interface boxes in hot path%s; keep the concrete type", origin)
+	}
+}
+
+// checkBoxing flags concrete values passed to interface-typed parameters.
+func checkBoxing(pass *Pass, call *ast.CallExpr, origin string) {
+	sigType := pass.Info.TypeOf(call.Fun)
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	nParams := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= nParams-1:
+			if s, ok := sig.Params().At(nParams - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < nParams:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes into interface parameter in hot path%s; keep the call monomorphic", origin)
+	}
+}
+
+// isCallerBuffer reports whether an append target is amortized rather than
+// a fresh per-call allocation: a parameter (or *param) of the enclosing hot
+// function — growth is the caller's allocation, gated at the caller — or
+// any `x[:0]` re-slice, the scratch-reuse idiom whose backing array sticks
+// after warm-up (the runtime benchmark gate holds the steady state at 0
+// allocs/op).
+func isCallerBuffer(pass *Pass, expr ast.Expr, params map[types.Object]bool) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			obj = pass.Info.Defs[e]
+		}
+		return obj != nil && params[obj]
+	case *ast.StarExpr:
+		return isCallerBuffer(pass, e.X, params)
+	case *ast.ParenExpr:
+		return isCallerBuffer(pass, e.X, params)
+	case *ast.SliceExpr:
+		return e.Low == nil && isZeroLit(e.High)
+	}
+	return false
+}
+
+// isZeroLit matches the literal 0.
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func isNonConstString(pass *Pass, n ast.Expr) bool {
+	tv, ok := pass.Info.Types[n]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	t := tv.Type
+	if t == nil {
+		return false
+	}
+	return isString(t.Underlying())
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The //mpdp:hotpath annotation marks a function as datapath-hot: the
+// hotalloc analyzer statically verifies that the function and its
+// same-package callees perform no heap allocation, and the annotation's
+// bench attribute names the runtime benchmark that CI gates at
+// 0 allocs/op, so the static contract and the runtime gate are generated
+// from the same source line and can never drift.
+//
+// Grammar (a comment directive, so no space after //):
+//
+//	//mpdp:hotpath [bench=BenchmarkName[,BenchmarkName...]]
+//
+// The directive must sit in the doc comment of a function or method
+// declaration. bench names must be Go benchmark identifiers
+// (Benchmark*). Unknown attributes are reported by hotalloc.
+const hotpathDirective = "//mpdp:hotpath"
+
+// hotpathAnnotation is one parsed //mpdp:hotpath directive.
+type hotpathAnnotation struct {
+	pos     token.Pos
+	benches []string
+	errs    []string // grammar problems, reported by hotalloc
+}
+
+// parseHotpathDirective parses the text of one directive comment.
+func parseHotpathDirective(text string, pos token.Pos) *hotpathAnnotation {
+	ann := &hotpathAnnotation{pos: pos}
+	rest := strings.TrimPrefix(text, hotpathDirective)
+	for _, field := range strings.Fields(rest) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			ann.errs = append(ann.errs, fmt.Sprintf("malformed attribute %q; want key=value", field))
+			continue
+		}
+		switch key {
+		case "bench":
+			for _, b := range strings.Split(val, ",") {
+				if !strings.HasPrefix(b, "Benchmark") || len(b) == len("Benchmark") {
+					ann.errs = append(ann.errs, fmt.Sprintf("bench %q is not a Benchmark* identifier", b))
+					continue
+				}
+				ann.benches = append(ann.benches, b)
+			}
+		default:
+			ann.errs = append(ann.errs, fmt.Sprintf("unknown attribute %q (known: bench)", key))
+		}
+	}
+	return ann
+}
+
+// hotpathFuncs returns the annotated function declarations of a package,
+// keyed by declaration, plus directives that are not attached to any
+// function declaration (a grammar error).
+func hotpathFuncs(files []*ast.File) (map[*ast.FuncDecl]*hotpathAnnotation, []*hotpathAnnotation) {
+	anns := map[*ast.FuncDecl]*hotpathAnnotation{}
+	var strays []*hotpathAnnotation
+	for _, f := range files {
+		attached := map[*ast.CommentGroup]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			attached[fd.Doc] = true
+			for _, c := range fd.Doc.List {
+				if isHotpathDirective(c.Text) {
+					anns[fd] = parseHotpathDirective(c.Text, c.Pos())
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			if attached[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if isHotpathDirective(c.Text) {
+					ann := parseHotpathDirective(c.Text, c.Pos())
+					ann.errs = append(ann.errs, "directive is not attached to a function declaration's doc comment")
+					strays = append(strays, ann)
+				}
+			}
+		}
+	}
+	return anns, strays
+}
+
+func isHotpathDirective(text string) bool {
+	return text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ")
+}
+
+// A HotpathGate is one generated runtime allocation gate: a benchmark in
+// a package that CI must run with -benchmem and hold at 0 allocs/op.
+type HotpathGate struct {
+	PkgDir string // module-relative, "./internal/transport" form
+	Bench  string
+}
+
+// CollectHotpathGates walks the given package directories (parse-only; no
+// type checking) and derives the runtime alloc-gate list from every
+// //mpdp:hotpath bench= annotation. The result is sorted and
+// de-duplicated — the single source of truth for the CI gate list.
+func CollectHotpathGates(modRoot string, dirs []string) ([]HotpathGate, error) {
+	fset := token.NewFileSet()
+	seen := map[HotpathGate]bool{}
+	var out []HotpathGate
+	for _, dir := range dirs {
+		names, err := goFileNames(dir)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(modRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: %s is outside module %s", dir, modRoot)
+		}
+		pkgDir := "./" + filepath.ToSlash(rel)
+		if rel == "." {
+			pkgDir = "."
+		}
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			anns, strays := hotpathFuncs([]*ast.File{f})
+			for _, ann := range anns {
+				for _, b := range ann.benches {
+					g := HotpathGate{PkgDir: pkgDir, Bench: b}
+					if !seen[g] {
+						seen[g] = true
+						out = append(out, g)
+					}
+				}
+			}
+			_ = strays // grammar errors are the type-checked analyzer's job
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PkgDir != out[j].PkgDir {
+			return out[i].PkgDir < out[j].PkgDir
+		}
+		return out[i].Bench < out[j].Bench
+	})
+	return out, nil
+}
+
+// FormatHotpathGates renders the gate list in its on-disk form: one
+// "pkgdir<TAB>bench" line per gate, with a generated-file header.
+func FormatHotpathGates(gates []HotpathGate) string {
+	var b strings.Builder
+	b.WriteString("# Generated by mpdp-lint -hotpath-gates from //mpdp:hotpath annotations.\n")
+	b.WriteString("# One line per runtime allocation gate: <package dir> <tab> <benchmark>.\n")
+	b.WriteString("# CI runs each benchmark with -benchmem and fails on any non-zero allocs/op.\n")
+	b.WriteString("# Regenerate with `make hotpath-gates`; do not edit by hand.\n")
+	for _, g := range gates {
+		fmt.Fprintf(&b, "%s\t%s\n", g.PkgDir, g.Bench)
+	}
+	return b.String()
+}
+
+// goFileNames lists the non-test .go files of dir in sorted order.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

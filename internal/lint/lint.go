@@ -7,13 +7,22 @@
 // no blocking under a held lock, no swallowed errors, no packet use after
 // hand-off) are checked here rather than left to code review.
 //
+// On top of the determinism contracts, the hot-path contracts gate the
+// datapath itself: functions annotated //mpdp:hotpath carry statically
+// checked zero-allocation obligations (hotalloc), the mutex acquisition
+// order is checked for cross-package cycles (lockorder), goroutines must
+// be stoppable (goroleak), and wall-clock values may not leak into
+// simulation-scoped code through fields or parameters (clocktaint).
+//
 // The driver is built only on go/ast, go/parser and go/types, consistent
 // with the module's zero-dependency go.mod. Deliberate exceptions are
 // annotated in source with
 //
 //	//lint:allow <analyzer> <reason>
 //
-// on the flagged line or the line above it.
+// on the flagged line or the line above it. An allow pragma that no
+// longer suppresses anything is itself reported (analyzer "unusedallow"),
+// so the exception list can only shrink.
 package lint
 
 import (
@@ -24,6 +33,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Finding is one reported contract violation.
@@ -51,6 +61,16 @@ type Analyzer struct {
 	Scoped func(path string) bool
 	// Run inspects the package and reports findings through the pass.
 	Run func(*Pass)
+	// NewState builds the cross-package state shared by every Run of
+	// this analyzer in one Session (nil for per-package analyzers).
+	// State mutation must be self-synchronized: packages are analyzed
+	// concurrently.
+	NewState func() any
+	// Finish runs once per Session after every package has been
+	// analyzed, for whole-program checks (e.g. cross-package lock-order
+	// cycles). Findings reported here are still subject to allow
+	// pragmas collected from the analyzed packages.
+	Finish func(state any, report func(Finding))
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -60,6 +80,9 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// State is the session-wide state built by Analyzer.NewState, nil
+	// when the analyzer declares none.
+	State any
 
 	report func(Finding)
 }
@@ -95,6 +118,11 @@ func Analyzers() []*Analyzer {
 		LockHeldAnalyzer,
 		ErrorEatAnalyzer,
 		PacketReuseAnalyzer,
+		HotAllocAnalyzer,
+		LockOrderAnalyzer,
+		GoroLeakAnalyzer,
+		ClockTaintAnalyzer,
+		UnusedAllowAnalyzer,
 	}
 }
 
@@ -106,19 +134,77 @@ type Config struct {
 	// analyzer runs on every package (used by the golden tests, whose
 	// fixture packages live under testdata/ rather than internal/).
 	IgnoreScope bool
+	// CheckPragmas arms the unused-pragma check at Session.Finish time:
+	// //lint:allow pragmas that suppressed nothing, or that carry no
+	// reason, become findings themselves. Only meaningful when the full
+	// catalog runs (a pragma is "unused" relative to the analyzers that
+	// actually ran).
+	CheckPragmas bool
+	// Session accumulates cross-package analyzer state and pragma usage.
+	// nil gives Run a private throwaway session (fixture-style single
+	// package runs); LintDirs always supplies one.
+	Session *Session
+}
+
+func (cfg Config) analyzers() []*Analyzer {
+	if cfg.Analyzers == nil {
+		return Analyzers()
+	}
+	return cfg.Analyzers
+}
+
+// Session carries the cross-package side of one lint run: analyzer states
+// (e.g. the global lock-order graph) and every allow pragma seen, with
+// usage marks. Safe for concurrent use by parallel package runs.
+type Session struct {
+	mu      sync.Mutex
+	states  map[string]any
+	pragmas map[string]*pragmaRec // "file\x00line" -> record
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session {
+	return &Session{states: map[string]any{}, pragmas: map[string]*pragmaRec{}}
+}
+
+func (s *Session) stateFor(a *Analyzer) any {
+	if a.NewState == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.states[a.Name]
+	if !ok {
+		st = a.NewState()
+		s.states[a.Name] = st
+	}
+	return st
+}
+
+// pragmaRec is one //lint:allow comment in source.
+type pragmaRec struct {
+	analyzer string
+	file     string
+	line     int
+	reason   string
+	used     bool // guarded by Session.mu
 }
 
 // Run applies the configured analyzers to pkg and returns the surviving
 // findings, sorted by file, line and analyzer. Findings suppressed by a
-// //lint:allow pragma on the same or the preceding line are dropped.
+// //lint:allow pragma on the same or the preceding line are dropped (and
+// the pragma is marked used in the session).
 func Run(cfg Config, pkg *Package) []Finding {
-	analyzers := cfg.Analyzers
-	if analyzers == nil {
-		analyzers = Analyzers()
+	session := cfg.Session
+	if session == nil {
+		session = NewSession()
 	}
-	allows := collectAllows(pkg)
+	allows := session.collectAllows(pkg)
 	var out []Finding
-	for _, a := range analyzers {
+	for _, a := range cfg.analyzers() {
+		if a.Run == nil {
+			continue
+		}
 		if !cfg.IgnoreScope && a.Scoped != nil && !a.Scoped(pkg.Path) {
 			continue
 		}
@@ -128,40 +214,111 @@ func Run(cfg Config, pkg *Package) []Finding {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			State:    session.stateFor(a),
 		}
 		pass.report = func(f Finding) {
-			if allows.allowed(a.Name, f.File, f.Line) {
+			if session.allowed(allows, a.Name, f.File, f.Line) {
 				return
 			}
 			out = append(out, f)
 		}
 		a.Run(pass)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].File != out[j].File {
-			return out[i].File < out[j].File
-		}
-		if out[i].Line != out[j].Line {
-			return out[i].Line < out[j].Line
-		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
+	SortFindings(out)
 	return out
 }
 
-// allowSet indexes //lint:allow pragmas by analyzer, file and line.
-type allowSet map[string]map[int]bool // "analyzer\x00file" -> lines
-
-func (s allowSet) allowed(analyzer, file string, line int) bool {
-	lines := s[analyzer+"\x00"+file]
-	return lines[line] || lines[line-1]
+// Finish runs every configured analyzer's whole-program phase and, when
+// cfg.CheckPragmas is set, reports unused and reason-less allow pragmas.
+// Call it once, after every package has gone through Run with this
+// session. Findings are sorted.
+func (s *Session) Finish(cfg Config) []Finding {
+	var out []Finding
+	for _, a := range cfg.analyzers() {
+		if a.Finish == nil {
+			continue
+		}
+		a := a
+		report := func(f Finding) {
+			if s.allowedGlobal(a.Name, f.File, f.Line) {
+				return
+			}
+			out = append(out, f)
+		}
+		a.Finish(s.stateFor(a), report)
+	}
+	if cfg.CheckPragmas {
+		out = append(out, s.pragmaFindings()...)
+	}
+	SortFindings(out)
+	return out
 }
 
-// collectAllows scans every comment in the package for allow pragmas.
-// The pragma form is "//lint:allow <analyzer> <reason>"; the reason is
-// mandatory so exceptions stay self-documenting.
-func collectAllows(pkg *Package) allowSet {
+// SortFindings orders findings by file, line, column, analyzer, message —
+// the canonical stable output order.
+func SortFindings(out []Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// allowSet indexes the package's pragma records by analyzer, file and line
+// for the per-run fast path.
+type allowSet map[string]map[int]*pragmaRec // "analyzer\x00file" -> line -> rec
+
+// allowed checks (and marks used) a pragma covering analyzer at file:line.
+func (s *Session) allowed(set allowSet, analyzer, file string, line int) bool {
+	recs := set[analyzer+"\x00"+file]
+	rec := recs[line]
+	if rec == nil {
+		rec = recs[line-1]
+	}
+	if rec == nil || rec.reason == "" {
+		return false // reason-less pragmas never suppress
+	}
+	s.mu.Lock()
+	rec.used = true
+	s.mu.Unlock()
+	return true
+}
+
+// allowedGlobal is the Finish-time variant: it searches every pragma the
+// session has seen, not just one package's.
+func (s *Session) allowedGlobal(analyzer, file string, line int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range []int{line, line - 1} {
+		rec := s.pragmas[fmt.Sprintf("%s\x00%d", file, l)]
+		if rec != nil && rec.analyzer == analyzer && rec.reason != "" {
+			rec.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows scans every comment in the package for allow pragmas and
+// registers them with the session. The pragma form is
+// "//lint:allow <analyzer> <reason>"; the reason is mandatory so
+// exceptions stay self-documenting (a reason-less pragma suppresses
+// nothing and is reported by the unusedallow check).
+func (s *Session) collectAllows(pkg *Package) allowSet {
 	set := allowSet{}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -170,19 +327,92 @@ func collectAllows(pkg *Package) allowSet {
 					continue
 				}
 				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					continue // reason missing: pragma is ignored
+				if len(fields) == 0 {
+					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				key := fields[0] + "\x00" + pos.Filename
-				if set[key] == nil {
-					set[key] = map[int]bool{}
+				rec := &pragmaRec{
+					analyzer: fields[0],
+					file:     pos.Filename,
+					line:     pos.Line,
+					reason:   strings.Join(fields[1:], " "),
 				}
-				set[key][pos.Line] = true
+				s.pragmas[fmt.Sprintf("%s\x00%d", rec.file, rec.line)] = rec
+				key := rec.analyzer + "\x00" + rec.file
+				if set[key] == nil {
+					set[key] = map[int]*pragmaRec{}
+				}
+				set[key][rec.line] = rec
 			}
 		}
 	}
 	return set
+}
+
+// pragmaFindings reports reason-less pragmas and pragmas that suppressed
+// nothing. An unused pragma can itself be excused with
+// "//lint:allow unusedallow <reason>" on the same or preceding line
+// (e.g. a pragma kept for a platform-conditional code path); the
+// escape-hatch marking runs first so an escape pragma that is actually
+// exercised never reports itself. Caller holds no locks.
+func (s *Session) pragmaFindings() []Finding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]*pragmaRec, 0, len(s.pragmas))
+	for _, rec := range s.pragmas {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].file != recs[j].file {
+			return recs[i].file < recs[j].file
+		}
+		return recs[i].line < recs[j].line
+	})
+	// Phase 1: resolve escape hatches for every would-be finding, so the
+	// escapes themselves count as used before phase 2 sweeps the rest.
+	excused := map[*pragmaRec]bool{}
+	for _, rec := range recs {
+		if rec.analyzer == UnusedAllowAnalyzer.Name {
+			continue
+		}
+		if rec.reason == "" || !rec.used {
+			if esc := s.escapeFor(rec); esc != nil {
+				esc.used = true
+				excused[rec] = true
+			}
+		}
+	}
+	var out []Finding
+	for _, rec := range recs {
+		if excused[rec] {
+			continue
+		}
+		switch {
+		case rec.reason == "":
+			out = append(out, Finding{
+				File: rec.file, Line: rec.line, Analyzer: UnusedAllowAnalyzer.Name,
+				Message: fmt.Sprintf("//lint:allow %s has no reason; exceptions must be self-documenting", rec.analyzer),
+			})
+		case !rec.used:
+			out = append(out, Finding{
+				File: rec.file, Line: rec.line, Analyzer: UnusedAllowAnalyzer.Name,
+				Message: fmt.Sprintf("//lint:allow %s suppresses nothing; delete the stale pragma", rec.analyzer),
+			})
+		}
+	}
+	return out
+}
+
+// escapeFor finds an unusedallow pragma (with a reason) on rec's line or
+// the line above. Caller holds s.mu.
+func (s *Session) escapeFor(rec *pragmaRec) *pragmaRec {
+	for _, l := range []int{rec.line, rec.line - 1} {
+		esc := s.pragmas[fmt.Sprintf("%s\x00%d", rec.file, l)]
+		if esc != nil && esc != rec && esc.analyzer == UnusedAllowAnalyzer.Name && esc.reason != "" {
+			return esc
+		}
+	}
+	return nil
 }
 
 // RelativizeFindings rewrites absolute file paths relative to base for

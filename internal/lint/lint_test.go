@@ -14,7 +14,11 @@ var update = flag.Bool("update", false, "rewrite the golden files from current a
 
 // loadFixture type-checks one testdata package and runs a single analyzer
 // over it with scoping disabled (fixture packages live under testdata/,
-// outside every analyzer's natural scope).
+// outside every analyzer's natural scope). The session's Finish phase runs
+// too, so whole-program findings (lock-order cycles, pragma hygiene)
+// appear in the goldens. The pragma check has no Run of its own: its
+// fixture is exercised by pairing it with the determinism analyzer so the
+// package can contain used, stale, reason-less and excused pragmas.
 func loadFixture(t *testing.T, a *Analyzer) []Finding {
 	t.Helper()
 	loader, err := NewLoader(".")
@@ -26,7 +30,15 @@ func loadFixture(t *testing.T, a *Analyzer) []Finding {
 	if err != nil {
 		t.Fatalf("Load(%s): %v", dir, err)
 	}
-	findings := Run(Config{Analyzers: []*Analyzer{a}, IgnoreScope: true}, pkg)
+	session := NewSession()
+	cfg := Config{Analyzers: []*Analyzer{a}, IgnoreScope: true, Session: session}
+	if a == UnusedAllowAnalyzer {
+		cfg.Analyzers = []*Analyzer{DeterminismAnalyzer, a}
+		cfg.CheckPragmas = true
+	}
+	findings := Run(cfg, pkg)
+	findings = append(findings, session.Finish(cfg)...)
+	SortFindings(findings)
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		t.Fatalf("Abs: %v", err)
@@ -107,13 +119,18 @@ func TestPragmaRequiresReason(t *testing.T) {
 // documentation rely on.
 func TestAnalyzerCatalog(t *testing.T) {
 	as := Analyzers()
-	if len(as) < 6 {
-		t.Fatalf("catalog has %d analyzers, want >= 6", len(as))
+	if len(as) < 11 {
+		t.Fatalf("catalog has %d analyzers, want >= 11", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Errorf("analyzer %+v incomplete", a)
+		}
+		// Every analyzer needs a per-package Run except the pragma check,
+		// which lives entirely in Session.Finish.
+		if a.Run == nil && a != UnusedAllowAnalyzer {
+			t.Errorf("analyzer %s has no Run", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)

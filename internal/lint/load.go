@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Loader resolves import paths and type-checks packages using only the
@@ -23,14 +24,28 @@ import (
 //
 // The zero-dependency go.mod is what makes this feasible: every import is
 // either stdlib or module-local, so no module graph resolution is needed.
+// Loaders are safe for concurrent Load calls: the dependency cache is a
+// per-path singleflight (the first goroutine to need a dependency checks
+// it, later ones wait for the cached result), and the shared stdlib source
+// importer is serialized behind its own mutex. token.FileSet is already
+// concurrency-safe.
 type Loader struct {
 	Fset    *token.FileSet
 	ModRoot string // directory containing go.mod
 	ModPath string // module path, e.g. "mpdp"
 
 	ctxt build.Context
-	deps map[string]*types.Package // dependency cache, by import path
-	gc   types.Importer            // fallback source importer for stdlib
+	mu   sync.Mutex           // guards deps
+	deps map[string]*depEntry // dependency singleflight cache, by import path
+	gcMu sync.Mutex           // serializes the shared stdlib source importer
+	gc   types.Importer       // fallback source importer for stdlib
+}
+
+// depEntry is one dependency's singleflight slot.
+type depEntry struct {
+	once sync.Once
+	pkg  *types.Package
+	err  error
 }
 
 // NewLoader locates the enclosing module starting from dir.
@@ -75,7 +90,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModRoot: root,
 		ModPath: modPath,
 		ctxt:    ctxt,
-		deps:    map[string]*types.Package{},
+		deps:    map[string]*depEntry{},
 		gc:      importer.ForCompiler(fset, "source", nil),
 	}, nil
 }
@@ -114,16 +129,18 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	if pkg, ok := l.deps[path]; ok {
-		return pkg, nil
+	l.mu.Lock()
+	entry, ok := l.deps[path]
+	if !ok {
+		entry = &depEntry{}
+		l.deps[path] = entry
 	}
-	var (
-		pkg *types.Package
-		err error
-	)
-	if dir := l.dirFor(path); dir != "" {
-		pkg, _, _, err = l.check(path, dir, false)
-	} else {
+	l.mu.Unlock()
+	entry.once.Do(func() {
+		if dir := l.dirFor(path); dir != "" {
+			entry.pkg, _, _, entry.err = l.check(path, dir, false)
+			return
+		}
 		// Standard library: resolve through a single shared source
 		// importer. Type identity in go/types is by *types.Package, so
 		// every stdlib package must come from one importer — mixing our
@@ -131,14 +148,13 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		// two distinct "time" packages and spurious mismatches like
 		// "cannot use 10 * time.Second as time.Duration" whenever a
 		// checked package assigns across the two universes (e.g. setting
-		// http.Client.Timeout).
-		pkg, err = l.gc.Import(path)
-	}
-	if err != nil {
-		return nil, err
-	}
-	l.deps[path] = pkg
-	return pkg, nil
+		// http.Client.Timeout). The importer is not documented as
+		// concurrency-safe, so calls are serialized.
+		l.gcMu.Lock()
+		defer l.gcMu.Unlock()
+		entry.pkg, entry.err = l.gc.Import(path)
+	})
+	return entry.pkg, entry.err
 }
 
 // Load fully type-checks the package in dir (non-test files only) and

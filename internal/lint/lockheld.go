@@ -26,15 +26,37 @@ var LockHeldAnalyzer = &Analyzer{
 }
 
 func runLockHeld(pass *Pass) {
+	walkLockRegions(pass, lockRegionHooks{
+		onStmt: func(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+			reportBlockingOps(pass, stmt, held)
+		},
+	})
+}
+
+// lockRegionHooks are the callbacks of the shared held-lock walker, used
+// by both lockheld (blocking ops under a lock) and lockorder (acquisition
+// order edges, syscalls under a lock).
+type lockRegionHooks struct {
+	// onStmt fires for every statement executed with at least one lock
+	// held (shallow: nested blocks get their own calls).
+	onStmt func(pass *Pass, stmt ast.Stmt, held map[string]bool)
+	// onLock fires for every Lock/RLock call, with the set of locks
+	// already held at that point (excluding the one being taken).
+	onLock func(pass *Pass, call *ast.CallExpr, recv string, held map[string]bool)
+}
+
+// walkLockRegions applies the straight-line held-lock scan to every
+// function in the package.
+func walkLockRegions(pass *Pass, hooks lockRegionHooks) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					scanLockRegion(pass, n.Body.List, map[string]bool{})
+					scanLockRegion(pass, n.Body.List, map[string]bool{}, hooks)
 				}
 			case *ast.FuncLit:
-				scanLockRegion(pass, n.Body.List, map[string]bool{})
+				scanLockRegion(pass, n.Body.List, map[string]bool{}, hooks)
 			}
 			return true
 		})
@@ -62,13 +84,16 @@ func syncMethod(pass *Pass, call *ast.CallExpr) (name, recv string) {
 // held set. Function literals are skipped: their bodies run on their own
 // goroutine or at defer time, not under the current lock scope (deferred
 // unlock literals are handled explicitly).
-func scanLockRegion(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+func scanLockRegion(pass *Pass, stmts []ast.Stmt, held map[string]bool, hooks lockRegionHooks) {
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
 			if call, ok := s.X.(*ast.CallExpr); ok {
 				switch name, recv := syncMethod(pass, call); name {
 				case "Lock", "RLock":
+					if hooks.onLock != nil {
+						hooks.onLock(pass, call, recv, held)
+					}
 					held[recv] = true
 					continue
 				case "Unlock", "RUnlock":
@@ -83,13 +108,13 @@ func scanLockRegion(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
 			// deferred call itself.
 			continue
 		}
-		if len(held) > 0 {
-			reportBlockingOps(pass, stmt, held)
+		if len(held) > 0 && hooks.onStmt != nil {
+			hooks.onStmt(pass, stmt, held)
 		}
 		// Recurse into nested statement lists with an independent copy,
 		// so a lock taken inside a branch does not leak out.
 		for _, list := range nestedStmtLists(stmt) {
-			scanLockRegion(pass, list, copyHeld(held))
+			scanLockRegion(pass, list, copyHeld(held), hooks)
 		}
 	}
 }

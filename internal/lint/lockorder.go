@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LockOrderAnalyzer builds a global mutex acquisition-order graph across
+// every analyzed package and reports cycles at Finish time: if one code
+// path locks A then B and another locks B then A, the two can deadlock —
+// or, short of that, convoy — under exactly the contention the sharded
+// flow tables of ROADMAP item 2 will create. Mutexes are identified by
+// class (package.Type.field for struct-embedded locks, package.var for
+// globals); function-local mutexes cannot participate in cross-function
+// cycles and are ignored.
+//
+// The per-package pass additionally reports two local hazards: methods
+// whose value receiver copies a lock-bearing struct (the copy and the
+// original guard nothing together), and syscall-bound calls (net, os,
+// syscall) made while a lock is held — a convoy generator with an
+// unbounded hold time.
+var LockOrderAnalyzer = &Analyzer{
+	Name:     "lockorder",
+	Doc:      "report cross-package mutex acquisition-order cycles, lock-copying value receivers, and syscalls under a held lock",
+	Scoped:   nil,
+	Run:      runLockOrder,
+	NewState: func() any { return newLockOrderState() },
+	Finish:   finishLockOrder,
+}
+
+// lockEdge is one observed acquisition order: from is held while to is
+// taken.
+type lockEdge struct{ from, to string }
+
+// lockOrderState is the session-global acquisition graph. Packages are
+// analyzed concurrently, so every mutation locks mu (the irony is noted).
+type lockOrderState struct {
+	mu    sync.Mutex
+	edges map[lockEdge]token.Position // first (lexically smallest) site
+}
+
+func newLockOrderState() *lockOrderState {
+	return &lockOrderState{edges: map[lockEdge]token.Position{}}
+}
+
+func (s *lockOrderState) record(e lockEdge, pos token.Position) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.edges[e]
+	if !ok || pos.Filename < old.Filename || (pos.Filename == old.Filename && pos.Line < old.Line) {
+		s.edges[e] = pos
+	}
+}
+
+// syscallPackages are the stdlib packages whose calls can block on the
+// kernel for an unbounded time.
+var syscallPackages = map[string]bool{"net": true, "os": true, "syscall": true}
+
+func runLockOrder(pass *Pass) {
+	state, _ := pass.State.(*lockOrderState)
+	reportLockCopies(pass)
+	// exprClass remembers, within this package, which acquisition class
+	// each held-set key (printed receiver expression) resolved to; the
+	// walker visits Lock sites in source order, so a held expression has
+	// always been classified before an edge that uses it.
+	exprClass := map[string]string{}
+	walkLockRegions(pass, lockRegionHooks{
+		onLock: func(pass *Pass, call *ast.CallExpr, recv string, held map[string]bool) {
+			class := lockClass(pass, call)
+			if class != "" {
+				exprClass[recv] = class
+			}
+			if state == nil || class == "" || len(held) == 0 {
+				return
+			}
+			for _, h := range heldKeys(held) {
+				from := exprClass[h]
+				if from == "" || from == class {
+					continue
+				}
+				state.record(lockEdge{from: from, to: class}, pass.Fset.Position(call.Pos()))
+			}
+		},
+		onStmt: func(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+			reportSyscallsUnderLock(pass, stmt, held)
+		},
+	})
+}
+
+func heldKeys(held map[string]bool) []string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// lockClass derives the cross-package identity of the mutex a
+// Lock/RLock call acquires: "pkg.Type.field" for a lock stored in a
+// struct field, "pkg.var" for a package-level lock, "" for locals.
+func lockClass(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		// s.mu.Lock(): classify by the owning named type of the field.
+		fieldObj := pass.Info.Uses[x.Sel]
+		if fieldObj == nil || fieldObj.Pkg() == nil {
+			return ""
+		}
+		owner := namedOf(pass.Info.TypeOf(x.X))
+		if owner == nil {
+			return ""
+		}
+		return fieldObj.Pkg().Name() + "." + owner.Obj().Name() + "." + x.Sel.Name
+	case *ast.Ident:
+		// mu.Lock(): package-level mutex var, or an embedded lock via a
+		// value receiver. Locals are anonymous to the graph.
+		obj := pass.Info.Uses[x]
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// namedOf unwraps pointers to the named type underneath, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// reportSyscallsUnderLock flags calls into kernel-bound stdlib packages
+// made while a lock is held.
+func reportSyscallsUnderLock(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	locks := strings.Join(heldKeys(held), ", ")
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt:
+			return false // covered by the recursive scan / escapes the lock scope
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || !syscallPackages[obj.Pkg().Path()] {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s.%s (a syscall-bound call) while %s is held; the kernel sets the hold time", obj.Pkg().Name(), obj.Name(), locks)
+		}
+		return true
+	})
+}
+
+// reportLockCopies flags methods whose value receiver contains a mutex:
+// every call copies the lock, so the copy guards nothing.
+func reportLockCopies(pass *Pass) {
+	for _, fd := range funcDeclsInOrder(pass.Files) {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		rt := fd.Recv.List[0].Type
+		if _, isPtr := rt.(*ast.StarExpr); isPtr {
+			continue
+		}
+		t := pass.Info.TypeOf(rt)
+		if t == nil {
+			continue
+		}
+		if path := mutexFieldPath(t, 0); path != "" {
+			pass.Reportf(fd.Recv.List[0].Pos(), "value receiver of %s copies lock %s on every call; use a pointer receiver", rootName(fd), path)
+		}
+	}
+}
+
+// mutexFieldPath reports a path to a sync.Mutex/RWMutex held by value
+// inside t, or "".
+func mutexFieldPath(t types.Type, depth int) string {
+	if depth > 4 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+				return obj.Name()
+			}
+		}
+		t = named.Underlying()
+	}
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if sub := mutexFieldPath(f.Type(), depth+1); sub != "" {
+			return f.Name() + "." + sub
+		}
+	}
+	return ""
+}
+
+// finishLockOrder detects cycles in the accumulated acquisition graph.
+// Every edge whose head can reach its tail participates in a cycle and is
+// reported at its recorded acquisition site, with one shortest witness
+// path spelled out.
+func finishLockOrder(state any, report func(Finding)) {
+	s, ok := state.(*lockOrderState)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	edges := make([]lockEdge, 0, len(s.edges))
+	positions := make(map[lockEdge]token.Position, len(s.edges))
+	for e, p := range s.edges {
+		edges = append(edges, e)
+		positions[e] = p
+	}
+	s.mu.Unlock()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	// Build adjacency from the sorted edge list so neighbor order (and
+	// therefore witness paths) is deterministic.
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, e := range edges {
+		path := shortestPath(adj, e.to, e.from)
+		if path == nil {
+			continue
+		}
+		pos := positions[e]
+		// path runs e.to -> ... -> e.from, so prefixing e.from spells the
+		// full cycle from -> to -> ... -> from.
+		cycle := append([]string{e.from}, path...)
+		report(Finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: "lockorder",
+			Message: fmt.Sprintf("lock order cycle: %s is acquired while %s is held, but elsewhere the order inverts (%s)",
+				e.to, e.from, strings.Join(cycle, " -> ")),
+		})
+	}
+}
+
+// shortestPath returns the node sequence from src to dst (inclusive of
+// both) over adj, or nil. Neighbor lists are pre-sorted, so the result is
+// deterministic.
+func shortestPath(adj map[string][]string, src, dst string) []string {
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == dst {
+			var path []string
+			for at := dst; ; at = prev[at] {
+				path = append([]string{at}, path...)
+				if at == src {
+					return path
+				}
+			}
+		}
+		for _, m := range adj[n] {
+			if _, seen := prev[m]; !seen {
+				prev[m] = n
+				queue = append(queue, m)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Package clocktaint exercises the wall-clock taint analyzer: a
+// time.Now/Since value reaching sim-scope types, functions or fields —
+// directly or smuggled through locals, struct fields and same-package
+// calls — must be flagged; declared funnels and sim-clock values must not.
+package clocktaint
+
+import (
+	"time"
+
+	"mpdp/internal/packet"
+	"mpdp/internal/sim"
+)
+
+type bridge struct {
+	start time.Time
+	last  int64
+}
+
+// badDirect converts a wall-clock read straight into virtual time.
+func badDirect() sim.Time {
+	return sim.Time(time.Now().UnixNano())
+}
+
+// badThroughField smuggles the value through a local and a struct field.
+func badThroughField(b *bridge) sim.Time {
+	ns := time.Since(b.start).Nanoseconds()
+	b.last = ns
+	return sim.Time(b.last)
+}
+
+// badThroughParam hands the tainted value to a helper; the helper's
+// parameter carries the taint into its own conversion.
+func badThroughParam() sim.Time {
+	return stamp(time.Now().UnixNano())
+}
+
+func stamp(ns int64) sim.Time {
+	return sim.Time(ns)
+}
+
+// badFieldStore writes a wall-clock value into a sim-scope struct field.
+func badFieldStore(p *packet.Packet) {
+	p.Ingress = sim.Time(time.Now().UnixNano())
+}
+
+// goodSimClock derives virtual time from the simulator: no taint.
+func goodSimClock(s *sim.Simulator) sim.Time {
+	return s.Now() + sim.Millisecond
+}
+
+// goodBlessed is a declared funnel: the determinism pragma blesses this
+// read, so it does not seed taint.
+func goodBlessed() sim.Time {
+	//lint:allow determinism declared funnel: the fixture's one blessed wall-clock read
+	return sim.Time(time.Now().UnixNano())
+}
+
+// allowed suppresses the sink finding itself.
+func allowed() sim.Time {
+	//lint:allow clocktaint fixture exercises sink suppression
+	return sim.Time(time.Now().UnixNano())
+}

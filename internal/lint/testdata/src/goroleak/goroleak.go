@@ -1,0 +1,79 @@
+// Package goroleak exercises the goroutine-leak analyzer: unstoppable
+// for-loops spawned with go must be flagged (literal or named), as must
+// bare blocking sends in //mpdp:hotpath functions; stoppable loops and
+// select-guarded sends must not.
+package goroleak
+
+func work() {}
+
+// badSpin spawns a literal goroutine with no way out.
+func badSpin() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// spinner is an unstoppable loop body used by named spawns below.
+func spinner() {
+	for {
+		work()
+	}
+}
+
+// badNamed spawns a same-package function that never stops.
+func badNamed() {
+	go spinner()
+}
+
+// goodStoppable selects on a done channel inside the loop.
+func goodStoppable(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// goodRange ranges over a channel: closing it ends the goroutine.
+func goodRange(in chan int) {
+	go func() {
+		for range in {
+			work()
+		}
+	}()
+}
+
+// badHotSend performs a bare blocking send on a hot path.
+//
+//mpdp:hotpath
+func badHotSend(ch chan int, v int) {
+	ch <- v
+}
+
+// goodHotSelect bounds the stall with a drop arm.
+//
+//mpdp:hotpath
+func goodHotSelect(ch chan int, v int) {
+	select {
+	case ch <- v:
+	default:
+	}
+}
+
+// goodColdSend is not hot: blocking sends are fine off the datapath.
+func goodColdSend(ch chan int, v int) {
+	ch <- v
+}
+
+// allowed documents a deliberate exception.
+func allowed() {
+	//lint:allow goroleak lifetime equals process lifetime by design
+	go spinner()
+}

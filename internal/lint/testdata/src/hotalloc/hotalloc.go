@@ -1,0 +1,90 @@
+// Package hotalloc exercises the zero-allocation analyzer: allocation
+// shapes inside //mpdp:hotpath functions (and their in-package callees)
+// must be flagged; caller-buffer appends, scratch reuse and unannotated
+// functions must not.
+package hotalloc
+
+import "fmt"
+
+type enc struct{ scratch []byte }
+
+type boxer interface{ take(v any) }
+
+// badMake allocates directly in an annotated function.
+//
+//mpdp:hotpath
+func badMake(n int) []byte {
+	return make([]byte, n)
+}
+
+// badShapes seeds one of each remaining allocation shape.
+//
+//mpdp:hotpath
+func badShapes(s string) string {
+	e := &enc{}
+	xs := []int{1, 2, 3}
+	go spin()
+	b := []byte(s)
+	_, _, _ = e, xs, b
+	return s + "!"
+}
+
+func spin() {}
+
+// hotRoot is annotated; helper is reached through the in-package call
+// graph and must be checked with the root attributed.
+//
+//mpdp:hotpath bench=BenchmarkHotRoot
+func hotRoot(n int) int { return helper(n) }
+
+func helper(n int) int {
+	m := make([]int, n)
+	return len(m)
+}
+
+// badFmt calls into an allocation-heavy stdlib package.
+//
+//mpdp:hotpath
+func badFmt(n int) {
+	fmt.Println(n)
+}
+
+// badBox passes a concrete value to an interface parameter.
+//
+//mpdp:hotpath
+func badBox(b boxer, n int) {
+	b.take(n)
+}
+
+// goodAppend appends into caller-owned storage and reused scratch: both
+// amortized, neither flagged.
+//
+//mpdp:hotpath
+func goodAppend(dst []byte, e *enc, b byte) []byte {
+	e.scratch = append(e.scratch[:0], b)
+	return append(dst, b)
+}
+
+// goodCold is not annotated and not reachable from an annotated root;
+// its allocations are nobody's business.
+func goodCold(n int) []byte {
+	return make([]byte, n)
+}
+
+// allowed documents a deliberate exception.
+//
+//mpdp:hotpath
+func allowed(n int) []byte {
+	//lint:allow hotalloc deliberate: exercises pragma suppression in the fixture
+	return make([]byte, n)
+}
+
+// badAttr has a malformed directive.
+//
+//mpdp:hotpath bench=notABenchmark speed
+func badAttr() {}
+
+// The stray directive below is attached to a var, not a function.
+//
+//mpdp:hotpath
+var stray int

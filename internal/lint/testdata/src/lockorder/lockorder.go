@@ -1,0 +1,85 @@
+// Package lockorder exercises the acquisition-order analyzer: inverted
+// lock orders across functions must be reported as a cycle at finish
+// time, lock-copying value receivers and syscalls under a held lock must
+// be flagged locally, and consistent orders must not.
+package lockorder
+
+import (
+	"os"
+	"sync"
+)
+
+type a struct {
+	mu sync.Mutex
+	n  int
+}
+
+type b struct {
+	mu sync.Mutex
+	n  int
+}
+
+type pair struct {
+	x a
+	y b
+}
+
+// lockAB establishes the order a.mu -> b.mu.
+func lockAB(p *pair) {
+	p.x.mu.Lock()
+	p.y.mu.Lock()
+	p.y.n = p.x.n
+	p.y.mu.Unlock()
+	p.x.mu.Unlock()
+}
+
+// lockBA inverts it: b.mu -> a.mu. Together with lockAB this is a
+// deadlock-capable cycle, reported at finish time.
+func lockBA(p *pair) {
+	p.y.mu.Lock()
+	p.x.mu.Lock()
+	p.x.n = p.y.n
+	p.x.mu.Unlock()
+	p.y.mu.Unlock()
+}
+
+// goodNested always takes the locks in the a-then-b order.
+func goodNested(p *pair) {
+	p.x.mu.Lock()
+	p.y.mu.Lock()
+	p.y.mu.Unlock()
+	p.x.mu.Unlock()
+}
+
+// counter's value receiver copies its mutex on every call.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) get() int {
+	return c.n
+}
+
+// badSyscall calls into the os package while holding a lock.
+func badSyscall(p *pair) string {
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+	return os.Getenv("HOME")
+}
+
+// goodHoisted resolves the environment before taking the lock.
+func goodHoisted(p *pair) string {
+	home := os.Getenv("HOME")
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+	return home
+}
+
+// allowed documents a deliberate exception.
+func allowed(p *pair) string {
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+	//lint:allow lockorder startup-only path, runs before any contention exists
+	return os.Getenv("HOME")
+}

@@ -1,0 +1,33 @@
+// Package unusedallow exercises the pragma-hygiene check: a pragma that
+// suppresses a real finding is fine; a stale pragma (suppresses nothing)
+// and a reason-less pragma are reported; a stale pragma carrying its own
+// unusedallow escape hatch is excused.
+package unusedallow
+
+import "time"
+
+// goodUsed carries a pragma that suppresses a real determinism finding,
+// so the pragma counts as used and is not reported.
+func goodUsed() int64 {
+	//lint:allow determinism fixture: suppressed here and therefore used
+	return time.Now().UnixNano()
+}
+
+// The pragma below suppresses nothing: reported as stale.
+//
+//lint:allow determinism nothing on this line violates anything
+var stale int
+
+// badReasonless has a pragma with no reason: it suppresses nothing (the
+// determinism finding still fires) and is itself reported.
+func badReasonless() int64 {
+	//lint:allow determinism
+	return time.Now().UnixNano()
+}
+
+// The stale pragma below is excused by its unusedallow escape hatch:
+// neither line is reported.
+//
+//lint:allow unusedallow kept to exercise the escape hatch in this fixture
+//lint:allow determinism platform-conditional; suppresses nothing on this build
+var excused int

@@ -23,7 +23,7 @@ func TestTreeIsClean(t *testing.T) {
 	if len(dirs) < 15 {
 		t.Fatalf("only %d package dirs found under %s; expansion is broken", len(dirs), loader.ModRoot)
 	}
-	findings, err := LintDirs(loader, Config{}, dirs)
+	findings, err := LintDirs(loader, Config{CheckPragmas: true}, dirs)
 	if err != nil {
 		t.Fatalf("LintDirs: %v", err)
 	}
@@ -34,6 +34,43 @@ func TestTreeIsClean(t *testing.T) {
 			b.WriteString(f.String())
 		}
 		t.Errorf("tree has %d lint finding(s):%s", len(findings), b.String())
+	}
+}
+
+// TestParallelOutputDeterministic runs the parallel driver twice over the
+// fixture corpus — a finding-rich input exercising every analyzer,
+// including the Finish phase and the pragma check — and requires
+// byte-identical output. Parallel package analysis must never let worker
+// scheduling order leak into the report.
+func TestParallelOutputDeterministic(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil || len(fixtures) < 5 {
+		t.Fatalf("fixture corpus missing (%d dirs, err %v)", len(fixtures), err)
+	}
+	render := func() string {
+		loader, err := NewLoader(".")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		findings, err := LintDirs(loader, Config{IgnoreScope: true, CheckPragmas: true}, fixtures)
+		if err != nil {
+			t.Fatalf("LintDirs: %v", err)
+		}
+		var b strings.Builder
+		for _, f := range findings {
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("fixture corpus produced no findings; the determinism check is vacuous")
+	}
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d differs from first run\n--- first ---\n%s--- got ---\n%s", i+2, first, got)
+		}
 	}
 }
 

@@ -1,0 +1,20 @@
+package lint
+
+// UnusedAllowAnalyzer is the pragma hygiene check. Unlike the other
+// analyzers it has no per-package Run: the Session records every
+// //lint:allow pragma and which of them actually suppressed a finding,
+// and Session.Finish (with Config.CheckPragmas set) reports the rest —
+// pragmas with no reason, and pragmas that no longer suppress anything.
+// Without this check the exception list only ever grows: a refactor that
+// removes the offending line leaves the pragma behind, silently
+// pre-approving the next violation someone writes there.
+//
+// A pragma that must outlive what it suppresses (say, one exercised only
+// on another platform) can be excused with its own escape hatch on the
+// preceding line:
+//
+//	//lint:allow unusedallow <reason>
+var UnusedAllowAnalyzer = &Analyzer{
+	Name: "unusedallow",
+	Doc:  "report //lint:allow pragmas that suppress nothing or carry no reason (whole-run check; see Config.CheckPragmas)",
+}

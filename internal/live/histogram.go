@@ -109,6 +109,8 @@ func hBucketUpper(i int) int64 {
 // is allocation-free: a thread-local random shard pick, one bucket
 // computation, and three uncontended atomic adds (min/max updates CAS only
 // while the observation extends the range — never in steady state).
+//
+//mpdp:hotpath bench=BenchmarkHistogramRecord
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0

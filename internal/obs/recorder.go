@@ -29,7 +29,10 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{buf: make([]Event, capacity)}
 }
 
-// Emit implements Sink.
+// Emit implements Sink. The ring write is allocation-free: one struct
+// copy into the preallocated buffer.
+//
+//mpdp:hotpath bench=BenchmarkRecorderEmit
 func (r *Recorder) Emit(ev Event) {
 	r.buf[r.next] = ev
 	r.next = (r.next + 1) % len(r.buf)

@@ -77,3 +77,15 @@ func TestRecorderDefaultCap(t *testing.T) {
 		t.Fatalf("default capacity = %d, want %d", got, DefaultRecorderCap)
 	}
 }
+
+func BenchmarkRecorderEmit(b *testing.B) {
+	r := NewRecorder(1 << 12)
+	ev := Event{Kind: KindIngress, PktID: 1, OrigID: 1, FlowID: 7, Path: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Time = sim.Time(i)
+		ev.Seq = uint64(i)
+		r.Emit(ev)
+	}
+}

@@ -140,6 +140,8 @@ func (pr *Parsed) Payload(frame []byte) []byte {
 
 // ParseFrame decodes Ethernet/IPv4/L4 and returns the layered view.
 // Non-IPv4 frames return with IsIP=false and no error.
+//
+//mpdp:hotpath bench=BenchmarkParseFrame
 func ParseFrame(frame []byte) (Parsed, error) {
 	var pr Parsed
 	eth, err := DecodeEthernet(frame)

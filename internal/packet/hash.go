@@ -18,6 +18,8 @@ const (
 )
 
 // Hash64 returns a 64-bit FNV-1a hash of the five-tuple.
+//
+//mpdp:hotpath bench=BenchmarkHash64
 func (k FlowKey) Hash64() uint64 {
 	var b [13]byte
 	binary.BigEndian.PutUint32(b[0:4], k.SrcIP)
@@ -57,6 +59,8 @@ var DefaultRSSKey = [40]byte{
 // ToeplitzHash computes the RSS Toeplitz hash of the five-tuple input
 // (src IP, dst IP, src port, dst port) under key, exactly as a multi-queue
 // NIC does for TCP/UDP over IPv4.
+//
+//mpdp:hotpath bench=BenchmarkToeplitz
 func ToeplitzHash(key [40]byte, k FlowKey) uint32 {
 	var input [12]byte
 	binary.BigEndian.PutUint32(input[0:4], k.SrcIP)

@@ -346,3 +346,23 @@ func BenchmarkHeap10k(b *testing.B) {
 		s.Run()
 	}
 }
+
+// BenchmarkSimStep measures the dispatch loop alone: every event is
+// scheduled before the timer starts, so the //mpdp:hotpath alloc gate
+// covers Step and not At's per-event allocation.
+func BenchmarkSimStep(b *testing.B) {
+	s := New()
+	fired := 0
+	fn := func() { fired++ }
+	for i := 0; i < b.N; i++ {
+		s.At(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d of %d events", fired, b.N)
+	}
+}

@@ -29,6 +29,7 @@ type dedupWindow struct {
 }
 
 func newDedupWindow(window uint64) *dedupWindow {
+	//lint:allow hotalloc one bitmap per flow at first sight, amortized over the flow's packets
 	return &dedupWindow{bits: make([]uint64, window/64), window: window}
 }
 
@@ -98,6 +99,8 @@ func newDedup(window uint64) *dedup {
 }
 
 // Admit claims (flow, seq) for the first copy; duplicates are counted.
+//
+//mpdp:hotpath bench=BenchmarkDedupAdmit
 func (d *dedup) Admit(flow, seq uint64) bool {
 	w, ok := d.flows[flow]
 	if !ok {

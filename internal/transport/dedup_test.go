@@ -123,3 +123,16 @@ func TestVerifierCleanRunPasses(t *testing.T) {
 		t.Fatalf("counts = %d/%d, want 300/150", sent, delivered)
 	}
 }
+
+// BenchmarkDedupAdmit drives one flow with strictly increasing sequence
+// numbers: the steady-state slide of an established window, which must not
+// allocate (the per-flow bitmap is paid once at flow birth).
+func BenchmarkDedupAdmit(b *testing.B) {
+	d := newDedup(0)
+	d.Admit(7, 0) // flow birth: window bitmap allocates here
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Admit(7, uint64(i)+1)
+	}
+}

@@ -122,6 +122,8 @@ func putHeader(dst []byte, h *Header, payloadLen int) {
 // slice. With a pre-sized buf (cap >= len(buf)+HeaderLen+len(payload)) it
 // performs zero allocations — the sender's per-path scratch buffers keep
 // the hot path alloc-free (CI-gated by BenchmarkFrameEncode).
+//
+//mpdp:hotpath bench=BenchmarkFrameEncode
 func AppendFrame(buf []byte, h *Header, payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayload {
 		return buf, ErrTooLarge
@@ -129,6 +131,7 @@ func AppendFrame(buf []byte, h *Header, payload []byte) ([]byte, error) {
 	off := len(buf)
 	n := HeaderLen + len(payload)
 	if cap(buf)-off < n {
+		//lint:allow hotalloc cold grow path: runs only when the caller undersized buf; pre-sized buffers never reach it
 		grown := make([]byte, off, off+n)
 		copy(grown, buf)
 		buf = grown
@@ -143,6 +146,8 @@ func AppendFrame(buf []byte, h *Header, payload []byte) ([]byte, error) {
 // b (zero copy); callers that reuse the read buffer must copy it before
 // the next read. Every failure mode returns a typed error — the decoder
 // never panics on arbitrary input (fuzz-enforced).
+//
+//mpdp:hotpath bench=BenchmarkFrameDecode
 func DecodeFrame(b []byte) (Header, []byte, error) {
 	var h Header
 	if len(b) < HeaderLen {

@@ -341,10 +341,14 @@ func (r *Receiver) Stats() ReceiverStats {
 		Reorder:   ds.Reorder,
 	}
 	for _, p := range r.paths {
+		// Resolve the socket address before taking p.mu: LocalAddr goes
+		// through the net package (kernel-bound) and must not extend the
+		// reader goroutines' lock hold time. p.conn is set once at bind.
+		addr := p.conn.LocalAddr().String()
 		p.mu.Lock()
 		st.Paths = append(st.Paths, RecvPathStats{
 			Path:      int(p.id),
-			Addr:      p.conn.LocalAddr().String(),
+			Addr:      addr,
 			Frames:    p.frames,
 			Received:  p.recv,
 			HighSeq:   p.high,

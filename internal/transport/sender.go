@@ -448,6 +448,13 @@ type SenderStats struct {
 
 // Stats snapshots the sender's accounting.
 func (s *Sender) Stats() SenderStats {
+	// Resolve the path addresses before taking s.mu: RemoteAddr goes
+	// through the net package (kernel-bound) and must not extend the send
+	// path's lock hold time. s.paths is fixed after dialing.
+	remotes := make([]string, len(s.paths))
+	for i, p := range s.paths {
+		remotes[i] = p.conn.RemoteAddr().String()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := SenderStats{Packets: s.packets, Frames: s.frames, Canaries: s.canaries, DupBytes: s.dupBytes}
@@ -459,10 +466,10 @@ func (s *Sender) Stats() SenderStats {
 		}
 		st.Deadline = &d
 	}
-	for _, p := range s.paths {
+	for i, p := range s.paths {
 		st.Paths = append(st.Paths, PathStats{
 			Path:        int(p.id),
-			Remote:      p.conn.RemoteAddr().String(),
+			Remote:      remotes[i],
 			Sent:        p.sent,
 			Acked:       p.acked,
 			Lost:        p.lost,
