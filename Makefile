@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race verify cover bench bench-snapshots bench-diff suite suite-quick check lint hotpath-gates examples clean loopback fuzz-frame
+.PHONY: all build test test-short race verify cover bench bench-snapshots bench-diff suite suite-quick check lint hotpath-gates examples clean loopback fuzz-frame fuzz-wire wire-trace
 
 all: build test
 
@@ -59,6 +59,18 @@ loopback:
 fuzz-frame:
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 30s ./internal/transport/
 
+# Fuzz the MPDPWIR1 wire-event codec (decoder never panics; accepted
+# streams round-trip byte-identically and merge cleanly).
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz FuzzWireReader -fuzztime 30s ./internal/obs/
+
+# Hermetic loopback run with wire flight recorders on both endpoints:
+# writes run.wir (mpdp-inspect -wire) and wire-trace.json (Chrome tracing)
+# and prints the cross-endpoint tail attribution.
+wire-trace:
+	$(GO) run ./cmd/mpdp-gateway -loopback -packets 20000 -sched hedge -paths 2 \
+		-wire-trace run.wir -wire-chrome wire-trace.json -wire-sample 8
+
 # One local command matching the CI gate: vet (all standard analyzers),
 # gofmt, and the project's own contract linter (see internal/lint and
 # DESIGN.md "Static contracts"). -werror fails on any non-allowed finding.
@@ -83,4 +95,4 @@ examples:
 	$(GO) run ./examples/tenantgateway
 
 clean:
-	rm -f results.csv suite_output.txt
+	rm -f results.csv suite_output.txt run.wir wire-trace.json

@@ -15,6 +15,12 @@ import (
 // for the alloc counter, which wobbles with runtime scheduling.
 const benchTolerance = 1.10
 
+// wireBenchTolerance gates the wall-clock wire scenarios (E21): loopback
+// UDP latency moves with host load and kernel scheduling, so their gate is
+// a coarse guard against order-of-magnitude regressions, not a 10%
+// tripwire.
+const wireBenchTolerance = 3.0
+
 // runBenchDiff re-runs every scenario found as BENCH_*.json in dir — with
 // the seed and quick setting each baseline recorded — and fails if the fresh
 // p99 or allocs/packet regress past benchTolerance. This is the CI gate that
@@ -48,22 +54,26 @@ func runBenchDiff(dir string) error {
 			return err
 		}
 
+		tol := benchTolerance
+		if sc.wire != nil {
+			tol = wireBenchTolerance
+		}
 		p99Ratio := ratio(float64(fresh.LatencyNS.P99), float64(base.LatencyNS.P99))
 		allocRatio := ratio(fresh.Allocs.PerPacket, base.Allocs.PerPacket)
 		verdict := "ok"
-		if p99Ratio > benchTolerance {
+		if p99Ratio > tol {
 			verdict = "P99 REGRESSION"
 			failures = append(failures, fmt.Sprintf(
 				"%s: p99 %.1fus vs baseline %.1fus (%.2fx > %.2fx)",
 				base.Scenario, float64(fresh.LatencyNS.P99)/1000,
-				float64(base.LatencyNS.P99)/1000, p99Ratio, benchTolerance))
+				float64(base.LatencyNS.P99)/1000, p99Ratio, tol))
 		}
-		if allocRatio > benchTolerance {
+		if allocRatio > tol {
 			verdict = "ALLOC REGRESSION"
 			failures = append(failures, fmt.Sprintf(
 				"%s: allocs/pkt %.2f vs baseline %.2f (%.2fx > %.2fx)",
 				base.Scenario, fresh.Allocs.PerPacket, base.Allocs.PerPacket,
-				allocRatio, benchTolerance))
+				allocRatio, tol))
 		}
 		fmt.Printf("%-18s p99 %8.1fus vs %8.1fus (%.3fx)  allocs/pkt %6.2f vs %6.2f (%.3fx)  %s\n",
 			base.Scenario,
@@ -92,13 +102,13 @@ func findScenario(name string, seed uint64, quick bool) (benchScenario, bool) {
 
 // ratio returns fresh/base, treating a zero baseline as "no gate" (1.0)
 // unless the fresh value is nonzero, in which case any growth from zero is
-// an unbounded regression.
+// an unbounded regression (past every tolerance, including the wire gate).
 func ratio(fresh, base float64) float64 {
 	if base <= 0 {
 		if fresh <= 0 {
 			return 1
 		}
-		return benchTolerance + 1
+		return 1e9
 	}
 	return fresh / base
 }

@@ -8,16 +8,20 @@ import (
 	"runtime"
 	"time"
 
+	"mpdp/internal/core"
 	"mpdp/internal/experiment"
 	"mpdp/internal/sim"
+	"mpdp/internal/transport"
 )
 
 // benchScenario is one canonical configuration for the machine-readable
 // benchmark mode (-bench-json). The set spans the headline comparison:
-// single-path vs multipath, quiet vs interfered host.
+// single-path vs multipath, quiet vs interfered host — plus the wire
+// transport over real loopback sockets (wire non-nil).
 type benchScenario struct {
 	name string
 	cfg  experiment.RunConfig
+	wire *transport.LoopbackConfig
 }
 
 func benchScenarios(seed uint64, quick bool) []benchScenario {
@@ -36,12 +40,35 @@ func benchScenarios(seed uint64, quick bool) []benchScenario {
 	// of the policy's default budget.
 	e22 := base("deadline", "moderate")
 	e22.Deadline = 2 * sim.Millisecond
+	// E21: the wire transport end to end — real loopback UDP sockets,
+	// hedged across two paths, e2e latency from the span histograms. Unlike
+	// the simulator scenarios this one runs on the wall clock, so
+	// -bench-diff holds it to the wider wire gate instead of the 10%
+	// tripwire.
+	e21 := &transport.LoopbackConfig{
+		Paths:     2,
+		Scheduler: transport.SchedHedge,
+		Packets:   5000,
+		Payload:   256,
+		Health: core.HealthConfig{
+			// Mirror mpdp-gateway's wire tuning: scheduler stalls and GC
+			// pauses must not quarantine a healthy loopback path mid-bench.
+			SuspectTimeout:    200 * sim.Millisecond,
+			QuarantineBackoff: 50 * sim.Millisecond,
+			ProbeSuccesses:    8,
+			DropWindowMin:     64,
+		},
+	}
+	if quick {
+		e21.Packets = 1500
+	}
 	return []benchScenario{
-		{"single_none", base("single", "none")},
-		{"single_moderate", base("single", "moderate")},
-		{"mpdp_none", base("mpdp", "none")},
-		{"mpdp_moderate", base("mpdp", "moderate")},
-		{"E22", e22},
+		{name: "single_none", cfg: base("single", "none")},
+		{name: "single_moderate", cfg: base("single", "moderate")},
+		{name: "mpdp_none", cfg: base("mpdp", "none")},
+		{name: "mpdp_moderate", cfg: base("mpdp", "moderate")},
+		{name: "E22", cfg: e22},
+		{name: "E21_loopback", wire: e21},
 	}
 }
 
@@ -85,6 +112,9 @@ type benchDoc struct {
 // it into the benchmark document. Shared by -bench-json and -bench-diff so a
 // diff compares like with like.
 func measureScenario(sc benchScenario, seed uint64, quick bool) (benchDoc, error) {
+	if sc.wire != nil {
+		return measureWireScenario(sc, seed, quick)
+	}
 	var doc benchDoc
 	var before, after runtime.MemStats
 	runtime.GC()
@@ -125,6 +155,64 @@ func measureScenario(sc benchScenario, seed uint64, quick bool) (benchDoc, error
 	doc.Allocs.TotalAllocBytes = after.TotalAlloc - before.TotalAlloc
 	if res.Offered > 0 {
 		doc.Allocs.PerPacket = float64(doc.Allocs.Mallocs) / float64(res.Offered)
+	}
+	return doc, nil
+}
+
+// measureWireScenario runs a loopback wire scenario: latency comes from
+// the e2e span histogram (real wall-clock wire latency, not virtual time),
+// allocation pressure from the same MemStats delta the simulator scenarios
+// use. The invariant verifier is armed; a violating run fails the bench.
+func measureWireScenario(sc benchScenario, seed uint64, quick bool) (benchDoc, error) {
+	var doc benchDoc
+	cfg := *sc.wire // copy: reruns must not share Spans
+	spans := transport.NewSpans(nil)
+	cfg.Spans = spans
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep, err := transport.RunLoopback(cfg)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return doc, fmt.Errorf("scenario %s: %w", sc.name, err)
+	}
+	if err := rep.Verify(); err != nil {
+		return doc, fmt.Errorf("scenario %s: %w", sc.name, err)
+	}
+
+	doc.Scenario = sc.name
+	doc.Policy = string(cfg.Scheduler)
+	doc.Interference = "loopback"
+	doc.Seed = seed
+	doc.Quick = quick
+	doc.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	doc.Offered = rep.Packets
+	doc.Delivered = rep.Delivered
+	if rep.Packets > 0 {
+		doc.DeliveryRate = float64(rep.Delivered) / float64(rep.Packets)
+	}
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		doc.GoodputGbps = float64(rep.Delivered) * float64(cfg.Payload) * 8 / s / 1e9
+		doc.ThroughputPS = float64(rep.Packets) / s
+	}
+	for _, sp := range rep.Spans {
+		if sp.Stage != "e2e" {
+			continue
+		}
+		doc.LatencyNS.Mean = sp.Latency.Mean
+		doc.LatencyNS.P50 = sp.Latency.P50
+		doc.LatencyNS.P90 = sp.Latency.P90
+		doc.LatencyNS.P99 = sp.Latency.P99
+		doc.LatencyNS.P999 = sp.Latency.P999
+		doc.LatencyNS.Max = sp.Latency.Max
+	}
+	doc.WallMS = float64(wall.Microseconds()) / 1000
+	doc.Allocs.Mallocs = after.Mallocs - before.Mallocs
+	doc.Allocs.TotalAllocBytes = after.TotalAlloc - before.TotalAlloc
+	if rep.Packets > 0 {
+		doc.Allocs.PerPacket = float64(doc.Allocs.Mallocs) / float64(rep.Packets)
 	}
 	return doc, nil
 }

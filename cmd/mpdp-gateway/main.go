@@ -11,6 +11,8 @@
 //	mpdp-gateway -loopback -duration 10s            # hermetic self-benchmark
 //	mpdp-gateway -loopback -packets 200000 -sched hedge -paths 2
 //	mpdp-gateway -loopback -drop 0.2 -impair-path 1 # fault-injected run
+//	mpdp-gateway -loopback -wire-trace run.wir -wire-chrome wire.json -wire-sample 1
+//	mpdp-gateway -loopback -burst-period 512 -burst-len 64 -impair-path 0
 //	mpdp-gateway -mode recv -addrs 0.0.0.0:7401,0.0.0.0:7402
 //	mpdp-gateway -mode echo -addrs 0.0.0.0:7401,0.0.0.0:7402
 //	mpdp-gateway -mode send -remotes host:7401,host:7402 -duration 10s
@@ -21,6 +23,14 @@
 // /metrics.json; with -slo, every delivery and loss feeds a burn-rate
 // tracker served at /slo.json. SIGINT/SIGTERM stops the run and prints the
 // normal exit report.
+//
+// With -wire-trace (loopback only), a wire flight recorder is attached to
+// both endpoints: sampled per-frame lifecycle events are merged by
+// (flow, seq) at exit into exact cross-endpoint tail attribution (sender
+// queue + propagation + reorder wait + deliver = end to end), the raw
+// MPDPWIR1 stream is written for mpdp-inspect -wire, and -wire-chrome
+// exports the slowest packets as a Chrome trace with one lane per path.
+// Tracing also enables the sender_queue and flight span stages.
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"mpdp/internal/core"
 	"mpdp/internal/experiment"
 	"mpdp/internal/live"
+	"mpdp/internal/obs"
 	"mpdp/internal/packet"
 	"mpdp/internal/shutdown"
 	"mpdp/internal/sim"
@@ -66,6 +77,15 @@ func main() {
 		delay   = flag.Duration("delay", time.Millisecond, "impairer: injected delay")
 		impPath = flag.Int("impair-path", -1, "impairer: target path (-1 = all)")
 		seed    = flag.Uint64("seed", 1, "impairer seed")
+
+		burstPeriod = flag.Uint64("burst-period", 0, "burst impairer: cycle length in frames (0 = off)")
+		burstLen    = flag.Uint64("burst-len", 0, "burst impairer: frames delayed at the head of each cycle")
+		burstDelay  = flag.Duration("burst-delay", 2*time.Millisecond, "burst impairer: injected delay inside a burst (on -impair-path)")
+
+		wireTrace  = flag.String("wire-trace", "", "loopback: write the merged wire flight-recorder stream (MPDPWIR1) here and print the attribution summary")
+		wireChrome = flag.String("wire-chrome", "", "loopback: export the slowest traced packets as Chrome trace-event JSON, one lane per path")
+		wireSample = flag.Int("wire-sample", 64, "wire trace: sample every Nth (flow,seq), rounded up to a power of two (1 = every packet)")
+		wireTop    = flag.Int("wire-top", 8, "wire trace: slowest timelines to print and export")
 
 		listen  = flag.String("listen", "", "serve live metrics over HTTP on this address (e.g. :9090)")
 		sloSpec = flag.String("slo", "", `SLO objectives, e.g. "p99<2ms,avail>99.9"`)
@@ -148,6 +168,20 @@ func main() {
 			Seed:      *seed,
 		})
 	}
+	if *burstPeriod > 0 {
+		if impairer != nil {
+			fatalf("-burst-period combines with -impair-path but not with the random impairer flags (-drop/-dup/-delay-frac)")
+		}
+		impairer = transport.NewBurstImpairer(transport.BurstImpairConfig{
+			Path:   *impPath,
+			Period: *burstPeriod,
+			Length: *burstLen,
+			Delay:  *burstDelay,
+		})
+	}
+	if (*wireTrace != "" || *wireChrome != "") && *mode != "loopback" {
+		fatalf("-wire-trace/-wire-chrome need both endpoints in one process: loopback mode only")
+	}
 
 	switch *mode {
 	case "loopback":
@@ -158,6 +192,8 @@ func main() {
 			payload: *payload, flows: *flows, reorderT: *reorderT,
 			impairer: impairer, spans: spans, reg: reg, tracker: tracker,
 			stop: stop, jsonOut: *jsonOut,
+			wireTrace: *wireTrace, wireChrome: *wireChrome,
+			wireSample: *wireSample, wireTop: *wireTop,
 		})
 	case "recv", "echo":
 		runReceiver(strings.Split(nonEmpty(*addrs, "-addrs"), ","), *mode == "echo",
@@ -191,9 +227,23 @@ type loopCfg struct {
 	tracker        *live.SLOTracker
 	stop           <-chan struct{}
 	jsonOut        bool
+	wireTrace      string
+	wireChrome     string
+	wireSample     int
+	wireTop        int
 }
 
 func runLoopback(c loopCfg) {
+	// Wire tracing attaches a flight recorder to each endpoint and turns on
+	// the trace-only span stages (sender_queue, flight). With no trace
+	// requested, neither exists and the run's output is byte-identical to a
+	// pre-trace gateway.
+	var senderTr, recvTr *obs.WireRecorder
+	if c.wireTrace != "" || c.wireChrome != "" {
+		senderTr = obs.NewWireRecorder(obs.WireSender, 0, c.wireSample)
+		recvTr = obs.NewWireRecorder(obs.WireReceiver, 0, c.wireSample)
+		c.spans.EnableWireStages(c.reg)
+	}
 	rep, err := transport.RunLoopback(transport.LoopbackConfig{
 		Paths:                c.paths,
 		Scheduler:            c.sched,
@@ -213,6 +263,8 @@ func runLoopback(c loopCfg) {
 		Metrics:              c.reg,
 		SLO:                  c.tracker,
 		Stop:                 c.stop,
+		SenderTrace:          senderTr,
+		ReceiverTrace:        recvTr,
 	})
 	if err != nil {
 		fatalf("loopback: %v", err)
@@ -222,8 +274,57 @@ func runLoopback(c loopCfg) {
 	} else {
 		printReport(rep, c.tracker)
 	}
+	if senderTr != nil {
+		writeWireOutputs(c, senderTr, recvTr)
+	}
 	if err := rep.Verify(); err != nil {
 		fatalf("%v", err)
+	}
+}
+
+// writeWireOutputs merges the two endpoints' recorded streams and emits
+// the requested artifacts: the raw MPDPWIR1 stream, the human attribution
+// summary, and the Chrome trace.
+func writeWireOutputs(c loopCfg, senderTr, recvTr *obs.WireRecorder) {
+	if over := senderTr.Overwritten() + recvTr.Overwritten(); over > 0 {
+		fmt.Fprintf(os.Stderr,
+			"mpdp-gateway: wire trace ring overwrote %d events (oldest first); raise -wire-sample or shorten the run for full coverage\n", over)
+	}
+	events := append(senderTr.Events(), recvTr.Events()...)
+	m := obs.MergeWire(events)
+	if c.wireTrace != "" {
+		f, err := os.Create(c.wireTrace)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := obs.WriteAllWire(f, events); err != nil {
+			f.Close()
+			fatalf("writing %s: %v", c.wireTrace, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing %s: %v", c.wireTrace, err)
+		}
+		fmt.Printf("wrote %d wire events to %s\n", len(events), c.wireTrace)
+	}
+	if !c.jsonOut {
+		fmt.Println()
+		if err := m.Render(os.Stdout, c.wireTop); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if c.wireChrome != "" {
+		f, err := os.Create(c.wireChrome)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := obs.WriteWireChromeTrace(f, m, c.wireTop); err != nil {
+			f.Close()
+			fatalf("writing %s: %v", c.wireChrome, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing %s: %v", c.wireChrome, err)
+		}
+		fmt.Printf("wrote the %d slowest wire timelines to %s\n", c.wireTop, c.wireChrome)
 	}
 }
 

@@ -11,6 +11,16 @@
 //	mpdp-inspect -pkt 2552 run.obs       # full timeline of one packet
 //	mpdp-inspect -chrome tail.json run.obs  # export exemplars for Perfetto
 //
+// Wire mode (-wire) reads a wire flight-recorder stream (MPDPWIR1, written
+// by mpdp-gateway -wire-trace), merges the sender and receiver event
+// streams by (flow, seq), and prints exact cross-endpoint tail
+// attribution: clock offset, per-stage latency (sender queue, propagation,
+// reorder wait, deliver), per-path tables, and the slowest timelines:
+//
+//	mpdp-inspect -wire run.wir
+//	mpdp-inspect -wire -timelines 5 run.wir
+//	mpdp-inspect -wire -chrome wire.json run.wir  # one lane per UDP path
+//
 // Live mode (-live URL) skips the event stream entirely and renders a
 // running engine's metrics instead: scalars, then every histogram family
 // (per-stage latency spans) as an ASCII distribution with quantiles:
@@ -35,6 +45,7 @@ func main() {
 		pkt       = flag.Uint64("pkt", 0, "print the full timeline of this packet (orig ID) and exit")
 		chrome    = flag.String("chrome", "", "export exemplar timelines as Chrome trace-event JSON")
 		liveURL   = flag.String("live", "", "inspect a running engine's metrics at this base URL instead of an .obs file")
+		wire      = flag.Bool("wire", false, "treat the input as a wire flight-recorder stream (MPDPWIR1, from mpdp-gateway -wire-trace)")
 	)
 	flag.Parse()
 	if *liveURL != "" {
@@ -42,9 +53,13 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fail("usage: mpdp-inspect [flags] <events.obs> | mpdp-inspect -live <url>")
+		fail("usage: mpdp-inspect [flags] <events.obs> | mpdp-inspect -wire <trace.wir> | mpdp-inspect -live <url>")
 	}
 	path := flag.Arg(0)
+	if *wire {
+		failIf(inspectWire(path, *timelines, *chrome))
+		return
+	}
 
 	f, err := os.Open(path)
 	if err != nil {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpdp/internal/obs"
+)
+
+// inspectWire renders a wire flight-recorder stream (MPDPWIR1, written by
+// mpdp-gateway -wire-trace): the cross-endpoint merge with its clock-offset
+// estimate, per-stage attribution and per-path tables, the slowest-K
+// per-packet timelines, and an optional Chrome trace export with one lane
+// per UDP path.
+func inspectWire(path string, timelines int, chrome string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	events, err := obs.ReadAllWire(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s holds no wire events", path)
+	}
+	m := obs.MergeWire(events)
+	fmt.Printf("wire stream %s:\n", path)
+	if err := m.Render(os.Stdout, timelines); err != nil {
+		return err
+	}
+	if chrome != "" {
+		k := timelines
+		if k <= 0 {
+			k = 8
+		}
+		cf, err := os.Create(chrome)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteWireChromeTrace(cf, m, k); err != nil {
+			cf.Close()
+			return fmt.Errorf("writing %s: %w", chrome, err)
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote the %d slowest wire timelines to %s\n", k, chrome)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestWireRecorderRing(t *testing.T) {
+	r := NewWireRecorder(WireReceiver, 8, 1)
+	for i := 0; i < 20; i++ {
+		r.Emit(WireEvent{Nanos: int64(i), Kind: WireRx, Seq: uint64(i)})
+	}
+	if got := r.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	if got := r.Emitted(); got != 20 {
+		t.Fatalf("Emitted = %d, want 20", got)
+	}
+	if got := r.Overwritten(); got != 12 {
+		t.Fatalf("Overwritten = %d, want 12", got)
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("Events len = %d, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		want := uint64(12 + i) // oldest survivor first
+		if ev.Seq != want {
+			t.Errorf("event %d: seq %d, want %d", i, ev.Seq, want)
+		}
+		if ev.End != WireReceiver {
+			t.Errorf("event %d: end %v, want receiver (Emit must stamp)", i, ev.End)
+		}
+	}
+}
+
+func TestWireRecorderDefaults(t *testing.T) {
+	r := NewWireRecorder(WireSender, 0, 0)
+	if got := len(r.buf); got != DefaultWireRecorderCap {
+		t.Fatalf("default capacity %d, want %d", got, DefaultWireRecorderCap)
+	}
+	if got := r.SampleEvery(); got != 1 {
+		t.Fatalf("SampleEvery = %d, want 1 (≤1 samples everything)", got)
+	}
+	if r.End() != WireSender {
+		t.Fatalf("End = %v, want sender", r.End())
+	}
+}
+
+func TestWireSampleRateRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {100, 128},
+	} {
+		r := NewWireRecorder(WireSender, 4, tc.in)
+		if got := r.SampleEvery(); got != tc.want {
+			t.Errorf("sampleEvery %d: got %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// The whole cross-endpoint join depends on both endpoints sampling the
+// same packets: the predicate must be a pure function of (flow, seq),
+// independent of the recorder's endpoint or history.
+func TestWireSampledCrossEndpointAgreement(t *testing.T) {
+	snd := NewWireRecorder(WireSender, 4, 64)
+	rcv := NewWireRecorder(WireReceiver, 4, 64)
+	sampled := 0
+	const n = 1 << 14
+	for flow := uint64(1); flow <= 4; flow++ {
+		for seq := uint64(0); seq < n/4; seq++ {
+			s := snd.Sampled(flow, seq)
+			if r := rcv.Sampled(flow, seq); r != s {
+				t.Fatalf("flow %d seq %d: sender=%v receiver=%v", flow, seq, s, r)
+			}
+			if s {
+				sampled++
+			}
+		}
+	}
+	// ~1/64 of n, generously bounded: the hash should not collapse.
+	if sampled < n/256 || sampled > n/16 {
+		t.Fatalf("sampled %d of %d at rate 1/64 — hash is degenerate", sampled, n)
+	}
+}
+
+func TestWireSampledEveryPacketAtRateOne(t *testing.T) {
+	r := NewWireRecorder(WireSender, 4, 1)
+	for seq := uint64(0); seq < 1000; seq++ {
+		if !r.Sampled(9, seq) {
+			t.Fatalf("rate 1 must sample everything; seq %d missed", seq)
+		}
+	}
+}
+
+func TestWireKindAndEndStrings(t *testing.T) {
+	for k := 0; k < NumWireKinds; k++ {
+		if s := WireKind(k).String(); s == "kind(?)" || s == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if WireKind(200).String() != "kind(?)" {
+		t.Error("undefined kind should render as kind(?)")
+	}
+	for e := 0; e < NumWireEnds; e++ {
+		if s := WireEnd(e).String(); s == "end(?)" || s == "" {
+			t.Errorf("end %d has no name", e)
+		}
+	}
+}
+
+// Capture hot paths: one event emit and one sampling decision, both on
+// the gate list (bench/hotpath_gates.txt) requiring 0 allocs/op.
+
+func BenchmarkWireRecorderEmit(b *testing.B) {
+	r := NewWireRecorder(WireSender, 1<<12, 1)
+	ev := WireEvent{Nanos: 12345, Kind: WireTx, Path: 1, FlowID: 7, Seq: 42, PathSeq: 40}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit(ev)
+	}
+}
+
+func BenchmarkWireSampled(b *testing.B) {
+	r := NewWireRecorder(WireSender, 4, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if r.Sampled(7, uint64(i)) {
+			n++
+		}
+	}
+	_ = n
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export for merged wire timelines. Unlike the
+// exemplar export (one thread per exemplar), the wire export uses one
+// lane per UDP path — so hedged copies of one packet appear side by side
+// on the paths that carried them, and a path-level burst shows up as a
+// visible band of stretched flight slices on that lane. Two extra lanes
+// carry the endpoint-local stages: "sender" (queue slices) and
+// "receiver" (reorder-wait and deliver slices).
+//
+// All timestamps are receiver-clock microseconds: sender-clock events are
+// shifted by the merge's estimated offset so slices line up across lanes.
+
+// WriteWireChromeTrace renders the k slowest merged timelines (k ≤ 0 =
+// all) as a Chrome trace-event JSON document.
+func WriteWireChromeTrace(w io.Writer, m *WireMerge, k int) error {
+	tls := m.Timelines
+	if k > 0 && k < len(tls) {
+		tls = tls[:k]
+	}
+	tr := chromeTrace{
+		DisplayTimeUnit: "ns",
+		Metadata: map[string]string{
+			"source":       "mpdp wire trace",
+			"clock_offset": fmt.Sprintf("%dns", m.OffsetNanos),
+			"min_rtt":      fmt.Sprintf("%dns", m.MinRTT),
+		},
+	}
+
+	// Lane layout: tid 1..N for the paths (in path order), then sender and
+	// receiver lanes. Collect the paths actually present first.
+	pathTid := make(map[int32]int)
+	var paths []int32
+	for _, tl := range tls {
+		for _, c := range tl.Copies {
+			if _, ok := pathTid[c.Path]; !ok && c.Path >= 0 {
+				pathTid[c.Path] = 0
+				paths = append(paths, c.Path)
+			}
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool { return paths[i] < paths[j] })
+	for i, p := range paths {
+		pathTid[p] = i + 1
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: i + 1,
+			Args: map[string]any{"name": fmt.Sprintf("path %d", p)},
+		})
+	}
+	senderTid := len(paths) + 1
+	receiverTid := len(paths) + 2
+	tr.TraceEvents = append(tr.TraceEvents,
+		chromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: senderTid,
+			Args: map[string]any{"name": "sender"}},
+		chromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: receiverTid,
+			Args: map[string]any{"name": "receiver"}},
+	)
+
+	off := float64(m.OffsetNanos) / nsPerUs
+	for _, tl := range tls {
+		id := fmt.Sprintf("f%x s%d", tl.FlowID, tl.Seq)
+		args := map[string]any{
+			"flow": tl.FlowID, "seq": tl.Seq,
+			"e2e_ns": tl.E2E, "verdict": tl.SchedVerdict,
+		}
+		if tl.EnqNanos != 0 && tl.Attr.SenderQueue > 0 {
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "queue " + id, Ph: "X",
+				Ts:  float64(tl.EnqNanos)/nsPerUs + off,
+				Dur: float64(tl.Attr.SenderQueue) / nsPerUs,
+				Pid: 0, Tid: senderTid, Args: args,
+			})
+		}
+		for _, c := range tl.Copies {
+			tid, ok := pathTid[c.Path]
+			if !ok {
+				continue
+			}
+			switch {
+			case c.TxNanos != 0 && c.RxNanos != 0:
+				ts := float64(c.TxNanos)/nsPerUs + off
+				dur := float64(c.RxNanos)/nsPerUs - ts
+				if dur < 0 {
+					dur = 0
+				}
+				name := "flight " + id
+				if c.Deduped {
+					name = "flight (deduped) " + id
+				}
+				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+					Name: name, Ph: "X", Ts: ts, Dur: dur, Pid: 0, Tid: tid,
+					Args: map[string]any{
+						"flow": tl.FlowID, "seq": tl.Seq, "path_seq": c.PathSeq,
+						"admitted": c.Admitted, "flags": c.Flags,
+					},
+				})
+			case c.TxNanos != 0:
+				// Sent but never arrived (dropped, or the trace was cut).
+				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+					Name: "tx (no rx) " + id, Ph: "i",
+					Ts:  float64(c.TxNanos)/nsPerUs + off,
+					Pid: 0, Tid: tid, S: "t",
+					Args: map[string]any{"flow": tl.FlowID, "seq": tl.Seq, "path_seq": c.PathSeq},
+				})
+			case c.RxNanos != 0:
+				// Arrived with no captured tx (sender ring overwrote it).
+				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+					Name: "rx " + id, Ph: "i",
+					Ts:  float64(c.RxNanos) / nsPerUs,
+					Pid: 0, Tid: tid, S: "t",
+					Args: map[string]any{"flow": tl.FlowID, "seq": tl.Seq, "path_seq": c.PathSeq},
+				})
+			}
+		}
+		if tl.DeliverNanos != 0 && tl.EnqNanos != 0 {
+			release := tl.DeliverNanos - tl.Attr.Deliver
+			admRx := release - tl.Attr.ReorderWait
+			if tl.Attr.ReorderWait > 0 {
+				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+					Name: "reorder " + id, Ph: "X",
+					Ts:  float64(admRx) / nsPerUs,
+					Dur: float64(tl.Attr.ReorderWait) / nsPerUs,
+					Pid: 0, Tid: receiverTid, Args: args,
+				})
+			}
+			if tl.Attr.Deliver > 0 {
+				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+					Name: "deliver " + id, Ph: "X",
+					Ts:  float64(release) / nsPerUs,
+					Dur: float64(tl.Attr.Deliver) / nsPerUs,
+					Pid: 0, Tid: receiverTid, Args: args,
+				})
+			}
+		}
+		if tl.Lost {
+			ts := float64(tl.EnqNanos)/nsPerUs + off
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "lost " + id, Ph: "i", Ts: ts, Pid: 0, Tid: receiverTid, S: "t",
+				Args: args,
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(tr)
+}

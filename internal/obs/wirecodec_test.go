@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateWireGolden = flag.Bool("update-wire-golden", false, "rewrite testdata/wire_golden.wir")
+
+func sampleWireEvents() []WireEvent {
+	return []WireEvent{
+		{Nanos: 1000, Kind: WireEnqueue, End: WireSender, Path: -1, FlowID: 7, Seq: 0, A: 256},
+		{Nanos: 1001, Kind: WireSched, End: WireSender, Path: 0, FlowID: 7, Seq: 0, A: 2, B: WireSchedAtRisk | WireSchedDup},
+		{Nanos: 1100, Kind: WireTx, End: WireSender, Path: 0, FlowID: 7, Seq: 0, PathSeq: 5},
+		{Nanos: 1120, Kind: WireTx, End: WireSender, Path: 1, FlowID: 7, Seq: 0, PathSeq: 3, A: 1},
+		// Receiver-clock events interleave an unrelated clock: smaller
+		// timestamps after larger ones are legal in a wire stream.
+		{Nanos: 400, Kind: WireRx, End: WireReceiver, Path: 0, FlowID: 7, Seq: 0, PathSeq: 5, A: 1000},
+		{Nanos: 410, Kind: WireDedup, End: WireReceiver, Path: 1, FlowID: 7, Seq: 0, PathSeq: 3},
+		{Nanos: 450, Kind: WireDeliver, End: WireReceiver, Path: 0, FlowID: 7, Seq: 0, PathSeq: 5, A: 400, B: 440},
+		{Nanos: 500, Kind: WireAckTx, End: WireReceiver, Path: 0, A: 1, B: 5},
+		{Nanos: 1300, Kind: WireAckRx, End: WireSender, Path: 0, A: 200},
+	}
+}
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	in := sampleWireEvents()
+	var buf bytes.Buffer
+	if err := WriteAllWire(&buf, in); err != nil {
+		t.Fatalf("WriteAllWire: %v", err)
+	}
+	wantLen := len(MagicWIR) + len(in)*wireRecordSize
+	if buf.Len() != wantLen {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), wantLen)
+	}
+	out, err := ReadAllWire(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllWire: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("event %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestWireCodecBadMagic(t *testing.T) {
+	if _, err := ReadAllWire(bytes.NewReader([]byte("NOTMAGIC???"))); !errors.Is(err, ErrWireBadMagic) {
+		t.Fatalf("got %v, want ErrWireBadMagic", err)
+	}
+	if _, err := ReadAllWire(bytes.NewReader(nil)); !errors.Is(err, ErrWireBadMagic) {
+		t.Fatalf("empty stream: got %v, want ErrWireBadMagic", err)
+	}
+	// The MPDPOBS1 magic is a different format, not a wire stream.
+	if _, err := ReadAllWire(bytes.NewReader(MagicOBS[:])); !errors.Is(err, ErrWireBadMagic) {
+		t.Fatalf("obs stream: got %v, want ErrWireBadMagic", err)
+	}
+}
+
+func TestWireCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAllWire(&buf, sampleWireEvents()); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-7]
+	if _, err := ReadAllWire(bytes.NewReader(cut)); !errors.Is(err, ErrWireCorrupt) {
+		t.Fatalf("truncated stream: got %v, want ErrWireCorrupt", err)
+	}
+	evs, err := ReadAllWire(bytes.NewReader(MagicWIR[:]))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("header-only stream: got %d events, err %v", len(evs), err)
+	}
+}
+
+func TestWireWriterRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWireWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ev := range map[string]WireEvent{
+		"undefined kind": {Kind: WireKind(NumWireKinds)},
+		"undefined end":  {Kind: WireRx, End: WireEnd(NumWireEnds)},
+		"negative nanos": {Kind: WireRx, Nanos: -1},
+		"bad path":       {Kind: WireRx, Path: -2},
+	} {
+		if err := w.Write(ev); !errors.Is(err, ErrWireCorrupt) {
+			t.Errorf("%s: got %v, want ErrWireCorrupt", name, err)
+		}
+	}
+	if w.Count() != 0 {
+		t.Fatalf("rejected writes counted: %d", w.Count())
+	}
+}
+
+// Wire streams deliberately have NO monotone-time invariant: two endpoint
+// clocks interleave, and concurrent emitters serialize out of order.
+func TestWireCodecTimeRegressionIsLegal(t *testing.T) {
+	in := []WireEvent{
+		{Nanos: 5000, Kind: WireTx, End: WireSender},
+		{Nanos: 10, Kind: WireRx, End: WireReceiver},
+	}
+	var buf bytes.Buffer
+	if err := WriteAllWire(&buf, in); err != nil {
+		t.Fatalf("WriteAllWire: %v", err)
+	}
+	out, err := ReadAllWire(&buf)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("got %d events, err %v", len(out), err)
+	}
+}
+
+func TestWireWriterAccounting(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWireWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range sampleWireEvents() {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Count(), uint64(len(sampleWireEvents())); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	if got := w.BytesWritten(); got != int64(buf.Len()) {
+		t.Fatalf("BytesWritten = %d, buffer holds %d", got, buf.Len())
+	}
+}
+
+// The golden stream pins the on-disk format: if the encoding shifts, this
+// test fails until the format version (and the magic) is bumped.
+func TestWireCodecGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "wire_golden.wir")
+	var buf bytes.Buffer
+	if err := WriteAllWire(&buf, sampleWireEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if *updateWireGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-wire-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("encoding changed: %d bytes vs golden %d — bump MPDPWIR version if intentional",
+			buf.Len(), len(want))
+	}
+	evs, err := ReadAllWire(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden does not decode: %v", err)
+	}
+	if len(evs) != len(sampleWireEvents()) {
+		t.Fatalf("golden decodes to %d events, want %d", len(evs), len(sampleWireEvents()))
+	}
+}

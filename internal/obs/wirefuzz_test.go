@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireReader: arbitrary bytes must never panic the decoder
+// (mpdp-inspect -wire reads user-supplied files), every accepted event
+// must satisfy the format invariants, and any stream that decodes cleanly
+// must re-encode byte-identically — the codec has no lossy or ambiguous
+// representations.
+func FuzzWireReader(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteAllWire(&buf, sampleWireEvents()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(MagicWIR[:])
+	f.Add(MagicOBS[:]) // the sibling format's magic must be rejected
+	f.Add([]byte("garbage"))
+	f.Add(append(append([]byte{}, MagicWIR[:]...), make([]byte, wireRecordSize/2)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadAllWire(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, ev := range evs {
+			if int(ev.Kind) >= NumWireKinds {
+				t.Fatalf("undefined kind %d accepted", ev.Kind)
+			}
+			if int(ev.End) >= NumWireEnds {
+				t.Fatalf("undefined end %d accepted", ev.End)
+			}
+			if ev.Nanos < 0 {
+				t.Fatal("negative timestamp accepted")
+			}
+			if ev.Path < -1 {
+				t.Fatalf("invalid path %d accepted", ev.Path)
+			}
+		}
+		var out bytes.Buffer
+		if err := WriteAllWire(&out, evs); err != nil {
+			t.Fatalf("accepted events fail to re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("round trip not byte-identical: %d in, %d out", len(data), out.Len())
+		}
+		// The merge layer must also survive any decodable stream.
+		m := MergeWire(evs)
+		if m == nil {
+			t.Fatal("MergeWire returned nil")
+		}
+	})
+}

@@ -109,6 +109,11 @@ type Packet struct {
 	// PathID is the multipath lane the scheduler chose (-1 = unset).
 	PathID int
 
+	// PathSeq is the per-path wire sequence of the copy that carried the
+	// packet — set by the wire transport's receiver so traces can name the
+	// exact admitted copy; always 0 in the simulator.
+	PathSeq uint64
+
 	// IsDup marks redundancy copies; Cancelled marks a copy whose twin won.
 	IsDup     bool
 	Cancelled bool

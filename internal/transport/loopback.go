@@ -7,6 +7,7 @@ import (
 
 	"mpdp/internal/core"
 	"mpdp/internal/live"
+	"mpdp/internal/obs"
 	"mpdp/internal/packet"
 )
 
@@ -73,6 +74,11 @@ type LoopbackConfig struct {
 	// OnDeliver, when non-nil, observes each in-order delivery (driver
 	// goroutine; packet owned by the transport after return).
 	OnDeliver func(p *packet.Packet)
+	// SenderTrace and ReceiverTrace, when non-nil, attach wire flight
+	// recorders to the two endpoints. Both should be built with the same
+	// sample rate so the merged trace joins end to end.
+	SenderTrace   *obs.WireRecorder
+	ReceiverTrace *obs.WireRecorder
 }
 
 // LoopbackReport is the run's outcome: counters from both ends, reorder
@@ -150,6 +156,7 @@ func RunLoopback(cfg LoopbackConfig) (*LoopbackReport, error) {
 		EchoBack:       cfg.EchoBack,
 		Spans:          cfg.Spans,
 		Verifier:       verifier,
+		Trace:          cfg.ReceiverTrace,
 		Deliver: func(p *packet.Packet) {
 			if cfg.SLO != nil {
 				cfg.SLO.ObserveDelivery(int64(p.Delivered - p.Ingress))
@@ -191,6 +198,7 @@ func RunLoopback(cfg LoopbackConfig) (*LoopbackReport, error) {
 		Impairer:             cfg.Impairer,
 		Spans:                cfg.Spans,
 		Verifier:             verifier,
+		Trace:                cfg.SenderTrace,
 	})
 	if err != nil {
 		recv.Close() //lint:allow erroreat teardown on the error path

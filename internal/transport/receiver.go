@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mpdp/internal/core"
+	"mpdp/internal/obs"
 	"mpdp/internal/packet"
 	"mpdp/internal/sim"
 )
@@ -46,6 +47,12 @@ type ReceiverConfig struct {
 	OnLost func(p *packet.Packet)
 	// Verifier, when non-nil, is fed every in-order delivery.
 	Verifier *Verifier
+	// Trace, when non-nil, records sampled per-frame lifecycle events
+	// (rx, dedup verdicts, deliver, loss, ack emission) into a wire flight
+	// recorder. The sampling predicate is shared with the sender's
+	// recorder, so both endpoints capture the same packets. Nil disables
+	// every capture site: an untraced receiver behaves byte-identically.
+	Trace *obs.WireRecorder
 }
 
 // recvPath is one listening socket plus its ack bookkeeping, shared between
@@ -126,7 +133,7 @@ func Listen(cfg ReceiverConfig) (*Receiver, error) {
 	}
 	r.driver = newReorderDriver(
 		func() sim.Time { return sim.Time(nowNanos()) },
-		cfg.ReorderTimeout, cfg.DedupWindow, r.deliver, r.onLost, cfg.Queue)
+		cfg.ReorderTimeout, cfg.DedupWindow, r.deliver, r.onLost, cfg.Queue, cfg.Trace)
 	r.driver.start()
 	for _, p := range r.paths {
 		r.wg.Add(1)
@@ -165,6 +172,9 @@ func (r *Receiver) deliver(p *packet.Packet) {
 		v.NoteDelivered(p.FlowID, p.Seq)
 	}
 	r.delivered.Add(1)
+	// Capture identity before the callback: the packet belongs to the
+	// application once fn returns.
+	flowID, seq, pathID, pathSeq, done := p.FlowID, p.Seq, p.PathID, p.PathSeq, p.Done
 	if fn := r.cfg.Deliver; fn != nil {
 		t0 := nowNanos()
 		fn(p)
@@ -172,10 +182,21 @@ func (r *Receiver) deliver(p *packet.Packet) {
 			sp.Deliver.Record(nowNanos() - t0)
 		}
 	}
+	// The deliver event closes the timeline: Path/PathSeq name the
+	// admitted copy, A its arrival, B the pre-callback release time.
+	if tr := r.cfg.Trace; tr != nil && tr.Sampled(flowID, seq) {
+		tr.Emit(obs.WireEvent{Nanos: nowNanos(), Kind: obs.WireDeliver,
+			Path: int32(pathID), FlowID: flowID, Seq: seq, PathSeq: pathSeq,
+			A: int64(done), B: now})
+	}
 }
 
 func (r *Receiver) onLost(p *packet.Packet) {
 	r.lost.Add(1)
+	if tr := r.cfg.Trace; tr != nil && tr.Sampled(p.FlowID, p.Seq) {
+		tr.Emit(obs.WireEvent{Nanos: nowNanos(), Kind: obs.WireLost,
+			Path: int32(p.PathID), FlowID: p.FlowID, Seq: p.Seq, PathSeq: p.PathSeq})
+	}
 	if fn := r.cfg.OnLost; fn != nil {
 		fn(p)
 	}
@@ -227,9 +248,33 @@ func (r *Receiver) readLoop(p *recvPath) {
 		}
 		p.mu.Unlock()
 
+		// Emits stay outside p.mu (the recorder has its own lock). A is the
+		// header's SendNanos echo — the sender-clock accept time — so a
+		// receiver-only trace can still anchor attribution.
+		tr := r.cfg.Trace
+		if tr != nil && tr.Sampled(h.FlowID, h.Seq) {
+			tr.Emit(obs.WireEvent{Nanos: now, Kind: obs.WireRx,
+				Path: int32(h.PathID), FlowID: h.FlowID, Seq: h.Seq,
+				PathSeq: h.PathSeq, A: h.SendNanos, B: int64(h.Flags)})
+			if !fresh {
+				tr.Emit(obs.WireEvent{Nanos: now, Kind: obs.WireDedup,
+					Path: int32(h.PathID), FlowID: h.FlowID, Seq: h.Seq,
+					PathSeq: h.PathSeq, A: 1})
+			}
+		}
+		if fresh {
+			if sp := r.cfg.Spans; sp != nil && sp.Flight != nil {
+				sp.Flight.Record(now - h.SendNanos)
+			}
+		}
+
 		// Socket writes stay outside the lock.
 		if ackNow {
 			r.writeControl(p, ack, src)
+			if tr != nil {
+				tr.Emit(obs.WireEvent{Nanos: nowNanos(), Kind: obs.WireAckTx,
+					Path: int32(p.id), A: int64(ack.Seq), B: int64(ack.PathSeq)})
+			}
 		}
 		if r.cfg.EchoBack && fresh {
 			echo := h
@@ -247,6 +292,7 @@ func (r *Receiver) readLoop(p *recvPath) {
 			Seq:     h.Seq,
 			Data:    data,
 			PathID:  int(h.PathID),
+			PathSeq: h.PathSeq,
 			IsDup:   h.IsDup(),
 			Ingress: sim.Time(h.SendNanos),
 			Done:    sim.Time(now),
@@ -304,6 +350,10 @@ func (r *Receiver) ackSweep() {
 				p.mu.Unlock()
 				if pending {
 					r.writeControl(p, ack, src)
+					if tr := r.cfg.Trace; tr != nil {
+						tr.Emit(obs.WireEvent{Nanos: nowNanos(), Kind: obs.WireAckTx,
+							Path: int32(p.id), A: int64(ack.Seq), B: int64(ack.PathSeq)})
+					}
 				}
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mpdp/internal/core"
+	"mpdp/internal/obs"
 	"mpdp/internal/packet"
 	"mpdp/internal/sim"
 )
@@ -26,6 +27,7 @@ type reorderDriver struct {
 	stats   chan chan driverStats
 	stopped chan struct{}
 	tick    time.Duration
+	trace   *obs.WireRecorder // nil = wire tracing off
 
 	// gapSkipped mirrors the reorder buffer's abandoned-seq counter after
 	// every driver step, so callers applying backpressure (the loopback
@@ -46,7 +48,8 @@ type driverStats struct {
 // nanoseconds) to a wall-clock pump. deliver and onLost run on the driver
 // goroutine.
 func newReorderDriver(clock func() sim.Time, timeout time.Duration, dedupWindow uint64,
-	deliver core.DeliverFunc, onLost core.DeliverFunc, queue int) *reorderDriver {
+	deliver core.DeliverFunc, onLost core.DeliverFunc, queue int,
+	trace *obs.WireRecorder) *reorderDriver {
 	s := sim.New()
 	// Anchor the simulator at the current wall clock so the first gap
 	// timer is scheduled relative to "now", not to 1970.
@@ -71,6 +74,7 @@ func newReorderDriver(clock func() sim.Time, timeout time.Duration, dedupWindow 
 		stats:   make(chan chan driverStats),
 		stopped: make(chan struct{}),
 		tick:    tick,
+		trace:   trace,
 	}
 }
 
@@ -94,7 +98,14 @@ func (d *reorderDriver) run() {
 			}
 			d.sim.RunUntil(d.clock())
 			if !d.dedup.Admit(p.FlowID, p.Seq) {
-				continue // a hedged sibling already claimed this seq
+				// A hedged sibling already claimed this seq. A=0 marks the
+				// flow-level dedup verdict (vs 1 for a wire duplicate).
+				if tr := d.trace; tr != nil && tr.Sampled(p.FlowID, p.Seq) {
+					tr.Emit(obs.WireEvent{Nanos: int64(d.clock()), Kind: obs.WireDedup,
+						Path: int32(p.PathID), FlowID: p.FlowID, Seq: p.Seq,
+						PathSeq: p.PathSeq})
+				}
+				continue
 			}
 			d.rb.Submit(p)
 			d.gapSkipped.Store(d.rb.Stats().GapSkipped)

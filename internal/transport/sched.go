@@ -1,5 +1,7 @@
 package transport
 
+import "mpdp/internal/obs"
+
 // Sender-side path scheduling. The schedulers mirror the internal/core
 // policies on the signals a real wire provides — no lane telemetry, but
 // exact in-flight counts from ack accounting — and reuse core's health
@@ -51,6 +53,10 @@ type scheduler struct {
 	count uint64 // packets scheduled (canary clock)
 	picks []int  // scratch, reused across calls
 	elig  []int  // scratch, reused across calls
+
+	// verdict holds the obs.WireSched* bits of the most recent pick, for
+	// the sender's wire trace. Reset at the top of every pick.
+	verdict int64
 }
 
 // WireDeadlineStats snapshots the deadline scheduler's decisions and
@@ -143,6 +149,7 @@ type pathView interface {
 // budget accounting; the other modes ignore them.
 func (s *scheduler) pick(paths []*senderPath, nowNanos int64, size int) (picks []int, canaryIdx int) {
 	s.count++
+	s.verdict = 0
 	canaryIdx = -1
 	canaryPath := -1
 	// Canary trickle: every canaryEvery-th packet feeds a probing path,
@@ -161,6 +168,7 @@ func (s *scheduler) pick(paths []*senderPath, nowNanos int64, size int) (picks [
 	if len(cand) == 0 {
 		// Mass failure: ignore health rather than stall (and keep the
 		// watchdogs fed), exactly like the core policies.
+		s.verdict |= obs.WireSchedFallback
 		for i := range paths {
 			s.elig = append(s.elig, i)
 		}
@@ -187,13 +195,17 @@ func (s *scheduler) pick(paths []*senderPath, nowNanos int64, size int) (picks [
 			s.dstats.Safe++
 		default:
 			s.dstats.AtRisk++
+			s.verdict |= obs.WireSchedAtRisk
 			second := s.bestByEstimate(paths, cand, first)
 			if second < 0 {
 				s.dstats.Denied++
+				s.verdict |= obs.WireSchedDenied
 			} else if s.budget == nil || !s.budget.trySpend(nowNanos, size) {
 				s.dstats.Denied++
+				s.verdict |= obs.WireSchedDenied
 			} else {
 				s.dstats.Duplicated++
+				s.verdict |= obs.WireSchedDup
 				s.picks = append(s.picks, second)
 			}
 		}
@@ -216,6 +228,7 @@ func (s *scheduler) pick(paths []*senderPath, nowNanos int64, size int) (picks [
 		}
 	}
 	if canaryPath >= 0 {
+		s.verdict |= obs.WireSchedCanary
 		for i, p := range s.picks {
 			if p == canaryPath {
 				return s.picks, i // fallback mode already routed here

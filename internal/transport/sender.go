@@ -8,6 +8,7 @@ import (
 
 	"mpdp/internal/core"
 	"mpdp/internal/live"
+	"mpdp/internal/obs"
 	"mpdp/internal/sim"
 )
 
@@ -60,6 +61,11 @@ type SenderConfig struct {
 	// before its first wire copy is written (so a delivery can never race
 	// ahead of its send record).
 	Verifier *Verifier
+	// Trace, when non-nil, records sampled per-frame lifecycle events
+	// (enqueue, scheduler verdict, per-copy tx, ack receipt) into a wire
+	// flight recorder for cross-endpoint tail attribution. Nil disables
+	// every capture site: an untraced sender behaves byte-identically.
+	Trace *obs.WireRecorder
 }
 
 // senderPath is one wire path's socket plus its ack-accounting and health
@@ -85,6 +91,7 @@ type senderPath struct {
 	refused   uint64
 	rttNanos  int64 // EWMA, 0 until the first ack carries an RTT echo
 	rttJitter int64 // EWMA of |rtt - smoothed rtt|; the wire's fluctuation signal
+	lastEcho  int64 // newest SendNanos echo folded into the RTT EWMA
 
 	scratch []byte
 }
@@ -229,6 +236,7 @@ func (s *Sender) Send(flowID uint64, payload []byte) (uint64, error) {
 		}
 	}
 	picks, canaryIdx := s.sched.pick(s.paths, now, len(payload))
+	verdict := s.sched.verdict
 	seq := s.flowSeq[flowID]
 	s.flowSeq[flowID] = seq + 1
 	s.packets++
@@ -267,6 +275,18 @@ func (s *Sender) Send(flowID uint64, payload []byte) (uint64, error) {
 		v.NoteSent(flowID, seq)
 	}
 
+	// The trace's enqueue timestamp IS the SendNanos stamped into every
+	// copy's header, so the receiver can reconstruct it from the echo.
+	tr := s.cfg.Trace
+	sampled := tr != nil && tr.Sampled(flowID, seq)
+	if sampled {
+		tr.Emit(obs.WireEvent{Nanos: now, Kind: obs.WireEnqueue, Path: -1,
+			FlowID: flowID, Seq: seq, A: int64(len(payload))})
+		tr.Emit(obs.WireEvent{Nanos: now, Kind: obs.WireSched,
+			Path: int32(plans[0].path.id), FlowID: flowID, Seq: seq,
+			A: int64(len(plans)), B: verdict})
+	}
+
 	var firstErr error
 	for _, pl := range plans {
 		h := Header{
@@ -277,7 +297,7 @@ func (s *Sender) Send(flowID uint64, payload []byte) (uint64, error) {
 			PathSeq:   pl.pathSeq,
 			SendNanos: now,
 		}
-		if err := s.writeFrame(pl.path, h, payload); err != nil && firstErr == nil {
+		if err := s.writeFrame(pl.path, h, payload, sampled); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -285,8 +305,10 @@ func (s *Sender) Send(flowID uint64, payload []byte) (uint64, error) {
 }
 
 // writeFrame encodes and transmits one wire frame, applying the impairer
-// verdict. Socket writes happen outside the sender lock.
-func (s *Sender) writeFrame(p *senderPath, h Header, payload []byte) error {
+// verdict. Socket writes happen outside the sender lock. sampled marks
+// frames whose (flow, seq) is in the wire trace's sample: each copy that
+// actually reaches the socket emits a tx event stamped post-write.
+func (s *Sender) writeFrame(p *senderPath, h Header, payload []byte, sampled bool) error {
 	t0 := nowNanos()
 	buf, err := AppendFrame(p.scratch[:0], &h, payload)
 	if err != nil {
@@ -322,6 +344,7 @@ func (s *Sender) writeFrame(p *senderPath, h Header, payload []byte) error {
 				for i := 0; i < writes; i++ {
 					s.write(p, own) //lint:allow erroreat write already fed the failure to health; a delayed frame has no caller to tell
 				}
+				s.traceTx(h, sampled)
 			})
 			return nil
 		}
@@ -332,7 +355,25 @@ func (s *Sender) writeFrame(p *senderPath, h Header, payload []byte) error {
 			werr = err
 		}
 	}
+	if werr == nil {
+		s.traceTx(h, sampled)
+	}
 	return werr
+}
+
+// traceTx emits the copy's tx event and records the sender_queue stage
+// (accept → this copy's socket write, all sender clock).
+func (s *Sender) traceTx(h Header, sampled bool) {
+	if !sampled {
+		return
+	}
+	txNow := nowNanos()
+	s.cfg.Trace.Emit(obs.WireEvent{Nanos: txNow, Kind: obs.WireTx,
+		Path: int32(h.PathID), FlowID: h.FlowID, Seq: h.Seq, PathSeq: h.PathSeq,
+		A: int64(h.Flags)})
+	if sp := s.cfg.Spans; sp != nil && sp.SenderQueue != nil {
+		sp.SenderQueue.Record(txNow - h.SendNanos)
+	}
 }
 
 // write performs the socket write and feeds the result to health.
@@ -401,9 +442,18 @@ func (s *Sender) handleAck(p *senderPath, h Header) {
 	p.ackHigh, p.ackRecv = high, recv
 	p.acked += uint64(newDelivered)
 	p.lost += uint64(newLost)
-	if h.SendNanos > 0 {
+	// RTT sampling keys on the echo's freshness, not the ack's: a
+	// duplicated ack, or a sweep ack repeating the newest echo, would pass
+	// the cumulative guard above yet re-sample the same send timestamp
+	// against a later `now` — inflating the EWMA with phantom latency.
+	// Only a strictly newer echo yields a sample; clock-skewed echoes from
+	// the future (rtt ≤ 0) are rejected rather than folded in.
+	var rttSample int64
+	if h.SendNanos > p.lastEcho {
+		p.lastEcho = h.SendNanos
 		rtt := now - h.SendNanos
 		if rtt > 0 {
+			rttSample = rtt
 			if p.rttNanos == 0 {
 				p.rttNanos = rtt
 			} else {
@@ -418,6 +468,13 @@ func (s *Sender) handleAck(p *senderPath, h Header) {
 	}
 	p.health.ObserveAck(sim.Time(now), newDelivered, newLost)
 	p.health.Maintain(sim.Time(now))
+	// Ack events are never flow-sampled: they are the merge layer's
+	// clock-offset signal. Lock order sender.mu → recorder.mu is safe (the
+	// recorder never takes transport locks).
+	if tr := s.cfg.Trace; tr != nil {
+		tr.Emit(obs.WireEvent{Nanos: now, Kind: obs.WireAckRx,
+			Path: int32(p.id), A: rttSample, B: int64(newLost)})
+	}
 }
 
 // PathStats is one path's cumulative sender-side accounting.

@@ -21,6 +21,14 @@ import (
 //	              inherits the two clocks' offset)
 //
 // A nil *Spans disables recording at every site.
+//
+// Two further stages exist only when wire tracing is enabled (see
+// EnableWireStages) and stay entirely absent otherwise, so a traced and
+// an untraced run differ by exactly the stages the trace adds:
+//
+//	sender_queue  packet accept → the admitted copy's socket write
+//	flight        send timestamp → frame arrival (cross-clock: inherits
+//	              the two endpoints' offset; the merge layer corrects it)
 type Spans struct {
 	Encode      *live.Histogram
 	SocketWrite *live.Histogram
@@ -28,6 +36,11 @@ type Spans struct {
 	Reorder     *live.Histogram
 	Deliver     *live.Histogram
 	E2E         *live.Histogram
+
+	// SenderQueue and Flight are nil unless EnableWireStages was called;
+	// every recording site nil-checks them individually.
+	SenderQueue *live.Histogram
+	Flight      *live.Histogram
 }
 
 // NewSpans allocates the stage histograms and, when reg is non-nil,
@@ -50,20 +63,44 @@ func NewSpans(reg *live.Registry) *Spans {
 	return s
 }
 
+// EnableWireStages allocates the wire-trace-only stages (sender_queue,
+// flight) and, when reg is non-nil, registers them on the same
+// mpdp_wire_stage_latency_ns family. Call before the Spans are shared
+// with a Sender/Receiver; without this call the stages do not exist and
+// span output is byte-identical to an untraced run.
+func (s *Spans) EnableWireStages(reg *live.Registry) {
+	s.SenderQueue = live.NewHistogram()
+	s.Flight = live.NewHistogram()
+	if reg != nil {
+		reg.RegisterHistogram(`mpdp_wire_stage_latency_ns{stage="sender_queue"}`, s.SenderQueue)
+		reg.RegisterHistogram(`mpdp_wire_stage_latency_ns{stage="flight"}`, s.Flight)
+	}
+}
+
 type spanStage struct {
 	name string
 	h    *live.Histogram
 }
 
 func (s *Spans) stages() []spanStage {
-	return []spanStage{
+	out := []spanStage{
 		{"encode", s.Encode},
 		{"socket_write", s.SocketWrite},
-		{"socket_read", s.SocketRead},
-		{"reorder", s.Reorder},
-		{"deliver", s.Deliver},
-		{"e2e", s.E2E},
 	}
+	if s.SenderQueue != nil {
+		out = append(out, spanStage{"sender_queue", s.SenderQueue})
+	}
+	out = append(out,
+		spanStage{"socket_read", s.SocketRead},
+	)
+	if s.Flight != nil {
+		out = append(out, spanStage{"flight", s.Flight})
+	}
+	return append(out,
+		spanStage{"reorder", s.Reorder},
+		spanStage{"deliver", s.Deliver},
+		spanStage{"e2e", s.E2E},
+	)
 }
 
 // StageSnapshot returns every stage's summary in pipeline order, in the
