@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race verify cover bench bench-snapshots bench-diff suite suite-quick check lint hotpath-gates examples clean loopback fuzz-frame fuzz-wire wire-trace
+.PHONY: all build test test-short race verify cover bench bench-snapshots bench-diff suite suite-quick check lint hotpath-gates examples clean loopback fuzz-frame fuzz-wire fuzz-manifest wire-trace incident-smoke
 
 all: build test
 
@@ -64,6 +64,24 @@ fuzz-frame:
 fuzz-wire:
 	$(GO) test -run '^$$' -fuzz FuzzWireReader -fuzztime 30s ./internal/obs/
 
+# Fuzz the incident-bundle manifest decoder (strict, versioned; anything
+# it accepts must survive an encode/decode round trip unchanged).
+fuzz-manifest:
+	$(GO) test -run '^$$' -fuzz FuzzManifestDecode -fuzztime 30s ./internal/sentinel/
+
+# Hermetic tail-sentinel smoke: loopback gateway under episodic burst
+# impairment with the sentinel armed. The run must detect the episode,
+# write an incident bundle under incidents/, and mpdp-inspect -incident
+# must parse and integrity-check it.
+incident-smoke:
+	rm -rf incidents
+	$(GO) run ./cmd/mpdp-gateway -loopback -packets 4000 -rate 5000 -paths 2 \
+		-payload 64 -sched rr -wire-sample 4 \
+		-burst-period 2000 -burst-len 250 -burst-delay 3ms -impair-path 0 \
+		-sentinel incidents -sentinel-p99 1500us -sentinel-tick 30ms \
+		-sentinel-suspect 1 -sentinel-clear 4 -sentinel-cooldown 3
+	$(GO) run ./cmd/mpdp-inspect -incident incidents/incident-0001
+
 # Hermetic loopback run with wire flight recorders on both endpoints:
 # writes run.wir (mpdp-inspect -wire) and wire-trace.json (Chrome tracing)
 # and prints the cross-endpoint tail attribution.
@@ -96,3 +114,4 @@ examples:
 
 clean:
 	rm -f results.csv suite_output.txt run.wir wire-trace.json
+	rm -rf incidents

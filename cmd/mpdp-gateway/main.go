@@ -17,6 +17,8 @@
 //	mpdp-gateway -mode echo -addrs 0.0.0.0:7401,0.0.0.0:7402
 //	mpdp-gateway -mode send -remotes host:7401,host:7402 -duration 10s
 //	mpdp-gateway -loopback -listen :9090 -slo "p99<2ms,avail>99.9"
+//	mpdp-gateway -loopback -burst-period 2000 -burst-len 250 -burst-delay 3ms \
+//	    -impair-path 0 -sentinel incidents/ -sentinel-p99 1500us
 //
 // With -listen, the wire-path stage histograms (encode, socket_write,
 // socket_read, reorder, deliver, e2e) are served live at /metrics and
@@ -31,6 +33,15 @@
 // MPDPWIR1 stream is written for mpdp-inspect -wire, and -wire-chrome
 // exports the slowest packets as a Chrome trace with one lane per path.
 // Tracing also enables the sender_queue and flight span stages.
+//
+// With -sentinel <dir> (loopback only), the tail sentinel watches the
+// windowed e2e p99, the SLO burn state, and path health on every
+// -sentinel-tick; when a tail episode triggers it ramps both flight
+// recorders to -sentinel-ramp, and when the episode clears it writes a
+// self-contained incident bundle (pre/during MPDPWIR1 streams, stage
+// attribution, SLO status, path-health timeline, optional pprof via
+// -sentinel-pprof + -debug-listen) under <dir>/incident-NNNN for
+// mpdp-inspect -incident.
 package main
 
 import (
@@ -47,6 +58,7 @@ import (
 	"mpdp/internal/live"
 	"mpdp/internal/obs"
 	"mpdp/internal/packet"
+	"mpdp/internal/sentinel"
 	"mpdp/internal/shutdown"
 	"mpdp/internal/sim"
 	"mpdp/internal/transport"
@@ -87,13 +99,60 @@ func main() {
 		wireSample = flag.Int("wire-sample", 64, "wire trace: sample every Nth (flow,seq), rounded up to a power of two (1 = every packet)")
 		wireTop    = flag.Int("wire-top", 8, "wire trace: slowest timelines to print and export")
 
-		listen  = flag.String("listen", "", "serve live metrics over HTTP on this address (e.g. :9090)")
-		sloSpec = flag.String("slo", "", `SLO objectives, e.g. "p99<2ms,avail>99.9"`)
-		jsonOut = flag.Bool("json", false, "print the final report as JSON")
+		listen      = flag.String("listen", "", "serve live metrics over HTTP on this address (e.g. :9090)")
+		debugListen = flag.String("debug-listen", "", "serve /debug/pprof and /debug/vars on this address (keep it loopback or firewalled)")
+		sloSpec     = flag.String("slo", "", `SLO objectives, e.g. "p99<2ms,avail>99.9"`)
+		jsonOut     = flag.Bool("json", false, "print the final report as JSON")
+
+		sentinelDir     = flag.String("sentinel", "", "loopback: run the tail sentinel, writing incident bundles under this directory")
+		sentinelP99     = flag.Duration("sentinel-p99", 2*time.Millisecond, "sentinel: windowed e2e p99 threshold that arms the detector")
+		sentinelTick    = flag.Duration("sentinel-tick", 100*time.Millisecond, "sentinel: signal sampling period")
+		sentinelRamp    = flag.Int("sentinel-ramp", 1, "sentinel: wire-trace sample-every rate during an episode (1 = every packet)")
+		sentinelSuspect = flag.Int("sentinel-suspect", 2, "sentinel: consecutive breach ticks before an episode triggers")
+		sentinelClear   = flag.Int("sentinel-clear", 3, "sentinel: consecutive clean ticks before an episode ends")
+		sentinelCool    = flag.Int("sentinel-cooldown", 5, "sentinel: post-episode ticks during which new triggers are ignored")
+		sentinelPprof   = flag.Bool("sentinel-pprof", false, "sentinel: grab pprof CPU/heap from -debug-listen at episode start")
 	)
 	flag.Parse()
 	if *loopback {
 		*mode = "loopback"
+	}
+
+	// Flag hygiene: an impossible value is an operator mistake, and a
+	// silently-clamped mistake produces a run that measures something
+	// other than what was asked for. Reject loudly instead.
+	if *wireSample < 1 {
+		fatalf("-wire-sample %d: sampling rate must be >= 1 (1 = every packet)", *wireSample)
+	}
+	if *burstLen > 0 && *burstPeriod == 0 {
+		fatalf("-burst-len %d needs -burst-period > 0", *burstLen)
+	}
+	if *burstPeriod > 0 {
+		if *burstLen == 0 {
+			fatalf("-burst-period %d with -burst-len 0 would delay nothing; set -burst-len", *burstPeriod)
+		}
+		if *burstLen > *burstPeriod {
+			fatalf("-burst-len %d exceeds -burst-period %d: the burst would never end", *burstLen, *burstPeriod)
+		}
+	}
+	if *sentinelDir != "" && *mode != "loopback" {
+		fatalf("-sentinel needs both endpoints in one process: loopback mode only")
+	}
+	if *sentinelP99 <= 0 {
+		fatalf("-sentinel-p99 %v: threshold must be > 0", *sentinelP99)
+	}
+	if *sentinelTick <= 0 {
+		fatalf("-sentinel-tick %v: sampling period must be > 0", *sentinelTick)
+	}
+	if *sentinelRamp < 1 {
+		fatalf("-sentinel-ramp %d: episode sampling rate must be >= 1 (1 = every packet)", *sentinelRamp)
+	}
+	if *sentinelSuspect < 1 || *sentinelClear < 1 || *sentinelCool < 1 {
+		fatalf("-sentinel-suspect/-sentinel-clear/-sentinel-cooldown must all be >= 1 (got %d/%d/%d)",
+			*sentinelSuspect, *sentinelClear, *sentinelCool)
+	}
+	if *sentinelPprof && *debugListen == "" {
+		fatalf("-sentinel-pprof grabs profiles from the debug listener; set -debug-listen")
 	}
 
 	// On the wire, "no budget configured" means duplication stays off: the
@@ -139,6 +198,15 @@ func main() {
 			}
 		}()
 		fmt.Printf("serving metrics on %s (%s)\n", *listen, endpoints)
+	}
+	if *debugListen != "" {
+		srv := &http.Server{Addr: *debugListen, Handler: live.DebugHandler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "mpdp-gateway: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving debug endpoints on %s (/debug/pprof, /debug/vars)\n", *debugListen)
 	}
 	if tracker != nil {
 		stopTick := make(chan struct{})
@@ -194,6 +262,12 @@ func main() {
 			stop: stop, jsonOut: *jsonOut,
 			wireTrace: *wireTrace, wireChrome: *wireChrome,
 			wireSample: *wireSample, wireTop: *wireTop,
+			sentinel: sentinelCfg{
+				dir: *sentinelDir, p99: *sentinelP99, tick: *sentinelTick,
+				ramp: *sentinelRamp, suspect: *sentinelSuspect,
+				clear: *sentinelClear, cooldown: *sentinelCool,
+				pprof: *sentinelPprof, debugAddr: *debugListen,
+			},
 		})
 	case "recv", "echo":
 		runReceiver(strings.Split(nonEmpty(*addrs, "-addrs"), ","), *mode == "echo",
@@ -231,20 +305,36 @@ type loopCfg struct {
 	wireChrome     string
 	wireSample     int
 	wireTop        int
+	sentinel       sentinelCfg
+}
+
+// sentinelCfg is the -sentinel flag family, resolved.
+type sentinelCfg struct {
+	dir       string
+	p99       time.Duration
+	tick      time.Duration
+	ramp      int
+	suspect   int
+	clear     int
+	cooldown  int
+	pprof     bool
+	debugAddr string
 }
 
 func runLoopback(c loopCfg) {
 	// Wire tracing attaches a flight recorder to each endpoint and turns on
-	// the trace-only span stages (sender_queue, flight). With no trace
-	// requested, neither exists and the run's output is byte-identical to a
-	// pre-trace gateway.
+	// the trace-only span stages (sender_queue, flight). The sentinel needs
+	// the recorders too: its pre-trigger history IS the steady-state ring,
+	// and an episode ramps its sampling rate. With neither trace nor
+	// sentinel requested, no recorder exists and the run's output is
+	// byte-identical to a pre-trace gateway (test-pinned).
 	var senderTr, recvTr *obs.WireRecorder
-	if c.wireTrace != "" || c.wireChrome != "" {
+	if c.wireTrace != "" || c.wireChrome != "" || c.sentinel.dir != "" {
 		senderTr = obs.NewWireRecorder(obs.WireSender, 0, c.wireSample)
 		recvTr = obs.NewWireRecorder(obs.WireReceiver, 0, c.wireSample)
 		c.spans.EnableWireStages(c.reg)
 	}
-	rep, err := transport.RunLoopback(transport.LoopbackConfig{
+	cfg := transport.LoopbackConfig{
 		Paths:                c.paths,
 		Scheduler:            c.sched,
 		HedgeK:               c.hedgeK,
@@ -265,7 +355,51 @@ func runLoopback(c loopCfg) {
 		Stop:                 c.stop,
 		SenderTrace:          senderTr,
 		ReceiverTrace:        recvTr,
-	})
+	}
+	var (
+		capture      *sentinel.Capture
+		sentinelStop chan struct{}
+		sentinelDone chan struct{}
+	)
+	if c.sentinel.dir != "" {
+		sentinelStop = make(chan struct{})
+		sentinelDone = make(chan struct{})
+		cfg.OnStart = func(send *transport.Sender, recv *transport.Receiver) {
+			var prof *sentinel.ProfileGrabber
+			if c.sentinel.pprof {
+				prof = &sentinel.ProfileGrabber{BaseURL: debugBaseURL(c.sentinel.debugAddr)}
+			}
+			cp, err := sentinel.NewCapture(sentinel.CaptureConfig{
+				Detector: sentinel.Config{
+					P99ThresholdNanos: c.sentinel.p99.Nanoseconds(),
+					SuspectTicks:      c.sentinel.suspect,
+					ClearTicks:        c.sentinel.clear,
+					CooldownTicks:     c.sentinel.cooldown,
+				},
+				Dir:           c.sentinel.dir,
+				RampTo:        c.sentinel.ramp,
+				SenderTrace:   senderTr,
+				ReceiverTrace: recvTr,
+				E2E:           c.spans.E2E,
+				SLO:           c.tracker,
+				PathHealth:    send.HealthSnapshot,
+				Profile:       prof,
+			})
+			if err != nil {
+				fatalf("sentinel: %v", err)
+			}
+			capture = cp
+			go func() {
+				defer close(sentinelDone)
+				cp.Run(c.sentinel.tick, sentinelStop)
+			}()
+		}
+	}
+	rep, err := transport.RunLoopback(cfg)
+	if capture != nil {
+		close(sentinelStop)
+		<-sentinelDone
+	}
 	if err != nil {
 		fatalf("loopback: %v", err)
 	}
@@ -274,12 +408,52 @@ func runLoopback(c loopCfg) {
 	} else {
 		printReport(rep, c.tracker)
 	}
-	if senderTr != nil {
+	if c.wireTrace != "" || c.wireChrome != "" {
 		writeWireOutputs(c, senderTr, recvTr)
+	}
+	if capture != nil {
+		printSentinel(capture, c.jsonOut)
 	}
 	if err := rep.Verify(); err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// printSentinel closes the capture (force-ending an episode the run tore
+// down mid-flight) and reports every bundle written. In -json mode the
+// report document owns stdout, so bundle paths go to stderr.
+func printSentinel(capture *sentinel.Capture, jsonOut bool) {
+	out := os.Stdout
+	if jsonOut {
+		out = os.Stderr
+	}
+	bundles, err := capture.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpdp-gateway: sentinel: %v\n", err)
+	}
+	if len(bundles) == 0 {
+		fmt.Fprintf(out, "sentinel: no tail episodes detected (state %s)\n", capture.State())
+		return
+	}
+	fmt.Fprintf(out, "sentinel: %d incident bundle(s):\n", len(bundles))
+	for _, dir := range bundles {
+		line := dir
+		if m, merr := sentinel.ReadManifest(dir); merr == nil {
+			line = fmt.Sprintf("%s  %s", dir, m.Summary.Headline)
+		}
+		fmt.Fprintf(out, "  %s\n", line)
+	}
+	fmt.Fprintf(out, "inspect with: mpdp-inspect -incident %s\n", bundles[0])
+}
+
+// debugBaseURL turns a listen address into the URL the profile grabber
+// dials: a bare ":port" listens on every interface but is reachable on
+// loopback.
+func debugBaseURL(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	return "http://" + addr
 }
 
 // writeWireOutputs merges the two endpoints' recorded streams and emits

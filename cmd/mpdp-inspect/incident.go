@@ -1,0 +1,236 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"mpdp/internal/obs"
+	"mpdp/internal/sentinel"
+)
+
+// inspectIncident opens one incident bundle (a directory written by the
+// gateway's tail sentinel) and renders the operator's first read: the
+// headline (which stage, what share), the episode's geometry on the
+// producing host's clock, the before/during stage contrast, the verdict
+// mix and per-path table, the path-health timeline, and a file-integrity
+// check of every member the manifest names.
+func inspectIncident(dir string) error {
+	m, err := sentinel.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("incident bundle %s (%s, seq %d):\n", dir, m.Version, m.Seq)
+	fmt.Printf("  headline  %s\n", m.Summary.Headline)
+	fmt.Printf("  dominant  %s (%.0f%% of the merged tail)\n",
+		m.Summary.DominantStage, 100*m.Summary.DominantFrac)
+	fmt.Printf("  reasons   %s\n", joinOr(m.Reasons, "(none)"))
+	ep := m.Episode
+	fmt.Printf("  episode   %v over %d ticks (onset %s, confirmed +%v, cleared +%v)%s\n",
+		time.Duration(ep.EndNanos-ep.StartNanos), ep.Ticks,
+		time.Unix(0, ep.StartNanos).UTC().Format(time.RFC3339Nano),
+		time.Duration(ep.TriggerNanos-ep.StartNanos),
+		time.Duration(ep.EndNanos-ep.StartNanos),
+		truncNote(ep.Truncated))
+	fmt.Printf("  peak p99  %v\n", time.Duration(ep.PeakP99))
+	fmt.Printf("  capture   %d pre-trigger + %d episode events (ramp %d -> every %s)\n",
+		m.Capture.PreEvents, m.Capture.DuringEvents,
+		rampFrom(m.Ramp), nth(m.Ramp.To))
+	if m.Capture.PreOldestNanos > 0 {
+		fmt.Printf("  reach     pre-trigger history back to %v before onset\n",
+			time.Duration(ep.StartNanos-m.Capture.PreOldestNanos))
+	}
+	fmt.Printf("  merged    %d delivered, %d lost\n", m.Summary.Delivered, m.Summary.Lost)
+
+	attr, err := readAttribution(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	printStageContrast(attr.Before, attr.During)
+	if len(attr.VerdictMix) > 0 {
+		fmt.Println()
+		printVerdictMix(attr.VerdictMix)
+	}
+	if len(attr.Paths) > 0 {
+		fmt.Println()
+		printIncidentPaths(attr.Paths)
+	}
+	if tl, err := readHealthTimeline(dir); err == nil && len(tl) > 0 {
+		fmt.Println()
+		fmt.Println("path-health timeline:")
+		for _, h := range tl {
+			from := h.From
+			if from == "" {
+				from = "(start)"
+			}
+			fmt.Printf("  %s  path %d  %s -> %s (%d quarantines)\n",
+				time.Unix(0, h.Nanos).UTC().Format(time.RFC3339Nano),
+				h.Path, from, h.To, h.Quarantines)
+		}
+	}
+
+	fmt.Println()
+	return verifyBundleFiles(dir, m)
+}
+
+// readAttribution parses the bundle's attribution document.
+func readAttribution(dir string) (*sentinel.Attribution, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "attribution.json"))
+	if err != nil {
+		return nil, err
+	}
+	var attr sentinel.Attribution
+	if err := json.Unmarshal(raw, &attr); err != nil {
+		return nil, fmt.Errorf("attribution.json: %w", err)
+	}
+	return &attr, nil
+}
+
+// readHealthTimeline parses the bundle's path-health transitions.
+func readHealthTimeline(dir string) ([]sentinel.HealthChange, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "pathhealth.json"))
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Timeline []sentinel.HealthChange `json:"timeline"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("pathhealth.json: %w", err)
+	}
+	return doc.Timeline, nil
+}
+
+// printStageContrast renders the before/during stage tables side by side:
+// the episode's signature is the stage whose p99 moved.
+func printStageContrast(before, during []obs.WireStage) {
+	idx := map[string]obs.WireStage{}
+	order := []string{}
+	for _, st := range before {
+		idx["b:"+st.Stage] = st
+		order = append(order, st.Stage)
+	}
+	for _, st := range during {
+		idx["d:"+st.Stage] = st
+		if _, seen := idx["b:"+st.Stage]; !seen {
+			order = append(order, st.Stage)
+		}
+	}
+	fmt.Println("per-stage p99, before vs during the episode:")
+	fmt.Printf("  %-14s %12s %12s %12s %12s\n",
+		"stage", "pre n", "pre p99(us)", "epi n", "epi p99(us)")
+	for _, name := range order {
+		b, hasB := idx["b:"+name]
+		d, hasD := idx["d:"+name]
+		fmt.Printf("  %-14s %12s %12s %12s %12s\n", name,
+			countCell(b.Latency.Count, hasB), usCell(b.Latency.P99, hasB),
+			countCell(d.Latency.Count, hasD), usCell(d.Latency.P99, hasD))
+	}
+}
+
+func printVerdictMix(mix map[string]int) {
+	keys := make([]string, 0, len(mix))
+	for k := range mix {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("scheduler verdict mix (delivered timelines):")
+	for _, k := range keys {
+		fmt.Printf("  %-28s %d\n", k, mix[k])
+	}
+}
+
+func printIncidentPaths(paths []obs.WirePathStats) {
+	fmt.Println("per-path (full capture):")
+	fmt.Printf("  %4s %8s %8s %8s %8s %14s %14s\n",
+		"path", "tx", "rx", "wins", "deduped", "prop mean(us)", "prop max(us)")
+	for _, p := range paths {
+		fmt.Printf("  %4d %8d %8d %8d %8d %14.1f %14.1f\n",
+			p.Path, p.Tx, p.Rx, p.Wins, p.Deduped,
+			float64(p.PropMean)/1000, float64(p.PropMax)/1000)
+	}
+}
+
+// verifyBundleFiles checks that every file the manifest names exists and
+// that each wir stream decodes to its declared event count — so a
+// truncated copy of a bundle fails loudly here, not in an analysis tool
+// downstream.
+func verifyBundleFiles(dir string, m *sentinel.Manifest) error {
+	for _, f := range m.Files {
+		path := filepath.Join(dir, f.Name)
+		if _, err := os.Stat(path); err != nil {
+			return fmt.Errorf("manifest names %s: %w", f.Name, err)
+		}
+		if f.Kind != "wir" {
+			continue
+		}
+		fh, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		evs, err := obs.ReadAllWire(fh)
+		fh.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+		if len(evs) != f.Events {
+			return fmt.Errorf("%s decodes to %d events, manifest says %d", f.Name, len(evs), f.Events)
+		}
+	}
+	fmt.Printf("bundle intact: %d files verified\n", len(m.Files))
+	return nil
+}
+
+func joinOr(parts []string, empty string) string {
+	if len(parts) == 0 {
+		return empty
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += ", " + p
+	}
+	return out
+}
+
+func truncNote(truncated bool) string {
+	if truncated {
+		return " [truncated: closed by teardown or max-ticks, not by the signal clearing]"
+	}
+	return ""
+}
+
+// rampFrom reports the steady-state rate the ramp left (sender's, or the
+// receiver's when only that endpoint had a recorder).
+func rampFrom(r sentinel.RampInfo) int {
+	if r.SenderFrom > 0 {
+		return r.SenderFrom
+	}
+	return r.ReceiverFrom
+}
+
+// nth renders a sample-every rate as prose ("packet" / "4th packet").
+func nth(n int) string {
+	if n <= 1 {
+		return "packet"
+	}
+	return fmt.Sprintf("%dth packet", n)
+}
+
+func countCell(n uint64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+func usCell(ns int64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(ns)/1000)
+}

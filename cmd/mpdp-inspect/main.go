@@ -26,6 +26,14 @@
 // (per-stage latency spans) as an ASCII distribution with quantiles:
 //
 //	mpdp-inspect -live http://localhost:9090
+//
+// Incident mode (-incident DIR) opens an incident bundle written by the
+// gateway's tail sentinel (mpdp-gateway -sentinel) and renders the
+// episode: headline stage, duration and trigger geometry, before/during
+// stage tables, scheduler verdict mix, per-path propagation, the
+// path-health timeline, and a file-integrity check:
+//
+//	mpdp-inspect -incident incidents/incident-0001
 package main
 
 import (
@@ -46,14 +54,24 @@ func main() {
 		chrome    = flag.String("chrome", "", "export exemplar timelines as Chrome trace-event JSON")
 		liveURL   = flag.String("live", "", "inspect a running engine's metrics at this base URL instead of an .obs file")
 		wire      = flag.Bool("wire", false, "treat the input as a wire flight-recorder stream (MPDPWIR1, from mpdp-gateway -wire-trace)")
+		incident  = flag.String("incident", "", "render an incident bundle directory (written by mpdp-gateway -sentinel)")
 	)
+	flag.Usage = usage
 	flag.Parse()
 	if *liveURL != "" {
 		failIf(inspectLive(*liveURL))
 		return
 	}
+	if *incident != "" {
+		failIf(inspectIncident(*incident))
+		return
+	}
+	// Invoked bare — no mode flag, no stream to read. Doing nothing and
+	// exiting 0 would let a typo'd invocation pass silently in scripts;
+	// print the full usage and fail instead.
 	if flag.NArg() != 1 {
-		fail("usage: mpdp-inspect [flags] <events.obs> | mpdp-inspect -wire <trace.wir> | mpdp-inspect -live <url>")
+		usage()
+		os.Exit(2)
 	}
 	path := flag.Arg(0)
 	if *wire {
@@ -228,6 +246,20 @@ func printEvents(evs []obs.Event) {
 		fmt.Printf("  +%-12v %-16s lane=%-3d copy=%-6d %s\n",
 			sim.Duration(ev.Time-t0), ev.Kind.String(), ev.Path, ev.PktID, detail)
 	}
+}
+
+// usage prints the mode synopsis plus every flag. Installed as
+// flag.Usage and invoked directly when no mode was selected.
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  mpdp-inspect [flags] <events.obs>       simulator flight-recorder stream
+  mpdp-inspect -wire <trace.wir>          wire stream (mpdp-gateway -wire-trace)
+  mpdp-inspect -live <url>                running engine's metrics
+  mpdp-inspect -incident <dir>            incident bundle (mpdp-gateway -sentinel)
+
+flags:
+`)
+	flag.PrintDefaults()
 }
 
 func fail(format string, args ...any) {

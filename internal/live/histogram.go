@@ -201,6 +201,39 @@ func (s *HistSnapshot) Merge(o *HistSnapshot) {
 	s.Sum += o.Sum
 }
 
+// Delta returns the observations recorded since prev — the windowed view
+// the tail sentinel quantiles each tick. Counts subtract with a clamp at
+// zero (a shard racing the two snapshots can make a bucket appear to run
+// backwards by an in-flight observation; clamping keeps the window
+// well-formed). Min/Max are not recoverable from cumulative extremes, so
+// the delta's are the bounds of its first and last occupied buckets —
+// exact enough for quantiles, which is all a window is for.
+func (s *HistSnapshot) Delta(prev *HistSnapshot) *HistSnapshot {
+	d := &HistSnapshot{}
+	first, last := -1, -1
+	for i := range s.Counts {
+		if s.Counts[i] <= prev.Counts[i] {
+			continue
+		}
+		c := s.Counts[i] - prev.Counts[i]
+		d.Counts[i] = c
+		d.NCount += c
+		if first < 0 {
+			first = i
+		}
+		last = i
+	}
+	if d.NCount == 0 {
+		return d
+	}
+	if d.Sum = s.Sum - prev.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	d.Min = hBucketLower(first)
+	d.Max = hBucketUpper(last)
+	return d
+}
+
 // Mean returns the exact mean, or 0 when empty.
 func (s *HistSnapshot) Mean() float64 {
 	if s.NCount == 0 {

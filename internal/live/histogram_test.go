@@ -261,3 +261,38 @@ func BenchmarkHistogramSnapshot(b *testing.B) {
 		}
 	}
 }
+
+// Delta is the sentinel's windowed view: cumulative snapshot minus the
+// previous tick's snapshot, quantiled per window.
+func TestHistSnapshotDelta(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(int64(i) * 1000)
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Record(5_000_000) // a burst lands: 5ms observations
+	}
+	cur := h.Snapshot()
+	d := cur.Delta(prev)
+	if d.NCount != 50 {
+		t.Fatalf("delta NCount = %d, want 50", d.NCount)
+	}
+	if got := d.Quantile(0.99); got < 4_000_000 || got > 6_000_000 {
+		t.Fatalf("delta p99 = %d, want ~5ms — window must see only the burst", got)
+	}
+	if cum := cur.Quantile(0.50); cum >= 4_000_000 {
+		t.Fatalf("cumulative p50 = %d — the cumulative view should dilute the burst (test setup broken)", cum)
+	}
+	if d.Min < 4_000_000 || d.Max < d.Min {
+		t.Fatalf("delta bounds [%d,%d] should bracket the burst bucket", d.Min, d.Max)
+	}
+	// Empty delta: same snapshot twice.
+	if e := cur.Delta(cur); e.NCount != 0 || e.Sum != 0 || e.Min != 0 || e.Max != 0 {
+		t.Fatalf("self-delta not empty: %+v", e)
+	}
+	// Delta against a fresh histogram equals the cumulative view's count.
+	if full := cur.Delta(NewHistogram().Snapshot()); full.NCount != cur.NCount {
+		t.Fatalf("delta vs empty = %d, want %d", full.NCount, cur.NCount)
+	}
+}

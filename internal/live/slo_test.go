@@ -219,3 +219,59 @@ func TestSLOEngineIntegration(t *testing.T) {
 		t.Fatalf("registry slo series %v != %d", snap["mpdp_slo_avail_good_total"], st.Delivered)
 	}
 }
+
+// The burn-rate math subtracts ring snapshots from current counters; the
+// ring must stay chronologically searchable after its head wraps.
+func TestSLORingWrapAround(t *testing.T) {
+	r := newSLORing(time.Second, 4*time.Second) // 5 slots
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 12; i++ { // wrap the 5-slot ring twice
+		r.push(base.Add(time.Duration(i)*time.Second), sloCounters{latGood: uint64(i)})
+	}
+	// Held window is now t=7..11. Exact hits inside it:
+	for i := 7; i <= 11; i++ {
+		c, ok := r.at(base.Add(time.Duration(i) * time.Second))
+		if !ok || c.latGood != uint64(i) {
+			t.Fatalf("at(t=%d): got %d ok=%v, want %d ok=true", i, c.latGood, ok, i)
+		}
+	}
+	// Between snapshots: newest no newer than t.
+	if c, ok := r.at(base.Add(9500 * time.Millisecond)); !ok || c.latGood != 9 {
+		t.Fatalf("at(t=9.5): got %d ok=%v, want 9 ok=true", c.latGood, ok)
+	}
+	// Before the retained window: clamp to oldest with ok=false so the
+	// burn window collapses to the ring's actual reach.
+	if c, ok := r.at(base.Add(2 * time.Second)); ok || c.latGood != 7 {
+		t.Fatalf("at(t=2): got %d ok=%v, want oldest 7 ok=false", c.latGood, ok)
+	}
+	// After the newest: the newest wins.
+	if c, ok := r.at(base.Add(time.Hour)); !ok || c.latGood != 11 {
+		t.Fatalf("at(t=+1h): got %d ok=%v, want 11 ok=true", c.latGood, ok)
+	}
+}
+
+// A tracker that sat idle pushes nothing for a long gap; the snapshots on
+// either side of the gap must still bracket queries correctly.
+func TestSLORingIdleGap(t *testing.T) {
+	r := newSLORing(time.Second, 10*time.Second)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	r.push(base, sloCounters{latGood: 1})
+	r.push(base.Add(time.Second), sloCounters{latGood: 2})
+	// Idle gap: nothing pushed for an hour.
+	r.push(base.Add(time.Hour), sloCounters{latGood: 3})
+	r.push(base.Add(time.Hour+time.Second), sloCounters{latGood: 4})
+
+	// Queries inside the gap resolve to the last pre-gap snapshot: a burn
+	// window starting mid-gap sees the pre-gap cumulative counts, so the
+	// delta attributes nothing to the idle time.
+	if c, ok := r.at(base.Add(30 * time.Minute)); !ok || c.latGood != 2 {
+		t.Fatalf("mid-gap: got %d ok=%v, want 2 ok=true", c.latGood, ok)
+	}
+	if c, ok := r.at(base.Add(time.Hour)); !ok || c.latGood != 3 {
+		t.Fatalf("gap end: got %d ok=%v, want 3 ok=true", c.latGood, ok)
+	}
+	// Before everything: oldest, not ok — window clamps to tracker life.
+	if c, ok := r.at(base.Add(-time.Minute)); ok || c.latGood != 1 {
+		t.Fatalf("pre-life: got %d ok=%v, want 1 ok=false", c.latGood, ok)
+	}
+}

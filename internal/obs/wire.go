@@ -1,6 +1,9 @@
 package obs
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Wire tracing: the flight recorder taken onto the real UDP data plane.
 //
@@ -37,7 +40,12 @@ type WireRecorder struct {
 	next    int    // ring write cursor
 	n       int    // live entries (≤ cap)
 	emitted uint64 // total events ever emitted
-	mask    uint64 // sample-rate mask (rate rounded up to a power of two)
+
+	// mask is the sample-rate mask (rate rounded up to a power of two,
+	// minus one). Atomic so the tail sentinel can ramp capture to full the
+	// instant an episode starts without pausing the emitters — Sampled
+	// stays a single load on the hot path.
+	mask atomic.Uint64
 }
 
 // WireEnd identifies which endpoint of the wire recorded an event.
@@ -192,18 +200,39 @@ func NewWireRecorder(end WireEnd, capacity, sampleEvery int) *WireRecorder {
 	if capacity <= 0 {
 		capacity = DefaultWireRecorderCap
 	}
+	r := &WireRecorder{end: end, buf: make([]WireEvent, capacity)}
+	r.mask.Store(sampleMask(sampleEvery))
+	return r
+}
+
+// sampleMask converts a sample-every rate into the hash mask Sampled
+// tests against: the rate rounds up to a power of two, ≤ 1 means every
+// packet.
+func sampleMask(sampleEvery int) uint64 {
 	rate := uint64(1)
 	for int(rate) < sampleEvery {
 		rate <<= 1
 	}
-	return &WireRecorder{end: end, buf: make([]WireEvent, capacity), mask: rate - 1}
+	return rate - 1
 }
 
 // End returns the endpoint this recorder records for.
 func (r *WireRecorder) End() WireEnd { return r.end }
 
 // SampleEvery returns the effective sampling rate (a power of two).
-func (r *WireRecorder) SampleEvery() int { return int(r.mask + 1) }
+func (r *WireRecorder) SampleEvery() int { return int(r.mask.Load() + 1) }
+
+// SetSampleEvery atomically retunes the sampling rate (rounded up to a
+// power of two; ≤ 1 samples every packet) and returns the previous
+// effective rate. This is the sampling-ramp hook: the tail sentinel calls
+// it on both endpoints' recorders when an episode starts (ramp to full)
+// and ends (restore). Emitters racing the store see either rate — both
+// are valid samples, and the deterministic (flow, seq) predicate means
+// the two endpoints still agree on every packet captured under the
+// common rate.
+func (r *WireRecorder) SetSampleEvery(sampleEvery int) int {
+	return int(r.mask.Swap(sampleMask(sampleEvery)) + 1)
+}
 
 // wireSampleMix is a splitmix64-style finalizer over the packet identity:
 // cheap, stateless, and identical on both endpoints, so the sender and
@@ -223,7 +252,7 @@ func wireSampleMix(flow, seq uint64) uint64 {
 //
 //mpdp:hotpath bench=BenchmarkWireSampled
 func (r *WireRecorder) Sampled(flow, seq uint64) bool {
-	return wireSampleMix(flow, seq)&r.mask == 0
+	return wireSampleMix(flow, seq)&r.mask.Load() == 0
 }
 
 // Emit records one event, stamping the recorder's endpoint. The ring
@@ -271,15 +300,38 @@ func (r *WireRecorder) Overwritten() uint64 {
 // Events returns the held events, oldest first (a copy; the ring keeps
 // recording).
 func (r *WireRecorder) Events() []WireEvent {
+	evs, _ := r.SnapshotSince(0)
+	return evs
+}
+
+// SnapshotSince returns the still-held events whose emit index (0-based,
+// monotone over the recorder's life) is ≥ since, oldest first, along with
+// the current emit count — the mark to pass next time. The pair makes the
+// ring a crash-recorder with an incremental read API: the tail sentinel
+// snapshots the pre-trigger history with SnapshotSince(0) at episode
+// start, then fetches exactly the episode's own events at the end with
+// SnapshotSince(mark), and the two slices never overlap.
+func (r *WireRecorder) SnapshotSince(since uint64) ([]WireEvent, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]WireEvent, 0, r.n)
-	start := r.next - r.n
+	oldest := r.emitted - uint64(r.n) // emit index of the oldest held event
+	skip := uint64(0)
+	if since > oldest {
+		skip = since - oldest
+	}
+	count := r.n
+	if skip >= uint64(r.n) {
+		count = 0
+	} else {
+		count = r.n - int(skip)
+	}
+	out := make([]WireEvent, 0, count)
+	start := r.next - count
 	if start < 0 {
 		start += len(r.buf)
 	}
-	for i := 0; i < r.n; i++ {
+	for i := 0; i < count; i++ {
 		out = append(out, r.buf[(start+i)%len(r.buf)])
 	}
-	return out
+	return out, r.emitted
 }

@@ -91,6 +91,87 @@ func TestWireSampledEveryPacketAtRateOne(t *testing.T) {
 	}
 }
 
+// The sampling-ramp hook: the sentinel swaps the rate to 1 on episode
+// start and restores it afterwards, and the change must be visible to
+// the Sampled predicate immediately.
+func TestWireSetSampleEveryRamps(t *testing.T) {
+	r := NewWireRecorder(WireSender, 4, 64)
+	missed := false
+	for seq := uint64(0); seq < 1000; seq++ {
+		if !r.Sampled(3, seq) {
+			missed = true
+			break
+		}
+	}
+	if !missed {
+		t.Fatal("rate 64 sampled everything — ramp test would be vacuous")
+	}
+	if prev := r.SetSampleEvery(1); prev != 64 {
+		t.Fatalf("SetSampleEvery returned prev %d, want 64", prev)
+	}
+	for seq := uint64(0); seq < 1000; seq++ {
+		if !r.Sampled(3, seq) {
+			t.Fatalf("after ramp to 1, seq %d missed", seq)
+		}
+	}
+	if prev := r.SetSampleEvery(100); prev != 1 {
+		t.Fatalf("restore returned prev %d, want 1", prev)
+	}
+	if got := r.SampleEvery(); got != 128 {
+		t.Fatalf("restored rate %d, want 128 (rounded up)", got)
+	}
+}
+
+func TestWireSnapshotSince(t *testing.T) {
+	r := NewWireRecorder(WireSender, 64, 1)
+	for i := 0; i < 10; i++ {
+		r.Emit(WireEvent{Nanos: int64(i), Kind: WireTx, Seq: uint64(i)})
+	}
+	pre, mark := r.SnapshotSince(0)
+	if len(pre) != 10 || mark != 10 {
+		t.Fatalf("SnapshotSince(0) = %d events, mark %d; want 10, 10", len(pre), mark)
+	}
+	for i := 5; i < 10; i++ {
+		r.Emit(WireEvent{Nanos: int64(100 + i), Kind: WireRx, Seq: uint64(i)})
+	}
+	during, mark2 := r.SnapshotSince(mark)
+	if len(during) != 5 || mark2 != 15 {
+		t.Fatalf("SnapshotSince(%d) = %d events, mark %d; want 5, 15", mark, len(during), mark2)
+	}
+	if during[0].Nanos != 105 || during[4].Nanos != 109 {
+		t.Fatalf("episode slice wrong: first %d last %d", during[0].Nanos, during[4].Nanos)
+	}
+	// Nothing new since the latest mark.
+	if evs, _ := r.SnapshotSince(mark2); len(evs) != 0 {
+		t.Fatalf("SnapshotSince(latest mark) = %d events, want 0", len(evs))
+	}
+}
+
+// When the ring has overwritten events older than the mark, the snapshot
+// degrades gracefully to whatever is still held.
+func TestWireSnapshotSinceAfterOverwrite(t *testing.T) {
+	r := NewWireRecorder(WireSender, 8, 1)
+	for i := 0; i < 20; i++ {
+		r.Emit(WireEvent{Nanos: int64(i), Seq: uint64(i)})
+	}
+	evs, mark := r.SnapshotSince(0)
+	if len(evs) != 8 || mark != 20 {
+		t.Fatalf("after overflow: %d events, mark %d; want 8, 20", len(evs), mark)
+	}
+	if evs[0].Seq != 12 || evs[7].Seq != 19 {
+		t.Fatalf("held window [%d..%d], want [12..19]", evs[0].Seq, evs[7].Seq)
+	}
+	// A mark inside the held window trims exactly.
+	evs, _ = r.SnapshotSince(15)
+	if len(evs) != 5 || evs[0].Seq != 15 {
+		t.Fatalf("SnapshotSince(15) = %d events starting at %d; want 5 from 15", len(evs), evs[0].Seq)
+	}
+	// A mark beyond the emit count yields nothing.
+	if evs, _ := r.SnapshotSince(99); len(evs) != 0 {
+		t.Fatalf("SnapshotSince(99) = %d events, want 0", len(evs))
+	}
+}
+
 func TestWireKindAndEndStrings(t *testing.T) {
 	for k := 0; k < NumWireKinds; k++ {
 		if s := WireKind(k).String(); s == "kind(?)" || s == "" {

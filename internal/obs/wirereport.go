@@ -78,7 +78,7 @@ func (m *WireMerge) Render(w io.Writer, timelines int) error {
 			fmt.Fprintf(&b, "    queue %v -> propagation %v -> reorder %v -> deliver %v  (sched: %d copies%s)\n",
 				time.Duration(tl.Attr.SenderQueue), time.Duration(tl.Attr.Propagation),
 				time.Duration(tl.Attr.ReorderWait), time.Duration(tl.Attr.Deliver),
-				tl.SchedCopies, verdictString(tl.SchedVerdict))
+				tl.SchedCopies, renderVerdict(tl.SchedVerdict))
 			for _, c := range tl.Copies {
 				status := "in flight"
 				switch {
@@ -113,9 +113,10 @@ func timelineFlags(tl WireTimeline) string {
 	return ""
 }
 
-// verdictString decodes WireSched verdict bits for display, e.g.
-// " at-risk+dup" or "" when no bits are set.
-func verdictString(v int64) string {
+// VerdictString decodes WireSched verdict bits for display, e.g.
+// "at-risk+dup", or "" when no bits are set — the key the incident
+// bundle's scheduler verdict mix is grouped by.
+func VerdictString(v int64) string {
 	var parts []string
 	for _, f := range []struct {
 		bit  int64
@@ -131,8 +132,14 @@ func verdictString(v int64) string {
 			parts = append(parts, f.name)
 		}
 	}
-	if len(parts) == 0 {
-		return ""
+	return strings.Join(parts, "+")
+}
+
+// renderVerdict is VerdictString with the report's leading-space
+// convention (empty stays empty so unverdicted rows stay clean).
+func renderVerdict(v int64) string {
+	if s := VerdictString(v); s != "" {
+		return " " + s
 	}
-	return " " + strings.Join(parts, "+")
+	return ""
 }

@@ -1,0 +1,374 @@
+package sentinel
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mpdp/internal/obs"
+)
+
+// The incident bundle is a directory an operator can tar up and open
+// cold — everything needed to explain one tail episode, nothing that
+// needs the producing process alive:
+//
+//	incident-0001/
+//	  manifest.json     versioned index + episode summary (this file)
+//	  pre.wir           MPDPWIR1: both ends' ring history *before* the trigger
+//	  during.wir        MPDPWIR1: both ends' events captured during the episode
+//	  attribution.json  before/during stage tables, verdict mix, per-path table
+//	  slo.json          SLO tracker status at episode end (when tracked)
+//	  pathhealth.json   path-health transition timeline over the capture's life
+//	  cpu.pprof         CPU profile window (when a debug listener was given)
+//	  heap.pprof        heap profile at episode start (ditto)
+//
+// The manifest is the index: a strict, versioned decoder (the fuzz
+// target) so tooling fails loudly on a bundle from a different era
+// instead of misreading it.
+
+// ManifestVersion identifies this bundle layout.
+const ManifestVersion = "mpdp-incident/1"
+
+// ManifestName is the index file inside every bundle directory.
+const ManifestName = "manifest.json"
+
+// Manifest is the bundle's index document. Every field derives from the
+// injected signal stream and captured events — never from a wall clock
+// the detector didn't see — so identical inputs yield byte-identical
+// manifests (test-pinned).
+type Manifest struct {
+	Version string `json:"version"`
+	// Seq numbers the bundle within its capture's life, 1-based; the
+	// directory name is derived from it (incident-%04d).
+	Seq     int             `json:"seq"`
+	Episode Episode         `json:"episode"`
+	Reasons []string        `json:"reasons"`
+	Ramp    RampInfo        `json:"ramp"`
+	Capture CaptureInfo     `json:"capture"`
+	Files   []ManifestFile  `json:"files"`
+	Summary ManifestSummary `json:"summary"`
+}
+
+// RampInfo records the sampling ramp the episode start performed.
+type RampInfo struct {
+	// To is the sample-every rate capture ramped to (1 = every packet).
+	To int `json:"to"`
+	// SenderFrom / ReceiverFrom are the steady-state rates restored at
+	// episode end; 0 means that endpoint had no recorder attached.
+	SenderFrom   int `json:"sender_from,omitempty"`
+	ReceiverFrom int `json:"receiver_from,omitempty"`
+}
+
+// CaptureInfo counts what the bundle holds.
+type CaptureInfo struct {
+	PreEvents    int `json:"pre_events"`
+	DuringEvents int `json:"during_events"`
+	// PreOldestNanos is the oldest pre-trigger event's timestamp (0
+	// when the ring held nothing) — proof of how far before the
+	// trigger the bundle reaches.
+	PreOldestNanos int64 `json:"pre_oldest_ns,omitempty"`
+}
+
+// ManifestFile is one member of the bundle directory.
+type ManifestFile struct {
+	// Name is the file's name inside the bundle directory — a bare
+	// name, never a path.
+	Name string `json:"name"`
+	// Kind tags the content: "wir", "json", or "pprof".
+	Kind string `json:"kind"`
+	// Events is the MPDPWIR1 record count for wir files.
+	Events int `json:"events,omitempty"`
+}
+
+// ManifestSummary is the operator's first read: the headline the merge
+// layer computed from the episode's own events.
+type ManifestSummary struct {
+	Headline      string  `json:"headline"`
+	DominantStage string  `json:"dominant_stage"`
+	DominantFrac  float64 `json:"dominant_frac"`
+	Delivered     int     `json:"delivered"`
+	Lost          int     `json:"lost"`
+}
+
+// EncodeManifest writes m as stable, indented JSON: struct fields in
+// declaration order, maps (none today) key-sorted by encoding/json —
+// the byte-identity the determinism test pins.
+func EncodeManifest(w io.Writer, m *Manifest) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}
+
+// DecodeManifest reads and validates a manifest. Strict: unknown
+// fields, version drift, impossible episode geometry, and unsafe file
+// names are all errors, never best-effort guesses — an operator's
+// tooling must not misread a bundle from a different build. This is the
+// fuzz target.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("incident manifest: %w", err)
+	}
+	// Exactly one JSON document.
+	if dec.More() {
+		return nil, errors.New("incident manifest: trailing data after document")
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("incident manifest: version %q, this tool reads %q", m.Version, ManifestVersion)
+	}
+	if m.Seq < 1 {
+		return nil, fmt.Errorf("incident manifest: seq %d < 1", m.Seq)
+	}
+	ep := m.Episode
+	if ep.StartNanos > ep.TriggerNanos || ep.TriggerNanos > ep.EndNanos {
+		return nil, fmt.Errorf("incident manifest: episode out of order (start %d, trigger %d, end %d)",
+			ep.StartNanos, ep.TriggerNanos, ep.EndNanos)
+	}
+	if ep.Ticks < 1 {
+		return nil, fmt.Errorf("incident manifest: episode ticks %d < 1", ep.Ticks)
+	}
+	if m.Ramp.To < 1 {
+		return nil, fmt.Errorf("incident manifest: ramp target %d < 1", m.Ramp.To)
+	}
+	if m.Capture.PreEvents < 0 || m.Capture.DuringEvents < 0 {
+		return nil, errors.New("incident manifest: negative event count")
+	}
+	for _, f := range m.Files {
+		if f.Name == "" {
+			return nil, errors.New("incident manifest: empty file name")
+		}
+		if f.Name != filepath.Base(f.Name) || strings.ContainsAny(f.Name, "/\\") || f.Name == ".." {
+			return nil, fmt.Errorf("incident manifest: file name %q is not a bare name", f.Name)
+		}
+		switch f.Kind {
+		case "wir", "json", "pprof":
+		default:
+			return nil, fmt.Errorf("incident manifest: file %q has unknown kind %q", f.Name, f.Kind)
+		}
+		if f.Events < 0 {
+			return nil, fmt.Errorf("incident manifest: file %q has negative event count", f.Name)
+		}
+	}
+	return &m, nil
+}
+
+// ReadManifest opens and decodes dir's manifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	f, err := os.Open(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeManifest(f)
+}
+
+// Attribution is the bundle's merged stage-attribution document. The
+// headline, per-path table, and verdict mix come from the FULL capture
+// (pre-trigger history + episode) — detection necessarily lags the
+// fluctuation it detects, often by more than a sub-tick burst lasts, so
+// the packets that caused the trigger live in the pre window and the
+// summary must see them. The before/during stage tables are separate
+// merges for contrast: "what did each stage look like before vs during".
+type Attribution struct {
+	// Headline is the full-capture one-liner (which stage, what share).
+	Headline string `json:"headline"`
+	// Before and During are the per-stage latency tables from separate
+	// merges of the pre-trigger and episode streams.
+	Before []obs.WireStage `json:"before_stages"`
+	During []obs.WireStage `json:"during_stages"`
+	// Paths is the per-path table over the full capture.
+	Paths []obs.WirePathStats `json:"paths"`
+	// VerdictMix counts the full capture's delivered timelines by
+	// scheduler verdict ("" → "plain"). Key-sorted on encode.
+	VerdictMix map[string]int `json:"verdict_mix"`
+}
+
+// BuildAttribution merges the two captured streams into the bundle's
+// attribution document; the returned merge is the full-capture join the
+// manifest summary reads.
+func BuildAttribution(pre, during []obs.WireEvent) (*Attribution, *obs.WireMerge) {
+	beforeMerge := obs.MergeWire(pre)
+	duringMerge := obs.MergeWire(during)
+	full := obs.MergeWire(append(append([]obs.WireEvent(nil), pre...), during...))
+	mix := map[string]int{}
+	for _, tl := range full.Timelines {
+		if tl.Lost {
+			continue
+		}
+		key := obs.VerdictString(tl.SchedVerdict)
+		if key == "" {
+			key = "plain"
+		}
+		mix[key]++
+	}
+	return &Attribution{
+		Headline:   full.Headline(),
+		Before:     beforeMerge.Stages,
+		During:     duringMerge.Stages,
+		Paths:      full.Paths,
+		VerdictMix: mix,
+	}, full
+}
+
+// HealthChange is one path-health transition observed by the capture
+// tick loop — the bundle's path-health timeline entry.
+type HealthChange struct {
+	Nanos       int64  `json:"t_ns"`
+	Path        int    `json:"path"`
+	From        string `json:"from,omitempty"` // empty on the first observation
+	To          string `json:"to"`
+	Quarantines int    `json:"quarantines"`
+}
+
+// BundleDirName returns the deterministic directory name for bundle seq.
+func BundleDirName(seq int) string { return fmt.Sprintf("incident-%04d", seq) }
+
+// bundleInput is everything writeBundle needs, gathered by the capture
+// before any file I/O starts (no locks held while writing).
+type bundleInput struct {
+	seq    int
+	ep     Episode
+	ramp   RampInfo
+	pre    []obs.WireEvent
+	during []obs.WireEvent
+	slo    json.RawMessage // pre-rendered SLO status, nil when untracked
+	health []HealthChange
+	cpu    []byte // pprof bytes, nil when profiling was off or failed
+	heap   []byte
+}
+
+// writeBundle materialises one incident bundle under root and returns
+// the bundle directory path. An existing directory of the same seq is
+// overwritten — the name is deterministic by design, and a stale bundle
+// from a dead run is worth less than the fresh episode.
+func writeBundle(root string, in bundleInput) (string, error) {
+	dir := filepath.Join(root, BundleDirName(in.seq))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+
+	writeFile := func(name string, render func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close() //lint:allow erroreat render error wins
+			return fmt.Errorf("incident %s: %w", name, err)
+		}
+		return f.Close()
+	}
+	writeJSON := func(name string, v any) error {
+		return writeFile(name, func(w io.Writer) error {
+			raw, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				return err
+			}
+			raw = append(raw, '\n')
+			_, err = w.Write(raw)
+			return err
+		})
+	}
+
+	files := []ManifestFile{
+		{Name: ManifestName, Kind: "json"},
+		{Name: "pre.wir", Kind: "wir", Events: len(in.pre)},
+		{Name: "during.wir", Kind: "wir", Events: len(in.during)},
+		{Name: "attribution.json", Kind: "json"},
+	}
+	if err := writeFile("pre.wir", func(w io.Writer) error {
+		return obs.WriteAllWire(w, in.pre)
+	}); err != nil {
+		return "", err
+	}
+	if err := writeFile("during.wir", func(w io.Writer) error {
+		return obs.WriteAllWire(w, in.during)
+	}); err != nil {
+		return "", err
+	}
+
+	attr, fullMerge := BuildAttribution(in.pre, in.during)
+	if err := writeJSON("attribution.json", attr); err != nil {
+		return "", err
+	}
+	if in.slo != nil {
+		files = append(files, ManifestFile{Name: "slo.json", Kind: "json"})
+		if err := writeFile("slo.json", func(w io.Writer) error {
+			_, err := w.Write(in.slo)
+			return err
+		}); err != nil {
+			return "", err
+		}
+	}
+	files = append(files, ManifestFile{Name: "pathhealth.json", Kind: "json"})
+	if err := writeJSON("pathhealth.json", struct {
+		Timeline []HealthChange `json:"timeline"`
+	}{Timeline: in.health}); err != nil {
+		return "", err
+	}
+	for _, p := range []struct {
+		name string
+		data []byte
+	}{{"cpu.pprof", in.cpu}, {"heap.pprof", in.heap}} {
+		if len(p.data) == 0 {
+			continue
+		}
+		files = append(files, ManifestFile{Name: p.name, Kind: "pprof"})
+		data := p.data
+		if err := writeFile(p.name, func(w io.Writer) error {
+			_, err := w.Write(data)
+			return err
+		}); err != nil {
+			return "", err
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Name < files[j].Name })
+
+	dom, frac := fullMerge.DominantStage()
+	preOldest := int64(0)
+	if len(in.pre) > 0 {
+		preOldest = in.pre[0].Nanos
+		for _, ev := range in.pre[1:] {
+			if ev.Nanos < preOldest {
+				preOldest = ev.Nanos
+			}
+		}
+	}
+	m := &Manifest{
+		Version: ManifestVersion,
+		Seq:     in.seq,
+		Episode: in.ep,
+		Reasons: ReasonNames(in.ep.Reason),
+		Ramp:    in.ramp,
+		Capture: CaptureInfo{
+			PreEvents:      len(in.pre),
+			DuringEvents:   len(in.during),
+			PreOldestNanos: preOldest,
+		},
+		Files: files,
+		Summary: ManifestSummary{
+			Headline:      fullMerge.Headline(),
+			DominantStage: dom,
+			DominantFrac:  frac,
+			Delivered:     fullMerge.Delivered,
+			Lost:          fullMerge.Lost,
+		},
+	}
+	if err := writeFile(ManifestName, func(w io.Writer) error {
+		return EncodeManifest(w, m)
+	}); err != nil {
+		return "", err
+	}
+	return dir, nil
+}

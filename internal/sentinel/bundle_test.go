@@ -1,0 +1,338 @@
+package sentinel
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpdp/internal/live"
+	"mpdp/internal/obs"
+	"mpdp/internal/transport"
+)
+
+func validManifest() *Manifest {
+	return &Manifest{
+		Version: ManifestVersion,
+		Seq:     1,
+		Episode: Episode{
+			StartNanos: 100, TriggerNanos: 200, EndNanos: 900,
+			Ticks: 9, Reason: TriggerP99, PeakP99: 5_000_000,
+		},
+		Reasons: []string{"p99"},
+		Ramp:    RampInfo{To: 1, SenderFrom: 64, ReceiverFrom: 64},
+		Capture: CaptureInfo{PreEvents: 12, DuringEvents: 40, PreOldestNanos: 10},
+		Files: []ManifestFile{
+			{Name: "during.wir", Kind: "wir", Events: 40},
+			{Name: "manifest.json", Kind: "json"},
+			{Name: "pre.wir", Kind: "wir", Events: 12},
+		},
+		Summary: ManifestSummary{
+			Headline: "wire tail = 87% sender_queue", DominantStage: "sender_queue",
+			DominantFrac: 0.87, Delivered: 10,
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := validManifest()
+	var buf bytes.Buffer
+	if err := EncodeManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mutated manifest:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestDecodeManifestRejects(t *testing.T) {
+	encode := func(mutate func(*Manifest)) string {
+		m := validManifest()
+		mutate(m)
+		var buf bytes.Buffer
+		if err := EncodeManifest(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"wrong version", encode(func(m *Manifest) { m.Version = "mpdp-incident/9" })},
+		{"zero seq", encode(func(m *Manifest) { m.Seq = 0 })},
+		{"trigger before start", encode(func(m *Manifest) { m.Episode.TriggerNanos = 50 })},
+		{"end before trigger", encode(func(m *Manifest) { m.Episode.EndNanos = 150 })},
+		{"zero ticks", encode(func(m *Manifest) { m.Episode.Ticks = 0 })},
+		{"zero ramp", encode(func(m *Manifest) { m.Ramp.To = 0 })},
+		{"path traversal name", encode(func(m *Manifest) { m.Files[0].Name = "../pre.wir" })},
+		{"absolute name", encode(func(m *Manifest) { m.Files[0].Name = "/etc/passwd" })},
+		{"empty name", encode(func(m *Manifest) { m.Files[0].Name = "" })},
+		{"unknown kind", encode(func(m *Manifest) { m.Files[0].Kind = "tar" })},
+		{"negative events", encode(func(m *Manifest) { m.Files[0].Events = -1 })},
+		{"negative pre count", encode(func(m *Manifest) { m.Capture.PreEvents = -1 })},
+		{"unknown field", strings.Replace(encode(func(m *Manifest) {}), `"seq"`, `"sequence"`, 1)},
+		{"trailing data", encode(func(m *Manifest) {}) + "{}"},
+		{"not json", "MPDPWIR1"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeManifest(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+// emitPacket records one complete packet lifecycle across both synthetic
+// recorders: enqueue→tx on the sender, rx→deliver on the receiver, with
+// queueNanos spent between enqueue and tx (the sender_queue stage).
+func emitPacket(st, rt *obs.WireRecorder, flow, seq uint64, base, queueNanos int64) {
+	st.Emit(obs.WireEvent{Nanos: base, Kind: obs.WireEnqueue, Path: -1, FlowID: flow, Seq: seq, A: 64})
+	st.Emit(obs.WireEvent{Nanos: base, Kind: obs.WireSched, Path: 0, FlowID: flow, Seq: seq, A: 1})
+	tx := base + queueNanos
+	st.Emit(obs.WireEvent{Nanos: tx, Kind: obs.WireTx, Path: 0, FlowID: flow, Seq: seq, PathSeq: seq})
+	rx := tx + 500_000
+	rt.Emit(obs.WireEvent{Nanos: rx, Kind: obs.WireRx, Path: 0, FlowID: flow, Seq: seq, PathSeq: seq, A: base})
+	rt.Emit(obs.WireEvent{Nanos: rx + 60_000, Kind: obs.WireDeliver, Path: 0, FlowID: flow, Seq: seq, PathSeq: seq,
+		A: rx, B: rx + 50_000})
+}
+
+// scriptedRun drives a full capture lifecycle on an injected clock and a
+// synthetic signal script, returning the bundle directory it wrote.
+func scriptedRun(t *testing.T, dir string) string {
+	t.Helper()
+	hist := live.NewHistogram()
+	st := obs.NewWireRecorder(obs.WireSender, 1024, 8)
+	rt := obs.NewWireRecorder(obs.WireReceiver, 1024, 8)
+	clock := int64(1_000_000_000)
+	c, err := NewCapture(CaptureConfig{
+		Detector:      Config{P99ThresholdNanos: 1_000_000, SuspectTicks: 2, ClearTicks: 2, CooldownTicks: 2},
+		Dir:           dir,
+		SenderTrace:   st,
+		ReceiverTrace: rt,
+		E2E:           hist,
+		PathHealth: func() []transport.PathHealthSnap {
+			// Path 1 degrades transiently mid-episode, keyed off the
+			// injected clock — deterministic, and exercises both the
+			// timeline and the path-health trigger bit.
+			state := "up"
+			if clock >= 1_400_000_000 && clock < 1_600_000_000 {
+				state = "degraded"
+			}
+			return []transport.PathHealthSnap{{Path: 0, State: "up"}, {Path: 1, State: state, Quarantines: 1}}
+		},
+		Now: func() int64 { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := uint64(0)
+	tick := func(fast, slow int) {
+		clock += 100_000_000
+		for i := 0; i < fast; i++ {
+			seq++
+			emitPacket(st, rt, 7, seq, clock+int64(i)*10_000, 100_000)
+			hist.Record(700_000)
+		}
+		for i := 0; i < slow; i++ {
+			seq++
+			emitPacket(st, rt, 7, seq, clock+int64(i)*10_000, 4_000_000)
+			hist.Record(4_600_000)
+		}
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tick(20, 0) // quiet baseline
+	tick(20, 0)
+	tick(2, 20) // breach → suspect
+	tick(2, 20) // breach → episode (start = previous tick)
+	tick(2, 20) // episode continues
+	tick(20, 0) // clear 1
+	tick(20, 0) // clear 2 → end, bundle written
+
+	bundles := c.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("wrote %d bundles, want 1 (state %v)", len(bundles), c.State())
+	}
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return bundles[0]
+}
+
+func TestCaptureWritesCompleteBundle(t *testing.T) {
+	dir := scriptedRun(t, t.TempDir())
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq != 1 || filepath.Base(dir) != BundleDirName(1) {
+		t.Fatalf("bundle %q has seq %d", dir, m.Seq)
+	}
+	if m.Episode.StartNanos >= m.Episode.TriggerNanos {
+		t.Fatalf("start %d should precede trigger %d (suspect tick is the onset)",
+			m.Episode.StartNanos, m.Episode.TriggerNanos)
+	}
+	if got := m.Reasons; len(got) != 2 || got[0] != "p99" || got[1] != "path-health" {
+		t.Fatalf("reasons %v, want [p99 path-health]", got)
+	}
+	if m.Ramp.To != 1 || m.Ramp.SenderFrom != 8 || m.Ramp.ReceiverFrom != 8 {
+		t.Fatalf("ramp %+v, want to=1 from=8/8", m.Ramp)
+	}
+
+	// Pre-trigger history: present, and timestamped before the trigger.
+	if m.Capture.PreEvents == 0 {
+		t.Fatal("bundle has no pre-trigger events")
+	}
+	if m.Capture.PreOldestNanos >= m.Episode.TriggerNanos {
+		t.Fatalf("oldest pre event %d not before trigger %d",
+			m.Capture.PreOldestNanos, m.Episode.TriggerNanos)
+	}
+	pre := readWir(t, dir, "pre.wir")
+	if len(pre) != m.Capture.PreEvents {
+		t.Fatalf("pre.wir holds %d events, manifest says %d", len(pre), m.Capture.PreEvents)
+	}
+	early := 0
+	for _, ev := range pre {
+		if ev.Nanos < m.Episode.StartNanos {
+			early++
+		}
+	}
+	if early == 0 {
+		t.Fatal("no pre.wir event predates episode start — ring history was not preserved")
+	}
+
+	// Episode events: the slow packets, attributed to sender_queue.
+	during := readWir(t, dir, "during.wir")
+	if len(during) != m.Capture.DuringEvents || len(during) == 0 {
+		t.Fatalf("during.wir holds %d events, manifest says %d", len(during), m.Capture.DuringEvents)
+	}
+	if m.Summary.DominantStage != "sender_queue" {
+		t.Fatalf("dominant stage %q, want sender_queue", m.Summary.DominantStage)
+	}
+
+	// The health timeline recorded path 1's degradation.
+	raw, err := os.ReadFile(filepath.Join(dir, "pathhealth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"degraded"`)) {
+		t.Fatalf("pathhealth.json missing the degraded transition: %s", raw)
+	}
+
+	// Every manifest file entry exists on disk, and nothing else does.
+	names := map[string]bool{}
+	for _, f := range m.Files {
+		names[f.Name] = true
+		if _, err := os.Stat(filepath.Join(dir, f.Name)); err != nil {
+			t.Errorf("manifest names %s but: %v", f.Name, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !names[e.Name()] {
+			t.Errorf("bundle contains %s, not in manifest", e.Name())
+		}
+	}
+}
+
+func readWir(t *testing.T, dir, name string) []obs.WireEvent {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ReadAllWire(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// The determinism pin: identical injected-clock signal streams must
+// yield byte-identical bundles — manifest and every JSON/wir member.
+func TestBundleManifestDeterminism(t *testing.T) {
+	a := scriptedRun(t, t.TempDir())
+	b := scriptedRun(t, t.TempDir())
+	for _, name := range []string{ManifestName, "attribution.json", "pathhealth.json", "pre.wir", "during.wir"} {
+		ra, err := os.ReadFile(filepath.Join(a, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := os.ReadFile(filepath.Join(b, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ra, rb) {
+			t.Errorf("%s differs across identical runs:\n--- a ---\n%s\n--- b ---\n%s", name, ra, rb)
+		}
+	}
+}
+
+func TestCaptureCloseForceEndsEpisode(t *testing.T) {
+	dir := t.TempDir()
+	hist := live.NewHistogram()
+	st := obs.NewWireRecorder(obs.WireSender, 256, 1)
+	clock := int64(1_000_000_000)
+	c, err := NewCapture(CaptureConfig{
+		Detector:    Config{P99ThresholdNanos: 1_000_000, SuspectTicks: 1},
+		Dir:         dir,
+		SenderTrace: st,
+		E2E:         hist,
+		Now:         func() int64 { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist.Record(9_000_000)
+	clock += 100_000_000
+	if err := c.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateEpisode {
+		t.Fatalf("state %v, want an open episode", c.State())
+	}
+	st.Emit(obs.WireEvent{Nanos: clock, Kind: obs.WireEnqueue, FlowID: 1, Seq: 1, Path: -1})
+	clock += 100_000_000
+	bundles, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("Close wrote %d bundles, want 1", len(bundles))
+	}
+	m, err := ReadManifest(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Episode.Truncated {
+		t.Fatal("force-ended episode not marked truncated")
+	}
+}
+
+func TestNewCaptureValidation(t *testing.T) {
+	hist := live.NewHistogram()
+	rec := obs.NewWireRecorder(obs.WireSender, 16, 1)
+	if _, err := NewCapture(CaptureConfig{SenderTrace: rec, E2E: hist}); err == nil {
+		t.Error("missing dir accepted")
+	}
+	if _, err := NewCapture(CaptureConfig{Dir: "x", SenderTrace: rec}); err == nil {
+		t.Error("missing histogram accepted")
+	}
+	if _, err := NewCapture(CaptureConfig{Dir: "x", E2E: hist}); err == nil {
+		t.Error("missing recorders accepted")
+	}
+}

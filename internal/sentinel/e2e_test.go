@@ -1,0 +1,143 @@
+package sentinel
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mpdp/internal/obs"
+	"mpdp/internal/transport"
+)
+
+// The end-to-end claim: a real loopback run under episodic burst
+// impairment (the paper's last-mile fluctuation shape) produces an
+// incident bundle whose pre-trigger ring reaches back before the
+// episode started and whose top attributed stage is sender_queue — the
+// stage the burst delay actually lands in (E23/E24).
+func TestSentinelLoopbackBurstEpisode(t *testing.T) {
+	dir := t.TempDir()
+	st := obs.NewWireRecorder(obs.WireSender, 1<<15, 4)
+	rt := obs.NewWireRecorder(obs.WireReceiver, 1<<15, 4)
+	spans := transport.NewSpans(nil)
+
+	var c *Capture
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	rep, err := transport.RunLoopback(transport.LoopbackConfig{
+		Packets:   4000,
+		Rate:      5000,
+		Paths:     2,
+		Payload:   64,
+		Scheduler: transport.SchedRoundRobin,
+		Spans:     spans,
+		Impairer: transport.NewBurstImpairer(transport.BurstImpairConfig{
+			Path:   0,
+			Period: 2000,
+			Length: 250,
+			Delay:  3 * time.Millisecond,
+		}),
+		SenderTrace:   st,
+		ReceiverTrace: rt,
+		OnStart: func(send *transport.Sender, recv *transport.Receiver) {
+			var err error
+			c, err = NewCapture(CaptureConfig{
+				Detector: Config{
+					P99ThresholdNanos: (1500 * time.Microsecond).Nanoseconds(),
+					SuspectTicks:      1,
+					ClearTicks:        4,
+					CooldownTicks:     3,
+				},
+				Dir:           dir,
+				SenderTrace:   st,
+				ReceiverTrace: rt,
+				E2E:           spans.E2E,
+				PathHealth:    send.HealthSnapshot,
+			})
+			if err != nil {
+				t.Error(err)
+				close(done)
+				return
+			}
+			go func() {
+				defer close(done)
+				c.Run(30*time.Millisecond, stop)
+			}()
+		},
+	})
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := rep.Verify(); verr != nil {
+		t.Fatal(verr)
+	}
+	if c == nil {
+		t.Fatal("OnStart never ran")
+	}
+	bundles, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) == 0 {
+		t.Fatalf("burst run produced no incident bundle (detector state %v)", c.State())
+	}
+
+	m, err := ReadManifest(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ramp fired and restored: episode capture ran at every-packet,
+	// steady state was 4.
+	if m.Ramp.To != 1 || m.Ramp.SenderFrom != 4 || m.Ramp.ReceiverFrom != 4 {
+		t.Errorf("ramp %+v, want to=1 from=4/4", m.Ramp)
+	}
+	if st.SampleEvery() != 4 || rt.SampleEvery() != 4 {
+		t.Errorf("steady rate not restored: sender %d receiver %d", st.SampleEvery(), rt.SampleEvery())
+	}
+
+	// Pre-trigger history reaches back before the episode started.
+	if m.Capture.PreEvents == 0 {
+		t.Fatal("bundle holds no pre-trigger events")
+	}
+	pre := readWir(t, bundles[0], "pre.wir")
+	early := 0
+	for _, ev := range pre {
+		if ev.Nanos < m.Episode.StartNanos {
+			early++
+		}
+	}
+	if early == 0 {
+		t.Fatalf("none of %d pre.wir events predate episode start %d", len(pre), m.Episode.StartNanos)
+	}
+
+	// The burst's 3ms path-0 delay is a sender-side queue effect: the
+	// delayed frame leaves the socket late, so tx−enq absorbs it and the
+	// full-capture attribution must name sender_queue.
+	if m.Summary.DominantStage != "sender_queue" {
+		t.Fatalf("dominant stage %q (headline %q), want sender_queue",
+			m.Summary.DominantStage, m.Summary.Headline)
+	}
+	if m.Summary.Delivered == 0 {
+		t.Fatal("bundle merged zero delivered timelines")
+	}
+
+	// The bundle parses end to end with the strict reader — every wir
+	// stream decodes, attribution is well-formed JSON.
+	for _, f := range m.Files {
+		fi, err := os.Stat(filepath.Join(bundles[0], f.Name))
+		if err != nil {
+			t.Errorf("manifest file %s: %v", f.Name, err)
+			continue
+		}
+		if f.Kind == "wir" {
+			if evs := readWir(t, bundles[0], f.Name); len(evs) != f.Events {
+				t.Errorf("%s: %d events, manifest says %d", f.Name, len(evs), f.Events)
+			}
+		}
+		if fi.Size() == 0 && f.Kind != "wir" {
+			t.Errorf("manifest file %s is empty", f.Name)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package sentinel
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzManifestDecode hammers the strict manifest decoder: it must never
+// panic, and anything it accepts must survive a re-encode/re-decode
+// round trip unchanged — the property that makes `mpdp-inspect
+// -incident` safe to point at an untrusted bundle.
+func FuzzManifestDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := EncodeManifest(&seed, validManifest()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"version":"mpdp-incident/1","seq":1}`))
+	f.Add([]byte(`{"version":"mpdp-incident/2"}`))
+	f.Add([]byte(`{"files":[{"name":"../../x","kind":"wir"}]}`))
+	f.Add([]byte(`{"episode":{"start_ns":9,"trigger_ns":1,"end_ns":5}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{}{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeManifest(&out, m); err != nil {
+			t.Fatalf("accepted manifest failed to re-encode: %v", err)
+		}
+		m2, err := DecodeManifest(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded manifest rejected: %v\n%s", err, out.Bytes())
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip mutated manifest:\n got %+v\nwant %+v", m2, m)
+		}
+	})
+}

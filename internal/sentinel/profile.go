@@ -1,0 +1,101 @@
+package sentinel
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// ProfileGrabber fetches pprof CPU and heap windows from a debug
+// listener (live.DebugHandler, or anything serving net/http/pprof) when
+// an episode starts — the "what was the process doing while the tail
+// was burning" half of the bundle. Strictly best-effort: a missing or
+// slow listener degrades the bundle, never the capture.
+type ProfileGrabber struct {
+	// BaseURL is the debug listener root, e.g. "http://127.0.0.1:6060".
+	BaseURL string
+	// CPUSeconds is the CPU profile window (default 1).
+	CPUSeconds int
+	// Client overrides the HTTP client (tests); default has a timeout
+	// sized to the CPU window.
+	Client *http.Client
+}
+
+// profileResult carries the grab's outcome to the bundle writer.
+type profileResult struct {
+	cpu, heap []byte
+	err       error
+}
+
+func (g *ProfileGrabber) cpuSeconds() int {
+	if g.CPUSeconds <= 0 {
+		return 1
+	}
+	return g.CPUSeconds
+}
+
+// waitBudget is how long the bundle writer will wait for an in-flight
+// grab: the CPU window plus slack for the two fetches. Bounded — a hung
+// listener costs one budget, not a wedged capture loop.
+func (g *ProfileGrabber) waitBudget() time.Duration {
+	return time.Duration(g.cpuSeconds())*time.Second + 3*time.Second
+}
+
+func (g *ProfileGrabber) client() *http.Client {
+	if g.Client != nil {
+		return g.Client
+	}
+	return &http.Client{Timeout: g.waitBudget()}
+}
+
+// grab fetches heap first (cheap, instantaneous — the state at episode
+// start) then the CPU window (blocks CPUSeconds while the profiler
+// samples the episode itself), and delivers the result. Runs on its own
+// goroutine; ch is buffered so a bundle writer that gave up waiting
+// doesn't leak this goroutine.
+func (g *ProfileGrabber) grab(ch chan<- profileResult) {
+	var res profileResult
+	res.heap, res.err = g.fetch("/debug/pprof/heap", nil)
+	cpu, err := g.fetch("/debug/pprof/profile", url.Values{
+		"seconds": []string{fmt.Sprint(g.cpuSeconds())},
+	})
+	res.cpu = cpu
+	if res.err == nil {
+		res.err = err
+	}
+	ch <- res
+}
+
+func (g *ProfileGrabber) fetch(path string, q url.Values) ([]byte, error) {
+	u := g.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := g.client().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("pprof %s: %s", path, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// collectProfile waits up to budget for an in-flight grab. A timeout or
+// grab error yields nil: the bundle simply omits the profiles.
+func collectProfile(ch <-chan profileResult, budget time.Duration) *profileResult {
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil && len(res.cpu) == 0 && len(res.heap) == 0 {
+			return nil
+		}
+		return &res
+	case <-timer.C:
+		return nil
+	}
+}

@@ -1,0 +1,60 @@
+package sentinel
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestProfileGrabber(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/debug/pprof/heap":
+			w.Write([]byte("HEAPDATA"))
+		case "/debug/pprof/profile":
+			if r.URL.Query().Get("seconds") != "1" {
+				http.Error(w, "bad seconds", http.StatusBadRequest)
+				return
+			}
+			w.Write([]byte("CPUDATA"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	g := &ProfileGrabber{BaseURL: srv.URL}
+	ch := make(chan profileResult, 1)
+	go g.grab(ch)
+	res := collectProfile(ch, g.waitBudget())
+	if res == nil {
+		t.Fatal("grab returned nothing")
+	}
+	if string(res.heap) != "HEAPDATA" || string(res.cpu) != "CPUDATA" {
+		t.Fatalf("grab got heap=%q cpu=%q", res.heap, res.cpu)
+	}
+}
+
+// A dead listener degrades to no profiles, never an error that blocks
+// the bundle.
+func TestProfileGrabberDeadListener(t *testing.T) {
+	g := &ProfileGrabber{BaseURL: "http://127.0.0.1:1", CPUSeconds: 1}
+	ch := make(chan profileResult, 1)
+	go g.grab(ch)
+	if res := collectProfile(ch, 5*time.Second); res != nil {
+		t.Fatalf("dead listener yielded %+v, want nil", res)
+	}
+}
+
+// A wedged listener costs at most the wait budget.
+func TestCollectProfileTimeout(t *testing.T) {
+	ch := make(chan profileResult) // never written
+	start := time.Now()
+	if res := collectProfile(ch, 50*time.Millisecond); res != nil {
+		t.Fatalf("timeout yielded %+v", res)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("collectProfile did not respect its budget")
+	}
+}

@@ -1,0 +1,282 @@
+// Package sentinel is the online tail-episode detector: the layer that
+// turns the repo's recorders into an operable system. The paper's
+// premise is that last-mile tail latency arrives in short transient
+// episodes that are gone before anyone attaches a profiler; the
+// sentinel watches cheap always-on signals (windowed latency quantiles,
+// SLO burn state, path-health transitions), and the instant an episode
+// starts it ramps the wire flight recorders to full capture, snapshots
+// the pre-trigger ring history, and — when the episode ends — writes a
+// self-contained incident bundle an operator can open cold.
+//
+// The detector itself is a deterministic injected-clock state machine
+// with hysteresis:
+//
+//	quiet → suspect → episode → cooldown → quiet
+//
+// Suspect absorbs single-tick flaps (SuspectTicks consecutive breaching
+// ticks confirm an episode), ClearTicks consecutive clean ticks end
+// one, and Cooldown refuses re-triggering right after an episode so a
+// ringing signal yields one bundle, not ten.
+package sentinel
+
+// State is the detector's position in the episode lifecycle.
+type State int
+
+const (
+	// StateQuiet: no breach observed; capture runs at its cheap rate.
+	StateQuiet State = iota
+	// StateSuspect: breaching, awaiting confirmation (hysteresis up).
+	StateSuspect
+	// StateEpisode: a confirmed episode is in progress; capture ramped.
+	StateEpisode
+	// StateCooldown: an episode just closed; triggers are ignored.
+	StateCooldown
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQuiet:
+		return "quiet"
+	case StateSuspect:
+		return "suspect"
+	case StateEpisode:
+		return "episode"
+	case StateCooldown:
+		return "cooldown"
+	default:
+		return "state(?)"
+	}
+}
+
+// Trigger reason bits: which signal(s) breached. An episode accumulates
+// every reason observed across its life.
+const (
+	// TriggerP99: the windowed p99 crossed the configured threshold.
+	TriggerP99 = 1 << iota
+	// TriggerBurn: the SLO tracker entered its critical burn state.
+	TriggerBurn
+	// TriggerPathHealth: at least one path left the "up" state.
+	TriggerPathHealth
+)
+
+// ReasonNames renders trigger reason bits, stable order.
+func ReasonNames(reason int) []string {
+	var out []string
+	if reason&TriggerP99 != 0 {
+		out = append(out, "p99")
+	}
+	if reason&TriggerBurn != 0 {
+		out = append(out, "burn")
+	}
+	if reason&TriggerPathHealth != 0 {
+		out = append(out, "path-health")
+	}
+	return out
+}
+
+// Config tunes the detector. Zero values take the documented defaults;
+// P99ThresholdNanos ≤ 0 disables the latency trigger entirely (burn and
+// path-health triggers still fire).
+type Config struct {
+	// P99ThresholdNanos breaches when the tick window's p99 exceeds it.
+	P99ThresholdNanos int64
+	// SuspectTicks is how many consecutive breaching ticks confirm an
+	// episode (default 2; 1 = trigger on first breach).
+	SuspectTicks int
+	// ClearTicks is how many consecutive clean ticks end an episode
+	// (default 3).
+	ClearTicks int
+	// CooldownTicks is how long after an episode ends triggers are
+	// ignored (default 5).
+	CooldownTicks int
+	// MaxEpisodeTicks bounds an episode's length: a breach that never
+	// clears still yields a bundle instead of capturing forever
+	// (default 600).
+	MaxEpisodeTicks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuspectTicks <= 0 {
+		c.SuspectTicks = 2
+	}
+	if c.ClearTicks <= 0 {
+		c.ClearTicks = 3
+	}
+	if c.CooldownTicks <= 0 {
+		c.CooldownTicks = 5
+	}
+	if c.MaxEpisodeTicks <= 0 {
+		c.MaxEpisodeTicks = 600
+	}
+	return c
+}
+
+// Sample is one tick's worth of signals, gathered by the caller on its
+// clock. The detector never reads a clock itself — Nanos is injected,
+// which is what makes the state machine deterministic under test.
+type Sample struct {
+	// Nanos is the tick's timestamp on the caller's clock.
+	Nanos int64
+	// P99 is the tick window's p99 latency in nanoseconds; -1 means the
+	// window saw no traffic, which counts as a clean tick (an idle wire
+	// has no tail).
+	P99 int64
+	// SLOCritical is the burn-rate tracker's critical verdict.
+	SLOCritical bool
+	// UnhealthyPaths counts paths whose health state is not "up".
+	UnhealthyPaths int
+}
+
+// Episode describes one confirmed tail episode. All values derive from
+// the injected Sample stream, so identical streams yield identical
+// episodes.
+type Episode struct {
+	// StartNanos is the first breaching tick (the suspect entry) — the
+	// episode's true onset, before confirmation.
+	StartNanos int64 `json:"start_ns"`
+	// TriggerNanos is the confirming tick: when capture ramped.
+	TriggerNanos int64 `json:"trigger_ns"`
+	// EndNanos is the tick that closed the episode.
+	EndNanos int64 `json:"end_ns"`
+	// Ticks counts every tick from first breach through close.
+	Ticks int `json:"ticks"`
+	// Reason accumulates every Trigger* bit observed.
+	Reason int `json:"reason"`
+	// PeakP99 is the worst windowed p99 seen during the episode.
+	PeakP99 int64 `json:"peak_p99_ns"`
+	// Truncated marks an episode closed by MaxEpisodeTicks or ForceEnd
+	// rather than by the signal clearing.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Transition is Observe's verdict for one tick.
+type Transition int
+
+const (
+	// TransNone: no boundary crossed this tick.
+	TransNone Transition = iota
+	// TransStart: an episode was confirmed this tick — ramp capture.
+	TransStart
+	// TransEnd: the episode closed this tick — write the bundle.
+	TransEnd
+)
+
+// Detector is the injected-clock episode state machine. Not
+// goroutine-safe: one driver feeds Observe (the capture tick loop, or a
+// test).
+type Detector struct {
+	cfg      Config
+	state    State
+	suspect  int // consecutive breaching ticks while confirming
+	clear    int // consecutive clean ticks while in episode
+	cooldown int // ticks left in cooldown
+	cur      Episode
+}
+
+// NewDetector builds a detector with cfg's defaults applied.
+func NewDetector(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// State returns the machine's current state.
+func (d *Detector) State() State { return d.state }
+
+// Observe feeds one tick of signals and reports whether an episode
+// boundary was crossed; the Episode value is meaningful only when the
+// transition is TransStart or TransEnd. Pure state-machine arithmetic —
+// safe to run at any tick rate with zero steady-state cost.
+//
+//mpdp:hotpath bench=BenchmarkDetectorObserve
+func (d *Detector) Observe(s Sample) (Transition, Episode) {
+	reason := 0
+	if d.cfg.P99ThresholdNanos > 0 && s.P99 > d.cfg.P99ThresholdNanos {
+		reason |= TriggerP99
+	}
+	if s.SLOCritical {
+		reason |= TriggerBurn
+	}
+	if s.UnhealthyPaths > 0 {
+		reason |= TriggerPathHealth
+	}
+
+	switch d.state {
+	case StateQuiet:
+		if reason == 0 {
+			return TransNone, Episode{}
+		}
+		d.cur = Episode{StartNanos: s.Nanos, Reason: reason, PeakP99: s.P99, Ticks: 1}
+		d.suspect = 1
+		if d.suspect >= d.cfg.SuspectTicks {
+			d.state = StateEpisode
+			d.cur.TriggerNanos = s.Nanos
+			d.clear = 0
+			return TransStart, d.cur
+		}
+		d.state = StateSuspect
+		return TransNone, Episode{}
+
+	case StateSuspect:
+		if reason == 0 {
+			// A flap: the breach did not sustain. Back to quiet with no
+			// episode — this is the hysteresis that keeps a single slow
+			// tick from producing a bundle.
+			d.state = StateQuiet
+			return TransNone, Episode{}
+		}
+		d.suspect++
+		d.cur.Ticks++
+		d.cur.Reason |= reason
+		if s.P99 > d.cur.PeakP99 {
+			d.cur.PeakP99 = s.P99
+		}
+		if d.suspect >= d.cfg.SuspectTicks {
+			d.state = StateEpisode
+			d.cur.TriggerNanos = s.Nanos
+			d.clear = 0
+			return TransStart, d.cur
+		}
+		return TransNone, Episode{}
+
+	case StateEpisode:
+		d.cur.Ticks++
+		d.cur.Reason |= reason
+		if s.P99 > d.cur.PeakP99 {
+			d.cur.PeakP99 = s.P99
+		}
+		if reason == 0 {
+			d.clear++
+		} else {
+			d.clear = 0
+		}
+		if d.clear >= d.cfg.ClearTicks || d.cur.Ticks >= d.cfg.MaxEpisodeTicks {
+			d.cur.EndNanos = s.Nanos
+			d.cur.Truncated = d.clear < d.cfg.ClearTicks
+			d.state = StateCooldown
+			d.cooldown = d.cfg.CooldownTicks
+			return TransEnd, d.cur
+		}
+		return TransNone, Episode{}
+
+	case StateCooldown:
+		d.cooldown--
+		if d.cooldown <= 0 {
+			d.state = StateQuiet
+		}
+		return TransNone, Episode{}
+	}
+	return TransNone, Episode{}
+}
+
+// ForceEnd closes an in-progress episode at nanos — the run-teardown
+// path, so a process exiting mid-episode still writes its bundle. The
+// second return is false when no episode was open.
+func (d *Detector) ForceEnd(nanos int64) (Episode, bool) {
+	if d.state != StateEpisode {
+		return Episode{}, false
+	}
+	d.cur.EndNanos = nanos
+	d.cur.Truncated = true
+	d.state = StateCooldown
+	d.cooldown = d.cfg.CooldownTicks
+	return d.cur, true
+}

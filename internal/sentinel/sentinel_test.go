@@ -1,0 +1,182 @@
+package sentinel
+
+import (
+	"testing"
+)
+
+func breach(nanos int64) Sample { return Sample{Nanos: nanos, P99: 5_000_000} }
+func clean(nanos int64) Sample  { return Sample{Nanos: nanos, P99: 200_000} }
+
+func testConfig() Config {
+	return Config{P99ThresholdNanos: 1_000_000, SuspectTicks: 2, ClearTicks: 3, CooldownTicks: 2}
+}
+
+// A single breaching tick that does not sustain must not produce an
+// episode — that is the whole point of the suspect state.
+func TestDetectorFlapDoesNotTrigger(t *testing.T) {
+	d := NewDetector(testConfig())
+	if tr, _ := d.Observe(breach(100)); tr != TransNone {
+		t.Fatalf("first breach transitioned %v, want none", tr)
+	}
+	if d.State() != StateSuspect {
+		t.Fatalf("state %v after first breach, want suspect", d.State())
+	}
+	if tr, _ := d.Observe(clean(200)); tr != TransNone {
+		t.Fatalf("flap clear transitioned %v, want none", tr)
+	}
+	if d.State() != StateQuiet {
+		t.Fatalf("state %v after flap, want quiet", d.State())
+	}
+}
+
+func TestDetectorEpisodeLifecycle(t *testing.T) {
+	d := NewDetector(testConfig())
+
+	// Two consecutive breaches confirm.
+	d.Observe(breach(100))
+	tr, ep := d.Observe(Sample{Nanos: 200, P99: 9_000_000, UnhealthyPaths: 1})
+	if tr != TransStart {
+		t.Fatalf("second breach transitioned %v, want start", tr)
+	}
+	if ep.StartNanos != 100 || ep.TriggerNanos != 200 {
+		t.Fatalf("episode start=%d trigger=%d, want 100/200 (start is the FIRST breach)", ep.StartNanos, ep.TriggerNanos)
+	}
+	if ep.Reason != TriggerP99|TriggerPathHealth {
+		t.Fatalf("reason %b, want p99|path-health accumulated", ep.Reason)
+	}
+
+	// Sustained breaches keep it open; a clear run shorter than
+	// ClearTicks does not close it.
+	d.Observe(breach(300))
+	d.Observe(clean(400))
+	d.Observe(clean(500))
+	if tr, _ := d.Observe(breach(600)); tr != TransNone || d.State() != StateEpisode {
+		t.Fatalf("re-breach inside clear run: trans %v state %v, want open episode", tr, d.State())
+	}
+
+	// Three consecutive clears end it.
+	d.Observe(clean(700))
+	d.Observe(clean(800))
+	tr, ep = d.Observe(clean(900))
+	if tr != TransEnd {
+		t.Fatalf("third clear transitioned %v, want end", tr)
+	}
+	if ep.EndNanos != 900 || ep.Truncated {
+		t.Fatalf("episode end=%d truncated=%v, want 900/false", ep.EndNanos, ep.Truncated)
+	}
+	if ep.PeakP99 != 9_000_000 {
+		t.Fatalf("peak p99 %d, want 9ms", ep.PeakP99)
+	}
+	if ep.Ticks != 9 {
+		t.Fatalf("episode ticks %d, want 9 (first breach through close)", ep.Ticks)
+	}
+
+	// Cooldown swallows breaches for CooldownTicks.
+	if tr, _ := d.Observe(breach(1000)); tr != TransNone || d.State() != StateCooldown {
+		t.Fatalf("cooldown tick 1: trans %v state %v", tr, d.State())
+	}
+	if tr, _ := d.Observe(breach(1100)); tr != TransNone || d.State() != StateQuiet {
+		t.Fatalf("cooldown tick 2: trans %v state %v, want back to quiet", tr, d.State())
+	}
+
+	// And a fresh breach after cooldown re-arms normally.
+	d.Observe(breach(1200))
+	if tr, ep := d.Observe(breach(1300)); tr != TransStart || ep.StartNanos != 1200 {
+		t.Fatalf("post-cooldown re-trigger: trans %v start %d", tr, ep.StartNanos)
+	}
+}
+
+// A breach that never clears must still close the episode at
+// MaxEpisodeTicks — capture cannot stay ramped forever.
+func TestDetectorMaxEpisodeTicks(t *testing.T) {
+	cfg := testConfig()
+	cfg.SuspectTicks = 1
+	cfg.MaxEpisodeTicks = 5
+	d := NewDetector(cfg)
+	if tr, _ := d.Observe(breach(0)); tr != TransStart {
+		t.Fatal("SuspectTicks=1 must trigger on the first breach")
+	}
+	var ended bool
+	var ep Episode
+	for i := int64(1); i <= 10; i++ {
+		tr, e := d.Observe(breach(i * 100))
+		if tr == TransEnd {
+			ended, ep = true, e
+			break
+		}
+	}
+	if !ended {
+		t.Fatal("episode never ended under sustained breach")
+	}
+	if ep.Ticks != 5 || !ep.Truncated {
+		t.Fatalf("ticks=%d truncated=%v, want 5/true", ep.Ticks, ep.Truncated)
+	}
+}
+
+func TestDetectorNoTrafficClears(t *testing.T) {
+	cfg := testConfig()
+	cfg.SuspectTicks = 1
+	cfg.ClearTicks = 2
+	d := NewDetector(cfg)
+	d.Observe(breach(0))
+	// P99 = -1 (idle window) counts as clean: an idle wire has no tail.
+	d.Observe(Sample{Nanos: 100, P99: -1})
+	if tr, _ := d.Observe(Sample{Nanos: 200, P99: -1}); tr != TransEnd {
+		t.Fatalf("idle ticks transitioned %v, want end", tr)
+	}
+}
+
+func TestDetectorForceEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.SuspectTicks = 1
+	d := NewDetector(cfg)
+	if _, open := d.ForceEnd(50); open {
+		t.Fatal("ForceEnd with no episode reported one open")
+	}
+	d.Observe(breach(100))
+	ep, open := d.ForceEnd(250)
+	if !open || ep.EndNanos != 250 || !ep.Truncated {
+		t.Fatalf("ForceEnd = %+v open=%v, want truncated end at 250", ep, open)
+	}
+	if d.State() != StateCooldown {
+		t.Fatalf("state %v after ForceEnd, want cooldown", d.State())
+	}
+}
+
+func TestReasonNames(t *testing.T) {
+	got := ReasonNames(TriggerP99 | TriggerBurn | TriggerPathHealth)
+	want := []string{"p99", "burn", "path-health"}
+	if len(got) != len(want) {
+		t.Fatalf("ReasonNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ReasonNames = %v, want %v (stable order)", got, want)
+		}
+	}
+	if ReasonNames(0) != nil {
+		t.Fatal("ReasonNames(0) should be empty")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s := StateQuiet; s <= StateCooldown; s++ {
+		if s.String() == "state(?)" || s.String() == "" {
+			t.Errorf("state %d has no name", s)
+		}
+	}
+	if State(99).String() != "state(?)" {
+		t.Error("undefined state should render as state(?)")
+	}
+}
+
+// The always-on cost: one Observe per tick, required allocation-free
+// (gated in bench/hotpath_gates.txt).
+func BenchmarkDetectorObserve(b *testing.B) {
+	d := NewDetector(Config{P99ThresholdNanos: 1_000_000})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(Sample{Nanos: int64(i), P99: 200_000})
+	}
+}

@@ -79,6 +79,10 @@ type LoopbackConfig struct {
 	// sample rate so the merged trace joins end to end.
 	SenderTrace   *obs.WireRecorder
 	ReceiverTrace *obs.WireRecorder
+	// OnStart, when non-nil, runs once after both endpoints are up and
+	// before the first packet is sent — the hook the tail sentinel uses
+	// to attach its tick loop to the live Sender/Receiver pair.
+	OnStart func(send *Sender, recv *Receiver)
 }
 
 // LoopbackReport is the run's outcome: counters from both ends, reorder
@@ -208,6 +212,10 @@ func RunLoopback(cfg LoopbackConfig) (*LoopbackReport, error) {
 		send.RegisterMetrics(cfg.Metrics)
 		cfg.Metrics.CounterFunc("mpdp_deadline_hit_total", dlHits.Load)
 		cfg.Metrics.CounterFunc("mpdp_deadline_miss_total", dlMisses.Load)
+	}
+
+	if cfg.OnStart != nil {
+		cfg.OnStart(send, recv)
 	}
 
 	payload := make([]byte, cfg.Payload)

@@ -153,6 +153,17 @@ func (r *Receiver) Addrs() []string {
 	return out
 }
 
+// SetTraceSampling retunes the attached wire recorder's sampling rate
+// (no-op returning 0 when untraced) — the receiver half of the
+// sentinel's capture ramp. Both ends must ramp together: the merge layer
+// only joins packets sampled at both endpoints.
+func (r *Receiver) SetTraceSampling(every int) int {
+	if r.cfg.Trace == nil {
+		return 0
+	}
+	return r.cfg.Trace.SetSampleEvery(every)
+}
+
 func (r *Receiver) closeConns() {
 	for _, p := range r.paths {
 		if p.conn != nil {

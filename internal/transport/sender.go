@@ -541,6 +541,40 @@ func (s *Sender) Stats() SenderStats {
 	return st
 }
 
+// PathHealthSnap is one path's health reading at an instant — the tail
+// sentinel's path signal and the incident bundle's timeline entry.
+type PathHealthSnap struct {
+	Path        int    `json:"path"`
+	State       string `json:"state"`
+	Quarantines int    `json:"quarantines"`
+}
+
+// HealthSnapshot reads every path's health state. Cheap enough to call
+// once per sentinel tick: one lock hold, no socket touches.
+func (s *Sender) HealthSnapshot() []PathHealthSnap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PathHealthSnap, len(s.paths))
+	for i, p := range s.paths {
+		out[i] = PathHealthSnap{
+			Path:        int(p.id),
+			State:       p.health.State().String(),
+			Quarantines: p.health.Quarantines(),
+		}
+	}
+	return out
+}
+
+// SetTraceSampling retunes the attached wire recorder's sampling rate
+// (no-op returning 0 when untraced) — the sender half of the sentinel's
+// capture ramp.
+func (s *Sender) SetTraceSampling(every int) int {
+	if s.cfg.Trace == nil {
+		return 0
+	}
+	return s.cfg.Trace.SetSampleEvery(every)
+}
+
 // RegisterMetrics exposes the sender's duplication and deadline counters
 // on a live registry: mpdp_dup_bytes_total always, the mpdp_deadline_* /
 // mpdp_dup_budget_* family when SchedDeadline is active. Snapshot

@@ -138,6 +138,99 @@ func TestUntracedRunChangesNothing(t *testing.T) {
 	}
 }
 
+// The sentinel-disabled identity pin: LoopbackReport's top-level JSON
+// shape is the whole of the gateway's untraced output. The sentinel adds
+// zero fields and zero behavior when off (OnStart nil), so any new key
+// here means disabled-sentinel output changed.
+func TestSentinelDisabledReportShapeUnchanged(t *testing.T) {
+	rep, err := RunLoopback(LoopbackConfig{Packets: 100, Payload: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]any
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for k := range keys {
+		switch k {
+		case "elapsed_ns", "packets", "frames", "delivered", "lost",
+			"dup_drops", "wire_dups", "deadline_hits", "deadline_misses",
+			"sender", "receiver", "violations", "n_violations", "spans":
+		default:
+			t.Errorf("LoopbackReport grew unexpected JSON field %q — disabled-sentinel gateway output changed", k)
+		}
+	}
+}
+
+// The sentinel's attachment points: OnStart fires once with the live
+// endpoints, HealthSnapshot reads per-path health without touching
+// sockets, and SetTraceSampling ramps both recorders.
+func TestLoopbackOnStartAndRampHooks(t *testing.T) {
+	st := obs.NewWireRecorder(obs.WireSender, 1<<12, 64)
+	rt := obs.NewWireRecorder(obs.WireReceiver, 1<<12, 64)
+	started := 0
+	var health []PathHealthSnap
+	rep, err := RunLoopback(LoopbackConfig{
+		Packets:       200,
+		Payload:       64,
+		Paths:         2,
+		SenderTrace:   st,
+		ReceiverTrace: rt,
+		OnStart: func(send *Sender, recv *Receiver) {
+			started++
+			health = send.HealthSnapshot()
+			if prev := send.SetTraceSampling(1); prev != 64 {
+				t.Errorf("sender ramp returned prev %d, want 64", prev)
+			}
+			if prev := recv.SetTraceSampling(1); prev != 64 {
+				t.Errorf("receiver ramp returned prev %d, want 64", prev)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != 1 {
+		t.Fatalf("OnStart fired %d times, want 1", started)
+	}
+	if len(health) != 2 {
+		t.Fatalf("HealthSnapshot returned %d paths, want 2", len(health))
+	}
+	for _, h := range health {
+		if h.State == "" {
+			t.Errorf("path %d health state empty", h.Path)
+		}
+	}
+	if st.SampleEvery() != 1 || rt.SampleEvery() != 1 {
+		t.Fatalf("ramp did not stick: sender %d receiver %d", st.SampleEvery(), rt.SampleEvery())
+	}
+	// Ramped to every-packet before the first send: both ends captured
+	// every delivery, so the merge joins end to end.
+	if rep.Delivered == 0 {
+		t.Fatal("no deliveries")
+	}
+	merge := obs.MergeWire(append(st.Events(), rt.Events()...))
+	if merge.Delivered == 0 {
+		t.Fatal("ramped run merged zero delivered timelines")
+	}
+}
+
+// Untraced endpoints make the ramp a no-op, not a panic.
+func TestSetTraceSamplingUntraced(t *testing.T) {
+	s := &Sender{cfg: SenderConfig{}}
+	if got := s.SetTraceSampling(1); got != 0 {
+		t.Fatalf("untraced sender ramp = %d, want 0", got)
+	}
+	r := &Receiver{cfg: ReceiverConfig{}}
+	if got := r.SetTraceSampling(1); got != 0 {
+		t.Fatalf("untraced receiver ramp = %d, want 0", got)
+	}
+}
+
 // ackPath fabricates a path for handleAck unit tests (no sockets).
 func ackPath() (*Sender, *senderPath) {
 	s := &Sender{cfg: SenderConfig{}}
