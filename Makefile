@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race verify cover bench bench-snapshots bench-diff suite suite-quick check lint hotpath-gates examples clean loopback fuzz-frame fuzz-wire fuzz-manifest wire-trace incident-smoke
+.PHONY: all build test test-short race verify cover bench bench-snapshots bench-diff suite suite-quick check lint hotpath-gates examples clean loopback fuzz-frame fuzz-wire fuzz-manifest fuzz-mesh wire-trace incident-smoke mesh-smoke
 
 all: build test
 
@@ -81,6 +81,24 @@ incident-smoke:
 		-sentinel incidents -sentinel-p99 1500us -sentinel-tick 30ms \
 		-sentinel-suspect 1 -sentinel-clear 4 -sentinel-cooldown 3
 	$(GO) run ./cmd/mpdp-inspect -incident incidents/incident-0001
+
+# Fuzz the mesh control-plane codecs: gossip (MPDPGSP1), handoff record/
+# ack/forward (MPDPHND1/MPDPHAK1/MPDPFWD1), and the per-frame mesh
+# envelope. Decoders never panic; accepted inputs re-encode byte-identically.
+fuzz-mesh:
+	$(GO) test -run '^$$' -fuzz FuzzGossipDecode -fuzztime 30s ./internal/mesh/
+	$(GO) test -run '^$$' -fuzz FuzzHandoffDecode -fuzztime 30s ./internal/mesh/
+	$(GO) test -run '^$$' -fuzz FuzzEnvelopeDecode -fuzztime 30s ./internal/mesh/
+
+# Hermetic multi-gateway mesh smoke (experiment E25): 4 nodes behind one
+# steering client, burst impairment on one path, graceful drain of node
+# index 1 mid-run with live flow-state handoff. Exits non-zero on any
+# at-most-once/in-order violation across the ownership change.
+mesh-smoke:
+	$(GO) run ./cmd/mpdp-gateway -mesh -mesh-nodes 4 -mesh-drain 1 -duration 4s -flows 32 \
+		-burst-period 512 -burst-len 96 -burst-delay 3ms -impair-path 1 \
+		-slo "p99<20ms,avail>99" -mesh-handoff-timeout 10s \
+		-mesh-sentinel -sentinel-p99 8ms -sentinel-tick 50ms -sentinel-suspect 1
 
 # Hermetic loopback run with wire flight recorders on both endpoints:
 # writes run.wir (mpdp-inspect -wire) and wire-trace.json (Chrome tracing)

@@ -15,10 +15,10 @@ import (
 // for the alloc counter, which wobbles with runtime scheduling.
 const benchTolerance = 1.10
 
-// wireBenchTolerance gates the wall-clock wire scenarios (E21): loopback
-// UDP latency moves with host load and kernel scheduling, so their gate is
-// a coarse guard against order-of-magnitude regressions, not a 10%
-// tripwire.
+// wireBenchTolerance gates the wall-clock wire scenarios (E21 and the
+// E25 mesh): loopback UDP latency moves with host load and kernel
+// scheduling, so their gate is a coarse guard against order-of-magnitude
+// regressions, not a 10% tripwire.
 const wireBenchTolerance = 3.0
 
 // runBenchDiff re-runs every scenario found as BENCH_*.json in dir — with
@@ -55,7 +55,7 @@ func runBenchDiff(dir string) error {
 		}
 
 		tol := benchTolerance
-		if sc.wire != nil {
+		if sc.wire != nil || sc.mesh != nil {
 			tol = wireBenchTolerance
 		}
 		p99Ratio := ratio(float64(fresh.LatencyNS.P99), float64(base.LatencyNS.P99))

@@ -10,6 +10,7 @@ import (
 
 	"mpdp/internal/core"
 	"mpdp/internal/experiment"
+	"mpdp/internal/mesh"
 	"mpdp/internal/sim"
 	"mpdp/internal/transport"
 )
@@ -22,6 +23,7 @@ type benchScenario struct {
 	name string
 	cfg  experiment.RunConfig
 	wire *transport.LoopbackConfig
+	mesh *mesh.MeshConfig
 }
 
 func benchScenarios(seed uint64, quick bool) []benchScenario {
@@ -62,6 +64,32 @@ func benchScenarios(seed uint64, quick bool) []benchScenario {
 	if quick {
 		e21.Packets = 1500
 	}
+	wireHealth := e21.Health
+	// E25: the multi-gateway mesh end to end — four gateways behind one
+	// steering client over loopback UDP, with a graceful drain of node
+	// index 1 mid-run so the baseline prices the full ownership handoff,
+	// not just steady-state steering. Wall clock, like E21, so the wire
+	// gate applies. No impairer: the fault-injected variant lives in the
+	// E25 experiment and the CI mesh-smoke job; the checked-in baseline
+	// wants the repeatable cost of the mechanism itself.
+	e25 := &mesh.MeshConfig{
+		Nodes:        4,
+		PathsPerNode: 2,
+		Scheduler:    transport.SchedHedge,
+		Flows:        32,
+		Payload:      256,
+		Duration:     2 * time.Second,
+		DrainNode:    1,
+		DrainAfter:   0.5,
+		// Graceful drain: a promotion timeout the drain cannot trip, so
+		// a loaded CI host measures the handoff, not the escape hatch.
+		HandoffTimeout: 10 * time.Second,
+		Health:         wireHealth,
+		NodeHealth:     wireHealth,
+	}
+	if quick {
+		e25.Duration = time.Second
+	}
 	return []benchScenario{
 		{name: "single_none", cfg: base("single", "none")},
 		{name: "single_moderate", cfg: base("single", "moderate")},
@@ -69,6 +97,7 @@ func benchScenarios(seed uint64, quick bool) []benchScenario {
 		{name: "mpdp_moderate", cfg: base("mpdp", "moderate")},
 		{name: "E22", cfg: e22},
 		{name: "E21_loopback", wire: e21},
+		{name: "E25_mesh", mesh: e25},
 	}
 }
 
@@ -114,6 +143,9 @@ type benchDoc struct {
 func measureScenario(sc benchScenario, seed uint64, quick bool) (benchDoc, error) {
 	if sc.wire != nil {
 		return measureWireScenario(sc, seed, quick)
+	}
+	if sc.mesh != nil {
+		return measureMeshScenario(sc, seed, quick)
 	}
 	var doc benchDoc
 	var before, after runtime.MemStats
@@ -208,6 +240,56 @@ func measureWireScenario(sc benchScenario, seed uint64, quick bool) (benchDoc, e
 		doc.LatencyNS.P999 = sp.Latency.P999
 		doc.LatencyNS.Max = sp.Latency.Max
 	}
+	doc.WallMS = float64(wall.Microseconds()) / 1000
+	doc.Allocs.Mallocs = after.Mallocs - before.Mallocs
+	doc.Allocs.TotalAllocBytes = after.TotalAlloc - before.TotalAlloc
+	if rep.Packets > 0 {
+		doc.Allocs.PerPacket = float64(doc.Allocs.Mallocs) / float64(rep.Packets)
+	}
+	return doc, nil
+}
+
+// measureMeshScenario runs the multi-gateway mesh scenario: N in-process
+// gateways plus a steering client over loopback UDP, with the mid-run
+// drain included in the measured window. Latency is the mesh-wide e2e
+// p99 (wall clock); the stream invariant is armed across the ownership
+// change and a violating run fails the bench.
+func measureMeshScenario(sc benchScenario, seed uint64, quick bool) (benchDoc, error) {
+	var doc benchDoc
+	cfg := *sc.mesh // copy: reruns must not share state
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep, err := mesh.RunMesh(cfg)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return doc, fmt.Errorf("scenario %s: %w", sc.name, err)
+	}
+	if err := rep.Verify(); err != nil {
+		return doc, fmt.Errorf("scenario %s: %w", sc.name, err)
+	}
+	if rep.HandoffFlows == 0 {
+		return doc, fmt.Errorf("scenario %s: the drain moved no flow state; the baseline would not price the handoff", sc.name)
+	}
+
+	doc.Scenario = sc.name
+	doc.Policy = string(cfg.Scheduler)
+	doc.Interference = "mesh-drain"
+	doc.Seed = seed
+	doc.Quick = quick
+	doc.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	doc.Offered = rep.Packets
+	doc.Delivered = rep.Delivered
+	if rep.Packets > 0 {
+		doc.DeliveryRate = float64(rep.Delivered) / float64(rep.Packets)
+	}
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		doc.GoodputGbps = float64(rep.Delivered) * float64(cfg.Payload) * 8 / s / 1e9
+		doc.ThroughputPS = float64(rep.Packets) / s
+	}
+	doc.LatencyNS.P99 = rep.P99OverallNanos
 	doc.WallMS = float64(wall.Microseconds()) / 1000
 	doc.Allocs.Mallocs = after.Mallocs - before.Mallocs
 	doc.Allocs.TotalAllocBytes = after.TotalAlloc - before.TotalAlloc

@@ -13,6 +13,8 @@
 //	mpdp-gateway -loopback -drop 0.2 -impair-path 1 # fault-injected run
 //	mpdp-gateway -loopback -wire-trace run.wir -wire-chrome wire.json -wire-sample 1
 //	mpdp-gateway -loopback -burst-period 512 -burst-len 64 -impair-path 0
+//	mpdp-gateway -mesh -mesh-nodes 4 -mesh-drain 1 -duration 2s \
+//	    -burst-period 512 -burst-len 96 -burst-delay 3ms -impair-path 1
 //	mpdp-gateway -mode recv -addrs 0.0.0.0:7401,0.0.0.0:7402
 //	mpdp-gateway -mode echo -addrs 0.0.0.0:7401,0.0.0.0:7402
 //	mpdp-gateway -mode send -remotes host:7401,host:7402 -duration 10s
@@ -33,6 +35,15 @@
 // MPDPWIR1 stream is written for mpdp-inspect -wire, and -wire-chrome
 // exports the slowest packets as a Chrome trace with one lane per path.
 // Tracing also enables the sender_queue and flight span stages.
+//
+// With -mesh, the gateway runs a hermetic in-process multi-gateway mesh:
+// -mesh-nodes gateways behind one steering client, flows pinned to owners
+// by rendezvous hashing, membership and path health gossiped between
+// nodes, and (with -mesh-drain N) a graceful mid-run drain of one node
+// whose live flow state is handed off to the new owners — the run fails
+// loudly if any packet is double-delivered or reordered across the
+// ownership change. Mesh metric families appear on -listen; the
+// -mesh-sentinel detector flags tail episodes from the mesh-aggregate p99.
 //
 // With -sentinel <dir> (loopback only), the tail sentinel watches the
 // windowed e2e p99, the SLO burn state, and path health on every
@@ -66,7 +77,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "loopback", "loopback|send|recv|echo")
+		mode     = flag.String("mode", "loopback", "loopback|mesh|send|recv|echo")
 		loopback = flag.Bool("loopback", false, "shorthand for -mode loopback")
 		paths    = flag.Int("paths", 2, "number of UDP paths (loopback mode)")
 		addrs    = flag.String("addrs", "", "recv/echo: comma-separated listen addresses, one per path")
@@ -112,10 +123,22 @@ func main() {
 		sentinelClear   = flag.Int("sentinel-clear", 3, "sentinel: consecutive clean ticks before an episode ends")
 		sentinelCool    = flag.Int("sentinel-cooldown", 5, "sentinel: post-episode ticks during which new triggers are ignored")
 		sentinelPprof   = flag.Bool("sentinel-pprof", false, "sentinel: grab pprof CPU/heap from -debug-listen at episode start")
+
+		meshMode       = flag.Bool("mesh", false, "run a hermetic in-process multi-gateway mesh (HRW steering + gossip + handoff)")
+		meshNodes      = flag.Int("mesh-nodes", 4, "mesh: gateway node count")
+		meshDrain      = flag.Int("mesh-drain", -1, "mesh: gracefully drain the node at this index mid-run (-1 = none)")
+		meshDrainAfter = flag.Float64("mesh-drain-after", 0.5, "mesh: run fraction at which the drain starts")
+		meshGossip     = flag.Duration("mesh-gossip", 25*time.Millisecond, "mesh: gossip interval")
+		meshHandoffT   = flag.Duration("mesh-handoff-timeout", 0, "mesh: pending-flow promotion timeout (0 = default)")
+		meshSettle     = flag.Duration("mesh-drain-settle", 0, "mesh: drain settle window before flow export (0 = default)")
+		meshSentinel   = flag.Bool("mesh-sentinel", false, "mesh: attach the tail-episode detector (tuned by the -sentinel-* flags)")
 	)
 	flag.Parse()
 	if *loopback {
 		*mode = "loopback"
+	}
+	if *meshMode {
+		*mode = "mesh"
 	}
 
 	// Flag hygiene: an impossible value is an operator mistake, and a
@@ -153,6 +176,24 @@ func main() {
 	}
 	if *sentinelPprof && *debugListen == "" {
 		fatalf("-sentinel-pprof grabs profiles from the debug listener; set -debug-listen")
+	}
+	if *mode == "mesh" {
+		if *meshNodes < 1 {
+			fatalf("-mesh-nodes %d: a mesh needs at least one gateway", *meshNodes)
+		}
+		if *meshDrain >= *meshNodes {
+			fatalf("-mesh-drain %d: index out of range for %d nodes", *meshDrain, *meshNodes)
+		}
+		if *meshDrainAfter <= 0 || *meshDrainAfter >= 1 {
+			fatalf("-mesh-drain-after %v: must be in (0,1), a fraction of the run", *meshDrainAfter)
+		}
+		if *meshGossip <= 0 {
+			fatalf("-mesh-gossip %v: interval must be > 0", *meshGossip)
+		}
+		// -sentinel (incident capture) and -wire-trace/-wire-chrome need a
+		// single sender/receiver pair; the generic loopback-only checks
+		// above and below reject them for mesh mode too. -mesh-sentinel is
+		// the mesh's episode detector.
 	}
 
 	// On the wire, "no budget configured" means duplication stays off: the
@@ -269,6 +310,22 @@ func main() {
 				pprof: *sentinelPprof, debugAddr: *debugListen,
 			},
 		})
+	case "mesh":
+		runMesh(meshCfg{
+			nodes: *meshNodes, pathsPerNode: *paths,
+			sched: transport.SchedulerName(*sched), hedgeK: *hedgeK,
+			deadline: *deadline, deadlineMarg: *dupMarg, dupBudgetBps: budgetBps,
+			packets: *packets, duration: *duration,
+			payload: *payload, flows: *flows, reorderT: *reorderT,
+			gossip: *meshGossip, handoffT: *meshHandoffT, drainSettle: *meshSettle,
+			drainNode: *meshDrain, drainAfter: *meshDrainAfter,
+			sloSpec: *sloSpec, impairer: impairer, reg: reg, jsonOut: *jsonOut,
+			sentinelOn: *meshSentinel, sentinelP99: *sentinelP99,
+			sentinelCfg: sentinelCfg{
+				tick: *sentinelTick, suspect: *sentinelSuspect,
+				clear: *sentinelClear, cooldown: *sentinelCool,
+			},
+		})
 	case "recv", "echo":
 		runReceiver(strings.Split(nonEmpty(*addrs, "-addrs"), ","), *mode == "echo",
 			*reorderT, spans, tracker, stop, *jsonOut)
@@ -278,7 +335,7 @@ func main() {
 			*packets, *duration, *rate,
 			*payload, *flows, impairer, spans, reg, stop, *jsonOut)
 	default:
-		fatalf("unknown -mode %q (want loopback|send|recv|echo)", *mode)
+		fatalf("unknown -mode %q (want loopback|mesh|send|recv|echo)", *mode)
 	}
 }
 

@@ -34,15 +34,24 @@ func inspectLive(baseURL string) error {
 
 	fmt.Printf("live metrics from %s:\n\n", url)
 
-	// Scalars first: the engine's counters and gauges, sorted.
+	// Scalars first: the engine's counters and gauges, sorted. The mesh
+	// families get their own section — a multi-gateway run is read as one
+	// data plane (epoch, membership, steering, handoff, burn), not as a
+	// pile of interleaved series.
 	names := make([]string, 0, len(scalars))
+	var meshNames []string
 	for n := range scalars {
+		if strings.HasPrefix(n, "mpdp_mesh_") {
+			meshNames = append(meshNames, n)
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Printf("  %-48s %s\n", n, trimFloat(scalars[n]))
 	}
+	renderMeshSection(meshNames, scalars)
 
 	keys := make([]string, 0, len(hists))
 	for k := range hists {
@@ -57,6 +66,52 @@ func inspectLive(baseURL string) error {
 		fmt.Println("\n(no histogram families exposed)")
 	}
 	return nil
+}
+
+// renderMeshSection groups the mpdp_mesh_* scalar families: mesh-wide
+// aggregates (epoch, eligible members, delivery/steering/handoff counters,
+// SLO burn) first, then one row per node with its path-health states and
+// burn rate pulled from the {node="N"} labelled gauges.
+func renderMeshSection(names []string, scalars map[string]float64) {
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	perNode := make(map[string]map[string]float64) // node label -> family -> value
+	fmt.Println("\nmesh:")
+	for _, n := range names {
+		if i := strings.Index(n, `{node="`); i >= 0 {
+			fam := n[:i]
+			node := strings.TrimSuffix(n[i+len(`{node="`):], `"}`)
+			m, ok := perNode[node]
+			if !ok {
+				m = map[string]float64{}
+				perNode[node] = m
+			}
+			m[fam] = scalars[n]
+			continue
+		}
+		fmt.Printf("  %-48s %s\n", n, trimFloat(scalars[n]))
+	}
+	nodes := make([]string, 0, len(perNode))
+	for node := range perNode {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		a, _ := strconv.Atoi(nodes[i])
+		b, _ := strconv.Atoi(nodes[j])
+		return a < b
+	})
+	for _, node := range nodes {
+		m := perNode[node]
+		fmt.Printf("  node %-3s paths up=%s degraded=%s quarantined=%s probing=%s burn=%s\n",
+			node,
+			trimFloat(m["mpdp_mesh_node_paths_up"]),
+			trimFloat(m["mpdp_mesh_node_paths_degraded"]),
+			trimFloat(m["mpdp_mesh_node_paths_quarantined"]),
+			trimFloat(m["mpdp_mesh_node_paths_probing"]),
+			trimFloat(m["mpdp_mesh_node_burn"]))
+	}
 }
 
 // promHist is one histogram series reassembled from _bucket/_sum/_count

@@ -1,0 +1,133 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStreamCleanRun(t *testing.T) {
+	s := NewStream()
+	for flow := uint64(0); flow < 3; flow++ {
+		for seq := uint64(0); seq < 100; seq++ {
+			s.NoteSent(flow, seq)
+		}
+	}
+	// Deliver with losses (legal) but in order, once each.
+	for flow := uint64(0); flow < 3; flow++ {
+		for seq := uint64(0); seq < 100; seq += 2 {
+			s.NoteDelivered(flow, seq)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatalf("clean run reported: %v", err)
+	}
+	sent, delivered := s.Counts()
+	if sent != 300 || delivered != 150 {
+		t.Fatalf("counts %d/%d, want 300/150", sent, delivered)
+	}
+}
+
+func TestStreamDetectsDuplicate(t *testing.T) {
+	s := NewStream()
+	s.NoteSent(1, 0)
+	s.NoteSent(1, 1)
+	s.NoteDelivered(1, 0)
+	s.NoteDelivered(1, 0)
+	_, n := s.Violations()
+	if n != 1 {
+		t.Fatalf("%d violations, want 1 (duplicate)", n)
+	}
+	msgs, _ := s.Violations()
+	if !strings.Contains(msgs[0], "twice") {
+		t.Fatalf("violation %q does not name the duplicate", msgs[0])
+	}
+}
+
+func TestStreamDetectsOutOfOrder(t *testing.T) {
+	s := NewStream()
+	for seq := uint64(0); seq < 5; seq++ {
+		s.NoteSent(1, seq)
+	}
+	s.NoteDelivered(1, 3)
+	s.NoteDelivered(1, 1)
+	msgs, n := s.Violations()
+	if n != 1 || !strings.Contains(msgs[0], "out of order") {
+		t.Fatalf("violations %v (n=%d), want one out-of-order", msgs, n)
+	}
+}
+
+func TestStreamDetectsInvention(t *testing.T) {
+	s := NewStream()
+	s.NoteSent(1, 0)
+	s.NoteDelivered(1, 7)
+	msgs, n := s.Violations()
+	if n != 1 || !strings.Contains(msgs[0], "never sent") {
+		t.Fatalf("violations %v (n=%d), want one invention", msgs, n)
+	}
+}
+
+func TestStreamDetectsNonContiguousSend(t *testing.T) {
+	s := NewStream()
+	s.NoteSent(1, 0)
+	s.NoteSent(1, 2)
+	_, n := s.Violations()
+	if n != 1 {
+		t.Fatalf("%d violations, want 1 (send gap)", n)
+	}
+}
+
+func TestStreamFinishConservation(t *testing.T) {
+	// Delivery for an unknown flow, delivered past what was sent: Finish
+	// must flag conservation even though per-event checks could not.
+	s := NewStream()
+	s.NoteDelivered(42, 0)
+	s.NoteDelivered(42, 1)
+	err := s.Finish()
+	if err == nil {
+		t.Fatal("over-delivery passed Finish")
+	}
+	if !strings.Contains(err.Error(), "over-delivery") {
+		t.Fatalf("error %v does not name over-delivery", err)
+	}
+}
+
+func TestStreamViolationCapKeepsExactCount(t *testing.T) {
+	s := NewStream()
+	s.NoteSent(1, 0)
+	s.NoteDelivered(1, 0)
+	for i := 0; i < 40; i++ {
+		s.NoteDelivered(1, 0) // 40 duplicates
+	}
+	msgs, n := s.Violations()
+	if n != 40 {
+		t.Fatalf("exact count %d, want 40", n)
+	}
+	if len(msgs) != 16 {
+		t.Fatalf("recorded messages %d, want capped 16", len(msgs))
+	}
+	// Finish adds the over-delivery conservation violation (41 delivered
+	// against 1 sent), so the truncated tail reads 41-16 = 25.
+	if err := s.Finish(); err == nil || !strings.Contains(err.Error(), "and 25 more") {
+		t.Fatalf("Finish error %v does not surface the truncated tail", err)
+	}
+}
+
+func TestStreamConcurrentUse(t *testing.T) {
+	s := NewStream()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for seq := uint64(0); seq < 10_000; seq++ {
+			s.NoteSent(2, seq)
+			s.NoteDelivered(2, seq)
+		}
+	}()
+	for seq := uint64(0); seq < 10_000; seq++ {
+		s.NoteSent(1, seq)
+		s.NoteDelivered(1, seq)
+	}
+	<-done
+	if err := s.Finish(); err != nil {
+		t.Fatalf("concurrent clean run reported: %v", err)
+	}
+}

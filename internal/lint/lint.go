@@ -450,6 +450,7 @@ var simPackages = []string{
 	"mpdp/internal/packet",
 	"mpdp/internal/obs",
 	"mpdp/internal/transport",
+	"mpdp/internal/mesh",
 }
 
 func inSimScope(path string) bool {

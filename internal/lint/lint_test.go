@@ -197,6 +197,7 @@ func TestDeterminismScopeCoversSchedulingCode(t *testing.T) {
 	for _, pkg := range []string{
 		"mpdp/internal/core",      // policies incl. DeadlineAware + DupBudget
 		"mpdp/internal/transport", // wire scheduler incl. SchedDeadline
+		"mpdp/internal/mesh",      // HRW steering + gossip/handoff control plane
 		"mpdp/internal/experiment",
 		"mpdp/internal/sim",
 	} {

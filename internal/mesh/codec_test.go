@@ -1,0 +1,207 @@
+package mesh
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden datagrams")
+
+// goldenGossip is the canonical control-plane fixture: a full view with
+// every member state, both roles, and a populated health summary. Its
+// encoding is pinned byte-for-byte under testdata/ — any layout change
+// fails TestGossipGolden until the format is versioned and the file is
+// regenerated with `go test ./internal/mesh -run Golden -update`.
+func goldenGossip() *GossipMessage {
+	return &GossipMessage{
+		Origin: 1,
+		Epoch:  7,
+		Members: []Member{
+			{ID: 1, Incarnation: 2, State: MemberAlive, Role: RoleData,
+				ControlAddr: "127.0.0.1:9001", DataAddrs: []string{"127.0.0.1:9101", "127.0.0.1:9201"},
+				Summary: HealthSummary{Version: 12, PathsUp: 1, PathsDegraded: 1, SLOState: 2, BurnRate: 14.5, Delivered: 100000, Lost: 17}},
+			{ID: 2, Incarnation: 0, State: MemberSuspect, Role: RoleData,
+				ControlAddr: "127.0.0.1:9002", DataAddrs: []string{"127.0.0.1:9102"}},
+			{ID: 3, Incarnation: 1, State: MemberLeft, Role: RoleData,
+				ControlAddr: "127.0.0.1:9003", DataAddrs: []string{"127.0.0.1:9103"}},
+			{ID: 1000, State: MemberAlive, Role: RoleObserver, ControlAddr: "127.0.0.1:9999"},
+		},
+	}
+}
+
+func goldenHandoff() *HandoffRecord {
+	return &HandoffRecord{
+		Origin: 2, Target: 3, Epoch: 8, Seq: 1,
+		Flows: []FlowRecord{
+			{FlowID: 0xdeadbeefcafe0001, Next: 1042, Delivered: 1000, DupSuppressed: 42, DeadlineHits: 990, DeadlineMisses: 10},
+			{FlowID: 5, Next: 1, Delivered: 1},
+		},
+	}
+}
+
+func goldenForward() *Forward {
+	return &Forward{Origin: 2, Epoch: 8, FlowID: 5, Seq: 1,
+		SendNanos: 1700000000123456789, Payload: []byte("late arrival")}
+}
+
+func checkGolden(t *testing.T, name string, enc []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatalf("%s: write golden: %v", name, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: read golden (run with -update to create): %v", name, err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Errorf("%s: encoding drifted from golden bytes:\n got %x\nwant %x", name, enc, want)
+	}
+}
+
+func TestGossipGolden(t *testing.T) {
+	enc, err := AppendGossip(nil, goldenGossip())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	checkGolden(t, "view.gsp", enc)
+}
+
+func TestHandoffGolden(t *testing.T) {
+	enc, err := AppendHandoff(nil, goldenHandoff())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	checkGolden(t, "drain.hnd", enc)
+	checkGolden(t, "drain.hak", AppendHandoffAck(nil, &HandoffAck{Origin: 3, Seq: 1}))
+	fwd, err := AppendForward(nil, goldenForward())
+	if err != nil {
+		t.Fatalf("encode forward: %v", err)
+	}
+	checkGolden(t, "relay.fwd", fwd)
+}
+
+func TestGossipRoundTrip(t *testing.T) {
+	msg := goldenGossip()
+	enc, err := AppendGossip(nil, msg)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := DecodeGossip(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(msg, dec) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", dec, msg)
+	}
+	re, err := AppendGossip(nil, dec)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(re, enc) {
+		t.Fatal("re-encode not byte-identical")
+	}
+}
+
+func TestHandoffRoundTrip(t *testing.T) {
+	rec := goldenHandoff()
+	enc, err := AppendHandoff(nil, rec)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := DecodeHandoff(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(rec, dec) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", dec, rec)
+	}
+
+	ack := HandoffAck{Origin: 3, Seq: 9}
+	dack, err := DecodeHandoffAck(AppendHandoffAck(nil, &ack))
+	if err != nil || dack != ack {
+		t.Fatalf("ack round trip: %+v, %v", dack, err)
+	}
+
+	fwd := goldenForward()
+	fenc, err := AppendForward(nil, fwd)
+	if err != nil {
+		t.Fatalf("encode forward: %v", err)
+	}
+	dfwd, err := DecodeForward(fenc)
+	if err != nil {
+		t.Fatalf("decode forward: %v", err)
+	}
+	if dfwd.Origin != fwd.Origin || dfwd.Epoch != fwd.Epoch || dfwd.FlowID != fwd.FlowID ||
+		dfwd.Seq != fwd.Seq || dfwd.SendNanos != fwd.SendNanos || !bytes.Equal(dfwd.Payload, fwd.Payload) {
+		t.Fatalf("forward round trip mismatch: %+v", dfwd)
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	e := Envelope{Epoch: 7, Seq: 123456, PrevOwner: 2}
+	payload := []byte("application bytes")
+	buf := AppendEnvelope(nil, &e, payload)
+	if len(buf) != EnvelopeLen+len(payload) {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), EnvelopeLen+len(payload))
+	}
+	de, p, err := DecodeEnvelope(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if de != e || !bytes.Equal(p, payload) {
+		t.Fatalf("round trip mismatch: %+v / %q", de, p)
+	}
+	// Pre-sized reuse must not allocate.
+	scratch := make([]byte, 0, EnvelopeLen+len(payload))
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = AppendEnvelope(scratch[:0], &e, payload)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEnvelope with pre-sized buffer allocates %.1f/op, want 0", allocs)
+	}
+	if _, _, err := DecodeEnvelope(buf[:EnvelopeLen-1]); err == nil {
+		t.Fatal("short envelope decoded")
+	}
+	buf[0] = 99
+	if _, _, err := DecodeEnvelope(buf); err == nil {
+		t.Fatal("mis-versioned envelope decoded")
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	gossip, err := AppendGossip(nil, goldenGossip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	handoff, err := AppendHandoff(nil, goldenHandoff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		dec  func([]byte) error
+	}{
+		{"gossip/empty", nil, func(b []byte) error { _, err := DecodeGossip(b); return err }},
+		{"gossip/truncated", gossip[:len(gossip)-1], func(b []byte) error { _, err := DecodeGossip(b); return err }},
+		{"gossip/trailing", append(append([]byte(nil), gossip...), 0), func(b []byte) error { _, err := DecodeGossip(b); return err }},
+		{"gossip/badmagic", append([]byte("XXXXXXXX"), gossip[8:]...), func(b []byte) error { _, err := DecodeGossip(b); return err }},
+		{"handoff/truncated", handoff[:len(handoff)-1], func(b []byte) error { _, err := DecodeHandoff(b); return err }},
+		{"handoff/trailing", append(append([]byte(nil), handoff...), 0), func(b []byte) error { _, err := DecodeHandoff(b); return err }},
+		{"ack/short", []byte("MPDPHAK1"), func(b []byte) error { _, err := DecodeHandoffAck(b); return err }},
+		{"forward/short", []byte("MPDPFWD1"), func(b []byte) error { _, err := DecodeForward(b); return err }},
+	}
+	for _, c := range cases {
+		if err := c.dec(c.b); err == nil {
+			t.Errorf("%s: corrupt datagram decoded without error", c.name)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package mesh runs N mpdp gateways as one data plane: a horizontal
+// scale-out layer above internal/transport where flow-state ownership,
+// path health, and SLO accounting become mesh-wide concerns.
+//
+// Four pieces compose it:
+//
+//   - Steering (steering.go): rendezvous (HRW) hashing of FlowID → owner
+//     node, so each flow's dedup/reorder state lives on exactly one
+//     gateway. A versioned membership epoch is stamped into every data
+//     envelope; a node that receives a frame steered by a stale view
+//     detects it (the epoch is behind its own and it is not the owner)
+//     and forwards it to the true owner instead of double-delivering.
+//
+//   - Control plane (gossipcodec.go, membership.go, node.go): a small
+//     anti-entropy gossip layer over UDP reusing the MPDP1 framing
+//     discipline — a versioned little-endian codec (MPDPGSP1), a fuzzed
+//     decoder that never panics, golden testdata pinning the byte
+//     layout. Gossip carries membership (join/leave/suspect), per-path
+//     health summaries derived from each node's core.HealthTracker
+//     signals, and per-node SLO burn so burn-rate alerts aggregate
+//     per-mesh rather than per-node.
+//
+//   - Drain/handoff (flowtable.go, handoffcodec.go): on graceful
+//     shutdown an owner serializes its live flow state — the reorder
+//     cursor that doubles as the mesh dedup window, plus the
+//     deadline-budget residue (hit/miss counters) — into versioned
+//     MPDPHND1 handoff records, transfers them to the new HRW owners,
+//     and retries until acked. The endpoint-independent invariant
+//     checker (invariant.Stream) verifies at-most-once and in-order
+//     delivery across the ownership change.
+//
+//   - Harness (harness.go): RunMesh, the hermetic in-process N-node
+//     loopback harness behind `mpdp-gateway -mesh` and experiment E25 —
+//     drain one of N nodes mid-run under burst impairment and assert
+//     zero invariant violations, completion of the drained node's flows
+//     on their new owner, and bounded p99 inflation, with mesh metrics
+//     exported through internal/live and tail episodes visible to
+//     internal/sentinel.
+//
+// Ordering across a handoff relies on one structural fact: the mesh
+// sequence number is assigned by the client, per flow, monotonically —
+// and every seq is steered to exactly one node. The owner's per-flow
+// state is therefore just a cursor (next expected seq): anything below
+// it is a duplicate, anything at or above it delivers in arrival order
+// (the transport below already releases in order per sender). Moving a
+// flow means moving its cursor — which is what the handoff record does.
+package mesh

@@ -1,0 +1,76 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// The mesh envelope is the in-band prefix a client puts ahead of every
+// application payload inside an MPDP1 frame. It carries the three fields
+// the ownership layer needs that the transport header cannot:
+//
+//   - the membership epoch the client steered under, so a node can tell
+//     a stale steering decision from its own stale view;
+//   - the mesh sequence number, assigned per flow by the client and
+//     continuous across owner changes (the transport's per-sender seq
+//     restarts at every node, so it cannot order a flow across a
+//     handoff);
+//   - the previous owner, stamped after a re-steer so the new owner
+//     knows flow state is inbound and buffers instead of guessing.
+//
+//	offset size field
+//	0      1    version (0x01)
+//	1      8    membership epoch
+//	9      8    mesh seq (per-flow, client-assigned)
+//	17     4    previous owner (NodeNone when not re-steered)
+//	21     …    application payload
+
+// EnvelopeVersion is the envelope format version byte.
+const EnvelopeVersion = 1
+
+// EnvelopeLen is the fixed envelope prefix size.
+const EnvelopeLen = 21
+
+// ErrEnvelopeCorrupt rejects a short or mis-versioned envelope.
+var ErrEnvelopeCorrupt = errors.New("mesh: corrupt data envelope")
+
+// Envelope is the decoded prefix.
+type Envelope struct {
+	Epoch     uint64
+	Seq       uint64
+	PrevOwner NodeID
+}
+
+// AppendEnvelope appends the envelope then the payload to buf. With a
+// pre-sized buf it performs zero allocations (the client reuses one
+// scratch buffer per send).
+func AppendEnvelope(buf []byte, e *Envelope, payload []byte) []byte {
+	off := len(buf)
+	n := EnvelopeLen + len(payload)
+	if cap(buf)-off < n {
+		grown := make([]byte, off, off+n)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:off+n]
+	b := buf[off:]
+	b[0] = EnvelopeVersion
+	binary.LittleEndian.PutUint64(b[1:9], e.Epoch)
+	binary.LittleEndian.PutUint64(b[9:17], e.Seq)
+	binary.LittleEndian.PutUint32(b[17:21], uint32(e.PrevOwner))
+	copy(b[EnvelopeLen:], payload)
+	return buf
+}
+
+// DecodeEnvelope splits a frame payload into envelope and application
+// payload (aliasing b).
+func DecodeEnvelope(b []byte) (Envelope, []byte, error) {
+	var e Envelope
+	if len(b) < EnvelopeLen || b[0] != EnvelopeVersion {
+		return e, nil, ErrEnvelopeCorrupt
+	}
+	e.Epoch = binary.LittleEndian.Uint64(b[1:9])
+	e.Seq = binary.LittleEndian.Uint64(b[9:17])
+	e.PrevOwner = NodeID(binary.LittleEndian.Uint32(b[17:21]))
+	return e, b[EnvelopeLen:], nil
+}

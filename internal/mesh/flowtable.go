@@ -1,0 +1,177 @@
+package mesh
+
+import "sort"
+
+// flowTable is the owner-side mesh delivery state: one cursor per flow.
+//
+// Because the client assigns mesh seqs per flow monotonically and steers
+// each seq to exactly one node, and the transport below releases each
+// sender's stream in order, the per-flow state a node needs is just
+// "next expected seq": anything below it is a duplicate (the degenerate
+// dedup window — its floor IS the cursor), anything at or above it
+// delivers immediately and advances the cursor (skipped seqs are
+// conclusively lost on the wire, counted as gaps).
+//
+// Flows whose state is in flight from a draining owner sit in pending:
+// frames buffer (bounded; overflow drops, a legal wire loss) until the
+// handoff record installs the cursor, at which point the buffer drains
+// through it in seq order. If the record never arrives, promotion at
+// HandoffTimeout is safe: buffered seqs were sent to this node only, a
+// draining owner parks (never surfaces) everything behind its announce,
+// and the late record's cursor can never exceed the first buffered seq
+// (the old owner stopped seeing the flow when the client re-steered),
+// so install-keeps-max cannot undo a delivery.
+//
+// The table is not goroutine-safe; the Node guards it.
+type flowTable struct {
+	entries map[uint64]*flowEntry
+	pending map[uint64]*pendingFlow
+}
+
+// flowEntry is one owned flow's live state; the exported FlowRecord is
+// its serialized form.
+type flowEntry struct {
+	next           uint64
+	delivered      uint64
+	dupSuppressed  uint64
+	deadlineHits   uint64
+	deadlineMisses uint64
+	migrated       bool // installed via handoff (E25 asserts post-handoff delivery)
+
+	// parked holds arrivals a draining owner received after announcing
+	// leave: they must not surface here (the flow's successor may already
+	// be delivering ahead) and instead ride the export as forwards.
+	parked []pendingFrame
+}
+
+// pendingFrame is one buffered delivery awaiting a handoff record.
+type pendingFrame struct {
+	seq       uint64
+	sendNanos int64
+	payload   []byte // copied; the transport reuses its read buffers
+}
+
+// pendingFlow buffers frames for a flow whose handoff record is inbound.
+type pendingFlow struct {
+	from       NodeID
+	firstNanos int64 // when buffering began (promotion timeout base)
+	frames     []pendingFrame
+}
+
+// maxPendingFrames bounds one flow's pending (and parked) buffer;
+// overflow drops the frame (counted) rather than growing without bound
+// — a bounded, legal wire loss that can never reorder the stream.
+const maxPendingFrames = 1024
+
+func newFlowTable() *flowTable {
+	return &flowTable{
+		entries: make(map[uint64]*flowEntry),
+		pending: make(map[uint64]*pendingFlow),
+	}
+}
+
+// admit runs one delivery through a flow's cursor. It returns
+// (deliver, gap): whether the frame should surface, and how many seqs
+// the cursor skipped over (wire losses resolved by this delivery).
+func (e *flowEntry) admit(seq uint64) (deliver bool, gap uint64) {
+	if seq < e.next {
+		e.dupSuppressed++
+		return false, 0
+	}
+	gap = seq - e.next
+	e.next = seq + 1
+	e.delivered++
+	return true, gap
+}
+
+// record serializes one entry.
+func (e *flowEntry) record(flow uint64) FlowRecord {
+	return FlowRecord{
+		FlowID:         flow,
+		Next:           e.next,
+		Delivered:      e.delivered,
+		DupSuppressed:  e.dupSuppressed,
+		DeadlineHits:   e.deadlineHits,
+		DeadlineMisses: e.deadlineMisses,
+	}
+}
+
+// install merges a handoff record into the table: cursor keeps the
+// maximum (a forwarded frame may have advanced it first), counters
+// accumulate. Returns the entry.
+func (t *flowTable) install(rec *FlowRecord) *flowEntry {
+	e, ok := t.entries[rec.FlowID]
+	if !ok {
+		e = &flowEntry{next: rec.Next}
+		t.entries[rec.FlowID] = e
+	} else if rec.Next > e.next {
+		e.next = rec.Next
+	}
+	e.delivered += rec.Delivered
+	e.dupSuppressed += rec.DupSuppressed
+	e.deadlineHits += rec.DeadlineHits
+	e.deadlineMisses += rec.DeadlineMisses
+	e.migrated = true
+	return e
+}
+
+// export serializes and removes every entry, sorted by flow ID, assigned
+// to its new owner by pick. Deterministic: same table, same records.
+func (t *flowTable) export(pick func(flow uint64) NodeID) map[NodeID][]FlowRecord {
+	flows := make([]uint64, 0, len(t.entries))
+	for f := range t.entries {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	out := make(map[NodeID][]FlowRecord)
+	for _, f := range flows {
+		owner := pick(f)
+		if owner == NodeNone {
+			continue // last node standing: state has nowhere to go
+		}
+		out[owner] = append(out[owner], t.entries[f].record(f))
+		delete(t.entries, f)
+	}
+	return out
+}
+
+// buffer holds one frame for a flow pending handoff, copying the
+// payload. It returns false when the buffer overflowed (caller promotes).
+func (t *flowTable) buffer(flow uint64, from NodeID, seq uint64, sendNanos int64, payload []byte, now int64) bool {
+	p, ok := t.pending[flow]
+	if !ok {
+		p = &pendingFlow{from: from, firstNanos: now}
+		t.pending[flow] = p
+	}
+	if len(p.frames) >= maxPendingFrames {
+		return false
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	p.frames = append(p.frames, pendingFrame{seq: seq, sendNanos: sendNanos, payload: cp})
+	return true
+}
+
+// takePending removes and returns a flow's buffer, frames sorted by seq.
+func (t *flowTable) takePending(flow uint64) []pendingFrame {
+	p, ok := t.pending[flow]
+	if !ok {
+		return nil
+	}
+	delete(t.pending, flow)
+	sort.Slice(p.frames, func(i, j int) bool { return p.frames[i].seq < p.frames[j].seq })
+	return p.frames
+}
+
+// expiredPending returns the flows whose buffers have waited past
+// timeoutNanos, sorted for deterministic promotion order.
+func (t *flowTable) expiredPending(now, timeoutNanos int64) []uint64 {
+	var flows []uint64
+	for f, p := range t.pending {
+		if now-p.firstNanos > timeoutNanos {
+			flows = append(flows, f)
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	return flows
+}

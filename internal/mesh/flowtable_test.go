@@ -1,0 +1,125 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFlowEntryAdmit(t *testing.T) {
+	e := &flowEntry{next: 0}
+	if ok, gap := e.admit(0); !ok || gap != 0 {
+		t.Fatalf("admit(0) = %v,%d", ok, gap)
+	}
+	if ok, _ := e.admit(0); ok {
+		t.Fatal("replayed seq delivered twice")
+	}
+	if ok, gap := e.admit(3); !ok || gap != 2 {
+		t.Fatalf("admit(3) = %v,%d, want deliver with gap 2 (seqs 1,2 lost)", ok, gap)
+	}
+	if ok, _ := e.admit(2); ok {
+		t.Fatal("seq below the cursor delivered (would be out of order)")
+	}
+	if e.delivered != 2 || e.dupSuppressed != 2 || e.next != 4 {
+		t.Fatalf("entry %+v, want delivered=2 dup=2 next=4", e)
+	}
+}
+
+func TestFlowTableInstallKeepsMax(t *testing.T) {
+	tab := newFlowTable()
+	// A forwarded frame opened the entry and advanced the cursor to 11.
+	e := &flowEntry{next: 11, delivered: 1}
+	tab.entries[7] = e
+	// The handoff record serialized an older cursor: install keeps the max
+	// and accumulates counters.
+	got := tab.install(&FlowRecord{FlowID: 7, Next: 9, Delivered: 9, DupSuppressed: 2})
+	if got != e {
+		t.Fatal("install replaced the live entry")
+	}
+	if e.next != 11 || e.delivered != 10 || e.dupSuppressed != 2 || !e.migrated {
+		t.Fatalf("entry %+v, want next=11 (max kept) delivered=10 migrated", e)
+	}
+	// A record ahead of the local cursor advances it.
+	tab.install(&FlowRecord{FlowID: 7, Next: 20})
+	if e.next != 20 {
+		t.Fatalf("next %d, want advanced to 20", e.next)
+	}
+}
+
+func TestFlowTableExport(t *testing.T) {
+	tab := newFlowTable()
+	tab.entries[3] = &flowEntry{next: 30, delivered: 30}
+	tab.entries[1] = &flowEntry{next: 10, delivered: 10}
+	tab.entries[2] = &flowEntry{next: 20, delivered: 20}
+	pick := func(flow uint64) NodeID {
+		if flow == 2 {
+			return NodeNone // nowhere to go: stays out of the export
+		}
+		return NodeID(flow % 2) // 1→1, 3→1
+	}
+	out := tab.export(pick)
+	want := map[NodeID][]FlowRecord{
+		1: {
+			{FlowID: 1, Next: 10, Delivered: 10},
+			{FlowID: 3, Next: 30, Delivered: 30},
+		},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("export = %+v, want %+v (sorted by flow, NodeNone skipped)", out, want)
+	}
+	if _, ok := tab.entries[1]; ok {
+		t.Fatal("exported entry still in the table")
+	}
+	if _, ok := tab.entries[2]; !ok {
+		t.Fatal("unexportable entry was dropped")
+	}
+}
+
+func TestFlowTablePendingBufferAndPromotion(t *testing.T) {
+	tab := newFlowTable()
+	payload := []byte("p")
+	if !tab.buffer(9, 2, 102, 1000, payload, 500) {
+		t.Fatal("first buffer refused")
+	}
+	tab.buffer(9, 2, 100, 900, payload, 600)
+	tab.buffer(9, 2, 101, 950, payload, 700)
+	// The buffered payload must be a copy: mutating the source is safe.
+	payload[0] = 'x'
+	frames := tab.takePending(9)
+	if len(frames) != 3 {
+		t.Fatalf("%d frames, want 3", len(frames))
+	}
+	for i, want := range []uint64{100, 101, 102} {
+		if frames[i].seq != want {
+			t.Fatalf("frame %d seq %d, want sorted %d", i, frames[i].seq, want)
+		}
+	}
+	if frames[0].payload[0] != 'p' {
+		t.Fatal("buffered payload aliases the caller's slice")
+	}
+	if tab.takePending(9) != nil {
+		t.Fatal("takePending is not idempotent-empty")
+	}
+}
+
+func TestFlowTablePendingOverflow(t *testing.T) {
+	tab := newFlowTable()
+	for i := 0; i < maxPendingFrames; i++ {
+		if !tab.buffer(9, 2, uint64(i), 0, nil, 0) {
+			t.Fatalf("buffer refused at %d, below the bound", i)
+		}
+	}
+	if tab.buffer(9, 2, uint64(maxPendingFrames), 0, nil, 0) {
+		t.Fatal("buffer accepted past the bound")
+	}
+}
+
+func TestFlowTableExpiredPending(t *testing.T) {
+	tab := newFlowTable()
+	tab.buffer(5, 2, 0, 0, nil, 100)
+	tab.buffer(3, 2, 0, 0, nil, 200)
+	tab.buffer(8, 2, 0, 0, nil, 900)
+	got := tab.expiredPending(1000, 500)
+	if !reflect.DeepEqual(got, []uint64{3, 5}) {
+		t.Fatalf("expired = %v, want sorted [3 5]", got)
+	}
+}

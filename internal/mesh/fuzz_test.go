@@ -1,0 +1,93 @@
+package mesh
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGossipDecode drives arbitrary bytes through the gossip decoder: it
+// must never panic, and anything it accepts must re-encode byte-identically
+// (the decoder admits exactly the canonical encoding, nothing else).
+func FuzzGossipDecode(f *testing.F) {
+	seed, err := AppendGossip(nil, goldenGossip())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("MPDPGSP1"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msg, err := DecodeGossip(b)
+		if err != nil {
+			return
+		}
+		re, err := AppendGossip(nil, msg)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted non-canonical encoding:\n  in %x\n out %x", b, re)
+		}
+	})
+}
+
+// FuzzHandoffDecode covers all three handoff-plane decoders: no panics,
+// and accepted records/relays re-encode byte-identically.
+func FuzzHandoffDecode(f *testing.F) {
+	rec, err := AppendHandoff(nil, goldenHandoff())
+	if err != nil {
+		f.Fatal(err)
+	}
+	fwd, err := AppendForward(nil, goldenForward())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rec)
+	f.Add(AppendHandoffAck(nil, &HandoffAck{Origin: 3, Seq: 1}))
+	f.Add(fwd)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if rec, err := DecodeHandoff(b); err == nil {
+			re, err := AppendHandoff(nil, rec)
+			if err != nil {
+				t.Fatalf("decoded record failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, b) {
+				t.Fatalf("handoff: accepted non-canonical encoding")
+			}
+		}
+		if ack, err := DecodeHandoffAck(b); err == nil {
+			if !bytes.Equal(AppendHandoffAck(nil, &ack), b) {
+				t.Fatalf("ack: accepted non-canonical encoding")
+			}
+		}
+		if fw, err := DecodeForward(b); err == nil {
+			re, err := AppendForward(nil, &fw)
+			if err != nil {
+				t.Fatalf("decoded forward failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, b) {
+				t.Fatalf("forward: accepted non-canonical encoding")
+			}
+		}
+	})
+}
+
+// FuzzEnvelopeDecode: the data-path prefix decoder must never panic and
+// must round-trip everything it accepts.
+func FuzzEnvelopeDecode(f *testing.F) {
+	f.Add(AppendEnvelope(nil, &Envelope{Epoch: 7, Seq: 9, PrevOwner: 2}, []byte("x")))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{1}, EnvelopeLen))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		e, payload, err := DecodeEnvelope(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(AppendEnvelope(nil, &e, payload), b) {
+			t.Fatalf("envelope: accepted non-canonical encoding")
+		}
+	})
+}

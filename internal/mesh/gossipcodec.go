@@ -1,0 +1,208 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MPDPGSP1 is the gossip wire format: one anti-entropy datagram carrying
+// the sender's full membership table. Little endian throughout, strict
+// validation on decode, and the same contract as the MPDP1/MPDPWIR1
+// codecs: the decoder never panics on arbitrary input (fuzz-enforced)
+// and anything it accepts re-encodes byte-identically.
+//
+//	offset size field
+//	0      8    magic "MPDPGSP1"
+//	8      4    origin node ID
+//	12     8    membership epoch (sender's view)
+//	20     2    member count
+//	22     …    members
+//
+// Each member:
+//
+//	4    node ID
+//	8    incarnation
+//	1    state (0 alive, 1 suspect, 2 left)
+//	1    role (0 data, 1 observer)
+//	1+n  control addr (length-prefixed, ≤ 255 bytes)
+//	1    data addr count (≤ 16), then length-prefixed addrs
+//	8    health summary version
+//	1    paths up
+//	1    paths degraded
+//	1    paths quarantined
+//	1    paths probing
+//	1    SLO state
+//	8    SLO burn rate (float64 bits)
+//	8    delivered
+//	8    lost
+
+// MagicGossip identifies an MPDPGSP1 datagram.
+var MagicGossip = [8]byte{'M', 'P', 'D', 'P', 'G', 'S', 'P', '1'}
+
+// Gossip codec limits: a datagram must fit one UDP packet and a hostile
+// count field must not ask for gigabytes.
+const (
+	MaxGossipMembers = 1024
+	MaxAddrLen       = 255
+	MaxDataAddrs     = 16
+)
+
+// Gossip codec errors.
+var (
+	ErrGossipBadMagic = errors.New("mesh: bad magic (not an MPDPGSP1 datagram)")
+	ErrGossipCorrupt  = errors.New("mesh: corrupt gossip datagram")
+	ErrGossipTooLarge = fmt.Errorf("mesh: gossip exceeds %d members", MaxGossipMembers)
+)
+
+// GossipMessage is one decoded anti-entropy datagram.
+type GossipMessage struct {
+	Origin  NodeID
+	Epoch   uint64
+	Members []Member
+}
+
+const gossipFixedHeader = 8 + 4 + 8 + 2
+
+// AppendGossip appends the encoded datagram to buf and returns the
+// extended slice. Members must already be in a deterministic order (the
+// View returns them sorted); encoding preserves it.
+func AppendGossip(buf []byte, msg *GossipMessage) ([]byte, error) {
+	if len(msg.Members) > MaxGossipMembers {
+		return buf, ErrGossipTooLarge
+	}
+	buf = append(buf, MagicGossip[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Origin))
+	buf = binary.LittleEndian.AppendUint64(buf, msg.Epoch)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg.Members)))
+	for i := range msg.Members {
+		m := &msg.Members[i]
+		if m.State > MemberLeft || m.Role > RoleObserver {
+			return buf, fmt.Errorf("mesh: member %d has invalid state/role", m.ID)
+		}
+		if len(m.ControlAddr) > MaxAddrLen || len(m.DataAddrs) > MaxDataAddrs {
+			return buf, fmt.Errorf("mesh: member %d addr fields exceed codec limits", m.ID)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.ID))
+		buf = binary.LittleEndian.AppendUint64(buf, m.Incarnation)
+		buf = append(buf, byte(m.State), byte(m.Role))
+		buf = append(buf, byte(len(m.ControlAddr)))
+		buf = append(buf, m.ControlAddr...)
+		buf = append(buf, byte(len(m.DataAddrs)))
+		for _, a := range m.DataAddrs {
+			if len(a) > MaxAddrLen {
+				return buf, fmt.Errorf("mesh: member %d data addr exceeds %d bytes", m.ID, MaxAddrLen)
+			}
+			buf = append(buf, byte(len(a)))
+			buf = append(buf, a...)
+		}
+		s := &m.Summary
+		buf = binary.LittleEndian.AppendUint64(buf, s.Version)
+		buf = append(buf, s.PathsUp, s.PathsDegraded, s.PathsQuarantined, s.PathsProbing, s.SLOState)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.BurnRate))
+		buf = binary.LittleEndian.AppendUint64(buf, s.Delivered)
+		buf = binary.LittleEndian.AppendUint64(buf, s.Lost)
+	}
+	return buf, nil
+}
+
+// DecodeGossip parses one MPDPGSP1 datagram. Strings are copied out of b.
+// Every failure mode returns a typed error; the decoder never panics and
+// rejects trailing bytes (a datagram carries exactly one message).
+func DecodeGossip(b []byte) (*GossipMessage, error) {
+	if len(b) < gossipFixedHeader {
+		return nil, ErrGossipCorrupt
+	}
+	if [8]byte(b[0:8]) != MagicGossip {
+		return nil, ErrGossipBadMagic
+	}
+	msg := &GossipMessage{
+		Origin: NodeID(binary.LittleEndian.Uint32(b[8:12])),
+		Epoch:  binary.LittleEndian.Uint64(b[12:20]),
+	}
+	n := int(binary.LittleEndian.Uint16(b[20:22]))
+	if n > MaxGossipMembers {
+		return nil, ErrGossipTooLarge
+	}
+	off := gossipFixedHeader
+	msg.Members = make([]Member, 0, n)
+	for i := 0; i < n; i++ {
+		m, next, err := decodeMember(b, off)
+		if err != nil {
+			return nil, err
+		}
+		msg.Members = append(msg.Members, m)
+		off = next
+	}
+	if off != len(b) {
+		return nil, ErrGossipCorrupt
+	}
+	return msg, nil
+}
+
+func decodeMember(b []byte, off int) (Member, int, error) {
+	var m Member
+	if len(b)-off < 4+8+1+1+1 {
+		return m, 0, ErrGossipCorrupt
+	}
+	m.ID = NodeID(binary.LittleEndian.Uint32(b[off : off+4]))
+	m.Incarnation = binary.LittleEndian.Uint64(b[off+4 : off+12])
+	m.State = MemberState(b[off+12])
+	m.Role = Role(b[off+13])
+	if m.State > MemberLeft || m.Role > RoleObserver {
+		return m, 0, ErrGossipCorrupt
+	}
+	off += 14
+	var err error
+	if m.ControlAddr, off, err = decodeAddr(b, off); err != nil {
+		return m, 0, err
+	}
+	if off >= len(b) {
+		return m, 0, ErrGossipCorrupt
+	}
+	nAddrs := int(b[off])
+	off++
+	if nAddrs > MaxDataAddrs {
+		return m, 0, ErrGossipCorrupt
+	}
+	if nAddrs > 0 {
+		m.DataAddrs = make([]string, nAddrs)
+		for i := 0; i < nAddrs; i++ {
+			if m.DataAddrs[i], off, err = decodeAddr(b, off); err != nil {
+				return m, 0, err
+			}
+		}
+	}
+	if len(b)-off < 8+5+8+8+8 {
+		return m, 0, ErrGossipCorrupt
+	}
+	s := &m.Summary
+	s.Version = binary.LittleEndian.Uint64(b[off : off+8])
+	s.PathsUp = b[off+8]
+	s.PathsDegraded = b[off+9]
+	s.PathsQuarantined = b[off+10]
+	s.PathsProbing = b[off+11]
+	s.SLOState = b[off+12]
+	s.BurnRate = math.Float64frombits(binary.LittleEndian.Uint64(b[off+13 : off+21]))
+	// NaN burn rates cannot survive a round trip bit-exactly through an
+	// equality check and no tracker emits them; reject rather than carry.
+	if s.BurnRate != s.BurnRate {
+		return m, 0, ErrGossipCorrupt
+	}
+	s.Delivered = binary.LittleEndian.Uint64(b[off+21 : off+29])
+	s.Lost = binary.LittleEndian.Uint64(b[off+29 : off+37])
+	return m, off + 37, nil
+}
+
+func decodeAddr(b []byte, off int) (string, int, error) {
+	if off >= len(b) {
+		return "", 0, ErrGossipCorrupt
+	}
+	n := int(b[off])
+	off++
+	if len(b)-off < n {
+		return "", 0, ErrGossipCorrupt
+	}
+	return string(b[off : off+n]), off + n, nil
+}

@@ -1,0 +1,234 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The drain/handoff control messages share the gossip socket and the
+// MPDP1 codec discipline; each kind has its own 8-byte magic so a
+// datagram is self-describing.
+//
+// MPDPHND1 — handoff record (owner → new owner on graceful drain):
+//
+//	offset size field
+//	0      8    magic "MPDPHND1"
+//	8      4    origin node ID (the draining owner)
+//	12     4    target node ID (the inheriting owner)
+//	16     8    membership epoch at serialization
+//	24     8    record seq (per-origin, for ack matching)
+//	32     2    flow count
+//	34     …    flows, 48 bytes each:
+//	            8 flow ID · 8 next (reorder cursor = dedup window floor) ·
+//	            8 delivered · 8 dup-suppressed ·
+//	            8 deadline hits · 8 deadline misses (budget residue)
+//
+// MPDPHAK1 — handoff ack (new owner → draining owner):
+//
+//	0      8    magic "MPDPHAK1"
+//	8      4    origin node ID (the acker)
+//	12     8    acked record seq
+//
+// MPDPFWD1 — forwarded data frame (stale-steered or post-handoff
+// arrival relayed to the true owner, original send time preserved so
+// e2e latency attribution survives the detour):
+//
+//	0      8    magic "MPDPFWD1"
+//	8      4    origin node ID (the forwarder)
+//	12     8    membership epoch at forwarding
+//	20     8    flow ID
+//	28     8    mesh seq
+//	36     8    client send time (unix nanos)
+//	44     4    payload length
+//	48     …    payload
+
+// Magics for the three handoff-plane datagram kinds.
+var (
+	MagicHandoff    = [8]byte{'M', 'P', 'D', 'P', 'H', 'N', 'D', '1'}
+	MagicHandoffAck = [8]byte{'M', 'P', 'D', 'P', 'H', 'A', 'K', '1'}
+	MagicForward    = [8]byte{'M', 'P', 'D', 'P', 'F', 'W', 'D', '1'}
+)
+
+// MaxHandoffFlows bounds one record so it fits a UDP datagram with
+// comfortable headroom (34 + 256*48 ≈ 12.3 KB).
+const MaxHandoffFlows = 256
+
+// MaxForwardPayload matches the transport's frame payload bound.
+const MaxForwardPayload = 16 << 10
+
+// Handoff codec errors.
+var (
+	ErrHandoffBadMagic = errors.New("mesh: bad magic (not a handoff-plane datagram)")
+	ErrHandoffCorrupt  = errors.New("mesh: corrupt handoff datagram")
+	ErrHandoffTooLarge = fmt.Errorf("mesh: handoff exceeds %d flows", MaxHandoffFlows)
+)
+
+// FlowRecord is one flow's serialized state inside a handoff record: the
+// reorder cursor (which doubles as the dedup window floor — every seq
+// below Next is a duplicate by construction) plus the delivery and
+// deadline-budget counters that keep per-flow accounting continuous
+// across the ownership change.
+type FlowRecord struct {
+	FlowID         uint64
+	Next           uint64
+	Delivered      uint64
+	DupSuppressed  uint64
+	DeadlineHits   uint64
+	DeadlineMisses uint64
+}
+
+// HandoffRecord is one decoded MPDPHND1 datagram.
+type HandoffRecord struct {
+	Origin NodeID
+	Target NodeID
+	Epoch  uint64
+	Seq    uint64
+	Flows  []FlowRecord
+}
+
+const (
+	handoffFixedHeader = 8 + 4 + 4 + 8 + 8 + 2
+	flowRecordLen      = 48
+	handoffAckLen      = 8 + 4 + 8
+	forwardFixedHeader = 8 + 4 + 8 + 8 + 8 + 8 + 4
+)
+
+// AppendHandoff appends the encoded record to buf.
+func AppendHandoff(buf []byte, rec *HandoffRecord) ([]byte, error) {
+	if len(rec.Flows) > MaxHandoffFlows {
+		return buf, ErrHandoffTooLarge
+	}
+	buf = append(buf, MagicHandoff[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Origin))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Target))
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Seq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.Flows)))
+	for i := range rec.Flows {
+		f := &rec.Flows[i]
+		buf = binary.LittleEndian.AppendUint64(buf, f.FlowID)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Next)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Delivered)
+		buf = binary.LittleEndian.AppendUint64(buf, f.DupSuppressed)
+		buf = binary.LittleEndian.AppendUint64(buf, f.DeadlineHits)
+		buf = binary.LittleEndian.AppendUint64(buf, f.DeadlineMisses)
+	}
+	return buf, nil
+}
+
+// DecodeHandoff parses one MPDPHND1 datagram (strict: exact length, no
+// trailing bytes, never panics).
+func DecodeHandoff(b []byte) (*HandoffRecord, error) {
+	if len(b) < handoffFixedHeader {
+		return nil, ErrHandoffCorrupt
+	}
+	if [8]byte(b[0:8]) != MagicHandoff {
+		return nil, ErrHandoffBadMagic
+	}
+	rec := &HandoffRecord{
+		Origin: NodeID(binary.LittleEndian.Uint32(b[8:12])),
+		Target: NodeID(binary.LittleEndian.Uint32(b[12:16])),
+		Epoch:  binary.LittleEndian.Uint64(b[16:24]),
+		Seq:    binary.LittleEndian.Uint64(b[24:32]),
+	}
+	n := int(binary.LittleEndian.Uint16(b[32:34]))
+	if n > MaxHandoffFlows {
+		return nil, ErrHandoffTooLarge
+	}
+	if len(b) != handoffFixedHeader+n*flowRecordLen {
+		return nil, ErrHandoffCorrupt
+	}
+	rec.Flows = make([]FlowRecord, n)
+	off := handoffFixedHeader
+	for i := 0; i < n; i++ {
+		f := &rec.Flows[i]
+		f.FlowID = binary.LittleEndian.Uint64(b[off : off+8])
+		f.Next = binary.LittleEndian.Uint64(b[off+8 : off+16])
+		f.Delivered = binary.LittleEndian.Uint64(b[off+16 : off+24])
+		f.DupSuppressed = binary.LittleEndian.Uint64(b[off+24 : off+32])
+		f.DeadlineHits = binary.LittleEndian.Uint64(b[off+32 : off+40])
+		f.DeadlineMisses = binary.LittleEndian.Uint64(b[off+40 : off+48])
+		off += flowRecordLen
+	}
+	return rec, nil
+}
+
+// HandoffAck acknowledges receipt and installation of one record.
+type HandoffAck struct {
+	Origin NodeID
+	Seq    uint64
+}
+
+// AppendHandoffAck appends the encoded ack to buf.
+func AppendHandoffAck(buf []byte, ack *HandoffAck) []byte {
+	buf = append(buf, MagicHandoffAck[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ack.Origin))
+	buf = binary.LittleEndian.AppendUint64(buf, ack.Seq)
+	return buf
+}
+
+// DecodeHandoffAck parses one MPDPHAK1 datagram.
+func DecodeHandoffAck(b []byte) (HandoffAck, error) {
+	var ack HandoffAck
+	if len(b) != handoffAckLen {
+		return ack, ErrHandoffCorrupt
+	}
+	if [8]byte(b[0:8]) != MagicHandoffAck {
+		return ack, ErrHandoffBadMagic
+	}
+	ack.Origin = NodeID(binary.LittleEndian.Uint32(b[8:12]))
+	ack.Seq = binary.LittleEndian.Uint64(b[12:20])
+	return ack, nil
+}
+
+// Forward is one relayed data frame.
+type Forward struct {
+	Origin    NodeID
+	Epoch     uint64
+	FlowID    uint64
+	Seq       uint64
+	SendNanos int64
+	Payload   []byte
+}
+
+// AppendForward appends the encoded relay to buf.
+func AppendForward(buf []byte, f *Forward) ([]byte, error) {
+	if len(f.Payload) > MaxForwardPayload {
+		return buf, ErrHandoffCorrupt
+	}
+	buf = append(buf, MagicForward[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Origin))
+	buf = binary.LittleEndian.AppendUint64(buf, f.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, f.FlowID)
+	buf = binary.LittleEndian.AppendUint64(buf, f.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(f.SendNanos))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Payload)))
+	buf = append(buf, f.Payload...)
+	return buf, nil
+}
+
+// DecodeForward parses one MPDPFWD1 datagram. The payload aliases b.
+func DecodeForward(b []byte) (Forward, error) {
+	var f Forward
+	if len(b) < forwardFixedHeader {
+		return f, ErrHandoffCorrupt
+	}
+	if [8]byte(b[0:8]) != MagicForward {
+		return f, ErrHandoffBadMagic
+	}
+	plen := binary.LittleEndian.Uint32(b[44:48])
+	if plen > MaxForwardPayload {
+		return f, ErrHandoffCorrupt
+	}
+	if len(b) != forwardFixedHeader+int(plen) {
+		return f, ErrHandoffCorrupt
+	}
+	f.Origin = NodeID(binary.LittleEndian.Uint32(b[8:12]))
+	f.Epoch = binary.LittleEndian.Uint64(b[12:20])
+	f.FlowID = binary.LittleEndian.Uint64(b[20:28])
+	f.Seq = binary.LittleEndian.Uint64(b[28:36])
+	f.SendNanos = int64(binary.LittleEndian.Uint64(b[36:44]))
+	f.Payload = b[forwardFixedHeader : forwardFixedHeader+int(plen)]
+	return f, nil
+}

@@ -1,0 +1,258 @@
+package mesh
+
+import "sort"
+
+// MemberState is a member's liveness as seen by a view.
+type MemberState uint8
+
+const (
+	// MemberAlive members own flows and receive gossip.
+	MemberAlive MemberState = iota
+	// MemberSuspect members have gone quiet past SuspectAfter. They keep
+	// their flow ownership — a false suspicion must not migrate state —
+	// but the suspicion is gossiped so the whole mesh converges on it.
+	MemberSuspect
+	// MemberLeft members have drained (or been declared dead after
+	// DeadAfter of silence) and own nothing.
+	MemberLeft
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case MemberAlive:
+		return "alive"
+	case MemberSuspect:
+		return "suspect"
+	case MemberLeft:
+		return "left"
+	default:
+		return "invalid"
+	}
+}
+
+// Role separates data-plane members (own flows, run receivers) from
+// observers (mesh clients that follow membership but own nothing).
+type Role uint8
+
+const (
+	RoleData Role = iota
+	RoleObserver
+)
+
+// HealthSummary is one node's self-reported condition, carried in gossip:
+// per-path health-state counts distilled from its core.HealthTracker
+// machines, plus its SLO burn so alerts aggregate per-mesh. Version
+// orders summaries from the same node; the freshest wins a merge.
+type HealthSummary struct {
+	Version          uint64
+	PathsUp          uint8
+	PathsDegraded    uint8
+	PathsQuarantined uint8
+	PathsProbing     uint8
+	SLOState         uint8 // live.SLOState, 0 when no tracker is attached
+	BurnRate         float64
+	Delivered        uint64
+	Lost             uint64
+}
+
+// Member is one row of the membership table.
+type Member struct {
+	ID          NodeID
+	Incarnation uint64
+	State       MemberState
+	Role        Role
+	ControlAddr string
+	DataAddrs   []string
+	Summary     HealthSummary
+}
+
+// View is one agent's membership table plus the versioned epoch the data
+// plane stamps into envelopes. Not goroutine-safe — the owner guards it.
+//
+// Epoch discipline: only an agent whose own action changes the eligible
+// set (joining, leaving, or locally declaring a silent peer dead) bumps
+// the epoch; everyone else adopts the maximum seen in gossip. Concurrent
+// bumps for the same event converge to the same value; the epoch's job
+// is not to count events but to order views — a frame stamped with an
+// older epoch than the receiver's view marks a stale steering decision.
+type View struct {
+	self      NodeID
+	epoch     uint64
+	members   map[NodeID]*Member
+	lastHeard map[NodeID]int64 // unix nanos of last gossip naming the peer origin
+}
+
+// NewView returns an empty view owned by self.
+func NewView(self NodeID) *View {
+	return &View{
+		self:      self,
+		members:   make(map[NodeID]*Member),
+		lastHeard: make(map[NodeID]int64),
+	}
+}
+
+// Epoch returns the current membership epoch.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Seed installs the static bootstrap membership and sets the initial
+// epoch. The harness seeds every agent with the same member list, so all
+// views start converged at epoch 1.
+func (v *View) Seed(members []Member, nowNanos int64) {
+	for i := range members {
+		m := members[i]
+		v.members[m.ID] = &m
+		v.lastHeard[m.ID] = nowNanos
+	}
+	if v.epoch == 0 {
+		v.epoch = 1
+	}
+}
+
+// Get returns a copy of the member row.
+func (v *View) Get(id NodeID) (Member, bool) {
+	m, ok := v.members[id]
+	if !ok {
+		return Member{}, false
+	}
+	return *m, true
+}
+
+// Self returns this agent's own row (zero Member if never seeded).
+func (v *View) Self() (Member, bool) { return v.Get(v.self) }
+
+// SetSummary updates this agent's own health summary, bumping its
+// version so the merge rule propagates it.
+func (v *View) SetSummary(s HealthSummary) {
+	m, ok := v.members[v.self]
+	if !ok {
+		return
+	}
+	s.Version = m.Summary.Version + 1
+	m.Summary = s
+}
+
+// Leave marks self as left with a fresh incarnation and bumps the epoch:
+// the one membership change a node makes about itself.
+func (v *View) Leave() {
+	m, ok := v.members[v.self]
+	if !ok {
+		return
+	}
+	m.Incarnation++
+	m.State = MemberLeft
+	v.epoch++
+}
+
+// Merge folds a gossip message into the view. It returns whether the
+// eligible (flow-owning) set changed, which is the caller's cue to
+// rebuild steering. The epoch adopts the maximum.
+func (v *View) Merge(msg *GossipMessage, nowNanos int64) (eligibleChanged bool) {
+	before := v.eligibleKey()
+	if msg.Epoch > v.epoch {
+		v.epoch = msg.Epoch
+	}
+	v.lastHeard[msg.Origin] = nowNanos
+	for i := range msg.Members {
+		in := msg.Members[i]
+		cur, ok := v.members[in.ID]
+		switch {
+		case !ok:
+			m := in
+			v.members[in.ID] = &m
+			if _, heard := v.lastHeard[in.ID]; !heard {
+				v.lastHeard[in.ID] = nowNanos
+			}
+		case in.Incarnation > cur.Incarnation,
+			in.Incarnation == cur.Incarnation && in.State > cur.State:
+			// Higher incarnation is strictly newer; at equal incarnation
+			// the graver state wins (left > suspect > alive) so a refuted
+			// suspicion needs a fresh incarnation to clear.
+			cur.Incarnation = in.Incarnation
+			cur.State = in.State
+			cur.ControlAddr = in.ControlAddr
+			cur.DataAddrs = in.DataAddrs
+		}
+		if cur, ok := v.members[in.ID]; ok && in.Summary.Version > cur.Summary.Version {
+			cur.Summary = in.Summary
+		}
+	}
+	return v.eligibleKey() != before
+}
+
+// SweepLiveness applies the failure detector: a data member not heard
+// from within suspectAfter turns suspect; past deadAfter it is locally
+// declared left (epoch bump — an eligibility change this agent decided).
+// Returns whether the eligible set changed.
+func (v *View) SweepLiveness(nowNanos int64, suspectAfter, deadAfter int64) (eligibleChanged bool) {
+	before := v.eligibleKey()
+	ids := v.sortedIDs()
+	for _, id := range ids {
+		m := v.members[id]
+		if id == v.self || m.Role != RoleData || m.State == MemberLeft {
+			continue
+		}
+		quiet := nowNanos - v.lastHeard[id]
+		switch {
+		case deadAfter > 0 && quiet > deadAfter:
+			m.State = MemberLeft
+		case suspectAfter > 0 && quiet > suspectAfter:
+			if m.State == MemberAlive {
+				m.State = MemberSuspect
+			}
+		}
+	}
+	if v.eligibleKey() != before {
+		v.epoch++
+		return true
+	}
+	return false
+}
+
+// EligibleIDs returns the sorted flow-owning set: data-role members that
+// have not left. Suspects stay eligible — migrating state on a mere
+// suspicion would thrash ownership on every GC pause.
+func (v *View) EligibleIDs() []NodeID {
+	ids := make([]NodeID, 0, len(v.members))
+	for _, id := range v.sortedIDs() {
+		m := v.members[id]
+		if m.Role == RoleData && m.State != MemberLeft {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Members returns a sorted copy of the table, the gossip payload.
+func (v *View) Members() []Member {
+	out := make([]Member, 0, len(v.members))
+	for _, id := range v.sortedIDs() {
+		out = append(out, *v.members[id])
+	}
+	return out
+}
+
+// Steering builds the ownership function for the current eligible set.
+func (v *View) Steering() *Steering {
+	return NewSteering(v.EligibleIDs(), v.epoch)
+}
+
+func (v *View) sortedIDs() []NodeID {
+	ids := make([]NodeID, 0, len(v.members))
+	for id := range v.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// eligibleKey is a cheap fingerprint of the eligible set for
+// changed-detection across a merge.
+func (v *View) eligibleKey() uint64 {
+	var key uint64
+	for id, m := range v.members {
+		if m.Role == RoleData && m.State != MemberLeft {
+			key ^= hrwScore(uint64(id)+0x5bd1e995, id)
+		}
+	}
+	return key
+}

@@ -1,0 +1,159 @@
+package mesh
+
+import (
+	"testing"
+)
+
+func testMembers() []Member {
+	return []Member{
+		{ID: 1, State: MemberAlive, Role: RoleData, ControlAddr: "127.0.0.1:9001", DataAddrs: []string{"127.0.0.1:9101", "127.0.0.1:9201"}},
+		{ID: 2, State: MemberAlive, Role: RoleData, ControlAddr: "127.0.0.1:9002", DataAddrs: []string{"127.0.0.1:9102"}},
+		{ID: 3, State: MemberAlive, Role: RoleData, ControlAddr: "127.0.0.1:9003", DataAddrs: []string{"127.0.0.1:9103"}},
+		{ID: 1000, State: MemberAlive, Role: RoleObserver, ControlAddr: "127.0.0.1:9999"},
+	}
+}
+
+func TestViewSeedAndEligible(t *testing.T) {
+	v := NewView(1)
+	v.Seed(testMembers(), 100)
+	if v.Epoch() != 1 {
+		t.Fatalf("seeded epoch %d, want 1", v.Epoch())
+	}
+	ids := v.EligibleIDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("eligible %v, want [1 2 3] (observer excluded, sorted)", ids)
+	}
+}
+
+func TestViewLeaveBumpsEpochAndExcludes(t *testing.T) {
+	v := NewView(2)
+	v.Seed(testMembers(), 100)
+	v.Leave()
+	if v.Epoch() != 2 {
+		t.Fatalf("post-leave epoch %d, want 2", v.Epoch())
+	}
+	for _, id := range v.EligibleIDs() {
+		if id == 2 {
+			t.Fatal("left node still eligible")
+		}
+	}
+	self, _ := v.Get(2)
+	if self.State != MemberLeft || self.Incarnation != 1 {
+		t.Fatalf("self row %+v, want left at incarnation 1", self)
+	}
+}
+
+func TestViewMergePropagatesLeave(t *testing.T) {
+	a, b := NewView(1), NewView(3)
+	a.Seed(testMembers(), 100)
+	b.Seed(testMembers(), 100)
+	// Node 2 leaves; its view gossips to node 1.
+	leaver := NewView(2)
+	leaver.Seed(testMembers(), 100)
+	leaver.Leave()
+	msg := &GossipMessage{Origin: 2, Epoch: leaver.Epoch(), Members: leaver.Members()}
+	if !a.Merge(msg, 200) {
+		t.Fatal("merge of a departure did not report an eligibility change")
+	}
+	if a.Epoch() != 2 {
+		t.Fatalf("epoch after merge %d, want adopted 2", a.Epoch())
+	}
+	// Second-hand: node 1's view reaches node 3.
+	if !b.Merge(&GossipMessage{Origin: 1, Epoch: a.Epoch(), Members: a.Members()}, 300) {
+		t.Fatal("second-hand departure did not change eligibility")
+	}
+	m, _ := b.Get(2)
+	if m.State != MemberLeft {
+		t.Fatalf("node 2 state %v at node 3, want left", m.State)
+	}
+	// Replaying the same gossip is idempotent.
+	if a.Merge(msg, 400) {
+		t.Fatal("replayed gossip changed eligibility again")
+	}
+}
+
+func TestViewMergeIncarnationWins(t *testing.T) {
+	v := NewView(1)
+	v.Seed(testMembers(), 100)
+	// A stale suspicion at incarnation 0...
+	stale := testMembers()
+	stale[1].State = MemberSuspect
+	v.Merge(&GossipMessage{Origin: 3, Epoch: 1, Members: stale}, 200)
+	if m, _ := v.Get(2); m.State != MemberSuspect {
+		t.Fatalf("state %v, want suspect (graver at equal incarnation)", m.State)
+	}
+	// ...is refuted by the member itself at incarnation 1.
+	fresh := testMembers()
+	fresh[1].Incarnation = 1
+	fresh[1].State = MemberAlive
+	v.Merge(&GossipMessage{Origin: 2, Epoch: 1, Members: fresh}, 300)
+	if m, _ := v.Get(2); m.State != MemberAlive || m.Incarnation != 1 {
+		t.Fatalf("row %+v, want alive at incarnation 1 (higher incarnation wins)", m)
+	}
+	// A lower incarnation can never regress the row.
+	v.Merge(&GossipMessage{Origin: 3, Epoch: 1, Members: stale}, 400)
+	if m, _ := v.Get(2); m.State != MemberAlive {
+		t.Fatalf("stale lower-incarnation gossip regressed state to %v", m.State)
+	}
+}
+
+func TestViewSummaryFreshnessByVersion(t *testing.T) {
+	v := NewView(1)
+	v.Seed(testMembers(), 100)
+	newer := testMembers()
+	newer[2].Summary = HealthSummary{Version: 5, PathsUp: 2, BurnRate: 1.5, Delivered: 100}
+	v.Merge(&GossipMessage{Origin: 3, Epoch: 1, Members: newer}, 200)
+	older := testMembers()
+	older[2].Summary = HealthSummary{Version: 3, PathsUp: 1, BurnRate: 9.9}
+	v.Merge(&GossipMessage{Origin: 2, Epoch: 1, Members: older}, 300)
+	m, _ := v.Get(3)
+	if m.Summary.Version != 5 || m.Summary.BurnRate != 1.5 {
+		t.Fatalf("summary %+v, want the version-5 one kept", m.Summary)
+	}
+}
+
+func TestViewSweepLiveness(t *testing.T) {
+	v := NewView(1)
+	v.Seed(testMembers(), 100)
+	// Quiet past suspectAfter: suspect, still eligible, no epoch bump.
+	if changed := v.SweepLiveness(100+60, 50, 200); changed {
+		t.Fatal("suspicion alone changed the eligible set")
+	}
+	if m, _ := v.Get(2); m.State != MemberSuspect {
+		t.Fatalf("node 2 state %v, want suspect", m.State)
+	}
+	if got := len(v.EligibleIDs()); got != 3 {
+		t.Fatalf("eligible count %d after suspicion, want 3 (suspects keep ownership)", got)
+	}
+	if v.Epoch() != 1 {
+		t.Fatalf("epoch %d after suspicion, want unchanged 1", v.Epoch())
+	}
+	// Quiet past deadAfter: locally declared left, epoch bumps.
+	if changed := v.SweepLiveness(100+300, 50, 200); !changed {
+		t.Fatal("dead declaration did not change the eligible set")
+	}
+	if v.Epoch() != 2 {
+		t.Fatalf("epoch %d after local dead declaration, want 2", v.Epoch())
+	}
+	if got := len(v.EligibleIDs()); got != 1 {
+		t.Fatalf("eligible count %d, want 1 (only self; 2 and 3 declared dead)", got)
+	}
+	// deadAfter=0 disables unilateral declarations entirely.
+	v2 := NewView(1)
+	v2.Seed(testMembers(), 100)
+	v2.SweepLiveness(1<<60, 50, 0)
+	if got := len(v2.EligibleIDs()); got != 3 {
+		t.Fatalf("eligible count %d with deadAfter=0, want 3", got)
+	}
+}
+
+func TestViewSetSummaryBumpsVersion(t *testing.T) {
+	v := NewView(1)
+	v.Seed(testMembers(), 100)
+	v.SetSummary(HealthSummary{PathsUp: 2})
+	v.SetSummary(HealthSummary{PathsUp: 1})
+	m, _ := v.Self()
+	if m.Summary.Version != 2 || m.Summary.PathsUp != 1 {
+		t.Fatalf("summary %+v, want version 2 with the latest counts", m.Summary)
+	}
+}

@@ -1,0 +1,100 @@
+package mesh
+
+import (
+	"fmt"
+
+	"mpdp/internal/live"
+)
+
+// RegisterMetrics exports the mesh's aggregate and per-node families into
+// a live registry (rendered by /metrics and mpdp-inspect live):
+//
+//	mpdp_mesh_epoch                      highest membership epoch any node holds
+//	mpdp_mesh_members                    eligible (flow-owning) member count
+//	mpdp_mesh_delivered_total            in-order mesh deliveries, all nodes
+//	mpdp_mesh_gaps_total                 cursor-resolved wire losses
+//	mpdp_mesh_dup_suppressed_total       duplicates absorbed by flow cursors
+//	mpdp_mesh_stale_steers_total         stale-epoch frames detected (then relayed)
+//	mpdp_mesh_forwarded_total            frames relayed to their true owner
+//	mpdp_mesh_handoff_flows_total        flow records transferred in drains
+//	mpdp_mesh_handoff_timeouts_total     pending flows promoted without a record
+//	mpdp_mesh_migrated_delivered_total   deliveries on flows that changed owner
+//	mpdp_mesh_resteers_total             client-side ownership moves
+//	mpdp_mesh_slo_burn_max               fastest SLO burn rate across nodes
+//	mpdp_mesh_slo_critical_nodes         nodes whose burn tracker is critical
+//	mpdp_mesh_node_paths_up{node=…}      per-node path-health state counts
+//	  (…_degraded, _quarantined, _probing)
+//	mpdp_mesh_node_burn{node=…}          per-node fastest burn rate
+//	mpdp_mesh_e2e_nanos                  mesh-wide e2e latency histogram
+func RegisterMetrics(reg *live.Registry, nodes []*Node, client *Client) {
+	if reg == nil {
+		return
+	}
+	ns := append([]*Node(nil), nodes...)
+	reg.GaugeFunc("mpdp_mesh_epoch", func() float64 {
+		var max uint64
+		for _, n := range ns {
+			if e := n.Epoch(); e > max {
+				max = e
+			}
+		}
+		return float64(max)
+	})
+	reg.GaugeFunc("mpdp_mesh_members", func() float64 {
+		var max int
+		for _, n := range ns {
+			if c := n.EligibleCount(); c > max {
+				max = c
+			}
+		}
+		return float64(max)
+	})
+	sum := func(pick func(n *Node) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, n := range ns {
+				t += pick(n)
+			}
+			return t
+		}
+	}
+	reg.CounterFunc("mpdp_mesh_delivered_total", sum(func(n *Node) uint64 { return n.delivered.Load() }))
+	reg.CounterFunc("mpdp_mesh_gaps_total", sum(func(n *Node) uint64 { return n.gaps.Load() }))
+	reg.CounterFunc("mpdp_mesh_dup_suppressed_total", sum(func(n *Node) uint64 { return n.dupSuppressed.Load() }))
+	reg.CounterFunc("mpdp_mesh_stale_steers_total", sum(func(n *Node) uint64 { return n.staleSteers.Load() }))
+	reg.CounterFunc("mpdp_mesh_forwarded_total", sum(func(n *Node) uint64 { return n.forwardedOut.Load() }))
+	reg.CounterFunc("mpdp_mesh_handoff_flows_total", sum(func(n *Node) uint64 { return n.handoffFlowsOut.Load() }))
+	reg.CounterFunc("mpdp_mesh_handoff_timeouts_total", sum(func(n *Node) uint64 { return n.handoffTimeouts.Load() }))
+	reg.CounterFunc("mpdp_mesh_migrated_delivered_total", sum(func(n *Node) uint64 { return n.migratedDelivered.Load() }))
+	if client != nil {
+		reg.CounterFunc("mpdp_mesh_resteers_total", client.Resteers)
+	}
+	reg.GaugeFunc("mpdp_mesh_slo_burn_max", func() float64 {
+		var max float64
+		for _, n := range ns {
+			if b := n.burnRate(); b > max {
+				max = b
+			}
+		}
+		return max
+	})
+	reg.GaugeFunc("mpdp_mesh_slo_critical_nodes", func() float64 {
+		var c int
+		for _, n := range ns {
+			if n.sloCritical() {
+				c++
+			}
+		}
+		return float64(c)
+	})
+	for _, n := range ns {
+		n := n
+		label := fmt.Sprintf("{node=\"%d\"}", n.cfg.ID)
+		reg.GaugeFunc("mpdp_mesh_node_paths_up"+label, func() float64 { return float64(n.pathCounts().PathsUp) })
+		reg.GaugeFunc("mpdp_mesh_node_paths_degraded"+label, func() float64 { return float64(n.pathCounts().PathsDegraded) })
+		reg.GaugeFunc("mpdp_mesh_node_paths_quarantined"+label, func() float64 { return float64(n.pathCounts().PathsQuarantined) })
+		reg.GaugeFunc("mpdp_mesh_node_paths_probing"+label, func() float64 { return float64(n.pathCounts().PathsProbing) })
+		reg.GaugeFunc("mpdp_mesh_node_burn"+label, n.burnRate)
+		reg.RegisterHistogram("mpdp_mesh_e2e_nanos"+label, n.e2e)
+	}
+}

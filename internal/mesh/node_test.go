@@ -1,0 +1,108 @@
+package mesh
+
+import (
+	"testing"
+
+	"mpdp/internal/live"
+)
+
+// bareNode builds a node with just enough state to drive the locked
+// flow-table paths directly — no sockets, no loops.
+func bareNode() *Node {
+	return &Node{
+		cfg:   NodeConfig{ID: 1},
+		e2e:   live.NewHistogram(),
+		table: newFlowTable(),
+		fwdTo: make(map[uint64]NodeID),
+	}
+}
+
+// TestPromotionThenLateRecord exercises the HandoffTimeout escape hatch
+// end to end at the table level: frames buffered for a record that never
+// comes promote in seq order, and the record landing late cannot undo a
+// delivery — install keeps the max cursor, so the stale seqs it would
+// re-open dedup instead.
+func TestPromotionThenLateRecord(t *testing.T) {
+	n := bareNode()
+	const flow = uint64(7)
+	payload := []byte{0xab}
+	for _, seq := range []uint64{5, 3, 4} { // out of order on purpose
+		n.bufferLocked(flow, 2, seq, 0, payload, 0)
+	}
+	expired := n.table.expiredPending(1<<62, 0)
+	if len(expired) != 1 || expired[0] != flow {
+		t.Fatalf("expiredPending = %v, want [%d]", expired, flow)
+	}
+	n.promoteLocked(flow, 0)
+	e, ok := n.table.entries[flow]
+	if !ok {
+		t.Fatal("promotion opened no cursor")
+	}
+	if e.next != 6 || e.delivered != 3 {
+		t.Fatalf("after promotion next=%d delivered=%d, want 6/3", e.next, e.delivered)
+	}
+	if e.migrated {
+		t.Fatal("a promoted entry must not count as migrated")
+	}
+	// The cursor opens at the smallest buffered seq, so the promoted
+	// frames are contiguous from it: no gaps.
+	if n.delivered.Load() != 3 || n.gaps.Load() != 0 {
+		t.Fatalf("delivered=%d gaps=%d, want 3/0", n.delivered.Load(), n.gaps.Load())
+	}
+	// The late record opens at Next=4 — behind the promoted cursor.
+	// Install keeps the max, and re-offering seq 4 dedups.
+	n.table.install(&FlowRecord{FlowID: flow, Next: 4, Delivered: 4})
+	if e.next != 6 {
+		t.Fatalf("late install regressed the cursor to %d", e.next)
+	}
+	if !e.migrated {
+		t.Fatal("install did not mark the entry migrated")
+	}
+	n.deliverLocked(e, flow, 4, 0, 1)
+	if n.dupSuppressed.Load() != 1 {
+		t.Fatalf("replayed seq 4 was not dedup'd (dupSuppressed=%d)", n.dupSuppressed.Load())
+	}
+	if n.delivered.Load() != 3 {
+		t.Fatalf("replayed seq 4 double-delivered (delivered=%d)", n.delivered.Load())
+	}
+}
+
+// TestPendingBufferOverflowDrops: a full pending buffer drops the frame
+// (counted) rather than promoting — a bounded, legal wire loss.
+func TestPendingBufferOverflowDrops(t *testing.T) {
+	n := bareNode()
+	const flow = uint64(3)
+	payload := []byte{1}
+	for i := 0; i < maxPendingFrames+5; i++ {
+		n.bufferLocked(flow, 2, uint64(i), 0, payload, 0)
+	}
+	if got := n.overflowDropped.Load(); got != 5 {
+		t.Fatalf("overflowDropped = %d, want 5", got)
+	}
+	if got := len(n.table.pending[flow].frames); got != maxPendingFrames {
+		t.Fatalf("pending holds %d frames, want the %d cap", got, maxPendingFrames)
+	}
+	if _, ok := n.table.entries[flow]; ok {
+		t.Fatal("overflow must not open a cursor (that was the old promote-on-overflow bug)")
+	}
+}
+
+// TestParkedOverflowDrops: a draining owner's parked buffer is bounded
+// the same way.
+func TestParkedOverflowDrops(t *testing.T) {
+	n := bareNode()
+	e := &flowEntry{}
+	payload := []byte{1}
+	for i := 0; i < maxPendingFrames+3; i++ {
+		n.parkLocked(e, uint64(i), 0, payload)
+	}
+	if got := n.overflowDropped.Load(); got != 3 {
+		t.Fatalf("overflowDropped = %d, want 3", got)
+	}
+	if got := len(e.parked); got != maxPendingFrames {
+		t.Fatalf("parked holds %d frames, want the %d cap", got, maxPendingFrames)
+	}
+	if e.delivered != 0 {
+		t.Fatal("parking must never deliver")
+	}
+}

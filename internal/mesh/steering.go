@@ -1,0 +1,101 @@
+package mesh
+
+// Rendezvous (highest-random-weight) steering: every node scores every
+// flow with a stateless 64-bit mix of (flowID, nodeID); the owner is the
+// highest score. HRW gives the two properties the mesh needs without any
+// coordination state:
+//
+//   - Balance: scores are independent uniform draws, so ownership splits
+//     evenly (test-pinned to ±15% across 64 nodes and 1M flows).
+//   - Minimal disruption: removing a node only moves the flows it owned
+//     (their argmax is gone; every other flow's argmax is untouched),
+//     and adding a node only steals the flows it now wins.
+//
+// The score is a pure function of the two IDs — no seeds, no tables —
+// so every node and client computes byte-identical ownership from the
+// same membership view.
+
+// NodeID identifies a mesh member.
+type NodeID uint32
+
+// NodeNone is the absent-node sentinel (no owner / no previous owner).
+const NodeNone NodeID = 0xFFFFFFFF
+
+// Steering is an immutable ownership function over one membership view:
+// build a new one when the eligible set changes (epoch bump). The ID
+// slice is sorted so iteration order — and therefore tie-breaks — are
+// identical on every node.
+type Steering struct {
+	ids   []NodeID
+	epoch uint64
+}
+
+// NewSteering builds the ownership function for the given eligible node
+// set (copied, sorted) at the given membership epoch.
+func NewSteering(ids []NodeID, epoch uint64) *Steering {
+	own := make([]NodeID, len(ids))
+	copy(own, ids)
+	// Insertion sort: the eligible set is small and this avoids pulling
+	// sort into the package for one call site.
+	for i := 1; i < len(own); i++ {
+		for j := i; j > 0 && own[j] < own[j-1]; j-- {
+			own[j], own[j-1] = own[j-1], own[j]
+		}
+	}
+	return &Steering{ids: own, epoch: epoch}
+}
+
+// Epoch returns the membership epoch this steering function was built at.
+func (s *Steering) Epoch() uint64 { return s.epoch }
+
+// Nodes returns the eligible node count.
+func (s *Steering) Nodes() int { return len(s.ids) }
+
+// Owner returns the HRW owner of flow, or NodeNone when the eligible set
+// is empty. This is the mesh data-path hot function: every Send consults
+// it, so it must stay allocation-free (CI-gated at 0 allocs/op).
+//
+//mpdp:hotpath bench=BenchmarkSteeringOwner
+func (s *Steering) Owner(flow uint64) NodeID {
+	if len(s.ids) == 0 {
+		return NodeNone
+	}
+	best := s.ids[0]
+	bestScore := hrwScore(flow, best)
+	for _, id := range s.ids[1:] {
+		if sc := hrwScore(flow, id); sc > bestScore {
+			bestScore, best = sc, id
+		}
+	}
+	return best
+}
+
+// OwnerExcluding returns the HRW owner of flow with one node removed from
+// the eligible set — the "who inherits this flow" question a draining
+// owner asks without rebuilding the view.
+func (s *Steering) OwnerExcluding(flow uint64, excluded NodeID) NodeID {
+	best := NodeNone
+	var bestScore uint64
+	for _, id := range s.ids {
+		if id == excluded {
+			continue
+		}
+		if sc := hrwScore(flow, id); best == NodeNone || sc > bestScore {
+			bestScore, best = sc, id
+		}
+	}
+	return best
+}
+
+// hrwScore mixes (flow, id) through a splitmix64-style finalizer. The
+// node term is pre-spread by the golden-ratio constant so adjacent IDs
+// land far apart before the avalanche rounds.
+func hrwScore(flow uint64, id NodeID) uint64 {
+	x := flow ^ (uint64(id)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

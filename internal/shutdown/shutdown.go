@@ -3,20 +3,131 @@
 // SIGTERM asks the run to stop and produce its normal exit report — an
 // interrupted measurement is still a measurement — and a second signal
 // force-quits for when the graceful path itself is wedged.
+//
+// Beyond the stop channel, callers can register named drain callbacks
+// (OnStop) that the first signal runs in registration order — the
+// mesh gateway hangs its graceful flow-state handoff here, ahead of the
+// teardown steps that depend on it. The Coordinator type carries all the
+// state, with the process signal wiring injected, so the double-signal
+// path is testable without sending the test runner a SIGINT.
 package shutdown
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sync"
 	"syscall"
 )
 
+// namedFunc is one registered drain callback.
+type namedFunc struct {
+	name string
+	fn   func()
+}
+
+// Coordinator owns one stop channel plus the ordered drain callbacks.
+// The zero value is not usable; NewCoordinator wires the warn writer and
+// exit function (tests inject fakes; the package-level default uses
+// os.Stderr and os.Exit).
+type Coordinator struct {
+	mu       sync.Mutex
+	stop     chan struct{}
+	cbs      []namedFunc
+	signaled bool
+
+	warn io.Writer
+	exit func(int)
+}
+
+// NewCoordinator builds a coordinator with injected side effects. A nil
+// warn discards notices; a nil exit panics on the forced-quit path (tests
+// that never double-signal can pass nil).
+func NewCoordinator(warn io.Writer, exit func(int)) *Coordinator {
+	if warn == nil {
+		warn = io.Discard
+	}
+	if exit == nil {
+		exit = func(code int) { panic(fmt.Sprintf("shutdown: forced quit (%d) with no exit func", code)) }
+	}
+	return &Coordinator{stop: make(chan struct{}), warn: warn, exit: exit}
+}
+
+// Stop returns the channel closed by the first signal.
+func (c *Coordinator) Stop() <-chan struct{} { return c.stop }
+
+// OnStop registers a named drain callback. Callbacks run in registration
+// order on the first signal — deterministic, so dependent teardown (drain
+// the mesh, then close the metrics listener) can rely on sequence.
+// Registering after the first signal runs the callback immediately, in
+// the caller's goroutine: the drain phase has already happened, and a
+// callback that silently never ran would be worse.
+func (c *Coordinator) OnStop(name string, fn func()) {
+	c.mu.Lock()
+	late := c.signaled
+	if !late {
+		c.cbs = append(c.cbs, namedFunc{name: name, fn: fn})
+	}
+	c.mu.Unlock()
+	if late {
+		fn()
+	}
+}
+
+// Signal delivers one stop request: the first closes the stop channel and
+// runs every registered callback in order; the second warns and calls the
+// exit function with status 1. Named s for the notice (pass a signal
+// name, or anything descriptive in tests).
+func (c *Coordinator) Signal(s string) {
+	c.mu.Lock()
+	if c.signaled {
+		c.mu.Unlock()
+		fmt.Fprintln(c.warn, "forced quit") //lint:allow erroreat stderr notice on best effort
+		c.exit(1)
+		return
+	}
+	c.signaled = true
+	cbs := append([]namedFunc(nil), c.cbs...)
+	c.mu.Unlock()
+	fmt.Fprintf(c.warn, "\n%s: stopping for exit report (signal again to force quit)\n", s) //lint:allow erroreat stderr notice on best effort
+	close(c.stop)
+	for _, cb := range cbs {
+		fmt.Fprintf(c.warn, "shutdown: %s\n", cb.name) //lint:allow erroreat stderr notice on best effort
+		cb.fn()
+	}
+}
+
+// Requested reports (without blocking) whether a stop has been signalled.
+func (c *Coordinator) Requested() bool {
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
+}
+
 var (
 	once sync.Once
-	stop chan struct{}
+	def  *Coordinator
 )
+
+// defaultCoordinator installs the process signal handler once and returns
+// the shared coordinator behind Notify/OnStop/Requested.
+func defaultCoordinator() *Coordinator {
+	once.Do(func() {
+		def = NewCoordinator(os.Stderr, os.Exit)
+		sigs := make(chan os.Signal, 2)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			for s := range sigs {
+				def.Signal(s.String())
+			}
+		}()
+	})
+	return def
+}
 
 // Notify returns a channel that is closed on the first SIGINT/SIGTERM.
 // Callers select on it (or poll with a non-blocking receive) at natural
@@ -26,32 +137,21 @@ var (
 // The channel is shared process-wide: every caller sees the same
 // cancellation, and installing the handler is idempotent.
 func Notify() <-chan struct{} {
-	once.Do(func() {
-		stop = make(chan struct{})
-		sigs := make(chan os.Signal, 2)
-		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			s := <-sigs
-			fmt.Fprintf(os.Stderr, "\n%s: stopping for exit report (signal again to force quit)\n", s) //lint:allow erroreat stderr notice on best effort
-			close(stop)
-			<-sigs
-			fmt.Fprintln(os.Stderr, "forced quit") //lint:allow erroreat stderr notice on best effort
-			os.Exit(1)
-		}()
-	})
-	return stop
+	return defaultCoordinator().Stop()
+}
+
+// OnStop registers a named drain callback on the process-wide
+// coordinator (installing the signal handler if needed). Callbacks run in
+// registration order when the first SIGINT/SIGTERM arrives.
+func OnStop(name string, fn func()) {
+	defaultCoordinator().OnStop(name, fn)
 }
 
 // Requested reports (without blocking) whether a stop has been signalled.
 // Returns false when Notify has never been called.
 func Requested() bool {
-	if stop == nil {
+	if def == nil {
 		return false
 	}
-	select {
-	case <-stop:
-		return true
-	default:
-		return false
-	}
+	return def.Requested()
 }

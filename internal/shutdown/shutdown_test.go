@@ -1,0 +1,84 @@
+package shutdown
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCoordinatorRunsCallbacksInOrder(t *testing.T) {
+	var warn bytes.Buffer
+	c := NewCoordinator(&warn, nil)
+	var order []string
+	c.OnStop("drain-mesh", func() { order = append(order, "drain-mesh") })
+	c.OnStop("close-metrics", func() { order = append(order, "close-metrics") })
+	c.OnStop("flush-report", func() { order = append(order, "flush-report") })
+	if c.Requested() {
+		t.Fatal("requested before any signal")
+	}
+	c.Signal("SIGINT")
+	if !c.Requested() {
+		t.Fatal("not requested after the first signal")
+	}
+	select {
+	case <-c.Stop():
+	default:
+		t.Fatal("stop channel not closed")
+	}
+	want := []string{"drain-mesh", "close-metrics", "flush-report"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("callback order %v, want registration order %v", order, want)
+		}
+	}
+	for _, name := range want {
+		if !strings.Contains(warn.String(), "shutdown: "+name) {
+			t.Fatalf("warn output %q does not announce %q", warn.String(), name)
+		}
+	}
+}
+
+func TestCoordinatorDoubleSignalForceQuits(t *testing.T) {
+	var warn bytes.Buffer
+	exitCode := -1
+	c := NewCoordinator(&warn, func(code int) { exitCode = code })
+	var drains int
+	c.OnStop("drain", func() { drains++ })
+	c.Signal("SIGINT")
+	if exitCode != -1 {
+		t.Fatalf("first signal exited with %d", exitCode)
+	}
+	c.Signal("SIGINT")
+	if exitCode != 1 {
+		t.Fatalf("second signal exited with %d, want immediate exit 1", exitCode)
+	}
+	if drains != 1 {
+		t.Fatalf("drain callback ran %d times, want once", drains)
+	}
+	if !strings.Contains(warn.String(), "forced quit") {
+		t.Fatalf("warn output %q does not announce the forced quit", warn.String())
+	}
+}
+
+func TestCoordinatorLateRegistrationRunsImmediately(t *testing.T) {
+	c := NewCoordinator(nil, nil)
+	c.Signal("test-stop")
+	ran := false
+	c.OnStop("late", func() { ran = true })
+	if !ran {
+		t.Fatal("callback registered after the stop never ran")
+	}
+}
+
+func TestRequestedWithoutNotify(t *testing.T) {
+	// The package-level default must stay inert until someone calls
+	// Notify/OnStop; Requested on a fresh process reports false. (def may
+	// already be installed by another test in this package — only assert
+	// the nil-safe path when it is genuinely untouched.)
+	if def == nil && Requested() {
+		t.Fatal("Requested true before Notify")
+	}
+}
